@@ -1,0 +1,64 @@
+/// Ablation (§4.1 "Optimizing Av computation"): Algorithm 1 with
+///  (a) sparse hash-map DP arrays + height-1 shortcut (the paper's
+///      optimized configuration, our default),
+///  (b) dense ⊥-padded arrays,
+///  (c) sparse arrays without the height-1 shortcut.
+/// Most DP entries are ⊥, so the sparse representation skips the dead
+/// (k+1)²-size convolution work.
+
+#include <benchmark/benchmark.h>
+
+#include "algo/optimal_single_tree.h"
+#include "bench/bench_util.h"
+#include "workload/tree_gen.h"
+
+namespace provabs::bench {
+namespace {
+
+struct Setup {
+  Workload workload;
+  AbstractionForest forest;
+  size_t bound;
+
+  Setup() : workload(MakeTelephonyWorkload(0.25)) {
+    forest.AddTree(BuildUniformTree(*workload.vars, workload.tree_leaves,
+                                    {4, 4}, "SD_"));
+    // A deep bound (90% of achievable loss) makes k large, which is where
+    // the dense (k+1)-sized arrays pay for their dead entries.
+    bound = FeasibleBound(workload.polys, forest, 0.9);
+  }
+};
+
+Setup& GetSetup() {
+  static Setup* setup = new Setup();
+  return *setup;
+}
+
+void RunWith(benchmark::State& state, const OptimalOptions& options) {
+  Setup& s = GetSetup();
+  for (auto _ : state) {
+    auto result = OptimalSingleTree(s.workload.polys, s.forest, 0, s.bound,
+                                    options);
+    benchmark::DoNotOptimize(result);
+  }
+}
+
+void BM_SparseWithShortcut(benchmark::State& state) {
+  RunWith(state, OptimalOptions{true, true});
+}
+BENCHMARK(BM_SparseWithShortcut)->Unit(benchmark::kMillisecond);
+
+void BM_DenseArrays(benchmark::State& state) {
+  RunWith(state, OptimalOptions{false, true});
+}
+BENCHMARK(BM_DenseArrays)->Unit(benchmark::kMillisecond);
+
+void BM_SparseNoShortcut(benchmark::State& state) {
+  RunWith(state, OptimalOptions{true, false});
+}
+BENCHMARK(BM_SparseNoShortcut)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace provabs::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,109 @@
+/// Extension bench (§5 "work in tandem" goal): storage cost of the
+/// provenance under four regimes —
+///   flat polynomial | factorized circuit | abstracted | abstracted+factored
+/// measured in serialized bytes and circuit edges, plus scenario evaluation
+/// time per representation. Lossy abstraction and lossless factorization
+/// compose: the last column is the analyst's cheapest artifact.
+
+#include <cstdio>
+
+#include "algo/greedy_multi_tree.h"
+#include "bench/bench_util.h"
+#include "circuit/factorize.h"
+#include "common/timer.h"
+#include "core/valuation.h"
+#include "io/serializer.h"
+#include "workload/tree_gen.h"
+
+namespace provabs::bench {
+namespace {
+
+double TimeEval(const std::vector<ProvenanceCircuit>& circuits,
+                const Valuation& val) {
+  Timer t;
+  double sink = 0;
+  for (const ProvenanceCircuit& c : circuits) sink += c.Evaluate(val);
+  if (sink == 42.0) std::printf("#");
+  return t.ElapsedSeconds();
+}
+
+void Run() {
+  PrintHeader("Circuit storage: abstraction x factorization");
+  std::printf("%-16s %-22s %12s %12s %12s\n", "workload", "form", "|M|/edges",
+              "bytes", "eval[s]");
+
+  for (Workload& w : StandardWorkloads()) {
+    AbstractionForest forest;
+    forest.AddTree(BuildUniformTree(*w.vars, w.tree_leaves, {8}, "CS_"));
+    const size_t bound = FeasibleBound(w.polys, forest, 0.5);
+    auto greedy = GreedyMultiTree(w.polys, forest, bound);
+    if (!greedy.ok()) continue;
+    PolynomialSet abstracted = greedy->vvs.Apply(forest, w.polys);
+
+    Valuation val;
+    for (VariableId v : w.tree_leaves) val.Set(v, 0.9);
+
+    // Flat polynomials.
+    {
+      Timer t;
+      double sink = 0;
+      for (const Polynomial& p : w.polys.polynomials()) {
+        sink += val.Evaluate(p);
+      }
+      if (sink == 42.0) std::printf("#");
+      std::printf("%-16s %-22s %12zu %12zu %12.4f\n", w.name.c_str(),
+                  "flat polynomial", w.polys.SizeM(),
+                  SerializePolynomialSet(w.polys, *w.vars).size(),
+                  t.ElapsedSeconds());
+    }
+    // Flat circuit (edges baseline for the factorized comparison).
+    {
+      std::vector<ProvenanceCircuit> circuits;
+      circuits.reserve(w.polys.count());
+      for (const Polynomial& p : w.polys.polynomials()) {
+        circuits.push_back(FlatCircuit(p));
+      }
+      CircuitStats stats = StatsOf(circuits);
+      std::printf("%-16s %-22s %12zu %12s %12.4f\n", w.name.c_str(),
+                  "flat circuit", stats.edges, "-",
+                  TimeEval(circuits, val));
+    }
+    // Factorized (lossless).
+    {
+      auto circuits = FactorizeSet(w.polys);
+      CircuitStats stats = StatsOf(circuits);
+      std::printf("%-16s %-22s %12zu %12s %12.4f\n", w.name.c_str(),
+                  "factorized circuit", stats.edges, "-",
+                  TimeEval(circuits, val));
+    }
+    // Abstracted (lossy).
+    {
+      Timer t;
+      double sink = 0;
+      for (const Polynomial& p : abstracted.polynomials()) {
+        sink += val.Evaluate(p);
+      }
+      if (sink == 42.0) std::printf("#");
+      std::printf("%-16s %-22s %12zu %12zu %12.4f\n", w.name.c_str(),
+                  "abstracted", abstracted.SizeM(),
+                  SerializePolynomialSet(abstracted, *w.vars).size(),
+                  t.ElapsedSeconds());
+    }
+    // Abstracted then factorized.
+    {
+      auto circuits = FactorizeSet(abstracted);
+      CircuitStats stats = StatsOf(circuits);
+      std::printf("%-16s %-22s %12zu %12s %12.4f\n", w.name.c_str(),
+                  "abstracted+factorized", stats.edges, "-",
+                  TimeEval(circuits, val));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace provabs::bench
+
+int main() {
+  provabs::bench::Run();
+  return 0;
+}

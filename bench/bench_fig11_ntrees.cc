@@ -1,0 +1,68 @@
+/// Figure 11: compression time as a function of the number of abstraction
+/// trees. The paper uses a set of eight 3-level binary trees, each with 16
+/// leaves, covering 16 of the 128 variables each; the Greedy algorithm is
+/// compared against Brute-Force (whose cut space grows as 677^t).
+
+#include <cstdio>
+
+#include "abstraction/cut_counter.h"
+#include "algo/brute_force.h"
+#include "algo/greedy_multi_tree.h"
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "workload/tree_gen.h"
+
+namespace provabs::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 11: compression time vs number of trees");
+  std::printf("%-16s %8s %14s %10s %12s\n", "workload", "trees", "cuts",
+              "greedy[s]", "brute[s]");
+
+  for (Workload& w : StandardWorkloads()) {
+    for (size_t num_trees = 2; num_trees <= 8; ++num_trees) {
+      AbstractionForest forest;
+      for (size_t t = 0; t < num_trees; ++t) {
+        // 16 leaves per tree: variables 16t .. 16t+15.
+        std::vector<VariableId> leaves(
+            w.tree_leaves.begin() + static_cast<long>(16 * t),
+            w.tree_leaves.begin() + static_cast<long>(16 * (t + 1)));
+        forest.AddTree(BuildUniformTree(
+            *w.vars, leaves, {2, 2, 2},
+            "F11_" + std::to_string(t) + "_"));
+      }
+      double cuts = CountForestCutsApprox(forest);
+      const size_t bound = FeasibleBound(w.polys, forest, 0.5);
+
+      Timer t_greedy;
+      auto greedy = GreedyMultiTree(w.polys, forest, bound);
+      double greedy_s = t_greedy.ElapsedSeconds();
+      (void)greedy;
+
+      double brute_s = -1.0;
+      if (cuts < BruteMaxCuts()) {
+        Timer t_brute;
+        auto brute = BruteForce(w.polys, forest, bound);
+        brute_s = t_brute.ElapsedSeconds();
+        (void)brute;
+      }
+
+      std::printf("%-16s %8zu %14.4g %10.4f ", w.name.c_str(), num_trees,
+                  cuts, greedy_s);
+      if (brute_s >= 0) {
+        std::printf("%12.4f\n", brute_s);
+      } else {
+        std::printf("%12s\n", "(skipped)");
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace provabs::bench
+
+int main() {
+  provabs::bench::Run();
+  return 0;
+}

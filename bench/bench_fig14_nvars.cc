@@ -1,0 +1,73 @@
+/// Figure 14 (Appendix B): compression time as a function of the number of
+/// variables in the input data. The paper fixes the 128-leaf supplier
+/// abstraction tree and grows the total variable count to 8000 by refining
+/// the other parameter family; for Q1/Q5 this inflates each polynomial's
+/// monomial count (moderate runtime growth), while Q10 and the running
+/// example are dominated by their polynomial count and barely move.
+
+#include <cstdio>
+
+#include "algo/greedy_multi_tree.h"
+#include "algo/optimal_single_tree.h"
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "common/timer.h"
+#include "workload/tpch.h"
+#include "workload/tree_gen.h"
+
+namespace provabs::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 14: compression time vs number of variables");
+  std::printf("%-16s %10s %12s %10s %10s\n", "workload", "vars", "|P|_M",
+              "opt[s]", "greedy[s]");
+
+  TpchConfig config;
+  config.scale_factor = 0.3 * BenchScale();
+  Rng rng(config.seed);
+  Database db = GenerateTpch(config, rng);
+
+  for (TpchQuery q : {TpchQuery::kQ5, TpchQuery::kQ1}) {
+    const char* name = q == TpchQuery::kQ5 ? "tpch-q5" : "tpch-q1";
+    // Grow the part-variable family; the supplier tree stays at 128 leaves.
+    for (size_t part_groups : {16u, 64u, 256u, 1024u, 4096u}) {
+      VariableTable vars;
+      TpchVars tv;
+      // 128 supplier groups (tree leaves) + growing part groups.
+      for (size_t i = 0; i < 128; ++i) {
+        tv.supplier_vars.push_back(vars.Intern("s" + std::to_string(i)));
+      }
+      for (size_t i = 0; i < part_groups; ++i) {
+        tv.part_vars.push_back(vars.Intern("p" + std::to_string(i)));
+      }
+      PolynomialSet polys = RunTpchQuery(q, db, tv);
+
+      AbstractionForest forest;
+      forest.AddTree(
+          BuildUniformTree(vars, tv.supplier_vars, {8}, "F14_"));
+      const size_t bound = polys.SizeM() / 2;
+
+      Timer t_opt;
+      auto opt = OptimalSingleTree(polys, forest, 0, bound);
+      double opt_s = t_opt.ElapsedSeconds();
+      (void)opt;
+
+      Timer t_greedy;
+      auto greedy = GreedyMultiTree(polys, forest, bound);
+      double greedy_s = t_greedy.ElapsedSeconds();
+      (void)greedy;
+
+      std::printf("%-16s %10zu %12zu %10.4f %10.4f\n", name,
+                  128 + part_groups, polys.SizeM(), opt_s, greedy_s);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace provabs::bench
+
+int main() {
+  provabs::bench::Run();
+  return 0;
+}

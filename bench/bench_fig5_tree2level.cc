@@ -1,0 +1,71 @@
+/// Figure 5: provenance compression time as a function of the number of
+/// valid variable sets, for 2-level abstraction trees (Table 2 type 1,
+/// inner fan-out 2..64), on the four standard workloads. Series: Opt VVS
+/// (Algorithm 1), Greedy (Algorithm 2), and Brute-Force where the cut
+/// space is small enough (the paper's brute force only finished below
+/// ~80,000 cuts).
+
+#include <cstdio>
+
+#include "abstraction/cut_counter.h"
+#include "algo/brute_force.h"
+#include "algo/greedy_multi_tree.h"
+#include "algo/optimal_single_tree.h"
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "workload/tree_gen.h"
+
+namespace provabs::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 5: compression time vs #VVS (2-level trees, type 1)");
+  std::printf("%-16s %-10s %14s %10s %10s %12s\n", "workload", "fanout",
+              "cuts", "opt[s]", "greedy[s]", "brute[s]");
+
+  for (Workload& w : StandardWorkloads()) {
+    for (const TreeTypeSpec& spec : TreeSpecsOfType(1)) {
+      AbstractionForest forest;
+      forest.AddTree(
+          BuildUniformTree(*w.vars, w.tree_leaves, spec.fanouts, "F5_"));
+      double cuts = CountCutsApprox(forest.tree(0));
+      const size_t bound = FeasibleBound(w.polys, forest, 0.5);
+
+      Timer t_opt;
+      auto opt = OptimalSingleTree(w.polys, forest, 0, bound);
+      double opt_s = t_opt.ElapsedSeconds();
+
+      Timer t_greedy;
+      auto greedy = GreedyMultiTree(w.polys, forest, bound);
+      double greedy_s = t_greedy.ElapsedSeconds();
+
+      double brute_s = -1.0;
+      if (cuts < BruteMaxCuts()) {
+        Timer t_brute;
+        auto brute = BruteForce(w.polys, forest, bound);
+        brute_s = t_brute.ElapsedSeconds();
+        (void)brute;
+      }
+
+      std::printf("%-16s %-10u %14.4g %10.4f %10.4f ", w.name.c_str(),
+                  spec.fanouts[0], cuts, opt_s, greedy_s);
+      if (brute_s >= 0) {
+        std::printf("%12.4f", brute_s);
+      } else {
+        std::printf("%12s", "(skipped)");
+      }
+      std::printf("  opt:%s greedy:%s\n",
+                  opt.ok() ? (opt->adequate ? "ok" : "partial")
+                           : "infeasible",
+                  greedy.ok() && greedy->adequate ? "ok" : "partial");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace provabs::bench
+
+int main() {
+  provabs::bench::Run();
+  return 0;
+}

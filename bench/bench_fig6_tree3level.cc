@@ -1,0 +1,58 @@
+/// Figure 6: compression time as a function of the number of valid variable
+/// sets for 3-level abstraction trees (Table 2 types 2, 3 and 4 — root
+/// fan-out 2, 4 and 8). Series: Opt VVS and Greedy per type.
+
+#include <cstdio>
+
+#include "abstraction/cut_counter.h"
+#include "algo/greedy_multi_tree.h"
+#include "algo/optimal_single_tree.h"
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "workload/tree_gen.h"
+
+namespace provabs::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 6: compression time vs #VVS (3-level trees, types 2-4)");
+  std::printf("%-16s %5s %-10s %14s %10s %10s\n", "workload", "type",
+              "fanouts", "cuts", "opt[s]", "greedy[s]");
+
+  for (Workload& w : StandardWorkloads()) {
+    for (int type : {2, 3, 4}) {
+      for (const TreeTypeSpec& spec : TreeSpecsOfType(type)) {
+        AbstractionForest forest;
+        forest.AddTree(
+            BuildUniformTree(*w.vars, w.tree_leaves, spec.fanouts, "F6_"));
+        double cuts = CountCutsApprox(forest.tree(0));
+        const size_t bound = FeasibleBound(w.polys, forest, 0.5);
+
+        Timer t_opt;
+        auto opt = OptimalSingleTree(w.polys, forest, 0, bound);
+        double opt_s = t_opt.ElapsedSeconds();
+        (void)opt;
+
+        Timer t_greedy;
+        auto greedy = GreedyMultiTree(w.polys, forest, bound);
+        double greedy_s = t_greedy.ElapsedSeconds();
+        (void)greedy;
+
+        std::string fanouts;
+        for (uint32_t f : spec.fanouts) {
+          fanouts += (fanouts.empty() ? "" : "x") + std::to_string(f);
+        }
+        std::printf("%-16s %5d %-10s %14.4g %10.4f %10.4f\n", w.name.c_str(),
+                    type, fanouts.c_str(), cuts, opt_s, greedy_s);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace provabs::bench
+
+int main() {
+  provabs::bench::Run();
+  return 0;
+}

@@ -1,0 +1,68 @@
+/// Figure 8: provenance compression time as a function of the input data
+/// size (number of tuples). The paper grows TPC-H fragments and telephony
+/// customers; we sweep the generator scale. Series: Opt VVS and Greedy,
+/// with the 2-level 8-fanout supplier/plans tree and bound = 0.5·|P|_M.
+
+#include <cstdio>
+
+#include "algo/greedy_multi_tree.h"
+#include "algo/optimal_single_tree.h"
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "workload/tree_gen.h"
+
+namespace provabs::bench {
+namespace {
+
+void RunOne(Workload w, size_t input_rows) {
+  AbstractionForest forest;
+  forest.AddTree(BuildUniformTree(*w.vars, w.tree_leaves, {8}, "F8_"));
+  const size_t bound = FeasibleBound(w.polys, forest, 0.5);
+
+  Timer t_opt;
+  auto opt = OptimalSingleTree(w.polys, forest, 0, bound);
+  double opt_s = t_opt.ElapsedSeconds();
+  (void)opt;
+
+  Timer t_greedy;
+  auto greedy = GreedyMultiTree(w.polys, forest, bound);
+  double greedy_s = t_greedy.ElapsedSeconds();
+  (void)greedy;
+
+  std::printf("%-16s %12zu %12zu %10.4f %10.4f\n", w.name.c_str(),
+              input_rows, w.polys.SizeM(), opt_s, greedy_s);
+}
+
+void Run() {
+  PrintHeader("Figure 8: compression time vs input data size");
+  std::printf("%-16s %12s %12s %10s %10s\n", "workload", "input_rows",
+              "|P|_M", "opt[s]", "greedy[s]");
+
+  const double base = BenchScale();
+  for (double mult : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    double scale = base * mult;
+    for (TpchQuery q : {TpchQuery::kQ5, TpchQuery::kQ10, TpchQuery::kQ1}) {
+      const char* name = q == TpchQuery::kQ5   ? "tpch-q5"
+                         : q == TpchQuery::kQ10 ? "tpch-q10"
+                                                : "tpch-q1";
+      TpchConfig config;
+      config.scale_factor = 0.3 * scale;
+      size_t rows = config.NumLineitems() + config.NumOrders() +
+                    config.NumCustomers() + config.NumSuppliers() +
+                    config.NumParts();
+      RunOne(MakeTpchWorkload(q, name, scale), rows);
+    }
+    TelephonyConfig tc;
+    tc.num_customers = static_cast<size_t>(2000 * scale);
+    size_t rows = tc.num_customers * (1 + tc.num_months);
+    RunOne(MakeTelephonyWorkload(scale), rows);
+  }
+}
+
+}  // namespace
+}  // namespace provabs::bench
+
+int main() {
+  provabs::bench::Run();
+  return 0;
+}

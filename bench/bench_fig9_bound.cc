@@ -1,0 +1,60 @@
+/// Figure 9: compression time as a function of the bound B. The paper
+/// computes the feasible range [max-compression, |P|_M] per workload and
+/// sweeps it; the Opt VVS runtime is insensitive to B while the Greedy
+/// runtime falls as B grows (it can stop early).
+
+#include <cstdio>
+
+#include "abstraction/loss.h"
+#include "algo/greedy_multi_tree.h"
+#include "algo/optimal_single_tree.h"
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "workload/tree_gen.h"
+
+namespace provabs::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 9: compression time vs bound B");
+  std::printf("%-16s %12s %12s %10s %10s\n", "workload", "bound", "|P|_M",
+              "opt[s]", "greedy[s]");
+
+  for (Workload& w : StandardWorkloads()) {
+    AbstractionForest forest;
+    forest.AddTree(BuildUniformTree(*w.vars, w.tree_leaves, {8}, "F9_"));
+
+    // Feasible bound range: [|P|_M - ML(all roots), |P|_M].
+    LossReport max_loss = ComputeLossNaive(
+        w.polys, forest, ValidVariableSet::AllRoots(forest));
+    const size_t size_m = w.polys.SizeM();
+    const size_t min_bound = size_m - max_loss.monomial_loss;
+
+    for (int step = 0; step <= 5; ++step) {
+      size_t bound =
+          min_bound + (size_m - min_bound) * static_cast<size_t>(step) / 5;
+      if (bound == 0) bound = 1;
+
+      Timer t_opt;
+      auto opt = OptimalSingleTree(w.polys, forest, 0, bound);
+      double opt_s = t_opt.ElapsedSeconds();
+      (void)opt;
+
+      Timer t_greedy;
+      auto greedy = GreedyMultiTree(w.polys, forest, bound);
+      double greedy_s = t_greedy.ElapsedSeconds();
+      (void)greedy;
+
+      std::printf("%-16s %12zu %12zu %10.4f %10.4f\n", w.name.c_str(),
+                  bound, size_m, opt_s, greedy_s);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace provabs::bench
+
+int main() {
+  provabs::bench::Run();
+  return 0;
+}

@@ -1,0 +1,72 @@
+/// Complexity bench (§2.5 / Appendix A): behaviour of the algorithms on
+/// the NP-hardness family — uniformly partitioned polynomials P⟨X, n, I⟩
+/// under their flat abstractions. With the flat forest the decision problem
+/// is NP-hard, yet the greedy heuristic stays polynomial and the exhaustive
+/// subset search (2^|X|) blows up — the practical face of Proposition 11.
+/// For a single flat tree, OptimalSingleTree stays PTIME (Proposition 12).
+
+#include <cstdio>
+
+#include "algo/greedy_multi_tree.h"
+#include "algo/optimal_single_tree.h"
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "workload/uniform_polynomial.h"
+
+namespace provabs::bench {
+namespace {
+
+void Run() {
+  PrintHeader("NP-hardness family: uniformly partitioned polynomials");
+  std::printf("%6s %6s %10s %12s %12s %14s\n", "|X|", "n", "|P|_M",
+              "greedy[s]", "opt1tree[s]", "exhaustive[s]");
+
+  for (uint32_t x : {4u, 8u, 12u, 16u, 20u}) {
+    const uint32_t n = 4;
+    VariableTable vars;
+    // Edge set: a cycle plus chords — every metavariable used.
+    std::vector<std::pair<uint32_t, uint32_t>> pairs;
+    for (uint32_t a = 0; a + 1 < x; ++a) pairs.emplace_back(a, a + 1);
+    for (uint32_t a = 0; a + 3 < x; a += 2) pairs.emplace_back(a, a + 3);
+    UniformInstance inst = MakeUniformInstance(vars, x, n, pairs);
+
+    PolynomialSet polys;
+    polys.Add(inst.polynomial);
+    const size_t bound = polys.SizeM() / 2;
+
+    Timer t_greedy;
+    auto greedy = GreedyMultiTree(polys, inst.flat_abstraction, bound);
+    double greedy_s = t_greedy.ElapsedSeconds();
+    (void)greedy;
+
+    // Single-tree optimal on the first flat tree (PTIME fragment).
+    Timer t_opt;
+    auto opt = OptimalSingleTree(polys, inst.flat_abstraction, 0,
+                                 polys.SizeM() - 1);
+    double opt_s = t_opt.ElapsedSeconds();
+    (void)opt;
+
+    // Exhaustive 2^|X| subset search via the Claim 23 formulas.
+    Timer t_exhaustive;
+    size_t best_v = 0;
+    for (uint64_t mask = 0; mask < (1ull << x); ++mask) {
+      std::vector<bool> abstracted(x);
+      for (uint32_t a = 0; a < x; ++a) abstracted[a] = (mask >> a) & 1;
+      auto [size_m, size_v] = PredictAbstractedSizes(inst, abstracted);
+      if (size_m <= bound && size_v > best_v) best_v = size_v;
+    }
+    double exhaustive_s = t_exhaustive.ElapsedSeconds();
+    (void)best_v;
+
+    std::printf("%6u %6u %10zu %12.4f %12.4f %14.4f\n", x, n,
+                polys.SizeM(), greedy_s, opt_s, exhaustive_s);
+  }
+}
+
+}  // namespace
+}  // namespace provabs::bench
+
+int main() {
+  provabs::bench::Run();
+  return 0;
+}

@@ -1,0 +1,71 @@
+/// Extension bench (§6): quality and cost of the online sampling pipeline
+/// as a function of the sample rate, on the telephony workload. Reports
+/// the size-extrapolation error, whether the sample-chosen VVS met the
+/// full-data bound, and the end-to-end time against the offline route.
+
+#include <cstdio>
+
+#include "algo/optimal_single_tree.h"
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "online/online_compressor.h"
+#include "workload/telephony.h"
+#include "workload/tree_gen.h"
+
+namespace provabs::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Online sampling (§6): quality vs sample rate");
+  std::printf("%8s %12s %12s %10s %8s %10s %10s\n", "rate", "est_size",
+              "true_size", "result_M", "met", "online[s]", "offline[s]");
+
+  TelephonyConfig config;
+  config.num_customers =
+      static_cast<size_t>(4000 * BenchScale());
+  config.num_plans = 128;
+  config.num_months = 12;
+  config.num_zip_codes = 40;
+  Rng rng(config.seed);
+  VariableTable vars;
+  TelephonyVars tv = MakeTelephonyVars(vars, config);
+  Database db = GenerateTelephony(config, rng);
+
+  AbstractionForest forest;
+  forest.AddTree(BuildUniformTree(vars, tv.plan_vars, {8}, "OS_"));
+  ProvenanceQuery query = [&](const Database& d) {
+    return RunTelephonyQuery(d, tv);
+  };
+
+  Timer t_offline;
+  PolynomialSet full = query(db);
+  const size_t bound = full.SizeM() / 3;
+  auto offline = OptimalSingleTree(full, forest, 0, bound);
+  double offline_s = t_offline.ElapsedSeconds();
+  (void)offline;
+
+  for (double rate : {0.01, 0.02, 0.05, 0.1, 0.2}) {
+    OnlineOptions options;
+    options.sample_rates = {rate / 4, rate / 2, rate};
+    options.sampled_tables = {"Calls"};
+    Timer t_online;
+    auto online = CompressOnline(db, query, forest, bound, options);
+    double online_s = t_online.ElapsedSeconds();
+    if (!online.ok()) {
+      std::printf("%8.3f %s\n", rate, online.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%8.3f %12zu %12zu %10zu %8s %10.3f %10.3f\n", rate,
+                online->estimated_full_size_m, online->actual_full_size_m,
+                online->compressed.SizeM(), online->met_bound ? "yes" : "no",
+                online_s, offline_s);
+  }
+}
+
+}  // namespace
+}  // namespace provabs::bench
+
+int main() {
+  provabs::bench::Run();
+  return 0;
+}

@@ -1,0 +1,79 @@
+/// Table 1: greedy algorithm average accuracy and speedup per tree type.
+/// For every tree type (1..7, one configuration per type as in the paper's
+/// summary) and every workload, run Opt VVS and Greedy at bound 0.5·|P|_M;
+/// report
+///   accuracy = remaining granularity of Greedy / remaining granularity of
+///              Opt  (100% when the greedy VVS is optimal), and
+///   speedup  = (t_opt − t_greedy) / t_opt.
+/// The paper's trends: type 1 trees are ~100% accurate; accuracy drops with
+/// tree depth; Q1/Q5 (few polynomials) are more accurate than Q10 and the
+/// running example (many polynomials, more sensitivity to local choices).
+
+#include <cstdio>
+
+#include "algo/greedy_multi_tree.h"
+#include "algo/optimal_single_tree.h"
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "workload/tree_gen.h"
+
+namespace provabs::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Table 1: greedy accuracy and speedup per tree type");
+  std::printf("%-16s %5s %-9s %10s %10s %9s %9s\n", "workload", "type",
+              "fanouts", "opt[s]", "greedy[s]", "accuracy", "speedup");
+
+  for (Workload& w : StandardWorkloads()) {
+    for (int type = 1; type <= 7; ++type) {
+      // One representative configuration per type (middle of Table 2).
+      auto specs = TreeSpecsOfType(type);
+      const TreeTypeSpec& spec = specs[specs.size() / 2];
+
+      AbstractionForest forest;
+      forest.AddTree(
+          BuildUniformTree(*w.vars, w.tree_leaves, spec.fanouts, "T1_"));
+      const size_t bound = FeasibleBound(w.polys, forest, 0.5);
+
+      Timer t_opt;
+      auto opt = OptimalSingleTree(w.polys, forest, 0, bound);
+      double opt_s = t_opt.ElapsedSeconds();
+
+      Timer t_greedy;
+      auto greedy = GreedyMultiTree(w.polys, forest, bound);
+      double greedy_s = t_greedy.ElapsedSeconds();
+
+      std::string fanouts;
+      for (uint32_t f : spec.fanouts) {
+        fanouts += (fanouts.empty() ? "" : "x") + std::to_string(f);
+      }
+
+      if (!opt.ok() || !greedy.ok()) {
+        std::printf("%-16s %5d %-9s %10s\n", w.name.c_str(), type,
+                    fanouts.c_str(), "infeasible");
+        continue;
+      }
+      const size_t size_v = w.polys.SizeV();
+      double remaining_opt =
+          static_cast<double>(size_v - opt->loss.variable_loss);
+      double remaining_greedy =
+          static_cast<double>(size_v - greedy->loss.variable_loss);
+      double accuracy =
+          remaining_opt > 0 ? 100.0 * remaining_greedy / remaining_opt : 100;
+      double speedup = opt_s > 0 ? 100.0 * (opt_s - greedy_s) / opt_s : 0;
+
+      std::printf("%-16s %5d %-9s %10.4f %10.4f %8.2f%% %8.2f%%\n",
+                  w.name.c_str(), type, fanouts.c_str(), opt_s, greedy_s,
+                  accuracy, speedup);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace provabs::bench
+
+int main() {
+  provabs::bench::Run();
+  return 0;
+}

@@ -1,0 +1,125 @@
+#ifndef PROVABS_BENCH_BENCH_UTIL_H_
+#define PROVABS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "abstraction/loss.h"
+#include "common/random.h"
+#include "core/polynomial_set.h"
+#include "core/variable.h"
+#include "workload/telephony.h"
+#include "workload/tpch.h"
+#include "workload/tree_gen.h"
+
+namespace provabs::bench {
+
+/// One of the paper's four experimental workloads (§4.2), fully
+/// materialized: the provenance polynomials plus the 128-variable leaf set
+/// the abstraction trees are built over (supplier variables for TPC-H,
+/// plan variables for the running example).
+struct Workload {
+  std::string name;
+  std::shared_ptr<VariableTable> vars;
+  PolynomialSet polys;
+  std::vector<VariableId> tree_leaves;   ///< 128 abstraction-tree leaves.
+  std::vector<VariableId> other_leaves;  ///< The other parameter family.
+};
+
+/// Scale knob: PROVABS_BENCH_SCALE environment variable (default 1.0)
+/// multiplies every workload's base size, so the harness runs in seconds on
+/// a laptop and can be scaled up to stress levels.
+inline double BenchScale() {
+  const char* env = std::getenv("PROVABS_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  double v = std::atof(env);
+  return v > 0 ? v : 1.0;
+}
+
+/// Cut-count ceiling for the brute-force series (PROVABS_BRUTE_MAX_CUTS,
+/// default 2000). The paper's brute force needed hundreds of seconds from
+/// ~66,050 cuts onwards; the default keeps the shipped harness fast while
+/// still showing the exponential blow-up. Raise the env var to reproduce
+/// the paper's full dotted lines.
+inline double BruteMaxCuts() {
+  const char* env = std::getenv("PROVABS_BRUTE_MAX_CUTS");
+  if (env == nullptr) return 2000.0;
+  double v = std::atof(env);
+  return v > 0 ? v : 2000.0;
+}
+
+inline Workload MakeTpchWorkload(TpchQuery query, const std::string& name,
+                                 double scale = BenchScale()) {
+  Workload w;
+  w.name = name;
+  w.vars = std::make_shared<VariableTable>();
+  TpchConfig config;
+  config.scale_factor = 0.3 * scale;
+  Rng rng(config.seed);
+  Database db = GenerateTpch(config, rng);
+  TpchVars tv = MakeTpchVars(*w.vars, 128);
+  w.polys = RunTpchQuery(query, db, tv);
+  w.tree_leaves = tv.supplier_vars;
+  w.other_leaves = tv.part_vars;
+  return w;
+}
+
+inline Workload MakeTelephonyWorkload(double scale = BenchScale()) {
+  Workload w;
+  w.name = "running-example";
+  w.vars = std::make_shared<VariableTable>();
+  TelephonyConfig config;
+  config.num_customers =
+      static_cast<size_t>(2000 * scale) < 1 ? 1
+          : static_cast<size_t>(2000 * scale);
+  config.num_plans = 128;
+  config.num_months = 12;
+  config.num_zip_codes = 50;
+  Rng rng(config.seed);
+  Database db = GenerateTelephony(config, rng);
+  TelephonyVars tv = MakeTelephonyVars(*w.vars, config);
+  w.polys = RunTelephonyQuery(db, tv);
+  w.tree_leaves = tv.plan_vars;
+  w.other_leaves = tv.month_vars;
+  return w;
+}
+
+/// The four standard workloads in the order the paper's figures use:
+/// TPC-H Q5, TPC-H Q10, TPC-H Q1, running example.
+inline std::vector<Workload> StandardWorkloads() {
+  std::vector<Workload> all;
+  all.push_back(MakeTpchWorkload(TpchQuery::kQ5, "tpch-q5"));
+  all.push_back(MakeTpchWorkload(TpchQuery::kQ10, "tpch-q10"));
+  all.push_back(MakeTpchWorkload(TpchQuery::kQ1, "tpch-q1"));
+  all.push_back(MakeTelephonyWorkload());
+  return all;
+}
+
+/// Prints a separator + figure/table header.
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+/// Bound targeting `fraction` of the monomial loss achievable with this
+/// forest. The paper fixes B = 0.5·|P|_M, which presumes its multi-gigabyte
+/// inputs where the parameter grid is dense; at laptop scale the sparse
+/// TPC-H provenance often cannot reach 50% (the paper itself observes Q10's
+/// maximal compression is ~0.03%), so harnesses aim at the feasible range's
+/// midpoint — identical code paths, always-meaningful results.
+inline size_t FeasibleBound(const PolynomialSet& polys,
+                            const AbstractionForest& forest,
+                            double fraction) {
+  LossReport max_loss =
+      ComputeLossNaive(polys, forest, ValidVariableSet::AllRoots(forest));
+  size_t target_loss = static_cast<size_t>(
+      fraction * static_cast<double>(max_loss.monomial_loss));
+  size_t bound = polys.SizeM() - target_loss;
+  return bound == 0 ? 1 : bound;
+}
+
+}  // namespace provabs::bench
+
+#endif  // PROVABS_BENCH_BENCH_UTIL_H_

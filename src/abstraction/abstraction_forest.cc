@@ -1,0 +1,65 @@
+#include "abstraction/abstraction_forest.h"
+
+namespace provabs {
+
+AbstractionForest::AbstractionForest(std::vector<AbstractionTree> trees)
+    : trees_(std::move(trees)) {}
+
+void AbstractionForest::AddTree(AbstractionTree tree) {
+  trees_.push_back(std::move(tree));
+  index_dirty_ = true;
+}
+
+void AbstractionForest::RebuildIndexIfNeeded() const {
+  if (!index_dirty_) return;
+  label_index_.clear();
+  for (uint32_t t = 0; t < trees_.size(); ++t) {
+    for (NodeIndex n = 0; n < trees_[t].node_count(); ++n) {
+      label_index_.emplace(trees_[t].node(n).label, NodeRef{t, n});
+    }
+  }
+  index_dirty_ = false;
+}
+
+Status AbstractionForest::Validate() const {
+  std::unordered_map<VariableId, uint32_t> seen;  // label -> tree
+  for (uint32_t t = 0; t < trees_.size(); ++t) {
+    if (trees_[t].empty()) {
+      return Status::InvalidArgument("forest contains an empty tree");
+    }
+    for (NodeIndex n = 0; n < trees_[t].node_count(); ++n) {
+      VariableId label = trees_[t].node(n).label;
+      auto [it, inserted] = seen.emplace(label, t);
+      if (!inserted) {
+        return Status::InvalidArgument(
+            "label occurs in two forest nodes (trees must be disjoint)");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status AbstractionForest::CheckCompatible(const PolynomialSet& polys) const {
+  for (const AbstractionTree& t : trees_) {
+    Status s = t.CheckCompatible(polys);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+NodeRef AbstractionForest::FindLabel(VariableId label) const {
+  RebuildIndexIfNeeded();
+  auto it = label_index_.find(label);
+  if (it == label_index_.end()) {
+    return NodeRef{kInvalidTreeIndex, kInvalidNode};
+  }
+  return it->second;
+}
+
+size_t AbstractionForest::TotalNodes() const {
+  size_t total = 0;
+  for (const AbstractionTree& t : trees_) total += t.node_count();
+  return total;
+}
+
+}  // namespace provabs

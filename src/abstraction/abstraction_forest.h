@@ -1,0 +1,71 @@
+#ifndef PROVABS_ABSTRACTION_ABSTRACTION_FOREST_H_
+#define PROVABS_ABSTRACTION_ABSTRACTION_FOREST_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "abstraction/abstraction_tree.h"
+#include "common/status.h"
+#include "core/polynomial_set.h"
+#include "core/variable.h"
+
+namespace provabs {
+
+/// Identifies a node within a forest: (tree index, node index).
+struct NodeRef {
+  uint32_t tree = 0;
+  NodeIndex node = 0;
+
+  friend bool operator==(const NodeRef& a, const NodeRef& b) {
+    return a.tree == b.tree && a.node == b.node;
+  }
+  friend bool operator<(const NodeRef& a, const NodeRef& b) {
+    if (a.tree != b.tree) return a.tree < b.tree;
+    return a.node < b.node;
+  }
+};
+
+/// A valid abstraction forest (§2.3): a set of abstraction trees with
+/// pairwise-disjoint label sets. Owns its trees; provides label lookup
+/// across trees and forest-level validity/compatibility checks.
+class AbstractionForest {
+ public:
+  AbstractionForest() = default;
+
+  /// Takes ownership of `trees`. Call Validate() afterwards.
+  explicit AbstractionForest(std::vector<AbstractionTree> trees);
+
+  /// Adds one tree. Invalidates previous Validate() results.
+  void AddTree(AbstractionTree tree);
+
+  size_t tree_count() const { return trees_.size(); }
+  const AbstractionTree& tree(size_t i) const { return trees_[i]; }
+  const std::vector<AbstractionTree>& trees() const { return trees_; }
+
+  /// Checks label disjointness across trees (the validity condition of
+  /// Definition in §2.3) and per-tree structural sanity.
+  Status Validate() const;
+
+  /// Checks that every tree is compatible with `polys` (§2.2).
+  Status CheckCompatible(const PolynomialSet& polys) const;
+
+  /// Finds the node carrying `label` anywhere in the forest, or returns
+  /// kNotFound (tree == kInvalidTreeIndex).
+  NodeRef FindLabel(VariableId label) const;
+
+  /// Total node count across trees.
+  size_t TotalNodes() const;
+
+  static constexpr uint32_t kInvalidTreeIndex = 0xFFFFFFFFu;
+
+ private:
+  std::vector<AbstractionTree> trees_;
+  mutable std::unordered_map<VariableId, NodeRef> label_index_;
+  mutable bool index_dirty_ = true;
+
+  void RebuildIndexIfNeeded() const;
+};
+
+}  // namespace provabs
+
+#endif  // PROVABS_ABSTRACTION_ABSTRACTION_FOREST_H_

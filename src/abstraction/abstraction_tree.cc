@@ -1,0 +1,283 @@
+#include "abstraction/abstraction_tree.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/macros.h"
+
+namespace provabs {
+
+std::vector<VariableId> AbstractionTree::AllLabels() const {
+  std::vector<VariableId> labels;
+  labels.reserve(nodes_.size());
+  for (const Node& n : nodes_) labels.push_back(n.label);
+  return labels;
+}
+
+std::vector<VariableId> AbstractionTree::LeafLabels() const {
+  std::vector<VariableId> labels;
+  labels.reserve(leaf_order_.size());
+  for (NodeIndex i : leaf_order_) labels.push_back(nodes_[i].label);
+  return labels;
+}
+
+NodeIndex AbstractionTree::FindLabel(VariableId label) const {
+  for (NodeIndex i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].label == label) return i;
+  }
+  return kInvalidNode;
+}
+
+bool AbstractionTree::IsDescendantOrSelf(NodeIndex descendant,
+                                         NodeIndex ancestor) const {
+  // Thanks to DFS numbering with contiguous leaf ranges, ancestry is a range
+  // containment test on leaf ranges plus the pre-order index range; the
+  // simple parent walk below is fast enough and obviously correct.
+  NodeIndex cur = descendant;
+  while (cur != kInvalidNode) {
+    if (cur == ancestor) return true;
+    cur = nodes_[cur].parent;
+  }
+  return false;
+}
+
+uint32_t AbstractionTree::Height() const {
+  uint32_t h = 0;
+  for (const Node& n : nodes_) h = std::max(h, n.depth);
+  return h;
+}
+
+uint32_t AbstractionTree::Width() const {
+  uint32_t w = 0;
+  for (const Node& n : nodes_) {
+    w = std::max(w, static_cast<uint32_t>(n.children.size()));
+  }
+  return w;
+}
+
+Status AbstractionTree::CheckCompatible(const PolynomialSet& polys) const {
+  std::unordered_set<VariableId> leaf_labels;
+  std::unordered_set<VariableId> internal_labels;
+  for (const Node& n : nodes_) {
+    if (n.is_leaf()) {
+      leaf_labels.insert(n.label);
+    } else {
+      internal_labels.insert(n.label);
+    }
+  }
+  for (const Polynomial& p : polys.polynomials()) {
+    for (const Monomial& m : p.monomials()) {
+      int tree_vars_in_monomial = 0;
+      for (const Factor& f : m.factors()) {
+        if (internal_labels.count(f.var) > 0) {
+          return Status::InvalidArgument(
+              "meta-variable label occurs in a polynomial");
+        }
+        if (leaf_labels.count(f.var) > 0) ++tree_vars_in_monomial;
+      }
+      if (tree_vars_in_monomial > 1) {
+        return Status::InvalidArgument(
+            "a monomial contains more than one variable of the tree");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<AbstractionTree> AbstractionTree::PruneToPolynomials(
+    const PolynomialSet& polys) const {
+  std::unordered_set<VariableId> present = polys.Variables();
+
+  // keep[i]: subtree of i contains at least one leaf whose label is present.
+  std::vector<char> keep(nodes_.size(), 0);
+  // Nodes are in DFS pre-order, so children follow parents; iterate in
+  // reverse for a post-order accumulation.
+  for (size_t i = nodes_.size(); i-- > 0;) {
+    const Node& n = nodes_[i];
+    if (n.is_leaf()) {
+      keep[i] = present.count(n.label) > 0 ? 1 : 0;
+    } else {
+      for (NodeIndex c : n.children) {
+        if (keep[c]) keep[i] = 1;
+      }
+    }
+  }
+  if (nodes_.empty() || !keep[0]) {
+    return Status::Infeasible("no tree leaf occurs in the polynomials");
+  }
+
+  // Rebuild directly (ids are already interned, so no VariableTable is
+  // needed), skipping dropped subtrees and collapsing internal nodes left
+  // with a single kept child — such nodes offer no abstraction choice beyond
+  // the child itself. The root is never collapsed so that a "group
+  // everything" cut always exists.
+  AbstractionTree out;
+  struct Frame {
+    NodeIndex src;
+    NodeIndex dst_parent;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({0, kInvalidNode});
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    NodeIndex cur = f.src;
+    auto kept_children = [&](NodeIndex i) {
+      std::vector<NodeIndex> out_children;
+      for (NodeIndex c : nodes_[i].children) {
+        if (keep[c]) out_children.push_back(c);
+      }
+      return out_children;
+    };
+    std::vector<NodeIndex> kept = kept_children(cur);
+    while (!nodes_[cur].is_leaf() && kept.size() == 1 &&
+           f.dst_parent != kInvalidNode) {
+      cur = kept[0];
+      kept = kept_children(cur);
+    }
+    NodeIndex dst = static_cast<NodeIndex>(out.nodes_.size());
+    Node copy;
+    copy.label = nodes_[cur].label;
+    copy.parent = f.dst_parent;
+    out.nodes_.push_back(copy);
+    if (f.dst_parent != kInvalidNode) {
+      out.nodes_[f.dst_parent].children.push_back(dst);
+    }
+    // Push children in reverse so DFS pre-order is preserved.
+    for (size_t i = kept.size(); i-- > 0;) {
+      stack.push_back({kept[i], dst});
+    }
+  }
+
+  // Recompute DFS metadata (depth, leaf ranges) via an explicit DFS.
+  out.leaf_order_.clear();
+  struct Visit {
+    NodeIndex node;
+    bool post;
+  };
+  std::vector<Visit> visits;
+  visits.push_back({0, false});
+  out.nodes_[0].depth = 0;
+  while (!visits.empty()) {
+    Visit v = visits.back();
+    visits.pop_back();
+    Node& n = out.nodes_[v.node];
+    if (!v.post) {
+      n.leaf_begin = static_cast<uint32_t>(out.leaf_order_.size());
+      if (n.is_leaf()) {
+        out.leaf_order_.push_back(v.node);
+        n.leaf_end = static_cast<uint32_t>(out.leaf_order_.size());
+      } else {
+        visits.push_back({v.node, true});
+        for (size_t i = n.children.size(); i-- > 0;) {
+          out.nodes_[n.children[i]].depth = n.depth + 1;
+          visits.push_back({n.children[i], false});
+        }
+      }
+    } else {
+      n.leaf_end = static_cast<uint32_t>(out.leaf_order_.size());
+    }
+  }
+  return out;
+}
+
+std::string AbstractionTree::ToString(const VariableTable& vars) const {
+  std::string s;
+  struct Frame {
+    NodeIndex node;
+    uint32_t indent;
+  };
+  std::vector<Frame> stack;
+  if (!nodes_.empty()) stack.push_back({0, 0});
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    s.append(f.indent * 2, ' ');
+    s += vars.NameOf(nodes_[f.node].label);
+    s += '\n';
+    const Node& n = nodes_[f.node];
+    for (size_t i = n.children.size(); i-- > 0;) {
+      stack.push_back({n.children[i], f.indent + 1});
+    }
+  }
+  return s;
+}
+
+NodeIndex AbstractionTreeBuilder::AddRoot(std::string_view label) {
+  PROVABS_CHECK(proto_.empty());
+  proto_.push_back(ProtoNode{vars_->Intern(label), kInvalidNode, {}});
+  return 0;
+}
+
+NodeIndex AbstractionTreeBuilder::AddChild(NodeIndex parent,
+                                           std::string_view label) {
+  PROVABS_CHECK(parent < proto_.size());
+  NodeIndex idx = static_cast<NodeIndex>(proto_.size());
+  proto_.push_back(ProtoNode{vars_->Intern(label), parent, {}});
+  proto_[parent].children.push_back(idx);
+  return idx;
+}
+
+AbstractionTree AbstractionTreeBuilder::Build() && {
+  PROVABS_CHECK(!proto_.empty());
+  AbstractionTree tree;
+  tree.nodes_.resize(proto_.size());
+
+  // Re-number nodes into DFS pre-order.
+  std::vector<NodeIndex> order;  // order[new] = old
+  order.reserve(proto_.size());
+  std::vector<NodeIndex> new_of(proto_.size(), kInvalidNode);
+  std::vector<NodeIndex> stack;
+  stack.push_back(0);
+  while (!stack.empty()) {
+    NodeIndex old = stack.back();
+    stack.pop_back();
+    new_of[old] = static_cast<NodeIndex>(order.size());
+    order.push_back(old);
+    const auto& children = proto_[old].children;
+    for (size_t i = children.size(); i-- > 0;) stack.push_back(children[i]);
+  }
+  PROVABS_CHECK(order.size() == proto_.size());
+
+  for (NodeIndex n = 0; n < order.size(); ++n) {
+    const ProtoNode& src = proto_[order[n]];
+    AbstractionTree::Node& dst = tree.nodes_[n];
+    dst.label = src.label;
+    dst.parent =
+        src.parent == kInvalidNode ? kInvalidNode : new_of[src.parent];
+    dst.children.reserve(src.children.size());
+    for (NodeIndex c : src.children) dst.children.push_back(new_of[c]);
+  }
+
+  // Depth + leaf ranges via DFS with post-visit.
+  struct Visit {
+    NodeIndex node;
+    bool post;
+  };
+  std::vector<Visit> visits;
+  visits.push_back({0, false});
+  tree.nodes_[0].depth = 0;
+  while (!visits.empty()) {
+    Visit v = visits.back();
+    visits.pop_back();
+    AbstractionTree::Node& node = tree.nodes_[v.node];
+    if (!v.post) {
+      node.leaf_begin = static_cast<uint32_t>(tree.leaf_order_.size());
+      if (node.is_leaf()) {
+        tree.leaf_order_.push_back(v.node);
+        node.leaf_end = static_cast<uint32_t>(tree.leaf_order_.size());
+      } else {
+        visits.push_back({v.node, true});
+        for (size_t i = node.children.size(); i-- > 0;) {
+          tree.nodes_[node.children[i]].depth = node.depth + 1;
+          visits.push_back({node.children[i], false});
+        }
+      }
+    } else {
+      node.leaf_end = static_cast<uint32_t>(tree.leaf_order_.size());
+    }
+  }
+  return tree;
+}
+
+}  // namespace provabs

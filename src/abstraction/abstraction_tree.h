@@ -1,0 +1,136 @@
+#ifndef PROVABS_ABSTRACTION_ABSTRACTION_TREE_H_
+#define PROVABS_ABSTRACTION_ABSTRACTION_TREE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "core/polynomial_set.h"
+#include "core/variable.h"
+
+namespace provabs {
+
+/// Index of a node within one abstraction tree.
+using NodeIndex = uint32_t;
+inline constexpr NodeIndex kInvalidNode = 0xFFFFFFFFu;
+
+/// A rooted labeled tree over provenance variables (§2.2). Leaves are
+/// labeled with variables occurring in the polynomials; internal nodes are
+/// labeled with meta-variables. Choosing an internal node in a cut replaces
+/// all its descendant leaves by its meta-variable.
+///
+/// Nodes are stored in a flat array in DFS (pre)order, and each node records
+/// the contiguous range of descendant leaves in a separate leaf array. This
+/// makes "all leaves below v" an O(1) range lookup and avoids pointer-chased
+/// tree walks in the inner loops of the compression algorithms.
+class AbstractionTree {
+ public:
+  struct Node {
+    VariableId label = kInvalidVariable;
+    NodeIndex parent = kInvalidNode;
+    std::vector<NodeIndex> children;
+    /// Range [leaf_begin, leaf_end) into leaves() covering this subtree.
+    uint32_t leaf_begin = 0;
+    uint32_t leaf_end = 0;
+    uint32_t depth = 0;
+
+    bool is_leaf() const { return children.empty(); }
+    uint32_t leaf_count() const { return leaf_end - leaf_begin; }
+  };
+
+  AbstractionTree() = default;
+
+  /// Number of nodes (internal + leaves).
+  size_t node_count() const { return nodes_.size(); }
+
+  /// The root is always node 0 in a non-empty tree.
+  NodeIndex root() const { return 0; }
+
+  bool empty() const { return nodes_.empty(); }
+
+  const Node& node(NodeIndex i) const { return nodes_[i]; }
+
+  /// Leaf node indices of the tree, in DFS order. node(leaves()[i]) is a leaf.
+  const std::vector<NodeIndex>& leaves() const { return leaf_order_; }
+
+  /// V(T): labels of all nodes.
+  std::vector<VariableId> AllLabels() const;
+
+  /// L(T): labels of the leaves only.
+  std::vector<VariableId> LeafLabels() const;
+
+  /// Node index labeled `label`, or kInvalidNode.
+  NodeIndex FindLabel(VariableId label) const;
+
+  /// True iff `descendant` is in the subtree of `ancestor` (or equal):
+  /// the ≤_T relation of §2.3.
+  bool IsDescendantOrSelf(NodeIndex descendant, NodeIndex ancestor) const;
+
+  /// Height of the tree (root-to-deepest-leaf edge count).
+  uint32_t Height() const;
+
+  /// Maximum number of children of any node (the `w` of Proposition 14).
+  uint32_t Width() const;
+
+  /// Returns a copy with every leaf whose label does NOT occur in `polys`
+  /// removed, and unary/empty internal chains collapsed (footnote 1 of §3.1:
+  /// "clean" the tree of redundant nodes). Internal nodes left with no
+  /// leaves are removed entirely; the root is preserved if any leaf remains.
+  StatusOr<AbstractionTree> PruneToPolynomials(
+      const PolynomialSet& polys) const;
+
+  /// Verifies compatibility with `polys` (§2.2): every monomial of every
+  /// polynomial contains at most one node label of this tree, and internal
+  /// (meta-variable) labels do not occur in the polynomials.
+  Status CheckCompatible(const PolynomialSet& polys) const;
+
+  /// Renders an indented textual form using names from `vars` (debugging).
+  std::string ToString(const VariableTable& vars) const;
+
+ private:
+  friend class AbstractionTreeBuilder;
+
+  std::vector<Node> nodes_;
+  std::vector<NodeIndex> leaf_order_;
+};
+
+/// Incremental builder. Typical use:
+///
+///   AbstractionTreeBuilder b(vars);
+///   auto root = b.AddRoot("Plans");
+///   auto biz = b.AddChild(root, "Business");
+///   b.AddChild(biz, "b1");
+///   ...
+///   AbstractionTree tree = std::move(b).Build();
+///
+/// Build() finalizes DFS order, leaf ranges and depths.
+class AbstractionTreeBuilder {
+ public:
+  explicit AbstractionTreeBuilder(VariableTable& vars) : vars_(&vars) {}
+
+  /// Creates the root. Must be called exactly once, first.
+  NodeIndex AddRoot(std::string_view label);
+
+  /// Adds a child labeled `label` under `parent`.
+  NodeIndex AddChild(NodeIndex parent, std::string_view label);
+
+  /// Finalizes the tree. Aborts if no root was added.
+  AbstractionTree Build() &&;
+
+ private:
+  struct ProtoNode {
+    VariableId label;
+    NodeIndex parent;
+    std::vector<NodeIndex> children;
+  };
+
+  VariableTable* vars_;
+  std::vector<ProtoNode> proto_;
+};
+
+}  // namespace provabs
+
+#endif  // PROVABS_ABSTRACTION_ABSTRACTION_TREE_H_

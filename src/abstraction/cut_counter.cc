@@ -1,0 +1,63 @@
+#include "abstraction/cut_counter.h"
+
+#include <vector>
+
+namespace provabs {
+
+namespace {
+
+// Multiplies with saturation at kSaturated.
+uint64_t SatMul(uint64_t a, uint64_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a > kSaturated / b) return kSaturated;
+  return a * b;
+}
+
+uint64_t SatAdd(uint64_t a, uint64_t b) {
+  if (a > kSaturated - b) return kSaturated;
+  return a + b;
+}
+
+}  // namespace
+
+uint64_t CountCutsExact(const AbstractionTree& tree) {
+  if (tree.empty()) return 0;
+  std::vector<uint64_t> cuts(tree.node_count(), 0);
+  // Nodes are in DFS pre-order: children have larger indices than parents,
+  // so a reverse scan is a post-order accumulation.
+  for (size_t i = tree.node_count(); i-- > 0;) {
+    const auto& n = tree.node(static_cast<NodeIndex>(i));
+    if (n.is_leaf()) {
+      cuts[i] = 1;
+    } else {
+      uint64_t prod = 1;
+      for (NodeIndex c : n.children) prod = SatMul(prod, cuts[c]);
+      cuts[i] = SatAdd(1, prod);
+    }
+  }
+  return cuts[0];
+}
+
+double CountCutsApprox(const AbstractionTree& tree) {
+  if (tree.empty()) return 0.0;
+  std::vector<double> cuts(tree.node_count(), 0.0);
+  for (size_t i = tree.node_count(); i-- > 0;) {
+    const auto& n = tree.node(static_cast<NodeIndex>(i));
+    if (n.is_leaf()) {
+      cuts[i] = 1.0;
+    } else {
+      double prod = 1.0;
+      for (NodeIndex c : n.children) prod *= cuts[c];
+      cuts[i] = 1.0 + prod;
+    }
+  }
+  return cuts[0];
+}
+
+double CountForestCutsApprox(const AbstractionForest& forest) {
+  double prod = 1.0;
+  for (const AbstractionTree& t : forest.trees()) prod *= CountCutsApprox(t);
+  return prod;
+}
+
+}  // namespace provabs

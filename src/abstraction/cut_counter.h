@@ -1,0 +1,30 @@
+#ifndef PROVABS_ABSTRACTION_CUT_COUNTER_H_
+#define PROVABS_ABSTRACTION_CUT_COUNTER_H_
+
+#include <cstdint>
+
+#include "abstraction/abstraction_forest.h"
+#include "abstraction/abstraction_tree.h"
+
+namespace provabs {
+
+/// Number of valid variable sets (cuts) of a tree, computed by the
+/// recurrence  cuts(leaf) = 1,  cuts(v) = 1 + Π_c cuts(c).
+/// Table 2 of the paper reports these counts per tree type; they grow
+/// doubly-exponentially, so we expose both an exact saturating counter and
+/// a floating-point one for display.
+///
+/// Saturates at kSaturated instead of overflowing.
+uint64_t CountCutsExact(const AbstractionTree& tree);
+
+/// Floating-point cut count (matches Table 2's "1.84467E+19"-style values).
+double CountCutsApprox(const AbstractionTree& tree);
+
+/// Product over the forest's trees (a forest cut chooses a cut per tree).
+double CountForestCutsApprox(const AbstractionForest& forest);
+
+inline constexpr uint64_t kSaturated = 0xFFFFFFFFFFFFFFFFull;
+
+}  // namespace provabs
+
+#endif  // PROVABS_ABSTRACTION_CUT_COUNTER_H_

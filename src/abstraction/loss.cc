@@ -1,0 +1,114 @@
+#include "abstraction/loss.h"
+
+#include <unordered_set>
+
+#include "common/macros.h"
+
+namespace provabs {
+
+LossReport ComputeLossNaive(const PolynomialSet& polys,
+                            const AbstractionForest& forest,
+                            const ValidVariableSet& vvs) {
+  PolynomialSet abstracted = vvs.Apply(forest, polys);
+  LossReport r;
+  r.monomial_loss = polys.SizeM() - abstracted.SizeM();
+  r.variable_loss = polys.SizeV() - abstracted.SizeV();
+  return r;
+}
+
+namespace {
+
+// Sentinel standing for "the replaced tree variable" inside residual hashes.
+constexpr VariableId kResidualSentinel = 0xFFFFFFFEu;
+
+uint64_t HashResidual(size_t poly_index, const Monomial& m,
+                      VariableId replaced) {
+  uint64_t h = 0xCBF29CE484222325ULL ^ (poly_index * 0x9E3779B97F4A7C15ULL);
+  auto mix = [&h](uint64_t x) {
+    h ^= x;
+    h *= 0x100000001B3ULL;
+  };
+  // Hash the residual in a canonical form: the remaining factors in their
+  // (already sorted) order, then the replaced variable's exponent under the
+  // sentinel LAST. Substituting the sentinel positionally instead would
+  // make the hash depend on where the tree variable sorts among the other
+  // factors, so equal residuals could hash differently when variable ids
+  // interleave (this bit the TPC-H workloads, whose s/p ids alternate).
+  uint32_t replaced_exp = 0;
+  for (const Factor& f : m.factors()) {
+    if (f.var == replaced) {
+      replaced_exp = f.exp;
+      continue;
+    }
+    mix(f.var);
+    mix(f.exp);
+  }
+  mix(kResidualSentinel);
+  mix(replaced_exp);
+  return h;
+}
+
+}  // namespace
+
+LeafResidualIndex::LeafResidualIndex(const PolynomialSet& polys,
+                                     const AbstractionTree& tree)
+    : tree_(&tree) {
+  keys_by_leafpos_.resize(tree.leaves().size());
+
+  // leaf label -> position in tree.leaves().
+  std::unordered_map<VariableId, uint32_t> leafpos;
+  leafpos.reserve(tree.leaves().size());
+  for (uint32_t i = 0; i < tree.leaves().size(); ++i) {
+    leafpos.emplace(tree.node(tree.leaves()[i]).label, i);
+  }
+
+  // One pass over the polynomials (the point of the optimization).
+  for (size_t pi = 0; pi < polys.count(); ++pi) {
+    for (const Monomial& m : polys[pi].monomials()) {
+      for (const Factor& f : m.factors()) {
+        auto it = leafpos.find(f.var);
+        if (it == leafpos.end()) continue;
+        keys_by_leafpos_[it->second].push_back(
+            HashResidual(pi, m, f.var));
+        // Compatibility guarantees at most one tree variable per monomial.
+        break;
+      }
+    }
+  }
+}
+
+LossReport LeafResidualIndex::NodeLoss(NodeIndex v) const {
+  const auto& node = tree_->node(v);
+  LossReport r;
+  if (node.is_leaf() || node.leaf_count() <= 1) return r;
+
+  size_t total = 0;
+  size_t present = 0;
+  std::unordered_set<uint64_t> distinct;
+  for (uint32_t i = node.leaf_begin; i < node.leaf_end; ++i) {
+    const auto& keys = keys_by_leafpos_[i];
+    total += keys.size();
+    if (!keys.empty()) ++present;
+    distinct.insert(keys.begin(), keys.end());
+  }
+  r.monomial_loss = total - distinct.size();
+  r.variable_loss = present > 0 ? present - 1 : 0;
+  return r;
+}
+
+size_t LeafResidualIndex::PresentLeavesBelow(NodeIndex v) const {
+  const auto& node = tree_->node(v);
+  size_t present = 0;
+  for (uint32_t i = node.leaf_begin; i < node.leaf_end; ++i) {
+    if (!keys_by_leafpos_[i].empty()) ++present;
+  }
+  return present;
+}
+
+size_t LeafResidualIndex::TotalKeys() const {
+  size_t total = 0;
+  for (const auto& keys : keys_by_leafpos_) total += keys.size();
+  return total;
+}
+
+}  // namespace provabs

@@ -1,0 +1,72 @@
+#ifndef PROVABS_ABSTRACTION_LOSS_H_
+#define PROVABS_ABSTRACTION_LOSS_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "abstraction/abstraction_forest.h"
+#include "abstraction/abstraction_tree.h"
+#include "abstraction/valid_variable_set.h"
+#include "core/polynomial_set.h"
+
+namespace provabs {
+
+/// The two loss measures of §3.1: monomial loss ML(S) = |P|_M − |P↓S|_M and
+/// variable loss VL(S) = |P|_V − |P↓S|_V.
+struct LossReport {
+  size_t monomial_loss = 0;
+  size_t variable_loss = 0;
+
+  friend bool operator==(const LossReport& a, const LossReport& b) {
+    return a.monomial_loss == b.monomial_loss &&
+           a.variable_loss == b.variable_loss;
+  }
+};
+
+/// Reference implementation: applies the VVS and re-counts. O(|P|_M) per
+/// call — used by tests, the brute-force baseline, and as the "naive"
+/// arm of the ML-computation ablation benchmark.
+LossReport ComputeLossNaive(const PolynomialSet& polys,
+                            const AbstractionForest& forest,
+                            const ValidVariableSet& vvs);
+
+/// The §4.1 "Efficient ML computation" index, built once per
+/// (polynomial set, tree) pair in a single pass over the polynomials.
+///
+/// For every tree leaf l it stores the residual keys
+///   { hash(polynomial id, M with l replaced by a sentinel) :
+///     M a monomial containing l },
+/// so the monomial loss of abstracting node v with descendant leaves
+/// l_0..l_m is  Σ_i |D[l_i]| − |∪_i D[l_i]|  — no re-traversal of the
+/// polynomials per node. Residual identity uses 64-bit hashing; collisions
+/// are possible in principle but astronomically unlikely, and the exact
+/// ComputeLossNaive() is available wherever certainty is required.
+class LeafResidualIndex {
+ public:
+  /// Builds the index for `tree` over `polys`. The tree must be compatible
+  /// with the polynomials (≤1 tree variable per monomial).
+  LeafResidualIndex(const PolynomialSet& polys, const AbstractionTree& tree);
+
+  /// Loss of the singleton VVS {v} relative to the ORIGINAL polynomials:
+  /// ml = monomials merged away by grouping all leaves below v;
+  /// vl = (#present descendant leaves − 1), clamped at 0.
+  LossReport NodeLoss(NodeIndex v) const;
+
+  /// Number of leaves below `v` whose variable actually occurs in the
+  /// polynomials.
+  size_t PresentLeavesBelow(NodeIndex v) const;
+
+  /// Total residual keys stored (diagnostics).
+  size_t TotalKeys() const;
+
+ private:
+  const AbstractionTree* tree_;
+  /// keys_by_leafpos_[i] = residual keys of the i'th leaf in tree DFS leaf
+  /// order (position in tree.leaves()).
+  std::vector<std::vector<uint64_t>> keys_by_leafpos_;
+};
+
+}  // namespace provabs
+
+#endif  // PROVABS_ABSTRACTION_LOSS_H_

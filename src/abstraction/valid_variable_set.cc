@@ -1,0 +1,99 @@
+#include "abstraction/valid_variable_set.h"
+
+#include <algorithm>
+
+namespace provabs {
+
+ValidVariableSet ValidVariableSet::AllLeaves(
+    const AbstractionForest& forest) {
+  ValidVariableSet vvs;
+  for (uint32_t t = 0; t < forest.tree_count(); ++t) {
+    for (NodeIndex leaf : forest.tree(t).leaves()) {
+      vvs.Add(NodeRef{t, leaf});
+    }
+  }
+  return vvs;
+}
+
+ValidVariableSet ValidVariableSet::AllRoots(const AbstractionForest& forest) {
+  ValidVariableSet vvs;
+  for (uint32_t t = 0; t < forest.tree_count(); ++t) {
+    vvs.Add(NodeRef{t, forest.tree(t).root()});
+  }
+  return vvs;
+}
+
+Status ValidVariableSet::Validate(const AbstractionForest& forest) const {
+  // Per tree: the chosen nodes' leaf ranges must exactly tile [0, #leaves).
+  for (uint32_t t = 0; t < forest.tree_count(); ++t) {
+    const AbstractionTree& tree = forest.tree(t);
+    std::vector<std::pair<uint32_t, uint32_t>> ranges;
+    for (const NodeRef& ref : nodes_) {
+      if (ref.tree != t) continue;
+      if (ref.node >= tree.node_count()) {
+        return Status::InvalidArgument("VVS node index out of range");
+      }
+      const auto& n = tree.node(ref.node);
+      ranges.emplace_back(n.leaf_begin, n.leaf_end);
+    }
+    std::sort(ranges.begin(), ranges.end());
+    uint32_t expected_begin = 0;
+    for (const auto& [b, e] : ranges) {
+      if (b != expected_begin) {
+        return Status::InvalidArgument(
+            b < expected_begin
+                ? "VVS contains comparable nodes (overlapping cover)"
+                : "VVS does not cover every leaf");
+      }
+      expected_begin = e;
+    }
+    if (expected_begin != tree.leaves().size()) {
+      return Status::InvalidArgument("VVS does not cover every leaf");
+    }
+  }
+  return Status::OK();
+}
+
+std::unordered_map<VariableId, VariableId> ValidVariableSet::SubstitutionMap(
+    const AbstractionForest& forest) const {
+  std::unordered_map<VariableId, VariableId> map;
+  for (const NodeRef& ref : nodes_) {
+    const AbstractionTree& tree = forest.tree(ref.tree);
+    const auto& chosen = tree.node(ref.node);
+    for (uint32_t i = chosen.leaf_begin; i < chosen.leaf_end; ++i) {
+      NodeIndex leaf = tree.leaves()[i];
+      map[tree.node(leaf).label] = chosen.label;
+    }
+  }
+  return map;
+}
+
+PolynomialSet ValidVariableSet::Apply(const AbstractionForest& forest,
+                                      const PolynomialSet& polys,
+                                      CoefficientCombine combine) const {
+  auto map = SubstitutionMap(forest);
+  return polys.MapVariables(SubstitutionFn(map), combine);
+}
+
+std::string ValidVariableSet::ToString(const AbstractionForest& forest,
+                                       const VariableTable& vars) const {
+  std::vector<NodeRef> sorted = nodes_;
+  std::sort(sorted.begin(), sorted.end());
+  std::string s = "{";
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += vars.NameOf(forest.tree(sorted[i].tree).node(sorted[i].node).label);
+  }
+  s += "}";
+  return s;
+}
+
+std::function<VariableId(VariableId)> SubstitutionFn(
+    const std::unordered_map<VariableId, VariableId>& map) {
+  return [&map](VariableId v) {
+    auto it = map.find(v);
+    return it == map.end() ? v : it->second;
+  };
+}
+
+}  // namespace provabs

@@ -1,0 +1,72 @@
+#ifndef PROVABS_ABSTRACTION_VALID_VARIABLE_SET_H_
+#define PROVABS_ABSTRACTION_VALID_VARIABLE_SET_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "abstraction/abstraction_forest.h"
+#include "common/status.h"
+#include "core/polynomial_set.h"
+#include "core/variable.h"
+
+namespace provabs {
+
+/// A valid variable set (Definition 4): for each tree, a cut separating the
+/// root from the leaves. Every leaf has exactly one ancestor-or-self among
+/// the chosen nodes; chosen nodes are pairwise incomparable. Applying a VVS
+/// replaces each leaf variable with the label of its chosen ancestor.
+class ValidVariableSet {
+ public:
+  ValidVariableSet() = default;
+
+  /// Constructs from explicit node choices (not yet validated).
+  explicit ValidVariableSet(std::vector<NodeRef> nodes)
+      : nodes_(std::move(nodes)) {}
+
+  /// The trivial VVS selecting every leaf of every tree (identity
+  /// abstraction, zero loss).
+  static ValidVariableSet AllLeaves(const AbstractionForest& forest);
+
+  /// The coarsest VVS selecting every root (maximal compression).
+  static ValidVariableSet AllRoots(const AbstractionForest& forest);
+
+  const std::vector<NodeRef>& nodes() const { return nodes_; }
+  void Add(NodeRef ref) { nodes_.push_back(ref); }
+  size_t size() const { return nodes_.size(); }
+
+  /// Checks Definition 4 against `forest`: every leaf of every tree is
+  /// covered by exactly one chosen node, and no chosen node is an ancestor
+  /// of another.
+  Status Validate(const AbstractionForest& forest) const;
+
+  /// Builds the substitution: each leaf label maps to the label of its
+  /// covering chosen node (identity for leaves chosen directly). Variables
+  /// outside the forest are absent (treated as identity by Apply).
+  std::unordered_map<VariableId, VariableId> SubstitutionMap(
+      const AbstractionForest& forest) const;
+
+  /// P↓S — applies the abstraction to a polynomial set. `combine` selects
+  /// the coefficient semantics (kAdd for SUM/semiring provenance, kMin/kMax
+  /// for MIN/MAX-aggregate provenance; see core/polynomial.h).
+  PolynomialSet Apply(
+      const AbstractionForest& forest, const PolynomialSet& polys,
+      CoefficientCombine combine = CoefficientCombine::kAdd) const;
+
+  /// Renders the chosen labels, e.g. "{SB, e, F, Y, v, p1, p2}".
+  std::string ToString(const AbstractionForest& forest,
+                       const VariableTable& vars) const;
+
+ private:
+  std::vector<NodeRef> nodes_;
+};
+
+/// Convenience: substitution function over a map with identity fallback.
+/// Captures `map` by reference — `map` must outlive the returned function.
+std::function<VariableId(VariableId)> SubstitutionFn(
+    const std::unordered_map<VariableId, VariableId>& map);
+
+}  // namespace provabs
+
+#endif  // PROVABS_ABSTRACTION_VALID_VARIABLE_SET_H_

@@ -1,0 +1,114 @@
+#include "algo/brute_force.h"
+
+#include <vector>
+
+#include "abstraction/cut_counter.h"
+#include "abstraction/loss.h"
+#include "common/macros.h"
+
+namespace provabs {
+
+namespace internal {
+namespace {
+
+/// Materializes all cuts of the subtree rooted at `v` as node-index lists.
+/// cuts(v) = {v} ∪ (product of children's cuts).
+std::vector<std::vector<NodeIndex>> EnumerateCuts(const AbstractionTree& tree,
+                                                  NodeIndex v) {
+  std::vector<std::vector<NodeIndex>> result;
+  result.push_back({v});
+  const auto& node = tree.node(v);
+  if (node.is_leaf()) return result;
+
+  // Cartesian product of children's cut lists.
+  std::vector<std::vector<std::vector<NodeIndex>>> child_cuts;
+  child_cuts.reserve(node.children.size());
+  for (NodeIndex c : node.children) {
+    child_cuts.push_back(EnumerateCuts(tree, c));
+  }
+  std::vector<size_t> odometer(child_cuts.size(), 0);
+  for (;;) {
+    std::vector<NodeIndex> combined;
+    for (size_t i = 0; i < child_cuts.size(); ++i) {
+      const auto& cut = child_cuts[i][odometer[i]];
+      combined.insert(combined.end(), cut.begin(), cut.end());
+    }
+    result.push_back(std::move(combined));
+    size_t i = 0;
+    while (i < odometer.size()) {
+      if (++odometer[i] < child_cuts[i].size()) break;
+      odometer[i] = 0;
+      ++i;
+    }
+    if (i == odometer.size()) break;
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<std::vector<NodeIndex>> EnumerateTreeCuts(
+    const AbstractionTree& tree) {
+  return EnumerateCuts(tree, tree.root());
+}
+
+}  // namespace internal
+
+StatusOr<CompressionResult> BruteForce(const PolynomialSet& polys,
+                                       const AbstractionForest& forest,
+                                       size_t bound_b,
+                                       const BruteForceOptions& options) {
+  Status compat = forest.CheckCompatible(polys);
+  if (!compat.ok()) return compat;
+  if (bound_b == 0) {
+    return Status::InvalidArgument("bound must be at least 1");
+  }
+  double total_cuts = CountForestCutsApprox(forest);
+  if (total_cuts > static_cast<double>(options.max_cuts)) {
+    return Status::OutOfRange("forest admits too many cuts for brute force");
+  }
+
+  const size_t size_m = polys.SizeM();
+  const size_t k = bound_b >= size_m ? 0 : size_m - bound_b;
+
+  std::vector<std::vector<std::vector<NodeIndex>>> per_tree;
+  per_tree.reserve(forest.tree_count());
+  for (uint32_t t = 0; t < forest.tree_count(); ++t) {
+    per_tree.push_back(internal::EnumerateTreeCuts(forest.tree(t)));
+  }
+
+  bool found = false;
+  CompressionResult best;
+  std::vector<size_t> odometer(per_tree.size(), 0);
+  for (;;) {
+    std::vector<NodeRef> nodes;
+    for (uint32_t t = 0; t < per_tree.size(); ++t) {
+      for (NodeIndex n : per_tree[t][odometer[t]]) {
+        nodes.push_back(NodeRef{t, n});
+      }
+    }
+    ValidVariableSet vvs(std::move(nodes));
+    LossReport loss = ComputeLossNaive(polys, forest, vvs);
+    if (loss.monomial_loss >= k) {
+      if (!found || loss.variable_loss < best.loss.variable_loss) {
+        best.vvs = std::move(vvs);
+        best.loss = loss;
+        best.adequate = true;
+        found = true;
+      }
+    }
+    size_t i = 0;
+    while (i < odometer.size()) {
+      if (++odometer[i] < per_tree[i].size()) break;
+      odometer[i] = 0;
+      ++i;
+    }
+    if (i == odometer.size()) break;
+  }
+  if (!found) {
+    return Status::Infeasible("no valid variable set is adequate for bound");
+  }
+  return best;
+}
+
+}  // namespace provabs

@@ -1,0 +1,44 @@
+#ifndef PROVABS_ALGO_BRUTE_FORCE_H_
+#define PROVABS_ALGO_BRUTE_FORCE_H_
+
+#include <cstdint>
+
+#include "abstraction/abstraction_forest.h"
+#include "algo/optimal_single_tree.h"
+#include "common/statusor.h"
+#include "core/polynomial_set.h"
+
+namespace provabs {
+
+/// Options for the exhaustive baseline.
+struct BruteForceOptions {
+  /// Refuse to run if the forest admits more cuts than this (the paper's
+  /// brute force was only able to finish below ~80,000 cuts).
+  uint64_t max_cuts = 10'000'000;
+};
+
+/// Exhaustive baseline: enumerates every valid variable set of the forest
+/// (the cartesian product of per-tree cuts), evaluates each, and returns an
+/// optimal one. Exponentially expensive — used for ground truth in tests
+/// and as the "Brute-Force" series of Figures 5 and 11.
+///
+/// Returns kOutOfRange if the cut count exceeds `max_cuts`, and kInfeasible
+/// if no cut is adequate for `bound_b`.
+StatusOr<CompressionResult> BruteForce(const PolynomialSet& polys,
+                                       const AbstractionForest& forest,
+                                       size_t bound_b,
+                                       const BruteForceOptions& options = {});
+
+namespace internal {
+
+/// Materializes all cuts of `tree` as node-index lists (cuts(v) = {v} ∪
+/// product of children's cuts). Shared by the serial and parallel brute
+/// force.
+std::vector<std::vector<NodeIndex>> EnumerateTreeCuts(
+    const AbstractionTree& tree);
+
+}  // namespace internal
+
+}  // namespace provabs
+
+#endif  // PROVABS_ALGO_BRUTE_FORCE_H_

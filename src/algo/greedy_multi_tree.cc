@@ -1,0 +1,133 @@
+#include "algo/greedy_multi_tree.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "algo/merge_state.h"
+#include "common/macros.h"
+
+namespace provabs {
+
+namespace {
+
+/// Variables currently standing for the leaves below each child of `node`:
+/// the child's own label if the child is in S, which is the invariant when
+/// `node` is a candidate.
+std::vector<VariableId> ChildLabels(const AbstractionTree& tree,
+                                    NodeIndex node) {
+  std::vector<VariableId> labels;
+  const auto& n = tree.node(node);
+  labels.reserve(n.children.size());
+  for (NodeIndex c : n.children) labels.push_back(tree.node(c).label);
+  return labels;
+}
+
+}  // namespace
+
+StatusOr<CompressionResult> GreedyMultiTree(const PolynomialSet& polys,
+                                            const AbstractionForest& forest,
+                                            size_t bound_b,
+                                            const GreedyOptions& options) {
+  Status compat = forest.CheckCompatible(polys);
+  if (!compat.ok()) return compat;
+  if (bound_b == 0) {
+    return Status::InvalidArgument("bound must be at least 1");
+  }
+
+  const size_t size_m = polys.SizeM();
+  const size_t k = bound_b >= size_m ? 0 : size_m - bound_b;
+
+  MergeState state(polys);
+
+  // S as a set of NodeRef; initialized with all leaves (lines 3–5).
+  std::set<NodeRef> s;
+  for (uint32_t t = 0; t < forest.tree_count(); ++t) {
+    for (NodeIndex leaf : forest.tree(t).leaves()) {
+      s.insert(NodeRef{t, leaf});
+    }
+  }
+
+  // Candidates: internal nodes all of whose children are in S (lines 6–9).
+  std::set<NodeRef> candidates;
+  auto all_children_in_s = [&](const NodeRef& ref) {
+    const auto& n = forest.tree(ref.tree).node(ref.node);
+    for (NodeIndex c : n.children) {
+      if (s.count(NodeRef{ref.tree, c}) == 0) return false;
+    }
+    return true;
+  };
+  for (uint32_t t = 0; t < forest.tree_count(); ++t) {
+    const AbstractionTree& tree = forest.tree(t);
+    for (NodeIndex v = 0; v < tree.node_count(); ++v) {
+      if (!tree.node(v).is_leaf() && all_children_in_s(NodeRef{t, v})) {
+        candidates.insert(NodeRef{t, v});
+      }
+    }
+  }
+
+  // Main loop (lines 10–14).
+  while (state.MonomialLoss() < k && !candidates.empty()) {
+    // Select the candidate with minimal variable loss (first pass; VL is a
+    // cheap count), then optionally tie-break on maximal monomial-loss
+    // gain among the minimal-VL ties only (second pass; gains require an
+    // occurrence scan, so they are not evaluated for dominated candidates).
+    size_t best_vl = SIZE_MAX;
+    auto vl_of = [&](const NodeRef& c) {
+      const AbstractionTree& tree = forest.tree(c.tree);
+      size_t active = 0;
+      for (NodeIndex child : tree.node(c.node).children) {
+        if (state.IsActive(tree.node(child).label)) ++active;
+      }
+      return active > 0 ? active - 1 : 0;
+    };
+    for (const NodeRef& c : candidates) {
+      best_vl = std::min(best_vl, vl_of(c));
+    }
+    NodeRef best{};
+    bool have_best = false;
+    size_t best_ml = 0;
+    for (const NodeRef& c : candidates) {
+      if (vl_of(c) != best_vl) continue;
+      if (!options.tie_break_on_ml) {
+        best = c;
+        have_best = true;
+        break;  // Arbitrary tie-break: first minimal-VL candidate.
+      }
+      size_t ml = state.EvaluateMergeGain(
+          ChildLabels(forest.tree(c.tree), c.node));
+      if (!have_best || ml > best_ml) {
+        best = c;
+        best_ml = ml;
+        have_best = true;
+      }
+    }
+    PROVABS_CHECK(have_best);
+
+    // Apply: S ← (S \ children(c)) ∪ {c} (lines 11–12).
+    const AbstractionTree& tree = forest.tree(best.tree);
+    std::vector<VariableId> child_labels = ChildLabels(tree, best.node);
+    state.ApplyMerge(child_labels, tree.node(best.node).label);
+    for (NodeIndex c : tree.node(best.node).children) {
+      s.erase(NodeRef{best.tree, c});
+    }
+    s.insert(best);
+    candidates.erase(best);
+
+    // If c's parent is now a candidate, add it (lines 13–14).
+    NodeIndex parent = tree.node(best.node).parent;
+    if (parent != kInvalidNode &&
+        all_children_in_s(NodeRef{best.tree, parent})) {
+      candidates.insert(NodeRef{best.tree, parent});
+    }
+  }
+
+  CompressionResult result;
+  result.vvs = ValidVariableSet(
+      std::vector<NodeRef>(s.begin(), s.end()));
+  result.loss = ComputeLossNaive(polys, forest, result.vvs);
+  result.adequate = result.loss.monomial_loss >= k;
+  return result;
+}
+
+}  // namespace provabs

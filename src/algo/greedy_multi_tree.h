@@ -1,0 +1,35 @@
+#ifndef PROVABS_ALGO_GREEDY_MULTI_TREE_H_
+#define PROVABS_ALGO_GREEDY_MULTI_TREE_H_
+
+#include "abstraction/abstraction_forest.h"
+#include "algo/optimal_single_tree.h"
+#include "common/statusor.h"
+#include "core/polynomial_set.h"
+
+namespace provabs {
+
+/// Tuning knobs for the greedy heuristic.
+struct GreedyOptions {
+  /// Among candidates with equal (minimal) variable loss, prefer the one
+  /// with the largest monomial-loss gain (the behaviour exhibited by
+  /// Example 15 of the paper, where q1 is preferred over SB). When false,
+  /// ties are broken arbitrarily, matching the pseudocode's weakest reading.
+  bool tie_break_on_ml = true;
+};
+
+/// Algorithm 2 (Greedy Valid Variables Selection): heuristic compression
+/// with an arbitrary abstraction forest (the general problem is NP-hard,
+/// Proposition 11). Starts from the all-leaves VVS and repeatedly replaces
+/// the sibling group with minimal variable loss by its parent, until the
+/// bound is met or no candidates remain. O(n·|P|_M).
+///
+/// Unlike OptimalSingleTree this never fails with kInfeasible: if the bound
+/// is unreachable the best-effort VVS is returned with `adequate == false`
+/// (the paper's pseudocode likewise simply stops when candidates run out).
+StatusOr<CompressionResult> GreedyMultiTree(
+    const PolynomialSet& polys, const AbstractionForest& forest,
+    size_t bound_b, const GreedyOptions& options = {});
+
+}  // namespace provabs
+
+#endif  // PROVABS_ALGO_GREEDY_MULTI_TREE_H_

@@ -1,0 +1,173 @@
+#include "algo/merge_state.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/macros.h"
+
+namespace provabs {
+
+namespace {
+
+// Sentinel used when hashing a hypothetical merge target.
+constexpr VariableId kMergeSentinel = 0xFFFFFFFDu;
+
+}  // namespace
+
+uint64_t MergeState::HashFactors(size_t poly_index,
+                                 const std::vector<Factor>& factors) {
+  uint64_t h = 0xCBF29CE484222325ULL ^ (poly_index * 0x9E3779B97F4A7C15ULL);
+  auto mix = [&h](uint64_t x) {
+    h ^= x;
+    h *= 0x100000001B3ULL;
+  };
+  for (const Factor& f : factors) {
+    mix(f.var);
+    mix(f.exp);
+  }
+  return h;
+}
+
+uint64_t MergeState::HashMappedKey(uint32_t poly,
+                                   const std::vector<Factor>& factors,
+                                   VariableId from, VariableId to) const {
+  // Factors are sorted by variable id; substituting `from`->`to` may change
+  // the sort position, so we re-sort a small local copy (factor lists are
+  // short — bounded by the query's join arity).
+  std::vector<Factor> mapped = factors;
+  for (Factor& f : mapped) {
+    if (f.var == from) f.var = to;
+  }
+  std::sort(mapped.begin(), mapped.end(),
+            [](const Factor& a, const Factor& b) { return a.var < b.var; });
+  // Merge equal variables (can only happen if `to` already occurred, which
+  // compatibility rules out for tree merges, but stay correct regardless).
+  size_t out = 0;
+  for (size_t i = 0; i < mapped.size(); ++i) {
+    if (out > 0 && mapped[out - 1].var == mapped[i].var) {
+      mapped[out - 1].exp += mapped[i].exp;
+    } else {
+      mapped[out++] = mapped[i];
+    }
+  }
+  mapped.resize(out);
+  return HashFactors(poly, mapped);
+}
+
+MergeState::MergeState(const PolynomialSet& polys) {
+  const size_t n = polys.count();
+  monos_.resize(n);
+  keys_.resize(n);
+  key_counts_.resize(n);
+  for (uint32_t pi = 0; pi < n; ++pi) {
+    const auto& monomials = polys[pi].monomials();
+    monos_[pi].reserve(monomials.size());
+    keys_[pi].reserve(monomials.size());
+    for (uint32_t mi = 0; mi < monomials.size(); ++mi) {
+      monos_[pi].push_back(monomials[mi].factors());
+      uint64_t key = HashFactors(pi, monos_[pi].back());
+      keys_[pi].push_back(key);
+      auto [it, inserted] = key_counts_[pi].emplace(key, 1u);
+      if (!inserted) {
+        ++it->second;  // Duplicate power products cannot occur in canonical
+                       // polynomials, but hash collisions could land here.
+      } else {
+        ++total_m_;
+      }
+      for (const Factor& f : monomials[mi].factors()) {
+        occ_[f.var].push_back(MonoRef{pi, mi});
+      }
+    }
+  }
+  original_m_ = total_m_;
+}
+
+size_t MergeState::OccurrenceCount(VariableId var) const {
+  auto it = occ_.find(var);
+  return it == occ_.end() ? 0 : it->second.size();
+}
+
+size_t MergeState::EvaluateMergeGain(
+    const std::vector<VariableId>& vars) const {
+  // Distinct current keys among affected monomials, and distinct keys after
+  // rewriting each affected variable to a common sentinel. The gain is the
+  // difference (see §4.1: merged monomials become identical).
+  std::unordered_set<uint64_t> old_keys;
+  std::unordered_set<uint64_t> new_keys;
+  for (VariableId v : vars) {
+    auto it = occ_.find(v);
+    if (it == occ_.end()) continue;
+    for (const MonoRef& ref : it->second) {
+      old_keys.insert(keys_[ref.poly][ref.mono]);
+      new_keys.insert(
+          HashMappedKey(ref.poly, monos_[ref.poly][ref.mono], v,
+                        kMergeSentinel));
+    }
+  }
+  PROVABS_DCHECK(old_keys.size() >= new_keys.size());
+  return old_keys.size() - new_keys.size();
+}
+
+size_t MergeState::ApplyMerge(const std::vector<VariableId>& vars,
+                              VariableId target) {
+  std::vector<MonoRef> merged_occ;
+  size_t active_merged = 0;
+  for (VariableId v : vars) {
+    auto it = occ_.find(v);
+    if (it == occ_.end()) continue;
+    ++active_merged;
+    if (v == target) {
+      // Renaming to itself: keep occurrences, no rewriting needed.
+      merged_occ.insert(merged_occ.end(), it->second.begin(),
+                        it->second.end());
+      occ_.erase(it);
+      continue;
+    }
+    for (const MonoRef& ref : it->second) {
+      auto& factors = monos_[ref.poly][ref.mono];
+      uint64_t old_key = keys_[ref.poly][ref.mono];
+      auto& counts = key_counts_[ref.poly];
+      auto cit = counts.find(old_key);
+      PROVABS_DCHECK(cit != counts.end());
+      if (--cit->second == 0) {
+        counts.erase(cit);
+        --total_m_;
+      }
+
+      // Rewrite v -> target in place and restore factor canonicity.
+      for (Factor& f : factors) {
+        if (f.var == v) f.var = target;
+      }
+      std::sort(factors.begin(), factors.end(),
+                [](const Factor& a, const Factor& b) { return a.var < b.var; });
+      size_t out = 0;
+      for (size_t i = 0; i < factors.size(); ++i) {
+        if (out > 0 && factors[out - 1].var == factors[i].var) {
+          factors[out - 1].exp += factors[i].exp;
+        } else {
+          factors[out++] = factors[i];
+        }
+      }
+      factors.resize(out);
+
+      uint64_t new_key = HashFactors(ref.poly, factors);
+      keys_[ref.poly][ref.mono] = new_key;
+      auto [nit, inserted] = counts.emplace(new_key, 1u);
+      if (!inserted) {
+        ++nit->second;
+      } else {
+        ++total_m_;
+      }
+      merged_occ.push_back(ref);
+    }
+    occ_.erase(v);
+  }
+  if (!merged_occ.empty()) {
+    auto& target_occ = occ_[target];
+    target_occ.insert(target_occ.end(), merged_occ.begin(), merged_occ.end());
+  }
+  if (active_merged > 1) variable_loss_ += active_merged - 1;
+  return active_merged;
+}
+
+}  // namespace provabs

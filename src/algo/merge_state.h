@@ -1,0 +1,83 @@
+#ifndef PROVABS_ALGO_MERGE_STATE_H_
+#define PROVABS_ALGO_MERGE_STATE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/polynomial_set.h"
+#include "core/variable.h"
+
+namespace provabs {
+
+/// Incremental bookkeeping shared by the greedy algorithm (Algorithm 2) and
+/// the Prox competitor: maintains the *current* abstracted form of a
+/// polynomial set while variables are merged into meta-variables, supporting
+///   * O(occurrences) application of a merge,
+///   * O(occurrences) "what-if" evaluation of a merge's monomial-loss gain,
+///   * O(1) queries of the current |P↓S|_M.
+///
+/// Monomial identity is tracked through 64-bit salted hashes of the mapped
+/// factor lists (see LeafResidualIndex for the collision discussion).
+class MergeState {
+ public:
+  explicit MergeState(const PolynomialSet& polys);
+
+  /// Current total number of distinct monomials, |P↓S|_M.
+  size_t CurrentSizeM() const { return total_m_; }
+
+  /// Monomial loss accumulated so far, ML(S).
+  size_t MonomialLoss() const { return original_m_ - total_m_; }
+
+  /// Variable loss accumulated so far, VL(S).
+  size_t VariableLoss() const { return variable_loss_; }
+
+  /// True if `var` currently occurs in the (abstracted) polynomials.
+  bool IsActive(VariableId var) const { return occ_.count(var) > 0; }
+
+  /// Number of occurrences (monomial instances) of `var`.
+  size_t OccurrenceCount(VariableId var) const;
+
+  /// Monomial-loss gain of merging the active variables in `vars` into a
+  /// single fresh variable, WITHOUT applying the merge. Inactive entries of
+  /// `vars` are ignored.
+  size_t EvaluateMergeGain(const std::vector<VariableId>& vars) const;
+
+  /// Merges the active variables in `vars` into `target` (a meta-variable
+  /// that must not currently occur in the polynomials, unless it is itself
+  /// listed in `vars`). Updates monomials, occurrence lists, the distinct-
+  /// monomial census, and the loss counters. Returns the number of active
+  /// variables that were merged (0 or 1 means the merge was a no-op apart
+  /// from renaming).
+  size_t ApplyMerge(const std::vector<VariableId>& vars, VariableId target);
+
+ private:
+  struct MonoRef {
+    uint32_t poly;
+    uint32_t mono;
+  };
+
+  /// Current (mapped) factor list of each monomial, per polynomial.
+  std::vector<std::vector<std::vector<Factor>>> monos_;
+  /// Cached current hash key of each monomial.
+  std::vector<std::vector<uint64_t>> keys_;
+  /// Per polynomial: current key -> number of monomial instances.
+  std::vector<std::unordered_map<uint64_t, uint32_t>> key_counts_;
+  /// Current variable -> occurrences. Only variables ever touched by merges
+  /// (or present initially) appear; absent means inactive.
+  std::unordered_map<VariableId, std::vector<MonoRef>> occ_;
+
+  size_t original_m_ = 0;
+  size_t total_m_ = 0;
+  size_t variable_loss_ = 0;
+
+  static uint64_t HashFactors(size_t poly_index,
+                              const std::vector<Factor>& factors);
+  /// Hash with every factor variable in `from_set` replaced by a sentinel.
+  uint64_t HashMappedKey(uint32_t poly, const std::vector<Factor>& factors,
+                         VariableId from, VariableId to) const;
+};
+
+}  // namespace provabs
+
+#endif  // PROVABS_ALGO_MERGE_STATE_H_

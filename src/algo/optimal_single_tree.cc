@@ -1,0 +1,298 @@
+#include "algo/optimal_single_tree.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace provabs {
+
+namespace {
+
+constexpr uint64_t kBottom = std::numeric_limits<uint64_t>::max();
+
+/// Per-node DP table: bucket (= min(ML, k)) -> minimal variable loss,
+/// plus whether the optimum at that bucket is the singleton VVS {v}.
+/// Buckets absent from `vl` are ⊥.
+struct NodeArray {
+  std::unordered_map<uint32_t, uint64_t> vl;
+  std::unordered_map<uint32_t, bool> use_self;
+
+  uint64_t Get(uint32_t bucket) const {
+    auto it = vl.find(bucket);
+    return it == vl.end() ? kBottom : it->second;
+  }
+  bool UsesSelf(uint32_t bucket) const {
+    auto it = use_self.find(bucket);
+    return it != use_self.end() && it->second;
+  }
+  void Offer(uint32_t bucket, uint64_t value, bool self) {
+    auto it = vl.find(bucket);
+    if (it == vl.end() || value < it->second) {
+      vl[bucket] = value;
+      use_self[bucket] = self;
+    }
+  }
+};
+
+/// Convolution of children arrays (procedure computeArray): combines cuts of
+/// independent sibling subtrees; losses add, buckets clamp at k. When
+/// `splits` is non-null, records for each (child i, bucket j) the bucket
+/// taken in the prefix τ[i-1] — enough to reconstruct the chosen cut.
+///
+/// `splits->at(i)[j]` = bucket s of τ[i-1] such that τ[i][j] was reached via
+/// τ[i-1][s] + A_i[j ⊖ s].
+NodeArray Convolve(const std::vector<const NodeArray*>& children, uint32_t k,
+                   std::vector<std::unordered_map<uint32_t, uint32_t>>* splits) {
+  PROVABS_CHECK(!children.empty());
+  NodeArray tau = *children[0];
+  if (splits) {
+    splits->clear();
+    splits->resize(children.size());
+  }
+  for (size_t i = 1; i < children.size(); ++i) {
+    NodeArray next;
+    std::unordered_map<uint32_t, uint32_t> split_i;
+    for (const auto& [s, vl_prefix] : tau.vl) {
+      for (const auto& [j_child, vl_child] : children[i]->vl) {
+        uint32_t bucket = std::min<uint64_t>(
+            static_cast<uint64_t>(s) + j_child, k);
+        uint64_t vl = vl_prefix + vl_child;
+        auto it = next.vl.find(bucket);
+        if (it == next.vl.end() || vl < it->second) {
+          next.vl[bucket] = vl;
+          if (splits) split_i[bucket] = s;
+        }
+      }
+    }
+    tau = std::move(next);
+    if (splits) (*splits)[i] = std::move(split_i);
+  }
+  return tau;
+}
+
+/// Dense-array variant of the same convolution, used when
+/// OptimalOptions::sparse_arrays is false (ablation arm). Produces identical
+/// results; only the data structure differs (vectors with ⊥ sentinels).
+NodeArray ConvolveDense(const std::vector<const NodeArray*>& children,
+                        uint32_t k) {
+  PROVABS_CHECK(!children.empty());
+  std::vector<uint64_t> tau(k + 1, kBottom);
+  for (const auto& [b, v] : children[0]->vl) tau[b] = v;
+  for (size_t i = 1; i < children.size(); ++i) {
+    std::vector<uint64_t> dense_child(k + 1, kBottom);
+    for (const auto& [b, v] : children[i]->vl) dense_child[b] = v;
+    std::vector<uint64_t> next(k + 1, kBottom);
+    for (uint32_t s = 0; s <= k; ++s) {
+      if (tau[s] == kBottom) continue;
+      for (uint32_t j = 0; j <= k; ++j) {
+        if (dense_child[j] == kBottom) continue;
+        uint32_t bucket = std::min(s + j, k);
+        uint64_t vl = tau[s] + dense_child[j];
+        if (vl < next[bucket]) next[bucket] = vl;
+      }
+    }
+    tau = std::move(next);
+  }
+  NodeArray out;
+  for (uint32_t b = 0; b <= k; ++b) {
+    if (tau[b] != kBottom) out.Offer(b, tau[b], false);
+  }
+  return out;
+}
+
+/// Whole-algorithm state, so reconstruction can re-run convolutions.
+struct Solver {
+  const AbstractionTree* tree;
+  const LeafResidualIndex* index;
+  uint32_t k;
+  OptimalOptions options;
+  std::vector<NodeArray> arrays;           // per node
+  std::vector<LossReport> self_loss;       // per node, loss of VVS {v}
+  std::vector<NodeRef>* out_nodes;
+  uint32_t tree_index;
+
+  bool IsHeight1(NodeIndex v) const {
+    const auto& n = tree->node(v);
+    if (n.is_leaf()) return false;
+    for (NodeIndex c : n.children) {
+      if (!tree->node(c).is_leaf()) return false;
+    }
+    return true;
+  }
+
+  void ComputeArrays() {
+    const size_t n = tree->node_count();
+    arrays.resize(n);
+    self_loss.resize(n);
+    // DFS pre-order storage: reverse iteration is post-order.
+    for (size_t i = n; i-- > 0;) {
+      NodeIndex v = static_cast<NodeIndex>(i);
+      const auto& node = tree->node(v);
+      if (node.is_leaf()) {
+        arrays[v].Offer(0, 0, false);
+        continue;
+      }
+      self_loss[v] = index->NodeLoss(v);
+      if (options.height1_shortcut && IsHeight1(v)) {
+        // Children are all leaves: the convolution is trivially {0:0}.
+        arrays[v].Offer(0, 0, false);
+      } else {
+        std::vector<const NodeArray*> children;
+        children.reserve(node.children.size());
+        for (NodeIndex c : node.children) children.push_back(&arrays[c]);
+        arrays[v] = options.sparse_arrays ? Convolve(children, k, nullptr)
+                                          : ConvolveDense(children, k);
+      }
+      uint32_t self_bucket = std::min<uint64_t>(
+          self_loss[v].monomial_loss, k);
+      arrays[v].Offer(self_bucket, self_loss[v].variable_loss, true);
+    }
+  }
+
+  /// Reconstructs the cut achieving arrays[v] at `bucket` into out_nodes.
+  void Reconstruct(NodeIndex v, uint32_t bucket) {
+    const auto& node = tree->node(v);
+    if (node.is_leaf()) {
+      PROVABS_CHECK(bucket == 0);
+      out_nodes->push_back(NodeRef{tree_index, v});
+      return;
+    }
+    if (arrays[v].UsesSelf(bucket)) {
+      out_nodes->push_back(NodeRef{tree_index, v});
+      return;
+    }
+    if (options.height1_shortcut && IsHeight1(v)) {
+      PROVABS_CHECK(bucket == 0);
+      for (NodeIndex c : node.children) {
+        out_nodes->push_back(NodeRef{tree_index, c});
+      }
+      return;
+    }
+    // Re-run the convolution recording splits, then walk back from `bucket`.
+    std::vector<const NodeArray*> children;
+    children.reserve(node.children.size());
+    for (NodeIndex c : node.children) children.push_back(&arrays[c]);
+    std::vector<std::unordered_map<uint32_t, uint32_t>> splits;
+    NodeArray tau = Convolve(children, k, &splits);
+    PROVABS_CHECK(tau.Get(bucket) != kBottom);
+
+    // child_buckets[i] = bucket of child i in the chosen combination.
+    std::vector<uint32_t> child_buckets(node.children.size(), 0);
+    uint32_t j = bucket;
+    for (size_t i = node.children.size(); i-- > 1;) {
+      uint32_t s = splits[i].at(j);
+      // Child i's bucket is the one whose combination with s yields j.
+      // Find it by scanning child i's entries (small maps).
+      uint32_t chosen = 0;
+      uint64_t best = kBottom;
+      for (const auto& [jc, vlc] : children[i]->vl) {
+        if (std::min<uint64_t>(static_cast<uint64_t>(s) + jc, k) != j) {
+          continue;
+        }
+        if (vlc < best) {
+          best = vlc;
+          chosen = jc;
+        }
+      }
+      PROVABS_CHECK(best != kBottom);
+      child_buckets[i] = chosen;
+      j = s;
+    }
+    child_buckets[0] = j;
+    for (size_t i = 0; i < node.children.size(); ++i) {
+      Reconstruct(node.children[i], child_buckets[i]);
+    }
+  }
+};
+
+}  // namespace
+
+StatusOr<CompressionResult> OptimalSingleTree(
+    const PolynomialSet& polys, const AbstractionForest& forest,
+    uint32_t tree_index, size_t bound_b, const OptimalOptions& options) {
+  if (tree_index >= forest.tree_count()) {
+    return Status::InvalidArgument("tree index out of range");
+  }
+  const AbstractionTree& tree = forest.tree(tree_index);
+  Status compat = tree.CheckCompatible(polys);
+  if (!compat.ok()) return compat;
+  if (bound_b == 0) {
+    return Status::InvalidArgument("bound must be at least 1");
+  }
+
+  const size_t size_m = polys.SizeM();
+  const uint32_t k = bound_b >= size_m
+                         ? 0u
+                         : static_cast<uint32_t>(size_m - bound_b);
+
+  LeafResidualIndex index(polys, tree);
+  Solver solver;
+  solver.tree = &tree;
+  solver.index = &index;
+  solver.k = k;
+  solver.options = options;
+  solver.tree_index = tree_index;
+  solver.ComputeArrays();
+
+  const NodeArray& root_array = solver.arrays[tree.root()];
+  if (root_array.Get(k) == kBottom) {
+    return Status::Infeasible(
+        "no valid variable set of the tree is adequate for the bound");
+  }
+
+  CompressionResult result;
+  std::vector<NodeRef> chosen;
+  solver.out_nodes = &chosen;
+  solver.Reconstruct(tree.root(), k);
+  // Leaves of OTHER trees in the forest are untouched by this algorithm;
+  // include them so the VVS is valid for the whole forest.
+  for (uint32_t t = 0; t < forest.tree_count(); ++t) {
+    if (t == tree_index) continue;
+    for (NodeIndex leaf : forest.tree(t).leaves()) {
+      chosen.push_back(NodeRef{t, leaf});
+    }
+  }
+  result.vvs = ValidVariableSet(std::move(chosen));
+  result.loss = ComputeLossNaive(polys, forest, result.vvs);
+  result.adequate = result.loss.monomial_loss >= k;
+  return result;
+}
+
+namespace internal {
+
+StatusOr<std::vector<std::pair<uint32_t, uint64_t>>> RootLossProfile(
+    const PolynomialSet& polys, const AbstractionForest& forest,
+    uint32_t tree_index) {
+  if (tree_index >= forest.tree_count()) {
+    return Status::InvalidArgument("tree index out of range");
+  }
+  const AbstractionTree& tree = forest.tree(tree_index);
+  Status compat = tree.CheckCompatible(polys);
+  if (!compat.ok()) return compat;
+
+  const size_t size_m = polys.SizeM();
+  // k = |P|_M exceeds every achievable monomial loss (at least one monomial
+  // always survives per non-empty polynomial), so no bucket is clamped and
+  // the root array is exact at every entry.
+  LeafResidualIndex index(polys, tree);
+  Solver solver;
+  solver.tree = &tree;
+  solver.index = &index;
+  solver.k = static_cast<uint32_t>(size_m);
+  solver.options = OptimalOptions{};
+  solver.tree_index = tree_index;
+  solver.ComputeArrays();
+
+  const NodeArray& root = solver.arrays[tree.root()];
+  std::vector<std::pair<uint32_t, uint64_t>> profile(root.vl.begin(),
+                                                     root.vl.end());
+  std::sort(profile.begin(), profile.end());
+  return profile;
+}
+
+}  // namespace internal
+
+}  // namespace provabs

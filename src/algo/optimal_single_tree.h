@@ -1,0 +1,59 @@
+#ifndef PROVABS_ALGO_OPTIMAL_SINGLE_TREE_H_
+#define PROVABS_ALGO_OPTIMAL_SINGLE_TREE_H_
+
+#include <cstdint>
+
+#include "abstraction/abstraction_forest.h"
+#include "abstraction/loss.h"
+#include "abstraction/valid_variable_set.h"
+#include "common/statusor.h"
+#include "core/polynomial_set.h"
+
+namespace provabs {
+
+/// Result of a compression algorithm: the chosen abstraction and its exact
+/// loss (computed on the true polynomials, not hashes).
+struct CompressionResult {
+  ValidVariableSet vvs;
+  LossReport loss;
+  /// True iff |P↓S|_M ≤ B (the VVS is adequate for the bound).
+  bool adequate = false;
+};
+
+/// Tuning knobs, exposed for the §4.1 ablation benchmarks.
+struct OptimalOptions {
+  /// Use hash-map (sparse) DP arrays instead of dense (mostly-⊥) arrays.
+  bool sparse_arrays = true;
+  /// Skip the children convolution for height-1 nodes (their array is
+  /// always {0:0} plus the self entry).
+  bool height1_shortcut = true;
+};
+
+/// Algorithm 1 (Optimal Valid Variables Selection): computes an optimal VVS
+/// for the single tree `tree_index` of `forest` under monomial bound
+/// `bound_b`, in time O(n·w·k²·|P|_M) (Proposition 14). Leaves of the tree
+/// that do not occur in `polys` are handled natively (they contribute no
+/// loss), so pre-pruning is not required.
+///
+/// Returns kInfeasible if no VVS of the tree is adequate for `bound_b`
+/// (Example 8), and kInvalidArgument if the tree is incompatible with the
+/// polynomials.
+StatusOr<CompressionResult> OptimalSingleTree(
+    const PolynomialSet& polys, const AbstractionForest& forest,
+    uint32_t tree_index, size_t bound_b, const OptimalOptions& options = {});
+
+namespace internal {
+
+/// The root DP array of Algorithm 1 run without bucket clamping: every
+/// achievable monomial loss paired with its minimal variable loss, sorted
+/// by monomial loss. Exposed for OptimalTradeoffCurve, which derives the
+/// whole size/granularity Pareto frontier from one DP run.
+StatusOr<std::vector<std::pair<uint32_t, uint64_t>>> RootLossProfile(
+    const PolynomialSet& polys, const AbstractionForest& forest,
+    uint32_t tree_index);
+
+}  // namespace internal
+
+}  // namespace provabs
+
+#endif  // PROVABS_ALGO_OPTIMAL_SINGLE_TREE_H_

@@ -1,0 +1,115 @@
+#include "algo/prox_summarizer.h"
+
+#include <string>
+#include <vector>
+
+#include "algo/merge_state.h"
+#include "common/macros.h"
+
+namespace provabs {
+
+namespace {
+
+struct Group {
+  VariableId representative;   // Current variable standing for the group.
+  uint32_t tree;               // Owning tree (groups never cross trees).
+  std::vector<VariableId> members;  // Original leaf variables.
+  bool alive = true;
+};
+
+}  // namespace
+
+StatusOr<ProxResult> ProxSummarize(const PolynomialSet& polys,
+                                   const AbstractionForest& forest,
+                                   size_t bound_b,
+                                   const ProxOptions& options) {
+  Status compat = forest.CheckCompatible(polys);
+  if (!compat.ok()) return compat;
+  if (bound_b == 0) {
+    return Status::InvalidArgument("bound must be at least 1");
+  }
+
+  const size_t size_m = polys.SizeM();
+  const size_t k = bound_b >= size_m ? 0 : size_m - bound_b;
+
+  MergeState state(polys);
+
+  // One singleton group per tree leaf that occurs in the polynomials.
+  std::vector<Group> groups;
+  for (uint32_t t = 0; t < forest.tree_count(); ++t) {
+    const AbstractionTree& tree = forest.tree(t);
+    for (NodeIndex leaf : tree.leaves()) {
+      VariableId label = tree.node(leaf).label;
+      if (!state.IsActive(label)) continue;
+      groups.push_back(Group{label, t, {label}, true});
+    }
+  }
+
+  ProxResult result;
+  // Fresh representative variables for merged groups: synthesize ids above
+  // the existing id space. We cannot intern into the caller's VariableTable
+  // (not passed; Prox groups are not tree nodes), so use a private id range.
+  VariableId next_fresh = 0x80000000u;
+  {
+    // Ensure the private range does not collide with existing ids.
+    auto vars = polys.Variables();
+    for (VariableId v : vars) {
+      PROVABS_CHECK(v < 0x80000000u);
+    }
+  }
+
+  while (state.MonomialLoss() < k) {
+    // Examine all live group pairs within the same tree (oracle calls) and
+    // pick the merge with the largest monomial-loss gain; each pair-merge
+    // costs exactly one variable, so max-gain == minimal loss per gain.
+    size_t best_gain = 0;
+    int best_a = -1;
+    int best_b = -1;
+    bool any_pair = false;
+    for (size_t a = 0; a < groups.size(); ++a) {
+      if (!groups[a].alive) continue;
+      for (size_t b = a + 1; b < groups.size(); ++b) {
+        if (!groups[b].alive) continue;
+        if (groups[a].tree != groups[b].tree) continue;  // Oracle rejects.
+        any_pair = true;
+        ++result.oracle_calls;
+        if (result.oracle_calls > options.max_oracle_calls) {
+          return Status::OutOfRange(
+              "Prox exceeded its oracle-call budget (did not converge)");
+        }
+        size_t gain = state.EvaluateMergeGain(
+            {groups[a].representative, groups[b].representative});
+        if (best_a < 0 || gain > best_gain) {
+          best_gain = gain;
+          best_a = static_cast<int>(a);
+          best_b = static_cast<int>(b);
+        }
+      }
+    }
+    if (!any_pair || best_a < 0) break;  // No merge possible.
+
+    VariableId fresh = next_fresh++;
+    state.ApplyMerge(
+        {groups[best_a].representative, groups[best_b].representative},
+        fresh);
+    ++result.iterations;
+    groups[best_a].representative = fresh;
+    groups[best_a].members.insert(groups[best_a].members.end(),
+                                  groups[best_b].members.begin(),
+                                  groups[best_b].members.end());
+    groups[best_b].alive = false;
+  }
+
+  for (const Group& g : groups) {
+    if (!g.alive) continue;
+    for (VariableId member : g.members) {
+      result.substitution[member] = g.representative;
+    }
+  }
+  result.loss.monomial_loss = state.MonomialLoss();
+  result.loss.variable_loss = state.VariableLoss();
+  result.adequate = state.MonomialLoss() >= k;
+  return result;
+}
+
+}  // namespace provabs

@@ -1,0 +1,56 @@
+#ifndef PROVABS_ALGO_PROX_SUMMARIZER_H_
+#define PROVABS_ALGO_PROX_SUMMARIZER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "abstraction/abstraction_forest.h"
+#include "abstraction/loss.h"
+#include "common/statusor.h"
+#include "core/polynomial_set.h"
+
+namespace provabs {
+
+/// Result of the Prox competitor. Unlike the tree algorithms, Prox produces
+/// a *grouping* (a partition of the variables into merged groups) that is
+/// not necessarily a cut of the abstraction trees — this is exactly the
+/// extra generality (and the loss of guarantees) that the paper attributes
+/// to the approach of Ainy et al. [3].
+struct ProxResult {
+  /// Substitution: original variable -> representative group variable.
+  std::unordered_map<VariableId, VariableId> substitution;
+  LossReport loss;
+  bool adequate = false;
+  /// Number of oracle evaluations performed (pairwise what-if merges).
+  uint64_t oracle_calls = 0;
+  /// Number of merge iterations executed.
+  uint64_t iterations = 0;
+};
+
+/// Limits for the competitor (it does not otherwise terminate quickly; the
+/// paper reports >24h runs on the larger workloads).
+struct ProxOptions {
+  uint64_t max_oracle_calls = 500'000'000;
+};
+
+/// Re-implementation of the summarization algorithm of Ainy et al.
+/// (CIKM 2015) as described in §4.3 ("Gain of abstraction trees"): the
+/// algorithm repeatedly examines, via an oracle, the grouping of variable
+/// pairs, and applies the pair-merge that most reduces the provenance size;
+/// every merge costs one variable of granularity. The abstraction forest
+/// plays the role of the black-box oracle: a pair may be grouped only if
+/// both variables' groups lie in the same tree (their union sits below a
+/// common ancestor). Iterates until the bound is met or no merge remains.
+///
+/// Complexity per iteration is quadratic in the number of live groups, and
+/// the number of iterations is linear in the variables — the run-time blowup
+/// relative to OptimalSingleTree is the subject of Figure 12.
+StatusOr<ProxResult> ProxSummarize(const PolynomialSet& polys,
+                                   const AbstractionForest& forest,
+                                   size_t bound_b,
+                                   const ProxOptions& options = {});
+
+}  // namespace provabs
+
+#endif  // PROVABS_ALGO_PROX_SUMMARIZER_H_

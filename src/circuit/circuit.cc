@@ -1,0 +1,194 @@
+#include "circuit/circuit.h"
+
+#include <cstdio>
+
+#include "common/macros.h"
+
+namespace provabs {
+
+ProvenanceCircuit::GateId ProvenanceCircuit::AddConstant(double value) {
+  GateId id = static_cast<GateId>(gates_.size());
+  Gate g;
+  g.kind = GateKind::kConstant;
+  g.constant = value;
+  gates_.push_back(std::move(g));
+  return id;
+}
+
+ProvenanceCircuit::GateId ProvenanceCircuit::AddVariable(VariableId var) {
+  GateId id = static_cast<GateId>(gates_.size());
+  Gate g;
+  g.kind = GateKind::kVariable;
+  g.variable = var;
+  gates_.push_back(std::move(g));
+  return id;
+}
+
+ProvenanceCircuit::GateId ProvenanceCircuit::AddSum(
+    std::vector<GateId> children) {
+  for (GateId c : children) PROVABS_CHECK(c < gates_.size());
+  GateId id = static_cast<GateId>(gates_.size());
+  Gate g;
+  g.kind = GateKind::kAdd;
+  g.children = std::move(children);
+  gates_.push_back(std::move(g));
+  return id;
+}
+
+ProvenanceCircuit::GateId ProvenanceCircuit::AddProduct(
+    std::vector<GateId> children) {
+  for (GateId c : children) PROVABS_CHECK(c < gates_.size());
+  GateId id = static_cast<GateId>(gates_.size());
+  Gate g;
+  g.kind = GateKind::kMul;
+  g.children = std::move(children);
+  gates_.push_back(std::move(g));
+  return id;
+}
+
+size_t ProvenanceCircuit::EdgeCount() const {
+  size_t edges = 0;
+  for (const Gate& g : gates_) edges += g.children.size();
+  return edges;
+}
+
+double ProvenanceCircuit::Evaluate(const Valuation& valuation) const {
+  PROVABS_CHECK(output_ != kNoGate);
+  std::vector<double> value(gates_.size(), 0.0);
+  for (GateId i = 0; i < gates_.size(); ++i) {
+    const Gate& g = gates_[i];
+    switch (g.kind) {
+      case GateKind::kConstant:
+        value[i] = g.constant;
+        break;
+      case GateKind::kVariable:
+        value[i] = valuation.Get(g.variable);
+        break;
+      case GateKind::kAdd: {
+        double sum = 0.0;
+        for (GateId c : g.children) sum += value[c];
+        value[i] = sum;
+        break;
+      }
+      case GateKind::kMul: {
+        double product = 1.0;
+        for (GateId c : g.children) product *= value[c];
+        value[i] = product;
+        break;
+      }
+    }
+  }
+  return value[output_];
+}
+
+Polynomial ProvenanceCircuit::ToPolynomial() const {
+  PROVABS_CHECK(output_ != kNoGate);
+  std::vector<Polynomial> value(gates_.size());
+  for (GateId i = 0; i < gates_.size(); ++i) {
+    const Gate& g = gates_[i];
+    switch (g.kind) {
+      case GateKind::kConstant:
+        value[i] = Polynomial::FromMonomials({Monomial(g.constant, {})});
+        break;
+      case GateKind::kVariable:
+        value[i] = VariablePolynomial(g.variable);
+        break;
+      case GateKind::kAdd: {
+        Polynomial sum;
+        for (GateId c : g.children) sum = Add(sum, value[c]);
+        value[i] = std::move(sum);
+        break;
+      }
+      case GateKind::kMul: {
+        Polynomial product = OnePolynomial();
+        for (GateId c : g.children) product = Multiply(product, value[c]);
+        value[i] = std::move(product);
+        break;
+      }
+    }
+  }
+  return value[output_];
+}
+
+ProvenanceCircuit ProvenanceCircuit::ApplySubstitution(
+    const std::unordered_map<VariableId, VariableId>& map) const {
+  ProvenanceCircuit out = *this;
+  for (Gate& g : out.gates_) {
+    if (g.kind == GateKind::kVariable) {
+      auto it = map.find(g.variable);
+      if (it != map.end()) g.variable = it->second;
+    }
+  }
+  return out;
+}
+
+Status ProvenanceCircuit::Validate() const {
+  if (output_ == kNoGate) {
+    return Status::FailedPrecondition("circuit has no output gate");
+  }
+  if (output_ >= gates_.size()) {
+    return Status::Internal("output gate out of range");
+  }
+  for (GateId i = 0; i < gates_.size(); ++i) {
+    const Gate& g = gates_[i];
+    switch (g.kind) {
+      case GateKind::kConstant:
+        if (!g.children.empty()) {
+          return Status::Internal("constant gate has children");
+        }
+        break;
+      case GateKind::kVariable:
+        if (g.variable == kInvalidVariable) {
+          return Status::Internal("variable gate without a variable");
+        }
+        break;
+      case GateKind::kAdd:
+      case GateKind::kMul:
+        if (g.children.empty()) {
+          return Status::Internal("operator gate without children");
+        }
+        for (GateId c : g.children) {
+          if (c >= i) {
+            return Status::Internal(
+                "gate children must precede it (topological order)");
+          }
+        }
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+std::string ProvenanceCircuit::ToString(const VariableTable& vars) const {
+  PROVABS_CHECK(output_ != kNoGate);
+  std::vector<std::string> text(gates_.size());
+  for (GateId i = 0; i < gates_.size(); ++i) {
+    const Gate& g = gates_[i];
+    switch (g.kind) {
+      case GateKind::kConstant: {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%g", g.constant);
+        text[i] = buf;
+        break;
+      }
+      case GateKind::kVariable:
+        text[i] = vars.NameOf(g.variable);
+        break;
+      case GateKind::kAdd:
+      case GateKind::kMul: {
+        std::string s = "(";
+        const char* op = g.kind == GateKind::kAdd ? " + " : "*";
+        for (size_t c = 0; c < g.children.size(); ++c) {
+          if (c > 0) s += op;
+          s += text[g.children[c]];
+        }
+        s += ")";
+        text[i] = std::move(s);
+        break;
+      }
+    }
+  }
+  return text[output_];
+}
+
+}  // namespace provabs

@@ -1,0 +1,96 @@
+#ifndef PROVABS_CIRCUIT_CIRCUIT_H_
+#define PROVABS_CIRCUIT_CIRCUIT_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/polynomial.h"
+#include "core/valuation.h"
+#include "core/variable.h"
+
+namespace provabs {
+
+/// Arithmetic provenance circuits — the lossless factorized representation
+/// of provenance discussed in §5 of the paper (Deutch et al. "Circuits for
+/// datalog provenance", Olteanu & Závodný on factorized representations).
+/// The paper names combining its lossy abstraction with such lossless
+/// storage "an important goal for future work"; this module provides that
+/// substrate: polynomials can be factorized into circuits for storage and
+/// shipped, and abstraction composes (substitute leaves, §ApplySubstitution)
+/// without expanding back to a flat polynomial.
+///
+/// Gates live in one arena vector and reference children by index — the
+/// polynomial DAG needs no per-node allocation or manual pointer management
+/// and is trivially serializable/copyable.
+class ProvenanceCircuit {
+ public:
+  enum class GateKind : uint8_t {
+    kConstant,  ///< Leaf: a rational coefficient.
+    kVariable,  ///< Leaf: a provenance variable.
+    kAdd,       ///< Sum of children.
+    kMul,       ///< Product of children.
+  };
+
+  using GateId = uint32_t;
+  static constexpr GateId kNoGate = 0xFFFFFFFFu;
+
+  struct Gate {
+    GateKind kind = GateKind::kConstant;
+    double constant = 0.0;                 ///< kConstant only.
+    VariableId variable = kInvalidVariable;  ///< kVariable only.
+    std::vector<GateId> children;          ///< kAdd / kMul only.
+  };
+
+  ProvenanceCircuit() = default;
+
+  /// Gate constructors; children must already exist (indices are always
+  /// topologically ordered: children precede parents).
+  GateId AddConstant(double value);
+  GateId AddVariable(VariableId var);
+  GateId AddSum(std::vector<GateId> children);
+  GateId AddProduct(std::vector<GateId> children);
+
+  /// Designates the output gate. Must be called before evaluation.
+  void SetOutput(GateId gate) { output_ = gate; }
+  GateId output() const { return output_; }
+
+  size_t gate_count() const { return gates_.size(); }
+  const Gate& gate(GateId id) const { return gates_[id]; }
+
+  /// Total number of edges (Σ fan-ins) — the circuit size measure used when
+  /// comparing against the flat polynomial's monomial count.
+  size_t EdgeCount() const;
+
+  /// Evaluates the circuit bottom-up under `valuation` (variables default
+  /// to 1.0, as in Valuation). O(gates + edges).
+  double Evaluate(const Valuation& valuation) const;
+
+  /// Expands the circuit back into a canonical polynomial. Exponential in
+  /// the worst case (that is the point of factorization); intended for
+  /// tests and for small circuits.
+  Polynomial ToPolynomial() const;
+
+  /// Rewrites every variable leaf through `map` (identity for absent
+  /// entries) — abstraction applied WITHOUT expanding the circuit. The
+  /// result represents P↓S whenever `map` comes from a VVS.
+  ProvenanceCircuit ApplySubstitution(
+      const std::unordered_map<VariableId, VariableId>& map) const;
+
+  /// Structural validation: children indices in range and topologically
+  /// ordered, output set, leaves well-formed.
+  Status Validate() const;
+
+  /// Debug rendering, e.g. "((2 + x)*y)".
+  std::string ToString(const VariableTable& vars) const;
+
+ private:
+  std::vector<Gate> gates_;
+  GateId output_ = kNoGate;
+};
+
+}  // namespace provabs
+
+#endif  // PROVABS_CIRCUIT_CIRCUIT_H_

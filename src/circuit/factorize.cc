@@ -1,0 +1,153 @@
+#include "circuit/factorize.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/macros.h"
+
+namespace provabs {
+
+namespace {
+
+/// Emits a product gate for one monomial (coefficient folded in; the
+/// coefficient-only case emits a constant gate).
+ProvenanceCircuit::GateId EmitMonomial(ProvenanceCircuit& circuit,
+                                       const Monomial& m) {
+  std::vector<ProvenanceCircuit::GateId> parts;
+  if (m.coefficient() != 1.0 || m.factors().empty()) {
+    parts.push_back(circuit.AddConstant(m.coefficient()));
+  }
+  for (const Factor& f : m.factors()) {
+    for (uint32_t e = 0; e < f.exp; ++e) {
+      parts.push_back(circuit.AddVariable(f.var));
+    }
+  }
+  if (parts.size() == 1) return parts[0];
+  return circuit.AddProduct(std::move(parts));
+}
+
+/// A working monomial during factorization: coefficient + mutable factors.
+struct Term {
+  double coefficient;
+  std::vector<Factor> factors;
+};
+
+/// Recursive greedy factoring over `terms`; emits gates into `circuit` and
+/// returns the gate computing their sum.
+ProvenanceCircuit::GateId FactorizeTerms(ProvenanceCircuit& circuit,
+                                         std::vector<Term> terms) {
+  PROVABS_CHECK(!terms.empty());
+  if (terms.size() == 1) {
+    return EmitMonomial(circuit,
+                        Monomial(terms[0].coefficient, terms[0].factors));
+  }
+
+  // Most frequent variable across terms.
+  std::unordered_map<VariableId, uint32_t> occurrences;
+  for (const Term& t : terms) {
+    for (const Factor& f : t.factors) ++occurrences[f.var];
+  }
+  VariableId best = kInvalidVariable;
+  uint32_t best_count = 1;  // Require at least two occurrences to factor.
+  for (const auto& [var, count] : occurrences) {
+    if (count > best_count || (count == best_count && var < best)) {
+      if (count >= 2) {
+        best = var;
+        best_count = count;
+      }
+    }
+  }
+
+  if (best == kInvalidVariable) {
+    // No sharing: flat sum of the remaining terms.
+    std::vector<ProvenanceCircuit::GateId> parts;
+    parts.reserve(terms.size());
+    for (const Term& t : terms) {
+      parts.push_back(
+          EmitMonomial(circuit, Monomial(t.coefficient, t.factors)));
+    }
+    return circuit.AddSum(std::move(parts));
+  }
+
+  // Split: terms containing `best` (with one power of it removed) vs rest.
+  std::vector<Term> with;
+  std::vector<Term> without;
+  for (Term& t : terms) {
+    bool contains = false;
+    for (Factor& f : t.factors) {
+      if (f.var == best) {
+        contains = true;
+        if (--f.exp == 0) {
+          f = t.factors.back();
+          t.factors.pop_back();
+        }
+        break;
+      }
+    }
+    (contains ? with : without).push_back(std::move(t));
+  }
+  PROVABS_CHECK(with.size() >= 2);
+
+  ProvenanceCircuit::GateId var_gate = circuit.AddVariable(best);
+  ProvenanceCircuit::GateId quotient =
+      FactorizeTerms(circuit, std::move(with));
+  ProvenanceCircuit::GateId product =
+      circuit.AddProduct({var_gate, quotient});
+  if (without.empty()) return product;
+  ProvenanceCircuit::GateId rest =
+      FactorizeTerms(circuit, std::move(without));
+  return circuit.AddSum({product, rest});
+}
+
+}  // namespace
+
+ProvenanceCircuit FlatCircuit(const Polynomial& poly) {
+  ProvenanceCircuit circuit;
+  if (poly.monomials().empty()) {
+    circuit.SetOutput(circuit.AddConstant(0.0));
+    return circuit;
+  }
+  std::vector<ProvenanceCircuit::GateId> parts;
+  parts.reserve(poly.SizeM());
+  for (const Monomial& m : poly.monomials()) {
+    parts.push_back(EmitMonomial(circuit, m));
+  }
+  circuit.SetOutput(parts.size() == 1 ? parts[0]
+                                      : circuit.AddSum(std::move(parts)));
+  return circuit;
+}
+
+ProvenanceCircuit FactorizePolynomial(const Polynomial& poly) {
+  ProvenanceCircuit circuit;
+  if (poly.monomials().empty()) {
+    circuit.SetOutput(circuit.AddConstant(0.0));
+    return circuit;
+  }
+  std::vector<Term> terms;
+  terms.reserve(poly.SizeM());
+  for (const Monomial& m : poly.monomials()) {
+    terms.push_back(Term{m.coefficient(), m.factors()});
+  }
+  circuit.SetOutput(FactorizeTerms(circuit, std::move(terms)));
+  return circuit;
+}
+
+std::vector<ProvenanceCircuit> FactorizeSet(const PolynomialSet& polys) {
+  std::vector<ProvenanceCircuit> circuits;
+  circuits.reserve(polys.count());
+  for (const Polynomial& p : polys.polynomials()) {
+    circuits.push_back(FactorizePolynomial(p));
+  }
+  return circuits;
+}
+
+CircuitStats StatsOf(const std::vector<ProvenanceCircuit>& circuits) {
+  CircuitStats stats;
+  for (const ProvenanceCircuit& c : circuits) {
+    stats.gates += c.gate_count();
+    stats.edges += c.EdgeCount();
+  }
+  return stats;
+}
+
+}  // namespace provabs

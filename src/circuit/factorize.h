@@ -1,0 +1,42 @@
+#ifndef PROVABS_CIRCUIT_FACTORIZE_H_
+#define PROVABS_CIRCUIT_FACTORIZE_H_
+
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "core/polynomial.h"
+#include "core/polynomial_set.h"
+
+namespace provabs {
+
+/// Conversions between flat provenance polynomials and circuits.
+
+/// The trivial sum-of-products encoding: one product gate per monomial,
+/// one top-level sum. Size is proportional to |P|_M — the baseline the
+/// factorized form is measured against.
+ProvenanceCircuit FlatCircuit(const Polynomial& poly);
+
+/// Greedy recursive factorization: repeatedly pulls out the variable power
+/// occurring in the most monomials (Horner-style),
+///   P  =  v^e · Q + R,
+/// recursing on Q and R. For the paper's workloads — monomials of the form
+/// c·s_i·p_j — this factors each polynomial into Σ_i s_i·(Σ_j c·p_j),
+/// roughly halving the edge count; in general it never does worse than the
+/// flat encoding by more than a constant. Lossless: ToPolynomial() returns
+/// the input exactly.
+ProvenanceCircuit FactorizePolynomial(const Polynomial& poly);
+
+/// Factorizes every polynomial of a set.
+std::vector<ProvenanceCircuit> FactorizeSet(const PolynomialSet& polys);
+
+/// Size accounting for storage comparisons (Fig. "storage" discussions of
+/// §5): gates + edges of a circuit collection.
+struct CircuitStats {
+  size_t gates = 0;
+  size_t edges = 0;
+};
+CircuitStats StatsOf(const std::vector<ProvenanceCircuit>& circuits);
+
+}  // namespace provabs
+
+#endif  // PROVABS_CIRCUIT_FACTORIZE_H_

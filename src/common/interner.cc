@@ -1,0 +1,28 @@
+#include "common/interner.h"
+
+#include "common/macros.h"
+
+namespace provabs {
+
+uint32_t StringInterner::Intern(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(names_.size());
+  PROVABS_CHECK(id != kNotFound);
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+uint32_t StringInterner::Find(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  if (it == ids_.end()) return kNotFound;
+  return it->second;
+}
+
+const std::string& StringInterner::NameOf(uint32_t id) const {
+  PROVABS_CHECK(id < names_.size());
+  return names_[id];
+}
+
+}  // namespace provabs

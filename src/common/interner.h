@@ -1,0 +1,47 @@
+#ifndef PROVABS_COMMON_INTERNER_H_
+#define PROVABS_COMMON_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace provabs {
+
+/// Maps strings to dense 32-bit ids and back. Used to intern variable and
+/// meta-variable names so that polynomials and abstraction trees store plain
+/// integers instead of heap strings (the polynomial "DAG" becomes flat
+/// vectors of ids — no manual pointer management).
+class StringInterner {
+ public:
+  StringInterner() = default;
+
+  StringInterner(const StringInterner&) = delete;
+  StringInterner& operator=(const StringInterner&) = delete;
+  StringInterner(StringInterner&&) = default;
+  StringInterner& operator=(StringInterner&&) = default;
+
+  /// Returns the id for `name`, inserting it if new. Ids are assigned
+  /// consecutively from 0.
+  uint32_t Intern(std::string_view name);
+
+  /// Returns the id for `name` or `kNotFound` if it was never interned.
+  uint32_t Find(std::string_view name) const;
+
+  /// Returns the string for `id`. `id` must have been returned by Intern().
+  const std::string& NameOf(uint32_t id) const;
+
+  /// Number of distinct interned strings.
+  size_t size() const { return names_.size(); }
+
+  static constexpr uint32_t kNotFound = 0xFFFFFFFFu;
+
+ private:
+  std::unordered_map<std::string, uint32_t> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace provabs
+
+#endif  // PROVABS_COMMON_INTERNER_H_

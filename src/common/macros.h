@@ -1,0 +1,31 @@
+#ifndef PROVABS_COMMON_MACROS_H_
+#define PROVABS_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file
+/// Internal invariant-checking macros. Following the project's no-exceptions
+/// policy, violated invariants abort the process with a source location; they
+/// indicate programming errors, never data-dependent failures (which are
+/// reported via `provabs::Status`).
+
+#define PROVABS_CHECK(condition)                                            \
+  do {                                                                      \
+    if (!(condition)) {                                                     \
+      std::fprintf(stderr, "PROVABS_CHECK failed at %s:%d: %s\n", __FILE__, \
+                   __LINE__, #condition);                                   \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (false)
+
+#define PROVABS_DCHECK(condition) PROVABS_CHECK(condition)
+
+/// Propagates a non-OK `provabs::Status` to the caller.
+#define PROVABS_RETURN_IF_ERROR(expr)               \
+  do {                                              \
+    ::provabs::Status _status = (expr);             \
+    if (!_status.ok()) return _status;              \
+  } while (false)
+
+#endif  // PROVABS_COMMON_MACROS_H_

@@ -1,0 +1,62 @@
+#include "common/random.h"
+
+#include "common/macros.h"
+
+namespace provabs {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t state = seed;
+  s0_ = SplitMix64(state);
+  s1_ = SplitMix64(state);
+  if (s0_ == 0 && s1_ == 0) s1_ = 1;  // xorshift must not be all-zero.
+}
+
+uint64_t Rng::NextU64() {
+  uint64_t x = s0_;
+  const uint64_t y = s1_;
+  s0_ = y;
+  x ^= x << 23;
+  s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+  return s1_ + y;
+}
+
+uint64_t Rng::Uniform(uint64_t bound) {
+  PROVABS_CHECK(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -bound % bound;
+  for (;;) {
+    uint64_t r = NextU64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  PROVABS_CHECK(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  Uniform(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  // 53 random bits -> [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformReal(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+}  // namespace provabs

@@ -1,0 +1,53 @@
+#ifndef PROVABS_COMMON_RANDOM_H_
+#define PROVABS_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace provabs {
+
+/// Deterministic 64-bit PRNG (splitmix64 seeded xorshift128+). Workload
+/// generators take an explicit `Rng` so every benchmark and test is
+/// reproducible from a seed; we never use global random state.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42);
+
+  /// Uniform in [0, 2^64).
+  uint64_t NextU64();
+
+  /// Uniform in [0, bound). `bound` must be positive.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform real in [0, 1).
+  double NextDouble();
+
+  /// Uniform real in [lo, hi).
+  double UniformReal(double lo, double hi);
+
+  /// Flips a coin with probability `p` of true.
+  bool Bernoulli(double p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = Uniform(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace provabs
+
+#endif  // PROVABS_COMMON_RANDOM_H_

@@ -1,0 +1,65 @@
+#ifndef PROVABS_COMMON_STATUSOR_H_
+#define PROVABS_COMMON_STATUSOR_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace provabs {
+
+/// Holds either a value of type `T` or a non-OK `Status` explaining why the
+/// value is absent. Accessing the value of a non-OK `StatusOr` aborts.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a non-OK status. Aborts if `status` is OK (an OK
+  /// StatusOr must carry a value).
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    PROVABS_CHECK(!status_.ok());
+  }
+
+  /// Constructs an OK result carrying `value`.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    PROVABS_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    PROVABS_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    PROVABS_CHECK(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a `StatusOr` expression to `lhs`, or returns its
+/// status from the enclosing function on failure.
+#define PROVABS_ASSIGN_OR_RETURN(lhs, expr)         \
+  auto PROVABS_CONCAT_(statusor_, __LINE__) = (expr);  \
+  if (!PROVABS_CONCAT_(statusor_, __LINE__).ok())      \
+    return PROVABS_CONCAT_(statusor_, __LINE__).status(); \
+  lhs = std::move(PROVABS_CONCAT_(statusor_, __LINE__)).value()
+
+#define PROVABS_CONCAT_IMPL_(a, b) a##b
+#define PROVABS_CONCAT_(a, b) PROVABS_CONCAT_IMPL_(a, b)
+
+}  // namespace provabs
+
+#endif  // PROVABS_COMMON_STATUSOR_H_

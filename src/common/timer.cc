@@ -1,0 +1,4 @@
+#include "common/timer.h"
+
+// Timer is header-only; this translation unit exists so the common library
+// has a stable archive member for it (and to catch ODR issues early).

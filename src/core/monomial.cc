@@ -1,0 +1,100 @@
+#include "core/monomial.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace provabs {
+
+namespace {
+
+// Sorts factors by variable id and merges duplicates by adding exponents.
+void Canonicalize(std::vector<Factor>& factors) {
+  std::sort(factors.begin(), factors.end(),
+            [](const Factor& a, const Factor& b) { return a.var < b.var; });
+  size_t out = 0;
+  for (size_t i = 0; i < factors.size(); ++i) {
+    if (out > 0 && factors[out - 1].var == factors[i].var) {
+      factors[out - 1].exp += factors[i].exp;
+    } else {
+      factors[out++] = factors[i];
+    }
+  }
+  factors.resize(out);
+}
+
+}  // namespace
+
+Monomial::Monomial(double coefficient, std::vector<Factor> factors)
+    : coefficient_(coefficient), factors_(std::move(factors)) {
+  Canonicalize(factors_);
+}
+
+uint64_t Monomial::total_degree() const {
+  uint64_t d = 0;
+  for (const Factor& f : factors_) d += f.exp;
+  return d;
+}
+
+bool Monomial::Contains(VariableId var) const {
+  return ExponentOf(var) != 0;
+}
+
+uint32_t Monomial::ExponentOf(VariableId var) const {
+  auto it = std::lower_bound(
+      factors_.begin(), factors_.end(), var,
+      [](const Factor& f, VariableId v) { return f.var < v; });
+  if (it != factors_.end() && it->var == var) return it->exp;
+  return 0;
+}
+
+Monomial Monomial::MapVariables(
+    const std::function<VariableId(VariableId)>& map) const {
+  std::vector<Factor> mapped;
+  mapped.reserve(factors_.size());
+  for (const Factor& f : factors_) {
+    mapped.push_back(Factor{map(f.var), f.exp});
+  }
+  return Monomial(coefficient_, std::move(mapped));
+}
+
+size_t Monomial::PowerProductHash() const {
+  // FNV-1a over the (var, exp) pairs.
+  uint64_t h = 0xCBF29CE484222325ULL;
+  auto mix = [&h](uint64_t x) {
+    h ^= x;
+    h *= 0x100000001B3ULL;
+  };
+  for (const Factor& f : factors_) {
+    mix(f.var);
+    mix(f.exp);
+  }
+  return static_cast<size_t>(h);
+}
+
+bool Monomial::PowerProductLess(const Monomial& a, const Monomial& b) {
+  const auto& fa = a.factors_;
+  const auto& fb = b.factors_;
+  const size_t n = std::min(fa.size(), fb.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (fa[i].var != fb[i].var) return fa[i].var < fb[i].var;
+    if (fa[i].exp != fb[i].exp) return fa[i].exp < fb[i].exp;
+  }
+  return fa.size() < fb.size();
+}
+
+std::string Monomial::ToString(const VariableTable& vars) const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", coefficient_);
+  std::string s = buf;
+  for (const Factor& f : factors_) {
+    s += "*";
+    s += vars.NameOf(f.var);
+    if (f.exp != 1) {
+      std::snprintf(buf, sizeof(buf), "^%u", f.exp);
+      s += buf;
+    }
+  }
+  return s;
+}
+
+}  // namespace provabs

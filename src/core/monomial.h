@@ -1,0 +1,84 @@
+#ifndef PROVABS_CORE_MONOMIAL_H_
+#define PROVABS_CORE_MONOMIAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/variable.h"
+
+namespace provabs {
+
+/// One `variable^exponent` factor of a monomial.
+struct Factor {
+  VariableId var = kInvalidVariable;
+  uint32_t exp = 1;
+
+  friend bool operator==(const Factor& a, const Factor& b) {
+    return a.var == b.var && a.exp == b.exp;
+  }
+};
+
+/// A monomial: a rational coefficient times a product of variable powers.
+/// The factor list is kept sorted by variable id with no duplicates; this
+/// canonical "power product" is the identity of the monomial when merging
+/// (two monomials with equal power products are one monomial whose
+/// coefficient is the sum).
+class Monomial {
+ public:
+  Monomial() = default;
+
+  /// Builds a canonical monomial from an arbitrary factor list: factors are
+  /// sorted and duplicate variables have their exponents added.
+  Monomial(double coefficient, std::vector<Factor> factors);
+
+  double coefficient() const { return coefficient_; }
+  void set_coefficient(double c) { coefficient_ = c; }
+  void add_to_coefficient(double c) { coefficient_ += c; }
+
+  /// Sorted, duplicate-free factor list.
+  const std::vector<Factor>& factors() const { return factors_; }
+
+  /// Number of distinct variables in the monomial.
+  size_t degree() const { return factors_.size(); }
+
+  /// Total degree (sum of exponents).
+  uint64_t total_degree() const;
+
+  /// True if the monomial mentions `var`.
+  bool Contains(VariableId var) const;
+
+  /// Exponent of `var`, or 0 if absent.
+  uint32_t ExponentOf(VariableId var) const;
+
+  /// Returns a copy with every variable mapped through `map(var)`;
+  /// exponents of variables that collide after mapping are added.
+  /// Coefficient is preserved.
+  Monomial MapVariables(
+      const std::function<VariableId(VariableId)>& map) const;
+
+  /// True iff the power products are identical (coefficients ignored).
+  bool SamePowerProduct(const Monomial& other) const {
+    return factors_ == other.factors_;
+  }
+
+  /// Hash of the power product only (coefficients ignored), so that monomials
+  /// that must be merged hash identically.
+  size_t PowerProductHash() const;
+
+  /// Total order on power products (lexicographic on (var, exp) pairs);
+  /// used to keep polynomials canonical.
+  static bool PowerProductLess(const Monomial& a, const Monomial& b);
+
+  /// Renders e.g. "220.8*p1*m1" using names from `vars`.
+  std::string ToString(const VariableTable& vars) const;
+
+ private:
+  double coefficient_ = 0.0;
+  std::vector<Factor> factors_;
+};
+
+}  // namespace provabs
+
+#endif  // PROVABS_CORE_MONOMIAL_H_

@@ -1,0 +1,126 @@
+#include "core/polynomial.h"
+
+#include <algorithm>
+
+namespace provabs {
+
+Polynomial Polynomial::FromMonomials(std::vector<Monomial> terms,
+                                     CoefficientCombine combine) {
+  std::sort(terms.begin(), terms.end(), Monomial::PowerProductLess);
+  Polynomial p;
+  p.monomials_.reserve(terms.size());
+  for (Monomial& m : terms) {
+    if (!p.monomials_.empty() &&
+        p.monomials_.back().SamePowerProduct(m)) {
+      Monomial& acc = p.monomials_.back();
+      switch (combine) {
+        case CoefficientCombine::kAdd:
+          acc.add_to_coefficient(m.coefficient());
+          break;
+        case CoefficientCombine::kMin:
+          acc.set_coefficient(std::min(acc.coefficient(), m.coefficient()));
+          break;
+        case CoefficientCombine::kMax:
+          acc.set_coefficient(std::max(acc.coefficient(), m.coefficient()));
+          break;
+      }
+    } else {
+      p.monomials_.push_back(std::move(m));
+    }
+  }
+  if (combine == CoefficientCombine::kAdd) {
+    // Drop monomials whose coefficients cancelled exactly to zero. With the
+    // positive coefficients arising from provenance this never fires
+    // (Claim 25 in the paper), but the polynomial algebra stays correct in
+    // general. Under kMin/kMax a zero coefficient is a real value.
+    p.monomials_.erase(
+        std::remove_if(
+            p.monomials_.begin(), p.monomials_.end(),
+            [](const Monomial& m) { return m.coefficient() == 0.0; }),
+        p.monomials_.end());
+  }
+  return p;
+}
+
+std::unordered_set<VariableId> Polynomial::Variables() const {
+  std::unordered_set<VariableId> vars;
+  CollectVariables(vars);
+  return vars;
+}
+
+size_t Polynomial::SizeV() const { return Variables().size(); }
+
+void Polynomial::CollectVariables(std::unordered_set<VariableId>& out) const {
+  for (const Monomial& m : monomials_) {
+    for (const Factor& f : m.factors()) out.insert(f.var);
+  }
+}
+
+Polynomial Polynomial::MapVariables(
+    const std::function<VariableId(VariableId)>& map,
+    CoefficientCombine combine) const {
+  std::vector<Monomial> mapped;
+  mapped.reserve(monomials_.size());
+  for (const Monomial& m : monomials_) mapped.push_back(m.MapVariables(map));
+  return FromMonomials(std::move(mapped), combine);
+}
+
+bool Polynomial::Mentions(VariableId var) const {
+  for (const Monomial& m : monomials_) {
+    if (m.Contains(var)) return true;
+  }
+  return false;
+}
+
+bool operator==(const Polynomial& a, const Polynomial& b) {
+  if (a.monomials_.size() != b.monomials_.size()) return false;
+  for (size_t i = 0; i < a.monomials_.size(); ++i) {
+    if (!a.monomials_[i].SamePowerProduct(b.monomials_[i])) return false;
+    if (a.monomials_[i].coefficient() != b.monomials_[i].coefficient()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Polynomial Add(const Polynomial& a, const Polynomial& b) {
+  std::vector<Monomial> terms = a.monomials();
+  terms.insert(terms.end(), b.monomials().begin(), b.monomials().end());
+  return Polynomial::FromMonomials(std::move(terms));
+}
+
+Polynomial Multiply(const Polynomial& a, const Polynomial& b) {
+  std::vector<Monomial> terms;
+  terms.reserve(a.monomials().size() * b.monomials().size());
+  for (const Monomial& ma : a.monomials()) {
+    for (const Monomial& mb : b.monomials()) {
+      std::vector<Factor> factors = ma.factors();
+      factors.insert(factors.end(), mb.factors().begin(),
+                     mb.factors().end());
+      terms.emplace_back(ma.coefficient() * mb.coefficient(),
+                         std::move(factors));
+    }
+  }
+  return Polynomial::FromMonomials(std::move(terms));
+}
+
+Polynomial OnePolynomial() {
+  return Polynomial::FromMonomials({Monomial(1.0, {})});
+}
+
+Polynomial VariablePolynomial(VariableId var, double coefficient) {
+  return Polynomial::FromMonomials(
+      {Monomial(coefficient, {Factor{var, 1}})});
+}
+
+std::string Polynomial::ToString(const VariableTable& vars) const {
+  if (monomials_.empty()) return "0";
+  std::string s;
+  for (size_t i = 0; i < monomials_.size(); ++i) {
+    if (i > 0) s += " + ";
+    s += monomials_[i].ToString(vars);
+  }
+  return s;
+}
+
+}  // namespace provabs

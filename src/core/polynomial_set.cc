@@ -1,0 +1,30 @@
+#include "core/polynomial_set.h"
+
+namespace provabs {
+
+size_t PolynomialSet::SizeM() const {
+  size_t total = 0;
+  for (const Polynomial& p : polys_) total += p.SizeM();
+  return total;
+}
+
+std::unordered_set<VariableId> PolynomialSet::Variables() const {
+  std::unordered_set<VariableId> vars;
+  for (const Polynomial& p : polys_) p.CollectVariables(vars);
+  return vars;
+}
+
+size_t PolynomialSet::SizeV() const { return Variables().size(); }
+
+PolynomialSet PolynomialSet::MapVariables(
+    const std::function<VariableId(VariableId)>& map,
+    CoefficientCombine combine) const {
+  PolynomialSet result;
+  result.polys_.reserve(polys_.size());
+  for (const Polynomial& p : polys_) {
+    result.Add(p.MapVariables(map, combine));
+  }
+  return result;
+}
+
+}  // namespace provabs

@@ -1,0 +1,49 @@
+#ifndef PROVABS_CORE_POLYNOMIAL_SET_H_
+#define PROVABS_CORE_POLYNOMIAL_SET_H_
+
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "core/polynomial.h"
+
+namespace provabs {
+
+/// A multiset of provenance polynomials — the provenance-aware result of a
+/// query, one polynomial per output tuple/group. The paper's measures lift
+/// pointwise: |P|_M is the total monomial count, V(P) the union of variable
+/// sets (§2.1, Notations).
+class PolynomialSet {
+ public:
+  PolynomialSet() = default;
+
+  explicit PolynomialSet(std::vector<Polynomial> polys)
+      : polys_(std::move(polys)) {}
+
+  void Add(Polynomial p) { polys_.push_back(std::move(p)); }
+
+  const std::vector<Polynomial>& polynomials() const { return polys_; }
+  size_t count() const { return polys_.size(); }
+  const Polynomial& operator[](size_t i) const { return polys_[i]; }
+
+  /// |P|_M — total number of monomials across all polynomials.
+  size_t SizeM() const;
+
+  /// V(P) — union of the variable sets.
+  std::unordered_set<VariableId> Variables() const;
+
+  /// |P|_V — number of distinct variables across all polynomials.
+  size_t SizeV() const;
+
+  /// Applies a variable substitution pointwise (P↓S lifted to sets).
+  PolynomialSet MapVariables(
+      const std::function<VariableId(VariableId)>& map,
+      CoefficientCombine combine = CoefficientCombine::kAdd) const;
+
+ private:
+  std::vector<Polynomial> polys_;
+};
+
+}  // namespace provabs
+
+#endif  // PROVABS_CORE_POLYNOMIAL_SET_H_

@@ -1,0 +1,110 @@
+#ifndef PROVABS_CORE_SEMIRING_H_
+#define PROVABS_CORE_SEMIRING_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+
+#include "core/polynomial.h"
+#include "core/variable.h"
+
+namespace provabs {
+
+/// §2.1 of the paper notes that the polynomial model is generic over the
+/// semiring interpretation of + and ·: Boolean valuations capture tuple
+/// existence scenarios, counting captures bag semantics, tropical captures
+/// min-cost, and the real semiring captures the aggregate setting of the
+/// running example. Each semiring below supplies the (Zero, One, Add, Mul)
+/// structure plus a mapping of the stored rational coefficient into the
+/// carrier. `EvaluateOver<S>` then evaluates any provenance polynomial in
+/// that semiring, demonstrating that abstraction is model-agnostic.
+
+/// Standard (R, +, ·) — numeric what-if analysis.
+struct RealSemiring {
+  using Value = double;
+  static Value Zero() { return 0.0; }
+  static Value One() { return 1.0; }
+  static Value Add(Value a, Value b) { return a + b; }
+  static Value Mul(Value a, Value b) { return a * b; }
+  static Value FromCoefficient(double c) { return c; }
+};
+
+/// ({false,true}, ∨, ∧) — tuple existence / possibility.
+struct BooleanSemiring {
+  using Value = bool;
+  static Value Zero() { return false; }
+  static Value One() { return true; }
+  static Value Add(Value a, Value b) { return a || b; }
+  static Value Mul(Value a, Value b) { return a && b; }
+  static Value FromCoefficient(double c) { return c != 0.0; }
+};
+
+/// (N, +, ·) — bag multiplicity counting.
+struct CountingSemiring {
+  using Value = int64_t;
+  static Value Zero() { return 0; }
+  static Value One() { return 1; }
+  static Value Add(Value a, Value b) { return a + b; }
+  static Value Mul(Value a, Value b) { return a * b; }
+  static Value FromCoefficient(double c) {
+    return static_cast<int64_t>(std::llround(c));
+  }
+};
+
+/// (R ∪ {∞}, min, +) — minimal cost of derivation.
+struct TropicalSemiring {
+  using Value = double;
+  static Value Zero() { return std::numeric_limits<double>::infinity(); }
+  static Value One() { return 0.0; }
+  static Value Add(Value a, Value b) { return std::min(a, b); }
+  static Value Mul(Value a, Value b) { return a + b; }
+  static Value FromCoefficient(double c) { return c; }
+};
+
+/// (R≥0 ∪ {∞}, min, ·) — MIN aggregates with multiplicative scenario
+/// factors (§2.1 case 2: the polynomial's "+" is the aggregate). min
+/// distributes over · on the non-negative reals, so this is a semiring and
+/// abstraction with CoefficientCombine::kMin stays exact.
+struct MinTimesSemiring {
+  using Value = double;
+  static Value Zero() { return std::numeric_limits<double>::infinity(); }
+  static Value One() { return 1.0; }
+  static Value Add(Value a, Value b) { return std::min(a, b); }
+  static Value Mul(Value a, Value b) { return a * b; }
+  static Value FromCoefficient(double c) { return c; }
+};
+
+/// (R≥0 ∪ {−∞}, max, ·) — MAX aggregates with multiplicative factors.
+struct MaxTimesSemiring {
+  using Value = double;
+  static Value Zero() { return -std::numeric_limits<double>::infinity(); }
+  static Value One() { return 1.0; }
+  static Value Add(Value a, Value b) { return std::max(a, b); }
+  static Value Mul(Value a, Value b) { return a * b; }
+  static Value FromCoefficient(double c) { return c; }
+};
+
+/// Evaluates `poly` in semiring `S` under `assignment`. Variables absent
+/// from the assignment evaluate to `S::One()` (the neutral scenario).
+template <typename S>
+typename S::Value EvaluateOver(
+    const Polynomial& poly,
+    const std::unordered_map<VariableId, typename S::Value>& assignment) {
+  typename S::Value total = S::Zero();
+  for (const Monomial& m : poly.monomials()) {
+    typename S::Value term = S::FromCoefficient(m.coefficient());
+    for (const Factor& f : m.factors()) {
+      auto it = assignment.find(f.var);
+      typename S::Value v = (it == assignment.end()) ? S::One() : it->second;
+      for (uint32_t e = 0; e < f.exp; ++e) term = S::Mul(term, v);
+    }
+    total = S::Add(total, term);
+  }
+  return total;
+}
+
+}  // namespace provabs
+
+#endif  // PROVABS_CORE_SEMIRING_H_

@@ -1,0 +1,29 @@
+#include "core/valuation.h"
+
+#include <cmath>
+
+namespace provabs {
+
+double Valuation::Evaluate(const Polynomial& poly) const {
+  double total = 0.0;
+  for (const Monomial& m : poly.monomials()) {
+    double term = m.coefficient();
+    for (const Factor& f : m.factors()) {
+      double v = Get(f.var);
+      // Exponents are small (bounded by the query's join arity), so repeated
+      // multiplication beats std::pow here.
+      for (uint32_t e = 0; e < f.exp; ++e) term *= v;
+    }
+    total += term;
+  }
+  return total;
+}
+
+std::vector<double> Valuation::EvaluateAll(const PolynomialSet& polys) const {
+  std::vector<double> out;
+  out.reserve(polys.count());
+  for (const Polynomial& p : polys.polynomials()) out.push_back(Evaluate(p));
+  return out;
+}
+
+}  // namespace provabs

@@ -1,0 +1,47 @@
+#ifndef PROVABS_CORE_VALUATION_H_
+#define PROVABS_CORE_VALUATION_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/polynomial.h"
+#include "core/polynomial_set.h"
+#include "core/variable.h"
+
+namespace provabs {
+
+/// A hypothetical scenario: an assignment of numeric values to provenance
+/// variables. Variables not mentioned default to 1.0, which for the
+/// multiplicative discount parameters of the paper's running example means
+/// "no change". Evaluating a polynomial under a valuation yields the query
+/// answer under the scenario — this is the operation abstraction speeds up
+/// (Fig. 10).
+class Valuation {
+ public:
+  Valuation() = default;
+
+  /// Sets `var := value`, overwriting any previous assignment.
+  void Set(VariableId var, double value) { values_[var] = value; }
+
+  /// Value of `var` (default 1.0 when unassigned).
+  double Get(VariableId var) const {
+    auto it = values_.find(var);
+    return it == values_.end() ? 1.0 : it->second;
+  }
+
+  /// Number of explicitly assigned variables.
+  size_t size() const { return values_.size(); }
+
+  /// Evaluates a single polynomial under this valuation.
+  double Evaluate(const Polynomial& poly) const;
+
+  /// Evaluates each polynomial in the set; `out[i]` is the value of poly i.
+  std::vector<double> EvaluateAll(const PolynomialSet& polys) const;
+
+ private:
+  std::unordered_map<VariableId, double> values_;
+};
+
+}  // namespace provabs
+
+#endif  // PROVABS_CORE_VALUATION_H_

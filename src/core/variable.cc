@@ -1,0 +1,4 @@
+#include "core/variable.h"
+
+// VariableTable is a thin header-only wrapper over StringInterner; this file
+// anchors the translation unit for the core library.

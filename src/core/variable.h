@@ -1,0 +1,56 @@
+#ifndef PROVABS_CORE_VARIABLE_H_
+#define PROVABS_CORE_VARIABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/interner.h"
+
+namespace provabs {
+
+/// Dense integer handle for a provenance variable or meta-variable.
+/// All polynomial and abstraction-tree structures store `VariableId`s;
+/// the owning `VariableTable` maps them back to names for display.
+using VariableId = uint32_t;
+
+/// Sentinel for "no variable".
+inline constexpr VariableId kInvalidVariable = 0xFFFFFFFFu;
+
+/// Registry of variable names. One `VariableTable` is shared by a set of
+/// polynomials and the abstraction forest defined over them, so that ids are
+/// comparable across both. Variables (polynomial indeterminates) and
+/// meta-variables (internal abstraction-tree nodes) live in the same id
+/// space, mirroring the paper's convention of not distinguishing them after
+/// §2.2.
+class VariableTable {
+ public:
+  VariableTable() = default;
+
+  VariableTable(const VariableTable&) = delete;
+  VariableTable& operator=(const VariableTable&) = delete;
+  VariableTable(VariableTable&&) = default;
+  VariableTable& operator=(VariableTable&&) = default;
+
+  /// Returns the id for `name`, creating it if necessary.
+  VariableId Intern(std::string_view name) { return interner_.Intern(name); }
+
+  /// Returns the id for `name`, or `kInvalidVariable` if unknown.
+  VariableId Find(std::string_view name) const {
+    uint32_t id = interner_.Find(name);
+    return id == StringInterner::kNotFound ? kInvalidVariable : id;
+  }
+
+  /// Name of an interned variable.
+  const std::string& NameOf(VariableId id) const { return interner_.NameOf(id); }
+
+  /// Number of interned variables (including meta-variables).
+  size_t size() const { return interner_.size(); }
+
+ private:
+  StringInterner interner_;
+};
+
+}  // namespace provabs
+
+#endif  // PROVABS_CORE_VARIABLE_H_

@@ -1,0 +1,281 @@
+#include "engine/query.h"
+
+#include <unordered_map>
+
+#include "common/macros.h"
+
+namespace provabs {
+
+namespace {
+
+// Hash of a row (used by project-dedup, join keys, and group-by).
+uint64_t HashRow(const Row& row, const std::vector<size_t>& columns) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  auto mix = [&h](uint64_t x) {
+    h ^= x;
+    h *= 0x100000001B3ULL;
+  };
+  std::hash<std::string> shash;
+  for (size_t c : columns) {
+    const Value& v = row[c];
+    mix(static_cast<uint64_t>(v.index()));
+    switch (TypeOf(v)) {
+      case ValueType::kInt64:
+        mix(static_cast<uint64_t>(std::get<int64_t>(v)));
+        break;
+      case ValueType::kDouble: {
+        double d = std::get<double>(v);
+        uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(d));
+        __builtin_memcpy(&bits, &d, sizeof(bits));
+        mix(bits);
+        break;
+      }
+      case ValueType::kString:
+        mix(shash(std::get<std::string>(v)));
+        break;
+    }
+  }
+  return h;
+}
+
+bool RowsEqualOn(const Row& a, const Row& b,
+                 const std::vector<size_t>& cols_a,
+                 const std::vector<size_t>& cols_b) {
+  for (size_t i = 0; i < cols_a.size(); ++i) {
+    if (a[cols_a[i]] != b[cols_b[i]]) return false;
+  }
+  return true;
+}
+
+std::vector<size_t> ResolveColumns(const Schema& schema,
+                                   const std::vector<std::string>& names) {
+  std::vector<size_t> idx;
+  idx.reserve(names.size());
+  for (const std::string& n : names) idx.push_back(schema.IndexOf(n));
+  return idx;
+}
+
+}  // namespace
+
+void AnnotatedTable::Append(Row row, Polynomial annotation) {
+  PROVABS_CHECK(row.size() == schema_.column_count());
+  rows_.push_back(std::move(row));
+  annotations_.push_back(std::move(annotation));
+}
+
+PolynomialSet AnnotatedTable::ToPolynomialSet() const {
+  return PolynomialSet(annotations_);
+}
+
+AnnotatedTable Scan(const Table& table, const RowAnnotator& annotator) {
+  AnnotatedTable out(table.schema());
+  for (const Row& row : table.rows()) {
+    out.Append(row, annotator ? annotator(row) : OnePolynomial());
+  }
+  return out;
+}
+
+AnnotatedTable Select(const AnnotatedTable& input,
+                      const RowPredicate& predicate) {
+  AnnotatedTable out(input.schema());
+  for (size_t i = 0; i < input.row_count(); ++i) {
+    if (predicate(input.rows()[i])) {
+      out.Append(input.rows()[i], input.annotations()[i]);
+    }
+  }
+  return out;
+}
+
+AnnotatedTable Project(const AnnotatedTable& input,
+                       const std::vector<std::string>& columns, bool dedup) {
+  std::vector<size_t> idx = ResolveColumns(input.schema(), columns);
+  std::vector<Schema::Column> out_columns;
+  out_columns.reserve(idx.size());
+  for (size_t i : idx) out_columns.push_back(input.schema().column(i));
+  AnnotatedTable out{Schema(std::move(out_columns))};
+
+  if (!dedup) {
+    for (size_t r = 0; r < input.row_count(); ++r) {
+      Row projected;
+      projected.reserve(idx.size());
+      for (size_t i : idx) projected.push_back(input.rows()[r][i]);
+      out.Append(std::move(projected), input.annotations()[r]);
+    }
+    return out;
+  }
+
+  // Set semantics: merge duplicates, adding annotations.
+  std::vector<size_t> all_out(idx.size());
+  for (size_t i = 0; i < idx.size(); ++i) all_out[i] = i;
+  std::unordered_map<uint64_t, std::vector<size_t>> buckets;
+  std::vector<Row> out_rows;
+  std::vector<Polynomial> out_annots;
+  for (size_t r = 0; r < input.row_count(); ++r) {
+    Row projected;
+    projected.reserve(idx.size());
+    for (size_t i : idx) projected.push_back(input.rows()[r][i]);
+    uint64_t h = HashRow(projected, all_out);
+    bool merged = false;
+    for (size_t slot : buckets[h]) {
+      if (RowsEqualOn(out_rows[slot], projected, all_out, all_out)) {
+        out_annots[slot] = Add(out_annots[slot], input.annotations()[r]);
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) {
+      buckets[h].push_back(out_rows.size());
+      out_rows.push_back(std::move(projected));
+      out_annots.push_back(input.annotations()[r]);
+    }
+  }
+  for (size_t i = 0; i < out_rows.size(); ++i) {
+    out.Append(std::move(out_rows[i]), std::move(out_annots[i]));
+  }
+  return out;
+}
+
+AnnotatedTable HashJoin(
+    const AnnotatedTable& left, const AnnotatedTable& right,
+    const std::vector<std::pair<std::string, std::string>>& keys) {
+  std::vector<size_t> lkeys;
+  std::vector<size_t> rkeys;
+  for (const auto& [l, r] : keys) {
+    lkeys.push_back(left.schema().IndexOf(l));
+    rkeys.push_back(right.schema().IndexOf(r));
+  }
+
+  // Output schema: all left columns + right columns that are not join keys.
+  std::vector<Schema::Column> out_columns;
+  for (size_t i = 0; i < left.schema().column_count(); ++i) {
+    out_columns.push_back(left.schema().column(i));
+  }
+  std::vector<size_t> right_keep;
+  for (size_t i = 0; i < right.schema().column_count(); ++i) {
+    bool is_key = false;
+    for (size_t rk : rkeys) {
+      if (rk == i) is_key = true;
+    }
+    if (is_key) continue;
+    right_keep.push_back(i);
+    Schema::Column col = right.schema().column(i);
+    // Disambiguate duplicate names from the left side.
+    std::string base = col.name;
+    int suffix = 1;
+    while (true) {
+      bool clash = false;
+      for (const auto& c : out_columns) {
+        if (c.name == col.name) clash = true;
+      }
+      if (!clash) break;
+      col.name = base + "_" + std::to_string(++suffix);
+    }
+    out_columns.push_back(col);
+  }
+  AnnotatedTable out{Schema(std::move(out_columns))};
+
+  // Build side: right.
+  std::unordered_map<uint64_t, std::vector<size_t>> build;
+  for (size_t r = 0; r < right.row_count(); ++r) {
+    build[HashRow(right.rows()[r], rkeys)].push_back(r);
+  }
+  // Probe side: left.
+  for (size_t l = 0; l < left.row_count(); ++l) {
+    uint64_t h = HashRow(left.rows()[l], lkeys);
+    auto it = build.find(h);
+    if (it == build.end()) continue;
+    for (size_t r : it->second) {
+      if (!RowsEqualOn(left.rows()[l], right.rows()[r], lkeys, rkeys)) {
+        continue;
+      }
+      Row joined = left.rows()[l];
+      for (size_t i : right_keep) joined.push_back(right.rows()[r][i]);
+      out.Append(std::move(joined),
+                 Multiply(left.annotations()[l], right.annotations()[r]));
+    }
+  }
+  return out;
+}
+
+AnnotatedTable Union(const AnnotatedTable& a, const AnnotatedTable& b) {
+  PROVABS_CHECK(a.schema().column_count() == b.schema().column_count());
+  AnnotatedTable out(a.schema());
+  for (size_t i = 0; i < a.row_count(); ++i) {
+    out.Append(a.rows()[i], a.annotations()[i]);
+  }
+  for (size_t i = 0; i < b.row_count(); ++i) {
+    out.Append(b.rows()[i], b.annotations()[i]);
+  }
+  return out;
+}
+
+AnnotatedTable GroupBySum(const AnnotatedTable& input,
+                          const GroupBySumSpec& spec) {
+  PROVABS_CHECK(spec.coefficient != nullptr);
+  std::vector<size_t> gcols =
+      ResolveColumns(input.schema(), spec.group_columns);
+
+  std::vector<Schema::Column> out_columns;
+  for (size_t i : gcols) out_columns.push_back(input.schema().column(i));
+  AnnotatedTable out{Schema(std::move(out_columns))};
+
+  std::unordered_map<uint64_t, std::vector<size_t>> buckets;
+  std::vector<Row> group_rows;
+  std::vector<std::vector<Monomial>> group_terms;
+  std::vector<size_t> gcols_out(gcols.size());
+  for (size_t i = 0; i < gcols.size(); ++i) gcols_out[i] = i;
+
+  for (size_t r = 0; r < input.row_count(); ++r) {
+    const Row& row = input.rows()[r];
+    double coeff = spec.coefficient(row);
+    std::vector<Factor> factors;
+    if (spec.parameters) {
+      for (VariableId v : spec.parameters(row)) {
+        factors.push_back(Factor{v, 1});
+      }
+    }
+    // The row's own semiring annotation multiplies in as well, so that
+    // tuple-annotated inputs compose with aggregate parameterization.
+    Monomial term(coeff, std::move(factors));
+
+    uint64_t h = HashRow(row, gcols);
+    size_t slot = SIZE_MAX;
+    for (size_t s : buckets[h]) {
+      if (RowsEqualOn(group_rows[s], row, gcols_out, gcols)) {
+        slot = s;
+        break;
+      }
+    }
+    if (slot == SIZE_MAX) {
+      slot = group_rows.size();
+      buckets[h].push_back(slot);
+      Row key;
+      key.reserve(gcols.size());
+      for (size_t i : gcols) key.push_back(row[i]);
+      group_rows.push_back(std::move(key));
+      group_terms.emplace_back();
+    }
+    // Incorporate the input annotation (polynomial) times the term.
+    const Polynomial& annot = input.annotations()[r];
+    if (annot.SizeM() == 1 && annot.monomials()[0].factors().empty() &&
+        annot.monomials()[0].coefficient() == 1.0) {
+      group_terms[slot].push_back(std::move(term));
+    } else {
+      Polynomial contribution = Multiply(
+          Polynomial::FromMonomials({std::move(term)}), annot);
+      for (const Monomial& m : contribution.monomials()) {
+        group_terms[slot].push_back(m);
+      }
+    }
+  }
+
+  for (size_t s = 0; s < group_rows.size(); ++s) {
+    out.Append(std::move(group_rows[s]),
+               Polynomial::FromMonomials(std::move(group_terms[s]),
+                                         spec.combine));
+  }
+  return out;
+}
+
+}  // namespace provabs

@@ -1,0 +1,105 @@
+#ifndef PROVABS_ENGINE_QUERY_H_
+#define PROVABS_ENGINE_QUERY_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/polynomial.h"
+#include "core/polynomial_set.h"
+#include "core/variable.h"
+#include "engine/table.h"
+
+namespace provabs {
+
+/// An intermediate relation in a provenance-aware query plan: rows plus one
+/// provenance polynomial per row. Base-table rows start with annotation "1"
+/// (or a fresh/assigned variable in the semiring model, §2.1 case 1);
+/// operators combine annotations with polynomial + and · per the semiring
+/// framework of Green et al. [36]:
+///   select  — filters rows, keeps annotations;
+///   project — merges duplicate rows, adding annotations;
+///   join    — concatenates rows, multiplying annotations;
+///   union   — concatenates relations (adding on dedup via project).
+/// Aggregate provenance (§2.1 case 2) is produced by GroupBySum, which sums
+/// per-row monomials built from cell values and parameter variables.
+class AnnotatedTable {
+ public:
+  AnnotatedTable() = default;
+  explicit AnnotatedTable(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  const std::vector<Polynomial>& annotations() const { return annotations_; }
+  size_t row_count() const { return rows_.size(); }
+
+  void Append(Row row, Polynomial annotation);
+
+  /// Extracts the annotations as a polynomial multiset — the provenance-
+  /// aware query answer fed to the compression algorithms.
+  PolynomialSet ToPolynomialSet() const;
+
+ private:
+  Schema schema_;
+  std::vector<Row> rows_;
+  std::vector<Polynomial> annotations_;
+};
+
+/// Assigns the provenance annotation of a base-table row. Return
+/// OnePolynomial() for unannotated rows, or VariablePolynomial(v) to tag
+/// the row with semiring variable v.
+using RowAnnotator = std::function<Polynomial(const Row&)>;
+
+/// Row predicate for Select.
+using RowPredicate = std::function<bool(const Row&)>;
+
+/// Lifts a base table into the annotated model. When `annotator` is null,
+/// every row is annotated "1".
+AnnotatedTable Scan(const Table& table, const RowAnnotator& annotator = {});
+
+/// σ — keeps rows satisfying `predicate`.
+AnnotatedTable Select(const AnnotatedTable& input,
+                      const RowPredicate& predicate);
+
+/// π — projects onto `columns` (by name). With `dedup`, equal projected rows
+/// are merged and their annotations added (set semantics, the + of the
+/// semiring); without, bag semantics.
+AnnotatedTable Project(const AnnotatedTable& input,
+                       const std::vector<std::string>& columns, bool dedup);
+
+/// ⋈ — hash equi-join on `keys` (pairs of column names from left/right).
+/// Output schema is left's columns followed by right's non-key columns;
+/// annotations multiply.
+AnnotatedTable HashJoin(
+    const AnnotatedTable& left, const AnnotatedTable& right,
+    const std::vector<std::pair<std::string, std::string>>& keys);
+
+/// ∪ — bag union of two relations with identical schemas.
+AnnotatedTable Union(const AnnotatedTable& a, const AnnotatedTable& b);
+
+/// Specification of an aggregate-provenance query (§2.1 case 2): each
+/// input row contributes the monomial  coefficient(row) · Π parameters(row),
+/// and rows are grouped by `group_columns`. The result has one output row
+/// per group, annotated with the group's provenance polynomial — the exact
+/// shape of Examples 1–2 of the paper. The polynomial's "+" is the
+/// aggregate function: addition for SUM, min/max for MIN/MAX (`combine`),
+/// evaluated via Valuation or Min/MaxTimesSemiring respectively.
+struct GroupBySumSpec {
+  std::vector<std::string> group_columns;
+  /// Numeric contribution of a row (e.g. Calls.Dur * Plans.Price).
+  std::function<double(const Row&)> coefficient;
+  /// Parameter variables attached to a row (e.g. {plan var, month var}).
+  std::function<std::vector<VariableId>(const Row&)> parameters;
+  /// kAdd = SUM (default), kMin = MIN, kMax = MAX.
+  CoefficientCombine combine = CoefficientCombine::kAdd;
+};
+
+/// γ — grouped SUM/MIN/MAX with provenance parameterization.
+AnnotatedTable GroupBySum(const AnnotatedTable& input,
+                          const GroupBySumSpec& spec);
+
+}  // namespace provabs
+
+#endif  // PROVABS_ENGINE_QUERY_H_

@@ -1,0 +1,87 @@
+#include "engine/table.h"
+
+#include "common/macros.h"
+
+namespace provabs {
+
+std::string ValueToString(const Value& v) {
+  switch (TypeOf(v)) {
+    case ValueType::kInt64:
+      return std::to_string(std::get<int64_t>(v));
+    case ValueType::kDouble: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%g", std::get<double>(v));
+      return buf;
+    }
+    case ValueType::kString:
+      return std::get<std::string>(v);
+  }
+  return "?";
+}
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    auto [it, inserted] = index_.emplace(columns_[i].name, i);
+    PROVABS_CHECK(inserted);  // Duplicate column names are programming errors.
+  }
+}
+
+size_t Schema::IndexOf(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  PROVABS_CHECK(it != index_.end());
+  return it->second;
+}
+
+bool Schema::Has(std::string_view name) const {
+  return index_.count(std::string(name)) > 0;
+}
+
+void Table::Append(Row row) {
+  PROVABS_CHECK(row.size() == schema_.column_count());
+  rows_.push_back(std::move(row));
+}
+
+Status Table::ValidateRows() const {
+  for (const Row& row : rows_) {
+    if (row.size() != schema_.column_count()) {
+      return Status::Internal("row arity mismatch in table " + name_);
+    }
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (TypeOf(row[i]) != schema_.column(i).type) {
+        return Status::Internal("type mismatch in table " + name_ +
+                                " column " + schema_.column(i).name);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+void Database::Put(Table table) {
+  std::string name = table.name();
+  tables_.insert_or_assign(std::move(name), std::move(table));
+}
+
+const Table& Database::Get(std::string_view name) const {
+  auto it = tables_.find(std::string(name));
+  PROVABS_CHECK(it != tables_.end());
+  return it->second;
+}
+
+bool Database::Has(std::string_view name) const {
+  return tables_.count(std::string(name)) > 0;
+}
+
+std::vector<std::string> Database::Names() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+size_t Database::TotalRows() const {
+  size_t total = 0;
+  for (const auto& [name, table] : tables_) total += table.row_count();
+  return total;
+}
+
+}  // namespace provabs

@@ -1,0 +1,93 @@
+#ifndef PROVABS_ENGINE_TABLE_H_
+#define PROVABS_ENGINE_TABLE_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/value.h"
+
+namespace provabs {
+
+/// A row is a flat value vector positionally matching the schema.
+using Row = std::vector<Value>;
+
+/// Ordered list of named, typed columns.
+class Schema {
+ public:
+  struct Column {
+    std::string name;
+    ValueType type;
+  };
+
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns);
+
+  size_t column_count() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+
+  /// Index of the column named `name`; aborts if absent (schema errors are
+  /// programming errors in this embedded engine).
+  size_t IndexOf(std::string_view name) const;
+
+  /// True if a column named `name` exists.
+  bool Has(std::string_view name) const;
+
+ private:
+  std::vector<Column> columns_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+/// An in-memory relation: schema + rows. Base relations carry no provenance;
+/// annotations are attached when a table enters a provenance-aware query
+/// (see engine/query.h).
+class Table {
+ public:
+  Table() = default;
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  size_t row_count() const { return rows_.size(); }
+
+  /// Appends a row; the row must match the schema arity (checked).
+  void Append(Row row);
+
+  /// Row type/arity validation (used by tests and loaders).
+  Status ValidateRows() const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+/// A named collection of tables.
+class Database {
+ public:
+  /// Adds `table` (replacing any previous table of the same name).
+  void Put(Table table);
+
+  /// Returns the table named `name`; aborts if absent.
+  const Table& Get(std::string_view name) const;
+
+  bool Has(std::string_view name) const;
+  size_t table_count() const { return tables_.size(); }
+
+  /// Names of all tables (unordered).
+  std::vector<std::string> Names() const;
+
+  /// Total row count across tables (the "input data size" axis of Fig. 8).
+  size_t TotalRows() const;
+
+ private:
+  std::unordered_map<std::string, Table> tables_;
+};
+
+}  // namespace provabs
+
+#endif  // PROVABS_ENGINE_TABLE_H_

@@ -1,0 +1,45 @@
+#ifndef PROVABS_ENGINE_VALUE_H_
+#define PROVABS_ENGINE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/macros.h"
+
+namespace provabs {
+
+/// A database cell value. The engine is deliberately small: three scalar
+/// types cover the paper's workloads (TPC-H keys/amounts and telephony
+/// identifiers/durations/prices).
+using Value = std::variant<int64_t, double, std::string>;
+
+/// Column data types matching the Value alternatives.
+enum class ValueType { kInt64 = 0, kDouble = 1, kString = 2 };
+
+inline ValueType TypeOf(const Value& v) {
+  return static_cast<ValueType>(v.index());
+}
+
+inline int64_t AsInt(const Value& v) {
+  PROVABS_CHECK(std::holds_alternative<int64_t>(v));
+  return std::get<int64_t>(v);
+}
+
+inline double AsDouble(const Value& v) {
+  if (std::holds_alternative<double>(v)) return std::get<double>(v);
+  PROVABS_CHECK(std::holds_alternative<int64_t>(v));
+  return static_cast<double>(std::get<int64_t>(v));
+}
+
+inline const std::string& AsString(const Value& v) {
+  PROVABS_CHECK(std::holds_alternative<std::string>(v));
+  return std::get<std::string>(v);
+}
+
+/// Renders a value for debugging output.
+std::string ValueToString(const Value& v);
+
+}  // namespace provabs
+
+#endif  // PROVABS_ENGINE_VALUE_H_

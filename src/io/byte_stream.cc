@@ -1,0 +1,76 @@
+#include "io/byte_stream.h"
+
+#include <cstring>
+
+namespace provabs {
+
+void ByteWriter::PutVarint(uint64_t v) {
+  while (v >= 0x80) {
+    PutU8(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  PutU8(static_cast<uint8_t>(v));
+}
+
+void ByteWriter::PutDouble(double v) {
+  static_assert(sizeof(double) == 8);
+  char bytes[8];
+  std::memcpy(bytes, &v, 8);
+  buffer_.append(bytes, 8);
+}
+
+void ByteWriter::PutString(std::string_view s) {
+  PutVarint(s.size());
+  buffer_.append(s.data(), s.size());
+}
+
+void ByteWriter::PutBytes(const void* data, size_t n) {
+  buffer_.append(static_cast<const char*>(data), n);
+}
+
+StatusOr<uint8_t> ByteReader::GetU8() {
+  if (pos_ >= data_.size()) {
+    return Status::OutOfRange("truncated buffer (u8)");
+  }
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+StatusOr<uint64_t> ByteReader::GetVarint() {
+  uint64_t result = 0;
+  int shift = 0;
+  for (;;) {
+    if (pos_ >= data_.size()) {
+      return Status::OutOfRange("truncated buffer (varint)");
+    }
+    uint8_t byte = static_cast<uint8_t>(data_[pos_++]);
+    if (shift >= 63 && (byte & 0x7F) > 1) {
+      return Status::InvalidArgument("varint overflows 64 bits");
+    }
+    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return result;
+    shift += 7;
+  }
+}
+
+StatusOr<double> ByteReader::GetDouble() {
+  if (pos_ + 8 > data_.size()) {
+    return Status::OutOfRange("truncated buffer (double)");
+  }
+  double v;
+  std::memcpy(&v, data_.data() + pos_, 8);
+  pos_ += 8;
+  return v;
+}
+
+StatusOr<std::string> ByteReader::GetString() {
+  auto len = GetVarint();
+  if (!len.ok()) return len.status();
+  if (pos_ + *len > data_.size()) {
+    return Status::OutOfRange("truncated buffer (string)");
+  }
+  std::string s(data_.substr(pos_, *len));
+  pos_ += *len;
+  return s;
+}
+
+}  // namespace provabs

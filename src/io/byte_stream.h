@@ -1,0 +1,53 @@
+#ifndef PROVABS_IO_BYTE_STREAM_H_
+#define PROVABS_IO_BYTE_STREAM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "common/statusor.h"
+
+namespace provabs {
+
+/// Append-only byte buffer with varint and fixed-width primitives, used by
+/// the provenance serialization format. Little-endian, LEB128 varints.
+class ByteWriter {
+ public:
+  void PutU8(uint8_t v) { buffer_.push_back(static_cast<char>(v)); }
+  void PutVarint(uint64_t v);
+  void PutDouble(double v);
+  void PutString(std::string_view s);
+  void PutBytes(const void* data, size_t n);
+
+  const std::string& buffer() const { return buffer_; }
+  std::string Release() && { return std::move(buffer_); }
+  size_t size() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+};
+
+/// Bounds-checked reader over a serialized buffer. All getters return a
+/// Status error (never abort) on truncated or malformed input, since the
+/// bytes may come from disk or the network.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  StatusOr<uint8_t> GetU8();
+  StatusOr<uint64_t> GetVarint();
+  StatusOr<double> GetDouble();
+  StatusOr<std::string> GetString();
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace provabs
+
+#endif  // PROVABS_IO_BYTE_STREAM_H_

@@ -1,0 +1,90 @@
+#include "online/online_compressor.h"
+
+#include <algorithm>
+
+#include "algo/greedy_multi_tree.h"
+#include "online/size_estimator.h"
+
+namespace provabs {
+
+StatusOr<OnlineResult> CompressOnline(const Database& db,
+                                      const ProvenanceQuery& query,
+                                      const AbstractionForest& forest,
+                                      size_t bound_full,
+                                      const OnlineOptions& options) {
+  if (options.sample_rates.empty()) {
+    return Status::InvalidArgument("at least one sample rate is required");
+  }
+  if (bound_full == 0) {
+    return Status::InvalidArgument("bound must be at least 1");
+  }
+  std::vector<double> rates = options.sample_rates;
+  std::sort(rates.begin(), rates.end());
+  if (rates.front() <= 0.0 || rates.back() > 1.0) {
+    return Status::InvalidArgument("sample rates must lie in (0, 1]");
+  }
+
+  // 1+2. Nested samples: run the query at each rate, recording sizes. The
+  // largest sample doubles as the decision sample.
+  Rng rng(options.seed);
+  std::vector<SizeObservation> observations;
+  PolynomialSet decision_sample;
+  for (double rate : rates) {
+    SampleSpec spec;
+    spec.rate = rate;
+    spec.sampled_tables = options.sampled_tables;
+    Rng sample_rng(options.seed ^ static_cast<uint64_t>(rate * 1e6));
+    Database sampled = SampleDatabase(db, spec, sample_rng);
+    PolynomialSet polys = query(sampled);
+    observations.push_back({rate, polys.SizeM()});
+    if (rate == rates.back()) decision_sample = std::move(polys);
+  }
+  (void)rng;
+
+  OnlineResult result;
+  result.sample_size_m = decision_sample.SizeM();
+  if (result.sample_size_m == 0) {
+    return Status::FailedPrecondition(
+        "the sample produced empty provenance; raise the sample rate");
+  }
+
+  // 3. Size extrapolation and bound adaptation.
+  auto estimate = EstimateFullSize(observations);
+  if (!estimate.ok()) return estimate.status();
+  result.estimated_full_size_m = *estimate;
+  result.adapted_bound = AdaptBoundToSample(bound_full, result.sample_size_m,
+                                            result.estimated_full_size_m);
+
+  // 4. Choose the VVS on the decision sample.
+  Status compat = forest.CheckCompatible(decision_sample);
+  if (!compat.ok()) return compat;
+  if (options.use_optimal_when_single_tree && forest.tree_count() == 1) {
+    auto opt = OptimalSingleTree(decision_sample, forest, 0,
+                                 result.adapted_bound);
+    if (opt.ok()) {
+      result.vvs = opt->vvs;
+    } else if (opt.status().code() == StatusCode::kInfeasible) {
+      // Fall back to maximal compression on the sample.
+      result.vvs = ValidVariableSet::AllRoots(forest);
+    } else {
+      return opt.status();
+    }
+  } else {
+    auto greedy = GreedyMultiTree(decision_sample, forest,
+                                  result.adapted_bound);
+    if (!greedy.ok()) return greedy.status();
+    result.vvs = greedy->vvs;
+  }
+
+  // 5. Full evaluation over the pre-grouped variable space. Running the
+  // query and substituting per-annotation is equivalent to annotating the
+  // inputs with meta-variables, and never stores two monomials that the
+  // abstraction identifies.
+  PolynomialSet full = query(db);
+  result.actual_full_size_m = full.SizeM();
+  result.compressed = result.vvs.Apply(forest, full);
+  result.met_bound = result.compressed.SizeM() <= bound_full;
+  return result;
+}
+
+}  // namespace provabs

@@ -1,0 +1,70 @@
+#ifndef PROVABS_ONLINE_ONLINE_COMPRESSOR_H_
+#define PROVABS_ONLINE_ONLINE_COMPRESSOR_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "abstraction/abstraction_forest.h"
+#include "abstraction/valid_variable_set.h"
+#include "algo/optimal_single_tree.h"
+#include "common/random.h"
+#include "common/statusor.h"
+#include "core/polynomial_set.h"
+#include "engine/table.h"
+#include "online/sampler.h"
+
+namespace provabs {
+
+/// The §6 online-compression pipeline ("Conclusion and Future Work"):
+/// instead of materializing the full provenance and compressing it offline,
+///   1. draw a sample of the database (group-aware when the query is a
+///      GROUP BY, per the paper's heuristic);
+///   2. run the provenance query on the sample;
+///   3. estimate the full provenance size by extrapolating from a few
+///      nested sample rates, and scale the user's bound down accordingly;
+///   4. choose a VVS on the sample (greedy, or optimal when the forest is
+///      a single tree);
+///   5. evaluate the full query with variables pre-grouped through that
+///      VVS, so the full-size provenance expression never materializes.
+///
+/// Step 5 is simulated here by applying the VVS substitution to the full
+/// query's annotations as they are produced — equivalent to annotating the
+/// input with meta-variables up front.
+struct OnlineOptions {
+  /// Sampling rates used for the nested size-extrapolation samples. The
+  /// last rate is also the decision sample from which the VVS is chosen.
+  std::vector<double> sample_rates = {0.05, 0.1, 0.2};
+  /// Tables to sample (the fact/grouping relations); others stay intact.
+  std::vector<std::string> sampled_tables;
+  /// Use OptimalSingleTree when the forest has exactly one tree.
+  bool use_optimal_when_single_tree = true;
+  uint64_t seed = 42;
+};
+
+/// Diagnostics + result of the online pipeline.
+struct OnlineResult {
+  ValidVariableSet vvs;              ///< Chosen on the sample.
+  PolynomialSet compressed;          ///< Full provenance, pre-grouped.
+  size_t sample_size_m = 0;          ///< |P_sample|_M at the last rate.
+  size_t estimated_full_size_m = 0;  ///< Extrapolated |P_full|_M.
+  size_t actual_full_size_m = 0;     ///< True |P_full|_M (for reporting).
+  size_t adapted_bound = 0;          ///< Bound used on the sample.
+  bool met_bound = false;            ///< |compressed|_M ≤ user bound.
+};
+
+/// A provenance query, re-runnable on any (sub)database.
+using ProvenanceQuery = std::function<PolynomialSet(const Database&)>;
+
+/// Runs the online pipeline. `bound_full` is the user's bound on the FULL
+/// provenance size. Returns kInvalidArgument for empty rates, and
+/// kInfeasible when even the sample admits no adequate abstraction.
+StatusOr<OnlineResult> CompressOnline(const Database& db,
+                                      const ProvenanceQuery& query,
+                                      const AbstractionForest& forest,
+                                      size_t bound_full,
+                                      const OnlineOptions& options = {});
+
+}  // namespace provabs
+
+#endif  // PROVABS_ONLINE_ONLINE_COMPRESSOR_H_

@@ -1,0 +1,33 @@
+#include "online/sampler.h"
+
+#include <algorithm>
+
+namespace provabs {
+
+Database SampleDatabase(const Database& db, const SampleSpec& spec,
+                        Rng& rng) {
+  std::unordered_set<std::string> sampled(spec.sampled_tables.begin(),
+                                          spec.sampled_tables.end());
+  const bool sample_all = sampled.empty();
+
+  Database out;
+  // Sort names so the sampling decisions are deterministic regardless of
+  // hash-map iteration order.
+  std::vector<std::string> names = db.Names();
+  std::sort(names.begin(), names.end());
+  for (const std::string& name : names) {
+    const Table& src = db.Get(name);
+    if (!sample_all && sampled.count(name) == 0) {
+      out.Put(src);  // Dimension table: copied intact.
+      continue;
+    }
+    Table dst(src.name(), src.schema());
+    for (const Row& row : src.rows()) {
+      if (rng.Bernoulli(spec.rate)) dst.Append(row);
+    }
+    out.Put(std::move(dst));
+  }
+  return out;
+}
+
+}  // namespace provabs

@@ -1,0 +1,41 @@
+#ifndef PROVABS_ONLINE_SAMPLER_H_
+#define PROVABS_ONLINE_SAMPLER_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/random.h"
+#include "engine/table.h"
+
+namespace provabs {
+
+/// Database sampling for the online-compression pipeline sketched in §6 of
+/// the paper. Two strategies are provided:
+///
+///  * uniform  — every table is Bernoulli-sampled at the given rate. As the
+///    paper notes, this "may not lead to a representative sample of the
+///    output or its provenance" for join-heavy queries (a sampled fact row
+///    loses its dimension rows with high probability).
+///
+///  * group-aware — the paper's heuristic for GROUP BY queries: sample only
+///    the relations that carry the grouping/fact rows, leaving dimension
+///    relations intact, so each retained fact row still joins and the
+///    output polynomials form a genuine subsample of the full ones.
+struct SampleSpec {
+  /// Bernoulli retention probability for sampled tables.
+  double rate = 0.1;
+  /// Tables to sample; all other tables are copied intact. Leave empty to
+  /// sample every table (the uniform strategy).
+  std::vector<std::string> sampled_tables;
+};
+
+/// Returns a database where each table listed in `spec.sampled_tables`
+/// (or every table if the list is empty) keeps each row independently with
+/// probability `spec.rate`. Deterministic given `rng`.
+Database SampleDatabase(const Database& db, const SampleSpec& spec,
+                        Rng& rng);
+
+}  // namespace provabs
+
+#endif  // PROVABS_ONLINE_SAMPLER_H_

@@ -1,0 +1,52 @@
+#include "online/size_estimator.h"
+
+#include <cmath>
+
+namespace provabs {
+
+StatusOr<size_t> EstimateFullSize(
+    const std::vector<SizeObservation>& observations) {
+  // Least-squares line through (log rate, log size).
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  size_t n = 0;
+  double first_rate = -1.0;
+  bool distinct_rates = false;
+  for (const SizeObservation& obs : observations) {
+    if (obs.rate <= 0.0 || obs.rate > 1.0 || obs.size_m == 0) continue;
+    if (first_rate < 0) {
+      first_rate = obs.rate;
+    } else if (obs.rate != first_rate) {
+      distinct_rates = true;
+    }
+    double x = std::log(obs.rate);
+    double y = std::log(static_cast<double>(obs.size_m));
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    ++n;
+  }
+  if (n < 2 || !distinct_rates) {
+    return Status::InvalidArgument(
+        "size extrapolation needs two samples at distinct positive rates");
+  }
+  double denom = static_cast<double>(n) * sxx - sx * sx;
+  double alpha = (static_cast<double>(n) * sxy - sx * sy) / denom;
+  double log_c = (sy - alpha * sx) / static_cast<double>(n);
+  // Full data is rate = 1, so log(size) = log_c + alpha·log(1) = log_c.
+  double estimate = std::exp(log_c);
+  if (!(estimate >= 1.0)) estimate = 1.0;
+  return static_cast<size_t>(std::llround(estimate));
+}
+
+size_t AdaptBoundToSample(size_t bound_full, size_t sample_size_m,
+                          size_t estimated_full_size_m) {
+  if (estimated_full_size_m == 0) return bound_full;
+  double ratio = static_cast<double>(sample_size_m) /
+                 static_cast<double>(estimated_full_size_m);
+  double adapted = static_cast<double>(bound_full) * ratio;
+  if (adapted < 1.0) return 1;
+  return static_cast<size_t>(adapted);
+}
+
+}  // namespace provabs

@@ -1,0 +1,41 @@
+#ifndef PROVABS_ONLINE_SIZE_ESTIMATOR_H_
+#define PROVABS_ONLINE_SIZE_ESTIMATOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace provabs {
+
+/// One observation for the extrapolation: at sampling rate `rate`, the
+/// sample's provenance contained `size_m` monomials.
+struct SizeObservation {
+  double rate = 0.0;    ///< In (0, 1].
+  size_t size_m = 0;
+};
+
+/// Estimates the full (rate = 1) provenance size from samples of increasing
+/// size — the extrapolation component of the §6 online pipeline (which the
+/// paper delegates to classical extrapolation methods [14]). We fit a
+/// power law  size ≈ c · rate^α  by least squares in log-log space, which
+/// covers the two regimes that arise in practice:
+///   α ≈ 1  — provenance grows linearly in the fact rows (e.g. Q10,
+///            telephony: monomials are per-row);
+///   α < 1  — saturation, as when a polynomial's monomials are capped by
+///            the parameter grid (e.g. Q1 at scale: new rows mostly merge
+///            into existing monomials).
+/// Requires at least two observations at distinct rates with positive
+/// sizes; returns kInvalidArgument otherwise.
+StatusOr<size_t> EstimateFullSize(
+    const std::vector<SizeObservation>& observations);
+
+/// The bound-adaptation heuristic of §6: scales the user's full-data bound
+/// `bound_full` to the sample by the ratio between the sample provenance
+/// size and the estimated full size (clamped to at least 1).
+size_t AdaptBoundToSample(size_t bound_full, size_t sample_size_m,
+                          size_t estimated_full_size_m);
+
+}  // namespace provabs
+
+#endif  // PROVABS_ONLINE_SIZE_ESTIMATOR_H_

@@ -1,0 +1,68 @@
+#ifndef PROVABS_SQL_AST_H_
+#define PROVABS_SQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace provabs::sql {
+
+/// Abstract syntax of the supported SQL subset — exactly what the paper's
+/// experimental queries need (SPJ + GROUP BY with one SUM/MIN/MAX over an
+/// arithmetic expression; see the running example's query in §1):
+///
+///   statement := SELECT item (, item)* FROM ident (, ident)*
+///                [WHERE conjunct (AND conjunct)*]
+///                [GROUP BY column (, column)*]
+///   item      := column | SUM(expr) | MIN(expr) | MAX(expr)
+///   conjunct  := column = column | column = literal
+///   expr      := term ((+|-) term)*
+///   term      := factor ((*|/) factor)*
+///   factor    := column | number | ( expr )
+///   column    := ident | ident . ident
+
+/// A possibly-qualified column reference.
+struct ColumnRef {
+  std::string table;  ///< Empty when unqualified.
+  std::string column;
+
+  std::string ToString() const {
+    return table.empty() ? column : table + "." + column;
+  }
+};
+
+/// Arithmetic expression tree over columns and numeric literals.
+struct Expr {
+  enum class Kind { kColumn, kNumber, kAdd, kSub, kMul, kDiv };
+  Kind kind = Kind::kNumber;
+  ColumnRef column;       ///< kColumn.
+  double number = 0.0;    ///< kNumber.
+  std::unique_ptr<Expr> lhs;
+  std::unique_ptr<Expr> rhs;
+};
+
+/// One WHERE conjunct: column = column (join) or column = literal (filter).
+struct Predicate {
+  ColumnRef lhs;
+  bool rhs_is_column = false;
+  ColumnRef rhs_column;
+  std::variant<double, std::string> rhs_literal;  ///< number or 'string'.
+  bool rhs_literal_is_string = false;
+};
+
+/// The aggregate of the single aggregate item (if any).
+enum class AggregateFn { kNone, kSum, kMin, kMax };
+
+struct SelectStatement {
+  std::vector<ColumnRef> select_columns;  ///< Non-aggregate output columns.
+  AggregateFn aggregate = AggregateFn::kNone;
+  std::unique_ptr<Expr> aggregate_expr;   ///< Set iff aggregate != kNone.
+  std::vector<std::string> from_tables;
+  std::vector<Predicate> where;
+  std::vector<ColumnRef> group_by;
+};
+
+}  // namespace provabs::sql
+
+#endif  // PROVABS_SQL_AST_H_

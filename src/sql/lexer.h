@@ -1,0 +1,44 @@
+#ifndef PROVABS_SQL_LEXER_H_
+#define PROVABS_SQL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace provabs::sql {
+
+/// Token kinds of the SQL subset (see parser.h for the grammar).
+enum class TokenKind {
+  kIdentifier,   ///< table / column names (possibly qualified later)
+  kNumber,       ///< numeric literal
+  kString,       ///< 'single-quoted'
+  kKeyword,      ///< SELECT FROM WHERE AND GROUP BY SUM MIN MAX AS
+  kComma,
+  kDot,
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kEquals,
+  kLParen,
+  kRParen,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;    ///< Identifier/keyword (upper-cased for keywords) or
+                       ///< literal spelling.
+  double number = 0.0; ///< kNumber only.
+  size_t offset = 0;   ///< Byte offset in the input (for error messages).
+};
+
+/// Tokenizes `input`. Keywords are recognized case-insensitively. Returns
+/// kInvalidArgument for unterminated strings or unexpected characters.
+StatusOr<std::vector<Token>> Tokenize(std::string_view input);
+
+}  // namespace provabs::sql
+
+#endif  // PROVABS_SQL_LEXER_H_

@@ -1,0 +1,230 @@
+#include "sql/parser.h"
+
+#include <memory>
+#include <vector>
+
+#include "sql/lexer.h"
+
+namespace provabs::sql {
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<SelectStatement> ParseStatement() {
+    SelectStatement stmt;
+    if (Status s = ExpectKeyword("SELECT"); !s.ok()) return s;
+
+    // Select list.
+    for (;;) {
+      if (PeekKeyword("SUM") || PeekKeyword("MIN") || PeekKeyword("MAX")) {
+        if (stmt.aggregate != AggregateFn::kNone) {
+          return Error("only one aggregate item is supported");
+        }
+        std::string fn = Next().text;
+        stmt.aggregate = fn == "SUM"   ? AggregateFn::kSum
+                         : fn == "MIN" ? AggregateFn::kMin
+                                       : AggregateFn::kMax;
+        if (Status s = Expect(TokenKind::kLParen); !s.ok()) return s;
+        auto expr = ParseExpr();
+        if (!expr.ok()) return expr.status();
+        stmt.aggregate_expr = std::move(expr).value();
+        if (Status s = Expect(TokenKind::kRParen); !s.ok()) return s;
+      } else {
+        auto column = ParseColumn();
+        if (!column.ok()) return column.status();
+        stmt.select_columns.push_back(*column);
+      }
+      if (!Accept(TokenKind::kComma)) break;
+    }
+
+    if (Status s = ExpectKeyword("FROM"); !s.ok()) return s;
+    for (;;) {
+      if (Peek().kind != TokenKind::kIdentifier) {
+        return Error("expected table name");
+      }
+      stmt.from_tables.push_back(Next().text);
+      if (!Accept(TokenKind::kComma)) break;
+    }
+
+    if (AcceptKeyword("WHERE")) {
+      for (;;) {
+        auto pred = ParsePredicate();
+        if (!pred.ok()) return pred.status();
+        stmt.where.push_back(std::move(*pred));
+        if (!AcceptKeyword("AND")) break;
+      }
+    }
+
+    if (AcceptKeyword("GROUP")) {
+      if (Status s = ExpectKeyword("BY"); !s.ok()) return s;
+      for (;;) {
+        auto column = ParseColumn();
+        if (!column.ok()) return column.status();
+        stmt.group_by.push_back(*column);
+        if (!Accept(TokenKind::kComma)) break;
+      }
+    }
+
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("unexpected trailing input");
+    }
+    if (stmt.aggregate != AggregateFn::kNone && stmt.group_by.empty() &&
+        !stmt.select_columns.empty()) {
+      return Error("aggregate with plain columns requires GROUP BY");
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Next() { return tokens_[pos_++]; }
+
+  bool Accept(TokenKind kind) {
+    if (Peek().kind != kind) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool PeekKeyword(const char* kw) const {
+    return Peek().kind == TokenKind::kKeyword && Peek().text == kw;
+  }
+
+  bool AcceptKeyword(const char* kw) {
+    if (!PeekKeyword(kw)) return false;
+    ++pos_;
+    return true;
+  }
+
+  Status Expect(TokenKind kind) {
+    if (!Accept(kind)) {
+      return Status::InvalidArgument("syntax error at offset " +
+                                     std::to_string(Peek().offset));
+    }
+    return Status::OK();
+  }
+
+  Status ExpectKeyword(const char* kw) {
+    if (!AcceptKeyword(kw)) {
+      return Status::InvalidArgument(std::string("expected ") + kw +
+                                     " at offset " +
+                                     std::to_string(Peek().offset));
+    }
+    return Status::OK();
+  }
+
+  Status Error(const std::string& message) {
+    return Status::InvalidArgument(message + " at offset " +
+                                   std::to_string(Peek().offset));
+  }
+
+  StatusOr<ColumnRef> ParseColumn() {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Error("expected column name");
+    }
+    ColumnRef ref;
+    ref.column = Next().text;
+    if (Accept(TokenKind::kDot)) {
+      if (Peek().kind != TokenKind::kIdentifier) {
+        return Error("expected column after '.'");
+      }
+      ref.table = ref.column;
+      ref.column = Next().text;
+    }
+    return ref;
+  }
+
+  StatusOr<Predicate> ParsePredicate() {
+    Predicate pred;
+    auto lhs = ParseColumn();
+    if (!lhs.ok()) return lhs.status();
+    pred.lhs = *lhs;
+    if (Status s = Expect(TokenKind::kEquals); !s.ok()) return s;
+    if (Peek().kind == TokenKind::kNumber) {
+      pred.rhs_literal = Next().number;
+    } else if (Peek().kind == TokenKind::kString) {
+      pred.rhs_literal = Next().text;
+      pred.rhs_literal_is_string = true;
+    } else {
+      auto rhs = ParseColumn();
+      if (!rhs.ok()) return rhs.status();
+      pred.rhs_is_column = true;
+      pred.rhs_column = *rhs;
+    }
+    return pred;
+  }
+
+  StatusOr<std::unique_ptr<Expr>> ParseExpr() {
+    auto lhs = ParseTerm();
+    if (!lhs.ok()) return lhs;
+    std::unique_ptr<Expr> node = std::move(lhs).value();
+    while (Peek().kind == TokenKind::kPlus ||
+           Peek().kind == TokenKind::kMinus) {
+      bool add = Next().kind == TokenKind::kPlus;
+      auto rhs = ParseTerm();
+      if (!rhs.ok()) return rhs;
+      auto parent = std::make_unique<Expr>();
+      parent->kind = add ? Expr::Kind::kAdd : Expr::Kind::kSub;
+      parent->lhs = std::move(node);
+      parent->rhs = std::move(rhs).value();
+      node = std::move(parent);
+    }
+    return node;
+  }
+
+  StatusOr<std::unique_ptr<Expr>> ParseTerm() {
+    auto lhs = ParseFactor();
+    if (!lhs.ok()) return lhs;
+    std::unique_ptr<Expr> node = std::move(lhs).value();
+    while (Peek().kind == TokenKind::kStar ||
+           Peek().kind == TokenKind::kSlash) {
+      bool mul = Next().kind == TokenKind::kStar;
+      auto rhs = ParseFactor();
+      if (!rhs.ok()) return rhs;
+      auto parent = std::make_unique<Expr>();
+      parent->kind = mul ? Expr::Kind::kMul : Expr::Kind::kDiv;
+      parent->lhs = std::move(node);
+      parent->rhs = std::move(rhs).value();
+      node = std::move(parent);
+    }
+    return node;
+  }
+
+  StatusOr<std::unique_ptr<Expr>> ParseFactor() {
+    if (Accept(TokenKind::kLParen)) {
+      auto inner = ParseExpr();
+      if (!inner.ok()) return inner;
+      if (Status s = Expect(TokenKind::kRParen); !s.ok()) return s;
+      return inner;
+    }
+    if (Peek().kind == TokenKind::kNumber) {
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kNumber;
+      node->number = Next().number;
+      return node;
+    }
+    auto column = ParseColumn();
+    if (!column.ok()) return column.status();
+    auto node = std::make_unique<Expr>();
+    node->kind = Expr::Kind::kColumn;
+    node->column = *column;
+    return node;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<SelectStatement> Parse(std::string_view query) {
+  auto tokens = Tokenize(query);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens).value());
+  return parser.ParseStatement();
+}
+
+}  // namespace provabs::sql

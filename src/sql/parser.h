@@ -1,0 +1,18 @@
+#ifndef PROVABS_SQL_PARSER_H_
+#define PROVABS_SQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/statusor.h"
+#include "sql/ast.h"
+
+namespace provabs::sql {
+
+/// Parses one SELECT statement of the subset documented in ast.h.
+/// Returns kInvalidArgument with a location-bearing message on syntax
+/// errors.
+StatusOr<SelectStatement> Parse(std::string_view query);
+
+}  // namespace provabs::sql
+
+#endif  // PROVABS_SQL_PARSER_H_

@@ -1,0 +1,326 @@
+#include "sql/planner.h"
+
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "sql/parser.h"
+
+namespace provabs::sql {
+
+namespace {
+
+/// Tracks the current name of every qualified column through joins (a hash
+/// join drops the right key column; references to it must resolve to the
+/// surviving left key).
+class NameResolver {
+ public:
+  void AddTable(const std::string& table, const Schema& schema) {
+    for (size_t i = 0; i < schema.column_count(); ++i) {
+      // Record the bare column name for unqualified lookup.
+      bare_[schema.column(i).name].insert(table);
+    }
+  }
+
+  /// Qualified name under which `ref` currently travels, or an error.
+  StatusOr<std::string> Resolve(const ColumnRef& ref) const {
+    std::string qualified;
+    if (!ref.table.empty()) {
+      qualified = ref.table + "." + ref.column;
+    } else {
+      auto it = bare_.find(ref.column);
+      if (it == bare_.end()) {
+        return Status::NotFound("unknown column " + ref.ToString());
+      }
+      if (it->second.size() > 1) {
+        return Status::InvalidArgument("ambiguous column " + ref.column);
+      }
+      qualified = *it->second.begin() + "." + ref.column;
+    }
+    // Chase join-key aliasing.
+    auto alias = aliases_.find(qualified);
+    int depth = 0;
+    while (alias != aliases_.end()) {
+      qualified = alias->second;
+      alias = aliases_.find(qualified);
+      if (++depth > 64) {
+        return Status::Internal("alias cycle for " + qualified);
+      }
+    }
+    return qualified;
+  }
+
+  /// Records that `dropped` is now represented by `survivor`.
+  void AddAlias(const std::string& dropped, const std::string& survivor) {
+    aliases_[dropped] = survivor;
+  }
+
+ private:
+  std::unordered_map<std::string, std::set<std::string>> bare_;
+  std::unordered_map<std::string, std::string> aliases_;
+};
+
+/// Scans `table` with every column renamed to "table.column".
+AnnotatedTable QualifiedScan(const Table& table) {
+  std::vector<Schema::Column> columns;
+  columns.reserve(table.schema().column_count());
+  for (size_t i = 0; i < table.schema().column_count(); ++i) {
+    const auto& c = table.schema().column(i);
+    columns.push_back({table.name() + "." + c.name, c.type});
+  }
+  AnnotatedTable out{Schema(std::move(columns))};
+  for (const Row& row : table.rows()) {
+    out.Append(row, OnePolynomial());
+  }
+  return out;
+}
+
+/// Evaluates an arithmetic expression over a row.
+StatusOr<double> EvalExpr(const Expr& expr, const Row& row,
+                          const Schema& schema,
+                          const NameResolver& resolver) {
+  switch (expr.kind) {
+    case Expr::Kind::kNumber:
+      return expr.number;
+    case Expr::Kind::kColumn: {
+      auto name = resolver.Resolve(expr.column);
+      if (!name.ok()) return name.status();
+      if (!schema.Has(*name)) {
+        return Status::NotFound("column " + *name + " not in scope");
+      }
+      return AsDouble(row[schema.IndexOf(*name)]);
+    }
+    default: {
+      auto lhs = EvalExpr(*expr.lhs, row, schema, resolver);
+      if (!lhs.ok()) return lhs;
+      auto rhs = EvalExpr(*expr.rhs, row, schema, resolver);
+      if (!rhs.ok()) return rhs;
+      switch (expr.kind) {
+        case Expr::Kind::kAdd:
+          return *lhs + *rhs;
+        case Expr::Kind::kSub:
+          return *lhs - *rhs;
+        case Expr::Kind::kMul:
+          return *lhs * *rhs;
+        case Expr::Kind::kDiv:
+          return *lhs / *rhs;
+        default:
+          return Status::Internal("bad expression node");
+      }
+    }
+  }
+}
+
+/// Pre-resolves every column reference in an expression so per-row
+/// evaluation has no failure paths left.
+Status CheckExpr(const Expr& expr, const Schema& schema,
+                 const NameResolver& resolver) {
+  if (expr.kind == Expr::Kind::kColumn) {
+    auto name = resolver.Resolve(expr.column);
+    if (!name.ok()) return name.status();
+    if (!schema.Has(*name)) {
+      return Status::NotFound("column " + *name + " not in scope");
+    }
+    return Status::OK();
+  }
+  if (expr.lhs != nullptr) {
+    if (Status s = CheckExpr(*expr.lhs, schema, resolver); !s.ok()) return s;
+  }
+  if (expr.rhs != nullptr) {
+    if (Status s = CheckExpr(*expr.rhs, schema, resolver); !s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+bool ValueEqualsLiteral(const Value& value, const Predicate& pred) {
+  if (pred.rhs_literal_is_string) {
+    return TypeOf(value) == ValueType::kString &&
+           AsString(value) == std::get<std::string>(pred.rhs_literal);
+  }
+  double want = std::get<double>(pred.rhs_literal);
+  switch (TypeOf(value)) {
+    case ValueType::kInt64:
+      return static_cast<double>(AsInt(value)) == want;
+    case ValueType::kDouble:
+      return AsDouble(value) == want;
+    case ValueType::kString:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+StatusOr<AnnotatedTable> Execute(const SelectStatement& stmt,
+                                 const Database& db,
+                                 const PlanOptions& options) {
+  if (stmt.from_tables.empty()) {
+    return Status::InvalidArgument("FROM list is empty");
+  }
+  // Reject duplicate FROM entries (no aliases in the subset).
+  {
+    std::unordered_set<std::string> seen;
+    for (const std::string& t : stmt.from_tables) {
+      if (!seen.insert(t).second) {
+        return Status::Unimplemented("self-joins require aliases (table " +
+                                     t + " listed twice)");
+      }
+      if (!db.Has(t)) {
+        return Status::NotFound("unknown table " + t);
+      }
+    }
+  }
+
+  NameResolver resolver;
+  std::unordered_map<std::string, AnnotatedTable> scans;
+  for (const std::string& t : stmt.from_tables) {
+    resolver.AddTable(t, db.Get(t).schema());
+    scans.emplace(t, QualifiedScan(db.Get(t)));
+  }
+
+  // Classify predicates: per-table literal filters vs column equalities.
+  struct JoinEdge {
+    std::string left_col;   // Qualified.
+    std::string right_col;  // Qualified.
+    bool used = false;
+  };
+  std::vector<JoinEdge> equalities;
+  std::vector<std::pair<std::string, const Predicate*>> filters;
+  auto table_of = [](const std::string& qualified) {
+    return qualified.substr(0, qualified.find('.'));
+  };
+  for (const Predicate& pred : stmt.where) {
+    auto lhs = resolver.Resolve(pred.lhs);
+    if (!lhs.ok()) return lhs.status();
+    if (pred.rhs_is_column) {
+      auto rhs = resolver.Resolve(pred.rhs_column);
+      if (!rhs.ok()) return rhs.status();
+      equalities.push_back(JoinEdge{*lhs, *rhs, false});
+    } else {
+      filters.emplace_back(*lhs, &pred);
+    }
+  }
+
+  // Push literal filters below the joins.
+  for (const auto& [qualified, pred] : filters) {
+    std::string table = table_of(qualified);
+    AnnotatedTable& scan = scans.at(table);
+    size_t col = scan.schema().IndexOf(qualified);
+    scan = Select(scan, [col, pred](const Row& row) {
+      return ValueEqualsLiteral(row[col], *pred);
+    });
+  }
+
+  // Join along the equality graph, starting from the first FROM table.
+  AnnotatedTable current = std::move(scans.at(stmt.from_tables[0]));
+  std::unordered_set<std::string> joined = {stmt.from_tables[0]};
+  while (joined.size() < stmt.from_tables.size()) {
+    bool progressed = false;
+    for (JoinEdge& edge : equalities) {
+      if (edge.used) continue;
+      std::string lt = table_of(edge.left_col);
+      std::string rt = table_of(edge.right_col);
+      bool l_in = joined.count(lt) > 0;
+      bool r_in = joined.count(rt) > 0;
+      if (l_in == r_in) continue;  // Both joined (residual) or neither.
+      // Normalize: `inner` column belongs to the current relation.
+      std::string inner = l_in ? edge.left_col : edge.right_col;
+      std::string outer = l_in ? edge.right_col : edge.left_col;
+      std::string outer_table = table_of(outer);
+      current = HashJoin(current, scans.at(outer_table), {{inner, outer}});
+      // The right-side key column was dropped in favor of `inner`.
+      resolver.AddAlias(outer, inner);
+      joined.insert(outer_table);
+      edge.used = true;
+      progressed = true;
+      break;
+    }
+    if (!progressed) {
+      return Status::Unimplemented(
+          "FROM tables are not connected by equality predicates "
+          "(cartesian products unsupported)");
+    }
+  }
+
+  // Residual equalities (both sides inside the joined relation).
+  for (JoinEdge& edge : equalities) {
+    if (edge.used) continue;
+    ColumnRef l{table_of(edge.left_col),
+                edge.left_col.substr(edge.left_col.find('.') + 1)};
+    ColumnRef r{table_of(edge.right_col),
+                edge.right_col.substr(edge.right_col.find('.') + 1)};
+    auto lname = resolver.Resolve(l);
+    if (!lname.ok()) return lname.status();
+    auto rname = resolver.Resolve(r);
+    if (!rname.ok()) return rname.status();
+    size_t lcol = current.schema().IndexOf(*lname);
+    size_t rcol = current.schema().IndexOf(*rname);
+    current = Select(current, [lcol, rcol](const Row& row) {
+      return row[lcol] == row[rcol];
+    });
+  }
+
+  // No aggregate: plain projection of the select list.
+  if (stmt.aggregate == AggregateFn::kNone) {
+    std::vector<std::string> columns;
+    for (const ColumnRef& ref : stmt.select_columns) {
+      auto name = resolver.Resolve(ref);
+      if (!name.ok()) return name.status();
+      columns.push_back(*name);
+    }
+    return Project(current, columns, /*dedup=*/false);
+  }
+
+  // Aggregate path.
+  if (stmt.aggregate_expr == nullptr) {
+    return Status::Internal("aggregate without expression");
+  }
+  if (Status s = CheckExpr(*stmt.aggregate_expr, current.schema(), resolver);
+      !s.ok()) {
+    return s;
+  }
+  GroupBySumSpec spec;
+  for (const ColumnRef& ref : stmt.group_by) {
+    auto name = resolver.Resolve(ref);
+    if (!name.ok()) return name.status();
+    spec.group_columns.push_back(*name);
+  }
+  switch (stmt.aggregate) {
+    case AggregateFn::kSum:
+      spec.combine = CoefficientCombine::kAdd;
+      break;
+    case AggregateFn::kMin:
+      spec.combine = CoefficientCombine::kMin;
+      break;
+    case AggregateFn::kMax:
+      spec.combine = CoefficientCombine::kMax;
+      break;
+    case AggregateFn::kNone:
+      break;
+  }
+  const Expr* expr = stmt.aggregate_expr.get();
+  const Schema* schema = &current.schema();
+  spec.coefficient = [expr, schema, &resolver](const Row& row) {
+    auto value = EvalExpr(*expr, row, *schema, resolver);
+    // CheckExpr validated resolution; arithmetic itself cannot fail.
+    return value.ok() ? *value : 0.0;
+  };
+  if (options.parameters) {
+    const ParameterHook& hook = options.parameters;
+    spec.parameters = [&hook, schema](const Row& row) {
+      return hook(row, *schema);
+    };
+  }
+  return GroupBySum(current, spec);
+}
+
+StatusOr<AnnotatedTable> ExecuteSql(std::string_view query,
+                                    const Database& db,
+                                    const PlanOptions& options) {
+  auto stmt = Parse(query);
+  if (!stmt.ok()) return stmt.status();
+  return Execute(*stmt, db, options);
+}
+
+}  // namespace provabs::sql

@@ -1,0 +1,47 @@
+#ifndef PROVABS_SQL_PLANNER_H_
+#define PROVABS_SQL_PLANNER_H_
+
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/variable.h"
+#include "engine/query.h"
+#include "engine/table.h"
+#include "sql/ast.h"
+
+namespace provabs::sql {
+
+/// Provenance parameterization hook: called once per row of the fully
+/// joined relation (before grouping) to attach scenario variables to that
+/// row's monomial — the "where to place variables" choice of §4.2. The
+/// schema uses qualified "table.column" names.
+using ParameterHook =
+    std::function<std::vector<VariableId>(const Row&, const Schema&)>;
+
+struct PlanOptions {
+  ParameterHook parameters;
+};
+
+/// Compiles and executes a parsed statement against `db`:
+///  1. scans each FROM table under qualified column names,
+///  2. pushes literal filters below the joins,
+///  3. joins along column-equality predicates (hash joins; rejects
+///     disconnected FROM lists with kUnimplemented),
+///  4. applies the remaining predicates as selections,
+///  5. evaluates the aggregate expression per row and groups
+///     (SUM/MIN/MAX), attaching `options.parameters` variables.
+/// Without an aggregate, projects the select list (bag semantics).
+StatusOr<AnnotatedTable> Execute(const SelectStatement& stmt,
+                                 const Database& db,
+                                 const PlanOptions& options = {});
+
+/// Parse + Execute.
+StatusOr<AnnotatedTable> ExecuteSql(std::string_view query,
+                                    const Database& db,
+                                    const PlanOptions& options = {});
+
+}  // namespace provabs::sql
+
+#endif  // PROVABS_SQL_PLANNER_H_

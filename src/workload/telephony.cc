@@ -1,0 +1,210 @@
+#include "workload/telephony.h"
+
+#include <string>
+
+#include "common/macros.h"
+#include "engine/query.h"
+
+namespace provabs {
+
+TelephonyVars MakeTelephonyVars(VariableTable& vars,
+                                const TelephonyConfig& config) {
+  TelephonyVars v;
+  v.plan_vars.reserve(config.num_plans);
+  for (size_t i = 0; i < config.num_plans; ++i) {
+    v.plan_vars.push_back(vars.Intern("plan" + std::to_string(i)));
+  }
+  v.month_vars.reserve(config.num_months);
+  for (size_t j = 0; j < config.num_months; ++j) {
+    v.month_vars.push_back(vars.Intern("m" + std::to_string(j + 1)));
+  }
+  return v;
+}
+
+Database GenerateTelephony(const TelephonyConfig& config, Rng& rng) {
+  Database db;
+
+  Table cust("Cust", Schema({{"ID", ValueType::kInt64},
+                             {"Plan", ValueType::kInt64},
+                             {"Zip", ValueType::kInt64}}));
+  Table calls("Calls", Schema({{"CID", ValueType::kInt64},
+                               {"Mo", ValueType::kInt64},
+                               {"Dur", ValueType::kInt64}}));
+  Table plans("Plans", Schema({{"Plan", ValueType::kInt64},
+                               {"Mo", ValueType::kInt64},
+                               {"Price", ValueType::kDouble}}));
+
+  for (size_t c = 0; c < config.num_customers; ++c) {
+    int64_t plan = static_cast<int64_t>(rng.Uniform(config.num_plans));
+    int64_t zip = 10000 + static_cast<int64_t>(
+                              rng.Uniform(config.num_zip_codes));
+    cust.Append({static_cast<int64_t>(c), plan, zip});
+    for (size_t mo = 1; mo <= config.num_months; ++mo) {
+      calls.Append({static_cast<int64_t>(c), static_cast<int64_t>(mo),
+                    rng.UniformInt(10, 2000)});
+    }
+  }
+  for (size_t p = 0; p < config.num_plans; ++p) {
+    for (size_t mo = 1; mo <= config.num_months; ++mo) {
+      // Price-per-minute in [0.05, 0.55], varying by month as in Figure 1.
+      plans.Append({static_cast<int64_t>(p), static_cast<int64_t>(mo),
+                    0.05 + 0.5 * rng.NextDouble()});
+    }
+  }
+
+  db.Put(std::move(cust));
+  db.Put(std::move(calls));
+  db.Put(std::move(plans));
+  return db;
+}
+
+PolynomialSet RunTelephonyQuery(const Database& db,
+                                const TelephonyVars& vars) {
+  AnnotatedTable calls = Scan(db.Get("Calls"));
+  AnnotatedTable cust = Scan(db.Get("Cust"));
+  AnnotatedTable plans = Scan(db.Get("Plans"));
+
+  // Calls ⋈ Cust on CID = ID, then ⋈ Plans on (Plan, Mo).
+  AnnotatedTable joined =
+      HashJoin(calls, cust, {{"CID", "ID"}});
+  joined = HashJoin(joined, plans, {{"Plan", "Plan"}, {"Mo", "Mo"}});
+
+  const Schema& schema = joined.schema();
+  const size_t dur_col = schema.IndexOf("Dur");
+  const size_t price_col = schema.IndexOf("Price");
+  const size_t plan_col = schema.IndexOf("Plan");
+  const size_t mo_col = schema.IndexOf("Mo");
+
+  GroupBySumSpec spec;
+  spec.group_columns = {"Zip"};
+  spec.coefficient = [=](const Row& row) {
+    return AsDouble(row[dur_col]) * AsDouble(row[price_col]);
+  };
+  spec.parameters = [=, &vars](const Row& row) {
+    return std::vector<VariableId>{
+        vars.plan_vars[static_cast<size_t>(AsInt(row[plan_col]))],
+        vars.month_vars[static_cast<size_t>(AsInt(row[mo_col])) - 1]};
+  };
+  return GroupBySum(joined, spec).ToPolynomialSet();
+}
+
+RunningExample MakeRunningExample(VariableTable& vars) {
+  RunningExample ex;
+  ex.p1 = vars.Intern("p1");
+  ex.f1 = vars.Intern("f1");
+  ex.y1 = vars.Intern("y1");
+  ex.v = vars.Intern("v");
+  ex.b1 = vars.Intern("b1");
+  ex.b2 = vars.Intern("b2");
+  ex.e = vars.Intern("e");
+  ex.m1 = vars.Intern("m1");
+  ex.m3 = vars.Intern("m3");
+
+  // Plan ids: 0=A, 1=F1, 2=SB1, 3=Y1, 4=V, 5=E, 6=SB2 (Figure 1).
+  Table cust("Cust", Schema({{"ID", ValueType::kInt64},
+                             {"Plan", ValueType::kInt64},
+                             {"Zip", ValueType::kInt64}}));
+  cust.Append({int64_t{1}, int64_t{0}, int64_t{10001}});
+  cust.Append({int64_t{2}, int64_t{1}, int64_t{10001}});
+  cust.Append({int64_t{3}, int64_t{2}, int64_t{10002}});
+  cust.Append({int64_t{4}, int64_t{3}, int64_t{10001}});
+  cust.Append({int64_t{5}, int64_t{4}, int64_t{10001}});
+  cust.Append({int64_t{6}, int64_t{5}, int64_t{10002}});
+  cust.Append({int64_t{7}, int64_t{6}, int64_t{10002}});
+
+  Table calls("Calls", Schema({{"CID", ValueType::kInt64},
+                               {"Mo", ValueType::kInt64},
+                               {"Dur", ValueType::kInt64}}));
+  const int64_t dur_m1[] = {522, 364, 779, 253, 168, 1044, 697};
+  const int64_t dur_m3[] = {480, 327, 805, 290, 121, 1130, 671};
+  for (int64_t c = 1; c <= 7; ++c) {
+    calls.Append({c, int64_t{1}, dur_m1[c - 1]});
+    calls.Append({c, int64_t{3}, dur_m3[c - 1]});
+  }
+
+  Table plans("Plans", Schema({{"Plan", ValueType::kInt64},
+                               {"Mo", ValueType::kInt64},
+                               {"Price", ValueType::kDouble}}));
+  const double price_m1[] = {0.4, 0.35, 0.1, 0.3, 0.25, 0.05, 0.1};
+  const double price_m3[] = {0.5, 0.35, 0.1, 0.25, 0.2, 0.05, 0.15};
+  for (int64_t p = 0; p < 7; ++p) {
+    plans.Append({p, int64_t{1}, price_m1[p]});
+    plans.Append({p, int64_t{3}, price_m3[p]});
+  }
+
+  ex.db.Put(std::move(cust));
+  ex.db.Put(std::move(calls));
+  ex.db.Put(std::move(plans));
+  return ex;
+}
+
+PolynomialSet RunRunningExampleQuery(const RunningExample& ex) {
+  AnnotatedTable calls = Scan(ex.db.Get("Calls"));
+  AnnotatedTable cust = Scan(ex.db.Get("Cust"));
+  AnnotatedTable plans = Scan(ex.db.Get("Plans"));
+
+  AnnotatedTable joined = HashJoin(calls, cust, {{"CID", "ID"}});
+  joined = HashJoin(joined, plans, {{"Plan", "Plan"}, {"Mo", "Mo"}});
+
+  const Schema& schema = joined.schema();
+  const size_t dur_col = schema.IndexOf("Dur");
+  const size_t price_col = schema.IndexOf("Price");
+  const size_t plan_col = schema.IndexOf("Plan");
+  const size_t mo_col = schema.IndexOf("Mo");
+
+  // Plan id -> the paper's per-plan variable.
+  const VariableId plan_var[] = {ex.p1, ex.f1, ex.b1, ex.y1,
+                                 ex.v,  ex.e,  ex.b2};
+
+  GroupBySumSpec spec;
+  spec.group_columns = {"Zip"};
+  spec.coefficient = [=](const Row& row) {
+    return AsDouble(row[dur_col]) * AsDouble(row[price_col]);
+  };
+  spec.parameters = [=, &ex](const Row& row) {
+    VariableId month = AsInt(row[mo_col]) == 1 ? ex.m1 : ex.m3;
+    return std::vector<VariableId>{
+        plan_var[static_cast<size_t>(AsInt(row[plan_col]))], month};
+  };
+  return GroupBySum(joined, spec).ToPolynomialSet();
+}
+
+AbstractionTree MakeFigure2PlansTree(VariableTable& vars) {
+  AbstractionTreeBuilder b(vars);
+  NodeIndex root = b.AddRoot("Plans");
+  NodeIndex business = b.AddChild(root, "Business");
+  NodeIndex sb = b.AddChild(business, "SB");
+  b.AddChild(sb, "b1");
+  b.AddChild(sb, "b2");
+  b.AddChild(business, "e");
+  NodeIndex special = b.AddChild(root, "Special");
+  NodeIndex f = b.AddChild(special, "F");
+  b.AddChild(f, "f1");
+  b.AddChild(f, "f2");
+  NodeIndex y = b.AddChild(special, "Y");
+  b.AddChild(y, "y1");
+  b.AddChild(y, "y2");
+  b.AddChild(y, "y3");
+  b.AddChild(special, "v");
+  NodeIndex standard = b.AddChild(root, "Standard");
+  b.AddChild(standard, "p1");
+  b.AddChild(standard, "p2");
+  return std::move(b).Build();
+}
+
+AbstractionTree MakeFigure3MonthsTree(VariableTable& vars,
+                                      size_t num_months) {
+  PROVABS_CHECK(num_months >= 1 && num_months <= 12);
+  AbstractionTreeBuilder b(vars);
+  NodeIndex root = b.AddRoot("Year");
+  size_t num_quarters = (num_months + 2) / 3;
+  for (size_t q = 0; q < num_quarters; ++q) {
+    NodeIndex quarter = b.AddChild(root, "q" + std::to_string(q + 1));
+    for (size_t m = 3 * q + 1; m <= std::min(num_months, 3 * q + 3); ++m) {
+      b.AddChild(quarter, "m" + std::to_string(m));
+    }
+  }
+  return std::move(b).Build();
+}
+
+}  // namespace provabs

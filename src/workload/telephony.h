@@ -1,0 +1,77 @@
+#ifndef PROVABS_WORKLOAD_TELEPHONY_H_
+#define PROVABS_WORKLOAD_TELEPHONY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "abstraction/abstraction_forest.h"
+#include "abstraction/abstraction_tree.h"
+#include "common/random.h"
+#include "core/polynomial_set.h"
+#include "core/variable.h"
+#include "engine/table.h"
+
+namespace provabs {
+
+/// The telephony-company benchmark of §4.2 (and the paper's running
+/// example): Cust(ID, Plan, Zip), Calls(CID, Mo, Dur), Plans(Plan, Mo,
+/// Price), and the revenue-per-zip query whose provenance is parameterized
+/// by per-plan and per-month discount variables.
+struct TelephonyConfig {
+  size_t num_customers = 10'000;
+  size_t num_plans = 128;
+  size_t num_months = 12;
+  size_t num_zip_codes = 100;  ///< 5-digit zips drawn from this many codes.
+  uint64_t seed = 42;
+};
+
+/// Handles to the parameter variables of a telephony instance.
+struct TelephonyVars {
+  std::vector<VariableId> plan_vars;   ///< plan_vars[i] controls plan i.
+  std::vector<VariableId> month_vars;  ///< month_vars[j] controls month j+1.
+};
+
+/// Interns "plan0..planN-1" and "m1..mN" parameter variables.
+TelephonyVars MakeTelephonyVars(VariableTable& vars,
+                                const TelephonyConfig& config);
+
+/// Generates a random telephony database per §4.2: each customer has one of
+/// `num_plans` plans, a zip code, and a per-month total call duration.
+Database GenerateTelephony(const TelephonyConfig& config, Rng& rng);
+
+/// Runs the revenue-per-zip query of Example 1 with provenance
+/// parameterization by (plan, month); returns one polynomial per zip code.
+PolynomialSet RunTelephonyQuery(const Database& db,
+                                const TelephonyVars& vars);
+
+/// Builds the small database fragment of Figure 1 exactly (customers 1–7,
+/// months 1 and 3), for tests and the quickstart example. Interns the
+/// paper's variable names p1, f1, y1, v, b1, b2, e, m1, m3.
+struct RunningExample {
+  Database db;
+  /// The paper's per-plan parameter variable for each plan name.
+  VariableId p1, f1, y1, v, b1, b2, e;
+  VariableId m1, m3;
+};
+RunningExample MakeRunningExample(VariableTable& vars);
+
+/// Runs the revenue query on the running example with the paper's
+/// parameterization; yields the polynomials P1 (zip 10001) and P2
+/// (zip 10002) of Example 13.
+PolynomialSet RunRunningExampleQuery(const RunningExample& ex);
+
+/// The plans abstraction tree of Figure 2:
+///   Plans → { Business → {SB → {b1,b2}, e},
+///             Special  → {F → {f1,f2}, Y → {y1,y2,y3}, v},
+///             Standard → {p1,p2} }.
+/// Leaves absent from the running example (f2, y2, y3) are included, as in
+/// the figure; callers may prune to a polynomial set.
+AbstractionTree MakeFigure2PlansTree(VariableTable& vars);
+
+/// The months abstraction tree of Figure 3: Year → quarters → months.
+AbstractionTree MakeFigure3MonthsTree(VariableTable& vars,
+                                      size_t num_months = 12);
+
+}  // namespace provabs
+
+#endif  // PROVABS_WORKLOAD_TELEPHONY_H_

@@ -1,0 +1,80 @@
+#ifndef PROVABS_WORKLOAD_TPCH_H_
+#define PROVABS_WORKLOAD_TPCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "core/polynomial_set.h"
+#include "core/variable.h"
+#include "engine/table.h"
+
+namespace provabs {
+
+/// Synthetic TPC-H-shaped generator (schema, key distributions and join
+/// structure of the official dbgen, scaled to laptop sizes). See DESIGN.md,
+/// "Substitutions": the compression algorithms consume provenance
+/// polynomials, so what must be preserved is each query's provenance shape —
+/// Q1: few polynomials, each with up to 128×128 (supplier, part) monomials;
+/// Q5: ~25 nation-level polynomials; Q10: very many small per-customer
+/// polynomials — which this generator reproduces at any scale factor.
+struct TpchConfig {
+  double scale_factor = 1.0;
+  uint64_t seed = 42;
+
+  size_t NumSuppliers() const { return Scaled(1000); }
+  size_t NumParts() const { return Scaled(2000); }
+  size_t NumCustomers() const { return Scaled(3000); }
+  size_t NumOrders() const { return Scaled(10000); }
+  size_t NumLineitems() const { return Scaled(40000); }
+  static constexpr size_t kNumNations = 25;
+  static constexpr size_t kNumRegions = 5;
+
+ private:
+  size_t Scaled(size_t base) const {
+    size_t n = static_cast<size_t>(static_cast<double>(base) * scale_factor);
+    return n < 1 ? 1 : n;
+  }
+};
+
+/// The provenance parameterization of §4.2: the discount attribute of
+/// LINEITEM is parameterized by supplier variable s_{suppkey mod G} and part
+/// variable p_{partkey mod G}, with G = 128 groups by default.
+struct TpchVars {
+  std::vector<VariableId> supplier_vars;  ///< "s0".."s{G-1}"
+  std::vector<VariableId> part_vars;      ///< "p0".."p{G-1}"
+};
+
+TpchVars MakeTpchVars(VariableTable& vars, size_t groups = 128);
+
+/// Generates the eight-table database.
+Database GenerateTpch(const TpchConfig& config, Rng& rng);
+
+/// Q1 (pricing summary): GROUP BY (returnflag, linestatus) over LINEITEM,
+/// SUM(extendedprice·(1−discount)) parameterized by (s_i, p_j). Yields at
+/// most 8 polynomials, each with up to G×G monomials (the paper reports 8
+/// polynomials of 11,265 monomials at 10 GB).
+PolynomialSet RunTpchQ1(const Database& db, const TpchVars& vars);
+
+/// Q5 (local supplier volume): LINEITEM ⋈ ORDERS ⋈ CUSTOMER ⋈ SUPPLIER ⋈
+/// NATION with c_nationkey = s_nationkey, GROUP BY nation. Yields ≤25
+/// polynomials of up to G×G monomials (paper: 25 polynomials, ~10,840
+/// monomials each).
+PolynomialSet RunTpchQ5(const Database& db, const TpchVars& vars);
+
+/// Q10 (returned items): LINEITEM(returnflag='R') ⋈ ORDERS ⋈ CUSTOMER,
+/// GROUP BY customer. Yields one polynomial per customer with returns —
+/// many polynomials with few monomials each (paper: 993,306 polynomials,
+/// 15.78 monomials on average).
+PolynomialSet RunTpchQ10(const Database& db, const TpchVars& vars);
+
+/// Identifier for the workloads shared by the benchmark harnesses.
+enum class TpchQuery { kQ1, kQ5, kQ10 };
+
+/// Dispatches to one of the three queries.
+PolynomialSet RunTpchQuery(TpchQuery q, const Database& db,
+                           const TpchVars& vars);
+
+}  // namespace provabs
+
+#endif  // PROVABS_WORKLOAD_TPCH_H_

@@ -1,0 +1,96 @@
+#include "workload/tree_gen.h"
+
+#include "common/macros.h"
+
+namespace provabs {
+
+AbstractionTree BuildUniformTree(VariableTable& vars,
+                                 const std::vector<VariableId>& leaf_labels,
+                                 const std::vector<uint32_t>& fanouts,
+                                 const std::string& prefix) {
+  PROVABS_CHECK(!leaf_labels.empty());
+  AbstractionTreeBuilder b(vars);
+  NodeIndex root = b.AddRoot(prefix + "root");
+
+  // Build the internal levels breadth-first.
+  std::vector<NodeIndex> frontier = {root};
+  uint64_t counter = 0;
+  for (size_t level = 0; level < fanouts.size(); ++level) {
+    PROVABS_CHECK(fanouts[level] >= 1);
+    std::vector<NodeIndex> next;
+    next.reserve(frontier.size() * fanouts[level]);
+    for (NodeIndex parent : frontier) {
+      for (uint32_t c = 0; c < fanouts[level]; ++c) {
+        next.push_back(b.AddChild(
+            parent, prefix + "L" + std::to_string(level + 1) + "_" +
+                        std::to_string(counter++)));
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  // Distribute leaves evenly over the bottom internal layer: the first
+  // (leaves mod width) nodes get one extra leaf.
+  const size_t width = frontier.size();
+  const size_t base = leaf_labels.size() / width;
+  const size_t extra = leaf_labels.size() % width;
+  PROVABS_CHECK(base >= 1);  // Every bottom node must own at least one leaf.
+  size_t next_leaf = 0;
+  for (size_t i = 0; i < width; ++i) {
+    size_t take = base + (i < extra ? 1 : 0);
+    for (size_t j = 0; j < take; ++j) {
+      // Leaf labels are pre-interned variables; AddChild interns the name.
+      b.AddChild(frontier[i], /*label=*/
+                 // NameOf round-trips the existing id.
+                 vars.NameOf(leaf_labels[next_leaf++]));
+    }
+  }
+  PROVABS_CHECK(next_leaf == leaf_labels.size());
+  return std::move(b).Build();
+}
+
+std::vector<TreeTypeSpec> TreeSpecsOfType(int type) {
+  // The fan-out columns of Table 2 (128 leaves assumed throughout).
+  switch (type) {
+    case 1:
+      return {{1, {2}}, {1, {4}}, {1, {8}}, {1, {16}}, {1, {32}}, {1, {64}}};
+    case 2:
+      return {{2, {2, 2}}, {2, {2, 4}}, {2, {2, 8}}, {2, {2, 16}},
+              {2, {2, 32}}};
+    case 3:
+      return {{3, {4, 2}}, {3, {4, 4}}, {3, {4, 8}}, {3, {4, 16}}};
+    case 4:
+      return {{4, {8, 2}}, {4, {8, 4}}, {4, {8, 8}}};
+    case 5:
+      return {{5, {2, 2, 2}}, {5, {2, 2, 4}}, {5, {2, 2, 8}},
+              {5, {2, 2, 16}}};
+    case 6:
+      return {{6, {2, 4, 2}}, {6, {2, 4, 4}}, {6, {2, 4, 8}}};
+    case 7:
+      return {{7, {4, 2, 2}}, {7, {4, 2, 4}}, {7, {4, 2, 8}}};
+    default:
+      PROVABS_CHECK(false);
+      return {};
+  }
+}
+
+std::vector<TreeTypeSpec> AllTreeSpecs() {
+  std::vector<TreeTypeSpec> all;
+  for (int type = 1; type <= 7; ++type) {
+    auto specs = TreeSpecsOfType(type);
+    all.insert(all.end(), specs.begin(), specs.end());
+  }
+  return all;
+}
+
+size_t SpecNodeCount(const TreeTypeSpec& spec, size_t num_leaves) {
+  size_t internal = 1;  // root
+  size_t layer = 1;
+  for (uint32_t f : spec.fanouts) {
+    layer *= f;
+    internal += layer;
+  }
+  return internal + num_leaves;
+}
+
+}  // namespace provabs

@@ -1,0 +1,47 @@
+#ifndef PROVABS_WORKLOAD_TREE_GEN_H_
+#define PROVABS_WORKLOAD_TREE_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "abstraction/abstraction_tree.h"
+#include "core/variable.h"
+
+namespace provabs {
+
+/// Builds a uniform abstraction tree over `leaf_labels` (already-interned
+/// variables) with the given internal fan-outs per level: `fanouts[0]` is
+/// the root's fan-out, `fanouts[1]` the fan-out of each level-1 node, etc.
+/// The bottom internal layer divides the leaves evenly. Internal nodes are
+/// named "<prefix>L<level>_<index>" to keep forests disjoint.
+///
+/// fanouts = {m} reproduces Figure 4a (2-level, m inner nodes);
+/// fanouts = {r, c} reproduces Figure 4b (3-level);
+/// fanouts = {r, c, d} reproduces Figure 4c (4-level).
+AbstractionTree BuildUniformTree(VariableTable& vars,
+                                 const std::vector<VariableId>& leaf_labels,
+                                 const std::vector<uint32_t>& fanouts,
+                                 const std::string& prefix);
+
+/// One row of Table 2: an abstraction-tree structure used in the paper's
+/// experiments.
+struct TreeTypeSpec {
+  int type = 1;                    ///< Paper's type id, 1..7.
+  std::vector<uint32_t> fanouts;   ///< Internal fan-outs, root first.
+};
+
+/// All Table 2 configurations for trees of the given paper type (1..7),
+/// assuming 128 leaves. E.g. type 1 yields {2},{4},{8},{16},{32},{64}.
+std::vector<TreeTypeSpec> TreeSpecsOfType(int type);
+
+/// All 27 Table 2 configurations, types 1..7.
+std::vector<TreeTypeSpec> AllTreeSpecs();
+
+/// Expected node count of a spec over `num_leaves` leaves
+/// (cross-checked against Table 2's "Nodes" column in tests).
+size_t SpecNodeCount(const TreeTypeSpec& spec, size_t num_leaves = 128);
+
+}  // namespace provabs
+
+#endif  // PROVABS_WORKLOAD_TREE_GEN_H_

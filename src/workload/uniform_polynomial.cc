@@ -1,0 +1,124 @@
+#include "workload/uniform_polynomial.h"
+
+#include <string>
+
+#include "common/macros.h"
+
+namespace provabs {
+
+UniformInstance MakeUniformInstance(
+    VariableTable& vars, uint32_t num_metavars, uint32_t n,
+    const std::vector<std::pair<uint32_t, uint32_t>>& pairs) {
+  PROVABS_CHECK(n >= 1);
+  UniformInstance inst;
+  inst.blowup_n = n;
+  inst.index_pairs = pairs;
+  inst.metavars.reserve(num_metavars);
+  inst.leaf_vars.resize(num_metavars);
+
+  std::vector<AbstractionTree> trees;
+  trees.reserve(num_metavars);
+  for (uint32_t a = 0; a < num_metavars; ++a) {
+    std::string meta = "x(" + std::to_string(a + 1) + ")";
+    AbstractionTreeBuilder b(vars);
+    NodeIndex root = b.AddRoot(meta);
+    inst.metavars.push_back(vars.Find(meta));
+    inst.leaf_vars[a].reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      std::string leaf = "x(" + std::to_string(a + 1) + ")_" +
+                         std::to_string(i + 1);
+      b.AddChild(root, leaf);
+      inst.leaf_vars[a].push_back(vars.Find(leaf));
+    }
+    trees.push_back(std::move(b).Build());
+  }
+  inst.flat_abstraction = AbstractionForest(std::move(trees));
+
+  std::vector<Monomial> terms;
+  terms.reserve(static_cast<size_t>(pairs.size()) * n * n);
+  for (const auto& [a, b] : pairs) {
+    PROVABS_CHECK(a < b && b < num_metavars);
+    for (uint32_t i = 0; i < n; ++i) {
+      for (uint32_t j = 0; j < n; ++j) {
+        terms.emplace_back(
+            1.0, std::vector<Factor>{Factor{inst.leaf_vars[a][i], 1},
+                                     Factor{inst.leaf_vars[b][j], 1}});
+      }
+    }
+  }
+  inst.polynomial = Polynomial::FromMonomials(std::move(terms));
+  return inst;
+}
+
+std::pair<size_t, size_t> PredictAbstractedSizes(
+    const UniformInstance& instance, const std::vector<bool>& abstracted) {
+  const size_t n = instance.blowup_n;
+  size_t size_m = 0;
+  for (const auto& [a, b] : instance.index_pairs) {
+    bool ya = abstracted[a];
+    bool yb = abstracted[b];
+    if (ya && yb) {
+      size_m += 1;
+    } else if (!ya && !yb) {
+      size_m += n * n;
+    } else {
+      size_m += n;
+    }
+  }
+  size_t num_abstracted = 0;
+  for (bool y : abstracted) {
+    if (y) ++num_abstracted;
+  }
+  size_t size_v =
+      num_abstracted + (abstracted.size() - num_abstracted) * n;
+  return {size_m, size_v};
+}
+
+bool ExistsPreciseFlatAbstraction(const UniformInstance& instance, size_t b,
+                                  size_t k, std::vector<bool>* witness) {
+  const size_t x = instance.metavars.size();
+  PROVABS_CHECK(x <= 30);
+  for (uint64_t mask = 0; mask < (1ull << x); ++mask) {
+    std::vector<bool> abstracted(x);
+    for (size_t a = 0; a < x; ++a) abstracted[a] = (mask >> a) & 1;
+    auto [size_m, size_v] = PredictAbstractedSizes(instance, abstracted);
+    if (size_m == b && size_v == k) {
+      if (witness) *witness = abstracted;
+      return true;
+    }
+  }
+  return false;
+}
+
+UniformInstance ReduceVertexCover(VariableTable& vars, const Graph& g,
+                                  uint32_t blowup_n) {
+  return MakeUniformInstance(vars, g.num_vertices, blowup_n, g.edges);
+}
+
+size_t ReductionGranularityTarget(const Graph& g, uint32_t blowup_n,
+                                  uint32_t k) {
+  return static_cast<size_t>(g.num_vertices - k) * blowup_n + k;
+}
+
+bool HasVertexCoverViaReduction(VariableTable& vars, const Graph& g,
+                                uint32_t k, uint32_t blowup_n) {
+  // Lemma 29's argument needs the blow-up n to dominate |E| so that a
+  // single uncovered edge (an n² block) already exceeds every admissible
+  // bound B ≤ |E|·n. The lemma achieves this with n = |V|³ ≥ |E|·|V|; for
+  // small test graphs any n > |E| suffices, so clamp upward.
+  uint32_t n = blowup_n;
+  if (n <= g.edges.size()) n = static_cast<uint32_t>(g.edges.size()) + 1;
+
+  UniformInstance inst = ReduceVertexCover(vars, g, n);
+  const size_t target_k = ReductionGranularityTarget(g, n, k);
+  // Admissible bounds: a cover abstraction yields |P↓S|_M ≤ |E|·n < n², so
+  // searching B in [1, |E|·n] finds a precise witness iff a size-k cover
+  // exists.
+  const size_t b_limit = g.edges.size() * n;
+  for (size_t b = 1; b <= b_limit; ++b) {
+    if (ExistsPreciseFlatAbstraction(inst, b, target_k)) return true;
+  }
+  return false;
+}
+
+}  // namespace provabs

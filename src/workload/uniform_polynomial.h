@@ -1,0 +1,79 @@
+#ifndef PROVABS_WORKLOAD_UNIFORM_POLYNOMIAL_H_
+#define PROVABS_WORKLOAD_UNIFORM_POLYNOMIAL_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "abstraction/abstraction_forest.h"
+#include "core/polynomial.h"
+#include "core/variable.h"
+
+namespace provabs {
+
+/// Appendix A artifacts: the NP-hardness reduction from vertex cover.
+///
+/// A uniformly partitioned polynomial P⟨X, n, I⟩ (Definition 16) has, for
+/// every pair (a, b) ∈ I, the n×n block Σ_{i,j} x^(a)_i · x^(b)_j. Its flat
+/// abstraction (Definition 20) is the forest of |X| depth-1 trees with the
+/// meta-variable x^(a) over leaves x^(a)_1..x^(a)_n.
+
+/// Instance bundle tying the polynomial to its variables and abstraction.
+struct UniformInstance {
+  Polynomial polynomial;
+  /// metavars[a] = id of x^(a); leaf_vars[a][i] = id of x^(a)_{i+1}.
+  std::vector<VariableId> metavars;
+  std::vector<std::vector<VariableId>> leaf_vars;
+  AbstractionForest flat_abstraction;
+  uint32_t blowup_n = 0;
+  std::vector<std::pair<uint32_t, uint32_t>> index_pairs;  ///< I (0-based).
+};
+
+/// Builds P⟨X, n, I⟩ and its flat abstraction. `num_metavars` = |X|;
+/// `pairs` must satisfy a < b < num_metavars.
+UniformInstance MakeUniformInstance(
+    VariableTable& vars, uint32_t num_metavars, uint32_t n,
+    const std::vector<std::pair<uint32_t, uint32_t>>& pairs);
+
+/// Claim 23: sizes of P↓S for a flat abstraction, where `abstracted[a]`
+/// says whether metavariable x^(a) ∈ Y (its tree is cut at the root).
+/// Returns {|P↓S|_M, |P↓S|_V}.
+std::pair<size_t, size_t> PredictAbstractedSizes(
+    const UniformInstance& instance, const std::vector<bool>& abstracted);
+
+/// Decision problem (Definition 10) specialized to flat abstractions:
+/// determines whether some subset Y of metavariables yields exactly
+/// |P↓S|_M = B and |P↓S|_V = K. Exhaustive over 2^|X| — for tests and for
+/// solving vertex cover through the reduction. |X| must be ≤ 30.
+bool ExistsPreciseFlatAbstraction(const UniformInstance& instance, size_t b,
+                                  size_t k,
+                                  std::vector<bool>* witness = nullptr);
+
+/// An undirected graph for the vertex-cover side of the reduction.
+struct Graph {
+  uint32_t num_vertices = 0;
+  std::vector<std::pair<uint32_t, uint32_t>> edges;  ///< (u, v), u < v.
+};
+
+/// Lemma 29's forward construction: from G (and a blow-up factor n, the
+/// lemma uses n = |V|³ but any n ≥ 2 preserves the argument for testing)
+/// build the uniformly partitioned polynomial whose precise abstractions
+/// encode vertex covers.
+UniformInstance ReduceVertexCover(VariableTable& vars, const Graph& g,
+                                  uint32_t blowup_n);
+
+/// Lemma 29's granularity target for a cover of size `k`:
+/// K = (|V| − k)·n + k.
+size_t ReductionGranularityTarget(const Graph& g, uint32_t blowup_n,
+                                  uint32_t k);
+
+/// Decides "G has a vertex cover of size exactly k" by invoking the
+/// decision problem over the reduction (searching all admissible size
+/// bounds B), i.e., the reverse direction of Lemma 29. Exponential in |V|;
+/// used to validate the reduction on small graphs.
+bool HasVertexCoverViaReduction(VariableTable& vars, const Graph& g,
+                                uint32_t k, uint32_t blowup_n = 2);
+
+}  // namespace provabs
+
+#endif  // PROVABS_WORKLOAD_UNIFORM_POLYNOMIAL_H_

@@ -1,0 +1,46 @@
+#include "workload/vertex_cover.h"
+
+#include "common/macros.h"
+
+namespace provabs {
+
+bool IsVertexCover(const Graph& g, const std::vector<bool>& cover) {
+  for (const auto& [u, v] : g.edges) {
+    if (!cover[u] && !cover[v]) return false;
+  }
+  return true;
+}
+
+bool HasVertexCoverOfSize(const Graph& g, uint32_t k) {
+  PROVABS_CHECK(g.num_vertices <= 30);
+  if (k > g.num_vertices) return false;
+  for (uint64_t mask = 0; mask < (1ull << g.num_vertices); ++mask) {
+    if (static_cast<uint32_t>(__builtin_popcountll(mask)) != k) continue;
+    std::vector<bool> cover(g.num_vertices);
+    for (uint32_t i = 0; i < g.num_vertices; ++i) {
+      cover[i] = (mask >> i) & 1;
+    }
+    if (IsVertexCover(g, cover)) return true;
+  }
+  return false;
+}
+
+uint32_t MinVertexCoverSize(const Graph& g) {
+  for (uint32_t k = 0; k <= g.num_vertices; ++k) {
+    if (HasVertexCoverOfSize(g, k)) return k;
+  }
+  return g.num_vertices;
+}
+
+Graph RandomGraph(uint32_t num_vertices, double edge_prob, Rng& rng) {
+  Graph g;
+  g.num_vertices = num_vertices;
+  for (uint32_t u = 0; u < num_vertices; ++u) {
+    for (uint32_t v = u + 1; v < num_vertices; ++v) {
+      if (rng.Bernoulli(edge_prob)) g.edges.emplace_back(u, v);
+    }
+  }
+  return g;
+}
+
+}  // namespace provabs

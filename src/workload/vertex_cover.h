@@ -1,0 +1,31 @@
+#ifndef PROVABS_WORKLOAD_VERTEX_COVER_H_
+#define PROVABS_WORKLOAD_VERTEX_COVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "workload/uniform_polynomial.h"
+
+namespace provabs {
+
+/// Exact (exponential) vertex-cover decisions on small graphs, used as
+/// ground truth when validating the Appendix A reduction.
+
+/// True iff some vertex subset of size exactly `k` covers every edge.
+/// Requires num_vertices ≤ 30.
+bool HasVertexCoverOfSize(const Graph& g, uint32_t k);
+
+/// Size of a minimum vertex cover (0 for edgeless graphs).
+uint32_t MinVertexCoverSize(const Graph& g);
+
+/// True iff `cover` (as a vertex set) covers every edge of `g`.
+bool IsVertexCover(const Graph& g, const std::vector<bool>& cover);
+
+/// Generates a random graph with `num_vertices` vertices where each of the
+/// C(n,2) candidate edges is present with probability `edge_prob`.
+Graph RandomGraph(uint32_t num_vertices, double edge_prob, Rng& rng);
+
+}  // namespace provabs
+
+#endif  // PROVABS_WORKLOAD_VERTEX_COVER_H_

@@ -1,0 +1,243 @@
+#include "abstraction/abstraction_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "abstraction/abstraction_forest.h"
+#include "core/polynomial.h"
+#include "core/polynomial_set.h"
+#include "workload/telephony.h"
+
+namespace provabs {
+namespace {
+
+class AbstractionTreeTest : public ::testing::Test {
+ protected:
+  VariableTable vars_;
+
+  /// Figure 2's plans tree (17 nodes, 9 leaves).
+  AbstractionTree Fig2() { return MakeFigure2PlansTree(vars_); }
+};
+
+TEST_F(AbstractionTreeTest, BuilderProducesDfsPreorder) {
+  AbstractionTree t = Fig2();
+  EXPECT_EQ(t.node_count(), 18u);
+  EXPECT_EQ(t.root(), 0u);
+  EXPECT_EQ(vars_.NameOf(t.node(0).label), "Plans");
+  // Children indices are always greater than the parent (pre-order).
+  for (NodeIndex v = 0; v < t.node_count(); ++v) {
+    for (NodeIndex c : t.node(v).children) {
+      EXPECT_GT(c, v);
+      EXPECT_EQ(t.node(c).parent, v);
+    }
+  }
+}
+
+TEST_F(AbstractionTreeTest, Figure2HasElevenLeaves) {
+  AbstractionTree t = Fig2();
+  EXPECT_EQ(t.leaves().size(), 11u);
+  // Root covers all leaves.
+  EXPECT_EQ(t.node(t.root()).leaf_count(), 11u);
+  // Every internal node's leaf range equals the union of its children's.
+  for (NodeIndex v = 0; v < t.node_count(); ++v) {
+    const auto& n = t.node(v);
+    if (n.is_leaf()) {
+      EXPECT_EQ(n.leaf_count(), 1u);
+      continue;
+    }
+    uint32_t total = 0;
+    for (NodeIndex c : n.children) total += t.node(c).leaf_count();
+    EXPECT_EQ(n.leaf_count(), total);
+  }
+}
+
+TEST_F(AbstractionTreeTest, HeightAndWidth) {
+  AbstractionTree t = Fig2();
+  EXPECT_EQ(t.Height(), 3u);  // Plans -> Business -> SB -> b1
+  EXPECT_EQ(t.Width(), 3u);   // root {Business, Special, Standard}; Y has 3.
+}
+
+TEST_F(AbstractionTreeTest, FindLabelLocatesNodes) {
+  AbstractionTree t = Fig2();
+  NodeIndex sb = t.FindLabel(vars_.Find("SB"));
+  ASSERT_NE(sb, kInvalidNode);
+  EXPECT_EQ(t.node(sb).children.size(), 2u);
+  EXPECT_EQ(t.FindLabel(vars_.Intern("nonexistent")), kInvalidNode);
+}
+
+TEST_F(AbstractionTreeTest, IsDescendantOrSelf) {
+  AbstractionTree t = Fig2();
+  NodeIndex root = t.root();
+  NodeIndex sb = t.FindLabel(vars_.Find("SB"));
+  NodeIndex b1 = t.FindLabel(vars_.Find("b1"));
+  NodeIndex standard = t.FindLabel(vars_.Find("Standard"));
+  EXPECT_TRUE(t.IsDescendantOrSelf(b1, sb));
+  EXPECT_TRUE(t.IsDescendantOrSelf(b1, root));
+  EXPECT_TRUE(t.IsDescendantOrSelf(sb, sb));
+  EXPECT_FALSE(t.IsDescendantOrSelf(sb, b1));
+  EXPECT_FALSE(t.IsDescendantOrSelf(b1, standard));
+}
+
+TEST_F(AbstractionTreeTest, LeafLabelsMatchFigure2) {
+  AbstractionTree t = Fig2();
+  auto labels = t.LeafLabels();
+  std::vector<std::string> names;
+  for (VariableId id : labels) names.push_back(vars_.NameOf(id));
+  std::sort(names.begin(), names.end());
+  std::vector<std::string> expected = {"b1", "b2", "e",  "f1", "f2", "p1",
+                                       "p2", "v",  "y1", "y2", "y3"};
+  EXPECT_EQ(names, expected);
+}
+
+TEST_F(AbstractionTreeTest, CompatibleWithDisjointMonomials) {
+  AbstractionTree t = Fig2();
+  VariableId m1 = vars_.Intern("m1");
+  PolynomialSet polys;
+  polys.Add(Polynomial::FromMonomials(
+      {Monomial(1.0, {{vars_.Find("b1"), 1}, {m1, 1}}),
+       Monomial(2.0, {{vars_.Find("e"), 1}, {m1, 1}})}));
+  EXPECT_TRUE(t.CheckCompatible(polys).ok());
+}
+
+TEST_F(AbstractionTreeTest, IncompatibleWhenTwoTreeVarsShareMonomial) {
+  AbstractionTree t = Fig2();
+  PolynomialSet polys;
+  polys.Add(Polynomial::FromMonomials(
+      {Monomial(1.0, {{vars_.Find("b1"), 1}, {vars_.Find("b2"), 1}})}));
+  Status s = t.CheckCompatible(polys);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(AbstractionTreeTest, IncompatibleWhenMetaVariableInPolynomial) {
+  AbstractionTree t = Fig2();
+  PolynomialSet polys;
+  polys.Add(Polynomial::FromMonomials(
+      {Monomial(1.0, {{vars_.Find("Business"), 1}})}));
+  Status s = t.CheckCompatible(polys);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(AbstractionTreeTest, PruneRemovesAbsentLeaves) {
+  AbstractionTree t = Fig2();
+  // Polynomials mention only b1, b2, e — the Business subtree.
+  PolynomialSet polys;
+  polys.Add(Polynomial::FromMonomials(
+      {Monomial(1.0, {{vars_.Find("b1"), 1}}),
+       Monomial(1.0, {{vars_.Find("b2"), 1}}),
+       Monomial(1.0, {{vars_.Find("e"), 1}})}));
+  auto pruned = t.PruneToPolynomials(polys);
+  ASSERT_TRUE(pruned.ok());
+  auto labels = pruned->LeafLabels();
+  EXPECT_EQ(labels.size(), 3u);
+  // Special and Standard subtrees are gone.
+  EXPECT_EQ(pruned->FindLabel(vars_.Find("f1")), kInvalidNode);
+  EXPECT_EQ(pruned->FindLabel(vars_.Find("Standard")), kInvalidNode);
+  // The root remains.
+  EXPECT_EQ(pruned->node(pruned->root()).label, vars_.Find("Plans"));
+}
+
+TEST_F(AbstractionTreeTest, PruneCollapsesUnaryChains) {
+  // Only f1 of the F subtree appears: F (single kept child) collapses.
+  AbstractionTree t = Fig2();
+  PolynomialSet polys;
+  polys.Add(Polynomial::FromMonomials(
+      {Monomial(1.0, {{vars_.Find("f1"), 1}}),
+       Monomial(1.0, {{vars_.Find("v"), 1}})}));
+  auto pruned = t.PruneToPolynomials(polys);
+  ASSERT_TRUE(pruned.ok());
+  EXPECT_EQ(pruned->FindLabel(vars_.Find("F")), kInvalidNode);
+  EXPECT_NE(pruned->FindLabel(vars_.Find("f1")), kInvalidNode);
+}
+
+TEST_F(AbstractionTreeTest, PruneOfDisjointPolynomialsIsInfeasible) {
+  AbstractionTree t = Fig2();
+  PolynomialSet polys;
+  polys.Add(Polynomial::FromMonomials(
+      {Monomial(1.0, {{vars_.Intern("unrelated"), 1}})}));
+  auto pruned = t.PruneToPolynomials(polys);
+  EXPECT_FALSE(pruned.ok());
+  EXPECT_EQ(pruned.status().code(), StatusCode::kInfeasible);
+}
+
+TEST_F(AbstractionTreeTest, PrunePreservesDfsInvariants) {
+  AbstractionTree t = Fig2();
+  PolynomialSet polys;
+  polys.Add(Polynomial::FromMonomials(
+      {Monomial(1.0, {{vars_.Find("b1"), 1}}),
+       Monomial(1.0, {{vars_.Find("b2"), 1}}),
+       Monomial(1.0, {{vars_.Find("y1"), 1}}),
+       Monomial(1.0, {{vars_.Find("p1"), 1}})}));
+  auto pruned = t.PruneToPolynomials(polys);
+  ASSERT_TRUE(pruned.ok());
+  for (NodeIndex v = 0; v < pruned->node_count(); ++v) {
+    const auto& n = pruned->node(v);
+    for (NodeIndex c : n.children) {
+      EXPECT_GT(c, v);
+      EXPECT_EQ(pruned->node(c).parent, v);
+      EXPECT_EQ(pruned->node(c).depth, n.depth + 1);
+    }
+    if (!n.is_leaf()) {
+      uint32_t total = 0;
+      for (NodeIndex c : n.children) total += pruned->node(c).leaf_count();
+      EXPECT_EQ(n.leaf_count(), total);
+    }
+  }
+}
+
+// ---------------------------------------------------------------- Forest --
+
+TEST_F(AbstractionTreeTest, ForestValidatesDisjointness) {
+  AbstractionForest forest;
+  forest.AddTree(Fig2());
+  forest.AddTree(MakeFigure3MonthsTree(vars_));
+  EXPECT_TRUE(forest.Validate().ok());
+}
+
+TEST_F(AbstractionTreeTest, ForestRejectsSharedLabels) {
+  AbstractionForest forest;
+  forest.AddTree(Fig2());
+  forest.AddTree(Fig2());  // Identical labels.
+  Status s = forest.Validate();
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(AbstractionTreeTest, ForestFindLabelAcrossTrees) {
+  AbstractionForest forest;
+  forest.AddTree(Fig2());
+  forest.AddTree(MakeFigure3MonthsTree(vars_));
+  NodeRef sb = forest.FindLabel(vars_.Find("SB"));
+  EXPECT_EQ(sb.tree, 0u);
+  NodeRef q2 = forest.FindLabel(vars_.Find("q2"));
+  EXPECT_EQ(q2.tree, 1u);
+  NodeRef missing = forest.FindLabel(vars_.Intern("missing"));
+  EXPECT_EQ(missing.tree, AbstractionForest::kInvalidTreeIndex);
+}
+
+TEST_F(AbstractionTreeTest, ForestTotalNodes) {
+  AbstractionForest forest;
+  forest.AddTree(Fig2());
+  forest.AddTree(MakeFigure3MonthsTree(vars_));  // 1 + 4 + 12 = 17 nodes
+  EXPECT_EQ(forest.TotalNodes(), 18u + 17u);
+}
+
+TEST_F(AbstractionTreeTest, MonthsTreeStructure) {
+  AbstractionTree t = MakeFigure3MonthsTree(vars_, 12);
+  EXPECT_EQ(t.node_count(), 17u);
+  EXPECT_EQ(t.leaves().size(), 12u);
+  EXPECT_EQ(t.Height(), 2u);
+  NodeIndex q1 = t.FindLabel(vars_.Find("q1"));
+  ASSERT_NE(q1, kInvalidNode);
+  EXPECT_EQ(t.node(q1).children.size(), 3u);
+}
+
+TEST_F(AbstractionTreeTest, MonthsTreePartialYear) {
+  AbstractionTree t = MakeFigure3MonthsTree(vars_, 4);  // m1..m4, q1+q2
+  EXPECT_EQ(t.leaves().size(), 4u);
+  NodeIndex q2 = t.FindLabel(vars_.Find("q2"));
+  ASSERT_NE(q2, kInvalidNode);
+  EXPECT_EQ(t.node(q2).children.size(), 1u);
+}
+
+}  // namespace
+}  // namespace provabs

@@ -1,0 +1,92 @@
+#include "algo/brute_force.h"
+
+#include <gtest/gtest.h>
+
+#include "abstraction/cut_counter.h"
+#include "core/polynomial.h"
+#include "workload/telephony.h"
+#include "workload/tree_gen.h"
+
+namespace provabs {
+namespace {
+
+class BruteForceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    m1_ = vars_.Intern("m1");
+    forest_.AddTree(MakeFigure2PlansTree(vars_));
+    polys_.Add(Polynomial::FromMonomials({
+        Monomial(1.0, {{vars_.Find("b1"), 1}, {m1_, 1}}),
+        Monomial(2.0, {{vars_.Find("b2"), 1}, {m1_, 1}}),
+        Monomial(3.0, {{vars_.Find("e"), 1}, {m1_, 1}}),
+        Monomial(4.0, {{vars_.Find("p1"), 1}, {m1_, 1}}),
+    }));
+  }
+
+  VariableTable vars_;
+  VariableId m1_;
+  AbstractionForest forest_;
+  PolynomialSet polys_;
+};
+
+TEST_F(BruteForceTest, FindsOptimumOnSmallInstance) {
+  // B = 3 needs one merge; grouping SB = {b1, b2} costs 1 variable, which
+  // is minimal.
+  auto result = BruteForce(polys_, forest_, 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->adequate);
+  EXPECT_EQ(result->loss.monomial_loss, 1u);
+  EXPECT_EQ(result->loss.variable_loss, 1u);
+}
+
+TEST_F(BruteForceTest, ExactBoundZeroLoss) {
+  auto result = BruteForce(polys_, forest_, 4);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->loss.monomial_loss, 0u);
+  EXPECT_EQ(result->loss.variable_loss, 0u);
+}
+
+TEST_F(BruteForceTest, InfeasibleWhenBelowMaxCompression) {
+  // Root cut leaves one monomial Plans·m1; B = 1 feasible...
+  auto ok = BruteForce(polys_, forest_, 1);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->loss.monomial_loss, 3u);
+}
+
+TEST_F(BruteForceTest, EnumeratesExactlyTheCutSpace) {
+  // The Figure 2 tree has 31 cuts; a cut cap below that must refuse.
+  BruteForceOptions opts;
+  opts.max_cuts = 30;
+  auto result = BruteForce(polys_, forest_, 3, opts);
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+  opts.max_cuts = 31;
+  EXPECT_TRUE(BruteForce(polys_, forest_, 3, opts).ok());
+}
+
+TEST_F(BruteForceTest, MultiTreeCartesianProduct) {
+  AbstractionForest forest2;
+  forest2.AddTree(MakeFigure2PlansTree(vars_));
+  forest2.AddTree(MakeFigure3MonthsTree(vars_, 6));
+  ASSERT_TRUE(forest2.Validate().ok());
+  // 31 cuts × (1 + 2·2) cuts = 155 combinations; just confirm it runs and
+  // returns a valid cut.
+  auto result = BruteForce(polys_, forest2, 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->vvs.Validate(forest2).ok());
+}
+
+TEST_F(BruteForceTest, ResultLossIsConsistent) {
+  auto result = BruteForce(polys_, forest_, 2);
+  ASSERT_TRUE(result.ok());
+  LossReport recheck = ComputeLossNaive(polys_, forest_, result->vvs);
+  EXPECT_EQ(recheck.monomial_loss, result->loss.monomial_loss);
+  EXPECT_EQ(recheck.variable_loss, result->loss.variable_loss);
+}
+
+TEST_F(BruteForceTest, RejectsZeroBound) {
+  EXPECT_EQ(BruteForce(polys_, forest_, 0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace provabs

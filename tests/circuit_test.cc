@@ -1,0 +1,225 @@
+#include "circuit/circuit.h"
+
+#include <gtest/gtest.h>
+
+#include "abstraction/valid_variable_set.h"
+#include "circuit/factorize.h"
+#include "common/random.h"
+#include "workload/telephony.h"
+#include "workload/tree_gen.h"
+
+namespace provabs {
+namespace {
+
+class CircuitTest : public ::testing::Test {
+ protected:
+  VariableTable vars_;
+  VariableId x_ = vars_.Intern("x");
+  VariableId y_ = vars_.Intern("y");
+  VariableId z_ = vars_.Intern("z");
+};
+
+TEST_F(CircuitTest, BuildAndEvaluate) {
+  // (2 + x) * y
+  ProvenanceCircuit c;
+  auto two = c.AddConstant(2.0);
+  auto x = c.AddVariable(x_);
+  auto sum = c.AddSum({two, x});
+  auto y = c.AddVariable(y_);
+  c.SetOutput(c.AddProduct({sum, y}));
+  ASSERT_TRUE(c.Validate().ok());
+
+  Valuation val;
+  val.Set(x_, 3.0);
+  val.Set(y_, 4.0);
+  EXPECT_DOUBLE_EQ(c.Evaluate(val), 20.0);
+  EXPECT_EQ(c.ToString(vars_), "((2 + x)*y)");
+}
+
+TEST_F(CircuitTest, UnsetVariablesDefaultToOne) {
+  ProvenanceCircuit c;
+  c.SetOutput(c.AddVariable(x_));
+  Valuation empty;
+  EXPECT_DOUBLE_EQ(c.Evaluate(empty), 1.0);
+}
+
+TEST_F(CircuitTest, ValidateCatchesMissingOutput) {
+  ProvenanceCircuit c;
+  c.AddConstant(1.0);
+  EXPECT_EQ(c.Validate().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(CircuitTest, ToPolynomialExpands) {
+  // (x + y) * (x + z) -> x^2 + xz + xy + yz.
+  ProvenanceCircuit c;
+  auto x1 = c.AddVariable(x_);
+  auto y = c.AddVariable(y_);
+  auto left = c.AddSum({x1, y});
+  auto x2 = c.AddVariable(x_);
+  auto z = c.AddVariable(z_);
+  auto right = c.AddSum({x2, z});
+  c.SetOutput(c.AddProduct({left, right}));
+  Polynomial p = c.ToPolynomial();
+  EXPECT_EQ(p.SizeM(), 4u);
+  EXPECT_EQ(p.SizeV(), 3u);
+}
+
+TEST_F(CircuitTest, SubstitutionRewritesLeaves) {
+  ProvenanceCircuit c;
+  auto x = c.AddVariable(x_);
+  auto y = c.AddVariable(y_);
+  c.SetOutput(c.AddSum({x, y}));
+  std::unordered_map<VariableId, VariableId> map{{x_, z_}, {y_, z_}};
+  ProvenanceCircuit mapped = c.ApplySubstitution(map);
+  Polynomial p = mapped.ToPolynomial();
+  EXPECT_EQ(p.SizeM(), 1u);  // z + z = 2z
+  EXPECT_DOUBLE_EQ(p.monomials()[0].coefficient(), 2.0);
+}
+
+// ------------------------------------------------------- factorization --
+
+TEST_F(CircuitTest, FlatCircuitRoundTrips) {
+  Polynomial p = Polynomial::FromMonomials(
+      {Monomial(2.0, {{x_, 1}, {y_, 1}}), Monomial(3.0, {{x_, 1}, {z_, 1}}),
+       Monomial(4.0, {})});
+  ProvenanceCircuit c = FlatCircuit(p);
+  ASSERT_TRUE(c.Validate().ok());
+  EXPECT_TRUE(c.ToPolynomial() == p);
+}
+
+TEST_F(CircuitTest, FactorizeRoundTrips) {
+  Polynomial p = Polynomial::FromMonomials(
+      {Monomial(2.0, {{x_, 1}, {y_, 1}}), Monomial(3.0, {{x_, 1}, {z_, 1}}),
+       Monomial(5.0, {{y_, 1}, {z_, 1}})});
+  ProvenanceCircuit c = FactorizePolynomial(p);
+  ASSERT_TRUE(c.Validate().ok());
+  EXPECT_TRUE(c.ToPolynomial() == p);
+}
+
+TEST_F(CircuitTest, FactorizeSharesCommonVariable) {
+  // 2xy + 3xz: factoring x gives x*(2y + 3z) — fewer variable leaves than
+  // the flat form.
+  Polynomial p = Polynomial::FromMonomials(
+      {Monomial(2.0, {{x_, 1}, {y_, 1}}), Monomial(3.0, {{x_, 1}, {z_, 1}})});
+  ProvenanceCircuit flat = FlatCircuit(p);
+  ProvenanceCircuit factored = FactorizePolynomial(p);
+  auto count_var_leaves = [&](const ProvenanceCircuit& c) {
+    size_t leaves = 0;
+    for (ProvenanceCircuit::GateId g = 0; g < c.gate_count(); ++g) {
+      if (c.gate(g).kind == ProvenanceCircuit::GateKind::kVariable) {
+        ++leaves;
+      }
+    }
+    return leaves;
+  };
+  EXPECT_EQ(count_var_leaves(flat), 4u);      // x y x z
+  EXPECT_EQ(count_var_leaves(factored), 3u);  // x (y z)
+  EXPECT_TRUE(factored.ToPolynomial() == p);
+}
+
+TEST_F(CircuitTest, FactorizeHandlesExponents) {
+  Polynomial p = Polynomial::FromMonomials(
+      {Monomial(1.0, {{x_, 2}}), Monomial(1.0, {{x_, 1}, {y_, 1}})});
+  ProvenanceCircuit c = FactorizePolynomial(p);
+  EXPECT_TRUE(c.ToPolynomial() == p);
+}
+
+TEST_F(CircuitTest, EmptyPolynomialFactorizes) {
+  Polynomial p;
+  ProvenanceCircuit c = FactorizePolynomial(p);
+  ASSERT_TRUE(c.Validate().ok());
+  Valuation val;
+  EXPECT_DOUBLE_EQ(c.Evaluate(val), 0.0);
+}
+
+// Lossy abstraction composes with lossless factorization (the §5 "work in
+// tandem" goal): abstract first, then factorize; the circuit evaluates
+// exactly like the abstracted polynomial.
+TEST_F(CircuitTest, AbstractionThenFactorizationPreservesEvaluation) {
+  VariableTable vars;
+  RunningExample ex = MakeRunningExample(vars);
+  PolynomialSet polys = RunRunningExampleQuery(ex);
+  AbstractionForest forest;
+  auto pruned = MakeFigure2PlansTree(vars).PruneToPolynomials(polys);
+  ASSERT_TRUE(pruned.ok());
+  forest.AddTree(std::move(pruned).value());
+  ValidVariableSet roots = ValidVariableSet::AllRoots(forest);
+  PolynomialSet abstracted = roots.Apply(forest, polys);
+
+  std::vector<ProvenanceCircuit> circuits = FactorizeSet(abstracted);
+  Valuation val;
+  val.Set(vars.Find("Plans"), 0.9);
+  val.Set(ex.m3, 0.8);
+  for (size_t i = 0; i < abstracted.count(); ++i) {
+    EXPECT_NEAR(circuits[i].Evaluate(val), val.Evaluate(abstracted[i]),
+                1e-9);
+  }
+}
+
+// Substituting leaves in an already-factorized circuit equals abstracting
+// the polynomial then factorizing, value-wise.
+TEST_F(CircuitTest, SubstituteInCircuitMatchesAbstractedPolynomial) {
+  VariableTable vars;
+  RunningExample ex = MakeRunningExample(vars);
+  PolynomialSet polys = RunRunningExampleQuery(ex);
+  AbstractionForest forest;
+  auto pruned = MakeFigure2PlansTree(vars).PruneToPolynomials(polys);
+  ASSERT_TRUE(pruned.ok());
+  forest.AddTree(std::move(pruned).value());
+  ValidVariableSet roots = ValidVariableSet::AllRoots(forest);
+  auto subst = roots.SubstitutionMap(forest);
+
+  Valuation val;
+  val.Set(vars.Find("Plans"), 1.2);
+  val.Set(ex.m1, 0.7);
+  PolynomialSet abstracted = roots.Apply(forest, polys);
+  for (size_t i = 0; i < polys.count(); ++i) {
+    ProvenanceCircuit factored = FactorizePolynomial(polys[i]);
+    ProvenanceCircuit substituted = factored.ApplySubstitution(subst);
+    EXPECT_NEAR(substituted.Evaluate(val), val.Evaluate(abstracted[i]),
+                1e-6);
+  }
+}
+
+// Property: factorization is lossless on random polynomials, and shrinks
+// (or at worst matches) the flat circuit's variable-leaf count.
+class FactorizePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FactorizePropertyTest, LosslessOnRandomPolynomials) {
+  Rng rng(31000 + GetParam());
+  VariableTable vars;
+  std::vector<VariableId> pool;
+  for (int i = 0; i < 8; ++i) {
+    pool.push_back(vars.Intern("r" + std::to_string(i)));
+  }
+  std::vector<Monomial> terms;
+  const size_t n_terms = 3 + rng.Uniform(20);
+  for (size_t t = 0; t < n_terms; ++t) {
+    std::vector<Factor> f;
+    size_t degree = 1 + rng.Uniform(3);
+    for (size_t d = 0; d < degree; ++d) {
+      f.push_back({pool[rng.Uniform(pool.size())],
+                   static_cast<uint32_t>(1 + rng.Uniform(2))});
+    }
+    terms.emplace_back(rng.UniformReal(0.5, 9.5), std::move(f));
+  }
+  Polynomial p = Polynomial::FromMonomials(std::move(terms));
+
+  ProvenanceCircuit factored = FactorizePolynomial(p);
+  ASSERT_TRUE(factored.Validate().ok());
+  EXPECT_TRUE(factored.ToPolynomial() == p);
+
+  // Evaluation agreement under random valuations.
+  for (int trial = 0; trial < 5; ++trial) {
+    Valuation val;
+    for (VariableId v : pool) val.Set(v, rng.UniformReal(0.2, 2.0));
+    EXPECT_NEAR(factored.Evaluate(val), val.Evaluate(p),
+                std::abs(val.Evaluate(p)) * 1e-9 + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, FactorizePropertyTest,
+                         ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace provabs

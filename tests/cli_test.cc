@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace provabs {
+namespace {
+
+/// Shell-level smoke tests of the provabs_cli binary: the producer →
+/// analyst round trip (generate → info → compress → tradeoff → evaluate).
+/// The binary path is resolved relative to the test binary's conventional
+/// build layout; the suite is skipped when it is absent (e.g. when tests
+/// are run from an install tree).
+class CliTest : public ::testing::Test {
+ protected:
+  /// Locates the CLI binary relative to common test working directories.
+  static std::string Binary() {
+    static const char* candidates[] = {
+        "../tools/provabs_cli",        // ctest from build/tests
+        "./tools/provabs_cli",         // manual run from build/
+        "./build/tools/provabs_cli",   // manual run from the repo root
+    };
+    for (const char* c : candidates) {
+      FILE* probe = std::fopen(c, "rb");
+      if (probe != nullptr) {
+        std::fclose(probe);
+        return c;
+      }
+    }
+    return "";
+  }
+
+  void SetUp() override {
+    if (Binary().empty()) {
+      GTEST_SKIP() << "provabs_cli binary not found";
+    }
+    dir_ = ::testing::TempDir();
+  }
+
+  int Run(const std::string& args) {
+    std::string cmd = Binary() + " " + args + " >/dev/null 2>&1";
+    return std::system(cmd.c_str());
+  }
+
+  std::string dir_;
+};
+
+TEST_F(CliTest, FullProducerAnalystRoundTrip) {
+  ASSERT_EQ(Run("generate --workload telephony --scale 0.02 --out " + dir_ +
+                "/p.bin --forest-out " + dir_ + "/f.bin"),
+            0);
+  EXPECT_EQ(Run("info --in " + dir_ + "/p.bin"), 0);
+  EXPECT_EQ(Run("compress --in " + dir_ + "/p.bin --forest " + dir_ +
+                "/f.bin --bound 1500 --algo opt --out " + dir_ +
+                "/c.bin --vvs-out " + dir_ + "/v.bin"),
+            0);
+  EXPECT_EQ(Run("tradeoff --in " + dir_ + "/p.bin --forest " + dir_ +
+                "/f.bin"),
+            0);
+  EXPECT_EQ(Run("evaluate --in " + dir_ + "/c.bin --set m1=0.8"), 0);
+}
+
+TEST_F(CliTest, GreedyAlgoSelectable) {
+  ASSERT_EQ(Run("generate --workload telephony --scale 0.02 --out " + dir_ +
+                "/p2.bin --forest-out " + dir_ + "/f2.bin --fanouts 4,4"),
+            0);
+  EXPECT_EQ(Run("compress --in " + dir_ + "/p2.bin --forest " + dir_ +
+                "/f2.bin --bound 1500 --algo greedy"),
+            0);
+}
+
+TEST_F(CliTest, MissingFlagsAreUsageErrors) {
+  EXPECT_NE(Run("generate --workload telephony"), 0);
+  EXPECT_NE(Run("compress --in nope.bin"), 0);
+  EXPECT_NE(Run("frobnicate"), 0);
+}
+
+TEST_F(CliTest, MissingFileIsRuntimeError) {
+  EXPECT_NE(Run("info --in " + dir_ + "/definitely_missing.bin"), 0);
+}
+
+TEST_F(CliTest, UnknownWorkloadRejected) {
+  EXPECT_NE(Run("generate --workload tpch-q99 --out " + dir_ + "/x.bin"),
+            0);
+}
+
+}  // namespace
+}  // namespace provabs

@@ -1,0 +1,152 @@
+#include "abstraction/cut_counter.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "workload/telephony.h"
+#include "workload/tree_gen.h"
+
+namespace provabs {
+namespace {
+
+std::vector<VariableId> MakeLeaves(VariableTable& vars, size_t n,
+                                   const std::string& prefix = "leaf") {
+  std::vector<VariableId> leaves;
+  for (size_t i = 0; i < n; ++i) {
+    leaves.push_back(vars.Intern(prefix + std::to_string(i)));
+  }
+  return leaves;
+}
+
+TEST(CutCounterTest, SingleLeafTreeHasTwoCuts) {
+  // Root with one leaf: {leaf} and {root}.
+  VariableTable vars;
+  AbstractionTreeBuilder b(vars);
+  NodeIndex root = b.AddRoot("r");
+  b.AddChild(root, "l");
+  AbstractionTree t = std::move(b).Build();
+  EXPECT_EQ(CountCutsExact(t), 2u);
+}
+
+TEST(CutCounterTest, FlatTreeHasTwoCuts) {
+  // Root with n leaves: all-leaves or root.
+  VariableTable vars;
+  AbstractionTreeBuilder b(vars);
+  NodeIndex root = b.AddRoot("r");
+  for (int i = 0; i < 10; ++i) b.AddChild(root, "l" + std::to_string(i));
+  AbstractionTree t = std::move(b).Build();
+  EXPECT_EQ(CountCutsExact(t), 2u);
+}
+
+TEST(CutCounterTest, Figure2PlansTree) {
+  // cuts(SB)=2, cuts(Business)=1+2·1=3, cuts(F)=2, cuts(Y)=2,
+  // cuts(Special)=1+2·2·1=5, cuts(Standard)=2,
+  // cuts(Plans)=1+3·5·2=31.
+  VariableTable vars;
+  AbstractionTree t = MakeFigure2PlansTree(vars);
+  EXPECT_EQ(CountCutsExact(t), 31u);
+  EXPECT_DOUBLE_EQ(CountCutsApprox(t), 31.0);
+}
+
+TEST(CutCounterTest, MonthsTree) {
+  // Four quarters with 3 leaves each: cuts(q)=2, cuts(Year)=1+2^4=17.
+  VariableTable vars;
+  AbstractionTree t = MakeFigure3MonthsTree(vars, 12);
+  EXPECT_EQ(CountCutsExact(t), 17u);
+}
+
+TEST(CutCounterTest, ApproxMatchesExactWhenSmall) {
+  VariableTable vars;
+  auto leaves = MakeLeaves(vars, 128);
+  AbstractionTree t = BuildUniformTree(vars, leaves, {4, 4}, "t");
+  EXPECT_DOUBLE_EQ(CountCutsApprox(t),
+                   static_cast<double>(CountCutsExact(t)));
+}
+
+TEST(CutCounterTest, SaturatesInsteadOfOverflowing) {
+  VariableTable vars;
+  auto leaves = MakeLeaves(vars, 256);
+  // 128 bottom nodes of 2 leaves: cuts(bottom)=2; root=1+2^128 — overflow.
+  AbstractionTree t = BuildUniformTree(vars, leaves, {128}, "t");
+  EXPECT_EQ(CountCutsExact(t), kSaturated);
+  EXPECT_GT(CountCutsApprox(t), 1e38);
+}
+
+TEST(CutCounterTest, ForestCutsMultiply) {
+  VariableTable vars;
+  AbstractionForest forest;
+  forest.AddTree(MakeFigure2PlansTree(vars));   // 31 cuts
+  forest.AddTree(MakeFigure3MonthsTree(vars));  // 17 cuts
+  EXPECT_DOUBLE_EQ(CountForestCutsApprox(forest), 31.0 * 17.0);
+}
+
+// ----- Table 2: the VVS column for every tree structure of the paper -----
+
+struct Table2Row {
+  int type;
+  std::vector<uint32_t> fanouts;
+  size_t nodes;
+  double vvs;  // Expected cut count (exact for small, ~ for huge).
+};
+
+class Table2Test : public ::testing::TestWithParam<Table2Row> {};
+
+TEST_P(Table2Test, NodeAndCutCountsMatchPaper) {
+  const Table2Row& row = GetParam();
+  VariableTable vars;
+  auto leaves = MakeLeaves(vars, 128);
+  AbstractionTree t = BuildUniformTree(vars, leaves, row.fanouts, "t");
+  EXPECT_EQ(t.node_count(), row.nodes);
+  double cuts = CountCutsApprox(t);
+  EXPECT_NEAR(cuts / row.vvs, 1.0, 1e-4)
+      << "type " << row.type << " cuts " << cuts;
+}
+
+// Every row of Table 2 (nodes and VVS columns).
+INSTANTIATE_TEST_SUITE_P(
+    AllRows, Table2Test,
+    ::testing::Values(
+        // Type 1: 2-level trees.
+        Table2Row{1, {2}, 131, 5.0}, Table2Row{1, {4}, 133, 17.0},
+        Table2Row{1, {8}, 137, 257.0}, Table2Row{1, {16}, 145, 65537.0},
+        Table2Row{1, {32}, 161, 4294967297.0},
+        Table2Row{1, {64}, 193, 1.8446744073709552e19},
+        // Type 2: 3-level, root fan-out 2.
+        Table2Row{2, {2, 2}, 135, 26.0}, Table2Row{2, {2, 4}, 139, 290.0},
+        Table2Row{2, {2, 8}, 147, 66050.0},
+        Table2Row{2, {2, 16}, 163, 4295098370.0},
+        Table2Row{2, {2, 32}, 195, 1.8446744073709552e19},
+        // Type 3: 3-level, root fan-out 4.
+        Table2Row{3, {4, 2}, 141, 626.0}, Table2Row{3, {4, 4}, 149, 83522.0},
+        Table2Row{3, {4, 8}, 165, 4362470402.0},
+        Table2Row{3, {4, 16}, 197, 1.8447923684701636e19},
+        // Type 4: 3-level, root fan-out 8.
+        Table2Row{4, {8, 2}, 153, 390626.0},
+        Table2Row{4, {8, 4}, 169, 6975757442.0},
+        Table2Row{4, {8, 8}, 201, 1.9031100206734375e19},
+        // Type 5: 4-level, fan-outs (2, 2, ·).
+        Table2Row{5, {2, 2, 2}, 143, 677.0},
+        Table2Row{5, {2, 2, 4}, 151, 84101.0},
+        Table2Row{5, {2, 2, 8}, 167, 4362602501.0},
+        Table2Row{5, {2, 2, 16}, 199, 1.8447923690103203e19},
+        // Type 6: 4-level, fan-outs (2, 4, ·).
+        Table2Row{6, {2, 4, 2}, 155, 391877.0},
+        Table2Row{6, {2, 4, 4}, 171, 6975924485.0},
+        Table2Row{6, {2, 4, 8}, 203, 1.9031100207602232e19},
+        // Type 7: 4-level, fan-outs (4, 2, ·).
+        Table2Row{7, {4, 2, 2}, 157, 456977.0},
+        Table2Row{7, {4, 2, 4}, 173, 7072810001.0},
+        Table2Row{7, {4, 2, 8}, 205, 1.9032321490575574e19}),
+    [](const ::testing::TestParamInfo<Table2Row>& info) {
+      std::string name = "Type" + std::to_string(info.param.type);
+      for (uint32_t f : info.param.fanouts) {
+        name += "_" + std::to_string(f);
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace provabs

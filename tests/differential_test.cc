@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_map>
+
+#include "algo/brute_force.h"
+#include "algo/greedy_multi_tree.h"
+#include "algo/optimal_single_tree.h"
+#include "common/random.h"
+#include "core/valuation.h"
+#include "io/serializer.h"
+#include "sql/planner.h"
+#include "workload/telephony.h"
+#include "workload/tree_gen.h"
+
+namespace provabs {
+namespace {
+
+/// Differential and fuzz suites cutting across modules.
+
+/// The central semantic theorem of the paper, checked end-to-end for every
+/// algorithm on random instances: whatever VVS an algorithm picks, a
+/// scenario that assigns group-uniform values evaluates IDENTICALLY on the
+/// compressed and the original provenance.
+class UniformScenarioTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(UniformScenarioTest, AllAlgorithmsPreserveGroupUniformScenarios) {
+  Rng rng(40000 + GetParam());
+  VariableTable vars;
+
+  const size_t num_trees = 1 + rng.Uniform(2);
+  AbstractionForest forest;
+  std::vector<std::vector<VariableId>> tree_leaves(num_trees);
+  for (size_t t = 0; t < num_trees; ++t) {
+    const size_t n = 4 + rng.Uniform(6);
+    for (size_t i = 0; i < n; ++i) {
+      tree_leaves[t].push_back(vars.Intern(
+          "d" + std::to_string(GetParam()) + "_" + std::to_string(t) + "_" +
+          std::to_string(i)));
+    }
+    forest.AddTree(BuildUniformTree(
+        vars, tree_leaves[t], rng.Bernoulli(0.5)
+                                  ? std::vector<uint32_t>{2}
+                                  : std::vector<uint32_t>{2, 2},
+        "DT" + std::to_string(t) + "_"));
+  }
+  ASSERT_TRUE(forest.Validate().ok());
+
+  PolynomialSet polys;
+  for (size_t p = 0; p < 1 + rng.Uniform(3); ++p) {
+    std::vector<Monomial> terms;
+    for (int m = 0; m < 20; ++m) {
+      std::vector<Factor> f;
+      for (size_t t = 0; t < num_trees; ++t) {
+        if (rng.Bernoulli(0.8)) {
+          f.push_back(
+              {tree_leaves[t][rng.Uniform(tree_leaves[t].size())], 1});
+        }
+      }
+      terms.emplace_back(rng.UniformReal(0.5, 9.5), std::move(f));
+    }
+    polys.Add(Polynomial::FromMonomials(std::move(terms)));
+  }
+  ASSERT_TRUE(forest.CheckCompatible(polys).ok());
+
+  const size_t bound = 1 + polys.SizeM() / 2;
+  std::vector<std::pair<std::string, ValidVariableSet>> candidates;
+  if (auto greedy = GreedyMultiTree(polys, forest, bound); greedy.ok()) {
+    candidates.emplace_back("greedy", greedy->vvs);
+  }
+  if (auto opt = OptimalSingleTree(polys, forest, 0, bound); opt.ok()) {
+    candidates.emplace_back("optimal", opt->vvs);
+  }
+  if (auto brute = BruteForce(polys, forest, bound); brute.ok()) {
+    candidates.emplace_back("brute", brute->vvs);
+  }
+  ASSERT_FALSE(candidates.empty());
+
+  for (const auto& [name, vvs] : candidates) {
+    ASSERT_TRUE(vvs.Validate(forest).ok()) << name;
+    PolynomialSet compressed = vvs.Apply(forest, polys);
+    auto subst = vvs.SubstitutionMap(forest);
+    for (int trial = 0; trial < 5; ++trial) {
+      Valuation val;
+      std::unordered_map<VariableId, double> group_value;
+      for (const auto& [leaf, rep] : subst) {
+        auto [it, inserted] = group_value.emplace(rep, 0.0);
+        if (inserted) it->second = rng.UniformReal(0.5, 1.5);
+        val.Set(leaf, it->second);
+        val.Set(rep, it->second);
+      }
+      for (size_t i = 0; i < polys.count(); ++i) {
+        double original = val.Evaluate(polys[i]);
+        double abstracted = val.Evaluate(compressed[i]);
+        EXPECT_NEAR(original, abstracted, std::abs(original) * 1e-9 + 1e-9)
+            << name << " polynomial " << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, UniformScenarioTest,
+                         ::testing::Range(0, 15));
+
+/// SQL planner vs the hand-built plan on random telephony databases.
+class SqlDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SqlDifferentialTest, SqlMatchesHandBuiltPlanOnRandomData) {
+  TelephonyConfig config;
+  config.num_customers = 40 + 10 * static_cast<size_t>(GetParam());
+  config.num_plans = 8;
+  config.num_months = 4;
+  config.num_zip_codes = 5;
+  config.seed = 500 + static_cast<uint64_t>(GetParam());
+  Rng rng(config.seed);
+  Database db = GenerateTelephony(config, rng);
+  VariableTable vars;
+  TelephonyVars tv = MakeTelephonyVars(vars, config);
+
+  PolynomialSet reference = RunTelephonyQuery(db, tv);
+
+  sql::PlanOptions options;
+  options.parameters = [&](const Row& row, const Schema& schema)
+      -> std::vector<VariableId> {
+    int64_t plan = AsInt(row[schema.IndexOf("Cust.Plan")]);
+    int64_t mo = AsInt(row[schema.IndexOf("Calls.Mo")]);
+    return {tv.plan_vars[static_cast<size_t>(plan)],
+            tv.month_vars[static_cast<size_t>(mo - 1)]};
+  };
+  auto result = sql::ExecuteSql(
+      "SELECT Zip, SUM(Calls.Dur * Plans.Price) "
+      "FROM Calls, Cust, Plans "
+      "WHERE Cust.Plan = Plans.Plan AND Cust.ID = Calls.CID "
+      "AND Calls.Mo = Plans.Mo GROUP BY Cust.Zip",
+      db, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  PolynomialSet from_sql = result->ToPolynomialSet();
+
+  ASSERT_EQ(from_sql.count(), reference.count());
+  EXPECT_EQ(from_sql.SizeM(), reference.SizeM());
+  EXPECT_EQ(from_sql.SizeV(), reference.SizeV());
+  for (const Polynomial& p : reference.polynomials()) {
+    bool matched = false;
+    for (const Polynomial& q : from_sql.polynomials()) {
+      if (q == p) matched = true;
+    }
+    EXPECT_TRUE(matched);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDatabases, SqlDifferentialTest,
+                         ::testing::Range(0, 8));
+
+/// Serializer fuzz: random byte corruption must never crash the reader —
+/// every flip either parses cleanly or returns a Status error.
+class SerializerFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SerializerFuzzTest, RandomCorruptionNeverCrashes) {
+  Rng rng(60000 + GetParam());
+  VariableTable vars;
+  RunningExample ex = MakeRunningExample(vars);
+  PolynomialSet polys = RunRunningExampleQuery(ex);
+  std::string data = SerializePolynomialSet(polys, vars);
+
+  for (int flip = 0; flip < 200; ++flip) {
+    std::string corrupt = data;
+    size_t pos = rng.Uniform(corrupt.size());
+    corrupt[pos] = static_cast<char>(rng.Uniform(256));
+    VariableTable fresh;
+    auto parsed = DeserializePolynomialSet(corrupt, fresh);
+    // Either outcome is fine; the process must survive.
+    if (parsed.ok()) {
+      EXPECT_GE(parsed->count(), 0u);
+    }
+  }
+  for (int truncate = 0; truncate < 50; ++truncate) {
+    size_t len = rng.Uniform(data.size());
+    VariableTable fresh;
+    auto parsed = DeserializePolynomialSet(
+        std::string_view(data).substr(0, len), fresh);
+    EXPECT_FALSE(parsed.ok());  // A strict prefix can never be complete.
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializerFuzzTest, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace provabs

@@ -1,0 +1,206 @@
+#include "engine/query.h"
+
+#include <gtest/gtest.h>
+
+#include "core/valuation.h"
+#include "engine/table.h"
+
+namespace provabs {
+namespace {
+
+class EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    r_ = Table("R", Schema({{"a", ValueType::kInt64},
+                            {"b", ValueType::kInt64},
+                            {"val", ValueType::kDouble}}));
+    r_.Append({int64_t{1}, int64_t{10}, 1.5});
+    r_.Append({int64_t{2}, int64_t{10}, 2.5});
+    r_.Append({int64_t{3}, int64_t{20}, 3.5});
+
+    s_ = Table("S", Schema({{"b", ValueType::kInt64},
+                            {"c", ValueType::kString}}));
+    s_.Append({int64_t{10}, std::string("x")});
+    s_.Append({int64_t{20}, std::string("y")});
+    s_.Append({int64_t{30}, std::string("z")});
+  }
+
+  Table r_;
+  Table s_;
+  VariableTable vars_;
+};
+
+TEST_F(EngineTest, SchemaLookup) {
+  EXPECT_EQ(r_.schema().IndexOf("val"), 2u);
+  EXPECT_TRUE(r_.schema().Has("a"));
+  EXPECT_FALSE(r_.schema().Has("zz"));
+}
+
+TEST_F(EngineTest, TableValidation) {
+  EXPECT_TRUE(r_.ValidateRows().ok());
+}
+
+TEST_F(EngineTest, DatabaseRoundTrip) {
+  Database db;
+  db.Put(r_);
+  db.Put(s_);
+  EXPECT_TRUE(db.Has("R"));
+  EXPECT_EQ(db.Get("R").row_count(), 3u);
+  EXPECT_EQ(db.TotalRows(), 6u);
+}
+
+TEST_F(EngineTest, ScanDefaultAnnotationIsOne) {
+  AnnotatedTable t = Scan(r_);
+  ASSERT_EQ(t.row_count(), 3u);
+  for (const Polynomial& p : t.annotations()) {
+    EXPECT_EQ(p, OnePolynomial());
+  }
+}
+
+TEST_F(EngineTest, ScanWithSemiringVariables) {
+  size_t a_col = r_.schema().IndexOf("a");
+  AnnotatedTable t = Scan(r_, [&](const Row& row) {
+    return VariablePolynomial(
+        vars_.Intern("r" + std::to_string(AsInt(row[a_col]))));
+  });
+  EXPECT_TRUE(t.annotations()[0].Mentions(vars_.Find("r1")));
+  EXPECT_TRUE(t.annotations()[2].Mentions(vars_.Find("r3")));
+}
+
+TEST_F(EngineTest, SelectFilters) {
+  AnnotatedTable t = Scan(r_);
+  size_t b_col = r_.schema().IndexOf("b");
+  AnnotatedTable f =
+      Select(t, [=](const Row& row) { return AsInt(row[b_col]) == 10; });
+  EXPECT_EQ(f.row_count(), 2u);
+}
+
+TEST_F(EngineTest, ProjectBagKeepsDuplicates) {
+  AnnotatedTable t = Scan(r_);
+  AnnotatedTable p = Project(t, {"b"}, /*dedup=*/false);
+  EXPECT_EQ(p.row_count(), 3u);
+  EXPECT_EQ(p.schema().column_count(), 1u);
+}
+
+TEST_F(EngineTest, ProjectDedupAddsAnnotations) {
+  // Annotate each row with its own variable; projecting onto b with dedup
+  // must sum the annotations of the two b=10 rows.
+  size_t a_col = r_.schema().IndexOf("a");
+  AnnotatedTable t = Scan(r_, [&](const Row& row) {
+    return VariablePolynomial(
+        vars_.Intern("r" + std::to_string(AsInt(row[a_col]))));
+  });
+  AnnotatedTable p = Project(t, {"b"}, /*dedup=*/true);
+  ASSERT_EQ(p.row_count(), 2u);
+  // Find the b=10 row: its annotation is r1 + r2.
+  for (size_t i = 0; i < p.row_count(); ++i) {
+    if (AsInt(p.rows()[i][0]) == 10) {
+      EXPECT_EQ(p.annotations()[i].SizeM(), 2u);
+    } else {
+      EXPECT_EQ(p.annotations()[i].SizeM(), 1u);
+    }
+  }
+}
+
+TEST_F(EngineTest, HashJoinMatchesKeysAndMultipliesAnnotations) {
+  size_t a_col = r_.schema().IndexOf("a");
+  AnnotatedTable tr = Scan(r_, [&](const Row& row) {
+    return VariablePolynomial(
+        vars_.Intern("r" + std::to_string(AsInt(row[a_col]))));
+  });
+  size_t sb_col = s_.schema().IndexOf("b");
+  AnnotatedTable ts = Scan(s_, [&](const Row& row) {
+    return VariablePolynomial(
+        vars_.Intern("s" + std::to_string(AsInt(row[sb_col]))));
+  });
+  AnnotatedTable j = HashJoin(tr, ts, {{"b", "b"}});
+  ASSERT_EQ(j.row_count(), 3u);  // Every R row matches one S row.
+  // Annotation of the a=1 row is the monomial r1·s10.
+  for (size_t i = 0; i < j.row_count(); ++i) {
+    if (AsInt(j.rows()[i][j.schema().IndexOf("a")]) == 1) {
+      const Polynomial& p = j.annotations()[i];
+      ASSERT_EQ(p.SizeM(), 1u);
+      EXPECT_TRUE(p.Mentions(vars_.Find("r1")));
+      EXPECT_TRUE(p.Mentions(vars_.Find("s10")));
+    }
+  }
+}
+
+TEST_F(EngineTest, HashJoinDropsNonMatching) {
+  Table s2("S2", Schema({{"b", ValueType::kInt64}}));
+  s2.Append({int64_t{99}});
+  AnnotatedTable j = HashJoin(Scan(r_), Scan(s2), {{"b", "b"}});
+  EXPECT_EQ(j.row_count(), 0u);
+}
+
+TEST_F(EngineTest, HashJoinSchemaDisambiguation) {
+  // Self-join: non-key columns of the right side get suffixed names.
+  AnnotatedTable j = HashJoin(Scan(r_), Scan(r_), {{"a", "a"}});
+  EXPECT_EQ(j.row_count(), 3u);
+  EXPECT_TRUE(j.schema().Has("val"));
+  EXPECT_TRUE(j.schema().Has("val_2"));
+}
+
+TEST_F(EngineTest, UnionConcatenates) {
+  AnnotatedTable u = Union(Scan(s_), Scan(s_));
+  EXPECT_EQ(u.row_count(), 6u);
+}
+
+TEST_F(EngineTest, GroupBySumBuildsPolynomials) {
+  // Group R by b; coefficient = val; parameter = variable "g<a>".
+  AnnotatedTable t = Scan(r_);
+  size_t val_col = r_.schema().IndexOf("val");
+  size_t a_col = r_.schema().IndexOf("a");
+  GroupBySumSpec spec;
+  spec.group_columns = {"b"};
+  spec.coefficient = [=](const Row& row) { return AsDouble(row[val_col]); };
+  spec.parameters = [&, a_col](const Row& row) {
+    return std::vector<VariableId>{
+        vars_.Intern("g" + std::to_string(AsInt(row[a_col])))};
+  };
+  AnnotatedTable g = GroupBySum(t, spec);
+  ASSERT_EQ(g.row_count(), 2u);
+
+  PolynomialSet polys = g.ToPolynomialSet();
+  EXPECT_EQ(polys.SizeM(), 3u);  // 1.5·g1 + 2.5·g2  |  3.5·g3
+
+  // Neutral valuation recovers the plain SUM per group.
+  Valuation val;
+  for (size_t i = 0; i < g.row_count(); ++i) {
+    double expected = AsInt(g.rows()[i][0]) == 10 ? 4.0 : 3.5;
+    EXPECT_DOUBLE_EQ(val.Evaluate(g.annotations()[i]), expected);
+  }
+}
+
+TEST_F(EngineTest, GroupBySumWithoutParametersYieldsConstants) {
+  AnnotatedTable t = Scan(r_);
+  size_t val_col = r_.schema().IndexOf("val");
+  GroupBySumSpec spec;
+  spec.group_columns = {"b"};
+  spec.coefficient = [=](const Row& row) { return AsDouble(row[val_col]); };
+  AnnotatedTable g = GroupBySum(t, spec);
+  ASSERT_EQ(g.row_count(), 2u);
+  for (const Polynomial& p : g.annotations()) {
+    EXPECT_EQ(p.SizeV(), 0u);
+    EXPECT_EQ(p.SizeM(), 1u);
+  }
+}
+
+TEST_F(EngineTest, GroupBySumComposesWithTupleAnnotations) {
+  // Tuple-level semiring annotations multiply into the aggregate monomials.
+  VariableId tup = vars_.Intern("t_ann");
+  AnnotatedTable t = Scan(r_, [&](const Row&) {
+    return VariablePolynomial(tup);
+  });
+  size_t val_col = r_.schema().IndexOf("val");
+  GroupBySumSpec spec;
+  spec.group_columns = {"b"};
+  spec.coefficient = [=](const Row& row) { return AsDouble(row[val_col]); };
+  AnnotatedTable g = GroupBySum(t, spec);
+  for (const Polynomial& p : g.annotations()) {
+    EXPECT_TRUE(p.Mentions(tup));
+  }
+}
+
+}  // namespace
+}  // namespace provabs

@@ -1,0 +1,205 @@
+#include "algo/greedy_multi_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "algo/brute_force.h"
+#include "common/random.h"
+#include "core/polynomial.h"
+#include "workload/telephony.h"
+#include "workload/tree_gen.h"
+
+namespace provabs {
+namespace {
+
+/// Example 15's setting: the polynomials {P1, P2} of Example 13 and the
+/// two-tree forest {Plans (pruned), Year (pruned to m1, m3)}.
+class Example15Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    m1_ = vars_.Intern("m1");
+    m3_ = vars_.Intern("m3");
+    // Build the full trees first so the plan variable names are interned
+    // before MakePolys() looks them up.
+    AbstractionTree plans = MakeFigure2PlansTree(vars_);
+    AbstractionTree months = MakeFigure3MonthsTree(vars_, 12);
+    polys_ = MakePolys();
+    auto pruned_plans = plans.PruneToPolynomials(polys_);
+    auto pruned_months = months.PruneToPolynomials(polys_);
+    ASSERT_TRUE(pruned_plans.ok());
+    ASSERT_TRUE(pruned_months.ok());
+    forest_.AddTree(std::move(pruned_plans).value());
+    forest_.AddTree(std::move(pruned_months).value());
+    ASSERT_TRUE(forest_.Validate().ok());
+    ASSERT_TRUE(forest_.CheckCompatible(polys_).ok());
+  }
+
+  PolynomialSet MakePolys() {
+    auto v = [&](const char* n) { return vars_.Find(n); };
+    PolynomialSet polys;
+    polys.Add(Polynomial::FromMonomials({
+        Monomial(208.8, {{v("p1"), 1}, {m1_, 1}}),
+        Monomial(240.0, {{v("p1"), 1}, {m3_, 1}}),
+        Monomial(127.4, {{v("f1"), 1}, {m1_, 1}}),
+        Monomial(114.45, {{v("f1"), 1}, {m3_, 1}}),
+        Monomial(75.9, {{v("y1"), 1}, {m1_, 1}}),
+        Monomial(72.5, {{v("y1"), 1}, {m3_, 1}}),
+        Monomial(42.0, {{v("v"), 1}, {m1_, 1}}),
+        Monomial(24.2, {{v("v"), 1}, {m3_, 1}}),
+    }));
+    polys.Add(Polynomial::FromMonomials({
+        Monomial(77.9, {{v("b1"), 1}, {m1_, 1}}),
+        Monomial(80.5, {{v("b1"), 1}, {m3_, 1}}),
+        Monomial(52.2, {{v("e"), 1}, {m1_, 1}}),
+        Monomial(56.5, {{v("e"), 1}, {m3_, 1}}),
+        Monomial(69.7, {{v("b2"), 1}, {m1_, 1}}),
+        Monomial(100.65, {{v("b2"), 1}, {m3_, 1}}),
+    }));
+    return polys;
+  }
+
+  VariableTable vars_;
+  VariableId m1_, m3_;
+  PolynomialSet polys_;
+  AbstractionForest forest_;
+};
+
+// Example 15: with B = 4 (k = 10) the greedy reaches ML = 11 with VL = 5
+// while the optimum is ML = 10, VL = 4 — greedy is adequate but suboptimal.
+TEST_F(Example15Test, PaperExampleBound4) {
+  auto result = GreedyMultiTree(polys_, forest_, 4);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->adequate);
+  EXPECT_GE(result->loss.monomial_loss, 10u);
+  EXPECT_EQ(result->loss.monomial_loss, 11u);
+  EXPECT_EQ(result->loss.variable_loss, 5u);
+}
+
+TEST_F(Example15Test, OptimumForBound4IsBetter) {
+  // The paper notes {q1, Sp, SB, e, p1} is optimal with ML = 10, VL = 4.
+  auto bf = BruteForce(polys_, forest_, 4);
+  ASSERT_TRUE(bf.ok());
+  EXPECT_EQ(bf->loss.monomial_loss, 10u);
+  EXPECT_EQ(bf->loss.variable_loss, 4u);
+}
+
+TEST_F(Example15Test, GreedyFirstMergePrefersMonthQuarter) {
+  // Example 15: SB and q1 tie on VL = 1, but q1's monomial gain (7) beats
+  // SB's (2); with the ML tie-break the month merge goes first and a B
+  // reachable by that single merge keeps all plan variables intact.
+  auto result = GreedyMultiTree(polys_, forest_, 7);  // k = 7 = ML(q1)
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->adequate);
+  EXPECT_EQ(result->loss.monomial_loss, 7u);
+  EXPECT_EQ(result->loss.variable_loss, 1u);
+  PolynomialSet abstracted = result->vvs.Apply(forest_, polys_);
+  EXPECT_TRUE(abstracted.Variables().count(vars_.Find("b1")) > 0);
+  EXPECT_FALSE(abstracted.Variables().count(m1_) > 0);
+}
+
+TEST_F(Example15Test, ResultIsValidCut) {
+  auto result = GreedyMultiTree(polys_, forest_, 4);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->vvs.Validate(forest_).ok());
+}
+
+TEST_F(Example15Test, TrivialBoundLosesNothing) {
+  auto result = GreedyMultiTree(polys_, forest_, polys_.SizeM());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->loss.monomial_loss, 0u);
+  EXPECT_EQ(result->loss.variable_loss, 0u);
+}
+
+TEST_F(Example15Test, UnreachableBoundReturnsBestEffort) {
+  // Even full abstraction leaves 2 monomials (Plans·Year per polynomial);
+  // B = 1 is unreachable; the greedy returns the all-roots VVS.
+  auto result = GreedyMultiTree(polys_, forest_, 1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->adequate);
+  EXPECT_EQ(result->vvs.size(), 2u);  // Both roots.
+}
+
+TEST_F(Example15Test, MaximalCompressionSizes) {
+  auto result = GreedyMultiTree(polys_, forest_, 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->adequate);
+  PolynomialSet abstracted = result->vvs.Apply(forest_, polys_);
+  EXPECT_EQ(abstracted.SizeM(), 2u);
+  EXPECT_EQ(abstracted.SizeV(), 2u);
+}
+
+TEST_F(Example15Test, RejectsZeroBound) {
+  auto result = GreedyMultiTree(polys_, forest_, 0);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+// Properties of the greedy on random multi-tree instances:
+//  - the result is always a valid cut;
+//  - it is adequate whenever the bound is reachable at all;
+//  - its variable loss is never better than the brute-force optimum.
+class GreedyPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GreedyPropertyTest, SoundOnRandomForests) {
+  Rng rng(9100 + GetParam());
+  VariableTable vars;
+
+  const size_t num_trees = 2 + rng.Uniform(2);
+  AbstractionForest forest;
+  std::vector<std::vector<VariableId>> tree_leaves(num_trees);
+  for (size_t t = 0; t < num_trees; ++t) {
+    const size_t n = 4 + rng.Uniform(5);
+    for (size_t i = 0; i < n; ++i) {
+      tree_leaves[t].push_back(vars.Intern(
+          "t" + std::to_string(t) + "v" + std::to_string(i)));
+    }
+    forest.AddTree(BuildUniformTree(vars, tree_leaves[t], {2},
+                                    "T" + std::to_string(t) + "_"));
+  }
+  ASSERT_TRUE(forest.Validate().ok());
+
+  PolynomialSet polys;
+  const size_t num_polys = 1 + rng.Uniform(3);
+  for (size_t p = 0; p < num_polys; ++p) {
+    std::vector<Monomial> terms;
+    const size_t n_terms = 8 + rng.Uniform(12);
+    for (size_t m = 0; m < n_terms; ++m) {
+      std::vector<Factor> f;
+      for (size_t t = 0; t < num_trees; ++t) {
+        if (rng.Bernoulli(0.8)) {
+          f.push_back(
+              {tree_leaves[t][rng.Uniform(tree_leaves[t].size())], 1});
+        }
+      }
+      terms.emplace_back(rng.UniformReal(0.5, 9.5), std::move(f));
+    }
+    polys.Add(Polynomial::FromMonomials(std::move(terms)));
+  }
+  ASSERT_TRUE(forest.CheckCompatible(polys).ok());
+
+  // Maximal achievable compression = all-roots cut.
+  LossReport max_loss = ComputeLossNaive(polys, forest,
+                                         ValidVariableSet::AllRoots(forest));
+
+  for (size_t b = 1; b <= polys.SizeM(); b += 1 + rng.Uniform(4)) {
+    auto greedy = GreedyMultiTree(polys, forest, b);
+    ASSERT_TRUE(greedy.ok());
+    EXPECT_TRUE(greedy->vvs.Validate(forest).ok()) << "bound " << b;
+
+    const size_t k = b >= polys.SizeM() ? 0 : polys.SizeM() - b;
+    const bool reachable = max_loss.monomial_loss >= k;
+    EXPECT_EQ(greedy->adequate, reachable) << "bound " << b;
+
+    auto bf = BruteForce(polys, forest, b);
+    if (bf.ok() && greedy->adequate) {
+      EXPECT_GE(greedy->loss.variable_loss, bf->loss.variable_loss)
+          << "greedy must not beat the optimum, bound " << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, GreedyPropertyTest,
+                         ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace provabs

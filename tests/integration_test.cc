@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "algo/brute_force.h"
+#include "algo/greedy_multi_tree.h"
+#include "algo/optimal_single_tree.h"
+#include "algo/prox_summarizer.h"
+#include "common/random.h"
+#include "core/valuation.h"
+#include "workload/telephony.h"
+#include "workload/tpch.h"
+#include "workload/tree_gen.h"
+
+namespace provabs {
+namespace {
+
+/// End-to-end pipeline: generate database -> run provenance query ->
+/// build abstraction trees -> compress -> apply hypothetical scenarios.
+class EndToEndTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    config_.num_customers = 300;
+    config_.num_plans = 32;
+    config_.num_months = 12;
+    config_.num_zip_codes = 8;
+    Rng rng(config_.seed);
+    db_ = GenerateTelephony(config_, rng);
+    tv_ = MakeTelephonyVars(vars_, config_);
+    polys_ = RunTelephonyQuery(db_, tv_);
+
+    forest_.AddTree(BuildUniformTree(vars_, tv_.plan_vars, {4, 2}, "P_"));
+    forest_.AddTree(MakeFigure3MonthsTree(vars_, 12));
+    ASSERT_TRUE(forest_.Validate().ok());
+    ASSERT_TRUE(forest_.CheckCompatible(polys_).ok());
+  }
+
+  TelephonyConfig config_;
+  Database db_;
+  VariableTable vars_;
+  TelephonyVars tv_;
+  PolynomialSet polys_;
+  AbstractionForest forest_;
+};
+
+TEST_F(EndToEndTest, PipelineProducesCompressiblePolynomials) {
+  EXPECT_GT(polys_.SizeM(), 100u);
+  size_t bound = polys_.SizeM() / 2;
+  auto result = GreedyMultiTree(polys_, forest_, bound);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->adequate);
+  PolynomialSet compressed = result->vvs.Apply(forest_, polys_);
+  EXPECT_LE(compressed.SizeM(), bound);
+}
+
+TEST_F(EndToEndTest, OptimalSingleTreeOnPlansTree) {
+  size_t bound = polys_.SizeM() * 3 / 4;
+  auto result = OptimalSingleTree(polys_, forest_, 0, bound);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->adequate);
+  EXPECT_TRUE(result->vvs.Validate(forest_).ok());
+}
+
+// The semantic contract of abstraction: a hypothetical scenario that is
+// uniform within each chosen group evaluates to the SAME answer on the
+// compressed provenance as on the original (what Fig. 10 measures faster).
+TEST_F(EndToEndTest, CompressedProvenancePreservesGroupUniformScenarios) {
+  size_t bound = polys_.SizeM() / 2;
+  auto result = GreedyMultiTree(polys_, forest_, bound);
+  ASSERT_TRUE(result.ok());
+  PolynomialSet compressed = result->vvs.Apply(forest_, polys_);
+
+  auto subst = result->vvs.SubstitutionMap(forest_);
+  Rng rng(99);
+  Valuation val;
+  // Assign a random value per *group representative*, then propagate to
+  // members so the scenario is uniform per group.
+  std::unordered_map<VariableId, double> group_value;
+  for (const auto& [leaf, rep] : subst) {
+    auto [it, inserted] = group_value.emplace(rep, 0.0);
+    if (inserted) it->second = rng.UniformReal(0.5, 1.5);
+    val.Set(leaf, it->second);
+    val.Set(rep, it->second);
+  }
+
+  auto original_answers = val.EvaluateAll(polys_);
+  auto compressed_answers = val.EvaluateAll(compressed);
+  ASSERT_EQ(original_answers.size(), compressed_answers.size());
+  for (size_t i = 0; i < original_answers.size(); ++i) {
+    EXPECT_NEAR(original_answers[i], compressed_answers[i],
+                std::abs(original_answers[i]) * 1e-9 + 1e-9);
+  }
+}
+
+TEST_F(EndToEndTest, CompressionReducesEvaluationWork) {
+  size_t bound = polys_.SizeM() / 3;
+  auto result = GreedyMultiTree(polys_, forest_, bound);
+  ASSERT_TRUE(result.ok());
+  if (!result->adequate) GTEST_SKIP() << "bound unreachable at this scale";
+  PolynomialSet compressed = result->vvs.Apply(forest_, polys_);
+  EXPECT_LT(compressed.SizeM(), polys_.SizeM());
+}
+
+TEST_F(EndToEndTest, AllAlgorithmsAgreeOnAdequacy) {
+  size_t bound = polys_.SizeM() * 2 / 3;
+  auto greedy = GreedyMultiTree(polys_, forest_, bound);
+  auto opt_tree0 = OptimalSingleTree(polys_, forest_, 0, bound);
+  ASSERT_TRUE(greedy.ok());
+  EXPECT_TRUE(greedy->adequate);
+  // The single tree may or may not reach the bound alone; if it does, its
+  // variable loss can't be lower than... (different search spaces — only
+  // check its self-consistency here).
+  if (opt_tree0.ok()) {
+    LossReport recheck = ComputeLossNaive(polys_, forest_, opt_tree0->vvs);
+    EXPECT_EQ(recheck.monomial_loss, opt_tree0->loss.monomial_loss);
+  }
+}
+
+// TPC-H end-to-end with the supplier abstraction tree (the paper's primary
+// experimental configuration).
+class TpchEndToEndTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    config_.scale_factor = 0.1;
+    Rng rng(3);
+    db_ = GenerateTpch(config_, rng);
+    tv_ = MakeTpchVars(vars_, 32);
+    forest_.AddTree(BuildUniformTree(vars_, tv_.supplier_vars, {4}, "S_"));
+    ASSERT_TRUE(forest_.Validate().ok());
+  }
+
+  TpchConfig config_;
+  Database db_;
+  VariableTable vars_;
+  TpchVars tv_;
+  AbstractionForest forest_;
+};
+
+TEST_F(TpchEndToEndTest, Q1CompressesWithSupplierTree) {
+  PolynomialSet polys = RunTpchQ1(db_, tv_);
+  ASSERT_TRUE(forest_.CheckCompatible(polys).ok());
+  size_t bound = polys.SizeM() / 2;
+  auto result = OptimalSingleTree(polys, forest_, 0, bound);
+  if (!result.ok()) {
+    // Maximal compression may exceed half at tiny scales.
+    EXPECT_EQ(result.status().code(), StatusCode::kInfeasible);
+    return;
+  }
+  EXPECT_TRUE(result->adequate);
+  EXPECT_TRUE(result->vvs.Validate(forest_).ok());
+}
+
+TEST_F(TpchEndToEndTest, Q5OptimalAndGreedyConsistent) {
+  PolynomialSet polys = RunTpchQ5(db_, tv_);
+  size_t max_ml = ComputeLossNaive(polys, forest_,
+                                   ValidVariableSet::AllRoots(forest_))
+                      .monomial_loss;
+  size_t bound = polys.SizeM() - max_ml / 2;
+  auto opt = OptimalSingleTree(polys, forest_, 0, bound);
+  auto greedy = GreedyMultiTree(polys, forest_, bound);
+  ASSERT_TRUE(opt.ok()) << opt.status().ToString();
+  ASSERT_TRUE(greedy.ok());
+  EXPECT_TRUE(opt->adequate);
+  EXPECT_TRUE(greedy->adequate);
+  // Optimal never loses more variables than greedy on a single tree.
+  EXPECT_LE(opt->loss.variable_loss, greedy->loss.variable_loss);
+}
+
+TEST_F(TpchEndToEndTest, Q10SmallPolynomialsCompressLittle) {
+  PolynomialSet polys = RunTpchQ10(db_, tv_);
+  size_t max_ml = ComputeLossNaive(polys, forest_,
+                                   ValidVariableSet::AllRoots(forest_))
+                      .monomial_loss;
+  // The paper observes Q10's many tiny polynomials admit only marginal
+  // compression (~0.03% there); allow a loose ceiling here.
+  EXPECT_LT(static_cast<double>(max_ml),
+            0.8 * static_cast<double>(polys.SizeM()));
+}
+
+}  // namespace
+}  // namespace provabs

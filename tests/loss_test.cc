@@ -1,0 +1,228 @@
+#include "abstraction/loss.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/polynomial.h"
+#include "workload/telephony.h"
+#include "workload/tree_gen.h"
+
+namespace provabs {
+namespace {
+
+/// Generates a random polynomial set over `tree_leaves` (one per monomial)
+/// crossed with `other_vars` (0..2 extra factors), so the tree is always
+/// compatible.
+PolynomialSet RandomCompatiblePolys(Rng& rng,
+                                    const std::vector<VariableId>& tree_leaves,
+                                    const std::vector<VariableId>& other_vars,
+                                    size_t num_polys, size_t monomials_each) {
+  PolynomialSet polys;
+  for (size_t p = 0; p < num_polys; ++p) {
+    std::vector<Monomial> terms;
+    for (size_t m = 0; m < monomials_each; ++m) {
+      std::vector<Factor> f;
+      if (!tree_leaves.empty() && rng.Bernoulli(0.9)) {
+        f.push_back({tree_leaves[rng.Uniform(tree_leaves.size())], 1});
+      }
+      if (!other_vars.empty() && rng.Bernoulli(0.8)) {
+        f.push_back({other_vars[rng.Uniform(other_vars.size())], 1});
+      }
+      terms.emplace_back(rng.UniformReal(0.5, 9.5), std::move(f));
+    }
+    polys.Add(Polynomial::FromMonomials(std::move(terms)));
+  }
+  return polys;
+}
+
+class LossTest : public ::testing::Test {
+ protected:
+  VariableTable vars_;
+};
+
+TEST_F(LossTest, NaiveLossOnIdentityCutIsZero) {
+  AbstractionForest forest;
+  forest.AddTree(MakeFigure2PlansTree(vars_));
+  PolynomialSet polys;
+  polys.Add(Polynomial::FromMonomials(
+      {Monomial(1.0, {{vars_.Find("b1"), 1}}),
+       Monomial(1.0, {{vars_.Find("b2"), 1}})}));
+  LossReport r = ComputeLossNaive(polys, forest,
+                                  ValidVariableSet::AllLeaves(forest));
+  EXPECT_EQ(r.monomial_loss, 0u);
+  EXPECT_EQ(r.variable_loss, 0u);
+}
+
+TEST_F(LossTest, ResidualIndexSingleLeafNodeHasNoLoss) {
+  AbstractionTree tree = MakeFigure2PlansTree(vars_);
+  PolynomialSet polys;
+  polys.Add(Polynomial::FromMonomials(
+      {Monomial(1.0, {{vars_.Find("b1"), 1}})}));
+  LeafResidualIndex index(polys, tree);
+  NodeIndex b1 = tree.FindLabel(vars_.Find("b1"));
+  LossReport r = index.NodeLoss(b1);
+  EXPECT_EQ(r.monomial_loss, 0u);
+  EXPECT_EQ(r.variable_loss, 0u);
+}
+
+TEST_F(LossTest, ResidualIndexMatchesExample13SB) {
+  // From Example 13: abstracting SB (over b1, b2) merges two monomial pairs
+  // of P2 (ML = 2) and loses one variable (VL = 1).
+  AbstractionTree tree = MakeFigure2PlansTree(vars_);
+  VariableId m1 = vars_.Intern("m1");
+  VariableId m3 = vars_.Intern("m3");
+  PolynomialSet polys;
+  polys.Add(Polynomial::FromMonomials({
+      Monomial(77.9, {{vars_.Find("b1"), 1}, {m1, 1}}),
+      Monomial(80.5, {{vars_.Find("b1"), 1}, {m3, 1}}),
+      Monomial(52.2, {{vars_.Find("e"), 1}, {m1, 1}}),
+      Monomial(56.5, {{vars_.Find("e"), 1}, {m3, 1}}),
+      Monomial(69.7, {{vars_.Find("b2"), 1}, {m1, 1}}),
+      Monomial(100.65, {{vars_.Find("b2"), 1}, {m3, 1}}),
+  }));
+  LeafResidualIndex index(polys, tree);
+  NodeIndex sb = tree.FindLabel(vars_.Find("SB"));
+  LossReport r = index.NodeLoss(sb);
+  EXPECT_EQ(r.monomial_loss, 2u);
+  EXPECT_EQ(r.variable_loss, 1u);
+}
+
+TEST_F(LossTest, ResidualIndexDoesNotMergeAcrossPolynomials) {
+  // b1·m1 in polynomial 1 and b2·m1 in polynomial 2 must NOT merge when
+  // grouping SB: monomials of different polynomials are distinct.
+  AbstractionTree tree = MakeFigure2PlansTree(vars_);
+  VariableId m1 = vars_.Intern("m1");
+  PolynomialSet polys;
+  polys.Add(Polynomial::FromMonomials(
+      {Monomial(1.0, {{vars_.Find("b1"), 1}, {m1, 1}})}));
+  polys.Add(Polynomial::FromMonomials(
+      {Monomial(1.0, {{vars_.Find("b2"), 1}, {m1, 1}})}));
+  LeafResidualIndex index(polys, tree);
+  NodeIndex sb = tree.FindLabel(vars_.Find("SB"));
+  LossReport r = index.NodeLoss(sb);
+  EXPECT_EQ(r.monomial_loss, 0u);
+  EXPECT_EQ(r.variable_loss, 1u);
+}
+
+TEST_F(LossTest, ResidualIndexRespectsExponents) {
+  // b1²·m1 and b2·m1 do not merge under SB (SB² vs SB).
+  AbstractionTree tree = MakeFigure2PlansTree(vars_);
+  VariableId m1 = vars_.Intern("m1");
+  PolynomialSet polys;
+  polys.Add(Polynomial::FromMonomials(
+      {Monomial(1.0, {{vars_.Find("b1"), 2}, {m1, 1}}),
+       Monomial(1.0, {{vars_.Find("b2"), 1}, {m1, 1}})}));
+  LeafResidualIndex index(polys, tree);
+  NodeIndex sb = tree.FindLabel(vars_.Find("SB"));
+  EXPECT_EQ(index.NodeLoss(sb).monomial_loss, 0u);
+}
+
+TEST_F(LossTest, ResidualIndexAbsentLeavesAreInactive) {
+  AbstractionTree tree = MakeFigure2PlansTree(vars_);
+  PolynomialSet polys;
+  polys.Add(Polynomial::FromMonomials(
+      {Monomial(1.0, {{vars_.Find("f1"), 1}})}));
+  LeafResidualIndex index(polys, tree);
+  NodeIndex f = tree.FindLabel(vars_.Find("F"));
+  // Only f1 occurs: grouping F = {f1, f2} has no present pair to merge.
+  LossReport r = index.NodeLoss(f);
+  EXPECT_EQ(r.monomial_loss, 0u);
+  EXPECT_EQ(r.variable_loss, 0u);
+  EXPECT_EQ(index.PresentLeavesBelow(f), 1u);
+}
+
+// Regression: residual hashing must be insensitive to where the tree
+// variable sorts among the other factors. With interleaved ids (a < m1 <
+// b, as TPC-H's alternating s/p interning produces), a·m1 has the tree
+// variable first and b·m1 has it last; both monomials must still merge
+// under the AB group. The original positional hash missed this.
+TEST_F(LossTest, ResidualIndexHandlesInterleavedVariableIds) {
+  VariableTable vars;
+  VariableId a = vars.Intern("a");       // id 0 — tree leaf
+  VariableId m1 = vars.Intern("mm");     // id 1 — non-tree factor
+  VariableId b = vars.Intern("b");       // id 2 — tree leaf
+  AbstractionTreeBuilder builder(vars);
+  NodeIndex root = builder.AddRoot("AB");
+  builder.AddChild(root, "a");
+  builder.AddChild(root, "b");
+  AbstractionTree tree = std::move(builder).Build();
+
+  PolynomialSet polys;
+  polys.Add(Polynomial::FromMonomials(
+      {Monomial(1.0, {{a, 1}, {m1, 1}}), Monomial(2.0, {{b, 1}, {m1, 1}})}));
+  LeafResidualIndex index(polys, tree);
+  LossReport r = index.NodeLoss(tree.root());
+  EXPECT_EQ(r.monomial_loss, 1u);  // a·m1 and b·m1 merge into AB·m1.
+  EXPECT_EQ(r.variable_loss, 1u);
+
+  // And the exponent must still distinguish: a²·m1 vs b·m1 do not merge.
+  PolynomialSet polys2;
+  polys2.Add(Polynomial::FromMonomials(
+      {Monomial(1.0, {{a, 2}, {m1, 1}}), Monomial(2.0, {{b, 1}, {m1, 1}})}));
+  LeafResidualIndex index2(polys2, tree);
+  EXPECT_EQ(index2.NodeLoss(tree.root()).monomial_loss, 0u);
+}
+
+// Property: for every internal node v of random trees over random
+// polynomials, the residual-index NodeLoss equals the loss of the naive
+// singleton-cut computation {v} ∪ other-leaves.
+class LossPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LossPropertyTest, ResidualIndexAgreesWithNaive) {
+  Rng rng(1000 + GetParam());
+  VariableTable vars;
+
+  // Intern the non-tree variables in the middle of the leaves so ids
+  // interleave (regression coverage for the residual-hash ordering bug).
+  std::vector<VariableId> leaves;
+  std::vector<VariableId> others;
+  const size_t num_leaves = 8 + rng.Uniform(12);
+  for (size_t i = 0; i < num_leaves; ++i) {
+    leaves.push_back(
+        vars.Intern("L" + std::to_string(GetParam()) + "_" +
+                    std::to_string(i)));
+    if (i == num_leaves / 2) {
+      others.push_back(vars.Intern("o1"));
+      others.push_back(vars.Intern("o2"));
+    }
+  }
+
+  const std::vector<std::vector<uint32_t>> shapes = {{2}, {3}, {2, 2}, {2, 3}};
+  AbstractionForest forest;
+  forest.AddTree(BuildUniformTree(
+      vars, leaves, shapes[rng.Uniform(shapes.size())],
+      "T" + std::to_string(GetParam()) + "_"));
+  ASSERT_TRUE(forest.Validate().ok());
+
+  PolynomialSet polys =
+      RandomCompatiblePolys(rng, leaves, others, 1 + rng.Uniform(4), 30);
+  ASSERT_TRUE(forest.CheckCompatible(polys).ok());
+
+  const AbstractionTree& tree = forest.tree(0);
+  LeafResidualIndex index(polys, tree);
+  for (NodeIndex v = 0; v < tree.node_count(); ++v) {
+    if (tree.node(v).is_leaf()) continue;
+    // Naive: cut = {v} plus every leaf outside v's subtree.
+    ValidVariableSet vvs;
+    vvs.Add(NodeRef{0, v});
+    const auto& node = tree.node(v);
+    for (uint32_t i = 0; i < tree.leaves().size(); ++i) {
+      if (i >= node.leaf_begin && i < node.leaf_end) continue;
+      vvs.Add(NodeRef{0, tree.leaves()[i]});
+    }
+    ASSERT_TRUE(vvs.Validate(forest).ok());
+    LossReport naive = ComputeLossNaive(polys, forest, vvs);
+    LossReport indexed = index.NodeLoss(v);
+    EXPECT_EQ(indexed.monomial_loss, naive.monomial_loss) << "node " << v;
+    EXPECT_EQ(indexed.variable_loss, naive.variable_loss) << "node " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, LossPropertyTest,
+                         ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace provabs

@@ -1,0 +1,188 @@
+#include "algo/merge_state.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/random.h"
+#include "core/polynomial.h"
+#include "core/variable.h"
+
+namespace provabs {
+namespace {
+
+class MergeStateTest : public ::testing::Test {
+ protected:
+  VariableTable vars_;
+  VariableId a_ = vars_.Intern("a");
+  VariableId b_ = vars_.Intern("b");
+  VariableId c_ = vars_.Intern("c");
+  VariableId m_ = vars_.Intern("m");
+  VariableId g_ = vars_.Intern("G");  // merge target (meta-variable)
+};
+
+TEST_F(MergeStateTest, InitialStateMatchesInput) {
+  PolynomialSet polys;
+  polys.Add(Polynomial::FromMonomials({Monomial(1.0, {{a_, 1}, {m_, 1}}),
+                                       Monomial(2.0, {{b_, 1}, {m_, 1}})}));
+  MergeState state(polys);
+  EXPECT_EQ(state.CurrentSizeM(), 2u);
+  EXPECT_EQ(state.MonomialLoss(), 0u);
+  EXPECT_EQ(state.VariableLoss(), 0u);
+  EXPECT_TRUE(state.IsActive(a_));
+  EXPECT_FALSE(state.IsActive(c_));
+  EXPECT_EQ(state.OccurrenceCount(m_), 2u);
+}
+
+TEST_F(MergeStateTest, EvaluateGainWithoutApplying) {
+  PolynomialSet polys;
+  polys.Add(Polynomial::FromMonomials({Monomial(1.0, {{a_, 1}, {m_, 1}}),
+                                       Monomial(2.0, {{b_, 1}, {m_, 1}})}));
+  MergeState state(polys);
+  EXPECT_EQ(state.EvaluateMergeGain({a_, b_}), 1u);
+  // Not applied: state unchanged.
+  EXPECT_EQ(state.CurrentSizeM(), 2u);
+}
+
+TEST_F(MergeStateTest, ApplyMergeMergesMonomials) {
+  PolynomialSet polys;
+  polys.Add(Polynomial::FromMonomials({Monomial(1.0, {{a_, 1}, {m_, 1}}),
+                                       Monomial(2.0, {{b_, 1}, {m_, 1}}),
+                                       Monomial(3.0, {{c_, 1}, {m_, 1}})}));
+  MergeState state(polys);
+  EXPECT_EQ(state.ApplyMerge({a_, b_}, g_), 2u);
+  EXPECT_EQ(state.CurrentSizeM(), 2u);
+  EXPECT_EQ(state.MonomialLoss(), 1u);
+  EXPECT_EQ(state.VariableLoss(), 1u);
+  EXPECT_FALSE(state.IsActive(a_));
+  EXPECT_TRUE(state.IsActive(g_));
+  EXPECT_EQ(state.OccurrenceCount(g_), 2u);
+}
+
+TEST_F(MergeStateTest, MergesDoNotCrossPolynomials) {
+  PolynomialSet polys;
+  polys.Add(Polynomial::FromMonomials({Monomial(1.0, {{a_, 1}, {m_, 1}})}));
+  polys.Add(Polynomial::FromMonomials({Monomial(1.0, {{b_, 1}, {m_, 1}})}));
+  MergeState state(polys);
+  EXPECT_EQ(state.EvaluateMergeGain({a_, b_}), 0u);
+  state.ApplyMerge({a_, b_}, g_);
+  EXPECT_EQ(state.CurrentSizeM(), 2u);
+}
+
+TEST_F(MergeStateTest, ChainedMergesRenameTarget) {
+  // Merge {a, b} -> G, then {G} ∪ {c} -> G2: occurrences must follow.
+  VariableId g2 = vars_.Intern("G2");
+  PolynomialSet polys;
+  polys.Add(Polynomial::FromMonomials({Monomial(1.0, {{a_, 1}, {m_, 1}}),
+                                       Monomial(2.0, {{b_, 1}, {m_, 1}}),
+                                       Monomial(3.0, {{c_, 1}, {m_, 1}})}));
+  MergeState state(polys);
+  state.ApplyMerge({a_, b_}, g_);
+  EXPECT_EQ(state.EvaluateMergeGain({g_, c_}), 1u);
+  state.ApplyMerge({g_, c_}, g2);
+  EXPECT_EQ(state.CurrentSizeM(), 1u);
+  EXPECT_EQ(state.MonomialLoss(), 2u);
+  EXPECT_EQ(state.VariableLoss(), 2u);
+  EXPECT_EQ(state.OccurrenceCount(g2), 3u);
+}
+
+TEST_F(MergeStateTest, MergeToListedTargetKeepsIdentity) {
+  // Merging {a, b} into a (parent label == a leaf label is not typical for
+  // trees but the state must handle renaming-to-self).
+  PolynomialSet polys;
+  polys.Add(Polynomial::FromMonomials({Monomial(1.0, {{a_, 1}, {m_, 1}}),
+                                       Monomial(2.0, {{b_, 1}, {m_, 1}})}));
+  MergeState state(polys);
+  state.ApplyMerge({a_, b_}, a_);
+  EXPECT_EQ(state.CurrentSizeM(), 1u);
+  EXPECT_EQ(state.VariableLoss(), 1u);
+  EXPECT_TRUE(state.IsActive(a_));
+  EXPECT_FALSE(state.IsActive(b_));
+}
+
+TEST_F(MergeStateTest, InactiveVariablesIgnored) {
+  PolynomialSet polys;
+  polys.Add(Polynomial::FromMonomials({Monomial(1.0, {{a_, 1}})}));
+  MergeState state(polys);
+  EXPECT_EQ(state.ApplyMerge({a_, c_}, g_), 1u);
+  EXPECT_EQ(state.VariableLoss(), 0u);  // Only one active var merged.
+  EXPECT_EQ(state.MonomialLoss(), 0u);
+}
+
+TEST_F(MergeStateTest, ExponentsPreservedThroughMerge) {
+  // a²·m and b·m do not merge (G² vs G).
+  PolynomialSet polys;
+  polys.Add(Polynomial::FromMonomials({Monomial(1.0, {{a_, 2}, {m_, 1}}),
+                                       Monomial(1.0, {{b_, 1}, {m_, 1}})}));
+  MergeState state(polys);
+  EXPECT_EQ(state.EvaluateMergeGain({a_, b_}), 0u);
+  state.ApplyMerge({a_, b_}, g_);
+  EXPECT_EQ(state.CurrentSizeM(), 2u);
+}
+
+// Property: after any random sequence of merges, CurrentSizeM equals the
+// from-scratch |P↓S|_M of the corresponding substitution.
+class MergeStatePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MergeStatePropertyTest, IncrementalCountsMatchRecount) {
+  Rng rng(5200 + GetParam());
+  VariableTable vars;
+
+  std::vector<VariableId> pool;
+  for (int i = 0; i < 10; ++i) {
+    pool.push_back(vars.Intern("v" + std::to_string(i)));
+  }
+  VariableId other = vars.Intern("o");
+
+  PolynomialSet polys;
+  for (size_t p = 0; p < 1 + rng.Uniform(3); ++p) {
+    std::vector<Monomial> terms;
+    for (int m = 0; m < 25; ++m) {
+      std::vector<Factor> f;
+      f.push_back({pool[rng.Uniform(pool.size())], 1});
+      if (rng.Bernoulli(0.6)) f.push_back({other, 1});
+      terms.emplace_back(rng.UniformReal(0.5, 9.5), std::move(f));
+    }
+    polys.Add(Polynomial::FromMonomials(std::move(terms)));
+  }
+
+  MergeState state(polys);
+  // Current substitution map for the recount.
+  std::unordered_map<VariableId, VariableId> subst;
+  std::vector<VariableId> live = pool;
+
+  for (int step = 0; step < 4 && live.size() >= 2; ++step) {
+    size_t i = rng.Uniform(live.size());
+    size_t j = rng.Uniform(live.size() - 1);
+    if (j >= i) ++j;
+    VariableId target = vars.Intern("g" + std::to_string(GetParam()) + "_" +
+                                    std::to_string(step));
+    size_t gain_predicted = state.EvaluateMergeGain({live[i], live[j]});
+    size_t before = state.CurrentSizeM();
+    state.ApplyMerge({live[i], live[j]}, target);
+    EXPECT_EQ(before - state.CurrentSizeM(), gain_predicted);
+
+    for (VariableId orig : pool) {
+      VariableId cur = subst.count(orig) ? subst[orig] : orig;
+      if (cur == live[i] || cur == live[j]) subst[orig] = target;
+    }
+    VariableId vi = live[i];
+    VariableId vj = live[j];
+    live.erase(std::remove(live.begin(), live.end(), vi), live.end());
+    live.erase(std::remove(live.begin(), live.end(), vj), live.end());
+    live.push_back(target);
+
+    PolynomialSet recount = polys.MapVariables([&](VariableId v) {
+      auto it = subst.find(v);
+      return it == subst.end() ? v : it->second;
+    });
+    EXPECT_EQ(state.CurrentSizeM(), recount.SizeM());
+    EXPECT_EQ(state.VariableLoss(), polys.SizeV() - recount.SizeV());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, MergeStatePropertyTest,
+                         ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace provabs

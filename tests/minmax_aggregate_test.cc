@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <unordered_map>
+
+#include "abstraction/valid_variable_set.h"
+#include "common/random.h"
+#include "core/semiring.h"
+#include "engine/query.h"
+#include "engine/table.h"
+#include "workload/tree_gen.h"
+
+namespace provabs {
+namespace {
+
+/// MIN/MAX-aggregate provenance (§2.1: "commutative aggregates (e.g. sum,
+/// min, max)"): the polynomial's "+" is the aggregate, evaluated via
+/// MinTimesSemiring / MaxTimesSemiring; abstraction combines coefficients
+/// with min/max instead of addition.
+class MinMaxAggregateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Measurements table: (sensor_group, sensor, reading).
+    table_ = Table("Readings", Schema({{"grp", ValueType::kInt64},
+                                       {"sensor", ValueType::kInt64},
+                                       {"val", ValueType::kDouble}}));
+    table_.Append({int64_t{1}, int64_t{0}, 5.0});
+    table_.Append({int64_t{1}, int64_t{1}, 3.0});
+    table_.Append({int64_t{1}, int64_t{2}, 7.0});
+    table_.Append({int64_t{2}, int64_t{0}, 2.0});
+    table_.Append({int64_t{2}, int64_t{3}, 9.0});
+    for (int i = 0; i < 4; ++i) {
+      sensor_vars_.push_back(vars_.Intern("sv" + std::to_string(i)));
+    }
+  }
+
+  GroupBySumSpec MinSpec() {
+    GroupBySumSpec spec;
+    spec.group_columns = {"grp"};
+    size_t val_col = table_.schema().IndexOf("val");
+    size_t sensor_col = table_.schema().IndexOf("sensor");
+    spec.coefficient = [=](const Row& row) { return AsDouble(row[val_col]); };
+    spec.parameters = [this, sensor_col](const Row& row) {
+      return std::vector<VariableId>{
+          sensor_vars_[static_cast<size_t>(AsInt(row[sensor_col]))]};
+    };
+    spec.combine = CoefficientCombine::kMin;
+    return spec;
+  }
+
+  VariableTable vars_;
+  Table table_;
+  std::vector<VariableId> sensor_vars_;
+};
+
+TEST_F(MinMaxAggregateTest, MinProvenanceEvaluatesToGroupMin) {
+  AnnotatedTable g = GroupBySum(Scan(table_), MinSpec());
+  ASSERT_EQ(g.row_count(), 2u);
+  std::unordered_map<VariableId, double> neutral;
+  for (size_t i = 0; i < g.row_count(); ++i) {
+    double expected = AsInt(g.rows()[i][0]) == 1 ? 3.0 : 2.0;
+    EXPECT_DOUBLE_EQ(
+        EvaluateOver<MinTimesSemiring>(g.annotations()[i], neutral),
+        expected);
+  }
+}
+
+TEST_F(MinMaxAggregateTest, ScenarioShiftsTheMinimum) {
+  // Scaling sensor 1's readings by 3 moves group 1's minimum to sensor 0.
+  AnnotatedTable g = GroupBySum(Scan(table_), MinSpec());
+  std::unordered_map<VariableId, double> scenario;
+  scenario[sensor_vars_[1]] = 3.0;  // 3.0 * 3 = 9.
+  for (size_t i = 0; i < g.row_count(); ++i) {
+    if (AsInt(g.rows()[i][0]) != 1) continue;
+    EXPECT_DOUBLE_EQ(
+        EvaluateOver<MinTimesSemiring>(g.annotations()[i], scenario), 5.0);
+  }
+}
+
+TEST_F(MinMaxAggregateTest, MaxSemiringSymmetric) {
+  GroupBySumSpec spec = MinSpec();
+  spec.combine = CoefficientCombine::kMax;
+  AnnotatedTable g = GroupBySum(Scan(table_), spec);
+  std::unordered_map<VariableId, double> neutral;
+  for (size_t i = 0; i < g.row_count(); ++i) {
+    double expected = AsInt(g.rows()[i][0]) == 1 ? 7.0 : 9.0;
+    EXPECT_DOUBLE_EQ(
+        EvaluateOver<MaxTimesSemiring>(g.annotations()[i], neutral),
+        expected);
+  }
+}
+
+TEST_F(MinMaxAggregateTest, MinCombineKeepsZeroCoefficients) {
+  // A zero reading is a genuine minimum, not an additive identity.
+  Polynomial p = Polynomial::FromMonomials(
+      {Monomial(0.0, {{sensor_vars_[0], 1}}),
+       Monomial(4.0, {{sensor_vars_[0], 1}})},
+      CoefficientCombine::kMin);
+  ASSERT_EQ(p.SizeM(), 1u);
+  EXPECT_DOUBLE_EQ(p.monomials()[0].coefficient(), 0.0);
+}
+
+TEST_F(MinMaxAggregateTest, AbstractionExactForUniformGroups) {
+  // Group sensors {0,1} and {2,3} via a tree; for any scenario uniform on
+  // each group, the min-abstracted provenance evaluates identically.
+  AnnotatedTable g = GroupBySum(Scan(table_), MinSpec());
+  PolynomialSet polys = g.ToPolynomialSet();
+
+  AbstractionForest forest;
+  forest.AddTree(BuildUniformTree(vars_, sensor_vars_, {2}, "MM_"));
+  ValidVariableSet roots = ValidVariableSet::AllRoots(forest);
+  // One cut below the root: the two 2-leaf inner nodes.
+  ValidVariableSet mid;
+  for (NodeIndex c : forest.tree(0).node(forest.tree(0).root()).children) {
+    mid.Add(NodeRef{0, c});
+  }
+  ASSERT_TRUE(mid.Validate(forest).ok());
+
+  PolynomialSet abstracted =
+      mid.Apply(forest, polys, CoefficientCombine::kMin);
+  EXPECT_LE(abstracted.SizeM(), polys.SizeM());
+
+  Rng rng(77);
+  auto subst = mid.SubstitutionMap(forest);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::unordered_map<VariableId, double> scenario;
+    std::unordered_map<VariableId, double> group_value;
+    for (const auto& [leaf, rep] : subst) {
+      auto [it, inserted] = group_value.emplace(rep, 0.0);
+      if (inserted) it->second = rng.UniformReal(0.5, 2.0);
+      scenario[leaf] = it->second;
+      scenario[rep] = it->second;
+    }
+    for (size_t i = 0; i < polys.count(); ++i) {
+      EXPECT_NEAR(EvaluateOver<MinTimesSemiring>(polys[i], scenario),
+                  EvaluateOver<MinTimesSemiring>(abstracted[i], scenario),
+                  1e-9);
+    }
+  }
+  (void)roots;
+}
+
+TEST_F(MinMaxAggregateTest, AdditiveAbstractionWouldBeWrongForMin) {
+  // Sanity for the design choice: combining by addition would corrupt
+  // MIN provenance (3 + 5 != min(3, 5)).
+  AnnotatedTable g = GroupBySum(Scan(table_), MinSpec());
+  PolynomialSet polys = g.ToPolynomialSet();
+  AbstractionForest forest;
+  forest.AddTree(BuildUniformTree(vars_, sensor_vars_, {2}, "MW_"));
+  ValidVariableSet roots = ValidVariableSet::AllRoots(forest);
+
+  PolynomialSet right = roots.Apply(forest, polys, CoefficientCombine::kMin);
+  PolynomialSet wrong = roots.Apply(forest, polys, CoefficientCombine::kAdd);
+  std::unordered_map<VariableId, double> neutral;
+  // Group 1's true min is 3; kMin keeps it, kAdd sums 5+3+7.
+  EXPECT_DOUBLE_EQ(EvaluateOver<MinTimesSemiring>(right[0], neutral), 3.0);
+  EXPECT_DOUBLE_EQ(EvaluateOver<MinTimesSemiring>(wrong[0], neutral), 15.0);
+}
+
+TEST_F(MinMaxAggregateTest, TropicalVsMinTimesDiffer) {
+  // Documented distinction: TropicalSemiring treats factors additively
+  // (cost shifts), MinTimesSemiring multiplicatively (discounts).
+  Polynomial p = Polynomial::FromMonomials(
+      {Monomial(4.0, {{sensor_vars_[0], 1}})});
+  std::unordered_map<VariableId, double> two{{sensor_vars_[0], 2.0}};
+  EXPECT_DOUBLE_EQ(EvaluateOver<TropicalSemiring>(p, two), 6.0);   // 4 + 2
+  EXPECT_DOUBLE_EQ(EvaluateOver<MinTimesSemiring>(p, two), 8.0);   // 4 * 2
+}
+
+}  // namespace
+}  // namespace provabs

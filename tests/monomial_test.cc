@@ -1,0 +1,105 @@
+#include "core/monomial.h"
+
+#include <gtest/gtest.h>
+
+#include "core/variable.h"
+
+namespace provabs {
+namespace {
+
+class MonomialTest : public ::testing::Test {
+ protected:
+  VariableTable vars_;
+  VariableId x_ = vars_.Intern("x");
+  VariableId y_ = vars_.Intern("y");
+  VariableId z_ = vars_.Intern("z");
+};
+
+TEST_F(MonomialTest, DefaultIsZeroConstant) {
+  Monomial m;
+  EXPECT_EQ(m.coefficient(), 0.0);
+  EXPECT_TRUE(m.factors().empty());
+}
+
+TEST_F(MonomialTest, FactorsSortedOnConstruction) {
+  Monomial m(2.0, {{z_, 1}, {x_, 1}, {y_, 1}});
+  ASSERT_EQ(m.factors().size(), 3u);
+  EXPECT_EQ(m.factors()[0].var, x_);
+  EXPECT_EQ(m.factors()[1].var, y_);
+  EXPECT_EQ(m.factors()[2].var, z_);
+}
+
+TEST_F(MonomialTest, DuplicateVariablesMergeExponents) {
+  Monomial m(1.0, {{x_, 1}, {x_, 2}, {y_, 1}});
+  ASSERT_EQ(m.factors().size(), 2u);
+  EXPECT_EQ(m.ExponentOf(x_), 3u);
+  EXPECT_EQ(m.ExponentOf(y_), 1u);
+}
+
+TEST_F(MonomialTest, DegreeCountsDistinctVariables) {
+  Monomial m(1.0, {{x_, 2}, {y_, 3}});
+  EXPECT_EQ(m.degree(), 2u);
+  EXPECT_EQ(m.total_degree(), 5u);
+}
+
+TEST_F(MonomialTest, ContainsAndExponentOf) {
+  Monomial m(1.0, {{x_, 2}});
+  EXPECT_TRUE(m.Contains(x_));
+  EXPECT_FALSE(m.Contains(y_));
+  EXPECT_EQ(m.ExponentOf(x_), 2u);
+  EXPECT_EQ(m.ExponentOf(y_), 0u);
+}
+
+TEST_F(MonomialTest, SamePowerProductIgnoresCoefficient) {
+  Monomial a(1.0, {{x_, 1}, {y_, 1}});
+  Monomial b(7.5, {{y_, 1}, {x_, 1}});
+  EXPECT_TRUE(a.SamePowerProduct(b));
+  EXPECT_EQ(a.PowerProductHash(), b.PowerProductHash());
+}
+
+TEST_F(MonomialTest, DifferentExponentsDiffer) {
+  Monomial a(1.0, {{x_, 1}});
+  Monomial b(1.0, {{x_, 2}});
+  EXPECT_FALSE(a.SamePowerProduct(b));
+}
+
+TEST_F(MonomialTest, MapVariablesRenames) {
+  Monomial m(3.0, {{x_, 1}, {y_, 1}});
+  Monomial mapped = m.MapVariables([&](VariableId v) {
+    return v == x_ ? z_ : v;
+  });
+  EXPECT_EQ(mapped.coefficient(), 3.0);
+  EXPECT_TRUE(mapped.Contains(z_));
+  EXPECT_TRUE(mapped.Contains(y_));
+  EXPECT_FALSE(mapped.Contains(x_));
+}
+
+TEST_F(MonomialTest, MapVariablesMergesCollisions) {
+  // x*y both mapping to z must become z^2 (exponent addition).
+  Monomial m(1.0, {{x_, 1}, {y_, 1}});
+  Monomial mapped = m.MapVariables([&](VariableId) { return z_; });
+  ASSERT_EQ(mapped.factors().size(), 1u);
+  EXPECT_EQ(mapped.ExponentOf(z_), 2u);
+}
+
+TEST_F(MonomialTest, PowerProductLessIsStrictWeakOrder) {
+  Monomial a(1.0, {{x_, 1}});
+  Monomial b(1.0, {{x_, 1}, {y_, 1}});
+  Monomial c(1.0, {{y_, 1}});
+  EXPECT_TRUE(Monomial::PowerProductLess(a, b));   // prefix first
+  EXPECT_TRUE(Monomial::PowerProductLess(a, c));   // smaller var id first
+  EXPECT_FALSE(Monomial::PowerProductLess(a, a));  // irreflexive
+}
+
+TEST_F(MonomialTest, ToStringRendersFactors) {
+  Monomial m(2.5, {{x_, 1}, {y_, 2}});
+  EXPECT_EQ(m.ToString(vars_), "2.5*x*y^2");
+}
+
+TEST_F(MonomialTest, ToStringConstant) {
+  Monomial m(4.0, {});
+  EXPECT_EQ(m.ToString(vars_), "4");
+}
+
+}  // namespace
+}  // namespace provabs

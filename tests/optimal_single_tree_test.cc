@@ -1,0 +1,251 @@
+#include "algo/optimal_single_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "algo/brute_force.h"
+#include "common/random.h"
+#include "core/polynomial.h"
+#include "workload/telephony.h"
+#include "workload/tree_gen.h"
+
+namespace provabs {
+namespace {
+
+/// Fixture with the pruned plans tree and the {P1, P2} polynomials of
+/// Example 13 (paper's 220.8 typo corrected to 208.8 = 522·0.4).
+class Example13Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    m1_ = vars_.Intern("m1");
+    m3_ = vars_.Intern("m3");
+    AbstractionTree full = MakeFigure2PlansTree(vars_);
+    polys_ = MakePolys();
+    auto pruned = full.PruneToPolynomials(polys_);
+    ASSERT_TRUE(pruned.ok());
+    forest_.AddTree(std::move(pruned).value());
+    ASSERT_TRUE(forest_.Validate().ok());
+    ASSERT_TRUE(forest_.CheckCompatible(polys_).ok());
+  }
+
+  PolynomialSet MakePolys() {
+    auto v = [&](const char* n) { return vars_.Find(n); };
+    PolynomialSet polys;
+    polys.Add(Polynomial::FromMonomials({
+        Monomial(208.8, {{v("p1"), 1}, {m1_, 1}}),
+        Monomial(240.0, {{v("p1"), 1}, {m3_, 1}}),
+        Monomial(127.4, {{v("f1"), 1}, {m1_, 1}}),
+        Monomial(114.45, {{v("f1"), 1}, {m3_, 1}}),
+        Monomial(75.9, {{v("y1"), 1}, {m1_, 1}}),
+        Monomial(72.5, {{v("y1"), 1}, {m3_, 1}}),
+        Monomial(42.0, {{v("v"), 1}, {m1_, 1}}),
+        Monomial(24.2, {{v("v"), 1}, {m3_, 1}}),
+    }));
+    polys.Add(Polynomial::FromMonomials({
+        Monomial(77.9, {{v("b1"), 1}, {m1_, 1}}),
+        Monomial(80.5, {{v("b1"), 1}, {m3_, 1}}),
+        Monomial(52.2, {{v("e"), 1}, {m1_, 1}}),
+        Monomial(56.5, {{v("e"), 1}, {m3_, 1}}),
+        Monomial(69.7, {{v("b2"), 1}, {m1_, 1}}),
+        Monomial(100.65, {{v("b2"), 1}, {m3_, 1}}),
+    }));
+    return polys;
+  }
+
+  VariableTable vars_;
+  VariableId m1_, m3_;
+  PolynomialSet polys_;
+  AbstractionForest forest_;
+};
+
+TEST_F(Example13Test, SetupSizes) {
+  EXPECT_EQ(polys_.SizeM(), 14u);
+  EXPECT_EQ(polys_.SizeV(), 9u);  // 7 plan vars + m1 + m3
+}
+
+// Example 13: bound B = 9 gives k = 5; the optimal VVS has monomial loss 6
+// and variable loss 3 (the paper derives A_Plans[5] = 3 via {SB, Sp, e, p1}).
+TEST_F(Example13Test, PaperExampleBound9) {
+  auto result = OptimalSingleTree(polys_, forest_, 0, 9);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->adequate);
+  EXPECT_GE(result->loss.monomial_loss, 5u);
+  EXPECT_EQ(result->loss.monomial_loss, 6u);
+  EXPECT_EQ(result->loss.variable_loss, 3u);
+}
+
+TEST_F(Example13Test, Bound9MatchesBruteForce) {
+  auto opt = OptimalSingleTree(polys_, forest_, 0, 9);
+  auto bf = BruteForce(polys_, forest_, 9);
+  ASSERT_TRUE(opt.ok());
+  ASSERT_TRUE(bf.ok());
+  EXPECT_EQ(opt->loss.variable_loss, bf->loss.variable_loss);
+}
+
+TEST_F(Example13Test, TrivialBoundKeepsAllLeaves) {
+  // B = |P|_M: no compression required; the optimal VVS loses nothing.
+  auto result = OptimalSingleTree(polys_, forest_, 0, 14);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->loss.monomial_loss, 0u);
+  EXPECT_EQ(result->loss.variable_loss, 0u);
+}
+
+TEST_F(Example13Test, MaximalCompressionUsesRoot) {
+  // Grouping all plans leaves both polynomials with (Plans·m1 + Plans·m3):
+  // total 4 monomials. Bound 4 is feasible only via the root.
+  auto result = OptimalSingleTree(polys_, forest_, 0, 4);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->adequate);
+  EXPECT_EQ(result->loss.monomial_loss, 10u);
+  EXPECT_EQ(result->loss.variable_loss, 6u);  // 7 plan vars -> 1
+}
+
+TEST_F(Example13Test, InfeasibleBoundReported) {
+  // Even the root cut leaves 4 monomials; B = 3 is infeasible (Example 8's
+  // phenomenon, on the plans tree).
+  auto result = OptimalSingleTree(polys_, forest_, 0, 3);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInfeasible);
+}
+
+TEST_F(Example13Test, ResultIsAValidCut) {
+  auto result = OptimalSingleTree(polys_, forest_, 0, 9);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->vvs.Validate(forest_).ok());
+}
+
+TEST_F(Example13Test, DenseArraysGiveSameAnswer) {
+  OptimalOptions dense;
+  dense.sparse_arrays = false;
+  auto sparse_result = OptimalSingleTree(polys_, forest_, 0, 9);
+  auto dense_result = OptimalSingleTree(polys_, forest_, 0, 9, dense);
+  ASSERT_TRUE(sparse_result.ok());
+  ASSERT_TRUE(dense_result.ok());
+  EXPECT_EQ(sparse_result->loss.variable_loss,
+            dense_result->loss.variable_loss);
+}
+
+TEST_F(Example13Test, NoHeight1ShortcutGivesSameAnswer) {
+  OptimalOptions no_shortcut;
+  no_shortcut.height1_shortcut = false;
+  auto a = OptimalSingleTree(polys_, forest_, 0, 9);
+  auto b = OptimalSingleTree(polys_, forest_, 0, 9, no_shortcut);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->loss.variable_loss, b->loss.variable_loss);
+}
+
+TEST_F(Example13Test, EveryFeasibleBoundMatchesBruteForce) {
+  // Sweep all bounds; wherever brute force finds an adequate cut, the DP
+  // must find one with identical (minimal) variable loss.
+  for (size_t b = 1; b <= polys_.SizeM(); ++b) {
+    auto opt = OptimalSingleTree(polys_, forest_, 0, b);
+    auto bf = BruteForce(polys_, forest_, b);
+    ASSERT_EQ(opt.ok(), bf.ok()) << "bound " << b;
+    if (!opt.ok()) continue;
+    EXPECT_EQ(opt->loss.variable_loss, bf->loss.variable_loss)
+        << "bound " << b;
+    EXPECT_TRUE(opt->adequate);
+  }
+}
+
+TEST_F(Example13Test, RejectsBadTreeIndex) {
+  auto result = OptimalSingleTree(polys_, forest_, 7, 9);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(Example13Test, RejectsZeroBound) {
+  auto result = OptimalSingleTree(polys_, forest_, 0, 0);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(Example13Test, MultiTreeForestAbstractsOnlyChosenTree) {
+  // Add the months tree; the single-tree algorithm over the plans tree must
+  // leave m1/m3 untouched while still producing a forest-valid VVS.
+  AbstractionForest forest2;
+  AbstractionTree plans = forest_.tree(0).PruneToPolynomials(polys_).value();
+  forest2.AddTree(std::move(plans));
+  forest2.AddTree(MakeFigure3MonthsTree(vars_, 3));
+  ASSERT_TRUE(forest2.Validate().ok());
+
+  auto result = OptimalSingleTree(polys_, forest2, 0, 9);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->vvs.Validate(forest2).ok());
+  PolynomialSet abstracted = result->vvs.Apply(forest2, polys_);
+  EXPECT_TRUE(abstracted.Variables().count(m1_) > 0);
+  EXPECT_TRUE(abstracted.Variables().count(m3_) > 0);
+}
+
+// Property test: on random single-tree instances the DP matches brute force
+// exactly (same feasibility, same optimal variable loss) for every bound.
+class OptimalPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(OptimalPropertyTest, AgreesWithBruteForceOnRandomInstances) {
+  Rng rng(7000 + GetParam());
+  VariableTable vars;
+
+  // Interleave the non-tree variable ids with the leaf ids (regression
+  // coverage for the residual-hash ordering bug found via TPC-H).
+  const size_t num_leaves = 6 + rng.Uniform(7);
+  std::vector<VariableId> leaves;
+  std::vector<VariableId> others;
+  for (size_t i = 0; i < num_leaves; ++i) {
+    leaves.push_back(vars.Intern("x" + std::to_string(i)));
+    if (i == num_leaves / 2) {
+      others.push_back(vars.Intern("u"));
+      others.push_back(vars.Intern("w"));
+    }
+  }
+
+  const std::vector<std::vector<uint32_t>> shapes = {{2}, {3}, {2, 2}};
+  AbstractionForest forest;
+  forest.AddTree(BuildUniformTree(vars, leaves,
+                                  shapes[rng.Uniform(shapes.size())], "g"));
+  ASSERT_TRUE(forest.Validate().ok());
+
+  PolynomialSet polys;
+  const size_t num_polys = 1 + rng.Uniform(3);
+  for (size_t p = 0; p < num_polys; ++p) {
+    std::vector<Monomial> terms;
+    const size_t n_terms = 5 + rng.Uniform(15);
+    for (size_t t = 0; t < n_terms; ++t) {
+      std::vector<Factor> f;
+      if (rng.Bernoulli(0.85)) {
+        f.push_back({leaves[rng.Uniform(leaves.size())], 1});
+      }
+      if (rng.Bernoulli(0.7)) {
+        f.push_back({others[rng.Uniform(others.size())], 1});
+      }
+      terms.emplace_back(rng.UniformReal(0.5, 9.5), std::move(f));
+    }
+    polys.Add(Polynomial::FromMonomials(std::move(terms)));
+  }
+  ASSERT_TRUE(forest.CheckCompatible(polys).ok());
+
+  for (size_t b = 1; b <= polys.SizeM(); b += 1 + rng.Uniform(3)) {
+    auto opt = OptimalSingleTree(polys, forest, 0, b);
+    auto bf = BruteForce(polys, forest, b);
+    ASSERT_EQ(opt.ok(), bf.ok())
+        << "bound " << b << ": " << opt.status().ToString() << " vs "
+        << bf.status().ToString();
+    if (!opt.ok()) {
+      EXPECT_EQ(opt.status().code(), StatusCode::kInfeasible);
+      continue;
+    }
+    EXPECT_TRUE(opt->adequate);
+    EXPECT_TRUE(opt->vvs.Validate(forest).ok());
+    EXPECT_EQ(opt->loss.variable_loss, bf->loss.variable_loss)
+        << "bound " << b;
+    // The reported loss must equal a from-scratch recount.
+    LossReport recheck = ComputeLossNaive(polys, forest, opt->vvs);
+    EXPECT_EQ(recheck.monomial_loss, opt->loss.monomial_loss);
+    EXPECT_EQ(recheck.variable_loss, opt->loss.variable_loss);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, OptimalPropertyTest,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace provabs

@@ -1,0 +1,101 @@
+#include "core/polynomial_set.h"
+
+#include <gtest/gtest.h>
+
+#include "core/polynomial.h"
+#include "core/variable.h"
+
+namespace provabs {
+namespace {
+
+class PolynomialSetTest : public ::testing::Test {
+ protected:
+  VariableTable vars_;
+  VariableId x_ = vars_.Intern("x");
+  VariableId y_ = vars_.Intern("y");
+  VariableId z_ = vars_.Intern("z");
+
+  PolynomialSet MakeSet() {
+    PolynomialSet set;
+    set.Add(Polynomial::FromMonomials(
+        {Monomial(1.0, {{x_, 1}}), Monomial(2.0, {{y_, 1}})}));
+    set.Add(Polynomial::FromMonomials(
+        {Monomial(3.0, {{y_, 1}}), Monomial(4.0, {{z_, 1}})}));
+    return set;
+  }
+};
+
+TEST_F(PolynomialSetTest, EmptySet) {
+  PolynomialSet set;
+  EXPECT_EQ(set.count(), 0u);
+  EXPECT_EQ(set.SizeM(), 0u);
+  EXPECT_EQ(set.SizeV(), 0u);
+}
+
+TEST_F(PolynomialSetTest, SizeMIsPointwiseSum) {
+  // §2.1 Notations: |P|_M = Σ |P|_M — a multiset, so identical monomials
+  // in DIFFERENT polynomials both count.
+  PolynomialSet set = MakeSet();
+  EXPECT_EQ(set.SizeM(), 4u);
+}
+
+TEST_F(PolynomialSetTest, MultisetSemanticsKeepDuplicatePolynomials) {
+  Polynomial p = Polynomial::FromMonomials({Monomial(1.0, {{x_, 1}})});
+  PolynomialSet set;
+  set.Add(p);
+  set.Add(p);
+  EXPECT_EQ(set.count(), 2u);
+  EXPECT_EQ(set.SizeM(), 2u);
+  EXPECT_EQ(set.SizeV(), 1u);
+}
+
+TEST_F(PolynomialSetTest, SizeVIsUnion) {
+  // y occurs in both polynomials but counts once.
+  PolynomialSet set = MakeSet();
+  EXPECT_EQ(set.SizeV(), 3u);
+}
+
+TEST_F(PolynomialSetTest, VariablesCollectsAll) {
+  auto v = MakeSet().Variables();
+  EXPECT_TRUE(v.count(x_));
+  EXPECT_TRUE(v.count(y_));
+  EXPECT_TRUE(v.count(z_));
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST_F(PolynomialSetTest, MapVariablesIsPointwise) {
+  VariableId g = vars_.Intern("g");
+  PolynomialSet set = MakeSet();
+  PolynomialSet mapped = set.MapVariables(
+      [&](VariableId v) { return (v == x_ || v == y_) ? g : v; });
+  ASSERT_EQ(mapped.count(), 2u);
+  // First polynomial: 1·g + 2·g -> 3·g (one monomial).
+  EXPECT_EQ(mapped[0].SizeM(), 1u);
+  EXPECT_DOUBLE_EQ(mapped[0].monomials()[0].coefficient(), 3.0);
+  // Second polynomial: 3·g + 4·z (no merge).
+  EXPECT_EQ(mapped[1].SizeM(), 2u);
+  EXPECT_EQ(mapped.SizeV(), 2u);  // {g, z}
+}
+
+TEST_F(PolynomialSetTest, MapVariablesWithMinCombine) {
+  PolynomialSet set;
+  set.Add(Polynomial::FromMonomials(
+      {Monomial(5.0, {{x_, 1}}), Monomial(2.0, {{y_, 1}})},
+      CoefficientCombine::kMin));
+  VariableId g = vars_.Intern("gm");
+  PolynomialSet mapped = set.MapVariables(
+      [&](VariableId) { return g; }, CoefficientCombine::kMin);
+  ASSERT_EQ(mapped[0].SizeM(), 1u);
+  EXPECT_DOUBLE_EQ(mapped[0].monomials()[0].coefficient(), 2.0);
+}
+
+TEST_F(PolynomialSetTest, ConstructFromVector) {
+  std::vector<Polynomial> polys = {
+      Polynomial::FromMonomials({Monomial(1.0, {{x_, 1}})})};
+  PolynomialSet set(std::move(polys));
+  EXPECT_EQ(set.count(), 1u);
+  EXPECT_TRUE(set[0].Mentions(x_));
+}
+
+}  // namespace
+}  // namespace provabs

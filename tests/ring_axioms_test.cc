@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/random.h"
+#include "core/polynomial.h"
+#include "core/valuation.h"
+#include "core/variable.h"
+
+namespace provabs {
+namespace {
+
+/// Property suite: the provenance polynomials form a commutative semiring
+/// under Add/Multiply (the algebraic backbone of the semiring framework
+/// [36] that §2.1 builds on). Each axiom is checked both structurally
+/// (canonical equality) and semantically (evaluation agreement under random
+/// valuations).
+class RingAxiomsTest : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    rng_ = std::make_unique<Rng>(70000 + GetParam());
+    for (int i = 0; i < 5; ++i) {
+      pool_.push_back(vars_.Intern("v" + std::to_string(i)));
+    }
+  }
+
+  Polynomial Random(size_t max_terms = 6) {
+    std::vector<Monomial> terms;
+    size_t n = 1 + rng_->Uniform(max_terms);
+    for (size_t t = 0; t < n; ++t) {
+      std::vector<Factor> f;
+      size_t degree = rng_->Uniform(3);
+      for (size_t d = 0; d < degree; ++d) {
+        f.push_back({pool_[rng_->Uniform(pool_.size())],
+                     static_cast<uint32_t>(1 + rng_->Uniform(2))});
+      }
+      terms.emplace_back(rng_->UniformReal(-5.0, 5.0), std::move(f));
+    }
+    return Polynomial::FromMonomials(std::move(terms));
+  }
+
+  Valuation RandomValuation() {
+    Valuation val;
+    for (VariableId v : pool_) val.Set(v, rng_->UniformReal(-2.0, 2.0));
+    return val;
+  }
+
+  /// Exact structural equality plus evaluation agreement — for axioms
+  /// whose two sides compute coefficients through identical operations.
+  void ExpectEqual(const Polynomial& a, const Polynomial& b) {
+    EXPECT_TRUE(a == b) << "structural mismatch";
+    ExpectSameValue(a, b);
+  }
+
+  /// Evaluation agreement only — for axioms like (a·b)·c = a·(b·c) whose
+  /// sides are equal as polynomials over ℝ but accumulate floating-point
+  /// coefficients in different orders (doubles are not associative).
+  void ExpectSameValue(const Polynomial& a, const Polynomial& b) {
+    for (int trial = 0; trial < 3; ++trial) {
+      Valuation val = RandomValuation();
+      double va = val.Evaluate(a);
+      double vb = val.Evaluate(b);
+      EXPECT_NEAR(va, vb, (std::abs(va) + 1.0) * 1e-9);
+    }
+  }
+
+  VariableTable vars_;
+  std::vector<VariableId> pool_;
+  std::unique_ptr<Rng> rng_;
+};
+
+TEST_P(RingAxiomsTest, AdditionCommutes) {
+  Polynomial a = Random();
+  Polynomial b = Random();
+  ExpectEqual(Add(a, b), Add(b, a));
+}
+
+TEST_P(RingAxiomsTest, AdditionAssociates) {
+  Polynomial a = Random();
+  Polynomial b = Random();
+  Polynomial c = Random();
+  ExpectEqual(Add(Add(a, b), c), Add(a, Add(b, c)));
+}
+
+TEST_P(RingAxiomsTest, MultiplicationCommutes) {
+  Polynomial a = Random();
+  Polynomial b = Random();
+  ExpectEqual(Multiply(a, b), Multiply(b, a));
+}
+
+TEST_P(RingAxiomsTest, MultiplicationAssociates) {
+  Polynomial a = Random(4);
+  Polynomial b = Random(4);
+  Polynomial c = Random(4);
+  ExpectSameValue(Multiply(Multiply(a, b), c),
+                  Multiply(a, Multiply(b, c)));
+}
+
+TEST_P(RingAxiomsTest, MultiplicationDistributesOverAddition) {
+  Polynomial a = Random(4);
+  Polynomial b = Random(4);
+  Polynomial c = Random(4);
+  ExpectSameValue(Multiply(a, Add(b, c)),
+                  Add(Multiply(a, b), Multiply(a, c)));
+}
+
+TEST_P(RingAxiomsTest, OneIsMultiplicativeIdentity) {
+  Polynomial a = Random();
+  ExpectEqual(Multiply(a, OnePolynomial()), a);
+  ExpectEqual(Multiply(OnePolynomial(), a), a);
+}
+
+TEST_P(RingAxiomsTest, ZeroIsAdditiveIdentityAndAnnihilator) {
+  Polynomial a = Random();
+  Polynomial zero;
+  ExpectEqual(Add(a, zero), a);
+  ExpectEqual(Multiply(a, zero), zero);
+}
+
+TEST_P(RingAxiomsTest, SubstitutionIsAHomomorphism) {
+  // P↓S distributes over + and ·: (a + b)↓S = a↓S + b↓S and
+  // (a·b)↓S = a↓S · b↓S — the property that lets abstraction be applied to
+  // any intermediate form of the provenance.
+  VariableId target = vars_.Intern("G" + std::to_string(GetParam()));
+  auto map = [&](VariableId v) {
+    return (v == pool_[0] || v == pool_[1]) ? target : v;
+  };
+  Polynomial a = Random(4);
+  Polynomial b = Random(4);
+  ExpectEqual(Add(a, b).MapVariables(map),
+              Add(a.MapVariables(map), b.MapVariables(map)));
+  ExpectEqual(Multiply(a, b).MapVariables(map),
+              Multiply(a.MapVariables(map), b.MapVariables(map)));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, RingAxiomsTest,
+                         ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace provabs

@@ -1,0 +1,285 @@
+#include "sql/planner.h"
+
+#include <gtest/gtest.h>
+
+#include "core/semiring.h"
+#include "core/valuation.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "workload/telephony.h"
+
+namespace provabs {
+namespace {
+
+using sql::AggregateFn;
+using sql::Parse;
+using sql::PlanOptions;
+using sql::Token;
+using sql::TokenKind;
+using sql::Tokenize;
+
+// ----------------------------------------------------------------- lexer --
+
+TEST(SqlLexerTest, TokenizesKeywordsCaseInsensitively) {
+  auto tokens = Tokenize("select Sum FROM where");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kKeyword);
+  EXPECT_EQ((*tokens)[0].text, "SELECT");
+  EXPECT_EQ((*tokens)[1].text, "SUM");
+  EXPECT_EQ((*tokens)[2].text, "FROM");
+  EXPECT_EQ((*tokens)[3].text, "WHERE");
+  EXPECT_EQ((*tokens)[4].kind, TokenKind::kEnd);
+}
+
+TEST(SqlLexerTest, TokenizesNumbersAndStrings) {
+  auto tokens = Tokenize("3.25 'hello world'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kNumber);
+  EXPECT_DOUBLE_EQ((*tokens)[0].number, 3.25);
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kString);
+  EXPECT_EQ((*tokens)[1].text, "hello world");
+}
+
+TEST(SqlLexerTest, TokenizesQualifiedColumns) {
+  auto tokens = Tokenize("Calls.Dur");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kDot);
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kIdentifier);
+}
+
+TEST(SqlLexerTest, RejectsUnterminatedString) {
+  EXPECT_FALSE(Tokenize("'oops").ok());
+}
+
+TEST(SqlLexerTest, RejectsUnknownCharacter) {
+  EXPECT_FALSE(Tokenize("a ! b").ok());
+}
+
+// ---------------------------------------------------------------- parser --
+
+TEST(SqlParserTest, ParsesPaperRunningExampleQuery) {
+  auto stmt = Parse(
+      "SELECT Zip, SUM(Calls.Dur * Plans.Price) "
+      "FROM Calls, Cust, Plans "
+      "WHERE Cust.Plan = Plans.Plan AND Cust.ID = Calls.CID "
+      "AND Calls.Mo = Plans.Mo "
+      "GROUP BY Cust.Zip");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt->aggregate, AggregateFn::kSum);
+  ASSERT_NE(stmt->aggregate_expr, nullptr);
+  EXPECT_EQ(stmt->from_tables.size(), 3u);
+  EXPECT_EQ(stmt->where.size(), 3u);
+  ASSERT_EQ(stmt->group_by.size(), 1u);
+  EXPECT_EQ(stmt->group_by[0].ToString(), "Cust.Zip");
+}
+
+TEST(SqlParserTest, ParsesArithmeticPrecedence) {
+  auto stmt = Parse("SELECT SUM(a + b * c) FROM t GROUP BY g");
+  ASSERT_TRUE(stmt.ok());
+  // Root is +, right child is *.
+  EXPECT_EQ(stmt->aggregate_expr->kind, sql::Expr::Kind::kAdd);
+  EXPECT_EQ(stmt->aggregate_expr->rhs->kind, sql::Expr::Kind::kMul);
+}
+
+TEST(SqlParserTest, ParsesParenthesizedDiscountForm) {
+  auto stmt = Parse(
+      "SELECT SUM(L_EXTENDEDPRICE * (1 - L_DISCOUNT)) FROM LINEITEM "
+      "GROUP BY L_RETURNFLAG");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt->aggregate_expr->kind, sql::Expr::Kind::kMul);
+  EXPECT_EQ(stmt->aggregate_expr->rhs->kind, sql::Expr::Kind::kSub);
+}
+
+TEST(SqlParserTest, ParsesMinMaxAggregates) {
+  auto min_stmt = Parse("SELECT MIN(v) FROM t GROUP BY g");
+  ASSERT_TRUE(min_stmt.ok());
+  EXPECT_EQ(min_stmt->aggregate, AggregateFn::kMin);
+  auto max_stmt = Parse("SELECT MAX(v) FROM t GROUP BY g");
+  ASSERT_TRUE(max_stmt.ok());
+  EXPECT_EQ(max_stmt->aggregate, AggregateFn::kMax);
+}
+
+TEST(SqlParserTest, ParsesLiteralPredicates) {
+  auto stmt = Parse(
+      "SELECT a FROM t WHERE flag = 'R' AND n = 25");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ(stmt->where.size(), 2u);
+  EXPECT_TRUE(stmt->where[0].rhs_literal_is_string);
+  EXPECT_FALSE(stmt->where[1].rhs_is_column);
+}
+
+TEST(SqlParserTest, RejectsMissingFrom) {
+  EXPECT_FALSE(Parse("SELECT a").ok());
+}
+
+TEST(SqlParserTest, RejectsTrailingGarbage) {
+  EXPECT_FALSE(Parse("SELECT a FROM t xyzzy pqr").ok());
+}
+
+TEST(SqlParserTest, RejectsTwoAggregates) {
+  EXPECT_FALSE(Parse("SELECT SUM(a), SUM(b) FROM t GROUP BY g").ok());
+}
+
+TEST(SqlParserTest, RejectsAggregateWithColumnsButNoGroupBy) {
+  EXPECT_FALSE(Parse("SELECT a, SUM(b) FROM t").ok());
+}
+
+// --------------------------------------------------------------- planner --
+
+class SqlPlannerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ex_ = MakeRunningExample(vars_); }
+
+  VariableTable vars_;
+  RunningExample ex_;
+
+  static constexpr const char* kRevenueQuery =
+      "SELECT Zip, SUM(Calls.Dur * Plans.Price) "
+      "FROM Calls, Cust, Plans "
+      "WHERE Cust.Plan = Plans.Plan AND Cust.ID = Calls.CID "
+      "AND Calls.Mo = Plans.Mo "
+      "GROUP BY Cust.Zip";
+};
+
+TEST_F(SqlPlannerTest, RunsPaperQueryWithoutParameters) {
+  auto result = sql::ExecuteSql(kRevenueQuery, ex_.db);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->row_count(), 2u);  // Two zip codes.
+  // Constant annotations sum to the plain revenue.
+  Valuation val;
+  double total = 0;
+  for (const Polynomial& p : result->annotations()) {
+    total += val.Evaluate(p);
+  }
+  EXPECT_NEAR(total, 208.8 + 240.0 + 127.4 + 114.45 + 75.9 + 72.5 + 42.0 +
+                         24.2 + 77.9 + 80.5 + 52.2 + 56.5 + 69.7 + 100.65,
+              1e-9);
+}
+
+TEST_F(SqlPlannerTest, SqlQueryMatchesHandBuiltPlan) {
+  // Parameterize via the hook exactly as RunRunningExampleQuery does; the
+  // provenance polynomials must match monomial-for-monomial.
+  const VariableId plan_var[] = {ex_.p1, ex_.f1, ex_.b1, ex_.y1,
+                                 ex_.v,  ex_.e,  ex_.b2};
+  PlanOptions options;
+  options.parameters = [&](const Row& row, const Schema& schema)
+      -> std::vector<VariableId> {
+    int64_t plan = AsInt(row[schema.IndexOf("Cust.Plan")]);
+    int64_t mo = AsInt(row[schema.IndexOf("Calls.Mo")]);
+    return {plan_var[plan], mo == 1 ? ex_.m1 : ex_.m3};
+  };
+  auto result = sql::ExecuteSql(kRevenueQuery, ex_.db, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  PolynomialSet from_sql = result->ToPolynomialSet();
+  PolynomialSet reference = RunRunningExampleQuery(ex_);
+  ASSERT_EQ(from_sql.count(), reference.count());
+  EXPECT_EQ(from_sql.SizeM(), reference.SizeM());
+  // Same polynomials up to order: compare by matching the p1-mentioning one.
+  for (const Polynomial& p : reference.polynomials()) {
+    bool matched = false;
+    for (const Polynomial& q : from_sql.polynomials()) {
+      if (q == p) matched = true;
+    }
+    EXPECT_TRUE(matched);
+  }
+}
+
+TEST_F(SqlPlannerTest, LiteralFilterPushdown) {
+  auto result = sql::ExecuteSql(
+      "SELECT ID FROM Cust WHERE Zip = 10002", ex_.db);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->row_count(), 3u);  // Customers 3, 6, 7.
+}
+
+TEST_F(SqlPlannerTest, GlobalAggregateWithoutGroupBy) {
+  auto result = sql::ExecuteSql(
+      "SELECT SUM(Dur) FROM Calls", ex_.db);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->row_count(), 1u);
+  Valuation val;
+  // Sum of all durations in Figure 1.
+  double expected = 522 + 364 + 779 + 253 + 168 + 1044 + 697 + 480 + 327 +
+                    805 + 290 + 121 + 1130 + 671;
+  EXPECT_NEAR(val.Evaluate(result->annotations()[0]), expected, 1e-9);
+}
+
+TEST_F(SqlPlannerTest, MinAggregateOverJoin) {
+  auto result = sql::ExecuteSql(
+      "SELECT MIN(Dur) FROM Calls, Cust WHERE Cust.ID = Calls.CID "
+      "GROUP BY Cust.Zip",
+      ex_.db);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->row_count(), 2u);
+  std::unordered_map<VariableId, double> neutral;
+  for (size_t i = 0; i < result->row_count(); ++i) {
+    int64_t zip = AsInt(result->rows()[i][0]);
+    double expected = zip == 10001 ? 121.0 : 671.0;
+    EXPECT_DOUBLE_EQ(
+        EvaluateOver<MinTimesSemiring>(result->annotations()[i], neutral),
+        expected);
+  }
+}
+
+TEST_F(SqlPlannerTest, ResidualEqualityApplied) {
+  // Calls.Mo = Plans.Mo becomes a residual filter after the other joins;
+  // omitting it would multiply the result by the number of months.
+  auto with_residual = sql::ExecuteSql(kRevenueQuery, ex_.db);
+  auto without = sql::ExecuteSql(
+      "SELECT Zip, SUM(Calls.Dur * Plans.Price) "
+      "FROM Calls, Cust, Plans "
+      "WHERE Cust.Plan = Plans.Plan AND Cust.ID = Calls.CID "
+      "GROUP BY Cust.Zip",
+      ex_.db);
+  ASSERT_TRUE(with_residual.ok());
+  ASSERT_TRUE(without.ok());
+  Valuation val;
+  double a = 0;
+  double b = 0;
+  for (const Polynomial& p : with_residual->annotations()) {
+    a += val.Evaluate(p);
+  }
+  for (const Polynomial& p : without->annotations()) {
+    b += val.Evaluate(p);
+  }
+  EXPECT_LT(a, b);  // The unfiltered cross pairs every call with 2 months.
+}
+
+TEST_F(SqlPlannerTest, UnknownTableReported) {
+  auto result = sql::ExecuteSql("SELECT a FROM Nope", ex_.db);
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(SqlPlannerTest, UnknownColumnReported) {
+  auto result = sql::ExecuteSql("SELECT Wrong FROM Cust", ex_.db);
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(SqlPlannerTest, AmbiguousColumnReported) {
+  // "Mo" exists in both Calls and Plans.
+  auto result = sql::ExecuteSql(
+      "SELECT Mo FROM Calls, Plans WHERE Calls.Mo = Plans.Mo", ex_.db);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SqlPlannerTest, DisconnectedJoinRejected) {
+  auto result = sql::ExecuteSql("SELECT ID FROM Cust, Calls", ex_.db);
+  EXPECT_EQ(result.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST_F(SqlPlannerTest, SelfJoinRejected) {
+  auto result =
+      sql::ExecuteSql("SELECT ID FROM Cust, Cust WHERE ID = ID", ex_.db);
+  EXPECT_EQ(result.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST_F(SqlPlannerTest, ProjectionWithoutAggregate) {
+  auto result = sql::ExecuteSql("SELECT Zip FROM Cust", ex_.db);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->row_count(), 7u);  // Bag semantics.
+  EXPECT_EQ(result->schema().column_count(), 1u);
+}
+
+}  // namespace
+}  // namespace provabs

@@ -1,0 +1,201 @@
+#include "workload/telephony.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/valuation.h"
+
+namespace provabs {
+namespace {
+
+class RunningExampleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ex_ = MakeRunningExample(vars_);
+    polys_ = RunRunningExampleQuery(ex_);
+  }
+
+  /// Coefficient of the monomial plan_var·month_var in `p` (0 if absent).
+  double CoefficientOf(const Polynomial& p, VariableId plan,
+                       VariableId month) {
+    for (const Monomial& m : p.monomials()) {
+      if (m.Contains(plan) && m.Contains(month)) return m.coefficient();
+    }
+    return 0.0;
+  }
+
+  /// The polynomial mentioning `var` (P1 mentions p1, P2 mentions b1).
+  const Polynomial& PolyWith(VariableId var) {
+    for (const Polynomial& p : polys_.polynomials()) {
+      if (p.Mentions(var)) return p;
+    }
+    ADD_FAILURE() << "no polynomial mentions the variable";
+    return polys_[0];
+  }
+
+  VariableTable vars_;
+  RunningExample ex_;
+  PolynomialSet polys_;
+};
+
+TEST_F(RunningExampleTest, TwoZipCodesTwoPolynomials) {
+  EXPECT_EQ(polys_.count(), 2u);
+  EXPECT_EQ(polys_.SizeM(), 14u);  // 8 + 6 (Example 13)
+  EXPECT_EQ(polys_.SizeV(), 9u);
+}
+
+// Example 13's P1, coefficient by coefficient. The paper prints 220.8 for
+// the p1·m1 term, but Figure 1 has Dur=522 and Price=0.4, so the product is
+// 208.8 — we follow the data.
+TEST_F(RunningExampleTest, P1CoefficientsMatchFigure1) {
+  const Polynomial& p1 = PolyWith(ex_.p1);
+  EXPECT_NEAR(CoefficientOf(p1, ex_.p1, ex_.m1), 208.8, 1e-9);
+  EXPECT_NEAR(CoefficientOf(p1, ex_.p1, ex_.m3), 240.0, 1e-9);
+  EXPECT_NEAR(CoefficientOf(p1, ex_.f1, ex_.m1), 127.4, 1e-9);
+  EXPECT_NEAR(CoefficientOf(p1, ex_.f1, ex_.m3), 114.45, 1e-9);
+  EXPECT_NEAR(CoefficientOf(p1, ex_.y1, ex_.m1), 75.9, 1e-9);
+  EXPECT_NEAR(CoefficientOf(p1, ex_.y1, ex_.m3), 72.5, 1e-9);
+  EXPECT_NEAR(CoefficientOf(p1, ex_.v, ex_.m1), 42.0, 1e-9);
+  EXPECT_NEAR(CoefficientOf(p1, ex_.v, ex_.m3), 24.2, 1e-9);
+}
+
+TEST_F(RunningExampleTest, P2CoefficientsMatchExample13) {
+  const Polynomial& p2 = PolyWith(ex_.b1);
+  EXPECT_NEAR(CoefficientOf(p2, ex_.b1, ex_.m1), 77.9, 1e-9);
+  EXPECT_NEAR(CoefficientOf(p2, ex_.b1, ex_.m3), 80.5, 1e-9);
+  EXPECT_NEAR(CoefficientOf(p2, ex_.e, ex_.m1), 52.2, 1e-9);
+  EXPECT_NEAR(CoefficientOf(p2, ex_.e, ex_.m3), 56.5, 1e-9);
+  EXPECT_NEAR(CoefficientOf(p2, ex_.b2, ex_.m1), 69.7, 1e-9);
+  EXPECT_NEAR(CoefficientOf(p2, ex_.b2, ex_.m3), 100.65, 1e-9);
+}
+
+TEST_F(RunningExampleTest, NeutralValuationGivesPlainRevenue) {
+  // With every parameter at 1, the polynomials evaluate to the unmodified
+  // per-zip revenue.
+  Valuation val;
+  double total = 0;
+  for (const Polynomial& p : polys_.polynomials()) {
+    total += val.Evaluate(p);
+  }
+  double expected = 208.8 + 240.0 + 127.4 + 114.45 + 75.9 + 72.5 + 42.0 +
+                    24.2 + 77.9 + 80.5 + 52.2 + 56.5 + 69.7 + 100.65;
+  EXPECT_NEAR(total, expected, 1e-9);
+}
+
+TEST_F(RunningExampleTest, WhatIfScenarioMarchDiscount) {
+  // "What if prices drop 20% in March?" — m3 := 0.8 scales exactly the m3
+  // terms of both polynomials.
+  Valuation val;
+  val.Set(ex_.m3, 0.8);
+  const Polynomial& p1 = PolyWith(ex_.p1);
+  double expected = 208.8 + 127.4 + 75.9 + 42.0 +
+                    0.8 * (240.0 + 114.45 + 72.5 + 24.2);
+  EXPECT_NEAR(val.Evaluate(p1), expected, 1e-9);
+}
+
+TEST_F(RunningExampleTest, WhatIfBusinessPlansRaise) {
+  // "+10% on business plans" scales b1, b2 and e terms of P2.
+  Valuation val;
+  val.Set(ex_.b1, 1.1);
+  val.Set(ex_.b2, 1.1);
+  val.Set(ex_.e, 1.1);
+  const Polynomial& p2 = PolyWith(ex_.b1);
+  double expected = 1.1 * (77.9 + 80.5 + 52.2 + 56.5 + 69.7 + 100.65);
+  EXPECT_NEAR(val.Evaluate(p2), expected, 1e-9);
+}
+
+TEST_F(RunningExampleTest, EveryMonomialHasOnePlanAndOneMonthVariable) {
+  for (const Polynomial& p : polys_.polynomials()) {
+    for (const Monomial& m : p.monomials()) {
+      EXPECT_EQ(m.degree(), 2u);
+    }
+  }
+}
+
+// ------------------------------------------------ synthetic generator ----
+
+class TelephonyGeneratorTest : public ::testing::Test {
+ protected:
+  TelephonyConfig SmallConfig() {
+    TelephonyConfig c;
+    c.num_customers = 200;
+    c.num_plans = 16;
+    c.num_months = 6;
+    c.num_zip_codes = 10;
+    return c;
+  }
+};
+
+TEST_F(TelephonyGeneratorTest, GeneratesExpectedCardinalities) {
+  TelephonyConfig c = SmallConfig();
+  Rng rng(c.seed);
+  Database db = GenerateTelephony(c, rng);
+  EXPECT_EQ(db.Get("Cust").row_count(), 200u);
+  EXPECT_EQ(db.Get("Calls").row_count(), 200u * 6u);
+  EXPECT_EQ(db.Get("Plans").row_count(), 16u * 6u);
+  EXPECT_TRUE(db.Get("Cust").ValidateRows().ok());
+  EXPECT_TRUE(db.Get("Calls").ValidateRows().ok());
+  EXPECT_TRUE(db.Get("Plans").ValidateRows().ok());
+}
+
+TEST_F(TelephonyGeneratorTest, DeterministicAcrossRuns) {
+  TelephonyConfig c = SmallConfig();
+  Rng rng1(7);
+  Rng rng2(7);
+  Database a = GenerateTelephony(c, rng1);
+  Database b = GenerateTelephony(c, rng2);
+  EXPECT_EQ(a.Get("Calls").rows()[17], b.Get("Calls").rows()[17]);
+}
+
+TEST_F(TelephonyGeneratorTest, QueryYieldsOnePolynomialPerZip) {
+  TelephonyConfig c = SmallConfig();
+  Rng rng(c.seed);
+  Database db = GenerateTelephony(c, rng);
+  VariableTable vars;
+  TelephonyVars tv = MakeTelephonyVars(vars, c);
+  PolynomialSet polys = RunTelephonyQuery(db, tv);
+  EXPECT_LE(polys.count(), c.num_zip_codes);
+  EXPECT_GT(polys.count(), 0u);
+  // Granularity is bounded by the parameter space.
+  EXPECT_LE(polys.SizeV(), c.num_plans + c.num_months);
+}
+
+TEST_F(TelephonyGeneratorTest, MonomialsPairPlanWithMonth) {
+  TelephonyConfig c = SmallConfig();
+  Rng rng(c.seed);
+  Database db = GenerateTelephony(c, rng);
+  VariableTable vars;
+  TelephonyVars tv = MakeTelephonyVars(vars, c);
+  PolynomialSet polys = RunTelephonyQuery(db, tv);
+  std::unordered_set<VariableId> plan_set(tv.plan_vars.begin(),
+                                          tv.plan_vars.end());
+  for (const Polynomial& p : polys.polynomials()) {
+    for (const Monomial& m : p.monomials()) {
+      ASSERT_EQ(m.degree(), 2u);
+      // Exactly one factor from the plan space.
+      int plan_factors = 0;
+      for (const Factor& f : m.factors()) {
+        if (plan_set.count(f.var)) ++plan_factors;
+      }
+      EXPECT_EQ(plan_factors, 1);
+    }
+  }
+}
+
+TEST_F(TelephonyGeneratorTest, ProvenanceSizeGrowsWithCustomers) {
+  VariableTable vars;
+  TelephonyConfig small = SmallConfig();
+  TelephonyConfig big = SmallConfig();
+  big.num_customers = 2000;
+  Rng r1(1);
+  Rng r2(1);
+  TelephonyVars tv = MakeTelephonyVars(vars, small);
+  size_t m_small =
+      RunTelephonyQuery(GenerateTelephony(small, r1), tv).SizeM();
+  size_t m_big = RunTelephonyQuery(GenerateTelephony(big, r2), tv).SizeM();
+  EXPECT_GT(m_big, m_small);
+}
+
+}  // namespace
+}  // namespace provabs

@@ -1,0 +1,176 @@
+#include "algo/tradeoff_curve.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "algo/optimal_single_tree.h"
+#include "common/random.h"
+#include "core/polynomial.h"
+#include "workload/telephony.h"
+#include "workload/tree_gen.h"
+
+namespace provabs {
+namespace {
+
+class TradeoffCurveTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    m1_ = vars_.Intern("m1");
+    m3_ = vars_.Intern("m3");
+    AbstractionTree full = MakeFigure2PlansTree(vars_);
+    polys_ = MakePolys();
+    auto pruned = full.PruneToPolynomials(polys_);
+    ASSERT_TRUE(pruned.ok());
+    forest_.AddTree(std::move(pruned).value());
+  }
+
+  /// The {P1, P2} polynomials of Example 13.
+  PolynomialSet MakePolys() {
+    auto v = [&](const char* n) { return vars_.Find(n); };
+    PolynomialSet polys;
+    polys.Add(Polynomial::FromMonomials({
+        Monomial(208.8, {{v("p1"), 1}, {m1_, 1}}),
+        Monomial(240.0, {{v("p1"), 1}, {m3_, 1}}),
+        Monomial(127.4, {{v("f1"), 1}, {m1_, 1}}),
+        Monomial(114.45, {{v("f1"), 1}, {m3_, 1}}),
+        Monomial(75.9, {{v("y1"), 1}, {m1_, 1}}),
+        Monomial(72.5, {{v("y1"), 1}, {m3_, 1}}),
+        Monomial(42.0, {{v("v"), 1}, {m1_, 1}}),
+        Monomial(24.2, {{v("v"), 1}, {m3_, 1}}),
+    }));
+    polys.Add(Polynomial::FromMonomials({
+        Monomial(77.9, {{v("b1"), 1}, {m1_, 1}}),
+        Monomial(80.5, {{v("b1"), 1}, {m3_, 1}}),
+        Monomial(52.2, {{v("e"), 1}, {m1_, 1}}),
+        Monomial(56.5, {{v("e"), 1}, {m3_, 1}}),
+        Monomial(69.7, {{v("b2"), 1}, {m1_, 1}}),
+        Monomial(100.65, {{v("b2"), 1}, {m3_, 1}}),
+    }));
+    return polys;
+  }
+
+  VariableTable vars_;
+  VariableId m1_, m3_;
+  PolynomialSet polys_;
+  AbstractionForest forest_;
+};
+
+// The paper's Example 13 derives A_Plans = [0,⊥,1,⊥,2,3] for k ≤ 5; the
+// full profile extends it: ML 0→VL 0, 2→1, 4→2, 6→3, 8→4(?), 10→6(root).
+TEST_F(TradeoffCurveTest, Example13Curve) {
+  auto curve = OptimalTradeoffCurve(polys_, forest_, 0);
+  ASSERT_TRUE(curve.ok()) << curve.status().ToString();
+  ASSERT_FALSE(curve->empty());
+
+  // Monotone Pareto shape.
+  for (size_t i = 1; i < curve->size(); ++i) {
+    EXPECT_LT((*curve)[i].size_m, (*curve)[i - 1].size_m);
+    EXPECT_GT((*curve)[i].variable_loss, (*curve)[i - 1].variable_loss);
+  }
+  // Endpoints: zero loss at full size, maximal compression at the root cut
+  // (4 monomials, 6 variables lost).
+  EXPECT_EQ(curve->front().size_m, 14u);
+  EXPECT_EQ(curve->front().variable_loss, 0u);
+  EXPECT_EQ(curve->back().size_m, 4u);
+  EXPECT_EQ(curve->back().variable_loss, 6u);
+  // The Example 13 point: 8 monomials (ML 6) at VL 3.
+  bool found = false;
+  for (const TradeoffPoint& p : *curve) {
+    if (p.size_m == 8) {
+      EXPECT_EQ(p.variable_loss, 3u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// Each curve point's variable loss equals the OptimalSingleTree answer for
+// that exact bound.
+TEST_F(TradeoffCurveTest, CurveAgreesWithPerBoundRuns) {
+  auto curve = OptimalTradeoffCurve(polys_, forest_, 0);
+  ASSERT_TRUE(curve.ok());
+  for (const TradeoffPoint& p : *curve) {
+    auto opt = OptimalSingleTree(polys_, forest_, 0, p.size_m);
+    ASSERT_TRUE(opt.ok()) << "bound " << p.size_m;
+    EXPECT_EQ(opt->loss.variable_loss, p.variable_loss)
+        << "bound " << p.size_m;
+  }
+}
+
+// Bounds strictly between curve points cost as much as the next achievable
+// point (the curve is the complete answer set).
+TEST_F(TradeoffCurveTest, BoundsBetweenPointsRoundDown) {
+  auto curve = OptimalTradeoffCurve(polys_, forest_, 0);
+  ASSERT_TRUE(curve.ok());
+  ASSERT_GE(curve->size(), 2u);
+  for (size_t i = 1; i < curve->size(); ++i) {
+    size_t between = ((*curve)[i - 1].size_m + (*curve)[i].size_m) / 2;
+    if (between == (*curve)[i - 1].size_m) continue;
+    auto opt = OptimalSingleTree(polys_, forest_, 0, between);
+    ASSERT_TRUE(opt.ok());
+    EXPECT_EQ(opt->loss.variable_loss, (*curve)[i].variable_loss);
+  }
+}
+
+TEST_F(TradeoffCurveTest, BelowCurveIsInfeasible) {
+  auto curve = OptimalTradeoffCurve(polys_, forest_, 0);
+  ASSERT_TRUE(curve.ok());
+  size_t min_size = curve->back().size_m;
+  auto opt = OptimalSingleTree(polys_, forest_, 0, min_size - 1);
+  EXPECT_EQ(opt.status().code(), StatusCode::kInfeasible);
+}
+
+TEST_F(TradeoffCurveTest, RejectsBadTreeIndex) {
+  EXPECT_EQ(OptimalTradeoffCurve(polys_, forest_, 5).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// Property: on random instances the curve matches a sweep of
+// OptimalSingleTree over every bound.
+class TradeoffPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TradeoffPropertyTest, CurveMatchesBoundSweep) {
+  Rng rng(12000 + GetParam());
+  VariableTable vars;
+  std::vector<VariableId> leaves;
+  for (int i = 0; i < 9; ++i) {
+    leaves.push_back(vars.Intern("c" + std::to_string(i)));
+  }
+  VariableId other = vars.Intern("oo");
+  AbstractionForest forest;
+  forest.AddTree(BuildUniformTree(vars, leaves, {3}, "tc"));
+
+  std::vector<Monomial> terms;
+  for (int m = 0; m < 25; ++m) {
+    std::vector<Factor> f;
+    f.push_back({leaves[rng.Uniform(leaves.size())], 1});
+    if (rng.Bernoulli(0.5)) f.push_back({other, 1});
+    terms.emplace_back(rng.UniformReal(0.5, 9.5), std::move(f));
+  }
+  PolynomialSet polys;
+  polys.Add(Polynomial::FromMonomials(std::move(terms)));
+
+  auto curve = OptimalTradeoffCurve(polys, forest, 0);
+  ASSERT_TRUE(curve.ok());
+  for (size_t b = curve->back().size_m; b <= polys.SizeM(); ++b) {
+    // First curve point with size_m <= b has the minimal loss for bound b
+    // (the list is size-descending, loss-ascending).
+    size_t expected = SIZE_MAX;
+    for (const TradeoffPoint& p : *curve) {
+      if (p.size_m <= b) {
+        expected = p.variable_loss;
+        break;
+      }
+    }
+    auto opt = OptimalSingleTree(polys, forest, 0, b);
+    ASSERT_TRUE(opt.ok()) << "bound " << b;
+    EXPECT_EQ(opt->loss.variable_loss, expected) << "bound " << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, TradeoffPropertyTest,
+                         ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace provabs

@@ -1,0 +1,108 @@
+#include "workload/tree_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "abstraction/abstraction_forest.h"
+
+namespace provabs {
+namespace {
+
+std::vector<VariableId> MakeLeaves(VariableTable& vars, size_t n) {
+  std::vector<VariableId> leaves;
+  for (size_t i = 0; i < n; ++i) {
+    leaves.push_back(vars.Intern("s" + std::to_string(i)));
+  }
+  return leaves;
+}
+
+TEST(TreeGenTest, TwoLevelStructure) {
+  VariableTable vars;
+  auto leaves = MakeLeaves(vars, 128);
+  AbstractionTree t = BuildUniformTree(vars, leaves, {4}, "x");
+  EXPECT_EQ(t.node_count(), 1u + 4u + 128u);
+  EXPECT_EQ(t.leaves().size(), 128u);
+  EXPECT_EQ(t.Height(), 2u);
+  EXPECT_EQ(t.node(t.root()).children.size(), 4u);
+  // Even distribution: each inner node holds 32 leaves.
+  for (NodeIndex c : t.node(t.root()).children) {
+    EXPECT_EQ(t.node(c).leaf_count(), 32u);
+  }
+}
+
+TEST(TreeGenTest, UnevenLeavesDistributedWithRemainder) {
+  VariableTable vars;
+  auto leaves = MakeLeaves(vars, 10);
+  AbstractionTree t = BuildUniformTree(vars, leaves, {3}, "x");
+  std::vector<uint32_t> counts;
+  for (NodeIndex c : t.node(t.root()).children) {
+    counts.push_back(t.node(c).leaf_count());
+  }
+  EXPECT_EQ(counts, (std::vector<uint32_t>{4, 3, 3}));
+}
+
+TEST(TreeGenTest, LeavesKeepOriginalLabels) {
+  VariableTable vars;
+  auto leaves = MakeLeaves(vars, 8);
+  AbstractionTree t = BuildUniformTree(vars, leaves, {2, 2}, "x");
+  auto labels = t.LeafLabels();
+  std::unordered_set<VariableId> set(labels.begin(), labels.end());
+  for (VariableId v : leaves) {
+    EXPECT_TRUE(set.count(v)) << vars.NameOf(v);
+  }
+}
+
+TEST(TreeGenTest, PrefixKeepsForestsDisjoint) {
+  VariableTable vars;
+  auto a_leaves = MakeLeaves(vars, 16);
+  std::vector<VariableId> b_leaves;
+  for (size_t i = 0; i < 16; ++i) {
+    b_leaves.push_back(vars.Intern("p" + std::to_string(i)));
+  }
+  AbstractionForest forest;
+  forest.AddTree(BuildUniformTree(vars, a_leaves, {2, 2}, "A_"));
+  forest.AddTree(BuildUniformTree(vars, b_leaves, {2, 2}, "B_"));
+  EXPECT_TRUE(forest.Validate().ok());
+}
+
+TEST(TreeGenTest, FourLevelDepth) {
+  VariableTable vars;
+  auto leaves = MakeLeaves(vars, 128);
+  AbstractionTree t = BuildUniformTree(vars, leaves, {2, 2, 2}, "x");
+  EXPECT_EQ(t.Height(), 4u);
+}
+
+TEST(TreeGenTest, SpecTableCoverage) {
+  EXPECT_EQ(TreeSpecsOfType(1).size(), 6u);
+  EXPECT_EQ(TreeSpecsOfType(2).size(), 5u);
+  EXPECT_EQ(TreeSpecsOfType(3).size(), 4u);
+  EXPECT_EQ(TreeSpecsOfType(4).size(), 3u);
+  EXPECT_EQ(TreeSpecsOfType(5).size(), 4u);
+  EXPECT_EQ(TreeSpecsOfType(6).size(), 3u);
+  EXPECT_EQ(TreeSpecsOfType(7).size(), 3u);
+  EXPECT_EQ(AllTreeSpecs().size(), 28u);
+}
+
+// Node counts of every Table 2 row, via the analytic formula AND the
+// actually-built tree.
+class SpecNodeCountTest : public ::testing::TestWithParam<TreeTypeSpec> {};
+
+TEST_P(SpecNodeCountTest, BuiltTreeMatchesFormula) {
+  const TreeTypeSpec& spec = GetParam();
+  VariableTable vars;
+  auto leaves = MakeLeaves(vars, 128);
+  AbstractionTree t = BuildUniformTree(vars, leaves, spec.fanouts, "x");
+  EXPECT_EQ(t.node_count(), SpecNodeCount(spec));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSpecs, SpecNodeCountTest, ::testing::ValuesIn(AllTreeSpecs()),
+    [](const ::testing::TestParamInfo<TreeTypeSpec>& info) {
+      std::string name = "Type" + std::to_string(info.param.type);
+      for (uint32_t f : info.param.fanouts) name += "_" + std::to_string(f);
+      return name;
+    });
+
+}  // namespace
+}  // namespace provabs

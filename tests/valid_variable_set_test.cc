@@ -1,0 +1,215 @@
+#include "abstraction/valid_variable_set.h"
+
+#include <gtest/gtest.h>
+
+#include "abstraction/abstraction_forest.h"
+#include "abstraction/loss.h"
+#include "core/polynomial.h"
+#include "workload/telephony.h"
+
+namespace provabs {
+namespace {
+
+/// Fixture with the Figure 2 plans tree in a single-tree forest, plus the
+/// polynomial P of Example 2 (restricted to the variables of Example 13).
+class VvsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    forest_.AddTree(MakeFigure2PlansTree(vars_));
+    ASSERT_TRUE(forest_.Validate().ok());
+    m1_ = vars_.Intern("m1");
+    m3_ = vars_.Intern("m3");
+  }
+
+  /// Builds a VVS from node labels of the plans tree.
+  ValidVariableSet FromLabels(const std::vector<std::string>& labels) {
+    ValidVariableSet vvs;
+    for (const auto& name : labels) {
+      NodeRef ref = forest_.FindLabel(vars_.Find(name));
+      EXPECT_NE(ref.tree, AbstractionForest::kInvalidTreeIndex)
+          << "label " << name;
+      vvs.Add(ref);
+    }
+    return vvs;
+  }
+
+  /// P1 of Example 13 (zip 10001), with the paper's 220.8 typo corrected to
+  /// 208.8 (= 522 · 0.4; see telephony_test.cc).
+  PolynomialSet ExamplePolys() {
+    auto v = [&](const char* n) { return vars_.Find(n); };
+    PolynomialSet polys;
+    polys.Add(Polynomial::FromMonomials({
+        Monomial(208.8, {{v("p1"), 1}, {m1_, 1}}),
+        Monomial(240.0, {{v("p1"), 1}, {m3_, 1}}),
+        Monomial(127.4, {{v("f1"), 1}, {m1_, 1}}),
+        Monomial(114.45, {{v("f1"), 1}, {m3_, 1}}),
+        Monomial(75.9, {{v("y1"), 1}, {m1_, 1}}),
+        Monomial(72.5, {{v("y1"), 1}, {m3_, 1}}),
+        Monomial(42.0, {{v("v"), 1}, {m1_, 1}}),
+        Monomial(24.2, {{v("v"), 1}, {m3_, 1}}),
+    }));
+    polys.Add(Polynomial::FromMonomials({
+        Monomial(77.9, {{v("b1"), 1}, {m1_, 1}}),
+        Monomial(80.5, {{v("b1"), 1}, {m3_, 1}}),
+        Monomial(52.2, {{v("e"), 1}, {m1_, 1}}),
+        Monomial(56.5, {{v("e"), 1}, {m3_, 1}}),
+        Monomial(69.7, {{v("b2"), 1}, {m1_, 1}}),
+        Monomial(100.65, {{v("b2"), 1}, {m3_, 1}}),
+    }));
+    return polys;
+  }
+
+  VariableTable vars_;
+  AbstractionForest forest_;
+  VariableId m1_, m3_;
+};
+
+// The five valid variable sets of Example 5.
+TEST_F(VvsTest, Example5Set1IsValid) {
+  EXPECT_TRUE(
+      FromLabels({"Business", "Special", "Standard"}).Validate(forest_).ok());
+}
+
+TEST_F(VvsTest, Example5Set2IsValid) {
+  EXPECT_TRUE(FromLabels({"SB", "e", "f1", "f2", "Y", "v", "Standard"})
+                  .Validate(forest_)
+                  .ok());
+}
+
+TEST_F(VvsTest, Example5Set3IsValid) {
+  EXPECT_TRUE(FromLabels({"b1", "b2", "e", "Special", "Standard"})
+                  .Validate(forest_)
+                  .ok());
+}
+
+TEST_F(VvsTest, Example5Set4IsValid) {
+  EXPECT_TRUE(FromLabels({"SB", "e", "F", "Y", "v", "p1", "p2"})
+                  .Validate(forest_)
+                  .ok());
+}
+
+TEST_F(VvsTest, Example5Set5IsValid) {
+  EXPECT_TRUE(FromLabels({"Plans"}).Validate(forest_).ok());
+}
+
+TEST_F(VvsTest, RejectsUncoveredLeaves) {
+  // Missing the Standard subtree entirely.
+  Status s = FromLabels({"Business", "Special"}).Validate(forest_);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(VvsTest, RejectsComparableNodes) {
+  // Plans covers everything; SB is its descendant.
+  Status s = FromLabels({"Plans", "SB"}).Validate(forest_);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(VvsTest, RejectsDoubleCover) {
+  Status s = FromLabels({"Business", "SB", "e", "Special", "Standard"})
+                 .Validate(forest_);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(VvsTest, AllLeavesIsValidAndLossless) {
+  ValidVariableSet vvs = ValidVariableSet::AllLeaves(forest_);
+  EXPECT_TRUE(vvs.Validate(forest_).ok());
+  PolynomialSet polys = ExamplePolys();
+  LossReport loss = ComputeLossNaive(polys, forest_, vvs);
+  EXPECT_EQ(loss.monomial_loss, 0u);
+  EXPECT_EQ(loss.variable_loss, 0u);
+}
+
+TEST_F(VvsTest, AllRootsIsValid) {
+  ValidVariableSet vvs = ValidVariableSet::AllRoots(forest_);
+  EXPECT_TRUE(vvs.Validate(forest_).ok());
+  EXPECT_EQ(vvs.size(), 1u);
+}
+
+TEST_F(VvsTest, SubstitutionMapsLeavesToChosenAncestor) {
+  ValidVariableSet vvs = FromLabels({"Business", "Special", "Standard"});
+  auto map = vvs.SubstitutionMap(forest_);
+  EXPECT_EQ(map.at(vars_.Find("b1")), vars_.Find("Business"));
+  EXPECT_EQ(map.at(vars_.Find("e")), vars_.Find("Business"));
+  EXPECT_EQ(map.at(vars_.Find("y2")), vars_.Find("Special"));
+  EXPECT_EQ(map.at(vars_.Find("p2")), vars_.Find("Standard"));
+  // Non-tree variables are absent (identity).
+  EXPECT_EQ(map.count(m1_), 0u);
+}
+
+TEST_F(VvsTest, LeafChoiceIsIdentity) {
+  ValidVariableSet vvs = FromLabels({"b1", "b2", "e", "Special", "Standard"});
+  auto map = vvs.SubstitutionMap(forest_);
+  EXPECT_EQ(map.at(vars_.Find("b1")), vars_.Find("b1"));
+}
+
+// Example 6: |P↓S1|_V = 4 and |P↓S1|_M = 4 for P1 alone; S5 gives 3 and 2.
+TEST_F(VvsTest, Example6SizesForS1) {
+  PolynomialSet p1_only;
+  p1_only.Add(ExamplePolys()[0]);
+  ValidVariableSet s1 = FromLabels({"Business", "Special", "Standard"});
+  PolynomialSet abstracted = s1.Apply(forest_, p1_only);
+  // P1 has plan variables {p1, f1, y1, v} ⊂ Special ∪ Standard: grouping by
+  // S1 yields monomials Special·m1, Special·m3, Standard·m1, Standard·m3.
+  EXPECT_EQ(abstracted.SizeM(), 4u);
+  EXPECT_EQ(abstracted.SizeV(), 4u);  // {Special, Standard, m1, m3}
+}
+
+TEST_F(VvsTest, Example6SizesForS5) {
+  PolynomialSet p1_only;
+  p1_only.Add(ExamplePolys()[0]);
+  ValidVariableSet s5 = FromLabels({"Plans"});
+  PolynomialSet abstracted = s5.Apply(forest_, p1_only);
+  EXPECT_EQ(abstracted.SizeM(), 2u);  // Plans·m1 + Plans·m3
+  EXPECT_EQ(abstracted.SizeV(), 3u);  // {Plans, m1, m3}
+}
+
+// ML(S1) = 4 and ML(S5) = 6, VL(S1) = 2 and VL(S5) = 3 (§3.1 notations,
+// computed on P1 alone which has |P|_M = 8 and |P|_V = 6).
+TEST_F(VvsTest, Section31LossNotationsOnP1) {
+  PolynomialSet p1_only;
+  p1_only.Add(ExamplePolys()[0]);
+  LossReport s1 = ComputeLossNaive(
+      p1_only, forest_, FromLabels({"Business", "Special", "Standard"}));
+  EXPECT_EQ(s1.monomial_loss, 4u);
+  EXPECT_EQ(s1.variable_loss, 2u);
+  LossReport s5 = ComputeLossNaive(p1_only, forest_, FromLabels({"Plans"}));
+  EXPECT_EQ(s5.monomial_loss, 6u);
+  EXPECT_EQ(s5.variable_loss, 3u);
+}
+
+TEST_F(VvsTest, ApplyMergesCoefficients) {
+  // Example 2: replacing m1 and m3 by q1 turns 208.8·p1·m1 + 240·p1·m3
+  // into 448.8·p1·q1 (the paper's 460.8 reflects its 220.8 typo).
+  AbstractionForest with_months;
+  with_months.AddTree(MakeFigure2PlansTree(vars_));
+  with_months.AddTree(MakeFigure3MonthsTree(vars_, 3));
+  ASSERT_TRUE(with_months.Validate().ok());
+
+  PolynomialSet p1_only;
+  p1_only.Add(ExamplePolys()[0]);
+
+  ValidVariableSet vvs;
+  // Plans tree: keep all leaves; months tree: q1 over {m1, m2, m3}.
+  for (NodeIndex leaf : with_months.tree(0).leaves()) {
+    vvs.Add(NodeRef{0, leaf});
+  }
+  vvs.Add(with_months.FindLabel(vars_.Find("q1")));
+  ASSERT_TRUE(vvs.Validate(with_months).ok());
+
+  PolynomialSet abstracted = vvs.Apply(with_months, p1_only);
+  EXPECT_EQ(abstracted.SizeM(), 4u);
+  // Find the p1·q1 coefficient.
+  double p1q1 = 0;
+  for (const Monomial& m : abstracted[0].monomials()) {
+    if (m.Contains(vars_.Find("p1"))) p1q1 = m.coefficient();
+  }
+  EXPECT_NEAR(p1q1, 448.8, 1e-9);
+}
+
+TEST_F(VvsTest, ToStringListsLabels) {
+  ValidVariableSet vvs = FromLabels({"Plans"});
+  EXPECT_EQ(vvs.ToString(forest_, vars_), "{Plans}");
+}
+
+}  // namespace
+}  // namespace provabs

@@ -1,0 +1,306 @@
+/// provabs_cli — command-line front end for the provenance-abstraction
+/// pipeline, mirroring the paper's deployment story: a producer generates
+/// provenance once (`generate`), compresses it under a bound (`compress`),
+/// and ships compact binary artifacts to analysts, who inspect (`info`,
+/// `tradeoff`) and run what-if scenarios (`evaluate`) locally.
+///
+/// Usage:
+///   provabs_cli generate --workload telephony|tpch-q1|tpch-q5|tpch-q10
+///       [--scale S] [--fanouts 8 | 4,4 | 2,2,8] --out P.bin
+///       [--forest-out F.bin]
+///   provabs_cli info --in P.bin
+///   provabs_cli compress --in P.bin --forest F.bin --bound N
+///       [--algo opt|greedy] [--vvs-out V.bin] [--out C.bin]
+///   provabs_cli tradeoff --in P.bin --forest F.bin
+///   provabs_cli evaluate --in P.bin [--set var=value]...
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "algo/greedy_multi_tree.h"
+#include "algo/optimal_single_tree.h"
+#include "algo/tradeoff_curve.h"
+#include "common/timer.h"
+#include "core/valuation.h"
+#include "io/serializer.h"
+#include "online/online_compressor.h"
+#include "workload/telephony.h"
+#include "workload/tpch.h"
+#include "workload/tree_gen.h"
+
+namespace provabs {
+namespace {
+
+/// Minimal flag parser: --name value pairs plus repeated --set entries.
+struct Args {
+  std::map<std::string, std::string> flags;
+  std::vector<std::string> sets;
+
+  const char* Get(const std::string& name,
+                  const char* fallback = nullptr) const {
+    auto it = flags.find(name);
+    return it == flags.end() ? fallback : it->second.c_str();
+  }
+};
+
+Args ParseArgs(int argc, char** argv, int start) {
+  Args args;
+  for (int i = start; i < argc; ++i) {
+    std::string flag = argv[i];
+    if (flag.rfind("--", 0) != 0 || i + 1 >= argc) continue;
+    std::string value = argv[++i];
+    if (flag == "--set") {
+      args.sets.push_back(value);
+    } else {
+      args.flags[flag.substr(2)] = value;
+    }
+  }
+  return args;
+}
+
+std::vector<uint32_t> ParseFanouts(const std::string& spec) {
+  std::vector<uint32_t> fanouts;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    fanouts.push_back(
+        static_cast<uint32_t>(std::atoi(spec.substr(pos, comma - pos).c_str())));
+    pos = comma + 1;
+  }
+  return fanouts;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int CmdGenerate(const Args& args) {
+  const char* workload = args.Get("workload");
+  const char* out = args.Get("out");
+  if (workload == nullptr || out == nullptr) {
+    std::fprintf(stderr, "generate requires --workload and --out\n");
+    return 2;
+  }
+  double scale = std::atof(args.Get("scale", "0.2"));
+  std::vector<uint32_t> fanouts = ParseFanouts(args.Get("fanouts", "8"));
+
+  VariableTable vars;
+  PolynomialSet polys;
+  std::vector<VariableId> tree_leaves;
+  std::string name = workload;
+  if (name == "telephony") {
+    TelephonyConfig config;
+    config.num_customers = static_cast<size_t>(10000 * scale);
+    Rng rng(config.seed);
+    TelephonyVars tv = MakeTelephonyVars(vars, config);
+    polys = RunTelephonyQuery(GenerateTelephony(config, rng), tv);
+    tree_leaves = tv.plan_vars;
+  } else if (name.rfind("tpch-", 0) == 0) {
+    TpchConfig config;
+    config.scale_factor = scale;
+    Rng rng(config.seed);
+    Database db = GenerateTpch(config, rng);
+    TpchVars tv = MakeTpchVars(vars, 128);
+    TpchQuery q;
+    if (name == "tpch-q1") {
+      q = TpchQuery::kQ1;
+    } else if (name == "tpch-q5") {
+      q = TpchQuery::kQ5;
+    } else if (name == "tpch-q10") {
+      q = TpchQuery::kQ10;
+    } else {
+      std::fprintf(stderr, "unknown TPC-H workload %s\n", workload);
+      return 2;
+    }
+    polys = RunTpchQuery(q, db, tv);
+    tree_leaves = tv.supplier_vars;
+  } else {
+    std::fprintf(stderr, "unknown workload %s\n", workload);
+    return 2;
+  }
+
+  Status write = WriteFile(out, SerializePolynomialSet(polys, vars));
+  if (!write.ok()) return Fail(write);
+  std::printf("wrote %s: %zu polynomials, %zu monomials, %zu variables\n",
+              out, polys.count(), polys.SizeM(), polys.SizeV());
+
+  if (const char* forest_out = args.Get("forest-out")) {
+    AbstractionForest forest;
+    forest.AddTree(BuildUniformTree(vars, tree_leaves, fanouts, "T_"));
+    Status fw = WriteFile(forest_out, SerializeForest(forest, vars));
+    if (!fw.ok()) return Fail(fw);
+    std::printf("wrote %s: 1 tree, %zu nodes\n", forest_out,
+                forest.TotalNodes());
+  }
+  return 0;
+}
+
+int CmdInfo(const Args& args) {
+  const char* in = args.Get("in");
+  if (in == nullptr) {
+    std::fprintf(stderr, "info requires --in\n");
+    return 2;
+  }
+  auto data = ReadFileToString(in);
+  if (!data.ok()) return Fail(data.status());
+  VariableTable vars;
+  auto polys = DeserializePolynomialSet(*data, vars);
+  if (!polys.ok()) return Fail(polys.status());
+  std::printf("%s: %zu bytes\n", in, data->size());
+  std::printf("  polynomials : %zu\n", polys->count());
+  std::printf("  monomials   : %zu (|P|_M)\n", polys->SizeM());
+  std::printf("  variables   : %zu (|P|_V)\n", polys->SizeV());
+  size_t max_m = 0;
+  size_t min_m = SIZE_MAX;
+  for (const Polynomial& p : polys->polynomials()) {
+    max_m = std::max(max_m, p.SizeM());
+    min_m = std::min(min_m, p.SizeM());
+  }
+  if (polys->count() > 0) {
+    std::printf("  per polynomial: min %zu, max %zu, avg %.2f monomials\n",
+                min_m, max_m,
+                static_cast<double>(polys->SizeM()) /
+                    static_cast<double>(polys->count()));
+  }
+  return 0;
+}
+
+int CmdCompress(const Args& args) {
+  const char* in = args.Get("in");
+  const char* forest_path = args.Get("forest");
+  const char* bound_str = args.Get("bound");
+  if (in == nullptr || forest_path == nullptr || bound_str == nullptr) {
+    std::fprintf(stderr, "compress requires --in, --forest, --bound\n");
+    return 2;
+  }
+  VariableTable vars;
+  auto polys_data = ReadFileToString(in);
+  if (!polys_data.ok()) return Fail(polys_data.status());
+  auto polys = DeserializePolynomialSet(*polys_data, vars);
+  if (!polys.ok()) return Fail(polys.status());
+  auto forest_data = ReadFileToString(forest_path);
+  if (!forest_data.ok()) return Fail(forest_data.status());
+  auto forest = DeserializeForest(*forest_data, vars);
+  if (!forest.ok()) return Fail(forest.status());
+
+  size_t bound = static_cast<size_t>(std::atoll(bound_str));
+  std::string algo = args.Get("algo", "opt");
+
+  Timer timer;
+  StatusOr<CompressionResult> result =
+      algo == "greedy"
+          ? GreedyMultiTree(*polys, *forest, bound)
+          : OptimalSingleTree(*polys, *forest, 0, bound);
+  if (!result.ok()) return Fail(result.status());
+  std::printf("%s: ML=%zu VL=%zu%s in %.3fs\n", algo.c_str(),
+              result->loss.monomial_loss, result->loss.variable_loss,
+              result->adequate ? "" : " (bound not reached)",
+              timer.ElapsedSeconds());
+  std::printf("VVS: %s\n", result->vvs.ToString(*forest, vars).c_str());
+
+  if (const char* vvs_out = args.Get("vvs-out")) {
+    Status w = WriteFile(vvs_out, SerializeVvs(result->vvs, *forest, vars));
+    if (!w.ok()) return Fail(w);
+  }
+  if (const char* out = args.Get("out")) {
+    PolynomialSet compressed = result->vvs.Apply(*forest, *polys);
+    Status w = WriteFile(out, SerializePolynomialSet(compressed, vars));
+    if (!w.ok()) return Fail(w);
+    std::printf("wrote %s: %zu monomials\n", out, compressed.SizeM());
+  }
+  return 0;
+}
+
+int CmdTradeoff(const Args& args) {
+  const char* in = args.Get("in");
+  const char* forest_path = args.Get("forest");
+  if (in == nullptr || forest_path == nullptr) {
+    std::fprintf(stderr, "tradeoff requires --in and --forest\n");
+    return 2;
+  }
+  VariableTable vars;
+  auto polys_data = ReadFileToString(in);
+  if (!polys_data.ok()) return Fail(polys_data.status());
+  auto polys = DeserializePolynomialSet(*polys_data, vars);
+  if (!polys.ok()) return Fail(polys.status());
+  auto forest_data = ReadFileToString(forest_path);
+  if (!forest_data.ok()) return Fail(forest_data.status());
+  auto forest = DeserializeForest(*forest_data, vars);
+  if (!forest.ok()) return Fail(forest.status());
+
+  auto curve = OptimalTradeoffCurve(*polys, *forest, 0);
+  if (!curve.ok()) return Fail(curve.status());
+  std::printf("%12s %14s\n", "size |P'|_M", "variable loss");
+  for (const TradeoffPoint& p : *curve) {
+    std::printf("%12zu %14zu\n", p.size_m, p.variable_loss);
+  }
+  return 0;
+}
+
+int CmdEvaluate(const Args& args) {
+  const char* in = args.Get("in");
+  if (in == nullptr) {
+    std::fprintf(stderr, "evaluate requires --in\n");
+    return 2;
+  }
+  VariableTable vars;
+  auto polys_data = ReadFileToString(in);
+  if (!polys_data.ok()) return Fail(polys_data.status());
+  auto polys = DeserializePolynomialSet(*polys_data, vars);
+  if (!polys.ok()) return Fail(polys.status());
+
+  Valuation val;
+  for (const std::string& assignment : args.sets) {
+    size_t eq = assignment.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "bad --set '%s' (want var=value)\n",
+                   assignment.c_str());
+      return 2;
+    }
+    std::string name = assignment.substr(0, eq);
+    VariableId id = vars.Find(name);
+    if (id == kInvalidVariable) {
+      std::fprintf(stderr, "unknown variable '%s'\n", name.c_str());
+      return 2;
+    }
+    val.Set(id, std::atof(assignment.substr(eq + 1).c_str()));
+  }
+
+  Timer timer;
+  std::vector<double> answers = val.EvaluateAll(*polys);
+  double elapsed = timer.ElapsedSeconds();
+  for (size_t i = 0; i < answers.size(); ++i) {
+    std::printf("polynomial %zu: %.6f\n", i, answers[i]);
+  }
+  std::printf("(%zu polynomials in %.4fs)\n", answers.size(), elapsed);
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: provabs_cli generate|info|compress|tradeoff|"
+                 "evaluate [flags]\n");
+    return 2;
+  }
+  std::string cmd = argv[1];
+  Args args = ParseArgs(argc, argv, 2);
+  if (cmd == "generate") return CmdGenerate(args);
+  if (cmd == "info") return CmdInfo(args);
+  if (cmd == "compress") return CmdCompress(args);
+  if (cmd == "tradeoff") return CmdTradeoff(args);
+  if (cmd == "evaluate") return CmdEvaluate(args);
+  std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+  return 2;
+}
+
+}  // namespace
+}  // namespace provabs
+
+int main(int argc, char** argv) { return provabs::Run(argc, argv); }
