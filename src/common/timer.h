@@ -8,6 +8,7 @@ namespace provabs {
 /// Wall-clock stopwatch used by the benchmark harnesses.
 class Timer {
  public:
+  /// Starts timing immediately on construction.
   Timer() : start_(Clock::now()) {}
 
   /// Restarts the stopwatch.

@@ -17,12 +17,17 @@ class PolynomialSet {
  public:
   PolynomialSet() = default;
 
+  /// Takes ownership of `polys`; order is preserved (polynomial i stays
+  /// the annotation of output tuple i).
   explicit PolynomialSet(std::vector<Polynomial> polys)
       : polys_(std::move(polys)) {}
 
+  /// Appends one polynomial (one more output tuple's annotation).
   void Add(Polynomial p) { polys_.push_back(std::move(p)); }
 
   const std::vector<Polynomial>& polynomials() const { return polys_; }
+  /// Number of polynomials (query output tuples), NOT monomials — see
+  /// SizeM() for the paper's |P|_M measure.
   size_t count() const { return polys_.size(); }
   const Polynomial& operator[](size_t i) const { return polys_[i]; }
 

@@ -17,21 +17,27 @@ using Value = std::variant<int64_t, double, std::string>;
 /// Column data types matching the Value alternatives.
 enum class ValueType { kInt64 = 0, kDouble = 1, kString = 2 };
 
+/// The ValueType corresponding to the alternative `v` currently holds.
 inline ValueType TypeOf(const Value& v) {
   return static_cast<ValueType>(v.index());
 }
 
+/// Extracts the int64 alternative. CHECK-fails on any other type.
 inline int64_t AsInt(const Value& v) {
   PROVABS_CHECK(std::holds_alternative<int64_t>(v));
   return std::get<int64_t>(v);
 }
 
+/// Extracts a numeric value, widening int64 to double (the one implicit
+/// conversion the engine permits — aggregation sums mixed columns).
+/// CHECK-fails on strings.
 inline double AsDouble(const Value& v) {
   if (std::holds_alternative<double>(v)) return std::get<double>(v);
   PROVABS_CHECK(std::holds_alternative<int64_t>(v));
   return static_cast<double>(std::get<int64_t>(v));
 }
 
+/// Extracts the string alternative. CHECK-fails on any other type.
 inline const std::string& AsString(const Value& v) {
   PROVABS_CHECK(std::holds_alternative<std::string>(v));
   return std::get<std::string>(v);

@@ -14,14 +14,22 @@ namespace provabs {
 /// the provenance serialization format. Little-endian, LEB128 varints.
 class ByteWriter {
  public:
+  /// Appends one raw byte.
   void PutU8(uint8_t v) { buffer_.push_back(static_cast<char>(v)); }
+  /// Appends `v` as an LEB128 varint (1–10 bytes).
   void PutVarint(uint64_t v);
+  /// Appends the 8-byte little-endian IEEE-754 encoding of `v`.
   void PutDouble(double v);
+  /// Appends a varint length prefix followed by the bytes of `s`.
   void PutString(std::string_view s);
+  /// Appends `n` raw bytes from `data`.
   void PutBytes(const void* data, size_t n);
 
+  /// The bytes written so far.
   const std::string& buffer() const { return buffer_; }
+  /// Moves the buffer out; the writer is empty afterwards.
   std::string Release() && { return std::move(buffer_); }
+  /// Number of bytes written so far.
   size_t size() const { return buffer_.size(); }
 
  private:
@@ -33,14 +41,22 @@ class ByteWriter {
 /// bytes may come from disk or the network.
 class ByteReader {
  public:
+  /// Reads from `data`, which must outlive the reader (no copy is taken).
   explicit ByteReader(std::string_view data) : data_(data) {}
 
+  /// Reads one raw byte.
   StatusOr<uint8_t> GetU8();
+  /// Reads an LEB128 varint; kOutOfRange on truncation, kInvalidArgument
+  /// on encodings overflowing 64 bits.
   StatusOr<uint64_t> GetVarint();
+  /// Reads an 8-byte little-endian IEEE-754 double.
   StatusOr<double> GetDouble();
+  /// Reads a varint length prefix and that many bytes.
   StatusOr<std::string> GetString();
 
+  /// Bytes left between the cursor and the end of the buffer.
   size_t remaining() const { return data_.size() - pos_; }
+  /// True once every byte has been consumed.
   bool AtEnd() const { return pos_ == data_.size(); }
 
  private:

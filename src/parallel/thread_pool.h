@@ -25,6 +25,7 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
+  /// Number of worker threads actually started.
   size_t thread_count() const { return workers_.size(); }
 
   /// Enqueues a task.
