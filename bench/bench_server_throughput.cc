@@ -1,0 +1,115 @@
+/// Extension bench: serving-layer throughput. Measures the two effects the
+/// provenance server exists for (ROADMAP "serving layer"): (1) the artifact
+/// cache turning repeat compressions into O(1) lookups, and (2) the
+/// evaluate batcher coalescing concurrent analyst valuations onto one
+/// thread pool versus each request running EvaluateAll alone.
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "core/valuation.h"
+#include "io/serializer.h"
+#include "parallel/thread_pool.h"
+#include "server/provenance_service.h"
+
+namespace provabs::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Serving layer: compression cache and evaluate batching");
+
+  Workload w = MakeTelephonyWorkload();
+  AbstractionForest forest;
+  forest.AddTree(
+      BuildUniformTree(*w.vars, w.tree_leaves, {4, 4}, "SRV_"));
+  const size_t bound = FeasibleBound(w.polys, forest, 0.5);
+
+  ProvenanceService service;
+  LoadRequest load;
+  load.artifact = "bench";
+  load.polys_bytes = SerializePolynomialSet(w.polys, *w.vars);
+  load.forests = {{"default", SerializeForest(forest, *w.vars)}};
+  Response loaded = service.Load(load);
+  if (!loaded.ok()) {
+    std::printf("load failed: %s\n", loaded.message.c_str());
+    return;
+  }
+
+  // (1) Compression: cold DP vs cache hit.
+  CompressRequest compress;
+  compress.artifact = "bench";
+  compress.bound = bound;
+  Timer t_cold;
+  Response cold = service.Compress(compress);
+  double cold_s = t_cold.ElapsedSeconds();
+  constexpr int kHits = 1000;
+  Timer t_hits;
+  for (int i = 0; i < kHits; ++i) service.Compress(compress);
+  double hit_s = t_hits.ElapsedSeconds() / kHits;
+  std::printf("%-28s %14s %16s %10s\n", "compress", "cold[s]",
+              "cache-hit[s]", "speedup");
+  std::printf("%-28s %14.5f %16.8f %9.0fx%s\n", "opt DP", cold_s, hit_s,
+              hit_s > 0 ? cold_s / hit_s : 0.0,
+              cold.ok() ? "" : " (error)");
+
+  // (2) Evaluation: per-request serial loop vs batched concurrent clients.
+  const int kClients = 8;
+  const int kRequestsPerClient = 50;
+  std::vector<Valuation> valuations;
+  for (int c = 0; c < kClients; ++c) {
+    Valuation val;
+    for (VariableId v : w.tree_leaves) val.Set(v, 0.5 + 0.05 * c);
+    valuations.push_back(std::move(val));
+  }
+
+  Timer t_serial;
+  for (int r = 0; r < kRequestsPerClient; ++r) {
+    for (int c = 0; c < kClients; ++c) {
+      auto answers = valuations[c].EvaluateAll(w.polys);
+      (void)answers;
+    }
+  }
+  double serial_s = t_serial.ElapsedSeconds();
+
+  ThreadPool pool(std::thread::hardware_concurrency());
+  EvaluateBatcher batcher(pool);
+  auto shared = std::make_shared<PolynomialSet>(w.polys);
+  Timer t_batched;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        auto answers = batcher.Evaluate(shared, valuations[c]);
+        (void)answers;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  double batched_s = t_batched.ElapsedSeconds();
+
+  const double total = static_cast<double>(kClients) * kRequestsPerClient;
+  std::printf("\n%-28s %14s %16s %10s\n", "evaluate (8 clients x 50)",
+              "total[s]", "req/s", "speedup");
+  std::printf("%-28s %14.4f %16.0f %10s\n", "serial loop", serial_s,
+              total / serial_s, "1x");
+  std::printf("%-28s %14.4f %16.0f %9.1fx\n", "batched (pool)", batched_s,
+              total / batched_s, serial_s / batched_s);
+  EvaluateBatcher::Stats stats = batcher.stats();
+  std::printf("batcher: %llu requests in %llu batches (max batch %llu)\n",
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.batches),
+              static_cast<unsigned long long>(stats.max_batch));
+}
+
+}  // namespace
+}  // namespace provabs::bench
+
+int main() {
+  provabs::bench::Run();
+  return 0;
+}

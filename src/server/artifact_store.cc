@@ -1,0 +1,179 @@
+#include "server/artifact_store.h"
+
+#include "io/byte_stream.h"
+#include "io/serializer.h"
+
+namespace provabs {
+
+size_t ApproxPolynomialSetBytes(const PolynomialSet& polys) {
+  size_t bytes = sizeof(PolynomialSet);
+  for (const Polynomial& p : polys.polynomials()) {
+    bytes += 64;  // Polynomial object + vector headers.
+    for (const Monomial& m : p.monomials()) {
+      bytes += 48 + m.factors().size() * sizeof(Factor);
+    }
+  }
+  return bytes;
+}
+
+namespace {
+
+size_t ApproxArtifactBytes(const Artifact& artifact) {
+  size_t bytes = ApproxPolynomialSetBytes(artifact.polys);
+  bytes += artifact.polys_bytes.size();
+  bytes += artifact.vars->size() * 48;  // interner strings + index entries
+  for (const auto& [name, forest] : artifact.forests) {
+    bytes += name.size() + forest.TotalNodes() * 64;
+  }
+  for (const auto& [name, raw] : artifact.forest_bytes) {
+    bytes += name.size() + raw.size();
+  }
+  return bytes;
+}
+
+}  // namespace
+
+std::string ArtifactStore::ArtifactSlotKey(const std::string& name) {
+  return "a" + name;
+}
+
+std::string ArtifactStore::ResultSlotKey(const ResultKey& key) {
+  // Length-prefixed fields make the encoding injective even when names
+  // contain arbitrary bytes.
+  ByteWriter w;
+  w.PutU8('r');
+  w.PutString(key.artifact);
+  w.PutVarint(key.generation);
+  w.PutString(key.forest);
+  w.PutVarint(key.bound);
+  w.PutString(key.algo);
+  return std::move(w).Release();
+}
+
+StatusOr<std::shared_ptr<const Artifact>> ArtifactStore::Load(
+    const std::string& name, std::string polys_bytes,
+    const std::vector<std::pair<std::string, std::string>>& forests) {
+  // One load at a time: the read-merge-install cycle below must not
+  // interleave with another load of the same artifact (lost update).
+  std::lock_guard<std::mutex> load_lock(load_mutex_);
+  // Forest-only loads rebuild on top of the existing artifact's raw bytes.
+  std::map<std::string, std::string> forest_bytes;
+  if (polys_bytes.empty()) {
+    std::shared_ptr<const Artifact> existing = Get(name);
+    if (existing == nullptr) {
+      return Status::NotFound("artifact '" + name +
+                              "' not loaded (a first load needs polynomials)");
+    }
+    polys_bytes = existing->polys_bytes;
+    forest_bytes = existing->forest_bytes;
+  }
+  for (const auto& [forest_name, bytes] : forests) {
+    forest_bytes[forest_name] = bytes;
+  }
+
+  // Deserialization happens outside the lock: loads are rare but heavy, and
+  // must not stall concurrent evaluate traffic on other artifacts.
+  auto artifact = std::make_shared<Artifact>();
+  artifact->vars = std::make_shared<VariableTable>();
+  auto polys = DeserializePolynomialSet(polys_bytes, *artifact->vars);
+  if (!polys.ok()) return polys.status();
+  artifact->polys = std::move(*polys);
+  artifact->polys_bytes = std::move(polys_bytes);
+  for (auto& [forest_name, bytes] : forest_bytes) {
+    auto forest = DeserializeForest(bytes, *artifact->vars);
+    if (!forest.ok()) return forest.status();
+    artifact->forests.emplace(forest_name, std::move(*forest));
+  }
+  artifact->forest_bytes = std::move(forest_bytes);
+  artifact->approx_bytes = ApproxArtifactBytes(*artifact);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  artifact->generation = next_generation_++;
+  Slot slot;
+  slot.artifact = artifact;
+  slot.bytes = artifact->approx_bytes;
+  InsertSlot(ArtifactSlotKey(name), std::move(slot));
+  return std::shared_ptr<const Artifact>(artifact);
+}
+
+std::shared_ptr<const Artifact> ArtifactStore::Get(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = slots_.find(ArtifactSlotKey(name));
+  if (it == slots_.end()) return nullptr;
+  Touch(it);
+  return it->second.artifact;
+}
+
+std::shared_ptr<const ArtifactStore::CompressedResult>
+ArtifactStore::LookupResult(const ResultKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = slots_.find(ResultSlotKey(key));
+  if (it == slots_.end()) {
+    ++result_misses_;
+    return nullptr;
+  }
+  ++result_hits_;
+  Touch(it);
+  return it->second.result;
+}
+
+std::shared_ptr<const ArtifactStore::CompressedResult>
+ArtifactStore::InsertResult(const ResultKey& key, CompressedResult result) {
+  auto shared = std::make_shared<CompressedResult>(std::move(result));
+  shared->approx_bytes =
+      ApproxPolynomialSetBytes(shared->compressed) + shared->vvs_names.size();
+  std::lock_guard<std::mutex> lock(mutex_);
+  Slot slot;
+  slot.result = shared;
+  slot.bytes = shared->approx_bytes;
+  InsertSlot(ResultSlotKey(key), std::move(slot));
+  return shared;
+}
+
+ArtifactStore::Stats ArtifactStore::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats stats;
+  stats.artifact_count = artifact_count_;
+  stats.result_count = result_count_;
+  stats.cached_bytes = used_bytes_;
+  stats.byte_budget = byte_budget_;
+  stats.result_hits = result_hits_;
+  stats.result_misses = result_misses_;
+  stats.evictions = evictions_;
+  return stats;
+}
+
+void ArtifactStore::Touch(
+    std::unordered_map<std::string, Slot>::iterator it) {
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+}
+
+void ArtifactStore::InsertSlot(const std::string& slot_key, Slot slot) {
+  auto it = slots_.find(slot_key);
+  if (it != slots_.end()) {
+    used_bytes_ -= it->second.bytes;
+    (it->second.artifact != nullptr ? artifact_count_ : result_count_)--;
+    lru_.erase(it->second.lru_it);
+    slots_.erase(it);
+  }
+  lru_.push_front(slot_key);
+  slot.lru_it = lru_.begin();
+  used_bytes_ += slot.bytes;
+  (slot.artifact != nullptr ? artifact_count_ : result_count_)++;
+  slots_.emplace(slot_key, std::move(slot));
+  EvictToBudget();
+}
+
+void ArtifactStore::EvictToBudget() {
+  while (used_bytes_ > byte_budget_ && slots_.size() > 1) {
+    const std::string& victim = lru_.back();
+    auto it = slots_.find(victim);
+    used_bytes_ -= it->second.bytes;
+    (it->second.artifact != nullptr ? artifact_count_ : result_count_)--;
+    slots_.erase(it);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+}  // namespace provabs

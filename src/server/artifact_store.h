@@ -1,0 +1,168 @@
+#ifndef PROVABS_SERVER_ARTIFACT_STORE_H_
+#define PROVABS_SERVER_ARTIFACT_STORE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "abstraction/abstraction_forest.h"
+#include "abstraction/loss.h"
+#include "common/statusor.h"
+#include "core/polynomial_set.h"
+#include "core/variable.h"
+
+namespace provabs {
+
+/// A named, immutable-after-load provenance artifact resident in the server:
+/// the deserialized polynomial set, the abstraction forests defined over it,
+/// and the VariableTable both share (compression requires polynomials and
+/// forest to agree on ids). The raw serialized buffers are retained so a
+/// later forest-only load can rebuild the bundle into a fresh table.
+///
+/// Artifacts are exposed as `shared_ptr<const Artifact>`: once handed out
+/// they are never mutated, so concurrent request threads may read them
+/// without locks, and LRU eviction cannot invalidate an in-flight request.
+struct Artifact {
+  /// Monotonic store-wide load counter; cached compression results embed it
+  /// in their key, so reloading an artifact implicitly invalidates them.
+  uint64_t generation = 0;
+  std::shared_ptr<VariableTable> vars;
+  PolynomialSet polys;
+  std::string polys_bytes;
+  std::map<std::string, AbstractionForest> forests;
+  std::map<std::string, std::string> forest_bytes;
+  size_t approx_bytes = 0;
+
+  /// nullptr when no forest of that name was loaded.
+  const AbstractionForest* FindForest(const std::string& name) const {
+    auto it = forests.find(name);
+    return it == forests.end() ? nullptr : &it->second;
+  }
+};
+
+/// Rough resident-size estimate of a deserialized polynomial set, used for
+/// byte-budget accounting (exact heap accounting is not worth the
+/// bookkeeping; the estimate is within a small constant of malloc reality).
+size_t ApproxPolynomialSetBytes(const PolynomialSet& polys);
+
+/// Byte-budgeted LRU cache over two kinds of entries: deserialized
+/// artifacts (keyed by name) and compression results (keyed by artifact
+/// generation + forest + bound + algo). Repeat loads skip deserialization;
+/// repeat compressions skip the DP entirely — the heart of the paper's
+/// "compress once, evaluate interactively" deployment story.
+///
+/// Eviction walks a single recency list across both entry kinds, dropping
+/// the least-recently-used entry until the budget is met; the most recent
+/// entry is never evicted, so a budget smaller than one artifact still
+/// serves that artifact (it just caches nothing else). All methods are
+/// thread-safe.
+class ArtifactStore {
+ public:
+  explicit ArtifactStore(size_t byte_budget) : byte_budget_(byte_budget) {}
+
+  ArtifactStore(const ArtifactStore&) = delete;
+  ArtifactStore& operator=(const ArtifactStore&) = delete;
+
+  /// Deserializes and installs artifact `name`, replacing any previous
+  /// version. `forests` pairs forest names with serialized forest buffers.
+  /// When `polys_bytes` is empty, the artifact must already exist: its
+  /// polynomials and previously loaded forests are rebuilt into a fresh
+  /// VariableTable and the new forests merged in.
+  StatusOr<std::shared_ptr<const Artifact>> Load(
+      const std::string& name, std::string polys_bytes,
+      const std::vector<std::pair<std::string, std::string>>& forests);
+
+  /// Fetches a loaded artifact (refreshing its recency), or nullptr.
+  std::shared_ptr<const Artifact> Get(const std::string& name);
+
+  /// Identity of one compression run; `generation` ties the entry to the
+  /// artifact version it was computed from.
+  struct ResultKey {
+    std::string artifact;
+    uint64_t generation = 0;
+    std::string forest;
+    uint64_t bound = 0;
+    std::string algo;
+  };
+
+  /// A cached compression: the loss report plus the compressed polynomial
+  /// set (kept so evaluate-over-compressed requests skip both the DP and
+  /// the substitution).
+  struct CompressedResult {
+    LossReport loss;
+    bool adequate = false;
+    std::string vvs_names;
+    PolynomialSet compressed;
+    size_t approx_bytes = 0;
+  };
+
+  /// Cache lookup; counts a hit or miss. nullptr on miss.
+  std::shared_ptr<const CompressedResult> LookupResult(const ResultKey& key);
+
+  /// Inserts a computed result (last-writer-wins on racing identical keys)
+  /// and returns the cached object, so the caller shares the allocation
+  /// instead of copying the compressed polynomial set.
+  std::shared_ptr<const CompressedResult> InsertResult(
+      const ResultKey& key, CompressedResult result);
+
+  struct Stats {
+    uint64_t artifact_count = 0;
+    uint64_t result_count = 0;
+    uint64_t cached_bytes = 0;
+    uint64_t byte_budget = 0;
+    uint64_t result_hits = 0;
+    uint64_t result_misses = 0;
+    uint64_t evictions = 0;
+  };
+  Stats stats() const;
+
+ private:
+  /// Cache slots are keyed by a tag byte + encoded identity so artifact and
+  /// result entries share one map and one recency list.
+  struct Slot {
+    std::shared_ptr<const Artifact> artifact;        // exactly one of these
+    std::shared_ptr<const CompressedResult> result;  // two is non-null
+    size_t bytes = 0;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  static std::string ArtifactSlotKey(const std::string& name);
+  static std::string ResultSlotKey(const ResultKey& key);
+
+  /// Moves `it`'s slot to the front of the recency list. Requires mutex_.
+  void Touch(std::unordered_map<std::string, Slot>::iterator it);
+  /// Installs/replaces a slot and evicts down to budget. Requires mutex_.
+  void InsertSlot(const std::string& slot_key, Slot slot);
+  /// Evicts LRU entries until within budget (keeping ≥1 entry). Requires
+  /// mutex_.
+  void EvictToBudget();
+
+  /// Serializes whole Load() cycles (read existing → deserialize → install)
+  /// so concurrent loads of one artifact cannot lose each other's forest
+  /// merges. Distinct from mutex_ on purpose: deserialization is slow, and
+  /// Get/LookupResult traffic must not stall behind it.
+  std::mutex load_mutex_;
+  mutable std::mutex mutex_;
+  std::list<std::string> lru_;  // front = most recently used slot key
+  std::unordered_map<std::string, Slot> slots_;
+  size_t byte_budget_;
+  size_t used_bytes_ = 0;
+  // Counts are maintained incrementally: stats() runs on every response,
+  // so it must not walk the slot map under the global mutex.
+  uint64_t artifact_count_ = 0;
+  uint64_t result_count_ = 0;
+  uint64_t next_generation_ = 1;
+  uint64_t result_hits_ = 0;
+  uint64_t result_misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace provabs
+
+#endif  // PROVABS_SERVER_ARTIFACT_STORE_H_

@@ -1,0 +1,86 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace provabs {
+
+StatusOr<Client> Client::Connect(const std::string& host, uint16_t port) {
+  std::string numeric = host == "localhost" ? "127.0.0.1" : host;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, numeric.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not a numeric IPv4 address: " + host);
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket() failed: ") +
+                            std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s = Status::NotFound("cannot connect to " + numeric + ":" +
+                                std::to_string(port) + ": " +
+                                std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  return Client(fd);
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Client::Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+StatusOr<Response> Client::Call(const std::string& payload) {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("client is not connected");
+  }
+  PROVABS_RETURN_IF_ERROR(WriteFrame(fd_, payload));
+  auto reply = ReadFrame(fd_);
+  if (!reply.ok()) return reply.status();
+  return DecodeResponse(*reply);
+}
+
+StatusOr<Response> Client::Load(const LoadRequest& req) {
+  return Call(EncodeLoadRequest(req));
+}
+
+StatusOr<Response> Client::Compress(const CompressRequest& req) {
+  return Call(EncodeCompressRequest(req));
+}
+
+StatusOr<Response> Client::Evaluate(const EvaluateRequest& req) {
+  return Call(EncodeEvaluateRequest(req));
+}
+
+StatusOr<Response> Client::Info(const InfoRequest& req) {
+  return Call(EncodeInfoRequest(req));
+}
+
+StatusOr<Response> Client::Tradeoff(const TradeoffRequest& req) {
+  return Call(EncodeTradeoffRequest(req));
+}
+
+StatusOr<Response> Client::Shutdown(const ShutdownRequest& req) {
+  return Call(EncodeShutdownRequest(req));
+}
+
+}  // namespace provabs

@@ -1,0 +1,49 @@
+#ifndef PROVABS_SERVER_CLIENT_H_
+#define PROVABS_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/statusor.h"
+#include "server/wire_protocol.h"
+
+namespace provabs {
+
+/// Blocking client for the provabs wire protocol: one TCP connection,
+/// synchronous request/response. Used by the `provabs_cli remote-*`
+/// subcommands and the end-to-end tests.
+///
+/// Transport and decode failures surface as the StatusOr error; application
+/// errors (unknown artifact, infeasible bound, ...) arrive as a decoded
+/// Response whose `code`/`message` carry the server-side Status.
+class Client {
+ public:
+  /// Connects to `host`:`port`. `host` must be a numeric IPv4 address, or
+  /// "localhost" (mapped to 127.0.0.1).
+  static StatusOr<Client> Connect(const std::string& host, uint16_t port);
+
+  ~Client();
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  StatusOr<Response> Load(const LoadRequest& req);
+  StatusOr<Response> Compress(const CompressRequest& req);
+  StatusOr<Response> Evaluate(const EvaluateRequest& req);
+  StatusOr<Response> Info(const InfoRequest& req);
+  StatusOr<Response> Tradeoff(const TradeoffRequest& req);
+  StatusOr<Response> Shutdown(const ShutdownRequest& req);
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  /// Writes one encoded request frame and reads back the response.
+  StatusOr<Response> Call(const std::string& payload);
+
+  int fd_ = -1;
+};
+
+}  // namespace provabs
+
+#endif  // PROVABS_SERVER_CLIENT_H_

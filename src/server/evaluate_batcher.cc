@@ -1,0 +1,61 @@
+#include "server/evaluate_batcher.h"
+
+#include <algorithm>
+
+namespace provabs {
+
+std::vector<double> EvaluateBatcher::Evaluate(
+    std::shared_ptr<const PolynomialSet> polys, Valuation val) {
+  auto item = std::make_shared<Pending>();
+  item->polys = std::move(polys);
+  item->val = std::move(val);
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  queue_.push_back(item);
+  ++stats_.requests;
+  while (!item->done) {
+    if (leader_active_) {
+      // A leader is running a batch; wait until our slot is filled, or
+      // until leadership frees up and it is our turn to run the next
+      // batch (a leader serves exactly one batch, so a continuous stream
+      // of arrivals cannot trap one caller in the leader role).
+      done_cv_.wait(lock, [&] { return item->done || !leader_active_; });
+      continue;
+    }
+    leader_active_ = true;
+    std::vector<std::shared_ptr<Pending>> batch = std::move(queue_);
+    queue_.clear();
+    ++stats_.batches;
+    stats_.max_batch = std::max<uint64_t>(stats_.max_batch, batch.size());
+    lock.unlock();
+
+    // Flatten the batch into (request, polynomial) work units so the pool
+    // splits the union contiguously regardless of per-request sizes.
+    std::vector<size_t> offsets(batch.size() + 1, 0);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      batch[i]->out.resize(batch[i]->polys->count());
+      offsets[i + 1] = offsets[i] + batch[i]->polys->count();
+    }
+    pool_.ParallelFor(offsets.back(), [&](size_t unit) {
+      size_t req = static_cast<size_t>(
+          std::upper_bound(offsets.begin(), offsets.end(), unit) -
+          offsets.begin() - 1);
+      size_t poly = unit - offsets[req];
+      batch[req]->out[poly] =
+          batch[req]->val.Evaluate((*batch[req]->polys)[poly]);
+    });
+
+    lock.lock();
+    for (const auto& done : batch) done->done = true;
+    leader_active_ = false;
+    done_cv_.notify_all();
+  }
+  return std::move(item->out);
+}
+
+EvaluateBatcher::Stats EvaluateBatcher::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace provabs

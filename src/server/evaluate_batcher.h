@@ -1,0 +1,72 @@
+#ifndef PROVABS_SERVER_EVALUATE_BATCHER_H_
+#define PROVABS_SERVER_EVALUATE_BATCHER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/polynomial_set.h"
+#include "core/valuation.h"
+#include "parallel/thread_pool.h"
+
+namespace provabs {
+
+/// Coalesces concurrent what-if evaluations onto one ThreadPool.
+///
+/// The serving workload is many analysts firing small valuation requests at
+/// a resident compressed artifact (the Fig. 10 interaction, repeated). Run
+/// naively, each request would wake the pool for a single pass over the
+/// polynomials — and ThreadPool::Wait() waits for *all* in-flight tasks, so
+/// concurrent ParallelFor calls from different connection threads would
+/// stall on each other's work. The batcher turns that interference into
+/// throughput: the first caller becomes the batch leader, drains every
+/// request queued so far (its own included), and runs their union as a
+/// single ParallelFor over all (request, polynomial) pairs; callers that
+/// arrive while a batch is running queue up for the next leader. Followers
+/// block until their slot is filled.
+///
+/// One pool wake-up and one contiguous work split amortize scheduling over
+/// the whole batch, and requests against the same polynomial set share
+/// cache locality within a chunk.
+class EvaluateBatcher {
+ public:
+  explicit EvaluateBatcher(ThreadPool& pool) : pool_(pool) {}
+
+  EvaluateBatcher(const EvaluateBatcher&) = delete;
+  EvaluateBatcher& operator=(const EvaluateBatcher&) = delete;
+
+  /// Evaluates every polynomial of `polys` under `val`; blocks until done.
+  /// Thread-safe; concurrent callers are coalesced. The shared_ptr keeps
+  /// the polynomial set alive across the batch even if the artifact store
+  /// evicts it mid-request.
+  std::vector<double> Evaluate(std::shared_ptr<const PolynomialSet> polys,
+                               Valuation val);
+
+  struct Stats {
+    uint64_t requests = 0;  ///< Evaluate() calls served.
+    uint64_t batches = 0;   ///< ParallelFor rounds run.
+    uint64_t max_batch = 0; ///< Largest number of requests in one round.
+  };
+  Stats stats() const;
+
+ private:
+  struct Pending {
+    std::shared_ptr<const PolynomialSet> polys;
+    Valuation val;
+    std::vector<double> out;
+    bool done = false;
+  };
+
+  ThreadPool& pool_;
+  mutable std::mutex mutex_;
+  std::condition_variable done_cv_;
+  std::vector<std::shared_ptr<Pending>> queue_;
+  bool leader_active_ = false;
+  Stats stats_;
+};
+
+}  // namespace provabs
+
+#endif  // PROVABS_SERVER_EVALUATE_BATCHER_H_

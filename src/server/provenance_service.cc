@@ -1,0 +1,309 @@
+#include "server/provenance_service.h"
+
+#include <memory>
+#include <utility>
+
+#include "algo/greedy_multi_tree.h"
+#include "algo/optimal_single_tree.h"
+#include "algo/tradeoff_curve.h"
+
+namespace provabs {
+
+namespace {
+
+void SetError(Response& resp, const Status& status) {
+  resp.code = status.code();
+  resp.message = status.message();
+}
+
+}  // namespace
+
+ProvenanceService::ProvenanceService(const ServiceOptions& options)
+    : store_(options.cache_bytes),
+      pool_(options.eval_threads != 0
+                ? options.eval_threads
+                : static_cast<size_t>(std::thread::hardware_concurrency())),
+      batcher_(pool_) {}
+
+void ProvenanceService::AttachStats(Response& resp) {
+  ArtifactStore::Stats store_stats = store_.stats();
+  resp.stats.artifact_count = store_stats.artifact_count;
+  resp.stats.result_count = store_stats.result_count;
+  resp.stats.cached_bytes = store_stats.cached_bytes;
+  resp.stats.byte_budget = store_stats.byte_budget;
+  resp.stats.result_hits = store_stats.result_hits;
+  resp.stats.result_misses = store_stats.result_misses;
+  resp.stats.evictions = store_stats.evictions;
+  EvaluateBatcher::Stats batch_stats = batcher_.stats();
+  resp.stats.eval_batches = batch_stats.batches;
+  resp.stats.eval_requests = batch_stats.requests;
+}
+
+Response ProvenanceService::Load(const LoadRequest& req) {
+  Response resp;
+  resp.request_kind = MessageKind::kLoadRequest;
+  if (req.artifact.empty()) {
+    SetError(resp, Status::InvalidArgument("artifact name must be non-empty"));
+    AttachStats(resp);
+    return resp;
+  }
+  auto artifact = store_.Load(req.artifact, req.polys_bytes, req.forests);
+  if (!artifact.ok()) {
+    SetError(resp, artifact.status());
+    AttachStats(resp);
+    return resp;
+  }
+  resp.generation = (*artifact)->generation;
+  resp.poly_count = (*artifact)->polys.count();
+  resp.monomial_count = (*artifact)->polys.SizeM();
+  resp.variable_count = (*artifact)->polys.SizeV();
+  AttachStats(resp);
+  return resp;
+}
+
+std::shared_ptr<const ArtifactStore::CompressedResult>
+ProvenanceService::CompressInternal(
+    const std::shared_ptr<const Artifact>& artifact,
+    const std::string& artifact_name, const std::string& forest_name,
+    const std::string& algo, uint64_t bound, Response& resp) {
+  const AbstractionForest* forest = artifact->FindForest(forest_name);
+  if (forest == nullptr) {
+    SetError(resp, Status::NotFound("artifact '" + artifact_name +
+                                    "' has no forest '" + forest_name + "'"));
+    return nullptr;
+  }
+  if (algo != "opt" && algo != "greedy") {
+    SetError(resp, Status::InvalidArgument("unknown algorithm '" + algo +
+                                           "' (want opt or greedy)"));
+    return nullptr;
+  }
+
+  ArtifactStore::ResultKey key{artifact_name, artifact->generation,
+                               forest_name, bound, algo};
+  std::shared_ptr<const ArtifactStore::CompressedResult> cached =
+      store_.LookupResult(key);
+  if (cached == nullptr) {
+    // The DP runs outside any store lock; two racing identical requests at
+    // worst both compute and the second insert wins.
+    StatusOr<CompressionResult> result =
+        algo == "greedy"
+            ? GreedyMultiTree(artifact->polys, *forest, bound)
+            : OptimalSingleTree(artifact->polys, *forest, 0, bound);
+    if (!result.ok()) {
+      SetError(resp, result.status());
+      return nullptr;
+    }
+    ArtifactStore::CompressedResult computed;
+    computed.loss = result->loss;
+    computed.adequate = result->adequate;
+    computed.vvs_names = result->vvs.ToString(*forest, *artifact->vars);
+    computed.compressed = result->vvs.Apply(*forest, artifact->polys);
+    cached = store_.InsertResult(key, std::move(computed));
+    resp.cache_hit = false;
+  } else {
+    resp.cache_hit = true;
+  }
+  resp.monomial_loss = cached->loss.monomial_loss;
+  resp.variable_loss = cached->loss.variable_loss;
+  resp.adequate = cached->adequate;
+  resp.vvs = cached->vvs_names;
+  resp.compressed_monomials = cached->compressed.SizeM();
+  return cached;
+}
+
+Response ProvenanceService::Compress(const CompressRequest& req) {
+  Response resp;
+  resp.request_kind = MessageKind::kCompressRequest;
+  std::shared_ptr<const Artifact> artifact = store_.Get(req.artifact);
+  if (artifact == nullptr) {
+    SetError(resp,
+             Status::NotFound("artifact '" + req.artifact + "' not loaded"));
+  } else {
+    CompressInternal(artifact, req.artifact, req.forest, req.algo, req.bound,
+                     resp);
+  }
+  AttachStats(resp);
+  return resp;
+}
+
+Response ProvenanceService::Evaluate(const EvaluateRequest& req) {
+  Response resp;
+  resp.request_kind = MessageKind::kEvaluateRequest;
+  std::shared_ptr<const Artifact> artifact = store_.Get(req.artifact);
+  if (artifact == nullptr) {
+    SetError(resp,
+             Status::NotFound("artifact '" + req.artifact + "' not loaded"));
+    AttachStats(resp);
+    return resp;
+  }
+
+  // Aliasing shared_ptrs keep the owning object (artifact or cached
+  // result) alive for the duration of the batched evaluation.
+  std::shared_ptr<const PolynomialSet> target;
+  if (req.compressed) {
+    std::shared_ptr<const ArtifactStore::CompressedResult> result =
+        CompressInternal(artifact, req.artifact, req.forest, req.algo,
+                         req.bound, resp);
+    if (result == nullptr) {
+      AttachStats(resp);
+      return resp;
+    }
+    target = std::shared_ptr<const PolynomialSet>(result,
+                                                  &result->compressed);
+  } else {
+    target =
+        std::shared_ptr<const PolynomialSet>(artifact, &artifact->polys);
+  }
+
+  // Assignments are validated against the polynomials actually being
+  // evaluated: setting a variable the compression abstracted away would
+  // silently have no effect, and a silently wrong what-if answer is worse
+  // than an error (the offline CLI rejects it the same way, because a
+  // compressed artifact's buffer only carries surviving variables).
+  Valuation val;
+  std::unordered_set<VariableId> present;
+  if (!req.assignments.empty()) present = target->Variables();
+  for (const auto& [name, value] : req.assignments) {
+    VariableId id = artifact->vars->Find(name);
+    if (id == kInvalidVariable || present.count(id) == 0) {
+      SetError(resp,
+               Status::NotFound(
+                   req.compressed
+                       ? "variable '" + name +
+                             "' does not occur in the compressed view "
+                             "(set its surviving meta-variable instead)"
+                       : "unknown variable '" + name + "'"));
+      AttachStats(resp);
+      return resp;
+    }
+    val.Set(id, value);
+  }
+  resp.values = batcher_.Evaluate(std::move(target), std::move(val));
+  AttachStats(resp);
+  return resp;
+}
+
+Response ProvenanceService::Info(const InfoRequest& req) {
+  Response resp;
+  resp.request_kind = MessageKind::kInfoRequest;
+  if (!req.artifact.empty()) {
+    std::shared_ptr<const Artifact> artifact = store_.Get(req.artifact);
+    if (artifact == nullptr) {
+      SetError(resp,
+               Status::NotFound("artifact '" + req.artifact + "' not loaded"));
+      AttachStats(resp);
+      return resp;
+    }
+    resp.generation = artifact->generation;
+    resp.poly_count = artifact->polys.count();
+    resp.monomial_count = artifact->polys.SizeM();
+    resp.variable_count = artifact->polys.SizeV();
+  }
+  AttachStats(resp);
+  return resp;
+}
+
+Response ProvenanceService::Tradeoff(const TradeoffRequest& req) {
+  Response resp;
+  resp.request_kind = MessageKind::kTradeoffRequest;
+  std::shared_ptr<const Artifact> artifact = store_.Get(req.artifact);
+  if (artifact == nullptr) {
+    SetError(resp,
+             Status::NotFound("artifact '" + req.artifact + "' not loaded"));
+    AttachStats(resp);
+    return resp;
+  }
+  const AbstractionForest* forest = artifact->FindForest(req.forest);
+  if (forest == nullptr) {
+    SetError(resp, Status::NotFound("artifact '" + req.artifact +
+                                    "' has no forest '" + req.forest + "'"));
+    AttachStats(resp);
+    return resp;
+  }
+  auto curve = OptimalTradeoffCurve(artifact->polys, *forest, 0);
+  if (!curve.ok()) {
+    SetError(resp, curve.status());
+    AttachStats(resp);
+    return resp;
+  }
+  resp.points = std::move(*curve);
+  AttachStats(resp);
+  return resp;
+}
+
+std::string ProvenanceService::HandleFrame(std::string_view payload,
+                                           bool* shutdown) {
+  Response resp;
+  StatusOr<MessageKind> kind = PeekMessageKind(payload);
+  if (!kind.ok()) {
+    SetError(resp, kind.status());
+    return EncodeResponse(resp);
+  }
+  // On a decode failure the decoder's Status is forwarded to the client —
+  // "corrupt element count" vs "buffer truncated" matters when debugging
+  // version skew or a mangled frame.
+  Status decode_error = Status::OK();
+  switch (*kind) {
+    case MessageKind::kLoadRequest: {
+      auto req = DecodeLoadRequest(payload);
+      if (!req.ok()) {
+        decode_error = req.status();
+        break;
+      }
+      return EncodeResponse(Load(*req));
+    }
+    case MessageKind::kCompressRequest: {
+      auto req = DecodeCompressRequest(payload);
+      if (!req.ok()) {
+        decode_error = req.status();
+        break;
+      }
+      return EncodeResponse(Compress(*req));
+    }
+    case MessageKind::kEvaluateRequest: {
+      auto req = DecodeEvaluateRequest(payload);
+      if (!req.ok()) {
+        decode_error = req.status();
+        break;
+      }
+      return EncodeResponse(Evaluate(*req));
+    }
+    case MessageKind::kInfoRequest: {
+      auto req = DecodeInfoRequest(payload);
+      if (!req.ok()) {
+        decode_error = req.status();
+        break;
+      }
+      return EncodeResponse(Info(*req));
+    }
+    case MessageKind::kTradeoffRequest: {
+      auto req = DecodeTradeoffRequest(payload);
+      if (!req.ok()) {
+        decode_error = req.status();
+        break;
+      }
+      return EncodeResponse(Tradeoff(*req));
+    }
+    case MessageKind::kShutdownRequest: {
+      auto req = DecodeShutdownRequest(payload);
+      if (!req.ok()) {
+        decode_error = req.status();
+        break;
+      }
+      if (shutdown != nullptr) *shutdown = true;
+      resp.request_kind = MessageKind::kShutdownRequest;
+      AttachStats(resp);
+      return EncodeResponse(resp);
+    }
+    case MessageKind::kResponse:
+      SetError(resp, Status::InvalidArgument(
+                         "a response message is not a valid request"));
+      return EncodeResponse(resp);
+  }
+  resp.request_kind = *kind;
+  SetError(resp, Status::InvalidArgument("malformed request payload: " +
+                                         decode_error.ToString()));
+  return EncodeResponse(resp);
+}
+
+}  // namespace provabs

@@ -1,0 +1,74 @@
+#ifndef PROVABS_SERVER_PROVENANCE_SERVICE_H_
+#define PROVABS_SERVER_PROVENANCE_SERVICE_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "parallel/thread_pool.h"
+#include "server/artifact_store.h"
+#include "server/evaluate_batcher.h"
+#include "server/wire_protocol.h"
+
+namespace provabs {
+
+struct ServiceOptions {
+  /// Byte budget of the artifact + result cache.
+  size_t cache_bytes = size_t{256} << 20;  // 256 MiB
+  /// Worker threads for batched evaluation; 0 = hardware concurrency.
+  size_t eval_threads = 0;
+};
+
+/// The serving core: load / compress / tradeoff / evaluate over named
+/// artifacts, decoupled from any transport so it is unit-testable without
+/// sockets. `tools/provabs_server` wraps it in a socket accept loop; the
+/// CLI's offline pipeline and the server share the same algorithm layer
+/// underneath (algo/, core/, io/).
+///
+/// All handlers are thread-safe and may be called concurrently from many
+/// connection threads. Application errors never surface as C++ failures:
+/// every handler returns a Response whose code/message carry the Status.
+class ProvenanceService {
+ public:
+  explicit ProvenanceService(const ServiceOptions& options = {});
+
+  ProvenanceService(const ProvenanceService&) = delete;
+  ProvenanceService& operator=(const ProvenanceService&) = delete;
+
+  Response Load(const LoadRequest& req);
+  Response Compress(const CompressRequest& req);
+  Response Evaluate(const EvaluateRequest& req);
+  Response Info(const InfoRequest& req);
+  Response Tradeoff(const TradeoffRequest& req);
+
+  /// Decodes one request payload, dispatches it, and encodes the response.
+  /// Malformed payloads yield an encoded error response (the connection can
+  /// keep going). Sets `*shutdown` when the payload was a shutdown request.
+  std::string HandleFrame(std::string_view payload, bool* shutdown);
+
+  ArtifactStore& store() { return store_; }
+  EvaluateBatcher& batcher() { return batcher_; }
+
+ private:
+  /// Fills the stats section of `resp` from store + batcher counters.
+  void AttachStats(Response& resp);
+  /// Shared by Compress and Evaluate-over-compressed: returns the cached
+  /// result or runs the DP and caches it, against the caller's `artifact`
+  /// snapshot (never re-fetched, so a concurrent reload cannot swap the
+  /// VariableTable out from under ids the caller already resolved). On
+  /// success fills the compress section of `resp` and returns the result;
+  /// on failure fills code/message and returns nullptr.
+  std::shared_ptr<const ArtifactStore::CompressedResult> CompressInternal(
+      const std::shared_ptr<const Artifact>& artifact,
+      const std::string& artifact_name, const std::string& forest_name,
+      const std::string& algo, uint64_t bound, Response& resp);
+
+  ArtifactStore store_;
+  ThreadPool pool_;
+  EvaluateBatcher batcher_;
+};
+
+}  // namespace provabs
+
+#endif  // PROVABS_SERVER_PROVENANCE_SERVICE_H_

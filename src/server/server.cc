@@ -1,0 +1,170 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "server/wire_protocol.h"
+
+namespace provabs {
+
+Server::Server(ProvenanceService& service, const ServerOptions& options)
+    : service_(service), options_(options) {}
+
+Server::~Server() {
+  Shutdown();
+  Wait();
+}
+
+Status Server::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("socket() failed: ") +
+                            std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("not a numeric IPv4 address: " +
+                                   options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status s = Status::Internal("bind(" + options_.host + ":" +
+                                std::to_string(options_.port) +
+                                ") failed: " + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) != 0) {
+    Status s = Status::Internal(std::string("getsockname() failed: ") +
+                                std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, 64) != 0) {
+    Status s = Status::Internal(std::string("listen() failed: ") +
+                                std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void Server::AcceptLoop() {
+  while (!shutting_down_.load()) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // Transient pressure (fd exhaustion, client reset mid-handshake)
+      // must not permanently kill the accept loop — back off and retry.
+      if (errno == ECONNABORTED || errno == EMFILE || errno == ENFILE ||
+          errno == ENOBUFS || errno == ENOMEM) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
+      break;  // Listener was shut down (or is irrecoverably broken).
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (shutting_down_.load()) {
+        ::close(fd);
+        break;
+      }
+      open_fds_.insert(fd);
+      uint64_t conn_id = next_conn_id_++;
+      conn_threads_.emplace(
+          conn_id, std::thread([this, fd, conn_id] {
+            ServeConnection(fd, conn_id);
+          }));
+    }
+    ReapFinishedThreads();
+  }
+}
+
+void Server::ReapFinishedThreads() {
+  std::vector<std::thread> finished;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    finished.swap(finished_threads_);
+  }
+  for (std::thread& t : finished) t.join();
+}
+
+void Server::ServeConnection(int fd, uint64_t conn_id) {
+  for (;;) {
+    StatusOr<std::string> frame = ReadFrame(fd);
+    if (!frame.ok()) break;  // Clean close, mid-frame EOF, or socket error.
+    bool shutdown = false;
+    std::string reply = service_.HandleFrame(*frame, &shutdown);
+    Status written = WriteFrame(fd, reply);
+    if (shutdown) {
+      // Honor the shutdown even when the goodbye response failed to send.
+      Shutdown();
+      break;
+    }
+    if (!written.ok()) break;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  open_fds_.erase(fd);
+  ::close(fd);
+  // Park this thread's own handle for the reaper; Wait() may already have
+  // claimed it (the map entry is then gone), in which case Wait joins us.
+  auto self = conn_threads_.find(conn_id);
+  if (self != conn_threads_.end()) {
+    finished_threads_.push_back(std::move(self->second));
+    conn_threads_.erase(self);
+  }
+}
+
+void Server::Shutdown() {
+  if (shutting_down_.exchange(true)) return;
+  // Unblock accept(); the fd itself is closed after the accept thread has
+  // been joined (closing here would race a concurrent accept()).
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  // Unblock connection threads parked in ReadFrame. Only ::shutdown, never
+  // ::close — each fd is closed exactly once by its owning thread.
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (int fd : open_fds_) ::shutdown(fd, SHUT_RDWR);
+}
+
+void Server::Wait() {
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    threads.swap(finished_threads_);
+    for (auto& [id, thread] : conn_threads_) {
+      threads.push_back(std::move(thread));
+    }
+    conn_threads_.clear();
+  }
+  for (std::thread& t : threads) t.join();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!joined_) {
+    joined_ = true;
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+  }
+}
+
+}  // namespace provabs

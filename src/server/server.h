@@ -1,0 +1,84 @@
+#ifndef PROVABS_SERVER_SERVER_H_
+#define PROVABS_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "server/provenance_service.h"
+
+namespace provabs {
+
+struct ServerOptions {
+  /// Numeric IPv4 address to bind; analysts connect over loopback in the
+  /// paper's single-site deployment, wider binds are for LAN serving.
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+};
+
+/// Socket front end of the serving subsystem: accepts connections on a
+/// loopback (or LAN) TCP port and speaks the length-prefixed wire protocol,
+/// one thread per connection, all dispatching into a shared
+/// ProvenanceService. The service owns all state; the server owns only
+/// sockets and threads, so unit tests can exercise the service without any
+/// of this file.
+class Server {
+ public:
+  /// `service` must outlive the server.
+  Server(ProvenanceService& service, const ServerOptions& options);
+
+  /// Shuts down and joins all threads.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and starts the accept loop. Call once.
+  Status Start();
+
+  /// The actually bound port (useful with options.port = 0).
+  uint16_t port() const { return port_; }
+
+  /// Blocks until the server has shut down (via Shutdown() or a wire
+  /// shutdown request) and all connection threads have exited.
+  void Wait();
+
+  /// Stops accepting, unblocks in-flight reads, and marks the server
+  /// stopped. Idempotent; safe to call from a connection thread.
+  void Shutdown();
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd, uint64_t conn_id);
+  /// Joins threads whose connections have already ended (they park their
+  /// handles in finished_threads_ — a thread cannot join itself). Called
+  /// from the accept loop so a long-lived daemon does not accumulate one
+  /// exited-but-joinable thread per past connection. Requires mutex_ NOT
+  /// held.
+  void ReapFinishedThreads();
+
+  ProvenanceService& service_;
+  ServerOptions options_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> shutting_down_{false};
+
+  std::mutex mutex_;
+  std::thread accept_thread_;
+  uint64_t next_conn_id_ = 0;                         // guarded by mutex_
+  std::unordered_map<uint64_t, std::thread> conn_threads_;  // guarded
+  std::vector<std::thread> finished_threads_;         // guarded by mutex_
+  std::unordered_set<int> open_fds_;                  // guarded by mutex_
+  bool joined_ = false;                               // guarded by mutex_
+};
+
+}  // namespace provabs
+
+#endif  // PROVABS_SERVER_SERVER_H_

@@ -1,0 +1,186 @@
+#ifndef PROVABS_SERVER_WIRE_PROTOCOL_H_
+#define PROVABS_SERVER_WIRE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "algo/tradeoff_curve.h"
+#include "common/status.h"
+#include "common/statusor.h"
+
+namespace provabs {
+
+/// Wire protocol of the provenance-serving subsystem.
+///
+/// The paper's deployment story (§1, "Offline vs. Online Compression")
+/// compresses provenance once on strong hardware; analysts then run
+/// interactive what-if evaluations against the compact artifact. The
+/// long-lived `provabs_server` keeps deserialized artifacts and compressed
+/// results resident so those interactions never pay process startup or the
+/// compression DP again. This header defines the messages exchanged between
+/// `provabs_cli` remote subcommands and the server.
+///
+/// Framing on the socket:
+///
+///   [u32 little-endian payload length] [payload]
+///
+/// Each payload reuses the `io/serializer.h` "PVAB" conventions:
+///
+///   [magic "PVAB"] [version u8] [kind u8] [body]
+///
+/// Request kinds occupy 16..31 and responses 32..47, disjoint from the
+/// artifact kinds (1..4) of io/serializer.cc, so a stored artifact can never
+/// be mistaken for a protocol message. All decoders are bounds-checked and
+/// return `Status` errors on malformed input; they never abort (the bytes
+/// come from the network).
+
+enum class MessageKind : uint8_t {
+  kLoadRequest = 16,
+  kCompressRequest = 17,
+  kEvaluateRequest = 18,
+  kInfoRequest = 19,
+  kTradeoffRequest = 20,
+  kShutdownRequest = 21,
+  kResponse = 32,
+};
+
+/// Installs (or replaces) a named artifact on the server. `polys_bytes` is a
+/// serialized PolynomialSet buffer (SerializePolynomialSet); `forests` pairs
+/// a forest name with a serialized AbstractionForest buffer. When
+/// `polys_bytes` is empty the artifact must already exist and the forests
+/// are merged into it (the server rebuilds from its retained raw bytes).
+struct LoadRequest {
+  std::string artifact;
+  std::string polys_bytes;
+  std::vector<std::pair<std::string, std::string>> forests;
+};
+
+/// Compresses a loaded artifact under monomial bound `bound` using forest
+/// `forest` ("default" when loaded unnamed). `algo` is "opt" or "greedy".
+/// Results are cached server-side keyed by (artifact generation, forest,
+/// bound, algo); a repeat request is answered without re-running the DP and
+/// the response carries `cache_hit = true`.
+struct CompressRequest {
+  std::string artifact;
+  std::string forest = "default";
+  std::string algo = "opt";
+  uint64_t bound = 0;
+};
+
+/// Evaluates the artifact's polynomials under a valuation (variable name →
+/// value; unassigned variables default to 1.0). When `compressed` is true
+/// the evaluation runs over P↓S for the (forest, bound, algo) compression
+/// instead, reusing (or populating) the server's result cache.
+struct EvaluateRequest {
+  std::string artifact;
+  std::vector<std::pair<std::string, double>> assignments;
+  bool compressed = false;
+  std::string forest = "default";
+  std::string algo = "opt";
+  uint64_t bound = 0;
+};
+
+/// Queries artifact statistics (`artifact` empty = server-wide stats only).
+struct InfoRequest {
+  std::string artifact;
+};
+
+/// Requests the full size/granularity Pareto frontier (§2.4) for tree 0 of
+/// the named forest.
+struct TradeoffRequest {
+  std::string artifact;
+  std::string forest = "default";
+};
+
+/// Asks the server to stop accepting connections and exit cleanly.
+struct ShutdownRequest {};
+
+/// Server-side cache and batching counters, included in every response so
+/// clients (and the end-to-end tests) can observe cache behaviour without a
+/// second round trip.
+struct ServerStats {
+  uint64_t artifact_count = 0;
+  uint64_t result_count = 0;
+  uint64_t cached_bytes = 0;
+  uint64_t byte_budget = 0;
+  uint64_t result_hits = 0;
+  uint64_t result_misses = 0;
+  uint64_t evictions = 0;
+  uint64_t eval_batches = 0;
+  uint64_t eval_requests = 0;
+};
+
+/// The single response envelope: `request_kind` echoes the request it
+/// answers, `code`/`message` carry the `Status` error model across the wire,
+/// and the remaining fields are populated per verb (zero/empty otherwise).
+struct Response {
+  MessageKind request_kind = MessageKind::kResponse;
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+
+  bool ok() const { return code == StatusCode::kOk; }
+  /// Reconstructs the Status carried by `code`/`message`.
+  Status ToStatus() const {
+    return ok() ? Status::OK() : Status(code, message);
+  }
+
+  ServerStats stats;
+
+  // load / info.
+  uint64_t generation = 0;
+  uint64_t poly_count = 0;
+  uint64_t monomial_count = 0;
+  uint64_t variable_count = 0;
+
+  // compress (and evaluate over a compressed view).
+  bool cache_hit = false;
+  uint64_t monomial_loss = 0;
+  uint64_t variable_loss = 0;
+  bool adequate = false;
+  std::string vvs;
+  uint64_t compressed_monomials = 0;
+
+  // evaluate.
+  std::vector<double> values;
+
+  // tradeoff.
+  std::vector<TradeoffPoint> points;
+};
+
+/// Reads the message kind of an encoded payload without decoding the body.
+StatusOr<MessageKind> PeekMessageKind(std::string_view payload);
+
+std::string EncodeLoadRequest(const LoadRequest& req);
+std::string EncodeCompressRequest(const CompressRequest& req);
+std::string EncodeEvaluateRequest(const EvaluateRequest& req);
+std::string EncodeInfoRequest(const InfoRequest& req);
+std::string EncodeTradeoffRequest(const TradeoffRequest& req);
+std::string EncodeShutdownRequest(const ShutdownRequest& req);
+std::string EncodeResponse(const Response& resp);
+
+StatusOr<LoadRequest> DecodeLoadRequest(std::string_view payload);
+StatusOr<CompressRequest> DecodeCompressRequest(std::string_view payload);
+StatusOr<EvaluateRequest> DecodeEvaluateRequest(std::string_view payload);
+StatusOr<InfoRequest> DecodeInfoRequest(std::string_view payload);
+StatusOr<TradeoffRequest> DecodeTradeoffRequest(std::string_view payload);
+StatusOr<ShutdownRequest> DecodeShutdownRequest(std::string_view payload);
+StatusOr<Response> DecodeResponse(std::string_view payload);
+
+/// Frames larger than this are rejected before any allocation, so a corrupt
+/// or hostile length prefix cannot OOM the server.
+inline constexpr size_t kMaxFrameBytes = size_t{1} << 30;  // 1 GiB
+
+/// Writes one [u32 length][payload] frame to `fd`, retrying on partial
+/// writes and EINTR.
+Status WriteFrame(int fd, std::string_view payload);
+
+/// Reads one frame from `fd`. A clean EOF on the frame boundary yields
+/// kNotFound ("connection closed"); EOF mid-frame yields kOutOfRange.
+StatusOr<std::string> ReadFrame(int fd);
+
+}  // namespace provabs
+
+#endif  // PROVABS_SERVER_WIRE_PROTOCOL_H_

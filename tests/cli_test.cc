@@ -80,6 +80,29 @@ TEST_F(CliTest, MissingFileIsRuntimeError) {
   EXPECT_NE(Run("info --in " + dir_ + "/definitely_missing.bin"), 0);
 }
 
+TEST_F(CliTest, UnknownFlagsAreUsageErrors) {
+  // A typo must fail loudly, never be silently ignored.
+  EXPECT_NE(Run("info --bogus x"), 0);
+  EXPECT_NE(Run("generate --workload telephony --out " + dir_ +
+                "/t.bin --typo 1"),
+            0);
+  EXPECT_NE(Run("evaluate --in x.bin stray-word"), 0);
+  EXPECT_NE(Run("info --in"), 0);  // flag without a value
+}
+
+TEST_F(CliTest, RemotePortIsValidatedStrictly) {
+  EXPECT_NE(Run("remote-info --name x"), 0);      // missing --port
+  EXPECT_NE(Run("remote-info --port 99999"), 0);  // out of range
+  EXPECT_NE(Run("remote-info --port abc"), 0);    // non-numeric
+}
+
+TEST_F(CliTest, HelpExitsZero) {
+  EXPECT_EQ(Run("--help"), 0);
+  EXPECT_EQ(Run("help"), 0);
+  EXPECT_EQ(Run("compress --help"), 0);
+  EXPECT_EQ(Run("remote-load --help"), 0);
+}
+
 TEST_F(CliTest, UnknownWorkloadRejected) {
   EXPECT_NE(Run("generate --workload tpch-q99 --out " + dir_ + "/x.bin"),
             0);

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <string>
+#include <thread>
 
 #include "algo/brute_force.h"
 #include "common/random.h"
@@ -52,6 +54,42 @@ TEST(ThreadPoolTest, SingleThreadStillWorks) {
 TEST(ThreadPoolTest, WaitWithNoWorkReturns) {
   ThreadPool pool(3);
   pool.Wait();  // Must not hang.
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  std::atomic<int> ran{0};
+  pool.Submit([&ran] { ran.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedWork) {
+  // Far more slow tasks than workers, destroyed immediately: the documented
+  // contract is that pending work is drained, not dropped.
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&done] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        done.fetch_add(1);
+      });
+    }
+  }
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyRounds) {
+  // The serving layer keeps one pool alive for the process lifetime and
+  // pushes work through it round after round (see server/evaluate_batcher).
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 100; ++round) {
+    pool.ParallelFor(17, [&total](size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 1700);
 }
 
 // -------------------------------------------------- parallel primitives --

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "abstraction/valid_variable_set.h"
+#include "circuit/factorize.h"
+#include "io/serializer.h"
+#include "workload/telephony.h"
+
+namespace provabs {
+namespace {
+
+/// Truncation sweep over every artifact serializer: each strict prefix of a
+/// valid "PVAB" buffer must come back as a clean Status error — never a
+/// crash, never a silent success. The artifact buffers travel over disk AND
+/// over the serving wire protocol (LoadRequest embeds them verbatim), so
+/// this sweep guards both paths. Run under ASan/UBSan in CI, it also proves
+/// no out-of-bounds read hides behind an accepted prefix.
+class SerializerRobustnessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RunningExample ex = MakeRunningExample(vars_);
+    polys_ = RunRunningExampleQuery(ex);
+    forest_.AddTree(MakeFigure2PlansTree(vars_));
+    polys_bytes_ = SerializePolynomialSet(polys_, vars_);
+    forest_bytes_ = SerializeForest(forest_, vars_);
+    vvs_bytes_ = SerializeVvs(ValidVariableSet::AllLeaves(forest_), forest_,
+                              vars_);
+    circuit_bytes_ = SerializeCircuits(FactorizeSet(polys_), vars_);
+  }
+
+  /// Asserts the full buffer parses and every strict prefix fails cleanly.
+  void Sweep(const std::string& full,
+             const std::function<bool(std::string_view)>& parse_ok,
+             const char* label) {
+    ASSERT_TRUE(parse_ok(full)) << label << ": full buffer must parse";
+    for (size_t len = 0; len < full.size(); ++len) {
+      EXPECT_FALSE(parse_ok(std::string_view(full).substr(0, len)))
+          << label << ": prefix of length " << len << " parsed";
+    }
+  }
+
+  VariableTable vars_;
+  PolynomialSet polys_;
+  AbstractionForest forest_;
+  std::string polys_bytes_, forest_bytes_, vvs_bytes_, circuit_bytes_;
+};
+
+TEST_F(SerializerRobustnessTest, PolynomialSetTruncationSweep) {
+  Sweep(
+      polys_bytes_,
+      [](std::string_view data) {
+        VariableTable vars;
+        return DeserializePolynomialSet(data, vars).ok();
+      },
+      "PolynomialSet");
+}
+
+TEST_F(SerializerRobustnessTest, ForestTruncationSweep) {
+  Sweep(
+      forest_bytes_,
+      [](std::string_view data) {
+        VariableTable vars;
+        return DeserializeForest(data, vars).ok();
+      },
+      "Forest");
+}
+
+TEST_F(SerializerRobustnessTest, VvsTruncationSweep) {
+  Sweep(
+      vvs_bytes_,
+      [this](std::string_view data) {
+        // A VVS parses against its forest; reuse the shared table so labels
+        // resolve (extra interning from failed attempts is harmless).
+        return DeserializeVvs(data, forest_, vars_).ok();
+      },
+      "Vvs");
+}
+
+TEST_F(SerializerRobustnessTest, CircuitsTruncationSweep) {
+  Sweep(
+      circuit_bytes_,
+      [](std::string_view data) {
+        VariableTable vars;
+        return DeserializeCircuits(data, vars).ok();
+      },
+      "Circuits");
+}
+
+TEST_F(SerializerRobustnessTest, KindConfusionRejected) {
+  // Feeding a valid buffer of one kind to another kind's deserializer must
+  // fail on the kind byte, not misparse the payload.
+  VariableTable vars;
+  EXPECT_FALSE(DeserializePolynomialSet(forest_bytes_, vars).ok());
+  EXPECT_FALSE(DeserializeForest(polys_bytes_, vars).ok());
+  EXPECT_FALSE(DeserializeCircuits(vvs_bytes_, vars).ok());
+  EXPECT_FALSE(DeserializeVvs(circuit_bytes_, forest_, vars_).ok());
+}
+
+TEST_F(SerializerRobustnessTest, SingleByteCorruptionNeverCrashes) {
+  // Flipping any one byte may or may not produce a parseable buffer, but it
+  // must never crash or trip a sanitizer. (Success is legitimate — e.g. a
+  // flipped coefficient bit still yields a structurally valid buffer.)
+  std::string mutated = polys_bytes_;
+  for (size_t i = 0; i < mutated.size(); ++i) {
+    mutated[i] = static_cast<char>(mutated[i] ^ 0x42);
+    VariableTable vars;
+    (void)DeserializePolynomialSet(mutated, vars);
+    mutated[i] = static_cast<char>(mutated[i] ^ 0x42);
+  }
+}
+
+}  // namespace
+}  // namespace provabs

@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "core/valuation.h"
+#include "io/serializer.h"
+#include "server/client.h"
+#include "server/provenance_service.h"
+#include "server/server.h"
+#include "workload/telephony.h"
+
+namespace provabs {
+namespace {
+
+// ---------------------------------------------- in-process socket tests --
+
+/// Full load → compress → evaluate round trip over a real loopback socket,
+/// but with the server in-process so failures debug cleanly.
+TEST(ServerSocketTest, EndToEndRoundTripWithCacheHit) {
+  VariableTable vars;
+  RunningExample ex = MakeRunningExample(vars);
+  PolynomialSet polys = RunRunningExampleQuery(ex);
+  AbstractionForest forest;
+  forest.AddTree(MakeFigure2PlansTree(vars));
+
+  ProvenanceService service;
+  Server server(service, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_NE(server.port(), 0);
+
+  auto client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  LoadRequest load;
+  load.artifact = "ex";
+  load.polys_bytes = SerializePolynomialSet(polys, vars);
+  load.forests = {{"plans", SerializeForest(forest, vars)}};
+  auto loaded = client->Load(load);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_TRUE(loaded->ok()) << loaded->message;
+  EXPECT_EQ(loaded->poly_count, polys.count());
+
+  CompressRequest compress;
+  compress.artifact = "ex";
+  compress.forest = "plans";
+  compress.bound = polys.SizeM() - 1;
+  auto first = client->Compress(compress);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first->ok()) << first->message;
+  EXPECT_FALSE(first->cache_hit);
+
+  // The acceptance bar: an identical second compress is served from the
+  // artifact cache, observable through the response's cache-hit counter.
+  auto second = client->Compress(compress);
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(second->ok());
+  EXPECT_TRUE(second->cache_hit);
+  EXPECT_GE(second->stats.result_hits, 1u);
+  EXPECT_EQ(second->monomial_loss, first->monomial_loss);
+
+  EvaluateRequest eval;
+  eval.artifact = "ex";
+  eval.assignments = {{"m1", 0.5}};
+  auto values = client->Evaluate(eval);
+  ASSERT_TRUE(values.ok());
+  ASSERT_TRUE(values->ok()) << values->message;
+  Valuation val;
+  val.Set(vars.Find("m1"), 0.5);
+  std::vector<double> expected = val.EvaluateAll(polys);
+  ASSERT_EQ(values->values.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_DOUBLE_EQ(values->values[i], expected[i]);
+  }
+
+  // A second concurrent client sees the same resident artifact.
+  auto client2 = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client2.ok());
+  auto info = client2->Info(InfoRequest{"ex"});
+  ASSERT_TRUE(info.ok());
+  ASSERT_TRUE(info->ok());
+  EXPECT_EQ(info->monomial_count, polys.SizeM());
+  EXPECT_EQ(info->stats.artifact_count, 1u);
+
+  auto bye = client->Shutdown(ShutdownRequest{});
+  ASSERT_TRUE(bye.ok());
+  EXPECT_TRUE(bye->ok());
+  server.Wait();  // Must return: the wire shutdown stops the server.
+}
+
+TEST(ServerSocketTest, ServerSurvivesGarbageAndAbruptDisconnect) {
+  ProvenanceService service;
+  Server server(service, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  {
+    auto client = Client::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(client.ok());
+    // Dropping the connection without a request must not wedge the server.
+  }
+  auto client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  // An unknown artifact is an application error, not a transport error...
+  auto resp = client->Info(InfoRequest{"ghost"});
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->code, StatusCode::kNotFound);
+  // ...and the connection stays usable afterwards.
+  auto stats = client->Info(InfoRequest{});
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats->ok());
+
+  client->Shutdown(ShutdownRequest{});
+  server.Wait();
+}
+
+// ------------------------------------------------- binary-level smoke ----
+
+/// The CI smoke test: spawns the real `provabs_server` binary on an
+/// ephemeral loopback port, drives a generate → remote-load →
+/// remote-compress ×2 → remote-evaluate → remote-shutdown session through
+/// the real `provabs_cli`, and asserts the second compress reports
+/// "cache: hit". Skipped when the binaries are not in the conventional
+/// build layout (e.g. running from an install tree).
+class ServerBinarySmokeTest : public ::testing::Test {
+ protected:
+  static std::string FindBinary(const std::string& name) {
+    const std::string candidates[] = {
+        "../tools/" + name,        // ctest from build/tests
+        "./tools/" + name,         // manual run from build/
+        "./build/tools/" + name,   // manual run from the repo root
+    };
+    for (const std::string& c : candidates) {
+      std::FILE* probe = std::fopen(c.c_str(), "rb");
+      if (probe != nullptr) {
+        std::fclose(probe);
+        return c;
+      }
+    }
+    return "";
+  }
+
+  void SetUp() override {
+    cli_ = FindBinary("provabs_cli");
+    server_ = FindBinary("provabs_server");
+    if (cli_.empty() || server_.empty()) {
+      GTEST_SKIP() << "provabs binaries not found";
+    }
+    dir_ = ::testing::TempDir();
+  }
+
+  /// Runs a CLI command, returns its exit code, captures combined output.
+  int RunCli(const std::string& args, std::string* output) {
+    std::string out_path = dir_ + "/cli_out.txt";
+    int rc = std::system(
+        (cli_ + " " + args + " > " + out_path + " 2>&1").c_str());
+    std::ifstream in(out_path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    *output = buffer.str();
+    return rc;
+  }
+
+  std::string cli_, server_, dir_;
+};
+
+/// Kills the forked server on any exit path (a failed ASSERT must not
+/// leave an orphan daemon on the CI runner), unless disarmed by a clean
+/// shutdown.
+struct ChildGuard {
+  pid_t pid;
+  bool armed = true;
+  ~ChildGuard() {
+    if (armed && pid > 0) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, nullptr, 0);
+    }
+  }
+};
+
+/// Polls waitpid for up to ~10 s; false if the child is still running (so
+/// the caller can fail the test instead of hanging until ctest's timeout).
+bool WaitForExit(pid_t pid, int* status) {
+  for (int i = 0; i < 200; ++i) {
+    pid_t done = ::waitpid(pid, status, WNOHANG);
+    if (done == pid) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  return false;
+}
+
+TEST_F(ServerBinarySmokeTest, FullRemoteSessionWithCacheHit) {
+  std::string out;
+  ASSERT_EQ(RunCli("generate --workload telephony --scale 0.02 --out " +
+                       dir_ + "/p.bin --forest-out " + dir_ + "/f.bin",
+                   &out),
+            0)
+      << out;
+
+  // Spawn the server with an ephemeral port, discovered via --port-file.
+  std::string port_file = dir_ + "/server.port";
+  std::string server_log = dir_ + "/server.log";
+  std::remove(port_file.c_str());
+  pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    std::FILE* log = std::freopen(server_log.c_str(), "w", stdout);
+    (void)log;
+    execl(server_.c_str(), "provabs_server", "--port", "0", "--port-file",
+          port_file.c_str(), static_cast<char*>(nullptr));
+    std::_Exit(127);  // exec failed
+  }
+  ChildGuard guard{pid};
+
+  std::string port;
+  for (int i = 0; i < 200 && port.empty(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    std::ifstream in(port_file);
+    std::getline(in, port);
+  }
+  ASSERT_FALSE(port.empty()) << "server did not write its port file";
+
+  std::string remote = "--host 127.0.0.1 --port " + port;
+  EXPECT_EQ(RunCli("remote-load " + remote + " --name tel --in " + dir_ +
+                       "/p.bin --forest " + dir_ + "/f.bin",
+                   &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("loaded 'tel'"), std::string::npos) << out;
+
+  std::string compress = "remote-compress " + remote +
+                         " --name tel --bound 1500 --algo opt";
+  EXPECT_EQ(RunCli(compress, &out), 0) << out;
+  EXPECT_NE(out.find("cache: miss"), std::string::npos) << out;
+
+  // The identical request again: answered from the artifact cache.
+  EXPECT_EQ(RunCli(compress, &out), 0) << out;
+  EXPECT_NE(out.find("cache: hit"), std::string::npos) << out;
+
+  EXPECT_EQ(RunCli("remote-evaluate " + remote +
+                       " --name tel --set m1=0.8 --bound 1500",
+                   &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("polynomial 0:"), std::string::npos) << out;
+
+  EXPECT_EQ(RunCli("remote-info " + remote + " --name tel", &out), 0) << out;
+  EXPECT_NE(out.find("hits"), std::string::npos) << out;
+
+  EXPECT_EQ(RunCli("remote-shutdown " + remote, &out), 0) << out;
+
+  int status = 0;
+  ASSERT_TRUE(WaitForExit(pid, &status))
+      << "server did not exit after remote-shutdown";
+  guard.armed = false;  // Reaped; nothing left to kill.
+  EXPECT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+
+  std::ifstream log(server_log);
+  std::stringstream log_text;
+  log_text << log.rdbuf();
+  EXPECT_NE(log_text.str().find("shut down cleanly"), std::string::npos)
+      << log_text.str();
+}
+
+}  // namespace
+}  // namespace provabs

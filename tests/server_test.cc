@@ -1,0 +1,395 @@
+#include "server/provenance_service.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "abstraction/abstraction_forest.h"
+#include "core/valuation.h"
+#include "io/serializer.h"
+#include "server/artifact_store.h"
+#include "server/evaluate_batcher.h"
+#include "server/wire_protocol.h"
+#include "workload/telephony.h"
+
+namespace provabs {
+namespace {
+
+/// Serialized running-example buffers shared by the store/service tests:
+/// the paper's P1/P2 polynomials, the Figure 2 plans tree and the Figure 3
+/// months tree (label-disjoint, so they can coexist in one artifact).
+class ServerFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RunningExample ex = MakeRunningExample(vars_);
+    polys_ = RunRunningExampleQuery(ex);
+    polys_bytes_ = SerializePolynomialSet(polys_, vars_);
+    AbstractionForest plans;
+    plans.AddTree(MakeFigure2PlansTree(vars_));
+    plans_bytes_ = SerializeForest(plans, vars_);
+    AbstractionForest months;
+    months.AddTree(MakeFigure3MonthsTree(vars_));
+    months_bytes_ = SerializeForest(months, vars_);
+  }
+
+  VariableTable vars_;
+  PolynomialSet polys_;
+  std::string polys_bytes_;
+  std::string plans_bytes_;
+  std::string months_bytes_;
+};
+
+// ------------------------------------------------------- ArtifactStore --
+
+using StoreTest = ServerFixture;
+
+TEST_F(StoreTest, LoadAndGet) {
+  ArtifactStore store(1 << 20);
+  auto loaded = store.Load("ex", polys_bytes_, {{"plans", plans_bytes_}});
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->polys.count(), polys_.count());
+  EXPECT_EQ((*loaded)->polys.SizeM(), polys_.SizeM());
+  EXPECT_NE((*loaded)->FindForest("plans"), nullptr);
+  EXPECT_EQ((*loaded)->FindForest("nope"), nullptr);
+
+  auto got = store.Get("ex");
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->generation, (*loaded)->generation);
+  EXPECT_EQ(store.Get("missing"), nullptr);
+}
+
+TEST_F(StoreTest, LoadRejectsMalformedBytes) {
+  ArtifactStore store(1 << 20);
+  EXPECT_FALSE(store.Load("bad", "garbage", {}).ok());
+  // A forest buffer in the polynomial slot is an artifact-kind error.
+  EXPECT_FALSE(store.Load("bad", plans_bytes_, {}).ok());
+  EXPECT_FALSE(store.Load("bad", polys_bytes_, {{"f", "junk"}}).ok());
+}
+
+TEST_F(StoreTest, ForestOnlyLoadMergesAndBumpsGeneration) {
+  ArtifactStore store(1 << 20);
+  auto first = store.Load("ex", polys_bytes_, {{"plans", plans_bytes_}});
+  ASSERT_TRUE(first.ok());
+  uint64_t gen1 = (*first)->generation;
+
+  auto second = store.Load("ex", "", {{"months", months_bytes_}});
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_GT((*second)->generation, gen1);
+  EXPECT_NE((*second)->FindForest("plans"), nullptr);
+  EXPECT_NE((*second)->FindForest("months"), nullptr);
+  EXPECT_EQ((*second)->polys.SizeM(), polys_.SizeM());
+
+  // Forest-only load without a prior artifact is an error.
+  EXPECT_EQ(store.Load("fresh", "", {{"months", months_bytes_}})
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(StoreTest, ResultCacheCountsHitsAndMisses) {
+  ArtifactStore store(1 << 20);
+  ArtifactStore::ResultKey key{"ex", 1, "plans", 10, "opt"};
+  EXPECT_EQ(store.LookupResult(key), nullptr);
+  EXPECT_EQ(store.stats().result_misses, 1u);
+
+  ArtifactStore::CompressedResult result;
+  result.loss.monomial_loss = 3;
+  result.vvs_names = "{Plans}";
+  store.InsertResult(key, result);
+  auto hit = store.LookupResult(key);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->loss.monomial_loss, 3u);
+  EXPECT_EQ(hit->vvs_names, "{Plans}");
+  EXPECT_EQ(store.stats().result_hits, 1u);
+
+  // A different bound (or generation) is a different entry.
+  ArtifactStore::ResultKey other = key;
+  other.bound = 11;
+  EXPECT_EQ(store.LookupResult(other), nullptr);
+  other = key;
+  other.generation = 2;
+  EXPECT_EQ(store.LookupResult(other), nullptr);
+  EXPECT_EQ(store.stats().result_misses, 3u);
+}
+
+TEST_F(StoreTest, LruEvictsUnderByteBudget) {
+  // Budget fits roughly one artifact: loading a second evicts the first.
+  ArtifactStore tiny(ApproxPolynomialSetBytes(polys_) + polys_bytes_.size());
+  ASSERT_TRUE(tiny.Load("a", polys_bytes_, {}).ok());
+  ASSERT_TRUE(tiny.Load("b", polys_bytes_, {}).ok());
+  EXPECT_GT(tiny.stats().evictions, 0u);
+  EXPECT_EQ(tiny.Get("a"), nullptr);
+  // The most recently used entry always survives, even over budget.
+  EXPECT_NE(tiny.Get("b"), nullptr);
+}
+
+TEST_F(StoreTest, BudgetSmallerThanOneArtifactStillServesIt) {
+  ArtifactStore store(1);
+  ASSERT_TRUE(store.Load("only", polys_bytes_, {}).ok());
+  EXPECT_NE(store.Get("only"), nullptr);
+}
+
+// ----------------------------------------------------- EvaluateBatcher --
+
+using BatcherTest = ServerFixture;
+
+TEST_F(BatcherTest, MatchesSerialEvaluation) {
+  ThreadPool pool(4);
+  EvaluateBatcher batcher(pool);
+  Valuation val;
+  val.Set(vars_.Find("m1"), 0.5);
+  val.Set(vars_.Find("b1"), 0.25);
+  auto shared = std::make_shared<PolynomialSet>(polys_);
+  std::vector<double> batched = batcher.Evaluate(shared, val);
+  std::vector<double> serial = val.EvaluateAll(polys_);
+  ASSERT_EQ(batched.size(), serial.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batched[i], serial[i]);
+  }
+}
+
+TEST_F(BatcherTest, ConcurrentCallersAllGetTheirOwnAnswers) {
+  ThreadPool pool(4);
+  EvaluateBatcher batcher(pool);
+  auto shared = std::make_shared<PolynomialSet>(polys_);
+  constexpr int kCallers = 16;
+  std::vector<std::vector<double>> results(kCallers);
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kCallers; ++c) {
+    threads.emplace_back([&, c] {
+      Valuation val;
+      val.Set(vars_.Find("m1"), 0.1 * c);
+      results[c] = batcher.Evaluate(shared, val);
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int c = 0; c < kCallers; ++c) {
+    Valuation val;
+    val.Set(vars_.Find("m1"), 0.1 * c);
+    std::vector<double> expected = val.EvaluateAll(polys_);
+    ASSERT_EQ(results[c].size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_DOUBLE_EQ(results[c][i], expected[i]) << "caller " << c;
+    }
+  }
+  EvaluateBatcher::Stats stats = batcher.stats();
+  EXPECT_EQ(stats.requests, static_cast<uint64_t>(kCallers));
+  EXPECT_GE(stats.batches, 1u);
+  EXPECT_LE(stats.batches, static_cast<uint64_t>(kCallers));
+  EXPECT_GE(stats.max_batch, 1u);
+}
+
+TEST_F(BatcherTest, ReusesPoolAcrossManyRounds) {
+  // The satellite ThreadPool concern: one pool must survive many batching
+  // rounds (the server's steady state) without wedging or leaking work.
+  ThreadPool pool(2);
+  EvaluateBatcher batcher(pool);
+  auto shared = std::make_shared<PolynomialSet>(polys_);
+  for (int round = 0; round < 50; ++round) {
+    Valuation val;
+    val.Set(vars_.Find("m3"), 0.01 * round);
+    std::vector<double> got = batcher.Evaluate(shared, val);
+    ASSERT_EQ(got.size(), polys_.count());
+  }
+  EXPECT_EQ(batcher.stats().requests, 50u);
+  // Sequential callers never coalesce, so each round is its own batch.
+  EXPECT_EQ(batcher.stats().batches, 50u);
+}
+
+// -------------------------------------------------- ProvenanceService --
+
+class ServiceTest : public ServerFixture {
+ protected:
+  void SetUp() override {
+    ServerFixture::SetUp();
+    service_ = std::make_unique<ProvenanceService>(ServiceOptions{});
+    LoadRequest load;
+    load.artifact = "ex";
+    load.polys_bytes = polys_bytes_;
+    load.forests = {{"plans", plans_bytes_}};
+    Response resp = service_->Load(load);
+    ASSERT_TRUE(resp.ok()) << resp.message;
+    ASSERT_EQ(resp.poly_count, polys_.count());
+  }
+
+  std::unique_ptr<ProvenanceService> service_;
+};
+
+TEST_F(ServiceTest, CompressThenCacheHit) {
+  CompressRequest req;
+  req.artifact = "ex";
+  req.forest = "plans";
+  req.algo = "opt";
+  req.bound = polys_.SizeM() - 1;
+  Response first = service_->Compress(req);
+  ASSERT_TRUE(first.ok()) << first.message;
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_TRUE(first.adequate);
+  EXPECT_GT(first.vvs.size(), 0u);
+
+  Response second = service_->Compress(req);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.monomial_loss, first.monomial_loss);
+  EXPECT_EQ(second.variable_loss, first.variable_loss);
+  EXPECT_EQ(second.vvs, first.vvs);
+  EXPECT_EQ(second.stats.result_hits, 1u);
+  EXPECT_EQ(second.stats.result_misses, 1u);
+}
+
+TEST_F(ServiceTest, ReloadInvalidatesResultCache) {
+  CompressRequest req;
+  req.artifact = "ex";
+  req.forest = "plans";
+  req.bound = polys_.SizeM() - 1;
+  ASSERT_FALSE(service_->Compress(req).cache_hit);
+  ASSERT_TRUE(service_->Compress(req).cache_hit);
+
+  LoadRequest reload;
+  reload.artifact = "ex";
+  reload.polys_bytes = polys_bytes_;
+  reload.forests = {{"plans", plans_bytes_}};
+  ASSERT_TRUE(service_->Load(reload).ok());
+
+  // Same request, fresh generation: the DP must run again.
+  EXPECT_FALSE(service_->Compress(req).cache_hit);
+}
+
+TEST_F(ServiceTest, EvaluateRawAndCompressed) {
+  EvaluateRequest req;
+  req.artifact = "ex";
+  req.assignments = {{"m1", 0.5}, {"b1", 0.0}};
+  Response raw = service_->Evaluate(req);
+  ASSERT_TRUE(raw.ok()) << raw.message;
+
+  Valuation val;
+  val.Set(vars_.Find("m1"), 0.5);
+  val.Set(vars_.Find("b1"), 0.0);
+  std::vector<double> expected = val.EvaluateAll(polys_);
+  ASSERT_EQ(raw.values.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_DOUBLE_EQ(raw.values[i], expected[i]);
+  }
+
+  req.compressed = true;
+  req.forest = "plans";
+  req.algo = "opt";
+  req.bound = polys_.SizeM() - 1;
+  // b1 was merged into a meta-variable by the compression; assigning it
+  // would silently change nothing, so the compressed view rejects it.
+  Response rejected = service_->Evaluate(req);
+  EXPECT_EQ(rejected.code, StatusCode::kNotFound);
+
+  // Month variables are outside the plans forest and survive compression.
+  req.assignments = {{"m1", 0.5}};
+  Response compressed = service_->Evaluate(req);
+  ASSERT_TRUE(compressed.ok()) << compressed.message;
+  EXPECT_EQ(compressed.values.size(), polys_.count());
+  // The evaluate populated the compression cache; a repeat is a hit.
+  Response again = service_->Evaluate(req);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again.cache_hit);
+  ASSERT_EQ(again.values.size(), compressed.values.size());
+  for (size_t i = 0; i < compressed.values.size(); ++i) {
+    EXPECT_DOUBLE_EQ(again.values[i], compressed.values[i]);
+  }
+}
+
+TEST_F(ServiceTest, ErrorsCarryStatusCodes) {
+  CompressRequest missing;
+  missing.artifact = "nope";
+  missing.bound = 10;
+  EXPECT_EQ(service_->Compress(missing).code, StatusCode::kNotFound);
+
+  CompressRequest bad_forest;
+  bad_forest.artifact = "ex";
+  bad_forest.forest = "nope";
+  bad_forest.bound = 10;
+  EXPECT_EQ(service_->Compress(bad_forest).code, StatusCode::kNotFound);
+
+  CompressRequest bad_algo;
+  bad_algo.artifact = "ex";
+  bad_algo.forest = "plans";
+  bad_algo.algo = "quantum";
+  bad_algo.bound = 10;
+  EXPECT_EQ(service_->Compress(bad_algo).code, StatusCode::kInvalidArgument);
+
+  CompressRequest infeasible;
+  infeasible.artifact = "ex";
+  infeasible.forest = "plans";
+  infeasible.bound = 1;
+  EXPECT_EQ(service_->Compress(infeasible).code, StatusCode::kInfeasible);
+
+  EvaluateRequest bad_var;
+  bad_var.artifact = "ex";
+  bad_var.assignments = {{"no_such_var", 2.0}};
+  EXPECT_EQ(service_->Evaluate(bad_var).code, StatusCode::kNotFound);
+
+  // A variable that exists in the table (it labels a forest node) but does
+  // not occur in the polynomials: assigning it would silently change
+  // nothing, so it is rejected rather than ignored.
+  EvaluateRequest absent_var;
+  absent_var.artifact = "ex";
+  absent_var.assignments = {{"Business", 0.5}};
+  EXPECT_EQ(service_->Evaluate(absent_var).code, StatusCode::kNotFound);
+
+  LoadRequest bad_load;
+  bad_load.artifact = "bad";
+  bad_load.polys_bytes = "not a buffer";
+  EXPECT_FALSE(service_->Load(bad_load).ok());
+
+  LoadRequest unnamed;
+  EXPECT_EQ(service_->Load(unnamed).code, StatusCode::kInvalidArgument);
+}
+
+TEST_F(ServiceTest, TradeoffReturnsParetoFrontier) {
+  TradeoffRequest req;
+  req.artifact = "ex";
+  req.forest = "plans";
+  Response resp = service_->Tradeoff(req);
+  ASSERT_TRUE(resp.ok()) << resp.message;
+  ASSERT_GT(resp.points.size(), 0u);
+  EXPECT_EQ(resp.points.front().variable_loss, 0u);
+  for (size_t i = 1; i < resp.points.size(); ++i) {
+    EXPECT_LT(resp.points[i].size_m, resp.points[i - 1].size_m);
+    EXPECT_GT(resp.points[i].variable_loss, resp.points[i - 1].variable_loss);
+  }
+}
+
+TEST_F(ServiceTest, HandleFrameDispatchesAndSurvivesGarbage) {
+  InfoRequest info;
+  info.artifact = "ex";
+  bool shutdown = false;
+  std::string reply =
+      service_->HandleFrame(EncodeInfoRequest(info), &shutdown);
+  auto resp = DecodeResponse(reply);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_TRUE(resp->ok());
+  EXPECT_EQ(resp->poly_count, polys_.count());
+  EXPECT_FALSE(shutdown);
+
+  // Garbage and truncated payloads produce decodable error responses.
+  for (std::string bad :
+       {std::string("XXXX"), std::string(),
+        EncodeInfoRequest(info).substr(0, 7)}) {
+    std::string err = service_->HandleFrame(bad, &shutdown);
+    auto decoded = DecodeResponse(err);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_FALSE(decoded->ok());
+  }
+  EXPECT_FALSE(shutdown);
+
+  std::string bye =
+      service_->HandleFrame(EncodeShutdownRequest(ShutdownRequest{}),
+                            &shutdown);
+  EXPECT_TRUE(shutdown);
+  auto bye_resp = DecodeResponse(bye);
+  ASSERT_TRUE(bye_resp.ok());
+  EXPECT_TRUE(bye_resp->ok());
+}
+
+}  // namespace
+}  // namespace provabs

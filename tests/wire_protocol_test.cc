@@ -1,0 +1,275 @@
+#include "server/wire_protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "io/byte_stream.h"
+
+namespace provabs {
+namespace {
+
+// ----------------------------------------------------------- round trips --
+
+TEST(WireProtocolTest, LoadRequestRoundTrip) {
+  LoadRequest req;
+  req.artifact = "telephony";
+  req.polys_bytes = std::string("\x00\x01binary\xFF", 9);
+  req.forests = {{"plans", "tree-bytes"}, {"months", ""}};
+  auto decoded = DecodeLoadRequest(EncodeLoadRequest(req));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->artifact, req.artifact);
+  EXPECT_EQ(decoded->polys_bytes, req.polys_bytes);
+  ASSERT_EQ(decoded->forests.size(), 2u);
+  EXPECT_EQ(decoded->forests[0].first, "plans");
+  EXPECT_EQ(decoded->forests[0].second, "tree-bytes");
+  EXPECT_EQ(decoded->forests[1].first, "months");
+}
+
+TEST(WireProtocolTest, CompressRequestRoundTrip) {
+  CompressRequest req;
+  req.artifact = "a";
+  req.forest = "f";
+  req.algo = "greedy";
+  req.bound = 123456789;
+  auto decoded = DecodeCompressRequest(EncodeCompressRequest(req));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->artifact, "a");
+  EXPECT_EQ(decoded->forest, "f");
+  EXPECT_EQ(decoded->algo, "greedy");
+  EXPECT_EQ(decoded->bound, 123456789u);
+}
+
+TEST(WireProtocolTest, EvaluateRequestRoundTrip) {
+  EvaluateRequest req;
+  req.artifact = "a";
+  req.assignments = {{"m1", 0.5}, {"plan7", -2.25}};
+  req.compressed = true;
+  req.forest = "plans";
+  req.algo = "opt";
+  req.bound = 1500;
+  auto decoded = DecodeEvaluateRequest(EncodeEvaluateRequest(req));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->assignments.size(), 2u);
+  EXPECT_EQ(decoded->assignments[0].first, "m1");
+  EXPECT_DOUBLE_EQ(decoded->assignments[0].second, 0.5);
+  EXPECT_DOUBLE_EQ(decoded->assignments[1].second, -2.25);
+  EXPECT_TRUE(decoded->compressed);
+  EXPECT_EQ(decoded->forest, "plans");
+  EXPECT_EQ(decoded->bound, 1500u);
+}
+
+TEST(WireProtocolTest, InfoTradeoffShutdownRoundTrip) {
+  InfoRequest info;
+  info.artifact = "x";
+  auto info_decoded = DecodeInfoRequest(EncodeInfoRequest(info));
+  ASSERT_TRUE(info_decoded.ok());
+  EXPECT_EQ(info_decoded->artifact, "x");
+
+  TradeoffRequest tradeoff;
+  tradeoff.artifact = "x";
+  tradeoff.forest = "plans";
+  auto tradeoff_decoded =
+      DecodeTradeoffRequest(EncodeTradeoffRequest(tradeoff));
+  ASSERT_TRUE(tradeoff_decoded.ok());
+  EXPECT_EQ(tradeoff_decoded->forest, "plans");
+
+  EXPECT_TRUE(
+      DecodeShutdownRequest(EncodeShutdownRequest(ShutdownRequest{})).ok());
+}
+
+TEST(WireProtocolTest, ResponseRoundTrip) {
+  Response resp;
+  resp.request_kind = MessageKind::kCompressRequest;
+  resp.code = StatusCode::kInfeasible;
+  resp.message = "no adequate VVS";
+  resp.stats = {3, 7, 1 << 20, 1 << 26, 10, 4, 2, 5, 40};
+  resp.generation = 12;
+  resp.poly_count = 89;
+  resp.monomial_count = 2400;
+  resp.variable_count = 111;
+  resp.cache_hit = true;
+  resp.monomial_loss = 1332;
+  resp.variable_loss = 98;
+  resp.adequate = true;
+  resp.vvs = "{T_root}";
+  resp.compressed_monomials = 1068;
+  resp.values = {1.5, -2.5, 0.0};
+  resp.points = {{2400, 0}, {1068, 98}};
+
+  auto decoded = DecodeResponse(EncodeResponse(resp));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->request_kind, MessageKind::kCompressRequest);
+  EXPECT_EQ(decoded->code, StatusCode::kInfeasible);
+  EXPECT_EQ(decoded->message, "no adequate VVS");
+  EXPECT_FALSE(decoded->ok());
+  EXPECT_EQ(decoded->ToStatus().code(), StatusCode::kInfeasible);
+  EXPECT_EQ(decoded->stats.artifact_count, 3u);
+  EXPECT_EQ(decoded->stats.eval_requests, 40u);
+  EXPECT_EQ(decoded->generation, 12u);
+  EXPECT_EQ(decoded->monomial_count, 2400u);
+  EXPECT_TRUE(decoded->cache_hit);
+  EXPECT_TRUE(decoded->adequate);
+  EXPECT_EQ(decoded->vvs, "{T_root}");
+  EXPECT_EQ(decoded->compressed_monomials, 1068u);
+  ASSERT_EQ(decoded->values.size(), 3u);
+  EXPECT_DOUBLE_EQ(decoded->values[1], -2.5);
+  ASSERT_EQ(decoded->points.size(), 2u);
+  EXPECT_EQ(decoded->points[1].size_m, 1068u);
+  EXPECT_EQ(decoded->points[1].variable_loss, 98u);
+}
+
+// ----------------------------------------------------------- robustness --
+
+TEST(WireProtocolTest, PeekMessageKind) {
+  EXPECT_EQ(*PeekMessageKind(EncodeShutdownRequest(ShutdownRequest{})),
+            MessageKind::kShutdownRequest);
+  EXPECT_EQ(*PeekMessageKind(EncodeResponse(Response{})),
+            MessageKind::kResponse);
+  EXPECT_FALSE(PeekMessageKind("").ok());
+  EXPECT_FALSE(PeekMessageKind("XVAB\x01\x10").ok());
+  // Valid header, unknown kind byte.
+  EXPECT_FALSE(PeekMessageKind(std::string("PVAB\x01\x7F", 6)).ok());
+  // An artifact kind (1..4) is not a protocol message.
+  EXPECT_FALSE(PeekMessageKind(std::string("PVAB\x01\x01", 6)).ok());
+}
+
+/// Every strict prefix of a valid message must decode to a clean Status
+/// error — never a crash, never a bogus success. This is the wire-level
+/// twin of the serializer truncation sweep.
+TEST(WireProtocolTest, TruncationSweepAllMessages) {
+  LoadRequest load;
+  load.artifact = "a";
+  load.polys_bytes = "0123456789";
+  load.forests = {{"f", "forest-bytes"}};
+  EvaluateRequest eval;
+  eval.artifact = "a";
+  eval.assignments = {{"x", 1.0}};
+  Response resp;
+  resp.message = "msg";
+  resp.values = {1.0, 2.0};
+  resp.points = {{10, 1}};
+  resp.vvs = "{r}";
+
+  struct Case {
+    std::string encoded;
+    std::function<bool(std::string_view)> decode_ok;
+  };
+  std::vector<Case> cases;
+  cases.push_back({EncodeLoadRequest(load), [](std::string_view d) {
+                     return DecodeLoadRequest(d).ok();
+                   }});
+  cases.push_back(
+      {EncodeCompressRequest(CompressRequest{"a", "f", "opt", 9}),
+       [](std::string_view d) { return DecodeCompressRequest(d).ok(); }});
+  cases.push_back({EncodeEvaluateRequest(eval), [](std::string_view d) {
+                     return DecodeEvaluateRequest(d).ok();
+                   }});
+  cases.push_back({EncodeInfoRequest(InfoRequest{"a"}),
+                   [](std::string_view d) {
+                     return DecodeInfoRequest(d).ok();
+                   }});
+  cases.push_back({EncodeTradeoffRequest(TradeoffRequest{"a", "f"}),
+                   [](std::string_view d) {
+                     return DecodeTradeoffRequest(d).ok();
+                   }});
+  cases.push_back({EncodeShutdownRequest(ShutdownRequest{}),
+                   [](std::string_view d) {
+                     return DecodeShutdownRequest(d).ok();
+                   }});
+  cases.push_back({EncodeResponse(resp), [](std::string_view d) {
+                     return DecodeResponse(d).ok();
+                   }});
+
+  for (size_t c = 0; c < cases.size(); ++c) {
+    const std::string& full = cases[c].encoded;
+    ASSERT_TRUE(cases[c].decode_ok(full)) << "case " << c;
+    for (size_t len = 0; len < full.size(); ++len) {
+      EXPECT_FALSE(cases[c].decode_ok(std::string_view(full).substr(0, len)))
+          << "case " << c << " prefix " << len;
+    }
+  }
+}
+
+TEST(WireProtocolTest, HostileElementCountRejectedBeforeAllocation) {
+  // A hand-built evaluate request claiming 10^18 assignments must fail the
+  // plausibility check, not attempt a monster reserve.
+  ByteWriter w;
+  w.PutBytes("PVAB", 4);
+  w.PutU8(1);
+  w.PutU8(static_cast<uint8_t>(MessageKind::kEvaluateRequest));
+  w.PutString("a");
+  w.PutVarint(1'000'000'000'000'000'000ull);
+  auto decoded = DecodeEvaluateRequest(std::move(w).Release());
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireProtocolTest, WrongKindRejected) {
+  std::string compress = EncodeCompressRequest(CompressRequest{});
+  EXPECT_FALSE(DecodeLoadRequest(compress).ok());
+  EXPECT_FALSE(DecodeResponse(compress).ok());
+}
+
+// -------------------------------------------------------------- framing --
+
+class FramingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds_), 0);
+  }
+  void TearDown() override {
+    if (fds_[0] >= 0) ::close(fds_[0]);
+    if (fds_[1] >= 0) ::close(fds_[1]);
+  }
+  int fds_[2] = {-1, -1};
+};
+
+TEST_F(FramingTest, FrameRoundTrip) {
+  std::string payload("hello\x00world", 11);
+  ASSERT_TRUE(WriteFrame(fds_[0], payload).ok());
+  ASSERT_TRUE(WriteFrame(fds_[0], "").ok());
+  auto first = ReadFrame(fds_[1]);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(*first, payload);
+  auto second = ReadFrame(fds_[1]);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->size(), 0u);
+}
+
+TEST_F(FramingTest, CleanCloseIsNotFound) {
+  ::close(fds_[0]);
+  fds_[0] = -1;
+  auto frame = ReadFrame(fds_[1]);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(FramingTest, MidFrameEofIsOutOfRange) {
+  // Length prefix promises 100 bytes; only 3 arrive before close.
+  char header[4] = {100, 0, 0, 0};
+  ASSERT_EQ(::write(fds_[0], header, 4), 4);
+  ASSERT_EQ(::write(fds_[0], "abc", 3), 3);
+  ::close(fds_[0]);
+  fds_[0] = -1;
+  auto frame = ReadFrame(fds_[1]);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(FramingTest, OversizedLengthPrefixRejected) {
+  // 0xFFFFFFFF exceeds kMaxFrameBytes; rejected before any allocation.
+  char header[4] = {'\xFF', '\xFF', '\xFF', '\xFF'};
+  ASSERT_EQ(::write(fds_[0], header, 4), 4);
+  auto frame = ReadFrame(fds_[1]);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace provabs

@@ -2,21 +2,15 @@
 /// pipeline, mirroring the paper's deployment story: a producer generates
 /// provenance once (`generate`), compresses it under a bound (`compress`),
 /// and ships compact binary artifacts to analysts, who inspect (`info`,
-/// `tradeoff`) and run what-if scenarios (`evaluate`) locally.
-///
-/// Usage:
-///   provabs_cli generate --workload telephony|tpch-q1|tpch-q5|tpch-q10
-///       [--scale S] [--fanouts 8 | 4,4 | 2,2,8] --out P.bin
-///       [--forest-out F.bin]
-///   provabs_cli info --in P.bin
-///   provabs_cli compress --in P.bin --forest F.bin --bound N
-///       [--algo opt|greedy] [--vvs-out V.bin] [--out C.bin]
-///   provabs_cli tradeoff --in P.bin --forest F.bin
-///   provabs_cli evaluate --in P.bin [--set var=value]...
+/// `tradeoff`) and run what-if scenarios (`evaluate`) locally — or, with
+/// the `remote-*` subcommands, against a long-lived `provabs_server` that
+/// keeps artifacts and compressed results resident (see docs/SERVER.md).
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <initializer_list>
 #include <map>
 #include <string>
 #include <vector>
@@ -28,6 +22,8 @@
 #include "core/valuation.h"
 #include "io/serializer.h"
 #include "online/online_compressor.h"
+#include "server/client.h"
+#include "server/wire_protocol.h"
 #include "workload/telephony.h"
 #include "workload/tpch.h"
 #include "workload/tree_gen.h"
@@ -35,10 +31,39 @@
 namespace provabs {
 namespace {
 
-/// Minimal flag parser: --name value pairs plus repeated --set entries.
+const char kUsage[] =
+    "usage: provabs_cli <command> [flags]\n"
+    "\n"
+    "offline pipeline:\n"
+    "  generate --workload telephony|tpch-q1|tpch-q5|tpch-q10\n"
+    "      [--scale S] [--fanouts 8 | 4,4 | 2,2,8] --out P.bin\n"
+    "      [--forest-out F.bin]\n"
+    "  info --in P.bin\n"
+    "  compress --in P.bin --forest F.bin --bound N\n"
+    "      [--algo opt|greedy] [--vvs-out V.bin] [--out C.bin]\n"
+    "  tradeoff --in P.bin --forest F.bin\n"
+    "  evaluate --in P.bin [--set var=value]...\n"
+    "\n"
+    "serving (against a running provabs_server):\n"
+    "  remote-load --port P --name A --in P.bin [--forest F.bin]\n"
+    "      [--forest-name N] [--host H]\n"
+    "  remote-info --port P [--name A] [--host H]\n"
+    "  remote-compress --port P --name A --bound N\n"
+    "      [--algo opt|greedy] [--forest-name N] [--host H]\n"
+    "  remote-evaluate --port P --name A [--set var=value]...\n"
+    "      [--bound N [--algo opt|greedy] [--forest-name N]] [--host H]\n"
+    "  remote-tradeoff --port P --name A [--forest-name N] [--host H]\n"
+    "  remote-shutdown --port P [--host H]\n"
+    "\n"
+    "run 'provabs_cli <command> --help' for the command's flags.\n";
+
+/// Minimal strict flag parser: --name value pairs plus repeated --set
+/// entries. Flags outside `allowed` (and bare non-flag words) are usage
+/// errors — a typo must never be silently ignored.
 struct Args {
   std::map<std::string, std::string> flags;
   std::vector<std::string> sets;
+  bool help = false;
 
   const char* Get(const std::string& name,
                   const char* fallback = nullptr) const {
@@ -47,38 +72,91 @@ struct Args {
   }
 };
 
-Args ParseArgs(int argc, char** argv, int start) {
-  Args args;
+bool ParseArgs(int argc, char** argv, int start, const char* cmd,
+               std::initializer_list<const char*> allowed, Args* out) {
   for (int i = start; i < argc; ++i) {
     std::string flag = argv[i];
-    if (flag.rfind("--", 0) != 0 || i + 1 >= argc) continue;
+    if (flag == "--help" || flag == "-h") {
+      out->help = true;
+      return true;
+    }
+    if (flag.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "%s: unexpected argument '%s'\n", cmd,
+                   flag.c_str());
+      return false;
+    }
+    std::string name = flag.substr(2);
+    bool known = false;
+    for (const char* a : allowed) {
+      if (name == a) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      std::fprintf(stderr, "%s: unknown flag '%s'\n", cmd, flag.c_str());
+      return false;
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "%s: flag '%s' needs a value\n", cmd,
+                   flag.c_str());
+      return false;
+    }
     std::string value = argv[++i];
-    if (flag == "--set") {
-      args.sets.push_back(value);
+    if (name == "set") {
+      out->sets.push_back(value);
     } else {
-      args.flags[flag.substr(2)] = value;
+      out->flags[name] = value;
     }
   }
-  return args;
+  return true;
 }
 
-std::vector<uint32_t> ParseFanouts(const std::string& spec) {
-  std::vector<uint32_t> fanouts;
+/// Strict numeric parses: garbage, trailing junk, or a sign on an unsigned
+/// flag is a usage error — the same "a typo must fail loudly" contract the
+/// flag names follow (atoi/atof would silently truncate "15oo" to 15).
+bool ParseUint64(const char* text, uint64_t* out) {
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long value = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE ||
+      std::strchr(text, '-') != nullptr) {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseDouble(const char* text, double* out) {
+  char* end = nullptr;
+  double value = std::strtod(text, &end);
+  if (end == text || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+bool ParseFanouts(const std::string& spec, std::vector<uint32_t>* fanouts) {
   size_t pos = 0;
   while (pos < spec.size()) {
     size_t comma = spec.find(',', pos);
     if (comma == std::string::npos) comma = spec.size();
-    fanouts.push_back(
-        static_cast<uint32_t>(std::atoi(spec.substr(pos, comma - pos).c_str())));
+    uint64_t value = 0;
+    if (!ParseUint64(spec.substr(pos, comma - pos).c_str(), &value) ||
+        value < 1 || value > (1u << 20)) {
+      return false;
+    }
+    fanouts->push_back(static_cast<uint32_t>(value));
     pos = comma + 1;
   }
-  return fanouts;
+  return !fanouts->empty();
 }
 
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
 }
+
+// ----------------------------------------------------- offline pipeline --
 
 int CmdGenerate(const Args& args) {
   const char* workload = args.Get("workload");
@@ -87,8 +165,19 @@ int CmdGenerate(const Args& args) {
     std::fprintf(stderr, "generate requires --workload and --out\n");
     return 2;
   }
-  double scale = std::atof(args.Get("scale", "0.2"));
-  std::vector<uint32_t> fanouts = ParseFanouts(args.Get("fanouts", "8"));
+  double scale = 0;
+  if (!ParseDouble(args.Get("scale", "0.2"), &scale) || scale <= 0) {
+    std::fprintf(stderr, "generate: bad --scale '%s' (want a number > 0)\n",
+                 args.Get("scale", "0.2"));
+    return 2;
+  }
+  std::vector<uint32_t> fanouts;
+  if (!ParseFanouts(args.Get("fanouts", "8"), &fanouts)) {
+    std::fprintf(stderr,
+                 "generate: bad --fanouts '%s' (want e.g. 8 or 4,4)\n",
+                 args.Get("fanouts", "8"));
+    return 2;
+  }
 
   VariableTable vars;
   PolynomialSet polys;
@@ -189,7 +278,13 @@ int CmdCompress(const Args& args) {
   auto forest = DeserializeForest(*forest_data, vars);
   if (!forest.ok()) return Fail(forest.status());
 
-  size_t bound = static_cast<size_t>(std::atoll(bound_str));
+  uint64_t bound = 0;
+  if (!ParseUint64(bound_str, &bound)) {
+    std::fprintf(stderr,
+                 "compress: bad --bound '%s' (want a non-negative integer)\n",
+                 bound_str);
+    return 2;
+  }
   std::string algo = args.Get("algo", "opt");
 
   Timer timer;
@@ -269,7 +364,13 @@ int CmdEvaluate(const Args& args) {
       std::fprintf(stderr, "unknown variable '%s'\n", name.c_str());
       return 2;
     }
-    val.Set(id, std::atof(assignment.substr(eq + 1).c_str()));
+    double value = 0;
+    if (!ParseDouble(assignment.substr(eq + 1).c_str(), &value)) {
+      std::fprintf(stderr, "bad --set '%s' (value is not a number)\n",
+                   assignment.c_str());
+      return 2;
+    }
+    val.Set(id, value);
   }
 
   Timer timer;
@@ -282,21 +383,312 @@ int CmdEvaluate(const Args& args) {
   return 0;
 }
 
+// ---------------------------------------------------- remote subcommands --
+
+/// Parses the required --port flag strictly: missing, non-numeric, or
+/// out-of-range values are usage errors (-1 after a message), consistent
+/// with the "nothing is silently ignored" flag-parsing contract.
+long ParsePortArg(const Args& args, const char* cmd) {
+  const char* port = args.Get("port");
+  if (port == nullptr) {
+    std::fprintf(stderr, "%s requires --port\n", cmd);
+    return -1;
+  }
+  uint64_t value = 0;
+  if (!ParseUint64(port, &value) || value < 1 || value > 65535) {
+    std::fprintf(stderr, "%s: bad --port '%s' (want 1-65535)\n", cmd, port);
+    return -1;
+  }
+  return static_cast<long>(value);
+}
+
+/// Connects using --host (default 127.0.0.1) and a validated port.
+StatusOr<Client> ConnectFromArgs(const Args& args, long port) {
+  return Client::Connect(args.Get("host", "127.0.0.1"),
+                         static_cast<uint16_t>(port));
+}
+
+/// Prints a server-side error, if any; returns 0 when the response is OK.
+int CheckResponse(const Response& resp) {
+  if (resp.ok()) return 0;
+  std::fprintf(stderr, "server error: %s\n", resp.ToStatus().ToString().c_str());
+  return 1;
+}
+
+void PrintServerStats(const ServerStats& stats) {
+  std::printf("server: %llu artifacts, %llu cached results, %llu bytes "
+              "cached (budget %llu)\n",
+              static_cast<unsigned long long>(stats.artifact_count),
+              static_cast<unsigned long long>(stats.result_count),
+              static_cast<unsigned long long>(stats.cached_bytes),
+              static_cast<unsigned long long>(stats.byte_budget));
+  std::printf("cache: %llu hits, %llu misses, %llu evictions\n",
+              static_cast<unsigned long long>(stats.result_hits),
+              static_cast<unsigned long long>(stats.result_misses),
+              static_cast<unsigned long long>(stats.evictions));
+  std::printf("batching: %llu batches for %llu evaluate requests\n",
+              static_cast<unsigned long long>(stats.eval_batches),
+              static_cast<unsigned long long>(stats.eval_requests));
+}
+
+int CmdRemoteLoad(const Args& args) {
+  const char* name = args.Get("name");
+  const char* in = args.Get("in");
+  const char* forest = args.Get("forest");
+  if (name == nullptr || (in == nullptr && forest == nullptr)) {
+    std::fprintf(stderr,
+                 "remote-load requires --name and --in and/or --forest\n");
+    return 2;
+  }
+  if (forest == nullptr && args.Get("forest-name") != nullptr) {
+    // Without --forest the name would be silently dropped; refuse.
+    std::fprintf(stderr, "remote-load: --forest-name requires --forest\n");
+    return 2;
+  }
+  // Validate the port before touching the (possibly large) artifact files,
+  // so usage errors surface as usage errors.
+  long port = ParsePortArg(args, "remote-load");
+  if (port < 0) return 2;
+  LoadRequest req;
+  req.artifact = name;
+  if (in != nullptr) {
+    auto data = ReadFileToString(in);
+    if (!data.ok()) return Fail(data.status());
+    req.polys_bytes = std::move(*data);
+  }
+  if (forest != nullptr) {
+    auto data = ReadFileToString(forest);
+    if (!data.ok()) return Fail(data.status());
+    req.forests.emplace_back(args.Get("forest-name", "default"),
+                             std::move(*data));
+  }
+  auto client = ConnectFromArgs(args, port);
+  if (!client.ok()) return Fail(client.status());
+  auto resp = client->Load(req);
+  if (!resp.ok()) return Fail(resp.status());
+  if (int rc = CheckResponse(*resp)) return rc;
+  std::printf("loaded '%s' (generation %llu): %llu polynomials, %llu "
+              "monomials, %llu variables\n",
+              name, static_cast<unsigned long long>(resp->generation),
+              static_cast<unsigned long long>(resp->poly_count),
+              static_cast<unsigned long long>(resp->monomial_count),
+              static_cast<unsigned long long>(resp->variable_count));
+  return 0;
+}
+
+int CmdRemoteInfo(const Args& args) {
+  long port = ParsePortArg(args, "remote-info");
+  if (port < 0) return 2;
+  auto client = ConnectFromArgs(args, port);
+  if (!client.ok()) return Fail(client.status());
+  InfoRequest req;
+  req.artifact = args.Get("name", "");
+  auto resp = client->Info(req);
+  if (!resp.ok()) return Fail(resp.status());
+  if (int rc = CheckResponse(*resp)) return rc;
+  if (!req.artifact.empty()) {
+    std::printf("artifact '%s' (generation %llu):\n", req.artifact.c_str(),
+                static_cast<unsigned long long>(resp->generation));
+    std::printf("  polynomials : %llu\n",
+                static_cast<unsigned long long>(resp->poly_count));
+    std::printf("  monomials   : %llu (|P|_M)\n",
+                static_cast<unsigned long long>(resp->monomial_count));
+    std::printf("  variables   : %llu (|P|_V)\n",
+                static_cast<unsigned long long>(resp->variable_count));
+  }
+  PrintServerStats(resp->stats);
+  return 0;
+}
+
+int CmdRemoteCompress(const Args& args) {
+  const char* name = args.Get("name");
+  const char* bound = args.Get("bound");
+  if (name == nullptr || bound == nullptr) {
+    std::fprintf(stderr, "remote-compress requires --name and --bound\n");
+    return 2;
+  }
+  CompressRequest req;
+  req.artifact = name;
+  req.forest = args.Get("forest-name", "default");
+  req.algo = args.Get("algo", "opt");
+  if (!ParseUint64(bound, &req.bound)) {
+    std::fprintf(
+        stderr,
+        "remote-compress: bad --bound '%s' (want a non-negative integer)\n",
+        bound);
+    return 2;
+  }
+  long port = ParsePortArg(args, "remote-compress");
+  if (port < 0) return 2;
+  auto client = ConnectFromArgs(args, port);
+  if (!client.ok()) return Fail(client.status());
+  Timer timer;
+  auto resp = client->Compress(req);
+  double elapsed = timer.ElapsedSeconds();
+  if (!resp.ok()) return Fail(resp.status());
+  if (int rc = CheckResponse(*resp)) return rc;
+  std::printf("%s: ML=%llu VL=%llu%s in %.3fs\n", req.algo.c_str(),
+              static_cast<unsigned long long>(resp->monomial_loss),
+              static_cast<unsigned long long>(resp->variable_loss),
+              resp->adequate ? "" : " (bound not reached)", elapsed);
+  std::printf("VVS: %s\n", resp->vvs.c_str());
+  std::printf("compressed size: %llu monomials\n",
+              static_cast<unsigned long long>(resp->compressed_monomials));
+  std::printf("cache: %s (%llu hits, %llu misses)\n",
+              resp->cache_hit ? "hit" : "miss",
+              static_cast<unsigned long long>(resp->stats.result_hits),
+              static_cast<unsigned long long>(resp->stats.result_misses));
+  return 0;
+}
+
+int CmdRemoteEvaluate(const Args& args) {
+  const char* name = args.Get("name");
+  if (name == nullptr) {
+    std::fprintf(stderr, "remote-evaluate requires --name\n");
+    return 2;
+  }
+  EvaluateRequest req;
+  req.artifact = name;
+  for (const std::string& assignment : args.sets) {
+    size_t eq = assignment.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "bad --set '%s' (want var=value)\n",
+                   assignment.c_str());
+      return 2;
+    }
+    double value = 0;
+    if (!ParseDouble(assignment.substr(eq + 1).c_str(), &value)) {
+      std::fprintf(stderr, "bad --set '%s' (value is not a number)\n",
+                   assignment.c_str());
+      return 2;
+    }
+    req.assignments.emplace_back(assignment.substr(0, eq), value);
+  }
+  if (const char* bound = args.Get("bound")) {
+    req.compressed = true;
+    if (!ParseUint64(bound, &req.bound)) {
+      std::fprintf(
+          stderr,
+          "remote-evaluate: bad --bound '%s' (want a non-negative integer)\n",
+          bound);
+      return 2;
+    }
+    req.forest = args.Get("forest-name", "default");
+    req.algo = args.Get("algo", "opt");
+  } else if (args.Get("algo") != nullptr ||
+             args.Get("forest-name") != nullptr) {
+    // Without --bound these flags would be silently dropped; refuse.
+    std::fprintf(stderr,
+                 "remote-evaluate: --algo/--forest-name require --bound\n");
+    return 2;
+  }
+  long port = ParsePortArg(args, "remote-evaluate");
+  if (port < 0) return 2;
+  auto client = ConnectFromArgs(args, port);
+  if (!client.ok()) return Fail(client.status());
+  Timer timer;
+  auto resp = client->Evaluate(req);
+  double elapsed = timer.ElapsedSeconds();
+  if (!resp.ok()) return Fail(resp.status());
+  if (int rc = CheckResponse(*resp)) return rc;
+  for (size_t i = 0; i < resp->values.size(); ++i) {
+    std::printf("polynomial %zu: %.6f\n", i, resp->values[i]);
+  }
+  std::printf("(%zu polynomials in %.4fs%s)\n", resp->values.size(), elapsed,
+              req.compressed
+                  ? (resp->cache_hit ? ", compressed, cache: hit"
+                                     : ", compressed, cache: miss")
+                  : "");
+  return 0;
+}
+
+int CmdRemoteTradeoff(const Args& args) {
+  const char* name = args.Get("name");
+  if (name == nullptr) {
+    std::fprintf(stderr, "remote-tradeoff requires --name\n");
+    return 2;
+  }
+  TradeoffRequest req;
+  req.artifact = name;
+  req.forest = args.Get("forest-name", "default");
+  long port = ParsePortArg(args, "remote-tradeoff");
+  if (port < 0) return 2;
+  auto client = ConnectFromArgs(args, port);
+  if (!client.ok()) return Fail(client.status());
+  auto resp = client->Tradeoff(req);
+  if (!resp.ok()) return Fail(resp.status());
+  if (int rc = CheckResponse(*resp)) return rc;
+  std::printf("%12s %14s\n", "size |P'|_M", "variable loss");
+  for (const TradeoffPoint& p : resp->points) {
+    std::printf("%12zu %14zu\n", p.size_m, p.variable_loss);
+  }
+  return 0;
+}
+
+int CmdRemoteShutdown(const Args& args) {
+  long port = ParsePortArg(args, "remote-shutdown");
+  if (port < 0) return 2;
+  auto client = ConnectFromArgs(args, port);
+  if (!client.ok()) return Fail(client.status());
+  auto resp = client->Shutdown(ShutdownRequest{});
+  if (!resp.ok()) return Fail(resp.status());
+  if (int rc = CheckResponse(*resp)) return rc;
+  std::printf("server shutting down\n");
+  return 0;
+}
+
+// ------------------------------------------------------------ dispatch ---
+
+struct Command {
+  const char* name;
+  int (*fn)(const Args&);
+  std::initializer_list<const char*> flags;
+};
+
+const Command kCommands[] = {
+    {"generate", CmdGenerate, {"workload", "scale", "fanouts", "out",
+                               "forest-out"}},
+    {"info", CmdInfo, {"in"}},
+    {"compress", CmdCompress, {"in", "forest", "bound", "algo", "vvs-out",
+                               "out"}},
+    {"tradeoff", CmdTradeoff, {"in", "forest"}},
+    {"evaluate", CmdEvaluate, {"in", "set"}},
+    {"remote-load", CmdRemoteLoad, {"host", "port", "name", "in", "forest",
+                                    "forest-name"}},
+    {"remote-info", CmdRemoteInfo, {"host", "port", "name"}},
+    {"remote-compress", CmdRemoteCompress, {"host", "port", "name", "bound",
+                                            "algo", "forest-name"}},
+    {"remote-evaluate", CmdRemoteEvaluate, {"host", "port", "name", "set",
+                                            "bound", "algo", "forest-name"}},
+    {"remote-tradeoff", CmdRemoteTradeoff, {"host", "port", "name",
+                                            "forest-name"}},
+    {"remote-shutdown", CmdRemoteShutdown, {"host", "port"}},
+};
+
 int Run(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: provabs_cli generate|info|compress|tradeoff|"
-                 "evaluate [flags]\n");
+    std::fputs(kUsage, stderr);
     return 2;
   }
   std::string cmd = argv[1];
-  Args args = ParseArgs(argc, argv, 2);
-  if (cmd == "generate") return CmdGenerate(args);
-  if (cmd == "info") return CmdInfo(args);
-  if (cmd == "compress") return CmdCompress(args);
-  if (cmd == "tradeoff") return CmdTradeoff(args);
-  if (cmd == "evaluate") return CmdEvaluate(args);
-  std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+  if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
+  for (const Command& command : kCommands) {
+    if (cmd != command.name) continue;
+    Args args;
+    if (!ParseArgs(argc, argv, 2, command.name, command.flags, &args)) {
+      return 2;
+    }
+    if (args.help) {
+      std::fputs(kUsage, stdout);
+      return 0;
+    }
+    return command.fn(args);
+  }
+  std::fprintf(stderr, "unknown command '%s'\n\n", cmd.c_str());
+  std::fputs(kUsage, stderr);
   return 2;
 }
 
