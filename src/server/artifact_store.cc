@@ -1,5 +1,7 @@
 #include "server/artifact_store.h"
 
+#include <algorithm>
+
 #include "io/byte_stream.h"
 #include "io/serializer.h"
 
@@ -33,6 +35,15 @@ size_t ApproxArtifactBytes(const Artifact& artifact) {
 
 }  // namespace
 
+ArtifactStore::ArtifactStore(size_t byte_budget, size_t shards)
+    : byte_budget_(byte_budget),
+      shards_(std::max<size_t>(1, shards == 0 ? kDefaultShards : shards)) {
+  // Each shard owns an equal slice of the budget; a slice is never zero so
+  // the "most recent entry survives" guarantee holds per shard.
+  const size_t per_shard = std::max<size_t>(1, byte_budget / shards_.size());
+  for (Shard& shard : shards_) shard.byte_budget = per_shard;
+}
+
 std::string ArtifactStore::ArtifactSlotKey(const std::string& name) {
   return "a" + name;
 }
@@ -48,6 +59,10 @@ std::string ArtifactStore::ResultSlotKey(const ResultKey& key) {
   w.PutVarint(key.bound);
   w.PutString(key.algo);
   return std::move(w).Release();
+}
+
+ArtifactStore::Shard& ArtifactStore::ShardFor(const std::string& slot_key) {
+  return shards_[std::hash<std::string>{}(slot_key) % shards_.size()];
 }
 
 StatusOr<std::shared_ptr<const Artifact>> ArtifactStore::Load(
@@ -71,8 +86,8 @@ StatusOr<std::shared_ptr<const Artifact>> ArtifactStore::Load(
     forest_bytes[forest_name] = bytes;
   }
 
-  // Deserialization happens outside the lock: loads are rare but heavy, and
-  // must not stall concurrent evaluate traffic on other artifacts.
+  // Deserialization happens outside any shard lock: loads are rare but
+  // heavy, and must not stall concurrent evaluate traffic.
   auto artifact = std::make_shared<Artifact>();
   artifact->vars = std::make_shared<VariableTable>();
   auto polys = DeserializePolynomialSet(polys_bytes, *artifact->vars);
@@ -86,93 +101,161 @@ StatusOr<std::shared_ptr<const Artifact>> ArtifactStore::Load(
   }
   artifact->forest_bytes = std::move(forest_bytes);
   artifact->approx_bytes = ApproxArtifactBytes(*artifact);
+  artifact->generation =
+      next_generation_.fetch_add(1, std::memory_order_relaxed);
 
-  std::lock_guard<std::mutex> lock(mutex_);
-  artifact->generation = next_generation_++;
+  const std::string slot_key = ArtifactSlotKey(name);
+  Shard& shard = ShardFor(slot_key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
   Slot slot;
   slot.artifact = artifact;
   slot.bytes = artifact->approx_bytes;
-  InsertSlot(ArtifactSlotKey(name), std::move(slot));
+  InsertSlot(shard, slot_key, std::move(slot));
   return std::shared_ptr<const Artifact>(artifact);
 }
 
 std::shared_ptr<const Artifact> ArtifactStore::Get(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = slots_.find(ArtifactSlotKey(name));
-  if (it == slots_.end()) return nullptr;
-  Touch(it);
+  const std::string slot_key = ArtifactSlotKey(name);
+  Shard& shard = ShardFor(slot_key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.slots.find(slot_key);
+  if (it == shard.slots.end()) return nullptr;
+  Touch(shard, it);
   return it->second.artifact;
 }
 
 std::shared_ptr<const ArtifactStore::CompressedResult>
-ArtifactStore::LookupResult(const ResultKey& key) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = slots_.find(ResultSlotKey(key));
-  if (it == slots_.end()) {
-    ++result_misses_;
+ArtifactStore::LookupSlot(const std::string& slot_key, CountMode mode) {
+  Shard& shard = ShardFor(slot_key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.slots.find(slot_key);
+  if (it == shard.slots.end()) {
+    if (mode == CountMode::kHitsAndMisses) {
+      result_misses_.fetch_add(1, std::memory_order_relaxed);
+    }
     return nullptr;
   }
-  ++result_hits_;
-  Touch(it);
+  result_hits_.fetch_add(1, std::memory_order_relaxed);
+  Touch(shard, it);
   return it->second.result;
 }
 
 std::shared_ptr<const ArtifactStore::CompressedResult>
-ArtifactStore::InsertResult(const ResultKey& key, CompressedResult result) {
+ArtifactStore::LookupResult(const ResultKey& key) {
+  return LookupSlot(ResultSlotKey(key), CountMode::kHitsAndMisses);
+}
+
+std::shared_ptr<const ArtifactStore::CompressedResult>
+ArtifactStore::InsertResultSlot(const std::string& slot_key,
+                                CompressedResult result) {
   auto shared = std::make_shared<CompressedResult>(std::move(result));
   shared->approx_bytes =
       ApproxPolynomialSetBytes(shared->compressed) + shared->vvs_names.size();
-  std::lock_guard<std::mutex> lock(mutex_);
+  Shard& shard = ShardFor(slot_key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
   Slot slot;
   slot.result = shared;
   slot.bytes = shared->approx_bytes;
-  InsertSlot(ResultSlotKey(key), std::move(slot));
+  InsertSlot(shard, slot_key, std::move(slot));
   return shared;
 }
 
+std::shared_ptr<const ArtifactStore::CompressedResult>
+ArtifactStore::InsertResult(const ResultKey& key, CompressedResult result) {
+  return InsertResultSlot(ResultSlotKey(key), std::move(result));
+}
+
+StatusOr<std::shared_ptr<const ArtifactStore::CompressedResult>>
+ArtifactStore::GetOrCompute(const ResultKey& key,
+                            const ResultComputeFn& compute,
+                            GetOrComputeInfo* info) {
+  // One key encoding serves the lookup, the in-flight slot, the post-claim
+  // re-check, and the insert — this is the serving hot path.
+  const std::string slot_key = ResultSlotKey(key);
+  if (auto cached = LookupSlot(slot_key, CountMode::kHitsAndMisses)) {
+    if (info != nullptr) info->cache_hit = true;
+    return cached;
+  }
+
+  bool deduped = false;
+  bool recheck_hit = false;
+  InflightRegistry::Outcome outcome = inflight_.DoOrWait(
+      slot_key,
+      [&]() -> InflightRegistry::Outcome {
+        // Double-check after claiming the slot: a previous leader may have
+        // published between our miss above and the claim.
+        if (auto again = LookupSlot(slot_key, CountMode::kHitsOnly)) {
+          recheck_hit = true;
+          return {Status::OK(), std::move(again)};
+        }
+        StatusOr<CompressedResult> computed = compute();
+        if (!computed.ok()) return {computed.status(), nullptr};
+        return {Status::OK(),
+                InsertResultSlot(slot_key, std::move(*computed))};
+      },
+      &deduped);
+  if (info != nullptr) {
+    info->cache_hit = recheck_hit;
+    info->dedup_hit = deduped;
+  }
+  if (!outcome.status.ok()) return outcome.status;
+  return std::static_pointer_cast<const CompressedResult>(outcome.value);
+}
+
 ArtifactStore::Stats ArtifactStore::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
   Stats stats;
-  stats.artifact_count = artifact_count_;
-  stats.result_count = result_count_;
-  stats.cached_bytes = used_bytes_;
+  stats.artifact_count = artifact_count_.load(std::memory_order_relaxed);
+  stats.result_count = result_count_.load(std::memory_order_relaxed);
+  stats.cached_bytes = used_bytes_total_.load(std::memory_order_relaxed);
   stats.byte_budget = byte_budget_;
-  stats.result_hits = result_hits_;
-  stats.result_misses = result_misses_;
-  stats.evictions = evictions_;
+  stats.result_hits = result_hits_.load(std::memory_order_relaxed);
+  stats.result_misses = result_misses_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  InflightRegistry::Stats inflight_stats = inflight_.stats();
+  stats.dedup_hits = inflight_stats.dedup_hits;
+  stats.inflight_waiters = inflight_stats.waiters_now;
   return stats;
 }
 
 void ArtifactStore::Touch(
-    std::unordered_map<std::string, Slot>::iterator it) {
-  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    Shard& shard, std::unordered_map<std::string, Slot>::iterator it) {
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
 }
 
-void ArtifactStore::InsertSlot(const std::string& slot_key, Slot slot) {
-  auto it = slots_.find(slot_key);
-  if (it != slots_.end()) {
-    used_bytes_ -= it->second.bytes;
-    (it->second.artifact != nullptr ? artifact_count_ : result_count_)--;
-    lru_.erase(it->second.lru_it);
-    slots_.erase(it);
+void ArtifactStore::InsertSlot(Shard& shard, const std::string& slot_key,
+                               Slot slot) {
+  auto it = shard.slots.find(slot_key);
+  if (it != shard.slots.end()) {
+    shard.used_bytes -= it->second.bytes;
+    used_bytes_total_.fetch_sub(it->second.bytes,
+                                std::memory_order_relaxed);
+    (it->second.artifact != nullptr ? artifact_count_ : result_count_)
+        .fetch_sub(1, std::memory_order_relaxed);
+    shard.lru.erase(it->second.lru_it);
+    shard.slots.erase(it);
   }
-  lru_.push_front(slot_key);
-  slot.lru_it = lru_.begin();
-  used_bytes_ += slot.bytes;
-  (slot.artifact != nullptr ? artifact_count_ : result_count_)++;
-  slots_.emplace(slot_key, std::move(slot));
-  EvictToBudget();
+  shard.lru.push_front(slot_key);
+  slot.lru_it = shard.lru.begin();
+  shard.used_bytes += slot.bytes;
+  used_bytes_total_.fetch_add(slot.bytes, std::memory_order_relaxed);
+  (slot.artifact != nullptr ? artifact_count_ : result_count_)
+      .fetch_add(1, std::memory_order_relaxed);
+  shard.slots.emplace(slot_key, std::move(slot));
+  EvictToBudget(shard);
 }
 
-void ArtifactStore::EvictToBudget() {
-  while (used_bytes_ > byte_budget_ && slots_.size() > 1) {
-    const std::string& victim = lru_.back();
-    auto it = slots_.find(victim);
-    used_bytes_ -= it->second.bytes;
-    (it->second.artifact != nullptr ? artifact_count_ : result_count_)--;
-    slots_.erase(it);
-    lru_.pop_back();
-    ++evictions_;
+void ArtifactStore::EvictToBudget(Shard& shard) {
+  while (shard.used_bytes > shard.byte_budget && shard.slots.size() > 1) {
+    const std::string& victim = shard.lru.back();
+    auto it = shard.slots.find(victim);
+    shard.used_bytes -= it->second.bytes;
+    used_bytes_total_.fetch_sub(it->second.bytes,
+                                std::memory_order_relaxed);
+    (it->second.artifact != nullptr ? artifact_count_ : result_count_)
+        .fetch_sub(1, std::memory_order_relaxed);
+    shard.slots.erase(it);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 

@@ -1,7 +1,9 @@
 #ifndef PROVABS_SERVER_ARTIFACT_STORE_H_
 #define PROVABS_SERVER_ARTIFACT_STORE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <map>
 #include <memory>
@@ -16,6 +18,7 @@
 #include "common/statusor.h"
 #include "core/polynomial_set.h"
 #include "core/variable.h"
+#include "server/inflight_registry.h"
 
 namespace provabs {
 
@@ -57,14 +60,34 @@ size_t ApproxPolynomialSetBytes(const PolynomialSet& polys);
 /// repeat compressions skip the DP entirely — the heart of the paper's
 /// "compress once, evaluate interactively" deployment story.
 ///
-/// Eviction walks a single recency list across both entry kinds, dropping
-/// the least-recently-used entry until the budget is met; the most recent
-/// entry is never evicted, so a budget smaller than one artifact still
-/// serves that artifact (it just caches nothing else). All methods are
-/// thread-safe.
+/// The cache is sharded: slot keys hash to one of `shards` independent
+/// (mutex, map, recency list) triples, so concurrent requests for distinct
+/// keys usually take different locks (keys hashing into the same shard
+/// still share one — sharding reduces contention, it cannot eliminate it). Each shard owns an equal fraction of the
+/// byte budget and evicts its own least-recently-used entries; a shard's
+/// most recent entry is never evicted, so a budget smaller than one
+/// artifact still serves that artifact (it just caches nothing else). The
+/// static slicing trades capacity precision for lock independence: the
+/// worst-case overshoot is `shards` oversized most-recent entries (the
+/// global LRU's bound times the shard count), and keys hashing unevenly
+/// see less usable budget than the configured total. Deployments that care
+/// more about the byte bound than about lock contention can construct with
+/// `shards = 1` and get the old global-LRU behavior exactly. All methods
+/// are thread-safe.
+///
+/// On top of the cache sits a single-flight layer (`GetOrCompute`): the
+/// first request for an uncached key runs the compute function, concurrent
+/// identical requests wait for that run's outcome, and only *completed*
+/// results are ever published to the cache — a failed computation returns
+/// its Status to everyone waiting and leaves no trace.
 class ArtifactStore {
  public:
-  explicit ArtifactStore(size_t byte_budget) : byte_budget_(byte_budget) {}
+  /// Shard count used when the constructor argument is 0. Eight shards keep
+  /// lock contention negligible for tens of connection threads without
+  /// fragmenting small byte budgets into uselessly tiny slices.
+  static constexpr size_t kDefaultShards = 8;
+
+  explicit ArtifactStore(size_t byte_budget, size_t shards = 0);
 
   ArtifactStore(const ArtifactStore&) = delete;
   ArtifactStore& operator=(const ArtifactStore&) = delete;
@@ -111,6 +134,27 @@ class ArtifactStore {
   std::shared_ptr<const CompressedResult> InsertResult(
       const ResultKey& key, CompressedResult result);
 
+  /// Produces the result to publish for an uncached key. Runs on the
+  /// calling thread with no store or registry lock held.
+  using ResultComputeFn = std::function<StatusOr<CompressedResult>()>;
+
+  /// How one GetOrCompute call was answered, for per-response reporting.
+  struct GetOrComputeInfo {
+    bool cache_hit = false;  ///< Answered from the result cache (no wait).
+    bool dedup_hit = false;  ///< Waited on another request's computation.
+  };
+
+  /// Single-flight cache fill: returns the cached result for `key` if
+  /// present; otherwise the first caller runs `compute` while concurrent
+  /// identical callers block on its outcome (distinct keys proceed in
+  /// parallel). A successful result is inserted into the cache *before*
+  /// being published to waiters; a failure is returned as its Status to the
+  /// leader and every waiter, and is never cached — the next non-concurrent
+  /// request retries from scratch.
+  StatusOr<std::shared_ptr<const CompressedResult>> GetOrCompute(
+      const ResultKey& key, const ResultComputeFn& compute,
+      GetOrComputeInfo* info = nullptr);
+
   struct Stats {
     uint64_t artifact_count = 0;
     uint64_t result_count = 0;
@@ -119,12 +163,17 @@ class ArtifactStore {
     uint64_t result_hits = 0;
     uint64_t result_misses = 0;
     uint64_t evictions = 0;
+    uint64_t dedup_hits = 0;        ///< Requests served by waiting (total).
+    uint64_t inflight_waiters = 0;  ///< Requests blocked right now (gauge).
   };
   Stats stats() const;
 
+  /// Single-flight internals, exposed for tests and the stats block.
+  const InflightRegistry& inflight() const { return inflight_; }
+
  private:
   /// Cache slots are keyed by a tag byte + encoded identity so artifact and
-  /// result entries share one map and one recency list.
+  /// result entries share one map and one recency list per shard.
   struct Slot {
     std::shared_ptr<const Artifact> artifact;        // exactly one of these
     std::shared_ptr<const CompressedResult> result;  // two is non-null
@@ -132,35 +181,66 @@ class ArtifactStore {
     std::list<std::string>::iterator lru_it;
   };
 
+  /// One independently locked cache partition.
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<std::string> lru;  // front = most recently used slot key
+    std::unordered_map<std::string, Slot> slots;
+    size_t byte_budget = 0;
+    size_t used_bytes = 0;
+  };
+
   static std::string ArtifactSlotKey(const std::string& name);
   static std::string ResultSlotKey(const ResultKey& key);
 
-  /// Moves `it`'s slot to the front of the recency list. Requires mutex_.
-  void Touch(std::unordered_map<std::string, Slot>::iterator it);
-  /// Installs/replaces a slot and evicts down to budget. Requires mutex_.
-  void InsertSlot(const std::string& slot_key, Slot slot);
-  /// Evicts LRU entries until within budget (keeping ≥1 entry). Requires
-  /// mutex_.
-  void EvictToBudget();
+  Shard& ShardFor(const std::string& slot_key);
+
+  /// What the hit/miss counters should record for one lookup.
+  /// GetOrCompute's post-claim re-check counts a hit (its response reports
+  /// cache_hit=true, and the cumulative counters on the same envelope must
+  /// agree) but never a miss (the caller's original lookup already
+  /// recorded that miss).
+  enum class CountMode { kHitsAndMisses, kHitsOnly };
+
+  /// Result lookup by pre-encoded slot key; the public LookupResult and
+  /// GetOrCompute share it so a cold fill encodes the key only once.
+  std::shared_ptr<const CompressedResult> LookupSlot(
+      const std::string& slot_key, CountMode mode);
+  std::shared_ptr<const CompressedResult> InsertResultSlot(
+      const std::string& slot_key, CompressedResult result);
+
+  /// Moves `it`'s slot to the front of the shard's recency list. Requires
+  /// shard.mutex.
+  static void Touch(Shard& shard,
+                    std::unordered_map<std::string, Slot>::iterator it);
+  /// Installs/replaces a slot and evicts the shard down to its budget.
+  /// Requires shard.mutex.
+  void InsertSlot(Shard& shard, const std::string& slot_key, Slot slot);
+  /// Evicts the shard's LRU entries until within budget (keeping ≥1
+  /// entry). Requires shard.mutex.
+  void EvictToBudget(Shard& shard);
 
   /// Serializes whole Load() cycles (read existing → deserialize → install)
   /// so concurrent loads of one artifact cannot lose each other's forest
-  /// merges. Distinct from mutex_ on purpose: deserialization is slow, and
-  /// Get/LookupResult traffic must not stall behind it.
+  /// merges. Distinct from the shard mutexes on purpose: deserialization is
+  /// slow, and Get/LookupResult traffic must not stall behind it.
   std::mutex load_mutex_;
-  mutable std::mutex mutex_;
-  std::list<std::string> lru_;  // front = most recently used slot key
-  std::unordered_map<std::string, Slot> slots_;
-  size_t byte_budget_;
-  size_t used_bytes_ = 0;
-  // Counts are maintained incrementally: stats() runs on every response,
-  // so it must not walk the slot map under the global mutex.
-  uint64_t artifact_count_ = 0;
-  uint64_t result_count_ = 0;
-  uint64_t next_generation_ = 1;
-  uint64_t result_hits_ = 0;
-  uint64_t result_misses_ = 0;
-  uint64_t evictions_ = 0;
+  const size_t byte_budget_;
+  std::vector<Shard> shards_;
+  InflightRegistry inflight_;
+  // Store-wide counters are plain atomics (not per-shard fields) so stats()
+  // — which runs on every response — reads them without taking a single
+  // shard lock, and so TSan-clean increments never require widening a
+  // critical section. `used_bytes_total_` mirrors the sum of the shards'
+  // `used_bytes` (each shard's own field, guarded by its mutex, stays
+  // authoritative for eviction decisions).
+  std::atomic<uint64_t> used_bytes_total_{0};
+  std::atomic<uint64_t> artifact_count_{0};
+  std::atomic<uint64_t> result_count_{0};
+  std::atomic<uint64_t> next_generation_{1};
+  std::atomic<uint64_t> result_hits_{0};
+  std::atomic<uint64_t> result_misses_{0};
+  std::atomic<uint64_t> evictions_{0};
 };
 
 }  // namespace provabs

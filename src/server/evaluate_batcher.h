@@ -52,6 +52,15 @@ class EvaluateBatcher {
   Stats stats() const;
 
  private:
+  /// Concurrency audit (TSan'd by tests/server_concurrency_test.cc): a
+  /// Pending crosses threads only through `mutex_` and the pool's own
+  /// synchronization. The caller publishes it into `queue_` under the
+  /// lock; the leader takes the queue under the lock and sizes `out`
+  /// before any Submit (the pool's queue mutex orders those writes before
+  /// worker reads); workers write disjoint `out` slots; the leader's
+  /// post-ParallelFor lock re-acquire orders those writes before `done`
+  /// flips; and the owner only reads `out` after observing `done` under
+  /// the lock. `stats_` is only ever touched under `mutex_`.
   struct Pending {
     std::shared_ptr<const PolynomialSet> polys;
     Valuation val;

@@ -1,0 +1,83 @@
+#include "server/inflight_registry.h"
+
+#include <exception>
+#include <utility>
+
+namespace provabs {
+
+InflightRegistry::Outcome InflightRegistry::DoOrWait(
+    const std::string& key, const ComputeFn& compute, bool* deduped) {
+  std::shared_ptr<Slot> slot;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = inflight_.find(key);
+    if (it == inflight_.end()) {
+      slot = std::make_shared<Slot>();
+      slot->future = slot->promise.get_future().share();
+      inflight_.emplace(key, slot);
+      leader = true;
+    } else {
+      slot = it->second;
+    }
+  }
+  if (deduped != nullptr) *deduped = !leader;
+
+  if (!leader) {
+    dedup_hits_.fetch_add(1, std::memory_order_relaxed);
+    uint64_t now = waiters_now_.fetch_add(1, std::memory_order_relaxed) + 1;
+    uint64_t peak = peak_waiters_.load(std::memory_order_relaxed);
+    while (now > peak && !peak_waiters_.compare_exchange_weak(
+                             peak, now, std::memory_order_relaxed)) {
+    }
+    Outcome outcome = slot->future.get();
+    waiters_now_.fetch_sub(1, std::memory_order_relaxed);
+    return outcome;
+  }
+  computations_.fetch_add(1, std::memory_order_relaxed);
+
+  // The library reports errors through Status, but a computation could
+  // still throw (bad_alloc, a test hook): without the catch, the slot
+  // would stay in the map with an unfulfilled promise and every present
+  // and future caller for the key would block forever.
+  Outcome outcome;
+  try {
+    outcome = compute();
+  } catch (const std::exception& e) {
+    outcome.status =
+        Status::Internal(std::string("in-flight computation threw: ") +
+                         e.what());
+  } catch (...) {
+    outcome.status = Status::Internal("in-flight computation threw");
+  }
+  {
+    // Erase BEFORE publishing: once the future is ready, no new caller may
+    // join this slot — an arrival strictly after completion must re-check
+    // the durable cache and, on a miss (e.g. the outcome was a failure),
+    // start a fresh computation. This is what makes failures non-sticky.
+    std::lock_guard<std::mutex> lock(mutex_);
+    inflight_.erase(key);
+  }
+  slot->promise.set_value(outcome);
+  return outcome;
+}
+
+InflightRegistry::Stats InflightRegistry::stats() const {
+  Stats stats;
+  stats.computations = computations_.load(std::memory_order_relaxed);
+  stats.dedup_hits = dedup_hits_.load(std::memory_order_relaxed);
+  stats.peak_waiters = peak_waiters_.load(std::memory_order_relaxed);
+  stats.waiters_now = waiters_now_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+uint64_t InflightRegistry::WaitersNow() const {
+  return waiters_now_.load(std::memory_order_relaxed);
+}
+
+uint64_t InflightRegistry::KeysNow() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return inflight_.size();
+}
+
+}  // namespace provabs

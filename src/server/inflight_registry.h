@@ -1,0 +1,98 @@
+#ifndef PROVABS_SERVER_INFLIGHT_REGISTRY_H_
+#define PROVABS_SERVER_INFLIGHT_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+
+namespace provabs {
+
+/// Single-flight deduplication of concurrent identical computations.
+///
+/// The serving workload is many analysts hitting the same hot compression
+/// keys: without coordination, a burst of identical requests runs the
+/// expensive DP once per request. The registry collapses the burst to one
+/// execution: the first caller for a key claims the in-flight slot and runs
+/// the computation on its own thread; every caller that arrives while it
+/// runs blocks on a `std::shared_future` of the same outcome. Distinct keys
+/// never synchronize with each other — the registry lock is only held for
+/// map bookkeeping, never across a computation.
+///
+/// Failure is not sticky: the slot is erased before the outcome is
+/// published, so a failed computation is shared only with the callers that
+/// were already waiting on it — the next arrival claims a fresh slot and
+/// retries. Nothing is cached here; durable storage of successful results
+/// is the caller's job (see ArtifactStore::GetOrCompute).
+class InflightRegistry {
+ public:
+  /// What one computation produced: a Status plus an opaque shared value.
+  /// The value is type-erased so the registry does not depend on what it
+  /// transports; the single caller that casts it back (ArtifactStore)
+  /// erased it in the first place.
+  struct Outcome {
+    Status status = Status::OK();
+    std::shared_ptr<const void> value;
+  };
+
+  using ComputeFn = std::function<Outcome()>;
+
+  InflightRegistry() = default;
+  InflightRegistry(const InflightRegistry&) = delete;
+  InflightRegistry& operator=(const InflightRegistry&) = delete;
+
+  /// Single-flight entry point. If no computation for `key` is in flight,
+  /// the caller becomes the leader: it runs `compute` (outside the registry
+  /// lock) and its outcome is published to every waiter. Otherwise the
+  /// caller blocks until the leader publishes and returns that shared
+  /// outcome. `*deduped` (optional) is set to true iff this call waited
+  /// instead of computing.
+  Outcome DoOrWait(const std::string& key, const ComputeFn& compute,
+                   bool* deduped = nullptr);
+
+  struct Stats {
+    uint64_t computations = 0;  ///< Leader runs (actual executions).
+    uint64_t dedup_hits = 0;    ///< Calls answered by waiting on a leader.
+    uint64_t peak_waiters = 0;  ///< Max callers ever blocked at once.
+    uint64_t waiters_now = 0;   ///< Callers blocked right now (gauge).
+  };
+  /// Lock-free (counters are atomics): stats() feeds every response
+  /// envelope, so it must not serialize the request path at all.
+  Stats stats() const;
+
+  /// Callers currently blocked on some leader's outcome (a gauge; the
+  /// concurrency tests use it to release a leader only once every expected
+  /// waiter has actually joined).
+  uint64_t WaitersNow() const;
+
+  /// Keys with a computation currently in flight (a gauge).
+  uint64_t KeysNow() const;
+
+ private:
+  /// One in-flight computation. Waiters hold the slot via shared_ptr, so
+  /// erasing the map entry never invalidates a future being waited on.
+  struct Slot {
+    std::promise<Outcome> promise;
+    std::shared_future<Outcome> future;
+  };
+
+  /// Guards the slot map only; the counters are atomics so stats() (run on
+  /// every response) and waiter arrival/departure bookkeeping never take
+  /// this lock beyond the claim/join itself.
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<Slot>> inflight_;
+  std::atomic<uint64_t> computations_{0};
+  std::atomic<uint64_t> dedup_hits_{0};
+  std::atomic<uint64_t> peak_waiters_{0};
+  std::atomic<uint64_t> waiters_now_{0};
+};
+
+}  // namespace provabs
+
+#endif  // PROVABS_SERVER_INFLIGHT_REGISTRY_H_

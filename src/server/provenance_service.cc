@@ -19,11 +19,12 @@ void SetError(Response& resp, const Status& status) {
 }  // namespace
 
 ProvenanceService::ProvenanceService(const ServiceOptions& options)
-    : store_(options.cache_bytes),
+    : store_(options.cache_bytes, options.cache_shards),
       pool_(options.eval_threads != 0
                 ? options.eval_threads
                 : static_cast<size_t>(std::thread::hardware_concurrency())),
-      batcher_(pool_) {}
+      batcher_(pool_),
+      compress_hook_(options.compress_hook) {}
 
 void ProvenanceService::AttachStats(Response& resp) {
   ArtifactStore::Stats store_stats = store_.stats();
@@ -34,6 +35,8 @@ void ProvenanceService::AttachStats(Response& resp) {
   resp.stats.result_hits = store_stats.result_hits;
   resp.stats.result_misses = store_stats.result_misses;
   resp.stats.evictions = store_stats.evictions;
+  resp.stats.dedup_hits = store_stats.dedup_hits;
+  resp.stats.inflight_waiters = store_stats.inflight_waiters;
   EvaluateBatcher::Stats batch_stats = batcher_.stats();
   resp.stats.eval_batches = batch_stats.batches;
   resp.stats.eval_requests = batch_stats.requests;
@@ -80,35 +83,42 @@ ProvenanceService::CompressInternal(
 
   ArtifactStore::ResultKey key{artifact_name, artifact->generation,
                                forest_name, bound, algo};
-  std::shared_ptr<const ArtifactStore::CompressedResult> cached =
-      store_.LookupResult(key);
-  if (cached == nullptr) {
-    // The DP runs outside any store lock; two racing identical requests at
-    // worst both compute and the second insert wins.
-    StatusOr<CompressionResult> result =
-        algo == "greedy"
-            ? GreedyMultiTree(artifact->polys, *forest, bound)
-            : OptimalSingleTree(artifact->polys, *forest, 0, bound);
-    if (!result.ok()) {
-      SetError(resp, result.status());
-      return nullptr;
-    }
-    ArtifactStore::CompressedResult computed;
-    computed.loss = result->loss;
-    computed.adequate = result->adequate;
-    computed.vvs_names = result->vvs.ToString(*forest, *artifact->vars);
-    computed.compressed = result->vvs.Apply(*forest, artifact->polys);
-    cached = store_.InsertResult(key, std::move(computed));
-    resp.cache_hit = false;
-  } else {
-    resp.cache_hit = true;
+  // Single-flight: the first request for this key runs the DP on this
+  // thread; concurrent identical requests block on its outcome instead of
+  // computing twice; distinct keys proceed fully in parallel. A failed DP
+  // is reported to every waiter and never cached.
+  ArtifactStore::GetOrComputeInfo info;
+  StatusOr<std::shared_ptr<const ArtifactStore::CompressedResult>> cached =
+      store_.GetOrCompute(
+          key,
+          [&]() -> StatusOr<ArtifactStore::CompressedResult> {
+            if (compress_hook_) compress_hook_(key);
+            StatusOr<CompressionResult> result =
+                algo == "greedy"
+                    ? GreedyMultiTree(artifact->polys, *forest, bound)
+                    : OptimalSingleTree(artifact->polys, *forest, 0, bound);
+            if (!result.ok()) return result.status();
+            ArtifactStore::CompressedResult computed;
+            computed.loss = result->loss;
+            computed.adequate = result->adequate;
+            computed.vvs_names =
+                result->vvs.ToString(*forest, *artifact->vars);
+            computed.compressed = result->vvs.Apply(*forest, artifact->polys);
+            return computed;
+          },
+          &info);
+  resp.cache_hit = info.cache_hit;
+  resp.dedup_hit = info.dedup_hit;
+  if (!cached.ok()) {
+    SetError(resp, cached.status());
+    return nullptr;
   }
-  resp.monomial_loss = cached->loss.monomial_loss;
-  resp.variable_loss = cached->loss.variable_loss;
-  resp.adequate = cached->adequate;
-  resp.vvs = cached->vvs_names;
-  resp.compressed_monomials = cached->compressed.SizeM();
-  return cached;
+  resp.monomial_loss = (*cached)->loss.monomial_loss;
+  resp.variable_loss = (*cached)->loss.variable_loss;
+  resp.adequate = (*cached)->adequate;
+  resp.vvs = (*cached)->vvs_names;
+  resp.compressed_monomials = (*cached)->compressed.SizeM();
+  return *cached;
 }
 
 Response ProvenanceService::Compress(const CompressRequest& req) {

@@ -2,6 +2,7 @@
 #define PROVABS_SERVER_PROVENANCE_SERVICE_H_
 
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -18,6 +19,14 @@ struct ServiceOptions {
   size_t cache_bytes = size_t{256} << 20;  // 256 MiB
   /// Worker threads for batched evaluation; 0 = hardware concurrency.
   size_t eval_threads = 0;
+  /// Cache shards (independent mutex + LRU partitions); 0 = store default.
+  size_t cache_shards = 0;
+  /// Test-only hook, invoked on the computing thread at the start of every
+  /// compression DP that single-flight actually runs — not for cache hits,
+  /// not for deduplicated waiters. The concurrency test battery uses it to
+  /// count DP executions and to hold leaders at a barrier; production
+  /// leaves it empty.
+  std::function<void(const ArtifactStore::ResultKey&)> compress_hook;
 };
 
 /// The serving core: load / compress / tradeoff / evaluate over named
@@ -54,11 +63,13 @@ class ProvenanceService {
   /// Fills the stats section of `resp` from store + batcher counters.
   void AttachStats(Response& resp);
   /// Shared by Compress and Evaluate-over-compressed: returns the cached
-  /// result or runs the DP and caches it, against the caller's `artifact`
-  /// snapshot (never re-fetched, so a concurrent reload cannot swap the
-  /// VariableTable out from under ids the caller already resolved). On
-  /// success fills the compress section of `resp` and returns the result;
-  /// on failure fills code/message and returns nullptr.
+  /// result, waits on an identical in-flight request, or runs the DP and
+  /// caches it (single-flight; see ArtifactStore::GetOrCompute) — against
+  /// the caller's `artifact` snapshot (never re-fetched, so a concurrent
+  /// reload cannot swap the VariableTable out from under ids the caller
+  /// already resolved). On success fills the compress section of `resp`
+  /// (including cache_hit/dedup_hit) and returns the result; on failure
+  /// fills code/message and returns nullptr.
   std::shared_ptr<const ArtifactStore::CompressedResult> CompressInternal(
       const std::shared_ptr<const Artifact>& artifact,
       const std::string& artifact_name, const std::string& forest_name,
@@ -67,6 +78,7 @@ class ProvenanceService {
   ArtifactStore store_;
   ThreadPool pool_;
   EvaluateBatcher batcher_;
+  std::function<void(const ArtifactStore::ResultKey&)> compress_hook_;
 };
 
 }  // namespace provabs

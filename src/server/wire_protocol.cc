@@ -12,7 +12,7 @@ namespace provabs {
 namespace {
 
 constexpr char kMagic[4] = {'P', 'V', 'A', 'B'};
-constexpr uint8_t kVersion = 1;
+constexpr uint8_t kVersion = kWireVersion;
 
 void WriteHeader(ByteWriter& w, MessageKind kind) {
   w.PutBytes(kMagic, 4);
@@ -266,6 +266,8 @@ std::string EncodeResponse(const Response& resp) {
   w.PutVarint(resp.stats.evictions);
   w.PutVarint(resp.stats.eval_batches);
   w.PutVarint(resp.stats.eval_requests);
+  w.PutVarint(resp.stats.dedup_hits);
+  w.PutVarint(resp.stats.inflight_waiters);
 
   w.PutVarint(resp.generation);
   w.PutVarint(resp.poly_count);
@@ -273,6 +275,7 @@ std::string EncodeResponse(const Response& resp) {
   w.PutVarint(resp.variable_count);
 
   w.PutU8(resp.cache_hit ? 1 : 0);
+  w.PutU8(resp.dedup_hit ? 1 : 0);
   w.PutVarint(resp.monomial_loss);
   w.PutVarint(resp.variable_loss);
   w.PutU8(resp.adequate ? 1 : 0);
@@ -313,7 +316,8 @@ StatusOr<Response> DecodeResponse(std::string_view payload) {
       &resp.stats.cached_bytes,   &resp.stats.byte_budget,
       &resp.stats.result_hits,    &resp.stats.result_misses,
       &resp.stats.evictions,      &resp.stats.eval_batches,
-      &resp.stats.eval_requests,  &resp.generation,
+      &resp.stats.eval_requests,  &resp.stats.dedup_hits,
+      &resp.stats.inflight_waiters, &resp.generation,
       &resp.poly_count,           &resp.monomial_count,
       &resp.variable_count};
   for (uint64_t* field : stat_fields) {
@@ -325,6 +329,9 @@ StatusOr<Response> DecodeResponse(std::string_view payload) {
   auto cache_hit = r.GetU8();
   if (!cache_hit.ok()) return cache_hit.status();
   resp.cache_hit = *cache_hit != 0;
+  auto dedup_hit = r.GetU8();
+  if (!dedup_hit.ok()) return dedup_hit.status();
+  resp.dedup_hit = *dedup_hit != 0;
   auto ml = r.GetVarint();
   if (!ml.ok()) return ml.status();
   resp.monomial_loss = *ml;

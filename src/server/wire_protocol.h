@@ -37,6 +37,13 @@ namespace provabs {
 /// return `Status` errors on malformed input; they never abort (the bytes
 /// come from the network).
 
+/// Protocol version byte. Bump whenever any message layout changes so a
+/// version-skewed peer gets a clean "unsupported protocol version" error
+/// instead of silently misparsing fields. History: 1 = PR 2 initial
+/// protocol; 2 = single-flight counters (dedup_hits/inflight_waiters in
+/// the stats block, per-response dedup_hit byte).
+inline constexpr uint8_t kWireVersion = 2;
+
 enum class MessageKind : uint8_t {
   kLoadRequest = 16,
   kCompressRequest = 17,
@@ -111,6 +118,12 @@ struct ServerStats {
   uint64_t evictions = 0;
   uint64_t eval_batches = 0;
   uint64_t eval_requests = 0;
+  /// Compression requests answered by waiting on another request's
+  /// in-flight DP run (single-flight dedup; cumulative).
+  uint64_t dedup_hits = 0;
+  /// Requests blocked on an in-flight DP right now (a gauge, sampled when
+  /// the response was built).
+  uint64_t inflight_waiters = 0;
 };
 
 /// The single response envelope: `request_kind` echoes the request it
@@ -137,6 +150,10 @@ struct Response {
 
   // compress (and evaluate over a compressed view).
   bool cache_hit = false;
+  /// True when this request neither hit the cache nor ran the DP itself:
+  /// it blocked on an identical request's in-flight run and shares its
+  /// result (single-flight dedup).
+  bool dedup_hit = false;
   uint64_t monomial_loss = 0;
   uint64_t variable_loss = 0;
   bool adequate = false;

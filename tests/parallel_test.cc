@@ -92,6 +92,37 @@ TEST(ThreadPoolTest, ReusableAcrossManyRounds) {
   EXPECT_EQ(total.load(), 1700);
 }
 
+TEST(ThreadPoolTest, ConcurrentCallersFromManyThreads) {
+  // The concurrent serving path drives one pool from many connection
+  // threads at once: interleaved Submit/Wait and whole ParallelFor calls
+  // must never drop or double-run a unit (Wait() waits for *all* in-flight
+  // tasks, so a caller may over-wait — that is allowed, losing work is
+  // not). Run under TSan in CI.
+  ThreadPool pool(4);
+  constexpr int kCallers = 8;
+  constexpr int kRounds = 20;
+  std::vector<std::atomic<int>> counts(kCallers);
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      for (int round = 0; round < kRounds; ++round) {
+        if ((c + round) % 2 == 0) {
+          pool.ParallelFor(13, [&, c](size_t) { counts[c].fetch_add(1); });
+        } else {
+          for (int i = 0; i < 13; ++i) {
+            pool.Submit([&, c] { counts[c].fetch_add(1); });
+          }
+          pool.Wait();
+        }
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (int c = 0; c < kCallers; ++c) {
+    EXPECT_EQ(counts[c].load(), kRounds * 13) << "caller " << c;
+  }
+}
+
 // -------------------------------------------------- parallel primitives --
 
 class ParallelCompressTest : public ::testing::Test {

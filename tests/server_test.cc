@@ -117,13 +117,73 @@ TEST_F(StoreTest, ResultCacheCountsHitsAndMisses) {
 
 TEST_F(StoreTest, LruEvictsUnderByteBudget) {
   // Budget fits roughly one artifact: loading a second evicts the first.
-  ArtifactStore tiny(ApproxPolynomialSetBytes(polys_) + polys_bytes_.size());
+  // One shard, so both names share a budget and a recency list (with the
+  // default sharding each name would own its own slice and both survive).
+  ArtifactStore tiny(ApproxPolynomialSetBytes(polys_) + polys_bytes_.size(),
+                     /*shards=*/1);
   ASSERT_TRUE(tiny.Load("a", polys_bytes_, {}).ok());
   ASSERT_TRUE(tiny.Load("b", polys_bytes_, {}).ok());
   EXPECT_GT(tiny.stats().evictions, 0u);
   EXPECT_EQ(tiny.Get("a"), nullptr);
   // The most recently used entry always survives, even over budget.
   EXPECT_NE(tiny.Get("b"), nullptr);
+}
+
+TEST_F(StoreTest, ShardedStoreServesAllShards) {
+  // With many shards, entries land in per-shard partitions but the store
+  // behaves as one cache: all loads visible, stats aggregate across shards.
+  ArtifactStore store(64 << 20, /*shards=*/8);
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(
+        store.Load("art" + std::to_string(i), polys_bytes_, {}).ok());
+  }
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_NE(store.Get("art" + std::to_string(i)), nullptr) << i;
+  }
+  ArtifactStore::Stats stats = store.stats();
+  EXPECT_EQ(stats.artifact_count, 16u);
+  EXPECT_GT(stats.cached_bytes, 0u);
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST_F(StoreTest, GetOrComputePublishesOnlyCompletedResults) {
+  ArtifactStore store(1 << 20);
+  ArtifactStore::ResultKey key{"ex", 1, "plans", 10, "opt"};
+
+  // A failing compute returns its Status and leaves the cache untouched.
+  int runs = 0;
+  auto failing = [&]() -> StatusOr<ArtifactStore::CompressedResult> {
+    ++runs;
+    return Status::Infeasible("no adequate VVS");
+  };
+  ArtifactStore::GetOrComputeInfo info;
+  auto failed = store.GetOrCompute(key, failing, &info);
+  EXPECT_EQ(failed.status().code(), StatusCode::kInfeasible);
+  EXPECT_FALSE(info.cache_hit);
+  EXPECT_FALSE(info.dedup_hit);
+  EXPECT_EQ(store.stats().result_count, 0u);
+
+  // Not poisoned: the next call recomputes, succeeds, and caches.
+  auto succeeding = [&]() -> StatusOr<ArtifactStore::CompressedResult> {
+    ++runs;
+    ArtifactStore::CompressedResult result;
+    result.loss.monomial_loss = 5;
+    result.vvs_names = "{Plans}";
+    return result;
+  };
+  auto ok = store.GetOrCompute(key, succeeding, &info);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ((*ok)->loss.monomial_loss, 5u);
+  EXPECT_FALSE(info.cache_hit);
+  EXPECT_EQ(runs, 2);
+  EXPECT_EQ(store.stats().result_count, 1u);
+
+  // A third call is a pure cache hit; the compute fn never runs.
+  auto hit = store.GetOrCompute(key, failing, &info);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(info.cache_hit);
+  EXPECT_EQ((*hit)->loss.monomial_loss, 5u);
+  EXPECT_EQ(runs, 2);
 }
 
 TEST_F(StoreTest, BudgetSmallerThanOneArtifactStillServesIt) {

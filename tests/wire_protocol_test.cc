@@ -88,12 +88,13 @@ TEST(WireProtocolTest, ResponseRoundTrip) {
   resp.request_kind = MessageKind::kCompressRequest;
   resp.code = StatusCode::kInfeasible;
   resp.message = "no adequate VVS";
-  resp.stats = {3, 7, 1 << 20, 1 << 26, 10, 4, 2, 5, 40};
+  resp.stats = {3, 7, 1 << 20, 1 << 26, 10, 4, 2, 5, 40, 15, 6};
   resp.generation = 12;
   resp.poly_count = 89;
   resp.monomial_count = 2400;
   resp.variable_count = 111;
   resp.cache_hit = true;
+  resp.dedup_hit = true;
   resp.monomial_loss = 1332;
   resp.variable_loss = 98;
   resp.adequate = true;
@@ -111,9 +112,12 @@ TEST(WireProtocolTest, ResponseRoundTrip) {
   EXPECT_EQ(decoded->ToStatus().code(), StatusCode::kInfeasible);
   EXPECT_EQ(decoded->stats.artifact_count, 3u);
   EXPECT_EQ(decoded->stats.eval_requests, 40u);
+  EXPECT_EQ(decoded->stats.dedup_hits, 15u);
+  EXPECT_EQ(decoded->stats.inflight_waiters, 6u);
   EXPECT_EQ(decoded->generation, 12u);
   EXPECT_EQ(decoded->monomial_count, 2400u);
   EXPECT_TRUE(decoded->cache_hit);
+  EXPECT_TRUE(decoded->dedup_hit);
   EXPECT_TRUE(decoded->adequate);
   EXPECT_EQ(decoded->vvs, "{T_root}");
   EXPECT_EQ(decoded->compressed_monomials, 1068u);
@@ -133,10 +137,16 @@ TEST(WireProtocolTest, PeekMessageKind) {
             MessageKind::kResponse);
   EXPECT_FALSE(PeekMessageKind("").ok());
   EXPECT_FALSE(PeekMessageKind("XVAB\x01\x10").ok());
-  // Valid header, unknown kind byte.
-  EXPECT_FALSE(PeekMessageKind(std::string("PVAB\x01\x7F", 6)).ok());
-  // An artifact kind (1..4) is not a protocol message.
-  EXPECT_FALSE(PeekMessageKind(std::string("PVAB\x01\x01", 6)).ok());
+  // Current header with an unknown kind byte / an artifact kind (1..4):
+  // neither is a protocol message.
+  std::string header = {'P', 'V', 'A', 'B', static_cast<char>(kWireVersion)};
+  EXPECT_FALSE(PeekMessageKind(header + '\x7F').ok());
+  EXPECT_FALSE(PeekMessageKind(header + '\x01').ok());
+  // A stale protocol version is rejected by name, not misparsed.
+  std::string stale = {'P', 'V', 'A', 'B', '\x01',
+                       static_cast<char>(MessageKind::kInfoRequest)};
+  EXPECT_FALSE(PeekMessageKind(stale).ok());
+  EXPECT_FALSE(DecodeInfoRequest(stale).ok());
 }
 
 /// Every strict prefix of a valid message must decode to a clean Status
@@ -201,7 +211,7 @@ TEST(WireProtocolTest, HostileElementCountRejectedBeforeAllocation) {
   // plausibility check, not attempt a monster reserve.
   ByteWriter w;
   w.PutBytes("PVAB", 4);
-  w.PutU8(1);
+  w.PutU8(kWireVersion);
   w.PutU8(static_cast<uint8_t>(MessageKind::kEvaluateRequest));
   w.PutString("a");
   w.PutVarint(1'000'000'000'000'000'000ull);

@@ -426,6 +426,9 @@ void PrintServerStats(const ServerStats& stats) {
               static_cast<unsigned long long>(stats.result_hits),
               static_cast<unsigned long long>(stats.result_misses),
               static_cast<unsigned long long>(stats.evictions));
+  std::printf("single-flight: %llu dedup hits, %llu waiters in flight\n",
+              static_cast<unsigned long long>(stats.dedup_hits),
+              static_cast<unsigned long long>(stats.inflight_waiters));
   std::printf("batching: %llu batches for %llu evaluate requests\n",
               static_cast<unsigned long long>(stats.eval_batches),
               static_cast<unsigned long long>(stats.eval_requests));
@@ -538,6 +541,13 @@ int CmdRemoteCompress(const Args& args) {
               resp->cache_hit ? "hit" : "miss",
               static_cast<unsigned long long>(resp->stats.result_hits),
               static_cast<unsigned long long>(resp->stats.result_misses));
+  // Three disjoint outcomes: answered from cache, waited on an identical
+  // request's in-flight DP (dedup), or ran the DP on the server thread.
+  std::printf("single-flight: %s (%llu dedup hits total)\n",
+              resp->cache_hit    ? "cache hit, no DP involved"
+              : resp->dedup_hit  ? "waited on an in-flight DP"
+                                 : "ran the DP",
+              static_cast<unsigned long long>(resp->stats.dedup_hits));
   return 0;
 }
 
@@ -595,10 +605,10 @@ int CmdRemoteEvaluate(const Args& args) {
     std::printf("polynomial %zu: %.6f\n", i, resp->values[i]);
   }
   std::printf("(%zu polynomials in %.4fs%s)\n", resp->values.size(), elapsed,
-              req.compressed
-                  ? (resp->cache_hit ? ", compressed, cache: hit"
-                                     : ", compressed, cache: miss")
-                  : "");
+              !req.compressed      ? ""
+              : resp->cache_hit    ? ", compressed, cache: hit"
+              : resp->dedup_hit    ? ", compressed, cache: dedup"
+                                   : ", compressed, cache: miss");
   return 0;
 }
 
