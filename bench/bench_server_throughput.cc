@@ -6,9 +6,11 @@
 /// single-flight layer collapsing a same-key burst of concurrent compress
 /// requests to one DP run while distinct-key bursts proceed in parallel.
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -22,7 +24,7 @@
 namespace provabs::bench {
 namespace {
 
-void Run() {
+void Run(const std::vector<std::string>& algos) {
   PrintHeader("Serving layer: compression cache and evaluate batching");
 
   Workload w = MakeTelephonyWorkload();
@@ -31,11 +33,24 @@ void Run() {
       BuildUniformTree(*w.vars, w.tree_leaves, {4, 4}, "SRV_"));
   const size_t bound = FeasibleBound(w.polys, forest, 0.5);
 
+  // A small forest over a leaf subset for the per-algorithm scenario: its
+  // cut space is tiny, so even the exhaustive "brute" finishes and every
+  // registered algorithm is comparable on one instance.
+  std::vector<VariableId> small_leaves(
+      w.tree_leaves.begin(),
+      w.tree_leaves.begin() +
+          std::min<size_t>(w.tree_leaves.size(), 32));
+  AbstractionForest small_forest;
+  small_forest.AddTree(
+      BuildUniformTree(*w.vars, small_leaves, {2, 2}, "SRVS_"));
+  const size_t small_bound = FeasibleBound(w.polys, small_forest, 0.5);
+
   ProvenanceService service;
   LoadRequest load;
   load.artifact = "bench";
   load.polys_bytes = SerializePolynomialSet(w.polys, *w.vars);
-  load.forests = {{"default", SerializeForest(forest, *w.vars)}};
+  load.forests = {{"default", SerializeForest(forest, *w.vars)},
+                  {"small", SerializeForest(small_forest, *w.vars)}};
   Response loaded = service.Load(load);
   if (!loaded.ok()) {
     std::printf("load failed: %s\n", loaded.message.c_str());
@@ -160,12 +175,39 @@ void Run() {
                 static_cast<unsigned long long>(r.dedup),
                 r.errors > 0 ? " (errors!)" : "");
   }
+
+  // (4) Per-algorithm cold compress through the registry, each at the same
+  // (small forest, bound) instance — the comparable baseline future
+  // algorithm PRs extend. Reloading between runs keeps every run cold.
+  std::printf("\n%-28s %14s %10s %10s %10s\n", "cold compress (forest "
+              "small)", "time[s]", "ML", "VL", "cache");
+  for (const std::string& algo : algos) {
+    reload();
+    CompressRequest req;
+    req.artifact = "bench";
+    req.forest = "small";
+    req.algo = algo;
+    req.bound = small_bound;
+    Timer t;
+    Response resp = service.Compress(req);
+    double s = t.ElapsedSeconds();
+    if (!resp.ok()) {
+      std::printf("%-28s %14.5f %32s\n", algo.c_str(), s,
+                  ("error: " + resp.message).c_str());
+      continue;
+    }
+    std::printf("%-28s %14.5f %10llu %10llu %10s\n", algo.c_str(), s,
+                static_cast<unsigned long long>(resp.monomial_loss),
+                static_cast<unsigned long long>(resp.variable_loss),
+                resp.cache_hit ? "hit" : "miss");
+  }
 }
 
 }  // namespace
 }  // namespace provabs::bench
 
-int main() {
-  provabs::bench::Run();
+int main(int argc, char** argv) {
+  provabs::bench::Run(provabs::bench::SelectedAlgos(
+      argc, argv, provabs::CompressorRegistry::Default().Names()));
   return 0;
 }

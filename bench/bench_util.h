@@ -3,11 +3,13 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "abstraction/loss.h"
+#include "algo/compressor.h"
 #include "common/random.h"
 #include "core/polynomial_set.h"
 #include "core/variable.h"
@@ -49,6 +51,51 @@ inline double BruteMaxCuts() {
   if (env == nullptr) return 2000.0;
   double v = std::atof(env);
   return v > 0 ? v : 2000.0;
+}
+
+/// `--algo a[,b,...]` flag shared by the compression benches: selects which
+/// registered algorithms a bench runs, defaulting to `fallback`. Names are
+/// resolved against CompressorRegistry::Default(); an unknown name (or any
+/// other argument) exits 2 listing the registered set — the same "typos
+/// fail loudly" contract the CLI follows.
+inline std::vector<std::string> SelectedAlgos(
+    int argc, char** argv, std::vector<std::string> fallback) {
+  std::vector<std::string> selected;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--algo") != 0 || i + 1 >= argc) {
+      std::fprintf(stderr,
+                   "usage: %s [--algo NAME[,NAME...]]  (registered: %s)\n",
+                   argv[0],
+                   CompressorRegistry::Default().NamesCsv().c_str());
+      std::exit(2);
+    }
+    std::string spec = argv[++i];
+    size_t pos = 0;
+    while (pos <= spec.size()) {
+      size_t comma = spec.find(',', pos);
+      if (comma == std::string::npos) comma = spec.size();
+      std::string name = spec.substr(pos, comma - pos);
+      if (name.empty()) {
+        // A trailing/doubled comma or --algo "" would otherwise surface as
+        // the baffling "unknown algorithm ''".
+        std::fprintf(stderr, "%s: empty algorithm name in --algo '%s'\n",
+                     argv[0], spec.c_str());
+        std::exit(2);
+      }
+      selected.push_back(std::move(name));
+      pos = comma + 1;
+    }
+  }
+  if (selected.empty()) selected = std::move(fallback);
+  for (const std::string& name : selected) {
+    if (CompressorRegistry::Default().Find(name) == nullptr) {
+      std::fprintf(stderr, "unknown algorithm '%s' (registered: %s)\n",
+                   name.c_str(),
+                   CompressorRegistry::Default().NamesCsv().c_str());
+      std::exit(2);
+    }
+  }
+  return selected;
 }
 
 inline Workload MakeTpchWorkload(TpchQuery query, const std::string& name,

@@ -81,6 +81,9 @@ StatusOr<CompressionResult> BruteForce(const PolynomialSet& polys,
   CompressionResult best;
   std::vector<size_t> odometer(per_tree.size(), 0);
   for (;;) {
+    if (options.deadline.Expired()) {
+      return Status::OutOfRange("brute force exceeded its time budget");
+    }
     std::vector<NodeRef> nodes;
     for (uint32_t t = 0; t < per_tree.size(); ++t) {
       for (NodeIndex n : per_tree[t][odometer[t]]) {

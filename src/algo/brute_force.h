@@ -6,6 +6,7 @@
 #include "abstraction/abstraction_forest.h"
 #include "algo/optimal_single_tree.h"
 #include "common/statusor.h"
+#include "common/timer.h"
 #include "core/polynomial_set.h"
 
 namespace provabs {
@@ -15,6 +16,10 @@ struct BruteForceOptions {
   /// Refuse to run if the forest admits more cuts than this (the paper's
   /// brute force was only able to finish below ~80,000 cuts).
   uint64_t max_cuts = 10'000'000;
+  /// Wall-clock cutoff, checked once per evaluated cut. An expired deadline
+  /// aborts the enumeration with kOutOfRange (partial results would be
+  /// indistinguishable from a genuine optimum).
+  Deadline deadline = Deadline::Infinite();
 };
 
 /// Exhaustive baseline: enumerates every valid variable set of the forest

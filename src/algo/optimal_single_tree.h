@@ -6,19 +6,11 @@
 #include "abstraction/abstraction_forest.h"
 #include "abstraction/loss.h"
 #include "abstraction/valid_variable_set.h"
+#include "algo/compressor.h"  // CompressionResult (the unified result type)
 #include "common/statusor.h"
 #include "core/polynomial_set.h"
 
 namespace provabs {
-
-/// Result of a compression algorithm: the chosen abstraction and its exact
-/// loss (computed on the true polynomials, not hashes).
-struct CompressionResult {
-  ValidVariableSet vvs;
-  LossReport loss;
-  /// True iff |P↓S|_M ≤ B (the VVS is adequate for the bound).
-  bool adequate = false;
-};
 
 /// Tuning knobs, exposed for the §4.1 ablation benchmarks.
 struct OptimalOptions {

@@ -77,6 +77,9 @@ StatusOr<ProxResult> ProxSummarize(const PolynomialSet& polys,
           return Status::OutOfRange(
               "Prox exceeded its oracle-call budget (did not converge)");
         }
+        if ((result.oracle_calls & 0xFF) == 0 && options.deadline.Expired()) {
+          return Status::OutOfRange("Prox exceeded its time budget");
+        }
         size_t gain = state.EvaluateMergeGain(
             {groups[a].representative, groups[b].representative});
         if (best_a < 0 || gain > best_gain) {

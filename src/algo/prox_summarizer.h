@@ -8,6 +8,7 @@
 #include "abstraction/abstraction_forest.h"
 #include "abstraction/loss.h"
 #include "common/statusor.h"
+#include "common/timer.h"
 #include "core/polynomial_set.h"
 
 namespace provabs {
@@ -32,6 +33,9 @@ struct ProxResult {
 /// paper reports >24h runs on the larger workloads).
 struct ProxOptions {
   uint64_t max_oracle_calls = 500'000'000;
+  /// Wall-clock cutoff, checked every 256 oracle calls. Expiry aborts with
+  /// kOutOfRange, same as an exhausted oracle-call budget.
+  Deadline deadline = Deadline::Infinite();
 };
 
 /// Re-implementation of the summarization algorithm of Ainy et al.

@@ -2,6 +2,7 @@
 #define PROVABS_COMMON_TIMER_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace provabs {
 
@@ -25,6 +26,35 @@ class Timer {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// A wall-clock cutoff for best-effort time budgets. The default-constructed
+/// deadline never expires; `Expired()` costs one steady_clock read, cheap
+/// enough for the inner loops of the exponential algorithms (brute force
+/// checks it per cut, Prox per oracle-call batch).
+class Deadline {
+ public:
+  /// Never expires.
+  static Deadline Infinite() { return Deadline(); }
+
+  /// Expires `ms` milliseconds from now (0 = already expired).
+  static Deadline AfterMillis(uint64_t ms) {
+    Deadline d;
+    d.at_ = std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+    return d;
+  }
+
+  bool infinite() const {
+    return at_ == std::chrono::steady_clock::time_point::max();
+  }
+
+  bool Expired() const {
+    return !infinite() && std::chrono::steady_clock::now() >= at_;
+  }
+
+ private:
+  std::chrono::steady_clock::time_point at_ =
+      std::chrono::steady_clock::time_point::max();
 };
 
 }  // namespace provabs

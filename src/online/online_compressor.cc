@@ -1,8 +1,9 @@
 #include "online/online_compressor.h"
 
 #include <algorithm>
+#include <utility>
 
-#include "algo/greedy_multi_tree.h"
+#include "algo/compressor.h"
 #include "online/size_estimator.h"
 
 namespace provabs {
@@ -55,25 +56,52 @@ StatusOr<OnlineResult> CompressOnline(const Database& db,
   result.adapted_bound = AdaptBoundToSample(bound_full, result.sample_size_m,
                                             result.estimated_full_size_m);
 
-  // 4. Choose the VVS on the decision sample.
+  // 4. Choose the abstraction on the decision sample. An explicit
+  // options.algo routes through the registry; otherwise the paper's
+  // heuristic picks the optimal DP for single-tree forests and greedy for
+  // the rest. Either way an infeasible sample falls back to maximal
+  // compression (all roots) rather than failing the pipeline.
   Status compat = forest.CheckCompatible(decision_sample);
   if (!compat.ok()) return compat;
-  if (options.use_optimal_when_single_tree && forest.tree_count() == 1) {
-    auto opt = OptimalSingleTree(decision_sample, forest, 0,
-                                 result.adapted_bound);
-    if (opt.ok()) {
-      result.vvs = opt->vvs;
-    } else if (opt.status().code() == StatusCode::kInfeasible) {
-      // Fall back to maximal compression on the sample.
-      result.vvs = ValidVariableSet::AllRoots(forest);
-    } else {
-      return opt.status();
-    }
+  std::string algo_name = options.algo;
+  if (algo_name.empty()) {
+    algo_name =
+        options.use_optimal_when_single_tree && forest.tree_count() == 1
+            ? "opt"
+            : "greedy";
+  }
+  auto compressor = CompressorRegistry::Default().Resolve(algo_name);
+  if (!compressor.ok()) return compressor.status();
+  if (!(*compressor)->info().produces_cut && options.vars == nullptr) {
+    // Grouping representatives must be internable, or `compressed` would
+    // hold ids no table can name (unserializable); checked before any
+    // algorithm run so the misconfiguration fails fast.
+    return Status::InvalidArgument(
+        "algorithm '" + algo_name +
+        "' produces a variable grouping; set OnlineOptions::vars so its "
+        "group representatives can be interned");
+  }
+  CompressOptions copts;
+  copts.bound = result.adapted_bound;
+  copts.seed = options.seed;
+  auto chosen = (*compressor)->Compress(decision_sample, forest, copts);
+  if (chosen.ok()) {
+    result.abstraction = std::move(*chosen);
+  } else if (chosen.status().code() == StatusCode::kInfeasible) {
+    result.abstraction.vvs = ValidVariableSet::AllRoots(forest);
   } else {
-    auto greedy = GreedyMultiTree(decision_sample, forest,
-                                  result.adapted_bound);
-    if (!greedy.ok()) return greedy.status();
-    result.vvs = greedy->vvs;
+    return chosen.status();
+  }
+  if (result.abstraction.grouping) {
+    if (options.vars == nullptr) {
+      // Only reachable when a compressor's produces_cut metadata lied.
+      return Status::Internal("algorithm '" + algo_name +
+                              "' returned a grouping despite advertising "
+                              "produces_cut");
+    }
+    result.abstraction.InternGrouping(*options.vars);
+  } else {
+    result.vvs = result.abstraction.vvs;
   }
 
   // 5. Full evaluation over the pre-grouped variable space. Running the
@@ -82,7 +110,7 @@ StatusOr<OnlineResult> CompressOnline(const Database& db,
   // abstraction identifies.
   PolynomialSet full = query(db);
   result.actual_full_size_m = full.SizeM();
-  result.compressed = result.vvs.Apply(forest, full);
+  result.compressed = result.abstraction.Apply(forest, full);
   result.met_bound = result.compressed.SizeM() <= bound_full;
   return result;
 }

@@ -37,14 +37,30 @@ struct OnlineOptions {
   std::vector<double> sample_rates = {0.05, 0.1, 0.2};
   /// Tables to sample (the fact/grouping relations); others stay intact.
   std::vector<std::string> sampled_tables;
-  /// Use OptimalSingleTree when the forest has exactly one tree.
+  /// Compression algorithm for the decision sample, resolved through the
+  /// CompressorRegistry ("opt", "greedy", "brute", "prox", ...). Empty
+  /// keeps the paper's heuristic: optimal when the forest is a single tree
+  /// (subject to `use_optimal_when_single_tree`), greedy otherwise.
+  std::string algo;
+  /// Required when `algo` names a grouping algorithm (no `produces_cut`
+  /// capability, e.g. "prox"): the variable table its synthesized group
+  /// representatives are interned into, so `OnlineResult::compressed`
+  /// stays serializable. Ignored (may be null) for cut-based algorithms.
+  VariableTable* vars = nullptr;
+  /// Use OptimalSingleTree when the forest has exactly one tree (only
+  /// consulted when `algo` is empty).
   bool use_optimal_when_single_tree = true;
   uint64_t seed = 42;
 };
 
 /// Diagnostics + result of the online pipeline.
 struct OnlineResult {
-  ValidVariableSet vvs;              ///< Chosen on the sample.
+  /// The abstraction chosen on the sample, in unified form (cut for the
+  /// tree algorithms, variable grouping for prox).
+  CompressionResult abstraction;
+  /// Mirror of `abstraction.vvs` for cut-based algorithms; empty when a
+  /// grouping algorithm ran (a grouping is not a cut).
+  ValidVariableSet vvs;
   PolynomialSet compressed;          ///< Full provenance, pre-grouped.
   size_t sample_size_m = 0;          ///< |P_sample|_M at the last rate.
   size_t estimated_full_size_m = 0;  ///< Extrapolated |P_full|_M.

@@ -1,6 +1,7 @@
 #include "parallel/parallel_compress.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "abstraction/cut_counter.h"
 #include "abstraction/valid_variable_set.h"
@@ -55,11 +56,19 @@ StatusOr<CompressionResult> ParallelBruteForce(
   std::vector<LocalBest> best_per_shard(shards);
   const uint64_t per_shard = (total_cuts + shards - 1) / shards;
 
+  std::atomic<bool> expired{false};
   pool.ParallelFor(shards, [&](size_t shard) {
     const uint64_t begin = shard * per_shard;
     const uint64_t end = std::min<uint64_t>(total_cuts, begin + per_shard);
     LocalBest& local = best_per_shard[shard];
     for (uint64_t idx = begin; idx < end; ++idx) {
+      // Same time-budget contract as the serial BruteForce: checked per
+      // cut; one worker noticing expiry drains every shard promptly.
+      if (expired.load(std::memory_order_relaxed)) return;
+      if (options.deadline.Expired()) {
+        expired.store(true, std::memory_order_relaxed);
+        return;
+      }
       // Decode the mixed-radix index into one cut per tree.
       uint64_t rest = idx;
       std::vector<NodeRef> nodes;
@@ -82,6 +91,9 @@ StatusOr<CompressionResult> ParallelBruteForce(
     }
   });
 
+  if (expired.load(std::memory_order_relaxed)) {
+    return Status::OutOfRange("brute force exceeded its time budget");
+  }
   bool found = false;
   CompressionResult best;
   for (LocalBest& local : best_per_shard) {
@@ -106,6 +118,24 @@ std::vector<double> ParallelEvaluateAll(const Valuation& valuation,
     out[i] = valuation.Evaluate(polys[i]);
   });
   return out;
+}
+
+StatusOr<CompressionResult> ParallelCompress(const PolynomialSet& polys,
+                                             const AbstractionForest& forest,
+                                             const std::string& algo,
+                                             const CompressOptions& options,
+                                             ThreadPool& pool) {
+  StatusOr<const Compressor*> compressor =
+      CompressorRegistry::Default().Resolve(algo);
+  if (!compressor.ok()) return compressor.status();
+  if (algo == "brute") {
+    BruteForceOptions brute;
+    if (options.time_budget_ms > 0) {
+      brute.deadline = Deadline::AfterMillis(options.time_budget_ms);
+    }
+    return ParallelBruteForce(polys, forest, options.bound, pool, brute);
+  }
+  return (*compressor)->Compress(polys, forest, options);
 }
 
 }  // namespace provabs

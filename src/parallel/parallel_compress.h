@@ -1,11 +1,13 @@
 #ifndef PROVABS_PARALLEL_PARALLEL_COMPRESS_H_
 #define PROVABS_PARALLEL_PARALLEL_COMPRESS_H_
 
+#include <string>
 #include <vector>
 
 #include "abstraction/abstraction_forest.h"
 #include "abstraction/loss.h"
 #include "algo/brute_force.h"
+#include "algo/compressor.h"
 #include "algo/optimal_single_tree.h"
 #include "common/statusor.h"
 #include "core/polynomial_set.h"
@@ -40,6 +42,19 @@ StatusOr<CompressionResult> ParallelBruteForce(
 std::vector<double> ParallelEvaluateAll(const Valuation& valuation,
                                         const PolynomialSet& polys,
                                         ThreadPool& pool);
+
+/// Registry-routed compression with pool acceleration where it exists:
+/// "brute" runs ParallelBruteForce over `pool`; every other registered
+/// algorithm resolves through CompressorRegistry::Default() and runs its
+/// serial implementation (their DPs are not parallelized yet). Results
+/// match the serial counterparts exactly (for "brute": same optimal
+/// variable loss, witness cut may differ among ties). Unknown names fail
+/// with the registry's name-listing error.
+StatusOr<CompressionResult> ParallelCompress(const PolynomialSet& polys,
+                                             const AbstractionForest& forest,
+                                             const std::string& algo,
+                                             const CompressOptions& options,
+                                             ThreadPool& pool);
 
 }  // namespace provabs
 

@@ -115,8 +115,11 @@ class ArtifactStore {
   };
 
   /// A cached compression: the loss report plus the compressed polynomial
-  /// set (kept so evaluate-over-compressed requests skip both the DP and
-  /// the substitution).
+  /// set (kept so evaluate-over-compressed requests skip both the
+  /// algorithm run and the substitution). `algo` in the key names any
+  /// registered compressor, so caching and single-flight dedup compose
+  /// identically for all of them — including the exponential "brute" and
+  /// "prox", where skipping a repeat run matters most.
   struct CompressedResult {
     LossReport loss;
     bool adequate = false;

@@ -83,4 +83,8 @@ StatusOr<Response> Client::Shutdown(const ShutdownRequest& req) {
   return Call(EncodeShutdownRequest(req));
 }
 
+StatusOr<Response> Client::ListAlgos(const ListAlgosRequest& req) {
+  return Call(EncodeListAlgosRequest(req));
+}
+
 }  // namespace provabs

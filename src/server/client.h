@@ -34,6 +34,7 @@ class Client {
   StatusOr<Response> Info(const InfoRequest& req);
   StatusOr<Response> Tradeoff(const TradeoffRequest& req);
   StatusOr<Response> Shutdown(const ShutdownRequest& req);
+  StatusOr<Response> ListAlgos(const ListAlgosRequest& req);
 
  private:
   explicit Client(int fd) : fd_(fd) {}

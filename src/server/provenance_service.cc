@@ -3,8 +3,7 @@
 #include <memory>
 #include <utility>
 
-#include "algo/greedy_multi_tree.h"
-#include "algo/optimal_single_tree.h"
+#include "algo/compressor.h"
 #include "algo/tradeoff_curve.h"
 
 namespace provabs {
@@ -75,35 +74,35 @@ ProvenanceService::CompressInternal(
                                     "' has no forest '" + forest_name + "'"));
     return nullptr;
   }
-  if (algo != "opt" && algo != "greedy") {
-    SetError(resp, Status::InvalidArgument("unknown algorithm '" + algo +
-                                           "' (want opt or greedy)"));
+  StatusOr<const Compressor*> compressor =
+      CompressorRegistry::Default().Resolve(algo);
+  if (!compressor.ok()) {
+    SetError(resp, compressor.status());
     return nullptr;
   }
 
   ArtifactStore::ResultKey key{artifact_name, artifact->generation,
                                forest_name, bound, algo};
-  // Single-flight: the first request for this key runs the DP on this
-  // thread; concurrent identical requests block on its outcome instead of
-  // computing twice; distinct keys proceed fully in parallel. A failed DP
-  // is reported to every waiter and never cached.
+  // Single-flight: the first request for this key runs the algorithm on
+  // this thread; concurrent identical requests block on its outcome instead
+  // of computing twice; distinct keys proceed fully in parallel. A failed
+  // run is reported to every waiter and never cached.
   ArtifactStore::GetOrComputeInfo info;
   StatusOr<std::shared_ptr<const ArtifactStore::CompressedResult>> cached =
       store_.GetOrCompute(
           key,
           [&]() -> StatusOr<ArtifactStore::CompressedResult> {
             if (compress_hook_) compress_hook_(key);
+            CompressOptions copts;
+            copts.bound = bound;
             StatusOr<CompressionResult> result =
-                algo == "greedy"
-                    ? GreedyMultiTree(artifact->polys, *forest, bound)
-                    : OptimalSingleTree(artifact->polys, *forest, 0, bound);
+                (*compressor)->Compress(artifact->polys, *forest, copts);
             if (!result.ok()) return result.status();
             ArtifactStore::CompressedResult computed;
             computed.loss = result->loss;
             computed.adequate = result->adequate;
-            computed.vvs_names =
-                result->vvs.ToString(*forest, *artifact->vars);
-            computed.compressed = result->vvs.Apply(*forest, artifact->polys);
+            computed.vvs_names = result->Describe(*forest, *artifact->vars);
+            computed.compressed = result->Apply(*forest, artifact->polys);
             return computed;
           },
           &info);
@@ -241,6 +240,23 @@ Response ProvenanceService::Tradeoff(const TradeoffRequest& req) {
   return resp;
 }
 
+Response ProvenanceService::ListAlgos(const ListAlgosRequest&) {
+  Response resp;
+  resp.request_kind = MessageKind::kListAlgosRequest;
+  for (const CompressorInfo& info : CompressorRegistry::Default().Infos()) {
+    AlgoCapability a;
+    a.name = info.name;
+    a.summary = info.summary;
+    a.deterministic = info.deterministic;
+    a.supports_tradeoff = info.supports_tradeoff;
+    a.exact = info.exact;
+    a.produces_cut = info.produces_cut;
+    resp.algos.push_back(std::move(a));
+  }
+  AttachStats(resp);
+  return resp;
+}
+
 std::string ProvenanceService::HandleFrame(std::string_view payload,
                                            bool* shutdown) {
   Response resp;
@@ -293,6 +309,14 @@ std::string ProvenanceService::HandleFrame(std::string_view payload,
         break;
       }
       return EncodeResponse(Tradeoff(*req));
+    }
+    case MessageKind::kListAlgosRequest: {
+      auto req = DecodeListAlgosRequest(payload);
+      if (!req.ok()) {
+        decode_error = req.status();
+        break;
+      }
+      return EncodeResponse(ListAlgos(*req));
     }
     case MessageKind::kShutdownRequest: {
       auto req = DecodeShutdownRequest(payload);

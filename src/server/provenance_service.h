@@ -50,6 +50,7 @@ class ProvenanceService {
   Response Evaluate(const EvaluateRequest& req);
   Response Info(const InfoRequest& req);
   Response Tradeoff(const TradeoffRequest& req);
+  Response ListAlgos(const ListAlgosRequest& req);
 
   /// Decodes one request payload, dispatches it, and encodes the response.
   /// Malformed payloads yield an encoded error response (the connection can
@@ -62,9 +63,12 @@ class ProvenanceService {
  private:
   /// Fills the stats section of `resp` from store + batcher counters.
   void AttachStats(Response& resp);
-  /// Shared by Compress and Evaluate-over-compressed: returns the cached
-  /// result, waits on an identical in-flight request, or runs the DP and
-  /// caches it (single-flight; see ArtifactStore::GetOrCompute) — against
+  /// The single compress dispatch shared by Compress and
+  /// Evaluate-over-compressed: resolves `algo` through the process-wide
+  /// CompressorRegistry (unknown names fail listing the registered set),
+  /// then returns the cached result, waits on an identical in-flight
+  /// request, or runs the algorithm and caches it (single-flight; see
+  /// ArtifactStore::GetOrCompute) — against
   /// the caller's `artifact` snapshot (never re-fetched, so a concurrent
   /// reload cannot swap the VariableTable out from under ids the caller
   /// already resolved). On success fills the compress section of `resp`

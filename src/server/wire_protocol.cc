@@ -76,6 +76,7 @@ StatusOr<MessageKind> PeekMessageKind(std::string_view payload) {
     case MessageKind::kInfoRequest:
     case MessageKind::kTradeoffRequest:
     case MessageKind::kShutdownRequest:
+    case MessageKind::kListAlgosRequest:
     case MessageKind::kResponse:
       return static_cast<MessageKind>(*kind);
   }
@@ -248,6 +249,18 @@ StatusOr<ShutdownRequest> DecodeShutdownRequest(std::string_view payload) {
   return ShutdownRequest{};
 }
 
+std::string EncodeListAlgosRequest(const ListAlgosRequest&) {
+  ByteWriter w;
+  WriteHeader(w, MessageKind::kListAlgosRequest);
+  return std::move(w).Release();
+}
+
+StatusOr<ListAlgosRequest> DecodeListAlgosRequest(std::string_view payload) {
+  ByteReader r(payload);
+  PROVABS_RETURN_IF_ERROR(CheckHeader(r, MessageKind::kListAlgosRequest));
+  return ListAlgosRequest{};
+}
+
 // ----------------------------------------------------------- response ----
 
 std::string EncodeResponse(const Response& resp) {
@@ -289,6 +302,18 @@ std::string EncodeResponse(const Response& resp) {
   for (const TradeoffPoint& p : resp.points) {
     w.PutVarint(p.size_m);
     w.PutVarint(p.variable_loss);
+  }
+
+  w.PutVarint(resp.algos.size());
+  for (const AlgoCapability& a : resp.algos) {
+    w.PutString(a.name);
+    w.PutString(a.summary);
+    uint8_t flags = 0;
+    if (a.deterministic) flags |= 1;
+    if (a.supports_tradeoff) flags |= 2;
+    if (a.exact) flags |= 4;
+    if (a.produces_cut) flags |= 8;
+    w.PutU8(flags);
   }
   return std::move(w).Release();
 }
@@ -369,6 +394,28 @@ StatusOr<Response> DecodeResponse(std::string_view payload) {
     if (!vloss.ok()) return vloss.status();
     resp.points.push_back(TradeoffPoint{static_cast<size_t>(*size_m),
                                         static_cast<size_t>(*vloss)});
+  }
+
+  auto algo_count = r.GetVarint();
+  if (!algo_count.ok()) return algo_count.status();
+  // An algo record is at least two 1-byte string lengths plus a flags byte.
+  PROVABS_RETURN_IF_ERROR(CheckCount(*algo_count, 3, r));
+  resp.algos.reserve(*algo_count);
+  for (uint64_t i = 0; i < *algo_count; ++i) {
+    AlgoCapability a;
+    auto name = r.GetString();
+    if (!name.ok()) return name.status();
+    a.name = std::move(*name);
+    auto summary = r.GetString();
+    if (!summary.ok()) return summary.status();
+    a.summary = std::move(*summary);
+    auto flags = r.GetU8();
+    if (!flags.ok()) return flags.status();
+    a.deterministic = (*flags & 1) != 0;
+    a.supports_tradeoff = (*flags & 2) != 0;
+    a.exact = (*flags & 4) != 0;
+    a.produces_cut = (*flags & 8) != 0;
+    resp.algos.push_back(std::move(a));
   }
   return resp;
 }

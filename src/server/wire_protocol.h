@@ -41,8 +41,9 @@ namespace provabs {
 /// version-skewed peer gets a clean "unsupported protocol version" error
 /// instead of silently misparsing fields. History: 1 = PR 2 initial
 /// protocol; 2 = single-flight counters (dedup_hits/inflight_waiters in
-/// the stats block, per-response dedup_hit byte).
-inline constexpr uint8_t kWireVersion = 2;
+/// the stats block, per-response dedup_hit byte); 3 = ListAlgos request
+/// (kind 22) and the per-algorithm capability records in the response.
+inline constexpr uint8_t kWireVersion = 3;
 
 enum class MessageKind : uint8_t {
   kLoadRequest = 16,
@@ -51,6 +52,7 @@ enum class MessageKind : uint8_t {
   kInfoRequest = 19,
   kTradeoffRequest = 20,
   kShutdownRequest = 21,
+  kListAlgosRequest = 22,
   kResponse = 32,
 };
 
@@ -66,10 +68,12 @@ struct LoadRequest {
 };
 
 /// Compresses a loaded artifact under monomial bound `bound` using forest
-/// `forest` ("default" when loaded unnamed). `algo` is "opt" or "greedy".
-/// Results are cached server-side keyed by (artifact generation, forest,
-/// bound, algo); a repeat request is answered without re-running the DP and
-/// the response carries `cache_hit = true`.
+/// `forest` ("default" when loaded unnamed). `algo` names any registered
+/// compressor (built-ins: "opt", "greedy", "brute", "prox"; discover the
+/// live set with ListAlgos). Results are cached server-side keyed by
+/// (artifact generation, forest, bound, algo); a repeat request is answered
+/// without re-running the algorithm and the response carries
+/// `cache_hit = true`.
 struct CompressRequest {
   std::string artifact;
   std::string forest = "default";
@@ -104,6 +108,24 @@ struct TradeoffRequest {
 
 /// Asks the server to stop accepting connections and exit cleanly.
 struct ShutdownRequest {};
+
+/// Asks for the server's registered compression algorithms and their
+/// capability records, so clients route by data instead of hardcoding
+/// names (`provabs_cli remote-info` surfaces the list).
+struct ListAlgosRequest {};
+
+/// One registered algorithm's capability record, mirroring CompressorInfo
+/// (src/algo/compressor.h) on the wire.
+struct AlgoCapability {
+  std::string name;
+  std::string summary;
+  bool deterministic = false;
+  bool supports_tradeoff = false;
+  bool exact = false;
+  /// Results are tree cuts (serializable VVS); false for grouping
+  /// algorithms like "prox".
+  bool produces_cut = false;
+};
 
 /// Server-side cache and batching counters, included in every response so
 /// clients (and the end-to-end tests) can observe cache behaviour without a
@@ -165,6 +187,9 @@ struct Response {
 
   // tradeoff.
   std::vector<TradeoffPoint> points;
+
+  // list-algos.
+  std::vector<AlgoCapability> algos;
 };
 
 /// Reads the message kind of an encoded payload without decoding the body.
@@ -176,6 +201,7 @@ std::string EncodeEvaluateRequest(const EvaluateRequest& req);
 std::string EncodeInfoRequest(const InfoRequest& req);
 std::string EncodeTradeoffRequest(const TradeoffRequest& req);
 std::string EncodeShutdownRequest(const ShutdownRequest& req);
+std::string EncodeListAlgosRequest(const ListAlgosRequest& req);
 std::string EncodeResponse(const Response& resp);
 
 StatusOr<LoadRequest> DecodeLoadRequest(std::string_view payload);
@@ -184,6 +210,7 @@ StatusOr<EvaluateRequest> DecodeEvaluateRequest(std::string_view payload);
 StatusOr<InfoRequest> DecodeInfoRequest(std::string_view payload);
 StatusOr<TradeoffRequest> DecodeTradeoffRequest(std::string_view payload);
 StatusOr<ShutdownRequest> DecodeShutdownRequest(std::string_view payload);
+StatusOr<ListAlgosRequest> DecodeListAlgosRequest(std::string_view payload);
 StatusOr<Response> DecodeResponse(std::string_view payload);
 
 /// Frames larger than this are rejected before any allocation, so a corrupt

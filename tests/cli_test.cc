@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -43,6 +45,11 @@ class CliTest : public ::testing::Test {
     return std::system(cmd.c_str());
   }
 
+  /// Extracts the process exit code from a std::system wait status.
+  static int ExitCode(int status) {
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  }
+
   std::string dir_;
 };
 
@@ -68,6 +75,51 @@ TEST_F(CliTest, GreedyAlgoSelectable) {
   EXPECT_EQ(Run("compress --in " + dir_ + "/p2.bin --forest " + dir_ +
                 "/f2.bin --bound 1500 --algo greedy"),
             0);
+}
+
+TEST_F(CliTest, AllRegisteredAlgosSelectable) {
+  ASSERT_EQ(Run("generate --workload telephony --scale 0.01 --out " + dir_ +
+                "/p3.bin --forest-out " + dir_ + "/f3.bin --fanouts 2,2"),
+            0);
+  // Registry-routed: the exhaustive baseline and the Prox competitor run
+  // through the same subcommand as the tree algorithms, including writing
+  // the compressed artifact (prox representatives are interned before
+  // serialization). A generous bound keeps every algorithm fast.
+  for (const std::string algo : {"opt", "greedy", "brute", "prox"}) {
+    EXPECT_EQ(Run("compress --in " + dir_ + "/p3.bin --forest " + dir_ +
+                  "/f3.bin --bound 100000 --algo " + algo + " --out " +
+                  dir_ + "/c3-" + algo + ".bin"),
+              0)
+        << algo;
+    EXPECT_EQ(Run("info --in " + dir_ + "/c3-" + algo + ".bin"), 0) << algo;
+  }
+  // A tighter bound forces prox to actually merge; the written artifact
+  // must still deserialize (synthesized group variables get interned).
+  EXPECT_EQ(Run("compress --in " + dir_ + "/p3.bin --forest " + dir_ +
+                "/f3.bin --bound 200 --algo prox --out " + dir_ +
+                "/c3-prox-tight.bin"),
+            0);
+  EXPECT_EQ(Run("evaluate --in " + dir_ + "/c3-prox-tight.bin"), 0);
+  // A grouping algorithm cannot serialize a tree cut; rejected before the
+  // algorithm runs.
+  EXPECT_EQ(ExitCode(Run("compress --in " + dir_ + "/p3.bin --forest " +
+                         dir_ + "/f3.bin --bound 100000 --algo prox "
+                         "--vvs-out " +
+                         dir_ + "/v3.bin")),
+            2);
+}
+
+TEST_F(CliTest, UnknownAlgoIsUsageError) {
+  // Strict registry validation: exit 2 before any file is touched.
+  EXPECT_EQ(ExitCode(Run("compress --in nope.bin --forest nope.bin "
+                         "--bound 5 --algo quantum")),
+            2);
+  EXPECT_EQ(ExitCode(Run("remote-compress --port 1 --name a --bound 5 "
+                         "--algo quantum")),
+            2);
+  EXPECT_EQ(ExitCode(Run("remote-evaluate --port 1 --name a --bound 5 "
+                         "--algo quantum")),
+            2);
 }
 
 TEST_F(CliTest, MissingFlagsAreUsageErrors) {

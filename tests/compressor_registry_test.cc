@@ -1,0 +1,297 @@
+#include "algo/compressor.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "algo/brute_force.h"
+#include "algo/greedy_multi_tree.h"
+#include "algo/optimal_single_tree.h"
+#include "algo/prox_summarizer.h"
+#include "common/random.h"
+#include "io/serializer.h"
+#include "workload/telephony.h"
+#include "workload/tree_gen.h"
+
+namespace provabs {
+namespace {
+
+// -------------------------------------------------- registry mechanics --
+
+/// A minimal stub compressor for registration tests.
+class StubCompressor : public Compressor {
+ public:
+  explicit StubCompressor(std::string name) {
+    info_.name = std::move(name);
+    info_.summary = "stub";
+    info_.deterministic = true;
+  }
+
+  const CompressorInfo& info() const override { return info_; }
+
+  StatusOr<CompressionResult> Compress(
+      const PolynomialSet&, const AbstractionForest&,
+      const CompressOptions&) const override {
+    return Status::Unimplemented("stub");
+  }
+
+ private:
+  CompressorInfo info_;
+};
+
+TEST(CompressorRegistryTest, DefaultRegistryHasAllFourBuiltins) {
+  std::vector<std::string> names = CompressorRegistry::Default().Names();
+  ASSERT_EQ(names.size(), 4u);
+  // std::map order: sorted.
+  EXPECT_EQ(names[0], "brute");
+  EXPECT_EQ(names[1], "greedy");
+  EXPECT_EQ(names[2], "opt");
+  EXPECT_EQ(names[3], "prox");
+}
+
+TEST(CompressorRegistryTest, BuiltinCapabilitiesMatchTheAlgorithms) {
+  std::vector<CompressorInfo> infos = CompressorRegistry::Default().Infos();
+  ASSERT_EQ(infos.size(), 4u);
+  // brute: exact, no tradeoff machinery.
+  EXPECT_EQ(infos[0].name, "brute");
+  EXPECT_TRUE(infos[0].exact);
+  EXPECT_FALSE(infos[0].supports_tradeoff);
+  EXPECT_TRUE(infos[0].produces_cut);
+  // greedy: heuristic.
+  EXPECT_EQ(infos[1].name, "greedy");
+  EXPECT_FALSE(infos[1].exact);
+  EXPECT_TRUE(infos[1].produces_cut);
+  // opt: exact and the only one whose DP derives the Pareto frontier.
+  EXPECT_EQ(infos[2].name, "opt");
+  EXPECT_TRUE(infos[2].exact);
+  EXPECT_TRUE(infos[2].supports_tradeoff);
+  EXPECT_TRUE(infos[2].produces_cut);
+  // prox: competitor heuristic producing a grouping, not a cut.
+  EXPECT_EQ(infos[3].name, "prox");
+  EXPECT_FALSE(infos[3].exact);
+  EXPECT_FALSE(infos[3].produces_cut);
+  for (const CompressorInfo& info : infos) {
+    EXPECT_TRUE(info.deterministic) << info.name;
+    EXPECT_FALSE(info.summary.empty()) << info.name;
+  }
+}
+
+TEST(CompressorRegistryTest, RegistrationAndLookup) {
+  CompressorRegistry registry;
+  EXPECT_EQ(registry.Find("x"), nullptr);
+  ASSERT_TRUE(registry.Register(std::make_unique<StubCompressor>("x")).ok());
+  EXPECT_NE(registry.Find("x"), nullptr);
+  EXPECT_EQ(registry.Names().size(), 1u);
+}
+
+TEST(CompressorRegistryTest, DuplicateNameIsRejected) {
+  CompressorRegistry registry;
+  ASSERT_TRUE(registry.Register(std::make_unique<StubCompressor>("x")).ok());
+  Status dup = registry.Register(std::make_unique<StubCompressor>("x"));
+  EXPECT_EQ(dup.code(), StatusCode::kInvalidArgument);
+  // The original registration survives.
+  EXPECT_NE(registry.Find("x"), nullptr);
+  EXPECT_EQ(registry.Names().size(), 1u);
+}
+
+TEST(CompressorRegistryTest, NullAndUnnamedRegistrationsAreRejected) {
+  CompressorRegistry registry;
+  EXPECT_EQ(registry.Register(nullptr).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(registry.Register(std::make_unique<StubCompressor>("")).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CompressorRegistryTest, UnknownLookupEnumeratesRegisteredNames) {
+  auto resolved = CompressorRegistry::Default().Resolve("quantum");
+  ASSERT_FALSE(resolved.ok());
+  EXPECT_EQ(resolved.status().code(), StatusCode::kInvalidArgument);
+  std::string message = resolved.status().message();
+  EXPECT_NE(message.find("quantum"), std::string::npos);
+  EXPECT_NE(message.find("brute, greedy, opt, prox"), std::string::npos);
+}
+
+TEST(CompressorRegistryTest, FreshRegistryWithBuiltinsMatchesDefault) {
+  CompressorRegistry registry;
+  ASSERT_TRUE(RegisterBuiltinCompressors(registry).ok());
+  EXPECT_EQ(registry.Names(), CompressorRegistry::Default().Names());
+  // Registering the builtins twice trips duplicate detection.
+  EXPECT_FALSE(RegisterBuiltinCompressors(registry).ok());
+}
+
+// ---------------------------------------------- adapter equivalence -----
+
+/// Telephony workload fixture shared by the differential tests.
+class RegistryDifferentialTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TelephonyConfig config;
+    config.num_customers = 300;
+    config.num_plans = 32;
+    config.num_months = 12;
+    config.num_zip_codes = 8;
+    Rng rng(config.seed);
+    Database db = GenerateTelephony(config, rng);
+    tv_ = MakeTelephonyVars(vars_, config);
+    polys_ = RunTelephonyQuery(db, tv_);
+    forest_.AddTree(BuildUniformTree(vars_, tv_.plan_vars, {4, 2}, "RD_"));
+    ASSERT_TRUE(forest_.Validate().ok());
+    ASSERT_TRUE(forest_.CheckCompatible(polys_).ok());
+    bound_ = polys_.SizeM() * 3 / 4;
+  }
+
+  VariableTable vars_;
+  TelephonyVars tv_;
+  PolynomialSet polys_;
+  AbstractionForest forest_;
+  size_t bound_ = 0;
+};
+
+/// Registry routing must be a pure indirection: the compressed artifact a
+/// registry-routed run produces serializes to the SAME BYTES as the direct
+/// algorithm call's. Anything else would make cache entries and shipped
+/// artifacts depend on which API layer compressed them.
+TEST_F(RegistryDifferentialTest, OptRouteIsByteIdenticalToDirectCall) {
+  auto direct = OptimalSingleTree(polys_, forest_, 0, bound_);
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+
+  CompressOptions options;
+  options.bound = bound_;
+  auto routed = CompressorRegistry::Default().Find("opt")->Compress(
+      polys_, forest_, options);
+  ASSERT_TRUE(routed.ok()) << routed.status().ToString();
+
+  EXPECT_EQ(routed->loss.monomial_loss, direct->loss.monomial_loss);
+  EXPECT_EQ(routed->loss.variable_loss, direct->loss.variable_loss);
+  EXPECT_EQ(routed->adequate, direct->adequate);
+  EXPECT_EQ(routed->Describe(forest_, vars_),
+            direct->vvs.ToString(forest_, vars_));
+  EXPECT_EQ(
+      SerializePolynomialSet(routed->Apply(forest_, polys_), vars_),
+      SerializePolynomialSet(direct->vvs.Apply(forest_, polys_), vars_));
+}
+
+TEST_F(RegistryDifferentialTest, GreedyRouteIsByteIdenticalToDirectCall) {
+  auto direct = GreedyMultiTree(polys_, forest_, bound_);
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+
+  CompressOptions options;
+  options.bound = bound_;
+  auto routed = CompressorRegistry::Default().Find("greedy")->Compress(
+      polys_, forest_, options);
+  ASSERT_TRUE(routed.ok()) << routed.status().ToString();
+
+  EXPECT_EQ(routed->loss.monomial_loss, direct->loss.monomial_loss);
+  EXPECT_EQ(routed->loss.variable_loss, direct->loss.variable_loss);
+  EXPECT_EQ(routed->Describe(forest_, vars_),
+            direct->vvs.ToString(forest_, vars_));
+  EXPECT_EQ(
+      SerializePolynomialSet(routed->Apply(forest_, polys_), vars_),
+      SerializePolynomialSet(direct->vvs.Apply(forest_, polys_), vars_));
+}
+
+TEST_F(RegistryDifferentialTest, BruteRouteMatchesDirectCall) {
+  // A tiny sub-forest keeps the cut space enumerable.
+  AbstractionForest small;
+  std::vector<VariableId> leaves(tv_.plan_vars.begin(),
+                                 tv_.plan_vars.begin() + 8);
+  small.AddTree(BuildUniformTree(vars_, leaves, {2, 2}, "RB_"));
+  size_t bound = polys_.SizeM() - 1;
+
+  auto direct = BruteForce(polys_, small, bound);
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+  CompressOptions options;
+  options.bound = bound;
+  auto routed = CompressorRegistry::Default().Find("brute")->Compress(
+      polys_, small, options);
+  ASSERT_TRUE(routed.ok()) << routed.status().ToString();
+  // Brute ties may pick different witness cuts; the optimal losses agree.
+  EXPECT_EQ(routed->loss.variable_loss, direct->loss.variable_loss);
+  EXPECT_TRUE(routed->adequate);
+}
+
+TEST_F(RegistryDifferentialTest, ProxRouteMatchesDirectCallAndApplies) {
+  AbstractionForest small;
+  std::vector<VariableId> leaves(tv_.plan_vars.begin(),
+                                 tv_.plan_vars.begin() + 8);
+  small.AddTree(BuildUniformTree(vars_, leaves, {2, 2}, "RP_"));
+  size_t bound = polys_.SizeM() - 10;
+
+  auto direct = ProxSummarize(polys_, small, bound);
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+  CompressOptions options;
+  options.bound = bound;
+  auto routed = CompressorRegistry::Default().Find("prox")->Compress(
+      polys_, small, options);
+  ASSERT_TRUE(routed.ok()) << routed.status().ToString();
+
+  EXPECT_TRUE(routed->grouping);
+  EXPECT_EQ(routed->substitution, direct->substitution);
+  EXPECT_EQ(routed->loss.monomial_loss, direct->loss.monomial_loss);
+  EXPECT_EQ(routed->adequate, direct->adequate);
+  // The unified Apply performs the substitution: same |P↓S|_M as applying
+  // the direct substitution by hand.
+  PolynomialSet by_hand =
+      polys_.MapVariables(SubstitutionFn(direct->substitution));
+  EXPECT_EQ(routed->Apply(small, polys_).SizeM(), by_hand.SizeM());
+  // Describe renders merged groups deterministically.
+  std::string described = routed->Describe(small, vars_);
+  EXPECT_EQ(described.front(), '{');
+  EXPECT_EQ(described.back(), '}');
+}
+
+/// A raw grouping result contains synthesized representatives outside the
+/// VariableTable; InternGrouping must make the applied set serializable
+/// and round-trippable.
+TEST_F(RegistryDifferentialTest, InternGroupingMakesProxSerializable) {
+  AbstractionForest small;
+  std::vector<VariableId> leaves(tv_.plan_vars.begin(),
+                                 tv_.plan_vars.begin() + 8);
+  small.AddTree(BuildUniformTree(vars_, leaves, {2, 2}, "RI_"));
+  CompressOptions options;
+  options.bound = polys_.SizeM() - 10;
+  auto routed = CompressorRegistry::Default().Find("prox")->Compress(
+      polys_, small, options);
+  ASSERT_TRUE(routed.ok()) << routed.status().ToString();
+  ASSERT_TRUE(routed->grouping);
+
+  size_t applied_before = routed->Apply(small, polys_).SizeM();
+  routed->InternGrouping(vars_);
+  PolynomialSet compressed = routed->Apply(small, polys_);
+  // Interning renames representatives; it must not change the shape.
+  EXPECT_EQ(compressed.SizeM(), applied_before);
+
+  std::string bytes = SerializePolynomialSet(compressed, vars_);
+  VariableTable fresh;
+  auto decoded = DeserializePolynomialSet(bytes, fresh);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->SizeM(), compressed.SizeM());
+  EXPECT_EQ(decoded->count(), compressed.count());
+}
+
+// ---------------------------------------------------- time budgets ------
+
+TEST_F(RegistryDifferentialTest, ExpiredDeadlineAbortsBruteAndProx) {
+  BruteForceOptions brute;
+  brute.deadline = Deadline::AfterMillis(0);
+  auto b = BruteForce(polys_, forest_, polys_.SizeM() - 1, brute);
+  ASSERT_FALSE(b.ok());
+  EXPECT_EQ(b.status().code(), StatusCode::kOutOfRange);
+
+  ProxOptions prox;
+  prox.deadline = Deadline::AfterMillis(0);
+  auto p = ProxSummarize(polys_, forest_, polys_.SizeM() / 2, prox);
+  ASSERT_FALSE(p.ok());
+  EXPECT_EQ(p.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(DeadlineTest, InfiniteNeverExpiresZeroExpiresImmediately) {
+  EXPECT_FALSE(Deadline::Infinite().Expired());
+  EXPECT_TRUE(Deadline::Infinite().infinite());
+  EXPECT_TRUE(Deadline::AfterMillis(0).Expired());
+  EXPECT_FALSE(Deadline::AfterMillis(0).infinite());
+}
+
+}  // namespace
+}  // namespace provabs

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "io/serializer.h"
 #include "online/sampler.h"
 #include "online/size_estimator.h"
 #include "workload/telephony.h"
@@ -207,6 +208,54 @@ TEST_F(OnlineCompressorTest, UnreachableBoundFallsBackToMaxCompression) {
   EXPECT_FALSE(result->met_bound);
   PolynomialSet full = query_(db_);
   EXPECT_LT(result->compressed.SizeM(), full.SizeM());
+}
+
+TEST_F(OnlineCompressorTest, RegistryAlgoSelectsCompressor) {
+  size_t full_size = query_(db_).SizeM();
+  OnlineOptions opts;
+  opts.sampled_tables = {"Calls"};
+
+  // Unknown names fail with the registry's enumerating error.
+  opts.algo = "quantum";
+  EXPECT_EQ(CompressOnline(db_, query_, forest_, full_size / 2, opts)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  // An explicit greedy routes through the registry and behaves like the
+  // default multi-tree path.
+  opts.algo = "greedy";
+  auto greedy = CompressOnline(db_, query_, forest_, full_size / 2, opts);
+  ASSERT_TRUE(greedy.ok()) << greedy.status().ToString();
+  EXPECT_TRUE(greedy->vvs.Validate(forest_).ok());
+  EXPECT_FALSE(greedy->abstraction.grouping);
+}
+
+TEST_F(OnlineCompressorTest, ProxAlgoRequiresTableAndSerializes) {
+  size_t full_size = query_(db_).SizeM();
+  OnlineOptions opts;
+  opts.sampled_tables = {"Calls"};
+  opts.algo = "prox";
+
+  // Without a table to intern group representatives into, the grouping
+  // path is rejected before any algorithm runs.
+  EXPECT_EQ(CompressOnline(db_, query_, forest_, full_size / 2, opts)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  opts.vars = &vars_;
+  auto result = CompressOnline(db_, query_, forest_, full_size / 2, opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->abstraction.grouping);
+  EXPECT_LT(result->compressed.SizeM(), full_size);
+  // The interned grouping serializes like any other artifact — no
+  // out-of-table synthesized ids survive.
+  std::string bytes = SerializePolynomialSet(result->compressed, vars_);
+  VariableTable fresh;
+  auto decoded = DeserializePolynomialSet(bytes, fresh);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->SizeM(), result->compressed.SizeM());
 }
 
 TEST_F(OnlineCompressorTest, MultiTreeForestUsesGreedy) {

@@ -253,8 +253,20 @@ TEST_F(ServerBinarySmokeTest, FullRemoteSessionWithCacheHit) {
       << out;
   EXPECT_NE(out.find("polynomial 0:"), std::string::npos) << out;
 
+  // A non-default registry algorithm over the wire: the exhaustive
+  // baseline is servable through the same request path as opt/greedy.
+  EXPECT_EQ(RunCli("remote-compress " + remote +
+                       " --name tel --bound 1500 --algo brute",
+                   &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("brute:"), std::string::npos) << out;
+
   EXPECT_EQ(RunCli("remote-info " + remote + " --name tel", &out), 0) << out;
   EXPECT_NE(out.find("hits"), std::string::npos) << out;
+  // remote-info surfaces the server's algorithm registry (request 22).
+  EXPECT_NE(out.find("algorithms:"), std::string::npos) << out;
+  EXPECT_NE(out.find("prox"), std::string::npos) << out;
 
   EXPECT_EQ(RunCli("remote-shutdown " + remote, &out), 0) << out;
 

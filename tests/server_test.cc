@@ -419,6 +419,96 @@ TEST_F(ServiceTest, TradeoffReturnsParetoFrontier) {
   }
 }
 
+TEST_F(ServiceTest, UnknownAlgoErrorEnumeratesRegisteredNames) {
+  CompressRequest req;
+  req.artifact = "ex";
+  req.forest = "plans";
+  req.algo = "quantum";
+  req.bound = 10;
+  Response resp = service_->Compress(req);
+  EXPECT_EQ(resp.code, StatusCode::kInvalidArgument);
+  EXPECT_NE(resp.message.find("quantum"), std::string::npos);
+  EXPECT_NE(resp.message.find("brute, greedy, opt, prox"),
+            std::string::npos);
+}
+
+TEST_F(ServiceTest, BruteAndProxAreServable) {
+  // Every registered algorithm is reachable through the same request path
+  // and composes with the result cache (the key carries the algo string).
+  for (const std::string algo : {"brute", "prox"}) {
+    CompressRequest req;
+    req.artifact = "ex";
+    req.forest = "plans";
+    req.algo = algo;
+    req.bound = polys_.SizeM() - 1;
+    Response first = service_->Compress(req);
+    ASSERT_TRUE(first.ok()) << algo << ": " << first.message;
+    EXPECT_FALSE(first.cache_hit) << algo;
+    EXPECT_TRUE(first.adequate) << algo;
+    EXPECT_FALSE(first.vvs.empty()) << algo;
+
+    Response second = service_->Compress(req);
+    ASSERT_TRUE(second.ok()) << algo;
+    EXPECT_TRUE(second.cache_hit) << algo;
+    EXPECT_EQ(second.vvs, first.vvs) << algo;
+    EXPECT_EQ(second.monomial_loss, first.monomial_loss) << algo;
+  }
+}
+
+TEST_F(ServiceTest, EvaluateOverProxCompressedView) {
+  EvaluateRequest req;
+  req.artifact = "ex";
+  req.compressed = true;
+  req.forest = "plans";
+  req.algo = "prox";
+  req.bound = polys_.SizeM() - 1;
+  Response resp = service_->Evaluate(req);
+  ASSERT_TRUE(resp.ok()) << resp.message;
+  EXPECT_EQ(resp.values.size(), polys_.count());
+  // All-ones valuation: every polynomial evaluates to its monomial count
+  // weighted by coefficients, unchanged by variable renaming — so the
+  // compressed view must agree with the raw artifact.
+  EvaluateRequest raw;
+  raw.artifact = "ex";
+  Response raw_resp = service_->Evaluate(raw);
+  ASSERT_TRUE(raw_resp.ok());
+  ASSERT_EQ(raw_resp.values.size(), resp.values.size());
+  for (size_t i = 0; i < resp.values.size(); ++i) {
+    EXPECT_DOUBLE_EQ(resp.values[i], raw_resp.values[i]) << i;
+  }
+}
+
+TEST_F(ServiceTest, ListAlgosReturnsCapabilityRecords) {
+  Response resp = service_->ListAlgos(ListAlgosRequest{});
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp.request_kind, MessageKind::kListAlgosRequest);
+  ASSERT_EQ(resp.algos.size(), 4u);
+  EXPECT_EQ(resp.algos[0].name, "brute");
+  EXPECT_TRUE(resp.algos[0].exact);
+  EXPECT_TRUE(resp.algos[0].produces_cut);
+  EXPECT_EQ(resp.algos[1].name, "greedy");
+  EXPECT_EQ(resp.algos[2].name, "opt");
+  EXPECT_TRUE(resp.algos[2].supports_tradeoff);
+  EXPECT_TRUE(resp.algos[2].produces_cut);
+  EXPECT_EQ(resp.algos[3].name, "prox");
+  EXPECT_FALSE(resp.algos[3].produces_cut);
+  for (const AlgoCapability& a : resp.algos) {
+    EXPECT_TRUE(a.deterministic) << a.name;
+    EXPECT_FALSE(a.summary.empty()) << a.name;
+  }
+
+  // And over the frame path: request 22 round-trips through HandleFrame.
+  bool shutdown = false;
+  std::string reply = service_->HandleFrame(
+      EncodeListAlgosRequest(ListAlgosRequest{}), &shutdown);
+  auto decoded = DecodeResponse(reply);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(decoded->ok());
+  ASSERT_EQ(decoded->algos.size(), 4u);
+  EXPECT_EQ(decoded->algos[2].name, "opt");
+  EXPECT_FALSE(shutdown);
+}
+
 TEST_F(ServiceTest, HandleFrameDispatchesAndSurvivesGarbage) {
   InfoRequest info;
   info.artifact = "ex";

@@ -81,6 +81,37 @@ TEST(WireProtocolTest, InfoTradeoffShutdownRoundTrip) {
 
   EXPECT_TRUE(
       DecodeShutdownRequest(EncodeShutdownRequest(ShutdownRequest{})).ok());
+
+  EXPECT_TRUE(
+      DecodeListAlgosRequest(EncodeListAlgosRequest(ListAlgosRequest{}))
+          .ok());
+}
+
+TEST(WireProtocolTest, ListAlgosResponseRoundTrip) {
+  Response resp;
+  resp.request_kind = MessageKind::kListAlgosRequest;
+  resp.algos = {{"opt", "optimal single-tree DP", true, true, true, true},
+                {"prox", "pairwise-merge summarizer", true, false, false,
+                 false},
+                {"anneal", "simulated annealing", false, false, false,
+                 true}};
+  auto decoded = DecodeResponse(EncodeResponse(resp));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->algos.size(), 3u);
+  EXPECT_EQ(decoded->algos[0].name, "opt");
+  EXPECT_EQ(decoded->algos[0].summary, "optimal single-tree DP");
+  EXPECT_TRUE(decoded->algos[0].deterministic);
+  EXPECT_TRUE(decoded->algos[0].supports_tradeoff);
+  EXPECT_TRUE(decoded->algos[0].exact);
+  EXPECT_TRUE(decoded->algos[0].produces_cut);
+  EXPECT_EQ(decoded->algos[1].name, "prox");
+  EXPECT_TRUE(decoded->algos[1].deterministic);
+  EXPECT_FALSE(decoded->algos[1].supports_tradeoff);
+  EXPECT_FALSE(decoded->algos[1].exact);
+  EXPECT_FALSE(decoded->algos[1].produces_cut);
+  EXPECT_EQ(decoded->algos[2].name, "anneal");
+  EXPECT_FALSE(decoded->algos[2].deterministic);
+  EXPECT_TRUE(decoded->algos[2].produces_cut);
 }
 
 TEST(WireProtocolTest, ResponseRoundTrip) {
@@ -133,6 +164,8 @@ TEST(WireProtocolTest, ResponseRoundTrip) {
 TEST(WireProtocolTest, PeekMessageKind) {
   EXPECT_EQ(*PeekMessageKind(EncodeShutdownRequest(ShutdownRequest{})),
             MessageKind::kShutdownRequest);
+  EXPECT_EQ(*PeekMessageKind(EncodeListAlgosRequest(ListAlgosRequest{})),
+            MessageKind::kListAlgosRequest);
   EXPECT_EQ(*PeekMessageKind(EncodeResponse(Response{})),
             MessageKind::kResponse);
   EXPECT_FALSE(PeekMessageKind("").ok());
@@ -165,6 +198,7 @@ TEST(WireProtocolTest, TruncationSweepAllMessages) {
   resp.values = {1.0, 2.0};
   resp.points = {{10, 1}};
   resp.vvs = "{r}";
+  resp.algos = {{"opt", "optimal DP", true, true, true, true}};
 
   struct Case {
     std::string encoded;
@@ -191,6 +225,10 @@ TEST(WireProtocolTest, TruncationSweepAllMessages) {
   cases.push_back({EncodeShutdownRequest(ShutdownRequest{}),
                    [](std::string_view d) {
                      return DecodeShutdownRequest(d).ok();
+                   }});
+  cases.push_back({EncodeListAlgosRequest(ListAlgosRequest{}),
+                   [](std::string_view d) {
+                     return DecodeListAlgosRequest(d).ok();
                    }});
   cases.push_back({EncodeResponse(resp), [](std::string_view d) {
                      return DecodeResponse(d).ok();

@@ -15,8 +15,7 @@
 #include <string>
 #include <vector>
 
-#include "algo/greedy_multi_tree.h"
-#include "algo/optimal_single_tree.h"
+#include "algo/compressor.h"
 #include "algo/tradeoff_curve.h"
 #include "common/timer.h"
 #include "core/valuation.h"
@@ -40,7 +39,7 @@ const char kUsage[] =
     "      [--forest-out F.bin]\n"
     "  info --in P.bin\n"
     "  compress --in P.bin --forest F.bin --bound N\n"
-    "      [--algo opt|greedy] [--vvs-out V.bin] [--out C.bin]\n"
+    "      [--algo NAME] [--vvs-out V.bin] [--out C.bin]\n"
     "  tradeoff --in P.bin --forest F.bin\n"
     "  evaluate --in P.bin [--set var=value]...\n"
     "\n"
@@ -49,13 +48,50 @@ const char kUsage[] =
     "      [--forest-name N] [--host H]\n"
     "  remote-info --port P [--name A] [--host H]\n"
     "  remote-compress --port P --name A --bound N\n"
-    "      [--algo opt|greedy] [--forest-name N] [--host H]\n"
+    "      [--algo NAME] [--forest-name N] [--host H]\n"
     "  remote-evaluate --port P --name A [--set var=value]...\n"
-    "      [--bound N [--algo opt|greedy] [--forest-name N]] [--host H]\n"
+    "      [--bound N [--algo NAME] [--forest-name N]] [--host H]\n"
     "  remote-tradeoff --port P --name A [--forest-name N] [--host H]\n"
     "  remote-shutdown --port P [--host H]\n"
     "\n"
     "run 'provabs_cli <command> --help' for the command's flags.\n";
+
+/// One line of an algorithm listing: name, summary, capability suffixes.
+/// Shared by --help (local registry) and remote-info (the server's
+/// ListAlgos records) so the two renderings cannot drift.
+void PrintAlgoLine(std::FILE* out, const std::string& name,
+                   const std::string& summary, bool deterministic,
+                   bool supports_tradeoff, bool exact, bool produces_cut) {
+  std::string caps;
+  if (exact) caps += ", exact";
+  if (supports_tradeoff) caps += ", tradeoff";
+  if (!produces_cut) caps += ", grouping";
+  if (!deterministic) caps += ", randomized";
+  std::fprintf(out, "  %-8s %s%s\n", name.c_str(), summary.c_str(),
+               caps.c_str());
+}
+
+/// Usage text plus the live algorithm registry, so --help never drifts from
+/// what --algo actually accepts.
+void PrintUsage(std::FILE* out) {
+  std::fputs(kUsage, out);
+  std::fprintf(out, "registered algorithms (--algo):\n");
+  for (const CompressorInfo& info : CompressorRegistry::Default().Infos()) {
+    PrintAlgoLine(out, info.name, info.summary, info.deterministic,
+                  info.supports_tradeoff, info.exact, info.produces_cut);
+  }
+}
+
+/// Strict --algo validation shared by the local and remote subcommands:
+/// a name outside the registry is a usage error (exit 2) that lists what is
+/// registered, the same "typos fail loudly" contract the flag parser has.
+bool ValidateAlgo(const std::string& algo, const char* cmd) {
+  if (CompressorRegistry::Default().Find(algo) != nullptr) return true;
+  std::fprintf(stderr, "%s: unknown algorithm '%s' (registered: %s)\n", cmd,
+               algo.c_str(),
+               CompressorRegistry::Default().NamesCsv().c_str());
+  return false;
+}
 
 /// Minimal strict flag parser: --name value pairs plus repeated --set
 /// entries. Flags outside `allowed` (and bare non-flag words) are usage
@@ -268,6 +304,19 @@ int CmdCompress(const Args& args) {
     std::fprintf(stderr, "compress requires --in, --forest, --bound\n");
     return 2;
   }
+  // Validate flags before touching the (possibly large) artifact files, so
+  // usage errors surface as usage errors — and before the compression
+  // runs, so an impossible flag combination never costs an algorithm run.
+  std::string algo = args.Get("algo", "opt");
+  if (!ValidateAlgo(algo, "compress")) return 2;
+  const Compressor* compressor = CompressorRegistry::Default().Find(algo);
+  if (args.Get("vvs-out") != nullptr && !compressor->info().produces_cut) {
+    std::fprintf(stderr,
+                 "compress: --vvs-out requires a cut-based algorithm "
+                 "('%s' produces a variable grouping)\n",
+                 algo.c_str());
+    return 2;
+  }
   VariableTable vars;
   auto polys_data = ReadFileToString(in);
   if (!polys_data.ok()) return Fail(polys_data.status());
@@ -285,26 +334,36 @@ int CmdCompress(const Args& args) {
                  bound_str);
     return 2;
   }
-  std::string algo = args.Get("algo", "opt");
-
+  CompressOptions copts;
+  copts.bound = bound;
   Timer timer;
   StatusOr<CompressionResult> result =
-      algo == "greedy"
-          ? GreedyMultiTree(*polys, *forest, bound)
-          : OptimalSingleTree(*polys, *forest, 0, bound);
+      compressor->Compress(*polys, *forest, copts);
   if (!result.ok()) return Fail(result.status());
   std::printf("%s: ML=%zu VL=%zu%s in %.3fs\n", algo.c_str(),
               result->loss.monomial_loss, result->loss.variable_loss,
               result->adequate ? "" : " (bound not reached)",
               timer.ElapsedSeconds());
-  std::printf("VVS: %s\n", result->vvs.ToString(*forest, vars).c_str());
+  std::printf("VVS: %s\n", result->Describe(*forest, vars).c_str());
 
   if (const char* vvs_out = args.Get("vvs-out")) {
+    if (result->grouping) {
+      // Unreachable for the built-ins (caught pre-run via produces_cut);
+      // guards third-party compressors whose metadata lies.
+      std::fprintf(stderr,
+                   "compress: --vvs-out requires a cut-based algorithm "
+                   "('%s' produced a variable grouping)\n",
+                   algo.c_str());
+      return 2;
+    }
     Status w = WriteFile(vvs_out, SerializeVvs(result->vvs, *forest, vars));
     if (!w.ok()) return Fail(w);
   }
   if (const char* out = args.Get("out")) {
-    PolynomialSet compressed = result->vvs.Apply(*forest, *polys);
+    // Grouping results synthesize group representatives outside the
+    // variable table; intern them so the compressed set serializes.
+    result->InternGrouping(vars);
+    PolynomialSet compressed = result->Apply(*forest, *polys);
     Status w = WriteFile(out, SerializePolynomialSet(compressed, vars));
     if (!w.ok()) return Fail(w);
     std::printf("wrote %s: %zu monomials\n", out, compressed.SizeM());
@@ -500,6 +559,16 @@ int CmdRemoteInfo(const Args& args) {
                 static_cast<unsigned long long>(resp->variable_count));
   }
   PrintServerStats(resp->stats);
+  // The server's algorithm registry, so analysts discover what --algo
+  // accepts without consulting the server's build.
+  auto algos = client->ListAlgos(ListAlgosRequest{});
+  if (!algos.ok()) return Fail(algos.status());
+  if (int rc = CheckResponse(*algos)) return rc;
+  std::printf("algorithms:\n");
+  for (const AlgoCapability& a : algos->algos) {
+    PrintAlgoLine(stdout, a.name, a.summary, a.deterministic,
+                  a.supports_tradeoff, a.exact, a.produces_cut);
+  }
   return 0;
 }
 
@@ -514,6 +583,7 @@ int CmdRemoteCompress(const Args& args) {
   req.artifact = name;
   req.forest = args.Get("forest-name", "default");
   req.algo = args.Get("algo", "opt");
+  if (!ValidateAlgo(req.algo, "remote-compress")) return 2;
   if (!ParseUint64(bound, &req.bound)) {
     std::fprintf(
         stderr,
@@ -585,6 +655,7 @@ int CmdRemoteEvaluate(const Args& args) {
     }
     req.forest = args.Get("forest-name", "default");
     req.algo = args.Get("algo", "opt");
+    if (!ValidateAlgo(req.algo, "remote-evaluate")) return 2;
   } else if (args.Get("algo") != nullptr ||
              args.Get("forest-name") != nullptr) {
     // Without --bound these flags would be silently dropped; refuse.
@@ -677,12 +748,12 @@ const Command kCommands[] = {
 
 int Run(int argc, char** argv) {
   if (argc < 2) {
-    std::fputs(kUsage, stderr);
+    PrintUsage(stderr);
     return 2;
   }
   std::string cmd = argv[1];
   if (cmd == "--help" || cmd == "-h" || cmd == "help") {
-    std::fputs(kUsage, stdout);
+    PrintUsage(stdout);
     return 0;
   }
   for (const Command& command : kCommands) {
@@ -692,13 +763,13 @@ int Run(int argc, char** argv) {
       return 2;
     }
     if (args.help) {
-      std::fputs(kUsage, stdout);
+      PrintUsage(stdout);
       return 0;
     }
     return command.fn(args);
   }
   std::fprintf(stderr, "unknown command '%s'\n\n", cmd.c_str());
-  std::fputs(kUsage, stderr);
+  PrintUsage(stderr);
   return 2;
 }
 
