@@ -43,18 +43,25 @@ void RunWith(benchmark::State& state, const OptimalOptions& options) {
   }
 }
 
+OptimalOptions MakeOptions(bool sparse, bool shortcut) {
+  OptimalOptions options;
+  options.sparse_arrays = sparse;
+  options.height1_shortcut = shortcut;
+  return options;
+}
+
 void BM_SparseWithShortcut(benchmark::State& state) {
-  RunWith(state, OptimalOptions{true, true});
+  RunWith(state, MakeOptions(true, true));
 }
 BENCHMARK(BM_SparseWithShortcut)->Unit(benchmark::kMillisecond);
 
 void BM_DenseArrays(benchmark::State& state) {
-  RunWith(state, OptimalOptions{false, true});
+  RunWith(state, MakeOptions(false, true));
 }
 BENCHMARK(BM_DenseArrays)->Unit(benchmark::kMillisecond);
 
 void BM_SparseNoShortcut(benchmark::State& state) {
-  RunWith(state, OptimalOptions{true, false});
+  RunWith(state, MakeOptions(true, false));
 }
 BENCHMARK(BM_SparseNoShortcut)->Unit(benchmark::kMillisecond);
 

@@ -88,14 +88,19 @@ class OptCompressor : public Compressor {
   const CompressorInfo& info() const override {
     static const CompressorInfo kInfo{
         "opt", "optimal single-tree DP (Algorithm 1)", /*deterministic=*/true,
-        /*supports_tradeoff=*/true, /*exact=*/true, /*produces_cut=*/true};
+        /*supports_tradeoff=*/true, /*exact=*/true, /*produces_cut=*/true,
+        /*supports_time_budget=*/true};
     return kInfo;
   }
 
   StatusOr<CompressionResult> Compress(
       const PolynomialSet& polys, const AbstractionForest& forest,
       const CompressOptions& options) const override {
-    return OptimalSingleTree(polys, forest, options.root, options.bound);
+    OptimalOptions opt;
+    if (options.time_budget_ms > 0) {
+      opt.deadline = Deadline::AfterMillis(options.time_budget_ms);
+    }
+    return OptimalSingleTree(polys, forest, options.root, options.bound, opt);
   }
 };
 
@@ -105,14 +110,19 @@ class GreedyCompressor : public Compressor {
     static const CompressorInfo kInfo{
         "greedy", "greedy multi-tree heuristic (Algorithm 2)",
         /*deterministic=*/true, /*supports_tradeoff=*/false,
-        /*exact=*/false, /*produces_cut=*/true};
+        /*exact=*/false, /*produces_cut=*/true,
+        /*supports_time_budget=*/true};
     return kInfo;
   }
 
   StatusOr<CompressionResult> Compress(
       const PolynomialSet& polys, const AbstractionForest& forest,
       const CompressOptions& options) const override {
-    return GreedyMultiTree(polys, forest, options.bound);
+    GreedyOptions greedy;
+    if (options.time_budget_ms > 0) {
+      greedy.deadline = Deadline::AfterMillis(options.time_budget_ms);
+    }
+    return GreedyMultiTree(polys, forest, options.bound, greedy);
   }
 };
 
@@ -122,7 +132,8 @@ class BruteCompressor : public Compressor {
     static const CompressorInfo kInfo{
         "brute", "exhaustive cut enumeration (ground-truth baseline)",
         /*deterministic=*/true, /*supports_tradeoff=*/false,
-        /*exact=*/true, /*produces_cut=*/true};
+        /*exact=*/true, /*produces_cut=*/true,
+        /*supports_time_budget=*/true};
     return kInfo;
   }
 
@@ -143,7 +154,8 @@ class ProxCompressor : public Compressor {
     static const CompressorInfo kInfo{
         "prox", "pairwise-merge summarizer of Ainy et al. (competitor)",
         /*deterministic=*/true, /*supports_tradeoff=*/false,
-        /*exact=*/false, /*produces_cut=*/false};
+        /*exact=*/false, /*produces_cut=*/false,
+        /*supports_time_budget=*/true};
     return kInfo;
   }
 

@@ -39,10 +39,13 @@ struct CompressOptions {
   /// slots in without an API change (the serving cache key would then need
   /// to include it — see docs/SERVER.md).
   uint64_t seed = 0;
-  /// Wall-clock budget in milliseconds; 0 = unlimited. Enforced by the
-  /// potentially exponential algorithms ("brute" per cut, "prox" per
-  /// oracle-call batch), which fail with kOutOfRange when it expires. The
-  /// polynomial-time "opt"/"greedy" run to completion regardless.
+  /// Wall-clock budget in milliseconds; 0 = unlimited. Every built-in
+  /// honors it and fails with kOutOfRange on expiry, each at its natural
+  /// check granularity: "brute" per cut, "prox" per oracle-call batch,
+  /// "opt" per DP node, "greedy" per merge round. A compressor that cannot
+  /// enforce a budget must advertise `supports_time_budget = false` so
+  /// callers can reject the option up front instead of being silently
+  /// unprotected.
   uint64_t time_budget_ms = 0;
 };
 
@@ -105,6 +108,12 @@ struct CompressorInfo {
   /// grouping algorithms like "prox". Callers that need a VVS (e.g. the
   /// CLI's --vvs-out) check this BEFORE running the algorithm.
   bool produces_cut = false;
+  /// CompressOptions::time_budget_ms is enforced (expiry fails with
+  /// kOutOfRange). True for all four built-ins; a compressor that cannot
+  /// check a deadline must advertise false, and callers that need budget
+  /// protection reject it up front (a silently ignored budget is the worst
+  /// outcome).
+  bool supports_time_budget = false;
 };
 
 /// One compression strategy. Implementations must be stateless and

@@ -68,6 +68,12 @@ StatusOr<CompressionResult> GreedyMultiTree(const PolynomialSet& polys,
 
   // Main loop (lines 10–14).
   while (state.MonomialLoss() < k && !candidates.empty()) {
+    // One wall-clock check per merge round bounds the overrun by a single
+    // candidate scan — the same best-effort granularity the exponential
+    // algorithms provide (brute per cut, prox per oracle-call batch).
+    if (options.deadline.Expired()) {
+      return Status::OutOfRange("greedy compression exceeded its time budget");
+    }
     // Select the candidate with minimal variable loss (first pass; VL is a
     // cheap count), then optionally tie-break on maximal monomial-loss
     // gain among the minimal-VL ties only (second pass; gains require an

@@ -4,6 +4,7 @@
 #include "abstraction/abstraction_forest.h"
 #include "algo/optimal_single_tree.h"
 #include "common/statusor.h"
+#include "common/timer.h"
 #include "core/polynomial_set.h"
 
 namespace provabs {
@@ -15,6 +16,9 @@ struct GreedyOptions {
   /// Example 15 of the paper, where q1 is preferred over SB). When false,
   /// ties are broken arbitrarily, matching the pseudocode's weakest reading.
   bool tie_break_on_ml = true;
+  /// Wall-clock cutoff, checked once per merge round of the main loop; on
+  /// expiry the algorithm fails with kOutOfRange. Default: never expires.
+  Deadline deadline;
 };
 
 /// Algorithm 2 (Greedy Valid Variables Selection): heuristic compression

@@ -48,6 +48,12 @@ NodeArray Convolve(const std::vector<const NodeArray*>& children, uint32_t k,
                    std::vector<std::unordered_map<uint32_t, uint32_t>>* splits) {
   PROVABS_CHECK(!children.empty());
   NodeArray tau = *children[0];
+  // The copy must carry only the child's VALUES: `use_self` describes the
+  // child's own singleton optimum, and a unary parent inheriting it would
+  // make Reconstruct emit the parent where the DP actually scored the
+  // child's singleton VVS — diverging from the dense ablation arm, whose
+  // ConvolveDense never propagates the flag.
+  tau.use_self.clear();
   if (splits) {
     splits->clear();
     splits->resize(children.size());
@@ -64,6 +70,13 @@ NodeArray Convolve(const std::vector<const NodeArray*>& children, uint32_t k,
         if (it == next.vl.end() || vl < it->second) {
           next.vl[bucket] = vl;
           if (splits) split_i[bucket] = s;
+        } else if (splits && vl == it->second) {
+          // Canonical tie-break: among optimal (prefix, child) pairs keep
+          // the smallest prefix bucket, so the reconstructed cut does not
+          // depend on hash-map iteration order (the sparse and dense arms
+          // must reconstruct the same cut on ties).
+          auto sit = split_i.find(bucket);
+          if (sit != split_i.end() && s < sit->second) sit->second = s;
         }
       }
     }
@@ -123,12 +136,18 @@ struct Solver {
     return true;
   }
 
-  void ComputeArrays() {
+  Status ComputeArrays() {
     const size_t n = tree->node_count();
     arrays.resize(n);
     self_loss.resize(n);
     // DFS pre-order storage: reverse iteration is post-order.
     for (size_t i = n; i-- > 0;) {
+      // One wall-clock check per node bounds the overrun by a single
+      // convolution — the same best-effort granularity brute force gets
+      // from its per-cut check.
+      if (options.deadline.Expired()) {
+        return Status::OutOfRange("optimal DP exceeded its time budget");
+      }
       NodeIndex v = static_cast<NodeIndex>(i);
       const auto& node = tree->node(v);
       if (node.is_leaf()) {
@@ -150,6 +169,7 @@ struct Solver {
           self_loss[v].monomial_loss, k);
       arrays[v].Offer(self_bucket, self_loss[v].variable_loss, true);
     }
+    return Status::OK();
   }
 
   /// Reconstructs the cut achieving arrays[v] at `bucket` into out_nodes.
@@ -185,14 +205,15 @@ struct Solver {
     for (size_t i = node.children.size(); i-- > 1;) {
       uint32_t s = splits[i].at(j);
       // Child i's bucket is the one whose combination with s yields j.
-      // Find it by scanning child i's entries (small maps).
+      // Find it by scanning child i's entries (small maps); ties prefer
+      // the smallest bucket so the choice is iteration-order independent.
       uint32_t chosen = 0;
       uint64_t best = kBottom;
       for (const auto& [jc, vlc] : children[i]->vl) {
         if (std::min<uint64_t>(static_cast<uint64_t>(s) + jc, k) != j) {
           continue;
         }
-        if (vlc < best) {
+        if (vlc < best || (vlc == best && jc < chosen)) {
           best = vlc;
           chosen = jc;
         }
@@ -235,7 +256,8 @@ StatusOr<CompressionResult> OptimalSingleTree(
   solver.k = k;
   solver.options = options;
   solver.tree_index = tree_index;
-  solver.ComputeArrays();
+  Status dp = solver.ComputeArrays();
+  if (!dp.ok()) return dp;
 
   const NodeArray& root_array = solver.arrays[tree.root()];
   if (root_array.Get(k) == kBottom) {
@@ -284,7 +306,9 @@ StatusOr<std::vector<std::pair<uint32_t, uint64_t>>> RootLossProfile(
   solver.k = static_cast<uint32_t>(size_m);
   solver.options = OptimalOptions{};
   solver.tree_index = tree_index;
-  solver.ComputeArrays();
+  // Default options carry an infinite deadline; the DP cannot expire.
+  Status dp = solver.ComputeArrays();
+  if (!dp.ok()) return dp;
 
   const NodeArray& root = solver.arrays[tree.root()];
   std::vector<std::pair<uint32_t, uint64_t>> profile(root.vl.begin(),

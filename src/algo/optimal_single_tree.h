@@ -8,6 +8,7 @@
 #include "abstraction/valid_variable_set.h"
 #include "algo/compressor.h"  // CompressionResult (the unified result type)
 #include "common/statusor.h"
+#include "common/timer.h"
 #include "core/polynomial_set.h"
 
 namespace provabs {
@@ -19,6 +20,9 @@ struct OptimalOptions {
   /// Skip the children convolution for height-1 nodes (their array is
   /// always {0:0} plus the self entry).
   bool height1_shortcut = true;
+  /// Wall-clock cutoff, checked once per node of the bottom-up DP; on
+  /// expiry the algorithm fails with kOutOfRange. Default: never expires.
+  Deadline deadline;
 };
 
 /// Algorithm 1 (Optimal Valid Variables Selection): computes an optimal VVS

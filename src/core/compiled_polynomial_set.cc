@@ -1,0 +1,76 @@
+#include "core/compiled_polynomial_set.h"
+
+#include <unordered_map>
+
+#include "common/macros.h"
+#include "core/polynomial_set.h"
+#include "core/valuation.h"
+
+namespace provabs {
+
+CompiledPolynomialSet CompiledPolynomialSet::Compile(
+    const PolynomialSet& polys) {
+  CompiledPolynomialSet out;
+  const size_t size_m = polys.SizeM();
+  // The CSR offsets are 32-bit; provenance sets here are far below 4G
+  // monomials (the serving layer's byte budget caps them long before).
+  PROVABS_CHECK(size_m < 0xFFFFFFFFu);
+
+  out.poly_offsets_.reserve(polys.count() + 1);
+  out.mono_offsets_.reserve(size_m + 1);
+  out.coefficients_.reserve(size_m);
+
+  out.poly_offsets_.push_back(0);
+  out.mono_offsets_.push_back(0);
+  // Build-time only: slots resolve through slot_vars_ afterwards, so the
+  // inverse map is not retained (cached compiled forms stay lean).
+  std::unordered_map<VariableId, uint32_t> var_slots;
+  for (const Polynomial& poly : polys.polynomials()) {
+    for (const Monomial& m : poly.monomials()) {
+      out.coefficients_.push_back(m.coefficient());
+      for (const Factor& f : m.factors()) {
+        auto [it, inserted] = var_slots.emplace(
+            f.var, static_cast<uint32_t>(out.slot_vars_.size()));
+        if (inserted) out.slot_vars_.push_back(f.var);
+        out.factor_slots_.push_back(it->second);
+        out.factor_exps_.push_back(f.exp);
+      }
+      PROVABS_CHECK(out.factor_slots_.size() < 0xFFFFFFFFu);
+      out.mono_offsets_.push_back(
+          static_cast<uint32_t>(out.factor_slots_.size()));
+    }
+    out.poly_offsets_.push_back(
+        static_cast<uint32_t>(out.coefficients_.size()));
+  }
+  return out;
+}
+
+DenseValuation CompiledPolynomialSet::MaterializeValuation(
+    const Valuation& valuation) const {
+  DenseValuation dense;
+  dense.values_.reserve(slot_vars_.size());
+  for (VariableId var : slot_vars_) {
+    dense.values_.push_back(valuation.Get(var));
+  }
+  return dense;
+}
+
+std::vector<double> CompiledPolynomialSet::EvaluateAll(
+    const DenseValuation& dense) const {
+  std::vector<double> out(poly_count());
+  EvaluateRange(0, poly_count(), dense, out.data());
+  return out;
+}
+
+size_t CompiledPolynomialSet::ApproxBytes() const {
+  size_t bytes = sizeof(CompiledPolynomialSet);
+  bytes += poly_offsets_.capacity() * sizeof(uint32_t);
+  bytes += mono_offsets_.capacity() * sizeof(uint32_t);
+  bytes += coefficients_.capacity() * sizeof(double);
+  bytes += factor_slots_.capacity() * sizeof(uint32_t);
+  bytes += factor_exps_.capacity() * sizeof(uint32_t);
+  bytes += slot_vars_.capacity() * sizeof(VariableId);
+  return bytes;
+}
+
+}  // namespace provabs

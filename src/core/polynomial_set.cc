@@ -1,6 +1,73 @@
 #include "core/polynomial_set.h"
 
+#include <atomic>
+#include <utility>
+
+#include "core/compiled_polynomial_set.h"
+
 namespace provabs {
+
+PolynomialSet::PolynomialSet(const PolynomialSet& other)
+    : polys_(other.polys_),
+      compiled_(std::atomic_load_explicit(&other.compiled_,
+                                          std::memory_order_acquire)) {}
+
+PolynomialSet& PolynomialSet::operator=(const PolynomialSet& other) {
+  if (this == &other) return *this;
+  polys_ = other.polys_;
+  std::atomic_store_explicit(
+      &compiled_,
+      std::atomic_load_explicit(&other.compiled_, std::memory_order_acquire),
+      std::memory_order_release);
+  return *this;
+}
+
+PolynomialSet::PolynomialSet(PolynomialSet&& other) noexcept
+    : polys_(std::move(other.polys_)),
+      compiled_(std::atomic_load_explicit(&other.compiled_,
+                                          std::memory_order_acquire)) {
+  // The moved-from set's polynomials are gone; a retained compiled cache
+  // would describe contents it no longer has.
+  std::atomic_store_explicit(&other.compiled_,
+                             std::shared_ptr<const CompiledPolynomialSet>(),
+                             std::memory_order_release);
+}
+
+PolynomialSet& PolynomialSet::operator=(PolynomialSet&& other) noexcept {
+  if (this == &other) return *this;
+  polys_ = std::move(other.polys_);
+  std::atomic_store_explicit(
+      &compiled_,
+      std::atomic_load_explicit(&other.compiled_, std::memory_order_acquire),
+      std::memory_order_release);
+  std::atomic_store_explicit(&other.compiled_,
+                             std::shared_ptr<const CompiledPolynomialSet>(),
+                             std::memory_order_release);
+  return *this;
+}
+
+void PolynomialSet::Add(Polynomial p) {
+  polys_.push_back(std::move(p));
+  std::atomic_store_explicit(
+      &compiled_, std::shared_ptr<const CompiledPolynomialSet>(),
+      std::memory_order_release);
+}
+
+std::shared_ptr<const CompiledPolynomialSet> PolynomialSet::Compiled() const {
+  std::shared_ptr<const CompiledPolynomialSet> cached =
+      std::atomic_load_explicit(&compiled_, std::memory_order_acquire);
+  if (cached != nullptr) return cached;
+  // Racing compilers each build an identical (deterministic) form; the last
+  // store wins and the losers' snapshots remain valid. Compilation is one
+  // linear pass, so duplicate work on a race is cheaper than a per-set
+  // mutex on the hot path.
+  auto built = std::make_shared<const CompiledPolynomialSet>(
+      CompiledPolynomialSet::Compile(*this));
+  std::atomic_store_explicit(
+      &compiled_, std::shared_ptr<const CompiledPolynomialSet>(built),
+      std::memory_order_release);
+  return built;
+}
 
 size_t PolynomialSet::SizeM() const {
   size_t total = 0;

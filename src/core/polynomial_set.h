@@ -2,12 +2,15 @@
 #define PROVABS_CORE_POLYNOMIAL_SET_H_
 
 #include <functional>
+#include <memory>
 #include <unordered_set>
 #include <vector>
 
 #include "core/polynomial.h"
 
 namespace provabs {
+
+class CompiledPolynomialSet;
 
 /// A multiset of provenance polynomials — the provenance-aware result of a
 /// query, one polynomial per output tuple/group. The paper's measures lift
@@ -22,8 +25,17 @@ class PolynomialSet {
   explicit PolynomialSet(std::vector<Polynomial> polys)
       : polys_(std::move(polys)) {}
 
+  // Value semantics are preserved; the lazily compiled evaluation form is
+  // immutable and valid for any set with identical polynomials, so copies
+  // share it and moves carry it.
+  PolynomialSet(const PolynomialSet& other);
+  PolynomialSet& operator=(const PolynomialSet& other);
+  PolynomialSet(PolynomialSet&& other) noexcept;
+  PolynomialSet& operator=(PolynomialSet&& other) noexcept;
+
   /// Appends one polynomial (one more output tuple's annotation).
-  void Add(Polynomial p) { polys_.push_back(std::move(p)); }
+  /// Invalidates any previously compiled evaluation form.
+  void Add(Polynomial p);
 
   const std::vector<Polynomial>& polynomials() const { return polys_; }
   /// Number of polynomials (query output tuples), NOT monomials — see
@@ -45,8 +57,20 @@ class PolynomialSet {
       const std::function<VariableId(VariableId)>& map,
       CoefficientCombine combine = CoefficientCombine::kAdd) const;
 
+  /// The set flattened into the CSR evaluation form
+  /// (core/compiled_polynomial_set.h), compiled on first call and cached;
+  /// `Add` invalidates the cache. Thread-safe: concurrent callers may race
+  /// to compile, but compilation is deterministic, every caller gets a
+  /// valid snapshot, and the returned shared_ptr stays alive independently
+  /// of this set's further mutation or destruction.
+  std::shared_ptr<const CompiledPolynomialSet> Compiled() const;
+
  private:
   std::vector<Polynomial> polys_;
+  /// Lazily compiled evaluation form; accessed only through the
+  /// std::atomic_* shared_ptr free functions (C++17's pre-atomic<shared_ptr>
+  /// idiom) so readers never see a torn pointer.
+  mutable std::shared_ptr<const CompiledPolynomialSet> compiled_;
 };
 
 }  // namespace provabs

@@ -1,6 +1,9 @@
 #include "core/valuation.h"
 
 #include <cmath>
+#include <memory>
+
+#include "core/compiled_polynomial_set.h"
 
 namespace provabs {
 
@@ -20,10 +23,8 @@ double Valuation::Evaluate(const Polynomial& poly) const {
 }
 
 std::vector<double> Valuation::EvaluateAll(const PolynomialSet& polys) const {
-  std::vector<double> out;
-  out.reserve(polys.count());
-  for (const Polynomial& p : polys.polynomials()) out.push_back(Evaluate(p));
-  return out;
+  std::shared_ptr<const CompiledPolynomialSet> compiled = polys.Compiled();
+  return compiled->EvaluateAll(compiled->MaterializeValuation(*this));
 }
 
 }  // namespace provabs

@@ -33,9 +33,25 @@ class Valuation {
   size_t size() const { return values_.size(); }
 
   /// Evaluates a single polynomial under this valuation.
+  ///
+  /// This defines the CANONICAL summation order every other evaluation path
+  /// must reproduce operation-for-operation: monomials are accumulated left
+  /// to right in the polynomial's canonical order (total starts at 0.0 and
+  /// gains one `+= term` per monomial), each term starts from the
+  /// coefficient and multiplies factor values left to right in the
+  /// monomial's canonical factor order, and exponents expand to repeated
+  /// multiplication. Floating-point addition and multiplication are not
+  /// associative, so any reordering would change last-ulp results; pinning
+  /// the order makes the compiled kernel (core/compiled_polynomial_set.h)
+  /// and the parallel/batched paths bitwise identical to this reference —
+  /// differential tests assert exact equality.
   double Evaluate(const Polynomial& poly) const;
 
   /// Evaluates each polynomial in the set; `out[i]` is the value of poly i.
+  /// Routes through the set's lazily compiled CSR form (flat arrays, dense
+  /// slot valuation — see core/compiled_polynomial_set.h); per-polynomial
+  /// results are bitwise identical to calling `Evaluate(polys[i])`, per the
+  /// canonical summation order above.
   std::vector<double> EvaluateAll(const PolynomialSet& polys) const;
 
  private:

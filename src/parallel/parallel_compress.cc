@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 
 #include "abstraction/cut_counter.h"
 #include "abstraction/valid_variable_set.h"
 #include "common/macros.h"
+#include "core/compiled_polynomial_set.h"
 
 namespace provabs {
 
@@ -113,9 +115,16 @@ StatusOr<CompressionResult> ParallelBruteForce(
 std::vector<double> ParallelEvaluateAll(const Valuation& valuation,
                                         const PolynomialSet& polys,
                                         ThreadPool& pool) {
-  std::vector<double> out(polys.count());
-  pool.ParallelFor(polys.count(), [&](size_t i) {
-    out[i] = valuation.Evaluate(polys[i]);
+  // Compile (cached on the set) and materialize the valuation once, then
+  // chunk the flat CSR arrays across the pool: ParallelFor hands each
+  // worker a contiguous polynomial range, which is a contiguous walk of the
+  // compiled arrays. Per-polynomial evaluation reproduces the canonical
+  // summation order, so the output is bitwise identical to the serial path.
+  std::shared_ptr<const CompiledPolynomialSet> compiled = polys.Compiled();
+  const DenseValuation dense = compiled->MaterializeValuation(valuation);
+  std::vector<double> out(compiled->poly_count());
+  pool.ParallelFor(compiled->poly_count(), [&](size_t i) {
+    out[i] = compiled->EvaluateOne(i, dense);
   });
   return out;
 }

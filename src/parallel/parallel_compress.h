@@ -37,8 +37,9 @@ StatusOr<CompressionResult> ParallelBruteForce(
     const PolynomialSet& polys, const AbstractionForest& forest,
     size_t bound_b, ThreadPool& pool, const BruteForceOptions& options = {});
 
-/// Evaluates every polynomial under `valuation` using the pool; matches
-/// Valuation::EvaluateAll.
+/// Evaluates every polynomial under `valuation` using the pool, chunking
+/// over the set's compiled CSR arrays (core/compiled_polynomial_set.h);
+/// bitwise identical to Valuation::EvaluateAll.
 std::vector<double> ParallelEvaluateAll(const Valuation& valuation,
                                         const PolynomialSet& polys,
                                         ThreadPool& pool);

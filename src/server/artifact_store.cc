@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/compiled_polynomial_set.h"
 #include "io/byte_stream.h"
 #include "io/serializer.h"
 
@@ -15,6 +16,12 @@ size_t ApproxPolynomialSetBytes(const PolynomialSet& polys) {
       bytes += 48 + m.factors().size() * sizeof(Factor);
     }
   }
+  // Every cached set is served to evaluate requests through its compiled
+  // CSR form, which lives inside the set (lazy cache) and is evicted and
+  // invalidated with it — so its bytes belong to the same budget entry.
+  // Calling Compiled() here also WARMS the form: anything whose bytes the
+  // store accounts is compile-free on the request path by construction.
+  bytes += polys.Compiled()->ApproxBytes();
   return bytes;
 }
 

@@ -31,6 +31,10 @@ namespace provabs {
 /// Artifacts are exposed as `shared_ptr<const Artifact>`: once handed out
 /// they are never mutated, so concurrent request threads may read them
 /// without locks, and LRU eviction cannot invalidate an in-flight request.
+/// `polys` carries its compiled CSR evaluation form (warmed at load by the
+/// byte estimator below), so evaluate requests go straight to flat-array
+/// walks; reloading produces a fresh Artifact and therefore a fresh
+/// compiled form — generation-keyed invalidation for free.
 struct Artifact {
   /// Monotonic store-wide load counter; cached compression results embed it
   /// in their key, so reloading an artifact implicitly invalidates them.
@@ -52,6 +56,13 @@ struct Artifact {
 /// Rough resident-size estimate of a deserialized polynomial set, used for
 /// byte-budget accounting (exact heap accounting is not worth the
 /// bookkeeping; the estimate is within a small constant of malloc reality).
+/// Includes — and warms — the set's compiled CSR evaluation form
+/// (core/compiled_polynomial_set.h): both artifact loads and compressed-
+/// result inserts pass through this estimator, so every cached set is
+/// compiled before it is ever served and evaluate requests never compile.
+/// The compiled form is keyed by the artifact's lifetime itself (it lives
+/// inside the cached set), so generation bumps and LRU eviction invalidate
+/// it together with the entry whose budget it was charged to.
 size_t ApproxPolynomialSetBytes(const PolynomialSet& polys);
 
 /// Byte-budgeted LRU cache over two kinds of entries: deserialized

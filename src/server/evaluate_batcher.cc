@@ -8,7 +8,12 @@ std::vector<double> EvaluateBatcher::Evaluate(
     std::shared_ptr<const PolynomialSet> polys, Valuation val) {
   auto item = std::make_shared<Pending>();
   item->polys = std::move(polys);
-  item->val = std::move(val);
+  // Resolve the compiled form and materialize the valuation on the caller
+  // thread, outside the batcher lock: the compiled form is cached on the
+  // set (pre-warmed for server artifacts), and materialization is one hash
+  // probe per distinct variable. Workers then touch only flat arrays.
+  item->compiled = item->polys->Compiled();
+  item->dense = item->compiled->MaterializeValuation(val);
 
   std::unique_lock<std::mutex> lock(mutex_);
   queue_.push_back(item);
@@ -42,7 +47,7 @@ std::vector<double> EvaluateBatcher::Evaluate(
           offsets.begin() - 1);
       size_t poly = unit - offsets[req];
       batch[req]->out[poly] =
-          batch[req]->val.Evaluate((*batch[req]->polys)[poly]);
+          batch[req]->compiled->EvaluateOne(poly, batch[req]->dense);
     });
 
     lock.lock();

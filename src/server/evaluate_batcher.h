@@ -7,6 +7,7 @@
 #include <mutex>
 #include <vector>
 
+#include "core/compiled_polynomial_set.h"
 #include "core/polynomial_set.h"
 #include "core/valuation.h"
 #include "parallel/thread_pool.h"
@@ -30,6 +31,14 @@ namespace provabs {
 /// One pool wake-up and one contiguous work split amortize scheduling over
 /// the whole batch, and requests against the same polynomial set share
 /// cache locality within a chunk.
+///
+/// Each request evaluates through its set's compiled CSR form
+/// (core/compiled_polynomial_set.h): the caller thread resolves the
+/// compiled form (cached on the set — for server artifacts it is warmed at
+/// load/insert time, so this never compiles on the request path) and
+/// materializes its valuation into a dense slot array before queueing, so
+/// pool workers run pure flat-array walks. Results are bitwise identical
+/// to naive `Valuation::Evaluate` per polynomial.
 class EvaluateBatcher {
  public:
   explicit EvaluateBatcher(ThreadPool& pool) : pool_(pool) {}
@@ -54,16 +63,18 @@ class EvaluateBatcher {
  private:
   /// Concurrency audit (TSan'd by tests/server_concurrency_test.cc): a
   /// Pending crosses threads only through `mutex_` and the pool's own
-  /// synchronization. The caller publishes it into `queue_` under the
-  /// lock; the leader takes the queue under the lock and sizes `out`
-  /// before any Submit (the pool's queue mutex orders those writes before
-  /// worker reads); workers write disjoint `out` slots; the leader's
-  /// post-ParallelFor lock re-acquire orders those writes before `done`
-  /// flips; and the owner only reads `out` after observing `done` under
-  /// the lock. `stats_` is only ever touched under `mutex_`.
+  /// synchronization. The caller fills `compiled`/`dense` before
+  /// publishing the item into `queue_` under the lock; the leader takes
+  /// the queue under the lock and sizes `out` before any Submit (the
+  /// pool's queue mutex orders those writes before worker reads); workers
+  /// only read `compiled`/`dense` and write disjoint `out` slots; the
+  /// leader's post-ParallelFor lock re-acquire orders those writes before
+  /// `done` flips; and the owner only reads `out` after observing `done`
+  /// under the lock. `stats_` is only ever touched under `mutex_`.
   struct Pending {
     std::shared_ptr<const PolynomialSet> polys;
-    Valuation val;
+    std::shared_ptr<const CompiledPolynomialSet> compiled;
+    DenseValuation dense;
     std::vector<double> out;
     bool done = false;
   };

@@ -251,6 +251,7 @@ Response ProvenanceService::ListAlgos(const ListAlgosRequest&) {
     a.supports_tradeoff = info.supports_tradeoff;
     a.exact = info.exact;
     a.produces_cut = info.produces_cut;
+    a.supports_time_budget = info.supports_time_budget;
     resp.algos.push_back(std::move(a));
   }
   AttachStats(resp);

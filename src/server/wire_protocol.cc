@@ -313,6 +313,7 @@ std::string EncodeResponse(const Response& resp) {
     if (a.supports_tradeoff) flags |= 2;
     if (a.exact) flags |= 4;
     if (a.produces_cut) flags |= 8;
+    if (a.supports_time_budget) flags |= 16;
     w.PutU8(flags);
   }
   return std::move(w).Release();
@@ -415,6 +416,7 @@ StatusOr<Response> DecodeResponse(std::string_view payload) {
     a.supports_tradeoff = (*flags & 2) != 0;
     a.exact = (*flags & 4) != 0;
     a.produces_cut = (*flags & 8) != 0;
+    a.supports_time_budget = (*flags & 16) != 0;
     resp.algos.push_back(std::move(a));
   }
   return resp;

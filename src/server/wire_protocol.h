@@ -125,6 +125,10 @@ struct AlgoCapability {
   /// Results are tree cuts (serializable VVS); false for grouping
   /// algorithms like "prox".
   bool produces_cut = false;
+  /// CompressOptions::time_budget_ms is enforced rather than silently
+  /// ignored (flag bit 4; absent in records from pre-bit-4 servers, which
+  /// decodes as false — the conservative reading).
+  bool supports_time_budget = false;
 };
 
 /// Server-side cache and batching counters, included in every response so

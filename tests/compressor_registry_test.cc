@@ -74,6 +74,9 @@ TEST(CompressorRegistryTest, BuiltinCapabilitiesMatchTheAlgorithms) {
   for (const CompressorInfo& info : infos) {
     EXPECT_TRUE(info.deterministic) << info.name;
     EXPECT_FALSE(info.summary.empty()) << info.name;
+    // Every built-in enforces CompressOptions::time_budget_ms (each at its
+    // own check granularity); none silently ignores it.
+    EXPECT_TRUE(info.supports_time_budget) << info.name;
   }
 }
 
@@ -284,6 +287,123 @@ TEST_F(RegistryDifferentialTest, ExpiredDeadlineAbortsBruteAndProx) {
   auto p = ProxSummarize(polys_, forest_, polys_.SizeM() / 2, prox);
   ASSERT_FALSE(p.ok());
   EXPECT_EQ(p.status().code(), StatusCode::kOutOfRange);
+}
+
+// The polynomial-time algorithms used to silently ignore the budget; they
+// now check the deadline in their outer loops (opt per DP node, greedy per
+// merge round). An already-expired deadline is the deterministic probe: it
+// must abort before any work completes.
+TEST_F(RegistryDifferentialTest, ExpiredDeadlineAbortsOptAndGreedy) {
+  OptimalOptions opt;
+  opt.deadline = Deadline::AfterMillis(0);
+  auto o = OptimalSingleTree(polys_, forest_, 0, bound_, opt);
+  ASSERT_FALSE(o.ok());
+  EXPECT_EQ(o.status().code(), StatusCode::kOutOfRange);
+
+  GreedyOptions greedy;
+  greedy.deadline = Deadline::AfterMillis(0);
+  auto g = GreedyMultiTree(polys_, forest_, bound_, greedy);
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kOutOfRange);
+}
+
+// The registry-level contract: every registered algorithm either honors
+// CompressOptions::time_budget_ms (advertises supports_time_budget and
+// aborts with kOutOfRange when the budget expires) or would advertise
+// supports_time_budget = false so callers can reject the option up front —
+// what must never happen is a silently ignored budget, which is exactly
+// what "opt" and "greedy" used to do. All four built-ins now honor it.
+//
+// The expiry probes run through the registry adapter (so they also prove
+// the adapter actually threads the budget into the algorithm options):
+// "brute" and "prox" get a 1ms budget against instances that cost them
+// hundreds of milliseconds (hundreds of full-loss cut evaluations /
+// O(|V|²) oracle batches) — a 100x+ margin; the polynomial-time "opt" and
+// "greedy" are first timed unbudgeted, and the test skips loudly if the
+// machine finishes them too fast for a 1ms budget to be distinguishable
+// (their zero-work abort is covered deterministically by the
+// AfterMillis(0) tests above).
+TEST(TimeBudgetBattery, EveryRegisteredAlgorithmHonorsTimeBudget) {
+  const CompressorRegistry& registry = CompressorRegistry::Default();
+  for (const CompressorInfo& info : registry.Infos()) {
+    ASSERT_TRUE(info.supports_time_budget) << info.name;
+  }
+
+  // A workload heavy enough that every algorithm needs well over 1ms: 2000
+  // customers over 128 plans, abstracted by a 7-level binary tree (255
+  // nodes — the opt DP's cost scales with node count and bucket-map size).
+  TelephonyConfig config;
+  config.num_customers = 2000;
+  config.num_plans = 128;
+  config.num_months = 12;
+  config.num_zip_codes = 8;
+  Rng rng(config.seed);
+  Database db = GenerateTelephony(config, rng);
+  VariableTable vars;
+  TelephonyVars tv = MakeTelephonyVars(vars, config);
+  PolynomialSet polys = RunTelephonyQuery(db, tv);
+  AbstractionForest deep;
+  deep.AddTree(BuildUniformTree(vars, tv.plan_vars, {2, 2, 2, 2, 2, 2},
+                                "TBdeep_"));
+  ASSERT_TRUE(deep.CheckCompatible(polys).ok());
+
+  // brute needs an enumerable cut space; 8 leaves under {2, 2} keep it
+  // small, but each cut costs a full loss recount over ~10k monomials —
+  // tens of milliseconds unbudgeted, a comfortable margin over 1ms with
+  // the deadline checked per cut.
+  AbstractionForest small;
+  std::vector<VariableId> brute_leaves(tv.plan_vars.begin(),
+                                       tv.plan_vars.begin() + 8);
+  small.AddTree(BuildUniformTree(vars, brute_leaves, {2, 2}, "TBsmall_"));
+
+  // The exponential/quadratic algorithms: straight 1ms budget.
+  for (const char* name : {"brute", "prox"}) {
+    CompressOptions options;
+    options.bound = polys.SizeM() / 2;
+    options.time_budget_ms = 1;
+    const AbstractionForest& forest =
+        std::string(name) == "brute" ? small : deep;
+    auto result = registry.Find(name)->Compress(polys, forest, options);
+    ASSERT_FALSE(result.ok()) << name;
+    EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange) << name;
+  }
+
+  // The polynomial-time algorithms: calibrate unbudgeted first. An
+  // algorithm the machine finishes too fast for a 1ms budget to expire
+  // distinguishably is skipped — per algorithm, so one fast algorithm
+  // never drops the other's coverage (their zero-work abort is covered
+  // deterministically by the AfterMillis(0) tests above). The skip is
+  // surfaced at the end so every eligible algorithm has been probed first.
+  std::vector<std::string> too_fast;
+  for (const char* name : {"greedy", "opt"}) {
+    CompressOptions options;
+    options.bound = polys.SizeM() / 2;
+    Timer timer;
+    auto unbudgeted = registry.Find(name)->Compress(polys, deep, options);
+    ASSERT_TRUE(unbudgeted.ok())
+        << name << ": " << unbudgeted.status().ToString();
+    const double elapsed_ms = timer.ElapsedMillis();
+    if (elapsed_ms < 4.0) {
+      too_fast.push_back(std::string(name) + " (" +
+                         std::to_string(elapsed_ms) + "ms unbudgeted)");
+      continue;
+    }
+    options.time_budget_ms = 1;
+    auto budgeted = registry.Find(name)->Compress(polys, deep, options);
+    ASSERT_FALSE(budgeted.ok())
+        << name << " ran " << elapsed_ms
+        << "ms unbudgeted yet finished inside a 1ms budget";
+    EXPECT_EQ(budgeted.status().code(), StatusCode::kOutOfRange) << name;
+  }
+  if (!too_fast.empty()) {
+    std::string joined;
+    for (const std::string& entry : too_fast) {
+      if (!joined.empty()) joined += ", ";
+      joined += entry;
+    }
+    GTEST_SKIP() << "machine too fast to distinguish a 1ms budget for: "
+                 << joined;
+  }
 }
 
 TEST(DeadlineTest, InfiniteNeverExpiresZeroExpiresImmediately) {

@@ -1,0 +1,281 @@
+// Differential suite for the compiled evaluation kernel
+// (core/compiled_polynomial_set.h): naive per-polynomial Evaluate is the
+// reference defining the canonical summation order; the compiled kernel,
+// the parallel path, and the batched serving path must reproduce it
+// BITWISE — floating-point add/mul are not associative, so exact equality
+// is only possible if every path performs the identical operation
+// sequence. Coverage: exponents > 1, unassigned variables (default 1.0),
+// variables assigned but absent from the set, empty polynomials, empty
+// sets, and post-abstraction sets (tree cuts and interned prox groups).
+//
+// The parallel/batched arms run under TSan in CI (evaluate_kernel_test is
+// in the thread-sanitizer job's suite list) to certify the lazy
+// Compiled() cache and the shared DenseValuation reads.
+
+#include "core/compiled_polynomial_set.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "algo/compressor.h"
+#include "common/random.h"
+#include "core/polynomial.h"
+#include "core/polynomial_set.h"
+#include "core/valuation.h"
+#include "parallel/parallel_compress.h"
+#include "parallel/thread_pool.h"
+#include "server/evaluate_batcher.h"
+#include "workload/tree_gen.h"
+
+namespace provabs {
+namespace {
+
+/// Bit pattern of a double, so "identical" means identical IEEE-754 bits
+/// (distinguishes -0.0 from 0.0 and would catch NaN-payload drift too).
+uint64_t Bits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+/// The reference: per-polynomial naive Evaluate (EvaluateAll itself now
+/// routes through the compiled kernel, so the reference must not use it).
+std::vector<double> NaiveEvaluateAll(const Valuation& val,
+                                     const PolynomialSet& polys) {
+  std::vector<double> out;
+  out.reserve(polys.count());
+  for (const Polynomial& p : polys.polynomials()) {
+    out.push_back(val.Evaluate(p));
+  }
+  return out;
+}
+
+void ExpectBitwiseEqual(const std::vector<double>& expected,
+                        const std::vector<double>& actual,
+                        const char* which) {
+  ASSERT_EQ(expected.size(), actual.size()) << which;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(Bits(expected[i]), Bits(actual[i]))
+        << which << ": polynomial " << i << " expected " << expected[i]
+        << " got " << actual[i];
+  }
+}
+
+/// Runs every evaluation path against the naive reference.
+void RunAllPathsDifferential(const Valuation& val, const PolynomialSet& polys,
+                             ThreadPool& pool) {
+  const std::vector<double> expected = NaiveEvaluateAll(val, polys);
+
+  ExpectBitwiseEqual(expected, val.EvaluateAll(polys), "EvaluateAll");
+
+  std::shared_ptr<const CompiledPolynomialSet> compiled = polys.Compiled();
+  const DenseValuation dense = compiled->MaterializeValuation(val);
+  ExpectBitwiseEqual(expected, compiled->EvaluateAll(dense),
+                     "compiled EvaluateAll");
+  for (size_t i = 0; i < polys.count(); ++i) {
+    ASSERT_EQ(Bits(expected[i]), Bits(compiled->EvaluateOne(i, dense)))
+        << "EvaluateOne " << i;
+  }
+
+  ExpectBitwiseEqual(expected, ParallelEvaluateAll(val, polys, pool),
+                     "ParallelEvaluateAll");
+
+  EvaluateBatcher batcher(pool);
+  auto shared = std::make_shared<PolynomialSet>(polys);
+  ExpectBitwiseEqual(expected, batcher.Evaluate(shared, val),
+                     "EvaluateBatcher");
+}
+
+// ------------------------------------------------- structure units ------
+
+TEST(CompiledPolynomialSetTest, CsrLayoutCountsMatchTheSource) {
+  VariableTable vars;
+  VariableId x = vars.Intern("x");
+  VariableId y = vars.Intern("y");
+  VariableId z = vars.Intern("z");
+  PolynomialSet polys;
+  polys.Add(Polynomial::FromMonomials({
+      Monomial(2.0, {{x, 1}, {y, 2}}),
+      Monomial(3.0, {{z, 1}}),
+  }));
+  polys.Add(Polynomial());  // empty polynomial
+  polys.Add(Polynomial::FromMonomials({Monomial(5.0, {{y, 3}})}));
+
+  CompiledPolynomialSet compiled = CompiledPolynomialSet::Compile(polys);
+  EXPECT_EQ(compiled.poly_count(), 3u);
+  EXPECT_EQ(compiled.monomial_count(), polys.SizeM());
+  EXPECT_EQ(compiled.factor_count(), 4u);  // x·y², z, y³
+  EXPECT_EQ(compiled.slot_count(), 3u);    // x, y, z
+  EXPECT_GT(compiled.ApproxBytes(), 0u);
+
+  // Slot order is first appearance; materialization defaults to 1.0.
+  Valuation val;
+  val.Set(y, 0.5);
+  DenseValuation dense = compiled.MaterializeValuation(val);
+  ASSERT_EQ(dense.slot_count(), 3u);
+  EXPECT_EQ(compiled.slot_variables()[0], x);
+  EXPECT_EQ(dense[0], 1.0);
+  EXPECT_EQ(dense[1], 0.5);
+  EXPECT_EQ(dense[2], 1.0);
+
+  // x·y² with x=1, y=0.5: 2*1*0.5*0.5 = 0.5; plus z=1: 3. Empty poly: 0.
+  EXPECT_EQ(compiled.EvaluateOne(0, dense), 0.5 + 3.0);
+  EXPECT_EQ(compiled.EvaluateOne(1, dense), 0.0);
+  EXPECT_EQ(compiled.EvaluateOne(2, dense), 5.0 * 0.5 * 0.5 * 0.5);
+}
+
+TEST(CompiledPolynomialSetTest, EmptySetCompilesAndEvaluates) {
+  PolynomialSet empty;
+  auto compiled = empty.Compiled();
+  EXPECT_EQ(compiled->poly_count(), 0u);
+  EXPECT_EQ(compiled->slot_count(), 0u);
+  Valuation val;
+  EXPECT_TRUE(val.EvaluateAll(empty).empty());
+}
+
+TEST(CompiledPolynomialSetTest, CompiledFormIsCachedAndInvalidatedByAdd) {
+  VariableTable vars;
+  VariableId x = vars.Intern("x");
+  PolynomialSet polys;
+  polys.Add(Polynomial::FromMonomials({Monomial(1.0, {{x, 1}})}));
+
+  auto first = polys.Compiled();
+  auto second = polys.Compiled();
+  EXPECT_EQ(first.get(), second.get());  // cached, not recompiled
+
+  // Copies share the immutable compiled snapshot.
+  PolynomialSet copy = polys;
+  EXPECT_EQ(copy.Compiled().get(), first.get());
+
+  // Mutation invalidates: the stale snapshot stays valid for its holder,
+  // the set recompiles with the new polynomial visible.
+  polys.Add(Polynomial::FromMonomials({Monomial(4.0, {{x, 2}})}));
+  auto third = polys.Compiled();
+  EXPECT_NE(third.get(), first.get());
+  EXPECT_EQ(first->poly_count(), 1u);
+  EXPECT_EQ(third->poly_count(), 2u);
+}
+
+TEST(CompiledPolynomialSetTest, VariablesAssignedButAbsentAreIgnored) {
+  VariableTable vars;
+  VariableId x = vars.Intern("x");
+  VariableId ghost = vars.Intern("ghost");
+  PolynomialSet polys;
+  polys.Add(Polynomial::FromMonomials({Monomial(7.0, {{x, 1}})}));
+  Valuation val;
+  val.Set(ghost, 123.0);  // never occurs in the set
+  val.Set(x, 2.0);
+  std::vector<double> out = val.EvaluateAll(polys);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 14.0);
+}
+
+// ------------------------------------------- randomized differential ----
+
+class EvaluateKernelDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EvaluateKernelDifferentialTest, AllPathsBitwiseIdenticalToNaive) {
+  Rng rng(4200 + GetParam());
+  ThreadPool pool(4);
+  VariableTable vars;
+
+  const size_t num_vars = 3 + rng.Uniform(30);
+  std::vector<VariableId> ids;
+  for (size_t i = 0; i < num_vars; ++i) {
+    ids.push_back(vars.Intern("v" + std::to_string(i)));
+  }
+
+  PolynomialSet polys;
+  const size_t num_polys = rng.Uniform(9);  // 0 = empty set case
+  for (size_t p = 0; p < num_polys; ++p) {
+    std::vector<Monomial> terms;
+    const size_t n_terms = rng.Uniform(14);  // 0 = empty polynomial case
+    for (size_t t = 0; t < n_terms; ++t) {
+      std::vector<Factor> factors;
+      const size_t n_factors = rng.Uniform(5);
+      for (size_t f = 0; f < n_factors; ++f) {
+        factors.push_back(
+            {ids[rng.Uniform(ids.size())],
+             static_cast<uint32_t>(1 + rng.Uniform(4))});  // exponents 1..4
+      }
+      terms.emplace_back(rng.UniformReal(-10.0, 10.0), std::move(factors));
+    }
+    polys.Add(Polynomial::FromMonomials(std::move(terms)));
+  }
+
+  // Assign a random subset (some runs assign nothing); also assign a
+  // variable outside the set entirely.
+  Valuation val;
+  for (VariableId id : ids) {
+    if (rng.Bernoulli(0.6)) val.Set(id, rng.UniformReal(-2.0, 2.0));
+  }
+  val.Set(vars.Intern("outside"), 99.0);
+
+  RunAllPathsDifferential(val, polys, pool);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSets, EvaluateKernelDifferentialTest,
+                         ::testing::Range(0, 24));
+
+// Post-abstraction coverage: the compiled kernel must agree with naive on
+// sets produced by the compression algorithms — tree cuts substitute
+// meta-variables in, and prox's InternGrouping introduces freshly interned
+// group variables whose ids are far from the original dense range.
+TEST(EvaluateKernelAbstractionTest, CutAndGroupingResultsStayBitwiseEqual) {
+  Rng rng(777);
+  ThreadPool pool(4);
+  VariableTable vars;
+  std::vector<VariableId> leaves;
+  for (int i = 0; i < 16; ++i) {
+    leaves.push_back(vars.Intern("x" + std::to_string(i)));
+  }
+  VariableId m = vars.Intern("m");
+
+  PolynomialSet polys;
+  for (int p = 0; p < 4; ++p) {
+    std::vector<Monomial> terms;
+    for (int t = 0; t < 20; ++t) {
+      std::vector<Factor> f;
+      f.push_back({leaves[rng.Uniform(leaves.size())],
+                   static_cast<uint32_t>(1 + rng.Uniform(2))});
+      if (rng.Bernoulli(0.5)) f.push_back({m, 1});
+      terms.emplace_back(rng.UniformReal(0.5, 9.5), std::move(f));
+    }
+    polys.Add(Polynomial::FromMonomials(std::move(terms)));
+  }
+
+  AbstractionForest forest;
+  forest.AddTree(BuildUniformTree(vars, leaves, {4, 2}, "EK_"));
+  ASSERT_TRUE(forest.CheckCompatible(polys).ok());
+
+  CompressOptions options;
+  options.bound = polys.SizeM() / 2;
+
+  // Tree-cut abstraction (greedy): evaluate the compressed view.
+  auto greedy = CompressorRegistry::Default().Find("greedy")->Compress(
+      polys, forest, options);
+  ASSERT_TRUE(greedy.ok()) << greedy.status().ToString();
+  PolynomialSet cut_view = greedy->Apply(forest, polys);
+
+  // Grouping abstraction (prox) with interned group variables.
+  auto prox = CompressorRegistry::Default().Find("prox")->Compress(
+      polys, forest, options);
+  ASSERT_TRUE(prox.ok()) << prox.status().ToString();
+  prox->InternGrouping(vars);
+  PolynomialSet group_view = prox->Apply(forest, polys);
+
+  for (const PolynomialSet* view : {&cut_view, &group_view}) {
+    Valuation val;
+    // Assign over whatever variables survived (meta-variables included).
+    for (VariableId v : view->Variables()) {
+      if (rng.Bernoulli(0.7)) val.Set(v, rng.UniformReal(0.25, 1.75));
+    }
+    RunAllPathsDifferential(val, *view, pool);
+  }
+}
+
+}  // namespace
+}  // namespace provabs

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "algo/brute_force.h"
 #include "common/random.h"
@@ -246,6 +248,167 @@ TEST_P(OptimalPropertyTest, AgreesWithBruteForceOnRandomInstances) {
 
 INSTANTIATE_TEST_SUITE_P(RandomInstances, OptimalPropertyTest,
                          ::testing::Range(0, 25));
+
+// Regression for the single-child Convolve copy: `NodeArray tau =
+// *children[0]` used to inherit the child's `use_self` flags, so a unary
+// parent's reconstruction emitted the parent where the DP actually scored
+// the child's singleton VVS — diverging from the sparse_arrays=false arm,
+// whose ConvolveDense never propagates the flag.
+TEST(UnaryChainTest, ReconstructEmitsChildNotUnaryParent) {
+  VariableTable vars;
+  AbstractionTreeBuilder builder(vars);
+  NodeIndex root = builder.AddRoot("Root");
+  NodeIndex mid = builder.AddChild(root, "Mid");
+  builder.AddChild(mid, "a");
+  builder.AddChild(mid, "b");
+  AbstractionForest forest;
+  forest.AddTree(std::move(builder).Build());
+  ASSERT_TRUE(forest.Validate().ok());
+
+  VariableId a = vars.Find("a");
+  VariableId b = vars.Find("b");
+  VariableId m = vars.Intern("m");
+  PolynomialSet polys;
+  polys.Add(Polynomial::FromMonomials({
+      Monomial(2.0, {{a, 1}, {m, 1}}),
+      Monomial(3.0, {{b, 1}, {m, 1}}),
+  }));
+  ASSERT_TRUE(forest.CheckCompatible(polys).ok());
+
+  // Bound 1 forces grouping {a, b}; the DP scores that at Mid's singleton
+  // entry, and cutting at Mid or at the unary Root yields identical loss.
+  // Both array representations must reconstruct the cut the DP scored: the
+  // child {Mid}, never the inherited-flag parent {Root}.
+  for (bool sparse : {true, false}) {
+    OptimalOptions options;
+    options.sparse_arrays = sparse;
+    auto result = OptimalSingleTree(polys, forest, 0, 1, options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_TRUE(result->adequate);
+    EXPECT_EQ(result->loss.monomial_loss, 1u);
+    EXPECT_EQ(result->loss.variable_loss, 1u);
+    EXPECT_EQ(result->vvs.ToString(forest, vars), "{Mid}")
+        << (sparse ? "sparse" : "dense") << " arm";
+  }
+}
+
+// A deeper unary chain: flags must not accumulate upward through several
+// single-child convolution copies either.
+TEST(UnaryChainTest, TripleChainStillPicksDeepestScoringNode) {
+  VariableTable vars;
+  AbstractionTreeBuilder builder(vars);
+  NodeIndex top = builder.AddRoot("Top");
+  NodeIndex middle = builder.AddChild(top, "Middle");
+  NodeIndex low = builder.AddChild(middle, "Low");
+  builder.AddChild(low, "x0");
+  builder.AddChild(low, "x1");
+  builder.AddChild(low, "x2");
+  AbstractionForest forest;
+  forest.AddTree(std::move(builder).Build());
+  ASSERT_TRUE(forest.Validate().ok());
+
+  VariableId m = vars.Intern("m");
+  std::vector<Monomial> terms;
+  for (int i = 0; i < 3; ++i) {
+    terms.emplace_back(
+        1.5 + i, std::vector<Factor>{
+                     {vars.Find("x" + std::to_string(i)), 1}, {m, 1}});
+  }
+  PolynomialSet polys;
+  polys.Add(Polynomial::FromMonomials(std::move(terms)));
+  ASSERT_TRUE(forest.CheckCompatible(polys).ok());
+
+  for (bool sparse : {true, false}) {
+    OptimalOptions options;
+    options.sparse_arrays = sparse;
+    auto result = OptimalSingleTree(polys, forest, 0, 1, options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->vvs.ToString(forest, vars), "{Low}")
+        << (sparse ? "sparse" : "dense") << " arm";
+  }
+}
+
+// Differential: the sparse (hash-map) and dense (vector) ablation arms must
+// reconstruct the SAME chosen cut — not merely equal losses — on random
+// trees that include unary chains. Reconstruction shares one code path and
+// breaks ties canonically, so any divergence means the arrays themselves
+// disagree.
+class SparseDenseCutTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SparseDenseCutTest, ChosenCutsAreIdenticalAcrossArms) {
+  Rng rng(9100 + GetParam());
+  VariableTable vars;
+
+  // Random tree with fanouts in {1, 2, 3} (1 = unary chain link).
+  AbstractionTreeBuilder builder(vars);
+  int next_meta = 0;
+  int next_leaf = 0;
+  std::vector<VariableId> leaves;
+  std::function<void(NodeIndex, int)> grow = [&](NodeIndex node, int depth) {
+    size_t fanout = depth >= 3 ? 0 : rng.Uniform(4);  // 0 = leaf below
+    if (depth == 0 && fanout == 0) fanout = 2;        // root stays internal
+    if (fanout == 0) {
+      // `node` was added as internal; give it leaf children so every
+      // internal node has a subtree (a childless internal node would be a
+      // leaf whose meta-label occurs in no polynomial — legal but inert).
+      fanout = 1 + rng.Uniform(3);
+      for (size_t c = 0; c < fanout; ++c) {
+        VariableId leaf = vars.Intern("x" + std::to_string(next_leaf++));
+        builder.AddChild(node, vars.NameOf(leaf));
+        leaves.push_back(leaf);
+      }
+      return;
+    }
+    for (size_t c = 0; c < fanout; ++c) {
+      NodeIndex child =
+          builder.AddChild(node, "M" + std::to_string(next_meta++));
+      grow(child, depth + 1);
+    }
+  };
+  NodeIndex root = builder.AddRoot("MRoot");
+  grow(root, 0);
+  AbstractionForest forest;
+  forest.AddTree(std::move(builder).Build());
+  ASSERT_TRUE(forest.Validate().ok());
+  ASSERT_GE(leaves.size(), 2u);
+
+  VariableId u = vars.Intern("u");
+  VariableId w = vars.Intern("w");
+  PolynomialSet polys;
+  const size_t num_polys = 1 + rng.Uniform(3);
+  for (size_t p = 0; p < num_polys; ++p) {
+    std::vector<Monomial> terms;
+    const size_t n_terms = 4 + rng.Uniform(12);
+    for (size_t t = 0; t < n_terms; ++t) {
+      std::vector<Factor> f;
+      if (rng.Bernoulli(0.85)) {
+        f.push_back({leaves[rng.Uniform(leaves.size())], 1});
+      }
+      if (rng.Bernoulli(0.6)) f.push_back({rng.Bernoulli(0.5) ? u : w, 1});
+      terms.emplace_back(rng.UniformReal(0.5, 9.5), std::move(f));
+    }
+    polys.Add(Polynomial::FromMonomials(std::move(terms)));
+  }
+  ASSERT_TRUE(forest.CheckCompatible(polys).ok());
+
+  OptimalOptions sparse;
+  sparse.sparse_arrays = true;
+  OptimalOptions dense;
+  dense.sparse_arrays = false;
+  for (size_t b = 1; b <= polys.SizeM(); b += 1 + rng.Uniform(2)) {
+    auto rs = OptimalSingleTree(polys, forest, 0, b, sparse);
+    auto rd = OptimalSingleTree(polys, forest, 0, b, dense);
+    ASSERT_EQ(rs.ok(), rd.ok()) << "bound " << b;
+    if (!rs.ok()) continue;
+    EXPECT_EQ(rs->loss.monomial_loss, rd->loss.monomial_loss) << "bound " << b;
+    EXPECT_EQ(rs->loss.variable_loss, rd->loss.variable_loss) << "bound " << b;
+    EXPECT_EQ(rs->vvs.ToString(forest, vars), rd->vvs.ToString(forest, vars))
+        << "bound " << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTreesWithUnaryChains, SparseDenseCutTest,
+                         ::testing::Range(0, 30));
 
 }  // namespace
 }  // namespace provabs

@@ -495,6 +495,7 @@ TEST_F(ServiceTest, ListAlgosReturnsCapabilityRecords) {
   for (const AlgoCapability& a : resp.algos) {
     EXPECT_TRUE(a.deterministic) << a.name;
     EXPECT_FALSE(a.summary.empty()) << a.name;
+    EXPECT_TRUE(a.supports_time_budget) << a.name;
   }
 
   // And over the frame path: request 22 round-trips through HandleFrame.

@@ -90,11 +90,12 @@ TEST(WireProtocolTest, InfoTradeoffShutdownRoundTrip) {
 TEST(WireProtocolTest, ListAlgosResponseRoundTrip) {
   Response resp;
   resp.request_kind = MessageKind::kListAlgosRequest;
-  resp.algos = {{"opt", "optimal single-tree DP", true, true, true, true},
+  resp.algos = {{"opt", "optimal single-tree DP", true, true, true, true,
+                 true},
                 {"prox", "pairwise-merge summarizer", true, false, false,
-                 false},
+                 false, true},
                 {"anneal", "simulated annealing", false, false, false,
-                 true}};
+                 true, false}};
   auto decoded = DecodeResponse(EncodeResponse(resp));
   ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
   ASSERT_EQ(decoded->algos.size(), 3u);
@@ -104,14 +105,19 @@ TEST(WireProtocolTest, ListAlgosResponseRoundTrip) {
   EXPECT_TRUE(decoded->algos[0].supports_tradeoff);
   EXPECT_TRUE(decoded->algos[0].exact);
   EXPECT_TRUE(decoded->algos[0].produces_cut);
+  EXPECT_TRUE(decoded->algos[0].supports_time_budget);
   EXPECT_EQ(decoded->algos[1].name, "prox");
   EXPECT_TRUE(decoded->algos[1].deterministic);
   EXPECT_FALSE(decoded->algos[1].supports_tradeoff);
   EXPECT_FALSE(decoded->algos[1].exact);
   EXPECT_FALSE(decoded->algos[1].produces_cut);
+  EXPECT_TRUE(decoded->algos[1].supports_time_budget);
   EXPECT_EQ(decoded->algos[2].name, "anneal");
   EXPECT_FALSE(decoded->algos[2].deterministic);
   EXPECT_TRUE(decoded->algos[2].produces_cut);
+  // A compressor that cannot enforce a wall-clock budget must say so on
+  // the wire (flag bit 4), so remote callers reject --budget-ms up front.
+  EXPECT_FALSE(decoded->algos[2].supports_time_budget);
 }
 
 TEST(WireProtocolTest, ResponseRoundTrip) {

@@ -61,12 +61,16 @@ const char kUsage[] =
 /// ListAlgos records) so the two renderings cannot drift.
 void PrintAlgoLine(std::FILE* out, const std::string& name,
                    const std::string& summary, bool deterministic,
-                   bool supports_tradeoff, bool exact, bool produces_cut) {
+                   bool supports_tradeoff, bool exact, bool produces_cut,
+                   bool supports_time_budget) {
   std::string caps;
   if (exact) caps += ", exact";
   if (supports_tradeoff) caps += ", tradeoff";
   if (!produces_cut) caps += ", grouping";
   if (!deterministic) caps += ", randomized";
+  // Only the absence is worth a caller's attention: --budget-ms against
+  // such an algorithm would be silently ignored.
+  if (!supports_time_budget) caps += ", no-time-budget";
   std::fprintf(out, "  %-8s %s%s\n", name.c_str(), summary.c_str(),
                caps.c_str());
 }
@@ -78,7 +82,8 @@ void PrintUsage(std::FILE* out) {
   std::fprintf(out, "registered algorithms (--algo):\n");
   for (const CompressorInfo& info : CompressorRegistry::Default().Infos()) {
     PrintAlgoLine(out, info.name, info.summary, info.deterministic,
-                  info.supports_tradeoff, info.exact, info.produces_cut);
+                  info.supports_tradeoff, info.exact, info.produces_cut,
+                  info.supports_time_budget);
   }
 }
 
@@ -567,7 +572,8 @@ int CmdRemoteInfo(const Args& args) {
   std::printf("algorithms:\n");
   for (const AlgoCapability& a : algos->algos) {
     PrintAlgoLine(stdout, a.name, a.summary, a.deterministic,
-                  a.supports_tradeoff, a.exact, a.produces_cut);
+                  a.supports_tradeoff, a.exact, a.produces_cut,
+                  a.supports_time_budget);
   }
   return 0;
 }
