@@ -12,16 +12,30 @@
 /// driver exits nonzero on any mismatch, so the bench smoke CI step doubles
 /// as an end-to-end equivalence check. Compile cost is reported separately:
 /// it is paid once per artifact and amortized over every scenario.
+///
+/// A second, batched arm then runs the WHOLE scenario batch through every
+/// registered evaluation backend (core/evaluation_backend.h) in one
+/// EvaluateBatch call, asserts bitwise identity against the naive results,
+/// and reports each backend's throughput ratio over the single-scenario
+/// compiled loop as machine-parsable lines:
+///
+///   BATCHSTAT workload=<w> backend=<name> batch=<n> seconds=<t> ratio=<r>
+///
+/// tools/bench_smoke.sh thresholds the simd_batch ratio against the value
+/// recorded in BENCH_evaluate.json when it runs on the recorded machine.
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "common/timer.h"
 #include "core/compiled_polynomial_set.h"
+#include "core/evaluation_backend.h"
 #include "core/valuation.h"
 #include "parallel/parallel_compress.h"
 #include "parallel/thread_pool.h"
@@ -47,12 +61,84 @@ Valuation MakeScenario(const Workload& w, uint64_t seed) {
   return val;
 }
 
+/// CPU model string, so smoke thresholds only apply on the machine the
+/// reference numbers were recorded on.
+std::string CpuModel() {
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    if (line.rfind("model name", 0) != 0) continue;
+    size_t colon = line.find(':');
+    if (colon == std::string::npos) break;
+    size_t start = line.find_first_not_of(" \t", colon + 1);
+    return start == std::string::npos ? "" : line.substr(start);
+  }
+  return "unknown";
+}
+
+/// The batched arm: the whole scenario batch through each registered
+/// backend in single EvaluateBatch calls, bit-checked against the naive
+/// results. `t_compiled` is the accumulated single-scenario compiled-loop
+/// time over the same scenarios (the ratio's denominator is that loop).
+bool RunBatchedArm(const Workload& w,
+                   const CompiledPolynomialSet& compiled,
+                   const std::vector<Valuation>& scenarios,
+                   const std::vector<std::vector<double>>& naive_results,
+                   double t_compiled) {
+  const size_t n = scenarios.size();
+  const size_t poly_count = compiled.poly_count();
+  std::vector<DenseValuation> dense;
+  dense.reserve(n);
+  for (const Valuation& val : scenarios) {
+    dense.push_back(compiled.MaterializeValuation(val));
+  }
+  std::vector<const DenseValuation*> dense_ptrs(n);
+  for (size_t s = 0; s < n; ++s) dense_ptrs[s] = &dense[s];
+  std::vector<std::vector<double>> out(n, std::vector<double>(poly_count));
+  std::vector<double*> out_ptrs(n);
+  for (size_t s = 0; s < n; ++s) out_ptrs[s] = out[s].data();
+
+  bool all_equal = true;
+  constexpr int kReps = 5;
+  const EvaluationBackendRegistry& registry =
+      EvaluationBackendRegistry::Default();
+  for (const std::string& name : registry.Names()) {
+    const EvaluationBackend* backend = registry.Find(name);
+    Timer timer;
+    for (int rep = 0; rep < kReps; ++rep) {
+      Status status = backend->EvaluateBatch(
+          compiled, 0, poly_count, dense_ptrs.data(), out_ptrs.data(), n);
+      if (!status.ok()) {
+        std::printf("BATCH ERROR %s/%s: %s\n", w.name.c_str(), name.c_str(),
+                    status.ToString().c_str());
+        return false;
+      }
+    }
+    const double seconds = timer.ElapsedSeconds() / kReps;
+    for (size_t s = 0; s < n; ++s) {
+      if (!BitwiseEqual(naive_results[s], out[s])) {
+        std::printf("BATCH MISMATCH in %s backend=%s scenario %zu\n",
+                    w.name.c_str(), name.c_str(), s);
+        all_equal = false;
+      }
+    }
+    std::printf(
+        "BATCHSTAT workload=%s backend=%s batch=%zu seconds=%.6f "
+        "ratio=%.2f\n",
+        w.name.c_str(), name.c_str(), n, seconds,
+        seconds > 0 ? t_compiled / seconds : 0.0);
+  }
+  return all_equal;
+}
+
 bool Run() {
   PrintHeader("Evaluate kernel: naive vs compiled vs compiled+parallel");
   const size_t threads = std::thread::hardware_concurrency();
   ThreadPool pool(threads);
   std::printf("scenarios per workload: %d; pool threads: %zu\n", kScenarios,
               threads);
+  std::printf("MACHINEKEY cpu=%s\n", CpuModel().c_str());
+  std::printf("SIMDLANES %s\n", SimdBatchAvx2Active() ? "avx2" : "scalar");
   std::printf("%-16s %7s %10s %12s %11s %11s %11s %9s %9s\n", "workload",
               "polys", "monomials", "compile[ms]", "naive[s]", "compiled[s]",
               "parallel[s]", "speedup", "par-spdup");
@@ -66,6 +152,10 @@ bool Run() {
     const double compile_ms = compile_timer.ElapsedMillis();
 
     double t_naive = 0, t_compiled = 0, t_parallel = 0;
+    std::vector<Valuation> scenarios;
+    std::vector<std::vector<double>> naive_results;
+    scenarios.reserve(kScenarios);
+    naive_results.reserve(kScenarios);
     for (int s = 0; s < kScenarios; ++s) {
       const Valuation val = MakeScenario(w, 9000 + s);
 
@@ -90,6 +180,8 @@ bool Run() {
         std::printf("MISMATCH in %s scenario %d\n", w.name.c_str(), s);
         all_equal = false;
       }
+      scenarios.push_back(val);
+      naive_results.push_back(std::move(naive));
     }
 
     std::printf("%-16s %7zu %10zu %12.3f %11.5f %11.5f %11.5f %8.2fx %8.2fx\n",
@@ -97,6 +189,10 @@ bool Run() {
                 t_naive, t_compiled, t_parallel,
                 t_compiled > 0 ? t_naive / t_compiled : 0.0,
                 t_parallel > 0 ? t_naive / t_parallel : 0.0);
+
+    if (!RunBatchedArm(w, *compiled, scenarios, naive_results, t_compiled)) {
+      all_equal = false;
+    }
   }
   if (all_equal) {
     std::printf("all arms bitwise identical across %d scenarios/workload\n",

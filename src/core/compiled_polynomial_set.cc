@@ -1,5 +1,6 @@
 #include "core/compiled_polynomial_set.h"
 
+#include <atomic>
 #include <unordered_map>
 
 #include "common/macros.h"
@@ -10,7 +11,11 @@ namespace provabs {
 
 CompiledPolynomialSet CompiledPolynomialSet::Compile(
     const PolynomialSet& polys) {
+  // Fingerprints start at 1 so 0 unambiguously means "never compiled"
+  // (default-constructed forms and valuations).
+  static std::atomic<uint64_t> next_fingerprint{1};
   CompiledPolynomialSet out;
+  out.fingerprint_ = next_fingerprint.fetch_add(1, std::memory_order_relaxed);
   const size_t size_m = polys.SizeM();
   // The CSR offsets are 32-bit; provenance sets here are far below 4G
   // monomials (the serving layer's byte budget caps them long before).
@@ -48,6 +53,7 @@ CompiledPolynomialSet CompiledPolynomialSet::Compile(
 DenseValuation CompiledPolynomialSet::MaterializeValuation(
     const Valuation& valuation) const {
   DenseValuation dense;
+  dense.source_fingerprint_ = fingerprint_;
   dense.values_.reserve(slot_vars_.size());
   for (VariableId var : slot_vars_) {
     dense.values_.push_back(valuation.Get(var));
@@ -57,6 +63,11 @@ DenseValuation CompiledPolynomialSet::MaterializeValuation(
 
 std::vector<double> CompiledPolynomialSet::EvaluateAll(
     const DenseValuation& dense) const {
+  // A valuation materialized against a different compiled form (a mutated
+  // copy, another set) would read wrong slots — or past the end of its
+  // array. Mixing them is a programming error, caught here rather than
+  // surfacing as silently wrong what-if answers.
+  PROVABS_CHECK(dense.source_fingerprint() == fingerprint_);
   std::vector<double> out(poly_count());
   EvaluateRange(0, poly_count(), dense, out.data());
   return out;

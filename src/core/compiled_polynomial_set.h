@@ -17,7 +17,10 @@ class CompiledPolynomialSet;
 /// slot-indexed value array, so the evaluation inner loop reads values by
 /// array index instead of probing a hash map per factor. Slots are the
 /// compiled set's dense variable indices; a DenseValuation is only
-/// meaningful together with the compiled set that produced it.
+/// meaningful together with the compiled set that produced it — it carries
+/// that set's fingerprint so batch entry points can reject a stale or
+/// foreign valuation (e.g. one materialized before a copied set was
+/// mutated and recompiled) instead of silently mis-indexing.
 class DenseValuation {
  public:
   DenseValuation() = default;
@@ -28,9 +31,19 @@ class DenseValuation {
 
   size_t slot_count() const { return values_.size(); }
 
+  /// Raw slot array, for batched backends that transpose valuations into
+  /// structure-of-arrays lanes (core/evaluation_backend.h).
+  const double* data() const { return values_.data(); }
+
+  /// Fingerprint of the CompiledPolynomialSet this was materialized
+  /// against (0 for a default-constructed valuation). Evaluating under any
+  /// other compiled form is a slot-mapping mismatch.
+  uint64_t source_fingerprint() const { return source_fingerprint_; }
+
  private:
   friend class CompiledPolynomialSet;
   std::vector<double> values_;
+  uint64_t source_fingerprint_ = 0;
 };
 
 /// A PolynomialSet flattened into CSR-style contiguous arrays for fast
@@ -81,6 +94,30 @@ class CompiledPolynomialSet {
   /// slot -> VariableId, in slot order.
   const std::vector<VariableId>& slot_variables() const { return slot_vars_; }
 
+  /// Process-unique id of this compiled form, assigned by `Compile` (0 only
+  /// for a default-constructed instance). Two forms compiled from
+  /// identical polynomials still get distinct fingerprints: the fingerprint
+  /// identifies the slot mapping a DenseValuation was materialized against,
+  /// and "same mapping" is only guaranteed for the SAME compiled snapshot
+  /// (which copies of a PolynomialSet share — see PolynomialSet::Compiled).
+  uint64_t fingerprint() const { return fingerprint_; }
+
+  /// Borrowed pointers into the CSR arrays, for evaluation backends
+  /// (core/evaluation_backend.h) and the future JIT that walk the layout
+  /// directly. Valid for this object's lifetime.
+  struct CsrView {
+    const uint32_t* poly_offsets;  ///< size poly_count()+1
+    const uint32_t* mono_offsets;  ///< size monomial_count()+1
+    const double* coefficients;    ///< per monomial
+    const uint32_t* factor_slots;  ///< per factor
+    const uint32_t* factor_exps;   ///< per factor
+  };
+  CsrView csr() const {
+    return CsrView{poly_offsets_.data(), mono_offsets_.data(),
+                   coefficients_.data(), factor_slots_.data(),
+                   factor_exps_.data()};
+  }
+
   /// Resolves `valuation` into a slot-indexed array: one hash probe per
   /// distinct variable of the set, 1.0 for unassigned slots. Variables the
   /// valuation assigns but the set never mentions have no slot and are
@@ -116,6 +153,8 @@ class CompiledPolynomialSet {
   }
 
   /// Evaluates every polynomial; out[i] is the value of polynomial i.
+  /// Checks (aborts) that `dense` was materialized from THIS compiled form;
+  /// backends report the same condition as a recoverable Status instead.
   std::vector<double> EvaluateAll(const DenseValuation& dense) const;
 
   /// Rough resident size, for the serving layer's byte-budget accounting.
@@ -128,6 +167,7 @@ class CompiledPolynomialSet {
   std::vector<uint32_t> factor_slots_;  // per factor
   std::vector<uint32_t> factor_exps_;   // per factor
   std::vector<VariableId> slot_vars_;   // slot -> variable
+  uint64_t fingerprint_ = 0;            // see fingerprint()
 };
 
 }  // namespace provabs

@@ -1,0 +1,197 @@
+#ifndef PROVABS_CORE_EVALUATION_BACKEND_H_
+#define PROVABS_CORE_EVALUATION_BACKEND_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/compiled_polynomial_set.h"
+
+namespace provabs {
+
+class PolynomialSet;
+class Valuation;
+
+/// The unified scenario-evaluation API. PR 5's compiled kernel made a
+/// single scenario fast; the serving workload is MANY scenarios against one
+/// resident artifact (the Fig. 10 interaction repeated per analyst), and the
+/// cheapest way to go faster is to amortize one pass over the CSR arrays
+/// across a batch of scenarios — structure-of-arrays DenseValuation lanes,
+/// the batched-evaluation shape the incremental-maintenance literature uses
+/// to make per-answer work sublinear. This header is the seam through which
+/// every evaluation path (Valuation::EvaluateAll, ParallelEvaluateAll, the
+/// serving EvaluateBatcher, the CLI, the benches) selects a strategy by
+/// name, exactly how algo/compressor.h routes compression: adding a backend
+/// (the planned per-artifact JIT included) means registering one adapter,
+/// and the cross-backend differential battery gates it for free.
+///
+/// Every backend MUST reproduce the canonical summation order documented on
+/// Valuation::Evaluate operation-for-operation, so results are BITWISE
+/// identical across all registered backends — tests and the
+/// bench_evaluate_kernel batched arm assert IEEE-754 bit equality, not
+/// tolerance, and the bench exits nonzero on any divergence.
+
+/// Capability record advertised by an evaluation backend, served over the
+/// wire by the ListBackends request so clients route without hardcoding
+/// backend names.
+struct EvaluationBackendInfo {
+  std::string name;
+  /// One-line description for --help / remote-info output.
+  std::string summary;
+  /// Uses SIMD lanes (evaluates several scenarios per instruction).
+  bool vectorized = false;
+  /// Same inputs always yield the same bits (all built-ins).
+  bool deterministic = false;
+  /// Batch width from which this backend beats the single-scenario kernel;
+  /// auto-routing sends batches >= this width here. 1 = no batching gain.
+  uint32_t preferred_batch = 1;
+};
+
+/// One evaluation strategy. Implementations must be stateless and
+/// thread-safe: the serving layer calls a single instance from many pool
+/// workers concurrently, each on a disjoint polynomial range.
+class EvaluationBackend {
+ public:
+  virtual ~EvaluationBackend() = default;
+
+  virtual const EvaluationBackendInfo& info() const = 0;
+
+  /// Evaluates polynomials [poly_begin, poly_end) of `compiled` under each
+  /// of `scenarios[0..scenario_count)`; writes
+  /// `outs[s][i] = value of polynomial (poly_begin + i) under scenario s`.
+  /// Every output buffer must hold at least `poly_end - poly_begin` slots.
+  ///
+  /// Fails with kInvalidArgument when the range is out of bounds or any
+  /// scenario was materialized against a DIFFERENT compiled form
+  /// (fingerprint mismatch — a stale valuation from before a set was
+  /// mutated would silently mis-index otherwise). Validation happens here,
+  /// once per batch; implementations receive pre-validated input.
+  Status EvaluateBatch(const CompiledPolynomialSet& compiled,
+                       size_t poly_begin, size_t poly_end,
+                       const DenseValuation* const* scenarios,
+                       double* const* outs, size_t scenario_count) const;
+
+ protected:
+  /// The actual kernel, called with validated arguments.
+  virtual void DoEvaluateBatch(const CompiledPolynomialSet& compiled,
+                               size_t poly_begin, size_t poly_end,
+                               const DenseValuation* const* scenarios,
+                               double* const* outs,
+                               size_t scenario_count) const = 0;
+};
+
+/// Name -> backend registry, mirroring CompressorRegistry. `Default()` is
+/// the process-wide instance pre-populated with the three built-ins:
+///
+///   naive      — scalar reference interpreter, one scenario at a time
+///   compiled   — PR 5's CSR kernel (flat-array walks), one scenario at a
+///                time; the single-scenario baseline
+///   simd_batch — transposes the batch into structure-of-arrays lanes and
+///                walks the CSR arrays ONCE per polynomial for all lanes;
+///                AVX2 when the CPU has it (runtime-detected), with a
+///                portable scalar-lane fallback compiled unconditionally
+///
+/// Thread-safe; registered backends live for the registry's lifetime.
+class EvaluationBackendRegistry {
+ public:
+  /// An empty registry (for tests and embedders composing their own set).
+  EvaluationBackendRegistry() = default;
+
+  EvaluationBackendRegistry(const EvaluationBackendRegistry&) = delete;
+  EvaluationBackendRegistry& operator=(const EvaluationBackendRegistry&) =
+      delete;
+
+  /// The process-wide registry with the built-ins registered. Constructed
+  /// on first use (no static-init-order hazards).
+  static EvaluationBackendRegistry& Default();
+
+  /// Registers a backend under its info().name. Duplicate names are
+  /// rejected (kInvalidArgument) — silently replacing a backend another
+  /// subsystem already resolved would change the bits under its feet.
+  Status Register(std::unique_ptr<EvaluationBackend> backend);
+
+  /// nullptr when no backend of that name is registered.
+  const EvaluationBackend* Find(const std::string& name) const;
+
+  /// Find() with a useful failure: the error lists every registered name.
+  StatusOr<const EvaluationBackend*> Resolve(const std::string& name) const;
+
+  /// Auto-routing policy shared by every evaluation path: an explicit
+  /// `name` resolves strictly; an empty name picks the vectorized backend
+  /// with the highest preferred_batch <= `batch_size` scenarios, falling
+  /// back to "compiled" (and to any registered backend if "compiled" was
+  /// not registered — an empty registry is the only hard failure).
+  StatusOr<const EvaluationBackend*> ResolveForBatch(const std::string& name,
+                                                     size_t batch_size) const;
+
+  /// Registered names in sorted order.
+  std::vector<std::string> Names() const;
+
+  /// Capability records in name-sorted order (the ListBackends payload).
+  std::vector<EvaluationBackendInfo> Infos() const;
+
+  /// "compiled, naive, simd_batch" — for error and usage text.
+  std::string NamesCsv() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<EvaluationBackend>> by_name_;
+};
+
+/// Registers the built-in backends into `registry`. Default() calls this on
+/// construction; exposed so tests can compose a fresh registry with the
+/// same contents.
+Status RegisterBuiltinEvaluationBackends(EvaluationBackendRegistry& registry);
+
+/// True when the running CPU supports AVX2 and the PROVABS_EVAL_FORCE_SCALAR
+/// environment variable is unset/0 — the condition under which the
+/// registered "simd_batch" backend takes its vector path. Exposed so tests
+/// and CI can tell which lane implementation the differential actually
+/// covered (a scalar-forced job still gates the vector path's lane logic,
+/// which the fallback shares).
+bool SimdBatchAvx2Active();
+
+/// The SIMD-batched backend, constructible directly so the differential
+/// battery can pin each lane implementation regardless of the host CPU:
+/// kForceScalar always takes the portable scalar-lane path; kAuto follows
+/// SimdBatchAvx2Active(). Registered in Default() as "simd_batch" (kAuto).
+class SimdBatchBackend : public EvaluationBackend {
+ public:
+  enum class Mode { kAuto, kForceScalar };
+  explicit SimdBatchBackend(Mode mode = Mode::kAuto) : mode_(mode) {}
+
+  const EvaluationBackendInfo& info() const override;
+
+  /// True when this instance will execute AVX2 lanes.
+  bool using_avx2() const;
+
+ protected:
+  void DoEvaluateBatch(const CompiledPolynomialSet& compiled,
+                       size_t poly_begin, size_t poly_end,
+                       const DenseValuation* const* scenarios,
+                       double* const* outs,
+                       size_t scenario_count) const override;
+
+ private:
+  Mode mode_;
+};
+
+/// Convenience entry point for multi-scenario evaluation: compiles (cached
+/// on the set), materializes every scenario, and routes the whole batch
+/// through `ResolveForBatch(backend_name, scenarios.size())` against
+/// `registry` (Default() when null). Returns one value vector per scenario,
+/// each bitwise identical to Valuation::Evaluate per polynomial. Unknown
+/// backend names fail listing the registered set.
+StatusOr<std::vector<std::vector<double>>> EvaluateScenarios(
+    const PolynomialSet& polys, const std::vector<Valuation>& scenarios,
+    const std::string& backend_name = "",
+    const EvaluationBackendRegistry* registry = nullptr);
+
+}  // namespace provabs
+
+#endif  // PROVABS_CORE_EVALUATION_BACKEND_H_

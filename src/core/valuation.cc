@@ -3,7 +3,9 @@
 #include <cmath>
 #include <memory>
 
+#include "common/macros.h"
 #include "core/compiled_polynomial_set.h"
+#include "core/evaluation_backend.h"
 
 namespace provabs {
 
@@ -23,8 +25,22 @@ double Valuation::Evaluate(const Polynomial& poly) const {
 }
 
 std::vector<double> Valuation::EvaluateAll(const PolynomialSet& polys) const {
+  // Routed through the backend registry so a single scenario and a served
+  // batch exercise the same entry point; for one scenario the registry's
+  // auto policy always lands on the single-scenario "compiled" kernel.
   std::shared_ptr<const CompiledPolynomialSet> compiled = polys.Compiled();
-  return compiled->EvaluateAll(compiled->MaterializeValuation(*this));
+  DenseValuation dense = compiled->MaterializeValuation(*this);
+  std::vector<double> out(compiled->poly_count());
+  StatusOr<const EvaluationBackend*> backend =
+      EvaluationBackendRegistry::Default().ResolveForBatch("", 1);
+  PROVABS_CHECK(backend.ok());
+  const DenseValuation* scenario = &dense;
+  double* out_ptr = out.data();
+  Status status = (*backend)->EvaluateBatch(*compiled, 0,
+                                            compiled->poly_count(), &scenario,
+                                            &out_ptr, 1);
+  PROVABS_CHECK(status.ok());
+  return out;
 }
 
 }  // namespace provabs

@@ -37,12 +37,26 @@ StatusOr<CompressionResult> ParallelBruteForce(
     const PolynomialSet& polys, const AbstractionForest& forest,
     size_t bound_b, ThreadPool& pool, const BruteForceOptions& options = {});
 
-/// Evaluates every polynomial under `valuation` using the pool, chunking
-/// over the set's compiled CSR arrays (core/compiled_polynomial_set.h);
-/// bitwise identical to Valuation::EvaluateAll.
+/// Evaluates every polynomial under `valuation` using the pool, routing
+/// contiguous polynomial chunks through the evaluation-backend registry
+/// (core/evaluation_backend.h); bitwise identical to
+/// Valuation::EvaluateAll.
 std::vector<double> ParallelEvaluateAll(const Valuation& valuation,
                                         const PolynomialSet& polys,
                                         ThreadPool& pool);
+
+/// Batched what-if evaluation over the pool: every scenario against every
+/// polynomial of the set, through the backend chosen by
+/// EvaluationBackendRegistry::ResolveForBatch(backend_name, #scenarios)
+/// (empty name = auto: simd_batch once the batch reaches its preferred
+/// width). Workers split POLYNOMIAL ranges, each carrying the full scenario
+/// batch, so the backend keeps full SIMD lanes at any pool width.
+/// result[s][p] = value of polynomial p under scenarios[s], bitwise
+/// identical to Valuation::Evaluate. Unknown backend names fail listing the
+/// registered set.
+StatusOr<std::vector<std::vector<double>>> ParallelEvaluateScenarios(
+    const std::vector<Valuation>& scenarios, const PolynomialSet& polys,
+    ThreadPool& pool, const std::string& backend_name = "");
 
 /// Registry-routed compression with pool acceleration where it exists:
 /// "brute" runs ParallelBruteForce over `pool`; every other registered

@@ -87,4 +87,8 @@ StatusOr<Response> Client::ListAlgos(const ListAlgosRequest& req) {
   return Call(EncodeListAlgosRequest(req));
 }
 
+StatusOr<Response> Client::ListBackends(const ListBackendsRequest& req) {
+  return Call(EncodeListBackendsRequest(req));
+}
+
 }  // namespace provabs

@@ -35,6 +35,7 @@ class Client {
   StatusOr<Response> Tradeoff(const TradeoffRequest& req);
   StatusOr<Response> Shutdown(const ShutdownRequest& req);
   StatusOr<Response> ListAlgos(const ListAlgosRequest& req);
+  StatusOr<Response> ListBackends(const ListBackendsRequest& req);
 
  private:
   explicit Client(int fd) : fd_(fd) {}

@@ -1,11 +1,22 @@
 #include "server/evaluate_batcher.h"
 
 #include <algorithm>
+#include <map>
+#include <utility>
 
 namespace provabs {
 
-std::vector<double> EvaluateBatcher::Evaluate(
-    std::shared_ptr<const PolynomialSet> polys, Valuation val) {
+namespace {
+
+/// Polynomials per pool chunk within a group; each chunk carries the whole
+/// scenario group so the backend keeps full lanes.
+constexpr size_t kPolysPerChunk = 64;
+
+}  // namespace
+
+StatusOr<std::vector<double>> EvaluateBatcher::Evaluate(
+    std::shared_ptr<const PolynomialSet> polys, Valuation val,
+    const std::string& backend) {
   auto item = std::make_shared<Pending>();
   item->polys = std::move(polys);
   // Resolve the compiled form and materialize the valuation on the caller
@@ -14,6 +25,7 @@ std::vector<double> EvaluateBatcher::Evaluate(
   // probe per distinct variable. Workers then touch only flat arrays.
   item->compiled = item->polys->Compiled();
   item->dense = item->compiled->MaterializeValuation(val);
+  item->backend = backend;
 
   std::unique_lock<std::mutex> lock(mutex_);
   queue_.push_back(item);
@@ -34,28 +46,101 @@ std::vector<double> EvaluateBatcher::Evaluate(
     stats_.max_batch = std::max<uint64_t>(stats_.max_batch, batch.size());
     lock.unlock();
 
-    // Flatten the batch into (request, polynomial) work units so the pool
-    // splits the union contiguously regardless of per-request sizes.
-    std::vector<size_t> offsets(batch.size() + 1, 0);
-    for (size_t i = 0; i < batch.size(); ++i) {
-      batch[i]->out.resize(batch[i]->polys->count());
-      offsets[i + 1] = offsets[i] + batch[i]->polys->count();
-    }
-    pool_.ParallelFor(offsets.back(), [&](size_t unit) {
-      size_t req = static_cast<size_t>(
-          std::upper_bound(offsets.begin(), offsets.end(), unit) -
-          offsets.begin() - 1);
-      size_t poly = unit - offsets[req];
-      batch[req]->out[poly] =
-          batch[req]->compiled->EvaluateOne(poly, batch[req]->dense);
-    });
+    uint64_t groups = 0;
+    uint64_t backend_calls = 0;
+    RunBatch(batch, &groups, &backend_calls);
 
     lock.lock();
+    stats_.groups += groups;
+    stats_.backend_calls += backend_calls;
     for (const auto& done : batch) done->done = true;
     leader_active_ = false;
     done_cv_.notify_all();
   }
+  if (!item->status.ok()) return item->status;
   return std::move(item->out);
+}
+
+void EvaluateBatcher::RunBatch(
+    const std::vector<std::shared_ptr<Pending>>& batch, uint64_t* groups,
+    uint64_t* backend_calls) {
+  // Group by (compiled form, requested backend): same artifact + same
+  // strategy = shareable scenario lanes. Keyed by the compiled SNAPSHOT
+  // pointer (not the set), so a request materialized before a concurrent
+  // mutation recompiled its set still evaluates against the snapshot it
+  // was materialized from — the fingerprint contract holds by
+  // construction.
+  struct Group {
+    const EvaluationBackend* backend = nullptr;
+    std::vector<Pending*> items;
+    std::vector<const DenseValuation*> scenarios;
+  };
+  std::map<std::pair<const CompiledPolynomialSet*, std::string>, Group>
+      by_key;
+  for (const auto& item : batch) {
+    by_key[{item->compiled.get(), item->backend}].items.push_back(item.get());
+  }
+  *groups = by_key.size();
+
+  // Resolve each group's backend and lay out chunks. Chunking is
+  // min(ceil(P / 64), pool width): wide enough to use the pool on large
+  // artifacts, and exactly ONE EvaluateBatch call per group on a 1-thread
+  // pool (asserted by tests via a counting backend).
+  struct Chunk {
+    Group* group;
+    size_t poly_begin;
+    size_t poly_end;
+  };
+  std::vector<Chunk> chunks;
+  for (auto& [key, group] : by_key) {
+    const CompiledPolynomialSet* compiled = key.first;
+    StatusOr<const EvaluationBackend*> resolved =
+        registry_->ResolveForBatch(key.second, group.items.size());
+    if (!resolved.ok()) {
+      for (Pending* item : group.items) item->status = resolved.status();
+      continue;
+    }
+    group.backend = *resolved;
+    group.scenarios.reserve(group.items.size());
+    for (Pending* item : group.items) {
+      item->out.resize(compiled->poly_count());
+      group.scenarios.push_back(&item->dense);
+    }
+    const size_t poly_count = compiled->poly_count();
+    if (poly_count == 0) continue;
+    const size_t by_size = (poly_count + kPolysPerChunk - 1) / kPolysPerChunk;
+    const size_t n_chunks =
+        std::max<size_t>(1, std::min(by_size, pool_.thread_count()));
+    const size_t per_chunk = (poly_count + n_chunks - 1) / n_chunks;
+    for (size_t c = 0; c < n_chunks; ++c) {
+      const size_t begin = c * per_chunk;
+      const size_t end = std::min(poly_count, begin + per_chunk);
+      if (begin < end) chunks.push_back(Chunk{&group, begin, end});
+    }
+  }
+  *backend_calls = chunks.size();
+  if (chunks.empty()) return;
+
+  std::vector<Status> chunk_status(chunks.size());
+  pool_.ParallelFor(chunks.size(), [&](size_t c) {
+    const Chunk& chunk = chunks[c];
+    const Group& group = *chunk.group;
+    const CompiledPolynomialSet& compiled =
+        *group.items.front()->compiled;
+    std::vector<double*> out_ptrs(group.items.size());
+    for (size_t s = 0; s < group.items.size(); ++s) {
+      out_ptrs[s] = group.items[s]->out.data() + chunk.poly_begin;
+    }
+    chunk_status[c] = group.backend->EvaluateBatch(
+        compiled, chunk.poly_begin, chunk.poly_end, group.scenarios.data(),
+        out_ptrs.data(), group.scenarios.size());
+  });
+  for (size_t c = 0; c < chunks.size(); ++c) {
+    if (chunk_status[c].ok()) continue;
+    for (Pending* item : chunks[c].group->items) {
+      if (item->status.ok()) item->status = chunk_status[c];
+    }
+  }
 }
 
 EvaluateBatcher::Stats EvaluateBatcher::stats() const {

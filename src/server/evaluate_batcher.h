@@ -5,9 +5,12 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
+#include "common/statusor.h"
 #include "core/compiled_polynomial_set.h"
+#include "core/evaluation_backend.h"
 #include "core/polynomial_set.h"
 #include "core/valuation.h"
 #include "parallel/thread_pool.h"
@@ -24,62 +27,88 @@ namespace provabs {
 /// stall on each other's work. The batcher turns that interference into
 /// throughput: the first caller becomes the batch leader, drains every
 /// request queued so far (its own included), and runs their union as a
-/// single ParallelFor over all (request, polynomial) pairs; callers that
-/// arrive while a batch is running queue up for the next leader. Followers
-/// block until their slot is filled.
+/// single ParallelFor round; callers that arrive while a batch is running
+/// queue up for the next leader. Followers block until their slot is
+/// filled.
 ///
-/// One pool wake-up and one contiguous work split amortize scheduling over
-/// the whole batch, and requests against the same polynomial set share
-/// cache locality within a chunk.
+/// Within a round, requests are grouped by (compiled form, requested
+/// backend) and each group is routed through the evaluation-backend
+/// registry (core/evaluation_backend.h) as ONE batch: concurrent analysts
+/// probing the same artifact become structure-of-arrays lanes for the
+/// simd_batch backend once the group reaches its preferred width. Each
+/// group's polynomial range is chunked across the pool with every chunk
+/// carrying the whole scenario group, so lanes stay full at any pool
+/// width.
 ///
-/// Each request evaluates through its set's compiled CSR form
-/// (core/compiled_polynomial_set.h): the caller thread resolves the
-/// compiled form (cached on the set — for server artifacts it is warmed at
-/// load/insert time, so this never compiles on the request path) and
-/// materializes its valuation into a dense slot array before queueing, so
-/// pool workers run pure flat-array walks. Results are bitwise identical
-/// to naive `Valuation::Evaluate` per polynomial.
+/// The caller thread resolves the compiled form (cached on the set — for
+/// server artifacts it is warmed at load/insert time, so this never
+/// compiles on the request path) and materializes its valuation into a
+/// dense slot array before queueing, so pool workers run pure flat-array
+/// walks. Results are bitwise identical to naive `Valuation::Evaluate` per
+/// polynomial, whichever backend serves the group.
 class EvaluateBatcher {
  public:
-  explicit EvaluateBatcher(ThreadPool& pool) : pool_(pool) {}
+  /// `registry` selects evaluation backends (Default() when null); tests
+  /// inject counting/failing registries through it.
+  explicit EvaluateBatcher(ThreadPool& pool,
+                           const EvaluationBackendRegistry* registry = nullptr)
+      : pool_(pool),
+        registry_(registry != nullptr ? registry
+                                      : &EvaluationBackendRegistry::Default()) {
+  }
 
   EvaluateBatcher(const EvaluateBatcher&) = delete;
   EvaluateBatcher& operator=(const EvaluateBatcher&) = delete;
 
   /// Evaluates every polynomial of `polys` under `val`; blocks until done.
-  /// Thread-safe; concurrent callers are coalesced. The shared_ptr keeps
-  /// the polynomial set alive across the batch even if the artifact store
-  /// evicts it mid-request.
-  std::vector<double> Evaluate(std::shared_ptr<const PolynomialSet> polys,
-                               Valuation val);
+  /// `backend` names an evaluation backend ("" = registry auto policy for
+  /// the group this request lands in); unknown names fail with the
+  /// registry's name-listing error. Thread-safe; concurrent callers are
+  /// coalesced. The shared_ptr keeps the polynomial set alive across the
+  /// batch even if the artifact store evicts it mid-request.
+  StatusOr<std::vector<double>> Evaluate(
+      std::shared_ptr<const PolynomialSet> polys, Valuation val,
+      const std::string& backend = "");
 
   struct Stats {
-    uint64_t requests = 0;  ///< Evaluate() calls served.
-    uint64_t batches = 0;   ///< ParallelFor rounds run.
-    uint64_t max_batch = 0; ///< Largest number of requests in one round.
+    uint64_t requests = 0;       ///< Evaluate() calls served.
+    uint64_t batches = 0;        ///< Leader rounds run.
+    uint64_t max_batch = 0;      ///< Largest number of requests in one round.
+    uint64_t groups = 0;         ///< (compiled form, backend) groups formed.
+    uint64_t backend_calls = 0;  ///< EvaluateBatch invocations dispatched.
   };
   Stats stats() const;
 
  private:
-  /// Concurrency audit (TSan'd by tests/server_concurrency_test.cc): a
-  /// Pending crosses threads only through `mutex_` and the pool's own
-  /// synchronization. The caller fills `compiled`/`dense` before
-  /// publishing the item into `queue_` under the lock; the leader takes
-  /// the queue under the lock and sizes `out` before any Submit (the
-  /// pool's queue mutex orders those writes before worker reads); workers
-  /// only read `compiled`/`dense` and write disjoint `out` slots; the
-  /// leader's post-ParallelFor lock re-acquire orders those writes before
-  /// `done` flips; and the owner only reads `out` after observing `done`
+  /// Concurrency audit (TSan'd by tests/server_concurrency_test.cc and
+  /// tests/evaluate_batcher_test.cc): a Pending crosses threads only
+  /// through `mutex_` and the pool's own synchronization. The caller fills
+  /// `compiled`/`dense`/`backend` before publishing the item into `queue_`
+  /// under the lock; the leader takes the queue under the lock and sizes
+  /// `out` before any Submit (the pool's queue mutex orders those writes
+  /// before worker reads); workers only read `compiled`/`dense` and write
+  /// disjoint `out` ranges; the leader's post-round lock re-acquire orders
+  /// those writes (and any `status` the leader recorded) before `done`
+  /// flips; and the owner only reads `out`/`status` after observing `done`
   /// under the lock. `stats_` is only ever touched under `mutex_`.
   struct Pending {
     std::shared_ptr<const PolynomialSet> polys;
     std::shared_ptr<const CompiledPolynomialSet> compiled;
     DenseValuation dense;
+    std::string backend;  ///< Requested backend name ("" = auto).
     std::vector<double> out;
+    Status status;  ///< Set by the leader on resolution/evaluation failure.
     bool done = false;
   };
 
+  /// Leader-side: groups `batch`, resolves backends, runs one ParallelFor
+  /// over all chunks, records per-item status. Returns counters for the
+  /// leader to fold into stats_ under the lock.
+  void RunBatch(const std::vector<std::shared_ptr<Pending>>& batch,
+                uint64_t* groups, uint64_t* backend_calls);
+
   ThreadPool& pool_;
+  const EvaluationBackendRegistry* registry_;
   mutable std::mutex mutex_;
   std::condition_variable done_cv_;
   std::vector<std::shared_ptr<Pending>> queue_;

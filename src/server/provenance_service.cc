@@ -187,7 +187,28 @@ Response ProvenanceService::Evaluate(const EvaluateRequest& req) {
     }
     val.Set(id, value);
   }
-  resp.values = batcher_.Evaluate(std::move(target), std::move(val));
+
+  // An explicit backend name is validated up front so a typo fails with
+  // the registry's name-listing error before any work is queued; "" keeps
+  // the registry's auto policy, which picks per coalesced batch.
+  if (!req.eval_backend.empty()) {
+    StatusOr<const EvaluationBackend*> backend =
+        EvaluationBackendRegistry::Default().Resolve(req.eval_backend);
+    if (!backend.ok()) {
+      SetError(resp, backend.status());
+      AttachStats(resp);
+      return resp;
+    }
+  }
+  StatusOr<std::vector<double>> values =
+      batcher_.Evaluate(std::move(target), std::move(val), req.eval_backend);
+  if (!values.ok()) {
+    SetError(resp, values.status());
+    AttachStats(resp);
+    return resp;
+  }
+  resp.values = std::move(*values);
+  resp.eval_backend = req.eval_backend;
   AttachStats(resp);
   return resp;
 }
@@ -258,6 +279,23 @@ Response ProvenanceService::ListAlgos(const ListAlgosRequest&) {
   return resp;
 }
 
+Response ProvenanceService::ListBackends(const ListBackendsRequest&) {
+  Response resp;
+  resp.request_kind = MessageKind::kListBackendsRequest;
+  for (const EvaluationBackendInfo& info :
+       EvaluationBackendRegistry::Default().Infos()) {
+    EvalBackendCapability b;
+    b.name = info.name;
+    b.summary = info.summary;
+    b.vectorized = info.vectorized;
+    b.deterministic = info.deterministic;
+    b.preferred_batch = info.preferred_batch;
+    resp.backends.push_back(std::move(b));
+  }
+  AttachStats(resp);
+  return resp;
+}
+
 std::string ProvenanceService::HandleFrame(std::string_view payload,
                                            bool* shutdown) {
   Response resp;
@@ -318,6 +356,14 @@ std::string ProvenanceService::HandleFrame(std::string_view payload,
         break;
       }
       return EncodeResponse(ListAlgos(*req));
+    }
+    case MessageKind::kListBackendsRequest: {
+      auto req = DecodeListBackendsRequest(payload);
+      if (!req.ok()) {
+        decode_error = req.status();
+        break;
+      }
+      return EncodeResponse(ListBackends(*req));
     }
     case MessageKind::kShutdownRequest: {
       auto req = DecodeShutdownRequest(payload);

@@ -51,6 +51,7 @@ class ProvenanceService {
   Response Info(const InfoRequest& req);
   Response Tradeoff(const TradeoffRequest& req);
   Response ListAlgos(const ListAlgosRequest& req);
+  Response ListBackends(const ListBackendsRequest& req);
 
   /// Decodes one request payload, dispatches it, and encodes the response.
   /// Malformed payloads yield an encoded error response (the connection can

@@ -77,6 +77,7 @@ StatusOr<MessageKind> PeekMessageKind(std::string_view payload) {
     case MessageKind::kTradeoffRequest:
     case MessageKind::kShutdownRequest:
     case MessageKind::kListAlgosRequest:
+    case MessageKind::kListBackendsRequest:
     case MessageKind::kResponse:
       return static_cast<MessageKind>(*kind);
   }
@@ -163,6 +164,7 @@ std::string EncodeEvaluateRequest(const EvaluateRequest& req) {
   w.PutString(req.forest);
   w.PutString(req.algo);
   w.PutVarint(req.bound);
+  w.PutString(req.eval_backend);
   return std::move(w).Release();
 }
 
@@ -196,6 +198,9 @@ StatusOr<EvaluateRequest> DecodeEvaluateRequest(std::string_view payload) {
   auto bound = r.GetVarint();
   if (!bound.ok()) return bound.status();
   req.bound = *bound;
+  auto eval_backend = r.GetString();
+  if (!eval_backend.ok()) return eval_backend.status();
+  req.eval_backend = std::move(*eval_backend);
   return req;
 }
 
@@ -261,6 +266,19 @@ StatusOr<ListAlgosRequest> DecodeListAlgosRequest(std::string_view payload) {
   return ListAlgosRequest{};
 }
 
+std::string EncodeListBackendsRequest(const ListBackendsRequest&) {
+  ByteWriter w;
+  WriteHeader(w, MessageKind::kListBackendsRequest);
+  return std::move(w).Release();
+}
+
+StatusOr<ListBackendsRequest> DecodeListBackendsRequest(
+    std::string_view payload) {
+  ByteReader r(payload);
+  PROVABS_RETURN_IF_ERROR(CheckHeader(r, MessageKind::kListBackendsRequest));
+  return ListBackendsRequest{};
+}
+
 // ----------------------------------------------------------- response ----
 
 std::string EncodeResponse(const Response& resp) {
@@ -315,6 +333,18 @@ std::string EncodeResponse(const Response& resp) {
     if (a.produces_cut) flags |= 8;
     if (a.supports_time_budget) flags |= 16;
     w.PutU8(flags);
+  }
+
+  w.PutString(resp.eval_backend);
+  w.PutVarint(resp.backends.size());
+  for (const EvalBackendCapability& b : resp.backends) {
+    w.PutString(b.name);
+    w.PutString(b.summary);
+    uint8_t flags = 0;
+    if (b.vectorized) flags |= 1;
+    if (b.deterministic) flags |= 2;
+    w.PutU8(flags);
+    w.PutVarint(b.preferred_batch);
   }
   return std::move(w).Release();
 }
@@ -418,6 +448,33 @@ StatusOr<Response> DecodeResponse(std::string_view payload) {
     a.produces_cut = (*flags & 8) != 0;
     a.supports_time_budget = (*flags & 16) != 0;
     resp.algos.push_back(std::move(a));
+  }
+
+  auto eval_backend = r.GetString();
+  if (!eval_backend.ok()) return eval_backend.status();
+  resp.eval_backend = std::move(*eval_backend);
+  auto backend_count = r.GetVarint();
+  if (!backend_count.ok()) return backend_count.status();
+  // A backend record is at least two 1-byte string lengths, a flags byte,
+  // and a 1-byte preferred-batch varint.
+  PROVABS_RETURN_IF_ERROR(CheckCount(*backend_count, 4, r));
+  resp.backends.reserve(*backend_count);
+  for (uint64_t i = 0; i < *backend_count; ++i) {
+    EvalBackendCapability b;
+    auto name = r.GetString();
+    if (!name.ok()) return name.status();
+    b.name = std::move(*name);
+    auto summary = r.GetString();
+    if (!summary.ok()) return summary.status();
+    b.summary = std::move(*summary);
+    auto flags = r.GetU8();
+    if (!flags.ok()) return flags.status();
+    b.vectorized = (*flags & 1) != 0;
+    b.deterministic = (*flags & 2) != 0;
+    auto preferred = r.GetVarint();
+    if (!preferred.ok()) return preferred.status();
+    b.preferred_batch = *preferred;
+    resp.backends.push_back(std::move(b));
   }
   return resp;
 }

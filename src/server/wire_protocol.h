@@ -42,8 +42,11 @@ namespace provabs {
 /// instead of silently misparsing fields. History: 1 = PR 2 initial
 /// protocol; 2 = single-flight counters (dedup_hits/inflight_waiters in
 /// the stats block, per-response dedup_hit byte); 3 = ListAlgos request
-/// (kind 22) and the per-algorithm capability records in the response.
-inline constexpr uint8_t kWireVersion = 3;
+/// (kind 22) and the per-algorithm capability records in the response;
+/// 4 = ListBackends request (kind 23), the per-backend capability records
+/// and eval_backend echo in the response, and the eval_backend field of
+/// EvaluateRequest.
+inline constexpr uint8_t kWireVersion = 4;
 
 enum class MessageKind : uint8_t {
   kLoadRequest = 16,
@@ -53,6 +56,7 @@ enum class MessageKind : uint8_t {
   kTradeoffRequest = 20,
   kShutdownRequest = 21,
   kListAlgosRequest = 22,
+  kListBackendsRequest = 23,
   kResponse = 32,
 };
 
@@ -92,6 +96,12 @@ struct EvaluateRequest {
   std::string forest = "default";
   std::string algo = "opt";
   uint64_t bound = 0;
+  /// Evaluation backend to route through (core/evaluation_backend.h).
+  /// Empty = the registry's auto policy for whatever batch this request is
+  /// coalesced into; unknown names fail listing the registered set
+  /// (discover them with ListBackends). All backends return bitwise
+  /// identical values — this selects a strategy, never a result.
+  std::string eval_backend;
 };
 
 /// Queries artifact statistics (`artifact` empty = server-wide stats only).
@@ -114,6 +124,11 @@ struct ShutdownRequest {};
 /// names (`provabs_cli remote-info` surfaces the list).
 struct ListAlgosRequest {};
 
+/// Asks for the server's registered evaluation backends and their
+/// capability records (`provabs_cli remote-info` surfaces the list next to
+/// the algorithms).
+struct ListBackendsRequest {};
+
 /// One registered algorithm's capability record, mirroring CompressorInfo
 /// (src/algo/compressor.h) on the wire.
 struct AlgoCapability {
@@ -129,6 +144,19 @@ struct AlgoCapability {
   /// ignored (flag bit 4; absent in records from pre-bit-4 servers, which
   /// decodes as false — the conservative reading).
   bool supports_time_budget = false;
+};
+
+/// One registered evaluation backend's capability record, mirroring
+/// EvaluationBackendInfo (src/core/evaluation_backend.h) on the wire.
+struct EvalBackendCapability {
+  std::string name;
+  std::string summary;
+  /// Evaluates several scenarios per instruction (SIMD lanes).
+  bool vectorized = false;
+  /// Same inputs always yield the same bits.
+  bool deterministic = false;
+  /// Batch width from which this backend beats the single-scenario kernel.
+  uint64_t preferred_batch = 1;
 };
 
 /// Server-side cache and batching counters, included in every response so
@@ -188,12 +216,18 @@ struct Response {
 
   // evaluate.
   std::vector<double> values;
+  /// Echo of the validated backend the request asked for ("" = the
+  /// registry's auto policy routed it).
+  std::string eval_backend;
 
   // tradeoff.
   std::vector<TradeoffPoint> points;
 
   // list-algos.
   std::vector<AlgoCapability> algos;
+
+  // list-backends.
+  std::vector<EvalBackendCapability> backends;
 };
 
 /// Reads the message kind of an encoded payload without decoding the body.
@@ -206,6 +240,7 @@ std::string EncodeInfoRequest(const InfoRequest& req);
 std::string EncodeTradeoffRequest(const TradeoffRequest& req);
 std::string EncodeShutdownRequest(const ShutdownRequest& req);
 std::string EncodeListAlgosRequest(const ListAlgosRequest& req);
+std::string EncodeListBackendsRequest(const ListBackendsRequest& req);
 std::string EncodeResponse(const Response& resp);
 
 StatusOr<LoadRequest> DecodeLoadRequest(std::string_view payload);
@@ -215,6 +250,8 @@ StatusOr<InfoRequest> DecodeInfoRequest(std::string_view payload);
 StatusOr<TradeoffRequest> DecodeTradeoffRequest(std::string_view payload);
 StatusOr<ShutdownRequest> DecodeShutdownRequest(std::string_view payload);
 StatusOr<ListAlgosRequest> DecodeListAlgosRequest(std::string_view payload);
+StatusOr<ListBackendsRequest> DecodeListBackendsRequest(
+    std::string_view payload);
 StatusOr<Response> DecodeResponse(std::string_view payload);
 
 /// Frames larger than this are rejected before any allocation, so a corrupt

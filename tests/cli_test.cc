@@ -109,6 +109,27 @@ TEST_F(CliTest, AllRegisteredAlgosSelectable) {
             2);
 }
 
+TEST_F(CliTest, EvalBackendSelectable) {
+  ASSERT_EQ(Run("generate --workload telephony --scale 0.02 --out " + dir_ +
+                "/pe.bin --forest-out " + dir_ + "/fe.bin"),
+            0);
+  // Every registered evaluation backend serves the same evaluate command.
+  for (const std::string backend : {"naive", "compiled", "simd_batch"}) {
+    EXPECT_EQ(Run("evaluate --in " + dir_ + "/pe.bin --set m1=0.8 "
+                  "--eval-backend " + backend),
+              0)
+        << backend;
+  }
+}
+
+TEST_F(CliTest, UnknownEvalBackendIsUsageError) {
+  // Strict registry validation: exit 2 before any file is touched.
+  EXPECT_EQ(ExitCode(Run("evaluate --in nope.bin --eval-backend jit")), 2);
+  EXPECT_EQ(ExitCode(Run("remote-evaluate --port 1 --name a "
+                         "--eval-backend jit")),
+            2);
+}
+
 TEST_F(CliTest, UnknownAlgoIsUsageError) {
   // Strict registry validation: exit 2 before any file is touched.
   EXPECT_EQ(ExitCode(Run("compress --in nope.bin --forest nope.bin "

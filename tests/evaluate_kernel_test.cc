@@ -85,8 +85,9 @@ void RunAllPathsDifferential(const Valuation& val, const PolynomialSet& polys,
 
   EvaluateBatcher batcher(pool);
   auto shared = std::make_shared<PolynomialSet>(polys);
-  ExpectBitwiseEqual(expected, batcher.Evaluate(shared, val),
-                     "EvaluateBatcher");
+  StatusOr<std::vector<double>> batched = batcher.Evaluate(shared, val);
+  ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+  ExpectBitwiseEqual(expected, *batched, "EvaluateBatcher");
 }
 
 // ------------------------------------------------- structure units ------

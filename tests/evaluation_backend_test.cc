@@ -1,0 +1,424 @@
+// Cross-backend differential battery for the evaluation-backend registry
+// (core/evaluation_backend.h). Naive per-polynomial Valuation::Evaluate is
+// the reference defining the canonical summation order; every registered
+// backend — naive, compiled, simd_batch with scalar lanes forced, and
+// simd_batch with AVX2 lanes when the host has them — must reproduce it
+// BITWISE (IEEE-754 bit comparison, never tolerance): floating-point
+// add/mul are not associative, so exact equality certifies the identical
+// operation sequence. Coverage: exponents > 1, unassigned variables
+// (default 1.0), variables assigned but absent from the set, empty
+// polynomials, empty sets, ragged batch sizes around the SIMD lane width,
+// and post-abstraction sets (tree cuts and interned prox-group views).
+//
+// Also the home of the slot-mapping regression tests: a DenseValuation
+// materialized against one compiled form must be rejected (not silently
+// mis-indexed) when evaluated under another — the copy-then-Add hazard the
+// fingerprint scheme exists for.
+
+#include "core/evaluation_backend.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algo/compressor.h"
+#include "common/random.h"
+#include "core/polynomial.h"
+#include "core/polynomial_set.h"
+#include "core/valuation.h"
+#include "workload/tree_gen.h"
+
+namespace provabs {
+namespace {
+
+uint64_t Bits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+/// The reference: per-polynomial naive Evaluate (Valuation::EvaluateAll
+/// itself routes through the registry, so the reference must not use it).
+std::vector<double> NaiveEvaluateAll(const Valuation& val,
+                                     const PolynomialSet& polys) {
+  std::vector<double> out;
+  out.reserve(polys.count());
+  for (const Polynomial& p : polys.polynomials()) {
+    out.push_back(val.Evaluate(p));
+  }
+  return out;
+}
+
+void ExpectBitwiseEqual(const std::vector<double>& expected,
+                        const std::vector<double>& actual,
+                        const std::string& which) {
+  ASSERT_EQ(expected.size(), actual.size()) << which;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(Bits(expected[i]), Bits(actual[i]))
+        << which << ": polynomial " << i << " expected " << expected[i]
+        << " got " << actual[i];
+  }
+}
+
+/// Runs one backend over the whole scenario batch in a single
+/// EvaluateBatch call and bit-compares every scenario against the naive
+/// reference.
+void RunBackendDifferential(const EvaluationBackend& backend,
+                            const PolynomialSet& polys,
+                            const std::vector<Valuation>& scenarios,
+                            const std::string& which) {
+  auto compiled = polys.Compiled();
+  const size_t n = scenarios.size();
+  std::vector<DenseValuation> dense;
+  dense.reserve(n);
+  for (const Valuation& val : scenarios) {
+    dense.push_back(compiled->MaterializeValuation(val));
+  }
+  std::vector<const DenseValuation*> dense_ptrs(n);
+  std::vector<std::vector<double>> out(
+      n, std::vector<double>(compiled->poly_count()));
+  std::vector<double*> out_ptrs(n);
+  for (size_t s = 0; s < n; ++s) {
+    dense_ptrs[s] = &dense[s];
+    out_ptrs[s] = out[s].data();
+  }
+  Status status =
+      backend.EvaluateBatch(*compiled, 0, compiled->poly_count(),
+                            dense_ptrs.data(), out_ptrs.data(), n);
+  ASSERT_TRUE(status.ok()) << which << ": " << status.ToString();
+  for (size_t s = 0; s < n; ++s) {
+    ExpectBitwiseEqual(NaiveEvaluateAll(scenarios[s], polys), out[s],
+                       which + " scenario " + std::to_string(s));
+  }
+}
+
+/// Every backend instance the battery pins: the three registered built-ins
+/// plus a scalar-lane-forced simd_batch (so the lane/transpose/remainder
+/// logic is covered even when the host would auto-pick AVX2, and the AVX2
+/// instance is covered whenever the host has it).
+void RunAllBackendsDifferential(const PolynomialSet& polys,
+                                const std::vector<Valuation>& scenarios) {
+  const EvaluationBackendRegistry& registry =
+      EvaluationBackendRegistry::Default();
+  for (const std::string& name : registry.Names()) {
+    RunBackendDifferential(*registry.Find(name), polys, scenarios,
+                           "registered '" + name + "'");
+  }
+  SimdBatchBackend scalar(SimdBatchBackend::Mode::kForceScalar);
+  EXPECT_FALSE(scalar.using_avx2());
+  RunBackendDifferential(scalar, polys, scenarios, "simd_batch(scalar)");
+  SimdBatchBackend auto_lanes(SimdBatchBackend::Mode::kAuto);
+  RunBackendDifferential(
+      auto_lanes, polys, scenarios,
+      auto_lanes.using_avx2() ? "simd_batch(avx2)" : "simd_batch(auto)");
+}
+
+PolynomialSet MakeRandomSet(Rng& rng, const std::vector<VariableId>& ids) {
+  PolynomialSet polys;
+  const size_t num_polys = rng.Uniform(9);  // 0 = empty set case
+  for (size_t p = 0; p < num_polys; ++p) {
+    std::vector<Monomial> terms;
+    const size_t n_terms = rng.Uniform(14);  // 0 = empty polynomial case
+    for (size_t t = 0; t < n_terms; ++t) {
+      std::vector<Factor> factors;
+      const size_t n_factors = rng.Uniform(5);
+      for (size_t f = 0; f < n_factors; ++f) {
+        factors.push_back(
+            {ids[rng.Uniform(ids.size())],
+             static_cast<uint32_t>(1 + rng.Uniform(4))});  // exponents 1..4
+      }
+      terms.emplace_back(rng.UniformReal(-10.0, 10.0), std::move(factors));
+    }
+    polys.Add(Polynomial::FromMonomials(std::move(terms)));
+  }
+  return polys;
+}
+
+// --------------------------------------------------- registry units -----
+
+TEST(EvaluationBackendRegistryTest, DefaultRegistersTheBuiltins) {
+  const EvaluationBackendRegistry& registry =
+      EvaluationBackendRegistry::Default();
+  EXPECT_NE(registry.Find("naive"), nullptr);
+  EXPECT_NE(registry.Find("compiled"), nullptr);
+  EXPECT_NE(registry.Find("simd_batch"), nullptr);
+  // Names come back sorted, so usage/error text is stable.
+  EXPECT_EQ(registry.NamesCsv(), "compiled, naive, simd_batch");
+
+  const EvaluationBackend* simd = registry.Find("simd_batch");
+  EXPECT_TRUE(simd->info().vectorized);
+  EXPECT_TRUE(simd->info().deterministic);
+  EXPECT_GT(simd->info().preferred_batch, 1u);
+  EXPECT_FALSE(registry.Find("compiled")->info().vectorized);
+}
+
+TEST(EvaluationBackendRegistryTest, DuplicateNamesAreRejected) {
+  EvaluationBackendRegistry registry;
+  ASSERT_TRUE(RegisterBuiltinEvaluationBackends(registry).ok());
+  Status dup = registry.Register(std::make_unique<SimdBatchBackend>());
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(dup.message().find("'simd_batch' is already registered"),
+            std::string::npos)
+      << dup.message();
+  EXPECT_FALSE(registry.Register(nullptr).ok());
+}
+
+TEST(EvaluationBackendRegistryTest, UnknownNameListsTheRegisteredSet) {
+  auto resolved = EvaluationBackendRegistry::Default().Resolve("jit");
+  ASSERT_FALSE(resolved.ok());
+  EXPECT_EQ(resolved.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(resolved.status().message().find(
+                "unknown evaluation backend 'jit'"),
+            std::string::npos)
+      << resolved.status().message();
+  EXPECT_NE(resolved.status().message().find("compiled, naive, simd_batch"),
+            std::string::npos)
+      << resolved.status().message();
+}
+
+TEST(EvaluationBackendRegistryTest, ResolveForBatchAutoPolicy) {
+  const EvaluationBackendRegistry& registry =
+      EvaluationBackendRegistry::Default();
+  const uint32_t width = registry.Find("simd_batch")->info().preferred_batch;
+
+  // Below the vectorized backend's preferred width: single-scenario kernel.
+  for (size_t batch : {size_t{0}, size_t{1}, size_t{width - 1}}) {
+    auto backend = registry.ResolveForBatch("", batch);
+    ASSERT_TRUE(backend.ok());
+    EXPECT_EQ((*backend)->info().name, "compiled") << "batch " << batch;
+  }
+  // At and beyond the width: the vectorized backend.
+  for (size_t batch : {size_t{width}, size_t{width + 1}, size_t{10 * width}}) {
+    auto backend = registry.ResolveForBatch("", batch);
+    ASSERT_TRUE(backend.ok());
+    EXPECT_EQ((*backend)->info().name, "simd_batch") << "batch " << batch;
+  }
+  // An explicit name resolves strictly regardless of batch size.
+  auto naive = registry.ResolveForBatch("naive", 1000);
+  ASSERT_TRUE(naive.ok());
+  EXPECT_EQ((*naive)->info().name, "naive");
+  EXPECT_FALSE(registry.ResolveForBatch("jit", 1000).ok());
+
+  // An empty registry is the only hard failure of the auto policy.
+  EvaluationBackendRegistry empty;
+  EXPECT_FALSE(empty.ResolveForBatch("", 8).ok());
+}
+
+// ----------------------------------- slot-mapping (fingerprint) guard ---
+
+// The regression the fingerprint scheme exists for: copy a set (copies
+// share the compiled snapshot), materialize a valuation, then mutate the
+// original and recompile. The stale valuation indexes the OLD slot
+// mapping; evaluating it under the new form must fail loudly instead of
+// mis-indexing (before the fix this read wrong slots — or out of bounds
+// once the new form had more slots).
+TEST(EvaluationBackendFingerprintTest, StaleValuationAfterCopyAndAddFails) {
+  VariableTable vars;
+  VariableId x = vars.Intern("x");
+  VariableId y = vars.Intern("y");
+  PolynomialSet polys;
+  polys.Add(Polynomial::FromMonomials({Monomial(2.0, {{x, 1}})}));
+
+  PolynomialSet copy = polys;
+  auto old_form = copy.Compiled();
+  Valuation val;
+  val.Set(x, 3.0);
+  DenseValuation stale = old_form->MaterializeValuation(val);
+  EXPECT_EQ(stale.source_fingerprint(), old_form->fingerprint());
+
+  // Mutate the original: its recompiled form has a different slot mapping
+  // (y takes slot 0 of the new monomial's factors) and a new fingerprint.
+  polys.Add(Polynomial::FromMonomials({Monomial(5.0, {{y, 1}, {x, 1}})}));
+  auto new_form = polys.Compiled();
+  ASSERT_NE(new_form->fingerprint(), old_form->fingerprint());
+
+  const EvaluationBackend* backend =
+      EvaluationBackendRegistry::Default().Find("compiled");
+  double out_slot = 0;
+  const DenseValuation* scenario = &stale;
+  double* out_ptr = &out_slot;
+  Status status = backend->EvaluateBatch(*new_form, 0, 1, &scenario,
+                                         &out_ptr, 1);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("different compiled form"),
+            std::string::npos)
+      << status.message();
+
+  // Against the form it was materialized from, the same valuation is fine
+  // — the snapshot outlives the mutation.
+  Status ok = backend->EvaluateBatch(*old_form, 0, 1, &scenario, &out_ptr, 1);
+  ASSERT_TRUE(ok.ok()) << ok.ToString();
+  EXPECT_EQ(out_slot, 6.0);
+}
+
+TEST(EvaluationBackendFingerprintTest, CopiesShareTheCompiledSnapshot) {
+  VariableTable vars;
+  VariableId x = vars.Intern("x");
+  PolynomialSet polys;
+  polys.Add(Polynomial::FromMonomials({Monomial(1.0, {{x, 2}})}));
+  auto form = polys.Compiled();
+  DenseValuation dense = form->MaterializeValuation(Valuation{});
+
+  // A copy shares the snapshot, so the valuation stays valid for it.
+  PolynomialSet copy = polys;
+  auto copy_form = copy.Compiled();
+  EXPECT_EQ(copy_form.get(), form.get());
+  EXPECT_EQ(copy_form->fingerprint(), dense.source_fingerprint());
+
+  // Identical CONTENT is not enough: an independently compiled twin has
+  // its own fingerprint, because only the same snapshot guarantees the
+  // same slot mapping.
+  PolynomialSet twin;
+  twin.Add(Polynomial::FromMonomials({Monomial(1.0, {{x, 2}})}));
+  EXPECT_NE(twin.Compiled()->fingerprint(), form->fingerprint());
+}
+
+TEST(EvaluationBackendTest, RangeAndPointerValidation) {
+  VariableTable vars;
+  PolynomialSet polys;
+  polys.Add(Polynomial::FromMonomials(
+      {Monomial(1.0, {{vars.Intern("x"), 1}})}));
+  auto compiled = polys.Compiled();
+  DenseValuation dense = compiled->MaterializeValuation(Valuation{});
+  const DenseValuation* scenario = &dense;
+  double out_slot = 0;
+  double* out_ptr = &out_slot;
+  const EvaluationBackend& backend =
+      *EvaluationBackendRegistry::Default().Find("simd_batch");
+
+  EXPECT_EQ(backend.EvaluateBatch(*compiled, 0, 2, &scenario, &out_ptr, 1)
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(backend.EvaluateBatch(*compiled, 1, 0, &scenario, &out_ptr, 1)
+                .code(),
+            StatusCode::kInvalidArgument);
+  const DenseValuation* null_scenario = nullptr;
+  EXPECT_EQ(
+      backend.EvaluateBatch(*compiled, 0, 1, &null_scenario, &out_ptr, 1)
+          .code(),
+      StatusCode::kInvalidArgument);
+  // Empty ranges and empty batches are no-ops, not errors.
+  EXPECT_TRUE(
+      backend.EvaluateBatch(*compiled, 0, 0, &scenario, &out_ptr, 1).ok());
+  EXPECT_TRUE(
+      backend.EvaluateBatch(*compiled, 0, 1, nullptr, nullptr, 0).ok());
+}
+
+// ------------------------------------------- randomized differential ----
+
+class BackendDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BackendDifferentialTest, AllBackendsBitwiseIdenticalToNaive) {
+  Rng rng(6200 + GetParam());
+  VariableTable vars;
+  const size_t num_vars = 3 + rng.Uniform(30);
+  std::vector<VariableId> ids;
+  for (size_t i = 0; i < num_vars; ++i) {
+    ids.push_back(vars.Intern("v" + std::to_string(i)));
+  }
+  PolynomialSet polys = MakeRandomSet(rng, ids);
+
+  // Ragged batch sizes straddling the SIMD lane width (4) and the
+  // preferred batch (8): full groups, remainder groups, single scenarios.
+  const size_t batch = 1 + rng.Uniform(11);
+  std::vector<Valuation> scenarios;
+  for (size_t s = 0; s < batch; ++s) {
+    Valuation val;
+    // A random subset assigned (some scenarios assign nothing), plus a
+    // variable outside the set entirely.
+    for (VariableId id : ids) {
+      if (rng.Bernoulli(0.6)) val.Set(id, rng.UniformReal(-2.0, 2.0));
+    }
+    val.Set(vars.Intern("outside"), 99.0);
+    scenarios.push_back(std::move(val));
+  }
+
+  RunAllBackendsDifferential(polys, scenarios);
+
+  // The convenience entry point agrees too, under both auto and explicit
+  // routing.
+  for (const std::string& name : {std::string(), std::string("simd_batch")}) {
+    auto results = EvaluateScenarios(polys, scenarios, name);
+    ASSERT_TRUE(results.ok()) << results.status().ToString();
+    ASSERT_EQ(results->size(), scenarios.size());
+    for (size_t s = 0; s < scenarios.size(); ++s) {
+      ExpectBitwiseEqual(NaiveEvaluateAll(scenarios[s], polys), (*results)[s],
+                         "EvaluateScenarios('" + name + "')");
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSets, BackendDifferentialTest,
+                         ::testing::Range(0, 24));
+
+TEST(EvaluateScenariosTest, UnknownBackendFailsListingRegistered) {
+  PolynomialSet polys;
+  auto results = EvaluateScenarios(polys, {Valuation{}}, "jit");
+  ASSERT_FALSE(results.ok());
+  EXPECT_NE(results.status().message().find("compiled, naive, simd_batch"),
+            std::string::npos);
+}
+
+// Post-abstraction coverage: backends must agree with naive on sets
+// produced by the compression algorithms — tree cuts substitute
+// meta-variables in, and prox's InternGrouping introduces freshly interned
+// group variables whose ids are far from the original dense range.
+TEST(BackendAbstractionTest, CutAndGroupingViewsStayBitwiseEqual) {
+  Rng rng(888);
+  VariableTable vars;
+  std::vector<VariableId> leaves;
+  for (int i = 0; i < 16; ++i) {
+    leaves.push_back(vars.Intern("x" + std::to_string(i)));
+  }
+  VariableId m = vars.Intern("m");
+
+  PolynomialSet polys;
+  for (int p = 0; p < 4; ++p) {
+    std::vector<Monomial> terms;
+    for (int t = 0; t < 20; ++t) {
+      std::vector<Factor> f;
+      f.push_back({leaves[rng.Uniform(leaves.size())],
+                   static_cast<uint32_t>(1 + rng.Uniform(2))});
+      if (rng.Bernoulli(0.5)) f.push_back({m, 1});
+      terms.emplace_back(rng.UniformReal(0.5, 9.5), std::move(f));
+    }
+    polys.Add(Polynomial::FromMonomials(std::move(terms)));
+  }
+
+  AbstractionForest forest;
+  forest.AddTree(BuildUniformTree(vars, leaves, {4, 2}, "EB_"));
+  ASSERT_TRUE(forest.CheckCompatible(polys).ok());
+  CompressOptions options;
+  options.bound = polys.SizeM() / 2;
+
+  auto greedy = CompressorRegistry::Default().Find("greedy")->Compress(
+      polys, forest, options);
+  ASSERT_TRUE(greedy.ok()) << greedy.status().ToString();
+  PolynomialSet cut_view = greedy->Apply(forest, polys);
+
+  auto prox = CompressorRegistry::Default().Find("prox")->Compress(
+      polys, forest, options);
+  ASSERT_TRUE(prox.ok()) << prox.status().ToString();
+  prox->InternGrouping(vars);
+  PolynomialSet group_view = prox->Apply(forest, polys);
+
+  for (const PolynomialSet* view : {&cut_view, &group_view}) {
+    std::vector<Valuation> scenarios;
+    for (int s = 0; s < 9; ++s) {
+      Valuation val;
+      for (VariableId v : view->Variables()) {
+        if (rng.Bernoulli(0.7)) val.Set(v, rng.UniformReal(0.25, 1.75));
+      }
+      scenarios.push_back(std::move(val));
+    }
+    RunAllBackendsDifferential(*view, scenarios);
+  }
+}
+
+}  // namespace
+}  // namespace provabs

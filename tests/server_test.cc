@@ -3,11 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstring>
 #include <memory>
 #include <thread>
 #include <vector>
 
 #include "abstraction/abstraction_forest.h"
+#include "core/evaluation_backend.h"
 #include "core/valuation.h"
 #include "io/serializer.h"
 #include "server/artifact_store.h"
@@ -203,7 +205,9 @@ TEST_F(BatcherTest, MatchesSerialEvaluation) {
   val.Set(vars_.Find("m1"), 0.5);
   val.Set(vars_.Find("b1"), 0.25);
   auto shared = std::make_shared<PolynomialSet>(polys_);
-  std::vector<double> batched = batcher.Evaluate(shared, val);
+  StatusOr<std::vector<double>> batched_or = batcher.Evaluate(shared, val);
+  ASSERT_TRUE(batched_or.ok()) << batched_or.status().ToString();
+  std::vector<double> batched = std::move(*batched_or);
   std::vector<double> serial = val.EvaluateAll(polys_);
   ASSERT_EQ(batched.size(), serial.size());
   for (size_t i = 0; i < serial.size(); ++i) {
@@ -222,7 +226,8 @@ TEST_F(BatcherTest, ConcurrentCallersAllGetTheirOwnAnswers) {
     threads.emplace_back([&, c] {
       Valuation val;
       val.Set(vars_.Find("m1"), 0.1 * c);
-      results[c] = batcher.Evaluate(shared, val);
+      StatusOr<std::vector<double>> got = batcher.Evaluate(shared, val);
+      if (got.ok()) results[c] = std::move(*got);
     });
   }
   for (auto& t : threads) t.join();
@@ -251,8 +256,9 @@ TEST_F(BatcherTest, ReusesPoolAcrossManyRounds) {
   for (int round = 0; round < 50; ++round) {
     Valuation val;
     val.Set(vars_.Find("m3"), 0.01 * round);
-    std::vector<double> got = batcher.Evaluate(shared, val);
-    ASSERT_EQ(got.size(), polys_.count());
+    StatusOr<std::vector<double>> got = batcher.Evaluate(shared, val);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ASSERT_EQ(got->size(), polys_.count());
   }
   EXPECT_EQ(batcher.stats().requests, 50u);
   // Sequential callers never coalesce, so each round is its own batch.
@@ -508,6 +514,69 @@ TEST_F(ServiceTest, ListAlgosReturnsCapabilityRecords) {
   ASSERT_EQ(decoded->algos.size(), 4u);
   EXPECT_EQ(decoded->algos[2].name, "opt");
   EXPECT_FALSE(shutdown);
+}
+
+TEST_F(ServiceTest, ListBackendsReturnsCapabilityRecords) {
+  Response resp = service_->ListBackends(ListBackendsRequest{});
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp.request_kind, MessageKind::kListBackendsRequest);
+  ASSERT_EQ(resp.backends.size(), 3u);
+  EXPECT_EQ(resp.backends[0].name, "compiled");
+  EXPECT_FALSE(resp.backends[0].vectorized);
+  EXPECT_EQ(resp.backends[1].name, "naive");
+  EXPECT_EQ(resp.backends[2].name, "simd_batch");
+  EXPECT_TRUE(resp.backends[2].vectorized);
+  EXPECT_GT(resp.backends[2].preferred_batch, 1u);
+  for (const EvalBackendCapability& b : resp.backends) {
+    EXPECT_TRUE(b.deterministic) << b.name;
+    EXPECT_FALSE(b.summary.empty()) << b.name;
+  }
+
+  // And over the frame path: request 23 round-trips through HandleFrame.
+  bool shutdown = false;
+  std::string reply = service_->HandleFrame(
+      EncodeListBackendsRequest(ListBackendsRequest{}), &shutdown);
+  auto decoded = DecodeResponse(reply);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(decoded->ok());
+  ASSERT_EQ(decoded->backends.size(), 3u);
+  EXPECT_EQ(decoded->backends[2].name, "simd_batch");
+  EXPECT_FALSE(shutdown);
+}
+
+TEST_F(ServiceTest, EvaluateRoutesThroughNamedBackend) {
+  EvaluateRequest req;
+  req.artifact = "ex";
+  req.assignments = {{"m1", 0.5}, {"b1", 0.0}};
+  Response reference = service_->Evaluate(req);
+  ASSERT_TRUE(reference.ok()) << reference.message;
+  EXPECT_TRUE(reference.eval_backend.empty());  // auto policy echoed as ""
+
+  // Every registered backend returns bitwise-identical values and echoes
+  // its name.
+  for (const std::string& name :
+       EvaluationBackendRegistry::Default().Names()) {
+    req.eval_backend = name;
+    Response got = service_->Evaluate(req);
+    ASSERT_TRUE(got.ok()) << name << ": " << got.message;
+    EXPECT_EQ(got.eval_backend, name);
+    ASSERT_EQ(got.values.size(), reference.values.size()) << name;
+    for (size_t i = 0; i < reference.values.size(); ++i) {
+      uint64_t want, have;
+      std::memcpy(&want, &reference.values[i], sizeof(want));
+      std::memcpy(&have, &got.values[i], sizeof(have));
+      EXPECT_EQ(want, have) << name << " polynomial " << i;
+    }
+  }
+
+  // Unknown names fail up front with the registry's name-listing error.
+  req.eval_backend = "jit";
+  Response bad = service_->Evaluate(req);
+  EXPECT_EQ(bad.code, StatusCode::kInvalidArgument);
+  EXPECT_NE(bad.message.find("unknown evaluation backend 'jit'"),
+            std::string::npos)
+      << bad.message;
+  EXPECT_NE(bad.message.find("simd_batch"), std::string::npos) << bad.message;
 }
 
 TEST_F(ServiceTest, HandleFrameDispatchesAndSurvivesGarbage) {

@@ -53,6 +53,7 @@ TEST(WireProtocolTest, EvaluateRequestRoundTrip) {
   req.forest = "plans";
   req.algo = "opt";
   req.bound = 1500;
+  req.eval_backend = "simd_batch";
   auto decoded = DecodeEvaluateRequest(EncodeEvaluateRequest(req));
   ASSERT_TRUE(decoded.ok());
   ASSERT_EQ(decoded->assignments.size(), 2u);
@@ -62,6 +63,45 @@ TEST(WireProtocolTest, EvaluateRequestRoundTrip) {
   EXPECT_TRUE(decoded->compressed);
   EXPECT_EQ(decoded->forest, "plans");
   EXPECT_EQ(decoded->bound, 1500u);
+  EXPECT_EQ(decoded->eval_backend, "simd_batch");
+
+  // The default is the empty name — registry auto policy server-side.
+  auto defaulted = DecodeEvaluateRequest(EncodeEvaluateRequest(EvaluateRequest{}));
+  ASSERT_TRUE(defaulted.ok());
+  EXPECT_TRUE(defaulted->eval_backend.empty());
+}
+
+TEST(WireProtocolTest, ListBackendsResponseRoundTrip) {
+  EXPECT_TRUE(DecodeListBackendsRequest(
+                  EncodeListBackendsRequest(ListBackendsRequest{}))
+                  .ok());
+
+  Response resp;
+  resp.request_kind = MessageKind::kListBackendsRequest;
+  resp.backends = {{"compiled", "single-scenario CSR walk", false, true, 1},
+                   {"simd_batch", "SoA lanes, AVX2 when available", true,
+                    true, 8}};
+  auto decoded = DecodeResponse(EncodeResponse(resp));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->backends.size(), 2u);
+  EXPECT_EQ(decoded->backends[0].name, "compiled");
+  EXPECT_EQ(decoded->backends[0].summary, "single-scenario CSR walk");
+  EXPECT_FALSE(decoded->backends[0].vectorized);
+  EXPECT_TRUE(decoded->backends[0].deterministic);
+  EXPECT_EQ(decoded->backends[0].preferred_batch, 1u);
+  EXPECT_EQ(decoded->backends[1].name, "simd_batch");
+  EXPECT_TRUE(decoded->backends[1].vectorized);
+  EXPECT_EQ(decoded->backends[1].preferred_batch, 8u);
+}
+
+TEST(WireProtocolTest, EvalBackendEchoRoundTrip) {
+  Response resp;
+  resp.request_kind = MessageKind::kEvaluateRequest;
+  resp.values = {2.0};
+  resp.eval_backend = "naive";
+  auto decoded = DecodeResponse(EncodeResponse(resp));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->eval_backend, "naive");
 }
 
 TEST(WireProtocolTest, InfoTradeoffShutdownRoundTrip) {
@@ -172,6 +212,9 @@ TEST(WireProtocolTest, PeekMessageKind) {
             MessageKind::kShutdownRequest);
   EXPECT_EQ(*PeekMessageKind(EncodeListAlgosRequest(ListAlgosRequest{})),
             MessageKind::kListAlgosRequest);
+  EXPECT_EQ(
+      *PeekMessageKind(EncodeListBackendsRequest(ListBackendsRequest{})),
+      MessageKind::kListBackendsRequest);
   EXPECT_EQ(*PeekMessageKind(EncodeResponse(Response{})),
             MessageKind::kResponse);
   EXPECT_FALSE(PeekMessageKind("").ok());
@@ -199,12 +242,15 @@ TEST(WireProtocolTest, TruncationSweepAllMessages) {
   EvaluateRequest eval;
   eval.artifact = "a";
   eval.assignments = {{"x", 1.0}};
+  eval.eval_backend = "simd_batch";
   Response resp;
   resp.message = "msg";
   resp.values = {1.0, 2.0};
   resp.points = {{10, 1}};
   resp.vvs = "{r}";
   resp.algos = {{"opt", "optimal DP", true, true, true, true}};
+  resp.eval_backend = "simd_batch";
+  resp.backends = {{"simd_batch", "SoA lanes", true, true, 8}};
 
   struct Case {
     std::string encoded;
@@ -235,6 +281,10 @@ TEST(WireProtocolTest, TruncationSweepAllMessages) {
   cases.push_back({EncodeListAlgosRequest(ListAlgosRequest{}),
                    [](std::string_view d) {
                      return DecodeListAlgosRequest(d).ok();
+                   }});
+  cases.push_back({EncodeListBackendsRequest(ListBackendsRequest{}),
+                   [](std::string_view d) {
+                     return DecodeListBackendsRequest(d).ok();
                    }});
   cases.push_back({EncodeResponse(resp), [](std::string_view d) {
                      return DecodeResponse(d).ok();

@@ -3,7 +3,13 @@
 # nonzero exit. Benches are not part of ctest, so without this they only
 # ever compile in CI and can bit-rot at runtime (stale flags, renamed
 # registry algorithms, workload API drift). This is a liveness check, not a
-# measurement: timings printed here are meaningless.
+# measurement: timings printed here are meaningless — with ONE exception:
+# when bench_evaluate_kernel runs on the machine BENCH_evaluate.json was
+# recorded on (matched by MACHINEKEY cpu model), its BATCHSTAT lines are
+# thresholded — the simd_batch backend must not fall below 1.0x the
+# single-scenario compiled loop at the recorded batch width. A vectorized
+# backend slower than the scalar loop it batches is a regression even at
+# smoke scale. On other machines the threshold is skipped (noise).
 #
 # Usage: tools/bench_smoke.sh [BUILD_DIR]   (default: build)
 set -u
@@ -37,7 +43,13 @@ for bench in "$BENCH_DIR"/bench_*; do
       args=(--benchmark_min_time=0.01) ;;
   esac
   echo "== $name ${args[*]:-}"
-  "$bench" "${args[@]}" > /dev/null 2> /tmp/bench_smoke_err.$$
+  # bench_evaluate_kernel's stdout carries the MACHINEKEY/BATCHSTAT lines
+  # the threshold check below parses; every other driver's is discarded.
+  out=/dev/null
+  if [ "$name" = "bench_evaluate_kernel" ]; then
+    out=/tmp/bench_smoke_eval.$$
+  fi
+  "$bench" "${args[@]}" > "$out" 2> /tmp/bench_smoke_err.$$
   rc=$?
   if [ "$rc" -ne 0 ]; then
     echo "FAILED: $name (exit $rc)" >&2
@@ -46,6 +58,32 @@ for bench in "$BENCH_DIR"/bench_*; do
   fi
   rm -f /tmp/bench_smoke_err.$$
 done
+
+# Threshold the batched-arm ratios, keyed by machine: only meaningful on
+# the CPU the reference numbers were recorded on.
+EVAL_OUT=/tmp/bench_smoke_eval.$$
+REFERENCE_JSON="$(cd "$(dirname "$0")/.." && pwd)/BENCH_evaluate.json"
+if [ -s "$EVAL_OUT" ] && [ -f "$REFERENCE_JSON" ]; then
+  recorded_cpu=$(sed -n 's/^[[:space:]]*"cpu": "\(.*\)",*$/\1/p' "$REFERENCE_JSON" | head -1)
+  this_cpu=$(sed -n 's/^MACHINEKEY cpu=//p' "$EVAL_OUT" | head -1)
+  if [ -n "$recorded_cpu" ] && [ "$recorded_cpu" = "$this_cpu" ]; then
+    slow=$(awk '/^BATCHSTAT / && /backend=simd_batch/ {
+      for (i = 1; i <= NF; i++) {
+        if ($i ~ /^ratio=/) { sub("ratio=", "", $i); if ($i + 0 < 1.0) print }
+      }
+    }' "$EVAL_OUT")
+    if [ -n "$slow" ]; then
+      echo "FAILED: simd_batch below 1.0x compiled on the recorded machine ($this_cpu):" >&2
+      grep 'backend=simd_batch' "$EVAL_OUT" | sed 's/^/    /' >&2
+      failures=$((failures + 1))
+    else
+      echo "bench_smoke: simd_batch batched-arm ratios >= 1.0x compiled (machine key matched)"
+    fi
+  else
+    echo "bench_smoke: skipping simd_batch threshold (machine key '$this_cpu' != recorded '$recorded_cpu')"
+  fi
+fi
+rm -f "$EVAL_OUT"
 
 if [ "$count" -eq 0 ]; then
   echo "bench_smoke: no bench binaries found under $BENCH_DIR" >&2

@@ -18,6 +18,7 @@
 #include "algo/compressor.h"
 #include "algo/tradeoff_curve.h"
 #include "common/timer.h"
+#include "core/evaluation_backend.h"
 #include "core/valuation.h"
 #include "io/serializer.h"
 #include "online/online_compressor.h"
@@ -41,7 +42,7 @@ const char kUsage[] =
     "  compress --in P.bin --forest F.bin --bound N\n"
     "      [--algo NAME] [--vvs-out V.bin] [--out C.bin]\n"
     "  tradeoff --in P.bin --forest F.bin\n"
-    "  evaluate --in P.bin [--set var=value]...\n"
+    "  evaluate --in P.bin [--set var=value]... [--eval-backend NAME]\n"
     "\n"
     "serving (against a running provabs_server):\n"
     "  remote-load --port P --name A --in P.bin [--forest F.bin]\n"
@@ -50,6 +51,7 @@ const char kUsage[] =
     "  remote-compress --port P --name A --bound N\n"
     "      [--algo NAME] [--forest-name N] [--host H]\n"
     "  remote-evaluate --port P --name A [--set var=value]...\n"
+    "      [--eval-backend NAME]\n"
     "      [--bound N [--algo NAME] [--forest-name N]] [--host H]\n"
     "  remote-tradeoff --port P --name A [--forest-name N] [--host H]\n"
     "  remote-shutdown --port P [--host H]\n"
@@ -75,8 +77,24 @@ void PrintAlgoLine(std::FILE* out, const std::string& name,
                caps.c_str());
 }
 
-/// Usage text plus the live algorithm registry, so --help never drifts from
-/// what --algo actually accepts.
+/// One line of an evaluation-backend listing: name, summary, capability
+/// suffixes. Shared by --help (local registry) and remote-info (the
+/// server's ListBackends records) so the two renderings cannot drift.
+void PrintBackendLine(std::FILE* out, const std::string& name,
+                      const std::string& summary, bool vectorized,
+                      bool deterministic, uint64_t preferred_batch) {
+  std::string caps;
+  if (vectorized) caps += ", simd";
+  if (!deterministic) caps += ", nondeterministic";
+  if (preferred_batch > 1) {
+    caps += ", batch>=" + std::to_string(preferred_batch);
+  }
+  std::fprintf(out, "  %-10s %s%s\n", name.c_str(), summary.c_str(),
+               caps.c_str());
+}
+
+/// Usage text plus the live registries, so --help never drifts from what
+/// --algo / --eval-backend actually accept.
 void PrintUsage(std::FILE* out) {
   std::fputs(kUsage, out);
   std::fprintf(out, "registered algorithms (--algo):\n");
@@ -84,6 +102,12 @@ void PrintUsage(std::FILE* out) {
     PrintAlgoLine(out, info.name, info.summary, info.deterministic,
                   info.supports_tradeoff, info.exact, info.produces_cut,
                   info.supports_time_budget);
+  }
+  std::fprintf(out, "registered evaluation backends (--eval-backend):\n");
+  for (const EvaluationBackendInfo& info :
+       EvaluationBackendRegistry::Default().Infos()) {
+    PrintBackendLine(out, info.name, info.summary, info.vectorized,
+                     info.deterministic, info.preferred_batch);
   }
 }
 
@@ -95,6 +119,20 @@ bool ValidateAlgo(const std::string& algo, const char* cmd) {
   std::fprintf(stderr, "%s: unknown algorithm '%s' (registered: %s)\n", cmd,
                algo.c_str(),
                CompressorRegistry::Default().NamesCsv().c_str());
+  return false;
+}
+
+/// Strict --eval-backend validation, same contract as ValidateAlgo. An
+/// empty name (flag absent) is valid: the registry's auto policy routes.
+bool ValidateEvalBackend(const std::string& backend, const char* cmd) {
+  if (backend.empty() ||
+      EvaluationBackendRegistry::Default().Find(backend) != nullptr) {
+    return true;
+  }
+  std::fprintf(stderr,
+               "%s: unknown evaluation backend '%s' (registered: %s)\n", cmd,
+               backend.c_str(),
+               EvaluationBackendRegistry::Default().NamesCsv().c_str());
   return false;
 }
 
@@ -408,6 +446,8 @@ int CmdEvaluate(const Args& args) {
     std::fprintf(stderr, "evaluate requires --in\n");
     return 2;
   }
+  std::string backend = args.Get("eval-backend", "");
+  if (!ValidateEvalBackend(backend, "evaluate")) return 2;
   VariableTable vars;
   auto polys_data = ReadFileToString(in);
   if (!polys_data.ok()) return Fail(polys_data.status());
@@ -438,12 +478,19 @@ int CmdEvaluate(const Args& args) {
   }
 
   Timer timer;
-  std::vector<double> answers = val.EvaluateAll(*polys);
+  // Routed through the evaluation-backend registry; all backends return
+  // bitwise identical values, so --eval-backend only selects a strategy.
+  StatusOr<std::vector<std::vector<double>>> results =
+      EvaluateScenarios(*polys, {val}, backend);
+  if (!results.ok()) return Fail(results.status());
   double elapsed = timer.ElapsedSeconds();
+  const std::vector<double>& answers = results->front();
   for (size_t i = 0; i < answers.size(); ++i) {
     std::printf("polynomial %zu: %.6f\n", i, answers[i]);
   }
-  std::printf("(%zu polynomials in %.4fs)\n", answers.size(), elapsed);
+  std::printf("(%zu polynomials in %.4fs%s%s)\n", answers.size(), elapsed,
+              backend.empty() ? "" : ", backend: ",
+              backend.c_str());
   return 0;
 }
 
@@ -575,6 +622,15 @@ int CmdRemoteInfo(const Args& args) {
                   a.supports_tradeoff, a.exact, a.produces_cut,
                   a.supports_time_budget);
   }
+  // Likewise the evaluation-backend registry, for --eval-backend.
+  auto backends = client->ListBackends(ListBackendsRequest{});
+  if (!backends.ok()) return Fail(backends.status());
+  if (int rc = CheckResponse(*backends)) return rc;
+  std::printf("evaluation backends:\n");
+  for (const EvalBackendCapability& b : backends->backends) {
+    PrintBackendLine(stdout, b.name, b.summary, b.vectorized,
+                     b.deterministic, b.preferred_batch);
+  }
   return 0;
 }
 
@@ -635,6 +691,8 @@ int CmdRemoteEvaluate(const Args& args) {
   }
   EvaluateRequest req;
   req.artifact = name;
+  req.eval_backend = args.Get("eval-backend", "");
+  if (!ValidateEvalBackend(req.eval_backend, "remote-evaluate")) return 2;
   for (const std::string& assignment : args.sets) {
     size_t eq = assignment.find('=');
     if (eq == std::string::npos) {
@@ -739,14 +797,15 @@ const Command kCommands[] = {
     {"compress", CmdCompress, {"in", "forest", "bound", "algo", "vvs-out",
                                "out"}},
     {"tradeoff", CmdTradeoff, {"in", "forest"}},
-    {"evaluate", CmdEvaluate, {"in", "set"}},
+    {"evaluate", CmdEvaluate, {"in", "set", "eval-backend"}},
     {"remote-load", CmdRemoteLoad, {"host", "port", "name", "in", "forest",
                                     "forest-name"}},
     {"remote-info", CmdRemoteInfo, {"host", "port", "name"}},
     {"remote-compress", CmdRemoteCompress, {"host", "port", "name", "bound",
                                             "algo", "forest-name"}},
     {"remote-evaluate", CmdRemoteEvaluate, {"host", "port", "name", "set",
-                                            "bound", "algo", "forest-name"}},
+                                            "bound", "algo", "forest-name",
+                                            "eval-backend"}},
     {"remote-tradeoff", CmdRemoteTradeoff, {"host", "port", "name",
                                             "forest-name"}},
     {"remote-shutdown", CmdRemoteShutdown, {"host", "port"}},
