@@ -61,21 +61,6 @@ Valuation MakeScenario(const Workload& w, uint64_t seed) {
   return val;
 }
 
-/// CPU model string, so smoke thresholds only apply on the machine the
-/// reference numbers were recorded on.
-std::string CpuModel() {
-  std::ifstream cpuinfo("/proc/cpuinfo");
-  std::string line;
-  while (std::getline(cpuinfo, line)) {
-    if (line.rfind("model name", 0) != 0) continue;
-    size_t colon = line.find(':');
-    if (colon == std::string::npos) break;
-    size_t start = line.find_first_not_of(" \t", colon + 1);
-    return start == std::string::npos ? "" : line.substr(start);
-  }
-  return "unknown";
-}
-
 /// The batched arm: the whole scenario batch through each registered
 /// backend in single EvaluateBatch calls, bit-checked against the naive
 /// results. `t_compiled` is the accumulated single-scenario compiled-loop

@@ -73,6 +73,13 @@ void Run(const std::vector<std::string>& algos) {
   std::printf("%-28s %14.5f %16.8f %9.0fx%s\n", "opt DP", cold_s, hit_s,
               hit_s > 0 ? cold_s / hit_s : 0.0,
               cold.ok() ? "" : " (error)");
+  // Machine-keyed stat lines for tools/bench_smoke.sh: on the machine
+  // BENCH_baseline.json was recorded on, the cached-compress ratio is
+  // thresholded — a cache hit collapsing to less than the recorded floor
+  // over the cold DP means the hot serving path regressed.
+  std::printf("MACHINEKEY cpu=%s\n", CpuModel().c_str());
+  std::printf("SRVSTAT metric=cached_compress ratio=%.1f\n",
+              hit_s > 0 ? cold_s / hit_s : 0.0);
 
   // (2) Evaluation: per-request serial loop vs batched concurrent clients.
   const int kClients = 8;

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -143,6 +144,22 @@ inline std::vector<Workload> StandardWorkloads() {
   all.push_back(MakeTpchWorkload(TpchQuery::kQ1, "tpch-q1"));
   all.push_back(MakeTelephonyWorkload());
   return all;
+}
+
+/// CPU model string from /proc/cpuinfo — the MACHINEKEY the smoke script
+/// matches against the BENCH_*.json reference files, so perf thresholds
+/// only apply on the machine the reference numbers were recorded on.
+inline std::string CpuModel() {
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    if (line.rfind("model name", 0) != 0) continue;
+    size_t colon = line.find(':');
+    if (colon == std::string::npos) break;
+    size_t start = line.find_first_not_of(" \t", colon + 1);
+    return start == std::string::npos ? "" : line.substr(start);
+  }
+  return "unknown";
 }
 
 /// Prints a separator + figure/table header.

@@ -61,6 +61,15 @@ DenseValuation CompiledPolynomialSet::MaterializeValuation(
   return dense;
 }
 
+DenseValuation CompiledPolynomialSet::MaterializeSlots(
+    std::vector<double> values) const {
+  PROVABS_CHECK(values.size() == slot_vars_.size());
+  DenseValuation dense;
+  dense.source_fingerprint_ = fingerprint_;
+  dense.values_ = std::move(values);
+  return dense;
+}
+
 std::vector<double> CompiledPolynomialSet::EvaluateAll(
     const DenseValuation& dense) const {
   // A valuation materialized against a different compiled form (a mutated

@@ -124,6 +124,14 @@ class CompiledPolynomialSet {
   /// ignored — exactly the naive path's behaviour.
   DenseValuation MaterializeValuation(const Valuation& valuation) const;
 
+  /// Builds a DenseValuation directly from a per-slot value array (entry i
+  /// is the value of slot_variables()[i]) — the batch-expansion entry point
+  /// for generated scenario families (scenario/program.h), which produce
+  /// slot-ordered values natively and should not pay a hash probe per
+  /// variable. Checks (aborts) that `values` has exactly slot_count()
+  /// entries.
+  DenseValuation MaterializeSlots(std::vector<double> values) const;
+
   /// Evaluates polynomial `p` under `dense`; bitwise identical to
   /// `Valuation::Evaluate` on the source polynomial.
   double EvaluateOne(size_t p, const DenseValuation& dense) const {

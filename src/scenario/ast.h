@@ -1,0 +1,97 @@
+#ifndef PROVABS_SCENARIO_AST_H_
+#define PROVABS_SCENARIO_AST_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace provabs::scenario {
+
+/// AST of one parsed scenario program (parser.h). Every node carries the
+/// byte offset of its head token so semantic analysis (program.h) can report
+/// type and resolution errors with source positions, same as parse errors.
+///
+/// The language has two value types, numbers and booleans; which
+/// expressions produce which is checked during analysis, not here.
+
+enum class BinaryOp {
+  kAdd,  ///< number x number -> number
+  kSub,
+  kMul,
+  kDiv,
+  kLt,   ///< number x number -> bool
+  kLe,
+  kGt,
+  kGe,
+  kEq,
+  kNe,
+  kAnd,  ///< bool x bool -> bool
+  kOr,
+};
+
+enum class ExprKind {
+  kNumber,  ///< literal
+  kParam,   ///< reference to a LET-declared scenario parameter
+  kNeg,     ///< unary minus (operand in `a`)
+  kNot,     ///< logical NOT (operand in `a`)
+  kBinary,  ///< `op` over `a`, `b`
+  kIf,      ///< IF `a` THEN `b` ELSE `c`
+};
+
+struct Expr {
+  ExprKind kind = ExprKind::kNumber;
+  size_t offset = 0;
+  double number = 0.0;     ///< kNumber
+  std::string param;       ///< kParam: identifier spelling
+  BinaryOp op = BinaryOp::kAdd;  ///< kBinary
+  std::unique_ptr<Expr> a, b, c;
+};
+
+/// Which variables a SET rule assigns. Names may be quoted strings or bare
+/// identifiers (quoting is only needed for names that collide with keywords
+/// or contain characters the lexer would split).
+enum class SelectorKind {
+  kAll,     ///< `*` — every variable
+  kExact,   ///< one variable by name
+  kPrefix,  ///< PREFIX('p') — every variable whose name starts with p
+  kSet,     ///< IN('a', 'b', ...) — explicit membership list
+};
+
+struct Selector {
+  SelectorKind kind = SelectorKind::kAll;
+  size_t offset = 0;
+  std::vector<std::string> names;  ///< kExact/kPrefix: one entry; kSet: >= 1.
+};
+
+/// Domain of one LET-declared scenario parameter. A sweep enumerates
+/// lo, lo + step, lo + 2*step, ... up to hi inclusive (each value computed
+/// as lo + i*step, never by accumulation, so expansion order cannot drift);
+/// a grid lists its values explicitly.
+enum class DomainKind { kSweep, kGrid };
+
+struct ParamDecl {
+  std::string name;
+  size_t offset = 0;
+  DomainKind kind = DomainKind::kSweep;
+  double lo = 0.0, hi = 0.0, step = 0.0;  ///< kSweep
+  std::vector<double> values;             ///< kGrid
+};
+
+struct Rule {
+  Selector selector;
+  std::unique_ptr<Expr> value;  ///< must type-check to number
+  size_t offset = 0;
+};
+
+/// A program is parameter declarations plus an ordered rule list. Rules are
+/// first-match-wins per variable; variables no rule matches default to 1.0
+/// (the provenance-neutral value, matching MaterializeValuation).
+struct ProgramAst {
+  std::vector<ParamDecl> params;
+  std::vector<Rule> rules;
+};
+
+}  // namespace provabs::scenario
+
+#endif  // PROVABS_SCENARIO_AST_H_

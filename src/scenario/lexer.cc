@@ -1,0 +1,176 @@
+#include "scenario/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_set>
+
+namespace provabs::scenario {
+
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const auto* keywords = new std::unordered_set<std::string>{
+      "LET", "SET",  "SWEEP", "GRID", "PREFIX", "IN",
+      "IF",  "THEN", "ELSE",  "AND",  "OR",     "NOT",
+      "STEP"};
+  return *keywords;
+}
+
+std::string ToUpper(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) out.push_back(static_cast<char>(std::toupper(c)));
+  return out;
+}
+
+}  // namespace
+
+StatusOr<std::vector<Token>> Tokenize(std::string_view input,
+                                      size_t* error_offset) {
+  auto fail = [&](size_t offset, std::string message) -> Status {
+    if (error_offset != nullptr) *error_offset = offset;
+    return Status::InvalidArgument(std::move(message) + " at offset " +
+                                   std::to_string(offset));
+  };
+  std::vector<Token> tokens;
+  size_t i = 0;
+  while (i < input.size()) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#') {  // Comment to end of line.
+      while (i < input.size() && input[i] != '\n') ++i;
+      continue;
+    }
+    Token token;
+    token.offset = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < input.size() &&
+             (std::isalnum(static_cast<unsigned char>(input[i])) ||
+              input[i] == '_')) {
+        ++i;
+      }
+      std::string word(input.substr(start, i - start));
+      std::string upper = ToUpper(word);
+      if (Keywords().count(upper) > 0) {
+        token.kind = TokenKind::kKeyword;
+        token.text = upper;
+      } else {
+        token.kind = TokenKind::kIdentifier;
+        token.text = word;
+      }
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '.' && i + 1 < input.size() &&
+                std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      size_t start = i;
+      // A '.' ends the number when it starts a `..` range token, so
+      // "0.1..1.0" lexes as NUMBER DOTDOT NUMBER.
+      while (i < input.size() &&
+             (std::isdigit(static_cast<unsigned char>(input[i])) ||
+              (input[i] == '.' &&
+               !(i + 1 < input.size() && input[i + 1] == '.')))) {
+        ++i;
+      }
+      token.kind = TokenKind::kNumber;
+      token.text = std::string(input.substr(start, i - start));
+      token.number = std::atof(token.text.c_str());
+    } else if (c == '\'') {
+      size_t start = ++i;
+      while (i < input.size() && input[i] != '\'') ++i;
+      if (i == input.size()) {
+        return fail(token.offset, "unterminated string literal");
+      }
+      token.kind = TokenKind::kString;
+      token.text = std::string(input.substr(start, i - start));
+      ++i;  // Closing quote.
+    } else if (c == '=') {
+      if (i + 1 < input.size() && input[i + 1] == '=') {
+        token.kind = TokenKind::kEq;
+        token.text = "==";
+        i += 2;
+      } else {
+        token.kind = TokenKind::kAssign;
+        token.text = "=";
+        ++i;
+      }
+    } else if (c == '!') {
+      if (i + 1 < input.size() && input[i + 1] == '=') {
+        token.kind = TokenKind::kNe;
+        token.text = "!=";
+        i += 2;
+      } else {
+        return fail(i, "unexpected character '!' (use NOT for negation)");
+      }
+    } else if (c == '<') {
+      if (i + 1 < input.size() && input[i + 1] == '=') {
+        token.kind = TokenKind::kLe;
+        token.text = "<=";
+        i += 2;
+      } else {
+        token.kind = TokenKind::kLt;
+        token.text = "<";
+        ++i;
+      }
+    } else if (c == '>') {
+      if (i + 1 < input.size() && input[i + 1] == '=') {
+        token.kind = TokenKind::kGe;
+        token.text = ">=";
+        i += 2;
+      } else {
+        token.kind = TokenKind::kGt;
+        token.text = ">";
+        ++i;
+      }
+    } else if (c == '.') {
+      if (i + 1 < input.size() && input[i + 1] == '.') {
+        token.kind = TokenKind::kDotDot;
+        token.text = "..";
+        i += 2;
+      } else {
+        return fail(i, "unexpected character '.'");
+      }
+    } else {
+      switch (c) {
+        case ',':
+          token.kind = TokenKind::kComma;
+          break;
+        case ';':
+          token.kind = TokenKind::kSemicolon;
+          break;
+        case '*':
+          token.kind = TokenKind::kStar;
+          break;
+        case '+':
+          token.kind = TokenKind::kPlus;
+          break;
+        case '-':
+          token.kind = TokenKind::kMinus;
+          break;
+        case '/':
+          token.kind = TokenKind::kSlash;
+          break;
+        case '(':
+          token.kind = TokenKind::kLParen;
+          break;
+        case ')':
+          token.kind = TokenKind::kRParen;
+          break;
+        default:
+          return fail(i, std::string("unexpected character '") + c + "'");
+      }
+      token.text = std::string(1, c);
+      ++i;
+    }
+    tokens.push_back(std::move(token));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = input.size();
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace provabs::scenario

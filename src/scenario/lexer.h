@@ -1,0 +1,56 @@
+#ifndef PROVABS_SCENARIO_LEXER_H_
+#define PROVABS_SCENARIO_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace provabs::scenario {
+
+/// Token kinds of the scenario expression language (see parser.h for the
+/// grammar). The shape follows sql::TokenKind — byte offsets on every token
+/// so parse and analysis errors can point at the exact source position.
+enum class TokenKind {
+  kIdentifier,   ///< parameter / variable names
+  kNumber,       ///< numeric literal
+  kString,       ///< 'single-quoted' variable name or prefix pattern
+  kKeyword,      ///< LET SET SWEEP GRID PREFIX IN IF THEN ELSE AND OR NOT STEP
+  kComma,
+  kSemicolon,
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kAssign,       ///< =
+  kEq,           ///< ==
+  kNe,           ///< !=
+  kLt,           ///< <
+  kLe,           ///< <=
+  kGt,           ///< >
+  kGe,           ///< >=
+  kLParen,
+  kRParen,
+  kDotDot,       ///< .. (sweep range)
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;    ///< Identifier/keyword (upper-cased for keywords) or
+                       ///< literal spelling.
+  double number = 0.0; ///< kNumber only.
+  size_t offset = 0;   ///< Byte offset in the input (for error messages).
+};
+
+/// Tokenizes `input`. Keywords are recognized case-insensitively. Returns
+/// kInvalidArgument (with a byte offset in the message) for unterminated
+/// strings or unexpected characters; when `error_offset` is non-null it
+/// also receives the offset, for caret diagnostics.
+StatusOr<std::vector<Token>> Tokenize(std::string_view input,
+                                      size_t* error_offset = nullptr);
+
+}  // namespace provabs::scenario
+
+#endif  // PROVABS_SCENARIO_LEXER_H_

@@ -1,0 +1,410 @@
+#include "scenario/parser.h"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "scenario/lexer.h"
+
+namespace provabs::scenario {
+
+namespace {
+
+// Parenthesis/IF nesting is recursive descent; bound the depth so a hostile
+// "((((..." input returns a Status instead of overflowing the stack.
+constexpr int kMaxExprDepth = 200;
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, size_t* error_offset)
+      : tokens_(std::move(tokens)), error_offset_(error_offset) {}
+
+  StatusOr<ProgramAst> ParseProgram() {
+    ProgramAst program;
+    while (Accept(TokenKind::kSemicolon)) {
+    }
+    if (Peek().kind == TokenKind::kEnd) {
+      return Error("empty program");
+    }
+    for (;;) {
+      if (AcceptKeyword("LET")) {
+        auto decl = ParseLet();
+        if (!decl.ok()) return decl.status();
+        program.params.push_back(std::move(*decl));
+      } else if (AcceptKeyword("SET")) {
+        auto rule = ParseSet();
+        if (!rule.ok()) return rule.status();
+        program.rules.push_back(std::move(*rule));
+      } else {
+        return Error("expected LET or SET");
+      }
+      bool saw_semicolon = false;
+      while (Accept(TokenKind::kSemicolon)) saw_semicolon = true;
+      if (Peek().kind == TokenKind::kEnd) break;
+      if (!saw_semicolon) return Error("expected ';'");
+    }
+    return program;
+  }
+
+ private:
+  // `tokens_` always ends with a kEnd sentinel; Next() refuses to advance
+  // past it, so no production can overread the stream.
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Next() {
+    const Token& token = tokens_[pos_];
+    if (token.kind != TokenKind::kEnd) ++pos_;
+    return token;
+  }
+
+  bool Accept(TokenKind kind) {
+    if (Peek().kind != kind) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool PeekKeyword(const char* kw) const {
+    return Peek().kind == TokenKind::kKeyword && Peek().text == kw;
+  }
+
+  bool AcceptKeyword(const char* kw) {
+    if (!PeekKeyword(kw)) return false;
+    ++pos_;
+    return true;
+  }
+
+  Status ExpectKeyword(const char* kw) {
+    if (!AcceptKeyword(kw)) {
+      return Error(std::string("expected ") + kw);
+    }
+    return Status::OK();
+  }
+
+  Status Expect(TokenKind kind, const char* what) {
+    if (!Accept(kind)) {
+      return Error(std::string("expected ") + what);
+    }
+    return Status::OK();
+  }
+
+  Status Error(const std::string& message) {
+    if (error_offset_ != nullptr) *error_offset_ = Peek().offset;
+    return Status::InvalidArgument(message + " at offset " +
+                                   std::to_string(Peek().offset));
+  }
+
+  // let := LET IDENT '=' (SWEEP '(' signed '..' signed STEP signed ')'
+  //                      | GRID '(' signed (',' signed)* ')')
+  StatusOr<ParamDecl> ParseLet() {
+    ParamDecl decl;
+    decl.offset = Peek().offset;
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Error("expected parameter name");
+    }
+    decl.name = Next().text;
+    if (Status s = Expect(TokenKind::kAssign, "'='"); !s.ok()) return s;
+    if (AcceptKeyword("SWEEP")) {
+      decl.kind = DomainKind::kSweep;
+      if (Status s = Expect(TokenKind::kLParen, "'('"); !s.ok()) return s;
+      auto lo = ParseSignedNumber();
+      if (!lo.ok()) return lo.status();
+      decl.lo = *lo;
+      if (Status s = Expect(TokenKind::kDotDot, "'..'"); !s.ok()) return s;
+      auto hi = ParseSignedNumber();
+      if (!hi.ok()) return hi.status();
+      decl.hi = *hi;
+      if (Status s = ExpectKeyword("STEP"); !s.ok()) return s;
+      auto step = ParseSignedNumber();
+      if (!step.ok()) return step.status();
+      decl.step = *step;
+      if (Status s = Expect(TokenKind::kRParen, "')'"); !s.ok()) return s;
+    } else if (AcceptKeyword("GRID")) {
+      decl.kind = DomainKind::kGrid;
+      if (Status s = Expect(TokenKind::kLParen, "'('"); !s.ok()) return s;
+      for (;;) {
+        auto value = ParseSignedNumber();
+        if (!value.ok()) return value.status();
+        decl.values.push_back(*value);
+        if (!Accept(TokenKind::kComma)) break;
+      }
+      if (Status s = Expect(TokenKind::kRParen, "')'"); !s.ok()) return s;
+    } else {
+      return Error("expected SWEEP or GRID");
+    }
+    return decl;
+  }
+
+  // set := SET selector '=' expr
+  StatusOr<Rule> ParseSet() {
+    Rule rule;
+    rule.offset = Peek().offset;
+    auto selector = ParseSelector();
+    if (!selector.ok()) return selector.status();
+    rule.selector = std::move(*selector);
+    if (Status s = Expect(TokenKind::kAssign, "'='"); !s.ok()) return s;
+    auto value = ParseExpr(0);
+    if (!value.ok()) return value.status();
+    rule.value = std::move(*value);
+    return rule;
+  }
+
+  StatusOr<Selector> ParseSelector() {
+    Selector selector;
+    selector.offset = Peek().offset;
+    if (Accept(TokenKind::kStar)) {
+      selector.kind = SelectorKind::kAll;
+      return selector;
+    }
+    if (AcceptKeyword("PREFIX")) {
+      selector.kind = SelectorKind::kPrefix;
+      if (Status s = Expect(TokenKind::kLParen, "'('"); !s.ok()) return s;
+      auto name = ParseName();
+      if (!name.ok()) return name.status();
+      selector.names.push_back(std::move(*name));
+      if (Status s = Expect(TokenKind::kRParen, "')'"); !s.ok()) return s;
+      return selector;
+    }
+    if (AcceptKeyword("IN")) {
+      selector.kind = SelectorKind::kSet;
+      if (Status s = Expect(TokenKind::kLParen, "'('"); !s.ok()) return s;
+      for (;;) {
+        auto name = ParseName();
+        if (!name.ok()) return name.status();
+        selector.names.push_back(std::move(*name));
+        if (!Accept(TokenKind::kComma)) break;
+      }
+      if (Status s = Expect(TokenKind::kRParen, "')'"); !s.ok()) return s;
+      return selector;
+    }
+    if (Peek().kind == TokenKind::kIdentifier ||
+        Peek().kind == TokenKind::kString) {
+      selector.kind = SelectorKind::kExact;
+      selector.names.push_back(Next().text);
+      return selector;
+    }
+    return Error("expected '*', PREFIX(...), IN(...), or a variable name");
+  }
+
+  StatusOr<std::string> ParseName() {
+    if (Peek().kind == TokenKind::kIdentifier ||
+        Peek().kind == TokenKind::kString) {
+      return Next().text;
+    }
+    return Error("expected a variable name");
+  }
+
+  StatusOr<double> ParseSignedNumber() {
+    bool negative = Accept(TokenKind::kMinus);
+    if (Peek().kind != TokenKind::kNumber) {
+      return Error("expected a number");
+    }
+    double value = Next().number;
+    return negative ? -value : value;
+  }
+
+  StatusOr<std::unique_ptr<Expr>> ParseExpr(int depth) {
+    if (depth > kMaxExprDepth) {
+      return Error("expression too deeply nested");
+    }
+    if (PeekKeyword("IF")) {
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kIf;
+      node->offset = Next().offset;
+      auto cond = ParseExpr(depth + 1);
+      if (!cond.ok()) return cond.status();
+      node->a = std::move(*cond);
+      if (Status s = ExpectKeyword("THEN"); !s.ok()) return s;
+      auto then_expr = ParseExpr(depth + 1);
+      if (!then_expr.ok()) return then_expr.status();
+      node->b = std::move(*then_expr);
+      if (Status s = ExpectKeyword("ELSE"); !s.ok()) return s;
+      auto else_expr = ParseExpr(depth + 1);
+      if (!else_expr.ok()) return else_expr.status();
+      node->c = std::move(*else_expr);
+      return node;
+    }
+    return ParseOr(depth);
+  }
+
+  StatusOr<std::unique_ptr<Expr>> ParseOr(int depth) {
+    auto lhs = ParseAnd(depth);
+    if (!lhs.ok()) return lhs;
+    while (PeekKeyword("OR")) {
+      size_t offset = Next().offset;
+      auto rhs = ParseAnd(depth);
+      if (!rhs.ok()) return rhs;
+      lhs = MakeBinary(BinaryOp::kOr, offset, std::move(*lhs), std::move(*rhs));
+    }
+    return lhs;
+  }
+
+  StatusOr<std::unique_ptr<Expr>> ParseAnd(int depth) {
+    auto lhs = ParseNot(depth);
+    if (!lhs.ok()) return lhs;
+    while (PeekKeyword("AND")) {
+      size_t offset = Next().offset;
+      auto rhs = ParseNot(depth);
+      if (!rhs.ok()) return rhs;
+      lhs =
+          MakeBinary(BinaryOp::kAnd, offset, std::move(*lhs), std::move(*rhs));
+    }
+    return lhs;
+  }
+
+  StatusOr<std::unique_ptr<Expr>> ParseNot(int depth) {
+    if (depth > kMaxExprDepth) {
+      return Error("expression too deeply nested");
+    }
+    if (PeekKeyword("NOT")) {
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kNot;
+      node->offset = Next().offset;
+      auto operand = ParseNot(depth + 1);
+      if (!operand.ok()) return operand;
+      node->a = std::move(*operand);
+      return node;
+    }
+    return ParseCmp(depth);
+  }
+
+  StatusOr<std::unique_ptr<Expr>> ParseCmp(int depth) {
+    auto lhs = ParseAdd(depth);
+    if (!lhs.ok()) return lhs;
+    BinaryOp op;
+    switch (Peek().kind) {
+      case TokenKind::kEq: op = BinaryOp::kEq; break;
+      case TokenKind::kNe: op = BinaryOp::kNe; break;
+      case TokenKind::kLt: op = BinaryOp::kLt; break;
+      case TokenKind::kLe: op = BinaryOp::kLe; break;
+      case TokenKind::kGt: op = BinaryOp::kGt; break;
+      case TokenKind::kGe: op = BinaryOp::kGe; break;
+      default: return lhs;
+    }
+    size_t offset = Next().offset;
+    auto rhs = ParseAdd(depth);
+    if (!rhs.ok()) return rhs;
+    return MakeBinary(op, offset, std::move(*lhs), std::move(*rhs));
+  }
+
+  StatusOr<std::unique_ptr<Expr>> ParseAdd(int depth) {
+    auto lhs = ParseMul(depth);
+    if (!lhs.ok()) return lhs;
+    for (;;) {
+      BinaryOp op;
+      if (Peek().kind == TokenKind::kPlus) {
+        op = BinaryOp::kAdd;
+      } else if (Peek().kind == TokenKind::kMinus) {
+        op = BinaryOp::kSub;
+      } else {
+        return lhs;
+      }
+      size_t offset = Next().offset;
+      auto rhs = ParseMul(depth);
+      if (!rhs.ok()) return rhs;
+      lhs = MakeBinary(op, offset, std::move(*lhs), std::move(*rhs));
+    }
+  }
+
+  StatusOr<std::unique_ptr<Expr>> ParseMul(int depth) {
+    auto lhs = ParseUnary(depth);
+    if (!lhs.ok()) return lhs;
+    for (;;) {
+      BinaryOp op;
+      if (Peek().kind == TokenKind::kStar) {
+        op = BinaryOp::kMul;
+      } else if (Peek().kind == TokenKind::kSlash) {
+        op = BinaryOp::kDiv;
+      } else {
+        return lhs;
+      }
+      size_t offset = Next().offset;
+      auto rhs = ParseUnary(depth);
+      if (!rhs.ok()) return rhs;
+      lhs = MakeBinary(op, offset, std::move(*lhs), std::move(*rhs));
+    }
+  }
+
+  StatusOr<std::unique_ptr<Expr>> ParseUnary(int depth) {
+    if (depth > kMaxExprDepth) {
+      return Error("expression too deeply nested");
+    }
+    if (Peek().kind == TokenKind::kMinus) {
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kNeg;
+      node->offset = Next().offset;
+      auto operand = ParseUnary(depth + 1);
+      if (!operand.ok()) return operand;
+      node->a = std::move(*operand);
+      return node;
+    }
+    if (Peek().kind == TokenKind::kNumber) {
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kNumber;
+      node->offset = Peek().offset;
+      node->number = Next().number;
+      return node;
+    }
+    if (Peek().kind == TokenKind::kIdentifier) {
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kParam;
+      node->offset = Peek().offset;
+      node->param = Next().text;
+      return node;
+    }
+    if (Accept(TokenKind::kLParen)) {
+      auto inner = ParseExpr(depth + 1);
+      if (!inner.ok()) return inner;
+      if (Status s = Expect(TokenKind::kRParen, "')'"); !s.ok()) return s;
+      return inner;
+    }
+    return Error("expected a number, parameter, or '('");
+  }
+
+  static std::unique_ptr<Expr> MakeBinary(BinaryOp op, size_t offset,
+                                          std::unique_ptr<Expr> a,
+                                          std::unique_ptr<Expr> b) {
+    auto node = std::make_unique<Expr>();
+    node->kind = ExprKind::kBinary;
+    node->op = op;
+    node->offset = offset;
+    node->a = std::move(a);
+    node->b = std::move(b);
+    return node;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  size_t* error_offset_ = nullptr;
+};
+
+}  // namespace
+
+StatusOr<ProgramAst> Parse(std::string_view source, size_t* error_offset) {
+  auto tokens = Tokenize(source, error_offset);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(*tokens), error_offset);
+  return parser.ParseProgram();
+}
+
+std::string CaretDiagnostic(std::string_view source, size_t offset) {
+  if (offset > source.size()) offset = source.size();
+  size_t line_start = 0;
+  size_t line_no = 1;
+  for (size_t i = 0; i < offset; ++i) {
+    if (source[i] == '\n') {
+      line_start = i + 1;
+      ++line_no;
+    }
+  }
+  size_t line_end = source.find('\n', line_start);
+  if (line_end == std::string_view::npos) line_end = source.size();
+  const size_t column = offset - line_start;
+  std::string out = "line " + std::to_string(line_no) + ", column " +
+                    std::to_string(column + 1) + ":\n  ";
+  out.append(source.substr(line_start, line_end - line_start));
+  out.append("\n  ");
+  out.append(column, ' ');
+  out.push_back('^');
+  return out;
+}
+
+}  // namespace provabs::scenario

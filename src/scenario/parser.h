@@ -1,0 +1,52 @@
+#ifndef PROVABS_SCENARIO_PARSER_H_
+#define PROVABS_SCENARIO_PARSER_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "common/statusor.h"
+#include "scenario/ast.h"
+
+namespace provabs::scenario {
+
+/// Recursive-descent parser for the scenario expression language.
+///
+///   program   := stmt (';' stmt)* [';']
+///   stmt      := 'LET' IDENT '=' domain
+///              | 'SET' selector '=' expr
+///   domain    := 'SWEEP' '(' signed '..' signed 'STEP' signed ')'
+///              | 'GRID' '(' signed (',' signed)* ')'
+///   signed    := ['-'] NUMBER
+///   selector  := '*' | name | 'PREFIX' '(' name ')'
+///              | 'IN' '(' name (',' name)* ')'
+///   name      := IDENT | STRING
+///   expr      := 'IF' expr 'THEN' expr 'ELSE' expr | or_expr
+///   or_expr   := and_expr ('OR' and_expr)*
+///   and_expr  := not_expr ('AND' not_expr)*
+///   not_expr  := 'NOT' not_expr | cmp_expr
+///   cmp_expr  := add_expr (('=='|'!='|'<'|'<='|'>'|'>=') add_expr)?
+///   add_expr  := mul_expr (('+'|'-') mul_expr)*
+///   mul_expr  := unary (('*'|'/') unary)*
+///   unary     := '-' unary | NUMBER | IDENT | '(' expr ')'
+///
+/// Keywords are case-insensitive; `#` starts a comment to end of line.
+/// Example (the paper's telephony what-if, a 10-scenario sweep):
+///
+///   LET d = SWEEP(0.1 .. 1.0 STEP 0.1);
+///   SET PREFIX('supplier_x_') = d;
+///   SET * = 1.0
+///
+/// On failure the returned Status is kInvalidArgument with the byte offset
+/// in the message; when `error_offset` is non-null it also receives the
+/// offset, so callers (provabs_cli) can render a caret diagnostic.
+StatusOr<ProgramAst> Parse(std::string_view source,
+                           size_t* error_offset = nullptr);
+
+/// Renders a two-line caret diagnostic for an error at byte `offset` of
+/// `source`: the offending source line, then a '^' under the column.
+std::string CaretDiagnostic(std::string_view source, size_t offset);
+
+}  // namespace provabs::scenario
+
+#endif  // PROVABS_SCENARIO_PARSER_H_

@@ -68,6 +68,28 @@ std::string ArtifactStore::ResultSlotKey(const ResultKey& key) {
   return std::move(w).Release();
 }
 
+std::string ArtifactStore::ProgramSlotKey(const ProgramKey& key) {
+  ByteWriter w;
+  w.PutU8('p');
+  w.PutString(key.artifact);
+  w.PutVarint(key.generation);
+  w.PutU8(key.compressed ? 1 : 0);
+  w.PutString(key.forest);
+  w.PutVarint(key.bound);
+  w.PutString(key.algo);
+  w.PutVarint(key.source_hash);
+  return std::move(w).Release();
+}
+
+uint64_t ArtifactStore::HashProgramSource(std::string_view source) {
+  uint64_t hash = 14695981039346656037ull;  // FNV-1a 64
+  for (char c : source) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
 ArtifactStore::Shard& ArtifactStore::ShardFor(const std::string& slot_key) {
   return shards_[std::hash<std::string>{}(slot_key) % shards_.size()];
 }
@@ -172,6 +194,35 @@ ArtifactStore::InsertResult(const ResultKey& key, CompressedResult result) {
   return InsertResultSlot(ResultSlotKey(key), std::move(result));
 }
 
+std::shared_ptr<const scenario::ScenarioProgram> ArtifactStore::LookupProgram(
+    const ProgramKey& key) {
+  const std::string slot_key = ProgramSlotKey(key);
+  Shard& shard = ShardFor(slot_key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.slots.find(slot_key);
+  if (it == shard.slots.end()) {
+    program_misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  program_hits_.fetch_add(1, std::memory_order_relaxed);
+  Touch(shard, it);
+  return it->second.program;
+}
+
+std::shared_ptr<const scenario::ScenarioProgram> ArtifactStore::InsertProgram(
+    const ProgramKey& key, scenario::ScenarioProgram program) {
+  auto shared =
+      std::make_shared<const scenario::ScenarioProgram>(std::move(program));
+  const std::string slot_key = ProgramSlotKey(key);
+  Shard& shard = ShardFor(slot_key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  Slot slot;
+  slot.program = shared;
+  slot.bytes = shared->ApproxBytes();
+  InsertSlot(shard, slot_key, std::move(slot));
+  return shared;
+}
+
 StatusOr<std::shared_ptr<const ArtifactStore::CompressedResult>>
 ArtifactStore::GetOrCompute(const ResultKey& key,
                             const ResultComputeFn& compute,
@@ -213,6 +264,9 @@ ArtifactStore::Stats ArtifactStore::stats() const {
   Stats stats;
   stats.artifact_count = artifact_count_.load(std::memory_order_relaxed);
   stats.result_count = result_count_.load(std::memory_order_relaxed);
+  stats.program_count = program_count_.load(std::memory_order_relaxed);
+  stats.program_hits = program_hits_.load(std::memory_order_relaxed);
+  stats.program_misses = program_misses_.load(std::memory_order_relaxed);
   stats.cached_bytes = used_bytes_total_.load(std::memory_order_relaxed);
   stats.byte_budget = byte_budget_;
   stats.result_hits = result_hits_.load(std::memory_order_relaxed);
@@ -229,6 +283,12 @@ void ArtifactStore::Touch(
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
 }
 
+std::atomic<uint64_t>& ArtifactStore::CountFor(const Slot& slot) {
+  if (slot.artifact != nullptr) return artifact_count_;
+  if (slot.program != nullptr) return program_count_;
+  return result_count_;
+}
+
 void ArtifactStore::InsertSlot(Shard& shard, const std::string& slot_key,
                                Slot slot) {
   auto it = shard.slots.find(slot_key);
@@ -236,8 +296,7 @@ void ArtifactStore::InsertSlot(Shard& shard, const std::string& slot_key,
     shard.used_bytes -= it->second.bytes;
     used_bytes_total_.fetch_sub(it->second.bytes,
                                 std::memory_order_relaxed);
-    (it->second.artifact != nullptr ? artifact_count_ : result_count_)
-        .fetch_sub(1, std::memory_order_relaxed);
+    CountFor(it->second).fetch_sub(1, std::memory_order_relaxed);
     shard.lru.erase(it->second.lru_it);
     shard.slots.erase(it);
   }
@@ -245,8 +304,7 @@ void ArtifactStore::InsertSlot(Shard& shard, const std::string& slot_key,
   slot.lru_it = shard.lru.begin();
   shard.used_bytes += slot.bytes;
   used_bytes_total_.fetch_add(slot.bytes, std::memory_order_relaxed);
-  (slot.artifact != nullptr ? artifact_count_ : result_count_)
-      .fetch_add(1, std::memory_order_relaxed);
+  CountFor(slot).fetch_add(1, std::memory_order_relaxed);
   shard.slots.emplace(slot_key, std::move(slot));
   EvictToBudget(shard);
 }
@@ -258,8 +316,7 @@ void ArtifactStore::EvictToBudget(Shard& shard) {
     shard.used_bytes -= it->second.bytes;
     used_bytes_total_.fetch_sub(it->second.bytes,
                                 std::memory_order_relaxed);
-    (it->second.artifact != nullptr ? artifact_count_ : result_count_)
-        .fetch_sub(1, std::memory_order_relaxed);
+    CountFor(it->second).fetch_sub(1, std::memory_order_relaxed);
     shard.slots.erase(it);
     shard.lru.pop_back();
     evictions_.fetch_add(1, std::memory_order_relaxed);

@@ -18,6 +18,7 @@
 #include "common/statusor.h"
 #include "core/polynomial_set.h"
 #include "core/variable.h"
+#include "scenario/program.h"
 #include "server/inflight_registry.h"
 
 namespace provabs {
@@ -169,9 +170,40 @@ class ArtifactStore {
       const ResultKey& key, const ResultComputeFn& compute,
       GetOrComputeInfo* info = nullptr);
 
+  /// Identity of one compiled scenario program: the target view it was
+  /// analyzed against (artifact + generation, and for compressed targets
+  /// the full compression key) plus a hash of the source text. A reload
+  /// bumps the generation and implicitly invalidates cached programs, the
+  /// same mechanism ResultKey uses.
+  struct ProgramKey {
+    std::string artifact;
+    uint64_t generation = 0;
+    bool compressed = false;
+    std::string forest;
+    uint64_t bound = 0;
+    std::string algo;
+    uint64_t source_hash = 0;
+  };
+
+  /// FNV-1a 64 of the program source, for ProgramKey::source_hash.
+  static uint64_t HashProgramSource(std::string_view source);
+
+  /// Cache lookup for a compiled scenario program; counts a program hit or
+  /// miss. nullptr on miss.
+  std::shared_ptr<const scenario::ScenarioProgram> LookupProgram(
+      const ProgramKey& key);
+
+  /// Caches a compiled program (last-writer-wins on racing identical keys).
+  /// Programs share the byte budget and LRU with artifacts and results —
+  /// they hold a shared_ptr to their compiled form, so an evicted or
+  /// reloaded artifact stays alive for any program still cached against it.
+  std::shared_ptr<const scenario::ScenarioProgram> InsertProgram(
+      const ProgramKey& key, scenario::ScenarioProgram program);
+
   struct Stats {
     uint64_t artifact_count = 0;
     uint64_t result_count = 0;
+    uint64_t program_count = 0;
     uint64_t cached_bytes = 0;
     uint64_t byte_budget = 0;
     uint64_t result_hits = 0;
@@ -179,6 +211,8 @@ class ArtifactStore {
     uint64_t evictions = 0;
     uint64_t dedup_hits = 0;        ///< Requests served by waiting (total).
     uint64_t inflight_waiters = 0;  ///< Requests blocked right now (gauge).
+    uint64_t program_hits = 0;
+    uint64_t program_misses = 0;
   };
   Stats stats() const;
 
@@ -186,11 +220,13 @@ class ArtifactStore {
   const InflightRegistry& inflight() const { return inflight_; }
 
  private:
-  /// Cache slots are keyed by a tag byte + encoded identity so artifact and
-  /// result entries share one map and one recency list per shard.
+  /// Cache slots are keyed by a tag byte + encoded identity so artifact,
+  /// result, and program entries share one map and one recency list per
+  /// shard.
   struct Slot {
-    std::shared_ptr<const Artifact> artifact;        // exactly one of these
-    std::shared_ptr<const CompressedResult> result;  // two is non-null
+    std::shared_ptr<const Artifact> artifact;  // exactly one of these
+    std::shared_ptr<const CompressedResult> result;  // three is non-null
+    std::shared_ptr<const scenario::ScenarioProgram> program;
     size_t bytes = 0;
     std::list<std::string>::iterator lru_it;
   };
@@ -206,8 +242,13 @@ class ArtifactStore {
 
   static std::string ArtifactSlotKey(const std::string& name);
   static std::string ResultSlotKey(const ResultKey& key);
+  static std::string ProgramSlotKey(const ProgramKey& key);
 
   Shard& ShardFor(const std::string& slot_key);
+
+  /// The per-kind count a slot contributes to (artifact_count_,
+  /// result_count_, or program_count_).
+  std::atomic<uint64_t>& CountFor(const Slot& slot);
 
   /// What the hit/miss counters should record for one lookup.
   /// GetOrCompute's post-claim re-check counts a hit (its response reports
@@ -255,6 +296,9 @@ class ArtifactStore {
   std::atomic<uint64_t> result_hits_{0};
   std::atomic<uint64_t> result_misses_{0};
   std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> program_count_{0};
+  std::atomic<uint64_t> program_hits_{0};
+  std::atomic<uint64_t> program_misses_{0};
 };
 
 }  // namespace provabs

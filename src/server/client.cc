@@ -4,6 +4,7 @@
 #include <cerrno>
 #include <cstring>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -31,6 +32,11 @@ StatusOr<Client> Client::Connect(const std::string& host, uint16_t port) {
     ::close(fd);
     return s;
   }
+  // The protocol is strict request/response with small frames; Nagle's
+  // algorithm interacting with delayed ACKs would add tens of milliseconds
+  // of idle stall to every round trip after the first.
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return Client(fd);
 }
 
@@ -69,6 +75,11 @@ StatusOr<Response> Client::Compress(const CompressRequest& req) {
 
 StatusOr<Response> Client::Evaluate(const EvaluateRequest& req) {
   return Call(EncodeEvaluateRequest(req));
+}
+
+StatusOr<Response> Client::EvaluateScenarioProgram(
+    const EvaluateScenarioProgramRequest& req) {
+  return Call(EncodeEvaluateScenarioProgramRequest(req));
 }
 
 StatusOr<Response> Client::Info(const InfoRequest& req) {

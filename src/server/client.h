@@ -31,6 +31,8 @@ class Client {
   StatusOr<Response> Load(const LoadRequest& req);
   StatusOr<Response> Compress(const CompressRequest& req);
   StatusOr<Response> Evaluate(const EvaluateRequest& req);
+  StatusOr<Response> EvaluateScenarioProgram(
+      const EvaluateScenarioProgramRequest& req);
   StatusOr<Response> Info(const InfoRequest& req);
   StatusOr<Response> Tradeoff(const TradeoffRequest& req);
   StatusOr<Response> Shutdown(const ShutdownRequest& req);

@@ -39,26 +39,79 @@ StatusOr<std::vector<double>> EvaluateBatcher::Evaluate(
       done_cv_.wait(lock, [&] { return item->done || !leader_active_; });
       continue;
     }
-    leader_active_ = true;
-    std::vector<std::shared_ptr<Pending>> batch = std::move(queue_);
-    queue_.clear();
-    ++stats_.batches;
-    stats_.max_batch = std::max<uint64_t>(stats_.max_batch, batch.size());
-    lock.unlock();
-
-    uint64_t groups = 0;
-    uint64_t backend_calls = 0;
-    RunBatch(batch, &groups, &backend_calls);
-
-    lock.lock();
-    stats_.groups += groups;
-    stats_.backend_calls += backend_calls;
-    for (const auto& done : batch) done->done = true;
-    leader_active_ = false;
-    done_cv_.notify_all();
+    LeadOneBatch(lock);
   }
   if (!item->status.ok()) return item->status;
   return std::move(item->out);
+}
+
+StatusOr<std::vector<std::vector<double>>> EvaluateBatcher::EvaluateDense(
+    std::shared_ptr<const PolynomialSet> polys,
+    std::shared_ptr<const CompiledPolynomialSet> compiled,
+    std::vector<DenseValuation> scenarios, const std::string& backend) {
+  if (compiled == nullptr) {
+    return Status::InvalidArgument("EvaluateDense needs a compiled form");
+  }
+  if (scenarios.empty()) return std::vector<std::vector<double>>{};
+  for (const DenseValuation& dense : scenarios) {
+    if (dense.source_fingerprint() != compiled->fingerprint()) {
+      return Status::InvalidArgument(
+          "scenario valuation was materialized against a different compiled "
+          "form (fingerprint mismatch)");
+    }
+  }
+  std::vector<std::shared_ptr<Pending>> items;
+  items.reserve(scenarios.size());
+  for (DenseValuation& dense : scenarios) {
+    auto item = std::make_shared<Pending>();
+    item->polys = polys;
+    item->compiled = compiled;
+    item->dense = std::move(dense);
+    item->backend = backend;
+    items.push_back(std::move(item));
+  }
+
+  // All items are published under one lock hold, so whichever leader next
+  // drains the queue takes the whole family as one lane group; waiting on
+  // the last item therefore waits for all of them.
+  Pending& last = *items.back();
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (auto& item : items) queue_.push_back(item);
+  stats_.requests += items.size();
+  while (!last.done) {
+    if (leader_active_) {
+      done_cv_.wait(lock, [&] { return last.done || !leader_active_; });
+      continue;
+    }
+    LeadOneBatch(lock);
+  }
+  std::vector<std::vector<double>> results;
+  results.reserve(items.size());
+  for (const auto& item : items) {
+    if (!item->status.ok()) return item->status;
+    results.push_back(std::move(item->out));
+  }
+  return results;
+}
+
+void EvaluateBatcher::LeadOneBatch(std::unique_lock<std::mutex>& lock) {
+  leader_active_ = true;
+  std::vector<std::shared_ptr<Pending>> batch = std::move(queue_);
+  queue_.clear();
+  ++stats_.batches;
+  stats_.max_batch = std::max<uint64_t>(stats_.max_batch, batch.size());
+  lock.unlock();
+
+  uint64_t groups = 0;
+  uint64_t backend_calls = 0;
+  RunBatch(batch, &groups, &backend_calls);
+
+  lock.lock();
+  stats_.groups += groups;
+  stats_.backend_calls += backend_calls;
+  for (const auto& done : batch) done->done = true;
+  leader_active_ = false;
+  done_cv_.notify_all();
 }
 
 void EvaluateBatcher::RunBatch(

@@ -70,6 +70,20 @@ class EvaluateBatcher {
       std::shared_ptr<const PolynomialSet> polys, Valuation val,
       const std::string& backend = "");
 
+  /// Evaluates every polynomial of `polys` under each of `scenarios` — the
+  /// scenario-program fan-out entry point (scenario/program.h expands
+  /// chunks of DenseValuations already stamped with `compiled`'s
+  /// fingerprint). The scenarios enter the queue as individual pending
+  /// items, so they form one full-width (compiled, backend) lane group and
+  /// coalesce with any concurrent Evaluate() traffic against the same
+  /// artifact. Returns one value vector per scenario, in order; counts as
+  /// scenarios.size() requests in stats(). Fails fast with
+  /// kInvalidArgument if any scenario carries a foreign fingerprint.
+  StatusOr<std::vector<std::vector<double>>> EvaluateDense(
+      std::shared_ptr<const PolynomialSet> polys,
+      std::shared_ptr<const CompiledPolynomialSet> compiled,
+      std::vector<DenseValuation> scenarios, const std::string& backend = "");
+
   struct Stats {
     uint64_t requests = 0;       ///< Evaluate() calls served.
     uint64_t batches = 0;        ///< Leader rounds run.
@@ -106,6 +120,12 @@ class EvaluateBatcher {
   /// leader to fold into stats_ under the lock.
   void RunBatch(const std::vector<std::shared_ptr<Pending>>& batch,
                 uint64_t* groups, uint64_t* backend_calls);
+
+  /// Claims leadership, drains the queue, and runs it as one batch.
+  /// Requires `lock` held on mutex_ and leader_active_ == false; returns
+  /// with the lock re-held, all drained items marked done, and waiters
+  /// notified.
+  void LeadOneBatch(std::unique_lock<std::mutex>& lock);
 
   ThreadPool& pool_;
   const EvaluationBackendRegistry* registry_;

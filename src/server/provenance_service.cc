@@ -1,10 +1,12 @@
 #include "server/provenance_service.h"
 
+#include <algorithm>
 #include <memory>
 #include <utility>
 
 #include "algo/compressor.h"
 #include "algo/tradeoff_curve.h"
+#include "scenario/program.h"
 
 namespace provabs {
 
@@ -23,7 +25,10 @@ ProvenanceService::ProvenanceService(const ServiceOptions& options)
                 ? options.eval_threads
                 : static_cast<size_t>(std::thread::hardware_concurrency())),
       batcher_(pool_),
-      compress_hook_(options.compress_hook) {}
+      compress_hook_(options.compress_hook),
+      max_scenarios_per_request_(options.max_scenarios_per_request),
+      scenario_chunk_(options.scenario_chunk != 0 ? options.scenario_chunk
+                                                  : 1024) {}
 
 void ProvenanceService::AttachStats(Response& resp) {
   ArtifactStore::Stats store_stats = store_.stats();
@@ -36,9 +41,14 @@ void ProvenanceService::AttachStats(Response& resp) {
   resp.stats.evictions = store_stats.evictions;
   resp.stats.dedup_hits = store_stats.dedup_hits;
   resp.stats.inflight_waiters = store_stats.inflight_waiters;
+  resp.stats.program_count = store_stats.program_count;
+  resp.stats.program_hits = store_stats.program_hits;
+  resp.stats.program_misses = store_stats.program_misses;
   EvaluateBatcher::Stats batch_stats = batcher_.stats();
   resp.stats.eval_batches = batch_stats.batches;
   resp.stats.eval_requests = batch_stats.requests;
+  resp.stats.eval_groups = batch_stats.groups;
+  resp.stats.eval_backend_calls = batch_stats.backend_calls;
 }
 
 Response ProvenanceService::Load(const LoadRequest& req) {
@@ -213,6 +223,169 @@ Response ProvenanceService::Evaluate(const EvaluateRequest& req) {
   return resp;
 }
 
+Response ProvenanceService::EvaluateScenarioProgram(
+    const EvaluateScenarioProgramRequest& req) {
+  Response resp;
+  resp.request_kind = MessageKind::kEvaluateScenarioProgramRequest;
+  std::shared_ptr<const Artifact> artifact = store_.Get(req.artifact);
+  if (artifact == nullptr) {
+    SetError(resp,
+             Status::NotFound("artifact '" + req.artifact + "' not loaded"));
+    AttachStats(resp);
+    return resp;
+  }
+  if (req.shape == ScenarioShape::kTopK && req.top_k == 0) {
+    SetError(resp, Status::InvalidArgument(
+                       "top_k must be at least 1 for the top-k shape"));
+    AttachStats(resp);
+    return resp;
+  }
+  if (!req.eval_backend.empty()) {
+    StatusOr<const EvaluationBackend*> backend =
+        EvaluationBackendRegistry::Default().Resolve(req.eval_backend);
+    if (!backend.ok()) {
+      SetError(resp, backend.status());
+      AttachStats(resp);
+      return resp;
+    }
+  }
+
+  // Resolve the target view exactly like Evaluate: plain polynomials, or
+  // the (single-flight, cached) compressed result.
+  std::shared_ptr<const PolynomialSet> target;
+  if (req.compressed) {
+    std::shared_ptr<const ArtifactStore::CompressedResult> result =
+        CompressInternal(artifact, req.artifact, req.forest, req.algo,
+                         req.bound, resp);
+    if (result == nullptr) {
+      AttachStats(resp);
+      return resp;
+    }
+    target = std::shared_ptr<const PolynomialSet>(result,
+                                                  &result->compressed);
+  } else {
+    target =
+        std::shared_ptr<const PolynomialSet>(artifact, &artifact->polys);
+  }
+
+  ArtifactStore::ProgramKey key;
+  key.artifact = req.artifact;
+  key.generation = artifact->generation;
+  key.compressed = req.compressed;
+  if (req.compressed) {
+    key.forest = req.forest;
+    key.bound = req.bound;
+    key.algo = req.algo;
+  }
+  key.source_hash = ArtifactStore::HashProgramSource(req.program);
+  std::shared_ptr<const scenario::ScenarioProgram> program =
+      store_.LookupProgram(key);
+  resp.program_cache_hit = program != nullptr;
+  if (program == nullptr) {
+    StatusOr<scenario::ScenarioProgram> compiled_program =
+        scenario::ScenarioProgram::Compile(req.program, target->Compiled(),
+                                           *artifact->vars);
+    if (!compiled_program.ok()) {
+      SetError(resp, compiled_program.status());
+      AttachStats(resp);
+      return resp;
+    }
+    program = store_.InsertProgram(key, std::move(*compiled_program));
+  }
+  const uint64_t total = program->scenario_count();
+  if (total > max_scenarios_per_request_) {
+    SetError(resp,
+             Status::InvalidArgument(
+                 "scenario program expands to " + std::to_string(total) +
+                 " scenarios, over the server limit of " +
+                 std::to_string(max_scenarios_per_request_)));
+    AttachStats(resp);
+    return resp;
+  }
+  resp.scenario_count = total;
+
+  // Evaluation runs against the compiled snapshot the program was analyzed
+  // with (program->compiled(), not target->Compiled()): a cached program
+  // whose compressed result was evicted and recomputed since keeps its own
+  // snapshot alive, and its materialized valuations carry that snapshot's
+  // fingerprint. Both snapshots evaluate to identical values — the
+  // compression key is identical and the DP is deterministic — so this is
+  // purely a lifetime/fingerprint concern, never a semantic one.
+  const std::shared_ptr<const CompiledPolynomialSet>& compiled =
+      program->compiled();
+
+  // Shaped responses keep the current best `keep` scenarios (values
+  // included) while streaming chunks, ordered by objective with ties
+  // broken toward the earlier expansion index so every backend and chunk
+  // size selects the same scenarios.
+  struct Pick {
+    uint64_t index;
+    double objective;
+    std::vector<double> values;
+  };
+  const bool shaped = req.shape != ScenarioShape::kValues;
+  const uint64_t keep = req.shape == ScenarioShape::kTopK ? req.top_k : 1;
+  auto better = [&req](const Pick& a, const Pick& b) {
+    if (a.objective != b.objective) {
+      return req.shape == ScenarioShape::kArgmin
+                 ? a.objective < b.objective
+                 : a.objective > b.objective;
+    }
+    return a.index < b.index;
+  };
+  std::vector<Pick> picks;
+  if (!shaped) {
+    resp.values.reserve(static_cast<size_t>(total) * compiled->poly_count());
+  }
+
+  for (uint64_t begin = 0; begin < total; begin += scenario_chunk_) {
+    const uint64_t end = std::min(total, begin + scenario_chunk_);
+    std::vector<DenseValuation> chunk;
+    Status expand = program->ExpandChunk(begin, end, &chunk);
+    if (!expand.ok()) {
+      SetError(resp, expand);
+      AttachStats(resp);
+      return resp;
+    }
+    StatusOr<std::vector<std::vector<double>>> values = batcher_.EvaluateDense(
+        target, compiled, std::move(chunk), req.eval_backend);
+    if (!values.ok()) {
+      SetError(resp, values.status());
+      AttachStats(resp);
+      return resp;
+    }
+    if (!shaped) {
+      for (const std::vector<double>& v : *values) {
+        resp.values.insert(resp.values.end(), v.begin(), v.end());
+      }
+      continue;
+    }
+    for (size_t i = 0; i < values->size(); ++i) {
+      // The objective folds polynomial values left to right, matching the
+      // order clients would sum a kValues response in.
+      double objective = 0.0;
+      for (double v : (*values)[i]) objective += v;
+      picks.push_back(Pick{begin + i, objective, std::move((*values)[i])});
+    }
+    if (picks.size() > keep) {
+      std::sort(picks.begin(), picks.end(), better);
+      picks.resize(static_cast<size_t>(keep));
+    }
+  }
+  if (shaped) {
+    std::sort(picks.begin(), picks.end(), better);
+    for (Pick& pick : picks) {
+      resp.scenario_indices.push_back(pick.index);
+      resp.objectives.push_back(pick.objective);
+      resp.values.insert(resp.values.end(), pick.values.begin(),
+                         pick.values.end());
+    }
+  }
+  resp.eval_backend = req.eval_backend;
+  AttachStats(resp);
+  return resp;
+}
+
 Response ProvenanceService::Info(const InfoRequest& req) {
   Response resp;
   resp.request_kind = MessageKind::kInfoRequest;
@@ -332,6 +505,14 @@ std::string ProvenanceService::HandleFrame(std::string_view payload,
         break;
       }
       return EncodeResponse(Evaluate(*req));
+    }
+    case MessageKind::kEvaluateScenarioProgramRequest: {
+      auto req = DecodeEvaluateScenarioProgramRequest(payload);
+      if (!req.ok()) {
+        decode_error = req.status();
+        break;
+      }
+      return EncodeResponse(EvaluateScenarioProgram(*req));
     }
     case MessageKind::kInfoRequest: {
       auto req = DecodeInfoRequest(payload);

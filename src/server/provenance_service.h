@@ -21,6 +21,14 @@ struct ServiceOptions {
   size_t eval_threads = 0;
   /// Cache shards (independent mutex + LRU partitions); 0 = store default.
   size_t cache_shards = 0;
+  /// Upper bound on the scenarios a single EvaluateScenarioProgram request
+  /// may expand to. A family's size is known after compilation and before
+  /// any expansion, so an oversized program is rejected without
+  /// materializing a single valuation.
+  uint64_t max_scenarios_per_request = uint64_t{1} << 20;
+  /// Scenarios expanded and fed to the batcher per chunk; bounds the
+  /// transient dense-valuation memory of huge families.
+  uint64_t scenario_chunk = 1024;
   /// Test-only hook, invoked on the computing thread at the start of every
   /// compression DP that single-flight actually runs — not for cache hits,
   /// not for deduplicated waiters. The concurrency test battery uses it to
@@ -48,6 +56,7 @@ class ProvenanceService {
   Response Load(const LoadRequest& req);
   Response Compress(const CompressRequest& req);
   Response Evaluate(const EvaluateRequest& req);
+  Response EvaluateScenarioProgram(const EvaluateScenarioProgramRequest& req);
   Response Info(const InfoRequest& req);
   Response Tradeoff(const TradeoffRequest& req);
   Response ListAlgos(const ListAlgosRequest& req);
@@ -84,6 +93,8 @@ class ProvenanceService {
   ThreadPool pool_;
   EvaluateBatcher batcher_;
   std::function<void(const ArtifactStore::ResultKey&)> compress_hook_;
+  uint64_t max_scenarios_per_request_;
+  uint64_t scenario_chunk_;
 };
 
 }  // namespace provabs

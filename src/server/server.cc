@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstring>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -82,6 +83,10 @@ void Server::AcceptLoop() {
       }
       break;  // Listener was shut down (or is irrecoverably broken).
     }
+    // Responses are written as soon as they are ready; letting Nagle hold
+    // them for a delayed ACK stalls every strict request/response client.
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (shutting_down_.load()) {

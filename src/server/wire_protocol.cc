@@ -78,6 +78,7 @@ StatusOr<MessageKind> PeekMessageKind(std::string_view payload) {
     case MessageKind::kShutdownRequest:
     case MessageKind::kListAlgosRequest:
     case MessageKind::kListBackendsRequest:
+    case MessageKind::kEvaluateScenarioProgramRequest:
     case MessageKind::kResponse:
       return static_cast<MessageKind>(*kind);
   }
@@ -279,6 +280,61 @@ StatusOr<ListBackendsRequest> DecodeListBackendsRequest(
   return ListBackendsRequest{};
 }
 
+std::string EncodeEvaluateScenarioProgramRequest(
+    const EvaluateScenarioProgramRequest& req) {
+  ByteWriter w;
+  WriteHeader(w, MessageKind::kEvaluateScenarioProgramRequest);
+  w.PutString(req.artifact);
+  w.PutString(req.program);
+  w.PutU8(req.compressed ? 1 : 0);
+  w.PutString(req.forest);
+  w.PutString(req.algo);
+  w.PutVarint(req.bound);
+  w.PutString(req.eval_backend);
+  w.PutU8(static_cast<uint8_t>(req.shape));
+  w.PutVarint(req.top_k);
+  return std::move(w).Release();
+}
+
+StatusOr<EvaluateScenarioProgramRequest> DecodeEvaluateScenarioProgramRequest(
+    std::string_view payload) {
+  ByteReader r(payload);
+  PROVABS_RETURN_IF_ERROR(
+      CheckHeader(r, MessageKind::kEvaluateScenarioProgramRequest));
+  EvaluateScenarioProgramRequest req;
+  auto artifact = r.GetString();
+  if (!artifact.ok()) return artifact.status();
+  req.artifact = std::move(*artifact);
+  auto program = r.GetString();
+  if (!program.ok()) return program.status();
+  req.program = std::move(*program);
+  auto compressed = r.GetU8();
+  if (!compressed.ok()) return compressed.status();
+  req.compressed = *compressed != 0;
+  auto forest = r.GetString();
+  if (!forest.ok()) return forest.status();
+  req.forest = std::move(*forest);
+  auto algo = r.GetString();
+  if (!algo.ok()) return algo.status();
+  req.algo = std::move(*algo);
+  auto bound = r.GetVarint();
+  if (!bound.ok()) return bound.status();
+  req.bound = *bound;
+  auto eval_backend = r.GetString();
+  if (!eval_backend.ok()) return eval_backend.status();
+  req.eval_backend = std::move(*eval_backend);
+  auto shape = r.GetU8();
+  if (!shape.ok()) return shape.status();
+  if (*shape > static_cast<uint8_t>(ScenarioShape::kTopK)) {
+    return Status::InvalidArgument("unknown scenario result shape");
+  }
+  req.shape = static_cast<ScenarioShape>(*shape);
+  auto top_k = r.GetVarint();
+  if (!top_k.ok()) return top_k.status();
+  req.top_k = *top_k;
+  return req;
+}
+
 // ----------------------------------------------------------- response ----
 
 std::string EncodeResponse(const Response& resp) {
@@ -299,6 +355,11 @@ std::string EncodeResponse(const Response& resp) {
   w.PutVarint(resp.stats.eval_requests);
   w.PutVarint(resp.stats.dedup_hits);
   w.PutVarint(resp.stats.inflight_waiters);
+  w.PutVarint(resp.stats.eval_groups);
+  w.PutVarint(resp.stats.eval_backend_calls);
+  w.PutVarint(resp.stats.program_count);
+  w.PutVarint(resp.stats.program_hits);
+  w.PutVarint(resp.stats.program_misses);
 
   w.PutVarint(resp.generation);
   w.PutVarint(resp.poly_count);
@@ -346,6 +407,13 @@ std::string EncodeResponse(const Response& resp) {
     w.PutU8(flags);
     w.PutVarint(b.preferred_batch);
   }
+
+  w.PutVarint(resp.scenario_count);
+  w.PutU8(resp.program_cache_hit ? 1 : 0);
+  w.PutVarint(resp.scenario_indices.size());
+  for (uint64_t index : resp.scenario_indices) w.PutVarint(index);
+  w.PutVarint(resp.objectives.size());
+  for (double objective : resp.objectives) w.PutDouble(objective);
   return std::move(w).Release();
 }
 
@@ -373,9 +441,11 @@ StatusOr<Response> DecodeResponse(std::string_view payload) {
       &resp.stats.result_hits,    &resp.stats.result_misses,
       &resp.stats.evictions,      &resp.stats.eval_batches,
       &resp.stats.eval_requests,  &resp.stats.dedup_hits,
-      &resp.stats.inflight_waiters, &resp.generation,
-      &resp.poly_count,           &resp.monomial_count,
-      &resp.variable_count};
+      &resp.stats.inflight_waiters, &resp.stats.eval_groups,
+      &resp.stats.eval_backend_calls, &resp.stats.program_count,
+      &resp.stats.program_hits,   &resp.stats.program_misses,
+      &resp.generation,           &resp.poly_count,
+      &resp.monomial_count,       &resp.variable_count};
   for (uint64_t* field : stat_fields) {
     auto v = r.GetVarint();
     if (!v.ok()) return v.status();
@@ -475,6 +545,31 @@ StatusOr<Response> DecodeResponse(std::string_view payload) {
     if (!preferred.ok()) return preferred.status();
     b.preferred_batch = *preferred;
     resp.backends.push_back(std::move(b));
+  }
+
+  auto scenario_count = r.GetVarint();
+  if (!scenario_count.ok()) return scenario_count.status();
+  resp.scenario_count = *scenario_count;
+  auto program_cache_hit = r.GetU8();
+  if (!program_cache_hit.ok()) return program_cache_hit.status();
+  resp.program_cache_hit = *program_cache_hit != 0;
+  auto index_count = r.GetVarint();
+  if (!index_count.ok()) return index_count.status();
+  PROVABS_RETURN_IF_ERROR(CheckCount(*index_count, 1, r));
+  resp.scenario_indices.reserve(*index_count);
+  for (uint64_t i = 0; i < *index_count; ++i) {
+    auto index = r.GetVarint();
+    if (!index.ok()) return index.status();
+    resp.scenario_indices.push_back(*index);
+  }
+  auto objective_count = r.GetVarint();
+  if (!objective_count.ok()) return objective_count.status();
+  PROVABS_RETURN_IF_ERROR(CheckCount(*objective_count, 8, r));
+  resp.objectives.reserve(*objective_count);
+  for (uint64_t i = 0; i < *objective_count; ++i) {
+    auto objective = r.GetDouble();
+    if (!objective.ok()) return objective.status();
+    resp.objectives.push_back(*objective);
   }
   return resp;
 }

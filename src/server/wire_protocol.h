@@ -45,8 +45,11 @@ namespace provabs {
 /// (kind 22) and the per-algorithm capability records in the response;
 /// 4 = ListBackends request (kind 23), the per-backend capability records
 /// and eval_backend echo in the response, and the eval_backend field of
-/// EvaluateRequest.
-inline constexpr uint8_t kWireVersion = 4;
+/// EvaluateRequest; 5 = EvaluateScenarioProgram request (kind 24), the
+/// batcher/program-cache counters in the stats block, and the
+/// scenario-result fields (scenario_count, program_cache_hit,
+/// scenario_indices, objectives) in the response.
+inline constexpr uint8_t kWireVersion = 5;
 
 enum class MessageKind : uint8_t {
   kLoadRequest = 16,
@@ -57,6 +60,7 @@ enum class MessageKind : uint8_t {
   kShutdownRequest = 21,
   kListAlgosRequest = 22,
   kListBackendsRequest = 23,
+  kEvaluateScenarioProgramRequest = 24,
   kResponse = 32,
 };
 
@@ -102,6 +106,36 @@ struct EvaluateRequest {
   /// (discover them with ListBackends). All backends return bitwise
   /// identical values — this selects a strategy, never a result.
   std::string eval_backend;
+};
+
+/// How EvaluateScenarioProgram folds the per-scenario value vectors into
+/// the response. A scenario's OBJECTIVE is the sum of its polynomial
+/// values in polynomial order (left to right) — for the paper's telephony
+/// workload, total revenue under that what-if.
+enum class ScenarioShape : uint8_t {
+  kValues = 0,  ///< every scenario's full value vector, scenario-major
+  kArgmin = 1,  ///< the scenario minimizing the objective (first on ties)
+  kArgmax = 2,  ///< the scenario maximizing the objective (first on ties)
+  kTopK = 3,    ///< the top_k scenarios by descending objective
+};
+
+/// Evaluates a whole scenario FAMILY in one round trip: `program` is
+/// scenario-expression source text (src/scenario/parser.h grammar),
+/// compiled server-side against the artifact (or its compressed view, like
+/// EvaluateRequest) and expanded into batched dense valuations. Compiled
+/// programs are cached keyed by (artifact generation, target view, source
+/// hash), so repeat analyses skip parse + analysis.
+struct EvaluateScenarioProgramRequest {
+  std::string artifact;
+  std::string program;
+  bool compressed = false;
+  std::string forest = "default";
+  std::string algo = "opt";
+  uint64_t bound = 0;
+  /// Same contract as EvaluateRequest::eval_backend.
+  std::string eval_backend;
+  ScenarioShape shape = ScenarioShape::kValues;
+  uint64_t top_k = 0;  ///< kTopK only; must be >= 1 there.
 };
 
 /// Queries artifact statistics (`artifact` empty = server-wide stats only).
@@ -178,6 +212,18 @@ struct ServerStats {
   /// Requests blocked on an in-flight DP right now (a gauge, sampled when
   /// the response was built).
   uint64_t inflight_waiters = 0;
+  /// (compiled form, backend) lane groups the EvaluateBatcher formed, and
+  /// EvaluateBatch calls it dispatched (cumulative). batches/requests say
+  /// how well coalescing works; these say how full the lanes were:
+  /// requests/groups is the average lane width, backend_calls/groups the
+  /// pool chunking per group.
+  uint64_t eval_groups = 0;
+  uint64_t eval_backend_calls = 0;
+  /// Compiled scenario programs resident in the store, and cumulative
+  /// cache hits/misses for them.
+  uint64_t program_count = 0;
+  uint64_t program_hits = 0;
+  uint64_t program_misses = 0;
 };
 
 /// The single response envelope: `request_kind` echoes the request it
@@ -228,6 +274,20 @@ struct Response {
 
   // list-backends.
   std::vector<EvalBackendCapability> backends;
+
+  // evaluate-scenario-program.
+  /// Scenarios the program expanded to server-side (regardless of shape).
+  uint64_t scenario_count = 0;
+  /// True when the compiled program came from the store's program cache.
+  bool program_cache_hit = false;
+  /// Indices (into the family's expansion order) of the scenarios whose
+  /// values are returned, with their objectives. For ScenarioShape::kValues
+  /// both stay empty — `values` then holds every scenario's vector
+  /// scenario-major (scenario i's values at [i*poly_count, (i+1)*poly_count)).
+  /// For argmin/argmax/top-k, `values` holds the selected scenarios'
+  /// vectors in `scenario_indices` order.
+  std::vector<uint64_t> scenario_indices;
+  std::vector<double> objectives;
 };
 
 /// Reads the message kind of an encoded payload without decoding the body.
@@ -241,6 +301,8 @@ std::string EncodeTradeoffRequest(const TradeoffRequest& req);
 std::string EncodeShutdownRequest(const ShutdownRequest& req);
 std::string EncodeListAlgosRequest(const ListAlgosRequest& req);
 std::string EncodeListBackendsRequest(const ListBackendsRequest& req);
+std::string EncodeEvaluateScenarioProgramRequest(
+    const EvaluateScenarioProgramRequest& req);
 std::string EncodeResponse(const Response& resp);
 
 StatusOr<LoadRequest> DecodeLoadRequest(std::string_view payload);
@@ -251,6 +313,8 @@ StatusOr<TradeoffRequest> DecodeTradeoffRequest(std::string_view payload);
 StatusOr<ShutdownRequest> DecodeShutdownRequest(std::string_view payload);
 StatusOr<ListAlgosRequest> DecodeListAlgosRequest(std::string_view payload);
 StatusOr<ListBackendsRequest> DecodeListBackendsRequest(
+    std::string_view payload);
+StatusOr<EvaluateScenarioProgramRequest> DecodeEvaluateScenarioProgramRequest(
     std::string_view payload);
 StatusOr<Response> DecodeResponse(std::string_view payload);
 

@@ -9,6 +9,11 @@ namespace provabs::sql {
 
 namespace {
 
+/// Nesting ceiling for parenthesized expressions. Recursion depth tracks
+/// input nesting, so a hostile "((((..." would otherwise convert a short
+/// query string into a stack overflow; 200 is far beyond any real query.
+constexpr int kMaxParenDepth = 200;
+
 /// Recursive-descent parser over the token stream.
 class Parser {
  public:
@@ -81,7 +86,14 @@ class Parser {
 
  private:
   const Token& Peek() const { return tokens_[pos_]; }
-  const Token& Next() { return tokens_[pos_++]; }
+  // Never advances past the kEnd sentinel: every call site checks Peek()
+  // first today, but an unchecked post-increment would turn any future
+  // slip into an out-of-bounds read instead of a parse error.
+  const Token& Next() {
+    const Token& token = tokens_[pos_];
+    if (token.kind != TokenKind::kEnd) ++pos_;
+    return token;
+  }
 
   bool Accept(TokenKind kind) {
     if (Peek().kind != kind) return false;
@@ -195,7 +207,12 @@ class Parser {
 
   StatusOr<std::unique_ptr<Expr>> ParseFactor() {
     if (Accept(TokenKind::kLParen)) {
+      if (paren_depth_ >= kMaxParenDepth) {
+        return Error("expression too deeply nested");
+      }
+      ++paren_depth_;
       auto inner = ParseExpr();
+      --paren_depth_;
       if (!inner.ok()) return inner;
       if (Status s = Expect(TokenKind::kRParen); !s.ok()) return s;
       return inner;
@@ -216,6 +233,7 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  int paren_depth_ = 0;
 };
 
 }  // namespace

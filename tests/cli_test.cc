@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
 #include <sys/wait.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 
 namespace provabs {
@@ -37,7 +40,11 @@ class CliTest : public ::testing::Test {
     if (Binary().empty()) {
       GTEST_SKIP() << "provabs_cli binary not found";
     }
-    dir_ = ::testing::TempDir();
+    // A per-process subdirectory: other suites (server_e2e_test) also spawn
+    // the CLI with artifact files in TempDir(), and ctest runs suites in
+    // parallel — shared names like p.bin would race.
+    dir_ = ::testing::TempDir() + "/cli_test_" + std::to_string(::getpid());
+    ::mkdir(dir_.c_str(), 0755);
   }
 
   int Run(const std::string& args) {
@@ -174,6 +181,93 @@ TEST_F(CliTest, HelpExitsZero) {
   EXPECT_EQ(Run("help"), 0);
   EXPECT_EQ(Run("compress --help"), 0);
   EXPECT_EQ(Run("remote-load --help"), 0);
+}
+
+TEST_F(CliTest, ScenarioSubcommandEvaluatesFamilies) {
+  ASSERT_EQ(Run("generate --workload telephony --scale 0.02 --out " + dir_ +
+                "/ps.bin --forest-out " + dir_ + "/fs.bin"),
+            0);
+  const std::string program =
+      "'LET d = GRID(0.5, 1); SET PREFIX(plan) = d; SET * = 1;'";
+  EXPECT_EQ(Run("scenario --in " + dir_ + "/ps.bin --expr " + program), 0);
+  // Every registered backend and every shape serve the same subcommand.
+  for (const std::string backend : {"naive", "compiled", "simd_batch"}) {
+    EXPECT_EQ(Run("scenario --in " + dir_ + "/ps.bin --expr " + program +
+                  " --eval-backend " + backend),
+              0)
+        << backend;
+  }
+  for (const std::string shape : {"values", "argmin", "argmax"}) {
+    EXPECT_EQ(Run("scenario --in " + dir_ + "/ps.bin --expr " + program +
+                  " --shape " + shape),
+              0)
+        << shape;
+  }
+  EXPECT_EQ(Run("scenario --in " + dir_ + "/ps.bin --expr " + program +
+                " --shape topk --top-k 2"),
+            0);
+  // --expr-file is the other source; the same program from disk.
+  std::string expr_file = dir_ + "/prog.scn";
+  {
+    std::ofstream out(expr_file);
+    out << "LET d = GRID(0.5, 1);\nSET PREFIX(plan) = d;\nSET * = 1;\n";
+  }
+  EXPECT_EQ(Run("scenario --in " + dir_ + "/ps.bin --expr-file " + expr_file),
+            0);
+}
+
+TEST_F(CliTest, ScenarioParseAndSemanticErrorsAreExit2) {
+  ASSERT_EQ(Run("generate --workload telephony --scale 0.01 --out " + dir_ +
+                "/pe2.bin"),
+            0);
+  // Parse error (caret diagnostic on stderr), semantic error (unknown
+  // variable), type error: all exit 2, never a crash.
+  EXPECT_EQ(ExitCode(Run("scenario --in " + dir_ +
+                         "/pe2.bin --expr 'LET d = SWEEP(1 .. 2 STEP)'")),
+            2);
+  EXPECT_EQ(ExitCode(Run("scenario --in " + dir_ +
+                         "/pe2.bin --expr 'SET ghost = 1;'")),
+            2);
+  EXPECT_EQ(ExitCode(Run("scenario --in " + dir_ +
+                         "/pe2.bin --expr 'LET d = GRID(1); SET * = d < 1;'")),
+            2);
+  // remote-scenario pre-checks syntax locally: exit 2 without a server.
+  EXPECT_EQ(ExitCode(Run("remote-scenario --port 1 --name a "
+                         "--expr 'LET broken ='")),
+            2);
+}
+
+TEST_F(CliTest, ScenarioFlagValidation) {
+  // Flags are validated before any file is opened, so a missing input
+  // artifact never masks the usage error.
+  const std::string ok_expr = "--expr 'SET * = 1;'";
+  EXPECT_EQ(ExitCode(Run("scenario " + ok_expr)), 2);  // missing --in
+  EXPECT_EQ(ExitCode(Run("scenario --in nope.bin")), 2);  // no program
+  EXPECT_EQ(ExitCode(Run("scenario --in nope.bin --expr 'SET * = 1;' "
+                         "--expr-file also.scn")),
+            2);  // both sources
+  EXPECT_EQ(ExitCode(Run("scenario --in nope.bin " + ok_expr +
+                         " --shape sideways")),
+            2);  // unknown shape
+  EXPECT_EQ(ExitCode(Run("scenario --in nope.bin " + ok_expr +
+                         " --shape topk")),
+            2);  // topk without --top-k
+  EXPECT_EQ(ExitCode(Run("scenario --in nope.bin " + ok_expr +
+                         " --shape topk --top-k 0")),
+            2);  // zero k
+  EXPECT_EQ(ExitCode(Run("scenario --in nope.bin " + ok_expr +
+                         " --shape values --top-k 3")),
+            2);  // --top-k outside topk
+  EXPECT_EQ(ExitCode(Run("scenario --in nope.bin " + ok_expr +
+                         " --eval-backend jit")),
+            2);  // unknown backend
+  // remote-scenario shares the validators.
+  EXPECT_EQ(ExitCode(Run("remote-scenario --port 1 --name a " + ok_expr +
+                         " --shape topk")),
+            2);
+  EXPECT_EQ(ExitCode(Run("remote-scenario --port 1 --name a " + ok_expr +
+                         " --algo opt")),
+            2);  // --algo requires --bound
 }
 
 TEST_F(CliTest, UnknownWorkloadRejected) {

@@ -1,0 +1,120 @@
+#include "scenario/lexer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/random.h"
+
+namespace provabs {
+namespace {
+
+using scenario::Token;
+using scenario::TokenKind;
+using scenario::Tokenize;
+
+TEST(ScenarioLexerTest, TokenizesKeywordsCaseInsensitively) {
+  auto tokens = Tokenize("let Sweep GRID prefix IN if THEN else AND or NOT "
+                         "step SET");
+  ASSERT_TRUE(tokens.ok());
+  for (size_t i = 0; i + 1 < tokens->size(); ++i) {
+    EXPECT_EQ((*tokens)[i].kind, TokenKind::kKeyword) << i;
+  }
+  EXPECT_EQ((*tokens)[0].text, "LET");
+  EXPECT_EQ((*tokens)[1].text, "SWEEP");
+  EXPECT_EQ((*tokens)[12].text, "SET");
+  EXPECT_EQ(tokens->back().kind, TokenKind::kEnd);
+}
+
+TEST(ScenarioLexerTest, NumberStopsBeforeRangeToken) {
+  // "0.1..1.0" must lex as NUMBER DOTDOT NUMBER, not swallow the dots.
+  auto tokens = Tokenize("0.1..1.0");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 4u);  // number, .., number, end
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kNumber);
+  EXPECT_DOUBLE_EQ((*tokens)[0].number, 0.1);
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kDotDot);
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kNumber);
+  EXPECT_DOUBLE_EQ((*tokens)[2].number, 1.0);
+}
+
+TEST(ScenarioLexerTest, TokenizesComparisonOperators) {
+  auto tokens = Tokenize("= == != < <= > >=");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kAssign);
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kEq);
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kNe);
+  EXPECT_EQ((*tokens)[3].kind, TokenKind::kLt);
+  EXPECT_EQ((*tokens)[4].kind, TokenKind::kLe);
+  EXPECT_EQ((*tokens)[5].kind, TokenKind::kGt);
+  EXPECT_EQ((*tokens)[6].kind, TokenKind::kGe);
+}
+
+TEST(ScenarioLexerTest, CommentsRunToEndOfLine) {
+  auto tokens = Tokenize("x # everything here is ignored ..(!\n y");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 3u);
+  EXPECT_EQ((*tokens)[0].text, "x");
+  EXPECT_EQ((*tokens)[1].text, "y");
+}
+
+TEST(ScenarioLexerTest, StringsAndIdentifiers) {
+  auto tokens = Tokenize("plan_1 'a literal'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ((*tokens)[0].text, "plan_1");
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kString);
+  EXPECT_EQ((*tokens)[1].text, "a literal");
+}
+
+TEST(ScenarioLexerTest, ErrorsCarryOffsets) {
+  size_t offset = 0;
+  auto tokens = Tokenize("x @ y", &offset);
+  ASSERT_FALSE(tokens.ok());
+  EXPECT_EQ(offset, 2u);
+  EXPECT_NE(tokens.status().message().find("offset 2"), std::string::npos);
+}
+
+TEST(ScenarioLexerTest, UnterminatedStringFails) {
+  auto tokens = Tokenize("'never closed");
+  EXPECT_FALSE(tokens.ok());
+}
+
+TEST(ScenarioLexerTest, BareBangSuggestsNot) {
+  auto tokens = Tokenize("!x");
+  ASSERT_FALSE(tokens.ok());
+  EXPECT_NE(tokens.status().message().find("NOT"), std::string::npos);
+}
+
+TEST(ScenarioLexerTest, EndTokenOffsetIsInputSize) {
+  auto tokens = Tokenize("ab cd");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens->back().offset, 5u);
+}
+
+// The lexer must terminate and stay in-bounds on arbitrary bytes: every
+// outcome is either a token stream or a Status, never a hang or a crash
+// (run under ASan/UBSan in CI).
+TEST(ScenarioLexerTest, FuzzArbitraryBytesNeverCrash) {
+  Rng rng(20260808);
+  std::string alphabet = "LETswepgrid.=<>!#'\n\t ()0123456789_xyz,;*+-/";
+  alphabet.push_back('\0');
+  alphabet.push_back('\x80');
+  alphabet.push_back('\xff');
+  for (int round = 0; round < 2000; ++round) {
+    std::string input;
+    const size_t len = static_cast<size_t>(rng.UniformInt(0, 60));
+    for (size_t i = 0; i < len; ++i) {
+      input.push_back(alphabet[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(alphabet.size()) - 1))]);
+    }
+    auto tokens = Tokenize(input);
+    if (tokens.ok()) {
+      ASSERT_FALSE(tokens->empty());
+      EXPECT_EQ(tokens->back().kind, TokenKind::kEnd);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace provabs

@@ -1,0 +1,151 @@
+#include "scenario/parser.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "scenario/lexer.h"
+
+namespace provabs {
+namespace {
+
+using scenario::CaretDiagnostic;
+using scenario::DomainKind;
+using scenario::ExprKind;
+using scenario::Parse;
+using scenario::ProgramAst;
+using scenario::SelectorKind;
+
+TEST(ScenarioParserTest, ParsesSweepAndGridDeclarations) {
+  auto ast = Parse("LET d = SWEEP(0.5 .. 1.0 STEP 0.1);"
+                   "LET m = GRID(1, 2, 5)");
+  ASSERT_TRUE(ast.ok());
+  ASSERT_EQ(ast->params.size(), 2u);
+  EXPECT_EQ(ast->params[0].name, "d");
+  EXPECT_EQ(ast->params[0].kind, DomainKind::kSweep);
+  EXPECT_DOUBLE_EQ(ast->params[0].lo, 0.5);
+  EXPECT_DOUBLE_EQ(ast->params[0].hi, 1.0);
+  EXPECT_DOUBLE_EQ(ast->params[0].step, 0.1);
+  EXPECT_EQ(ast->params[1].kind, DomainKind::kGrid);
+  EXPECT_EQ(ast->params[1].values, (std::vector<double>{1, 2, 5}));
+}
+
+TEST(ScenarioParserTest, ParsesSelectors) {
+  auto ast = Parse("SET * = 1; SET plan3 = 2; SET PREFIX(plan) = 3;"
+                   "SET IN(a, b, c) = 4;");
+  ASSERT_TRUE(ast.ok());
+  ASSERT_EQ(ast->rules.size(), 4u);
+  EXPECT_EQ(ast->rules[0].selector.kind, SelectorKind::kAll);
+  EXPECT_EQ(ast->rules[1].selector.kind, SelectorKind::kExact);
+  EXPECT_EQ(ast->rules[1].selector.names, (std::vector<std::string>{"plan3"}));
+  EXPECT_EQ(ast->rules[2].selector.kind, SelectorKind::kPrefix);
+  EXPECT_EQ(ast->rules[3].selector.kind, SelectorKind::kSet);
+  EXPECT_EQ(ast->rules[3].selector.names,
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(ScenarioParserTest, PrecedenceOrBelowAndBelowComparison) {
+  // IF a < 1 AND b < 2 OR NOT c THEN x ELSE y — OR at the top.
+  auto ast = Parse("LET a = GRID(1); LET b = GRID(1); LET c = GRID(1);"
+                   "SET * = IF a < 1 AND b < 2 OR NOT c > 0 THEN a ELSE b;");
+  ASSERT_TRUE(ast.ok());
+  const scenario::Expr& value = *ast->rules[0].value;
+  ASSERT_EQ(value.kind, ExprKind::kIf);
+  EXPECT_EQ(value.a->kind, ExprKind::kBinary);
+  EXPECT_EQ(value.a->op, scenario::BinaryOp::kOr);
+}
+
+TEST(ScenarioParserTest, NegativeNumbersInDomains) {
+  auto ast = Parse("LET x = SWEEP(-2 .. -1 STEP 0.5); LET y = GRID(-3, 4)");
+  ASSERT_TRUE(ast.ok());
+  EXPECT_DOUBLE_EQ(ast->params[0].lo, -2);
+  EXPECT_DOUBLE_EQ(ast->params[0].hi, -1);
+  EXPECT_EQ(ast->params[1].values, (std::vector<double>{-3, 4}));
+}
+
+TEST(ScenarioParserTest, EmptyProgramIsAnError) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("  # only a comment\n").ok());
+}
+
+TEST(ScenarioParserTest, StraySemicolonsAreTolerated) {
+  EXPECT_TRUE(Parse(";; SET * = 1 ;;").ok());
+}
+
+TEST(ScenarioParserTest, ErrorsCarryOffsetsForCarets) {
+  size_t offset = 0;
+  auto ast = Parse("LET d = SWEEP(1 .. 2 STEP)", &offset);
+  ASSERT_FALSE(ast.ok());
+  EXPECT_NE(ast.status().message().find("at offset"), std::string::npos);
+  std::string caret = CaretDiagnostic("LET d = SWEEP(1 .. 2 STEP)", offset);
+  EXPECT_NE(caret.find("line 1"), std::string::npos);
+  EXPECT_NE(caret.find('^'), std::string::npos);
+}
+
+TEST(ScenarioParserTest, CaretPointsAtTheRightColumn) {
+  std::string source = "SET * = 1;\nSET ? = 2;";
+  size_t offset = 0;
+  auto ast = Parse(source, &offset);
+  ASSERT_FALSE(ast.ok());
+  std::string caret = CaretDiagnostic(source, offset);
+  EXPECT_NE(caret.find("line 2, column 5"), std::string::npos);
+}
+
+TEST(ScenarioParserTest, DeepNestingIsAnErrorNotAStackOverflow) {
+  std::string source = "SET * = ";
+  for (int i = 0; i < 100000; ++i) source += '(';
+  source += '1';
+  for (int i = 0; i < 100000; ++i) source += ')';
+  auto ast = Parse(source);
+  ASSERT_FALSE(ast.ok());
+  EXPECT_NE(ast.status().message().find("nested"), std::string::npos);
+}
+
+// Truncation sweep: every prefix of a valid program must either parse or
+// fail with a Status — no hangs, no overreads (caught under ASan in CI).
+TEST(ScenarioParserTest, FuzzEveryPrefixOfAValidProgram) {
+  const std::string source =
+      "LET d = SWEEP(0.5 .. 1.0 STEP 0.25); # discount\n"
+      "LET m = GRID(1, 2, 12);"
+      "SET PREFIX(plan) = d * m;"
+      "SET IN(m1, m2) = IF d < 0.75 THEN 0 ELSE 1;"
+      "SET * = 1;";
+  for (size_t len = 0; len <= source.size(); ++len) {
+    auto ast = Parse(source.substr(0, len));
+    if (len == source.size()) {
+      EXPECT_TRUE(ast.ok());
+    }
+  }
+}
+
+// Seeded random-token-stream fuzz: glue syntactically valid tokens in
+// random order. The parser must always terminate with a value or an error
+// whose offset lies inside the input.
+TEST(ScenarioParserTest, FuzzRandomTokenStreams) {
+  const std::vector<std::string> vocab = {
+      "LET",  "SET", "SWEEP", "GRID",  "PREFIX", "IN",  "IF",  "THEN",
+      "ELSE", "AND", "OR",    "NOT",   "STEP",   "(",   ")",   ",",
+      ";",    "=",   "==",    "!=",    "<",      "<=",  ">",   ">=",
+      "..",   "*",   "+",     "-",     "/",      "x",   "y",   "plan1",
+      "0.5",  "2",   "1e9",   "'s'",   "#c\n"};
+  Rng rng(424242);
+  for (int round = 0; round < 3000; ++round) {
+    std::string source;
+    const int len = static_cast<int>(rng.UniformInt(0, 40));
+    for (int i = 0; i < len; ++i) {
+      source += vocab[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(vocab.size()) - 1))];
+      source += ' ';
+    }
+    size_t offset = 0;
+    auto ast = Parse(source, &offset);
+    if (!ast.ok()) {
+      EXPECT_LE(offset, source.size());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace provabs

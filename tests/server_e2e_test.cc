@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <signal.h>
+#include <sys/stat.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -155,7 +156,10 @@ class ServerBinarySmokeTest : public ::testing::Test {
     if (cli_.empty() || server_.empty()) {
       GTEST_SKIP() << "provabs binaries not found";
     }
-    dir_ = ::testing::TempDir();
+    // A per-process subdirectory: cli_test writes the same artifact names
+    // into TempDir(), and ctest runs suites in parallel.
+    dir_ = ::testing::TempDir() + "/server_e2e_" + std::to_string(::getpid());
+    ::mkdir(dir_.c_str(), 0755);
   }
 
   /// Runs a CLI command, returns its exit code, captures combined output.
@@ -262,8 +266,33 @@ TEST_F(ServerBinarySmokeTest, FullRemoteSessionWithCacheHit) {
       << out;
   EXPECT_NE(out.find("brute:"), std::string::npos) << out;
 
+  // A scenario program answers a whole what-if family in one round trip
+  // (wire v5, kind 24); the repeat is served from the program cache.
+  std::string scenario =
+      "remote-scenario " + remote +
+      " --name tel --expr 'LET d = GRID(0.5, 1, 2); SET PREFIX(plan) = d;'";
+  EXPECT_EQ(RunCli(scenario, &out), 0) << out;
+  EXPECT_NE(out.find("scenario 2:"), std::string::npos) << out;
+  EXPECT_NE(out.find("3 scenarios"), std::string::npos) << out;
+  EXPECT_NE(out.find("program cache: miss"), std::string::npos) << out;
+  EXPECT_EQ(RunCli(scenario + " --shape argmax", &out), 0) << out;
+  EXPECT_NE(out.find("objective"), std::string::npos) << out;
+  EXPECT_EQ(RunCli(scenario, &out), 0) << out;
+  EXPECT_NE(out.find("program cache: hit"), std::string::npos) << out;
+  // An ill-typed program is a structured remote error (exit 1, the
+  // server's InvalidArgument relayed), not a hang or a crash.
+  int bad = RunCli("remote-scenario " + remote +
+                       " --name tel --expr 'SET ghost = 1;'",
+                   &out);
+  ASSERT_TRUE(WIFEXITED(bad)) << out;
+  EXPECT_EQ(WEXITSTATUS(bad), 1) << out;
+  EXPECT_NE(out.find("ghost"), std::string::npos) << out;
+
   EXPECT_EQ(RunCli("remote-info " + remote + " --name tel", &out), 0) << out;
   EXPECT_NE(out.find("hits"), std::string::npos) << out;
+  // The batching/program-cache counters surface in remote-info.
+  EXPECT_NE(out.find("programs:"), std::string::npos) << out;
+  EXPECT_NE(out.find("lane groups"), std::string::npos) << out;
   // remote-info surfaces the server's algorithm registry (request 22).
   EXPECT_NE(out.find("algorithms:"), std::string::npos) << out;
   EXPECT_NE(out.find("prox"), std::string::npos) << out;

@@ -12,6 +12,7 @@
 #include "core/evaluation_backend.h"
 #include "core/valuation.h"
 #include "io/serializer.h"
+#include "scenario/program.h"
 #include "server/artifact_store.h"
 #include "server/evaluate_batcher.h"
 #include "server/wire_protocol.h"
@@ -577,6 +578,322 @@ TEST_F(ServiceTest, EvaluateRoutesThroughNamedBackend) {
             std::string::npos)
       << bad.message;
   EXPECT_NE(bad.message.find("simd_batch"), std::string::npos) << bad.message;
+}
+
+// ------------------------------------------- scenario programs ----------
+
+/// Scenario-program service tests. The acceptance bar for the subsystem:
+/// one EvaluateScenarioProgram request must be observationally identical —
+/// bitwise, not approximately — to issuing every expanded scenario as its
+/// own Evaluate request.
+class ScenarioServiceTest : public ServiceTest {
+ protected:
+  /// Per-scenario reference arm: expands `program_source` locally against
+  /// the raw polynomials and issues one Evaluate request per scenario with
+  /// the scenario's variable assignments, concatenating the results
+  /// scenario-major (exactly the kValues layout).
+  std::vector<double> EvaluatePerScenario(const std::string& program_source) {
+    auto compiled = polys_.Compiled();
+    auto program =
+        scenario::ScenarioProgram::Compile(program_source, compiled, vars_);
+    EXPECT_TRUE(program.ok()) << program.status().ToString();
+    std::vector<DenseValuation> dense;
+    EXPECT_TRUE(
+        program->ExpandChunk(0, program->scenario_count(), &dense).ok());
+    const std::vector<VariableId>& slots = compiled->slot_variables();
+    std::vector<double> out;
+    for (const DenseValuation& d : dense) {
+      EvaluateRequest req;
+      req.artifact = "ex";
+      for (uint32_t s = 0; s < slots.size(); ++s) {
+        req.assignments.emplace_back(vars_.NameOf(slots[s]), d[s]);
+      }
+      Response resp = service_->Evaluate(req);
+      EXPECT_TRUE(resp.ok()) << resp.message;
+      out.insert(out.end(), resp.values.begin(), resp.values.end());
+    }
+    return out;
+  }
+};
+
+// The acceptance check: a three-parameter sweep family (10^3 = 1000
+// scenarios) answered in ONE request, bitwise identical to 1000 individual
+// Evaluate round trips.
+TEST_F(ScenarioServiceTest, ThousandScenarioRequestMatchesIndividualEvaluates) {
+  const std::string program_source =
+      "LET a = SWEEP(0.5 .. 1.4 STEP 0.1);"
+      "LET b = SWEEP(0.5 .. 1.4 STEP 0.1);"
+      "LET c = SWEEP(0.5 .. 1.4 STEP 0.1);"
+      "SET PREFIX(m) = a; SET PREFIX(b) = b; SET * = c;";
+
+  EvaluateScenarioProgramRequest req;
+  req.artifact = "ex";
+  req.program = program_source;
+  Response resp = service_->EvaluateScenarioProgram(req);
+  ASSERT_TRUE(resp.ok()) << resp.message;
+  EXPECT_EQ(resp.scenario_count, 1000u);
+  EXPECT_FALSE(resp.program_cache_hit);
+  EXPECT_TRUE(resp.scenario_indices.empty());  // kValues: full vectors
+
+  std::vector<double> expected = EvaluatePerScenario(program_source);
+  ASSERT_EQ(resp.values.size(), expected.size());
+  ASSERT_EQ(resp.values.size(), 1000 * polys_.count());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    uint64_t want, have;
+    std::memcpy(&want, &expected[i], sizeof(want));
+    std::memcpy(&have, &resp.values[i], sizeof(have));
+    ASSERT_EQ(want, have) << "value " << i;
+  }
+
+  // Chunking is an implementation detail: a service slicing the family
+  // into tiny chunks returns the identical byte stream.
+  ServiceOptions tiny_chunks;
+  tiny_chunks.scenario_chunk = 7;
+  ProvenanceService chunked(tiny_chunks);
+  LoadRequest load;
+  load.artifact = "ex";
+  load.polys_bytes = polys_bytes_;
+  load.forests = {{"plans", plans_bytes_}};
+  ASSERT_TRUE(chunked.Load(load).ok());
+  Response chunked_resp = chunked.EvaluateScenarioProgram(req);
+  ASSERT_TRUE(chunked_resp.ok()) << chunked_resp.message;
+  ASSERT_EQ(chunked_resp.values.size(), resp.values.size());
+  for (size_t i = 0; i < resp.values.size(); ++i) {
+    uint64_t want, have;
+    std::memcpy(&want, &resp.values[i], sizeof(want));
+    std::memcpy(&have, &chunked_resp.values[i], sizeof(have));
+    ASSERT_EQ(want, have) << "chunked value " << i;
+  }
+}
+
+TEST_F(ScenarioServiceTest, ShapedResponsesPickByObjective) {
+  // One parameter, 4 scenarios. Objective = sum of polynomial values; the
+  // catch-all scales every variable by d, so the objective is monotone in
+  // d and the extremes are the first and last scenarios.
+  EvaluateScenarioProgramRequest req;
+  req.artifact = "ex";
+  req.program = "LET d = GRID(0.5, 1, 2, 4); SET * = d;";
+  req.shape = ScenarioShape::kValues;
+  Response all = service_->EvaluateScenarioProgram(req);
+  ASSERT_TRUE(all.ok()) << all.message;
+  ASSERT_EQ(all.scenario_count, 4u);
+  const size_t poly_count = polys_.count();
+  std::vector<double> objectives(4, 0.0);
+  for (size_t s = 0; s < 4; ++s) {
+    for (size_t p = 0; p < poly_count; ++p) {
+      objectives[s] += all.values[s * poly_count + p];
+    }
+  }
+
+  req.shape = ScenarioShape::kArgmin;
+  Response argmin = service_->EvaluateScenarioProgram(req);
+  ASSERT_TRUE(argmin.ok()) << argmin.message;
+  ASSERT_EQ(argmin.scenario_indices.size(), 1u);
+  ASSERT_EQ(argmin.objectives.size(), 1u);
+  EXPECT_EQ(argmin.scenario_indices[0], 0u);  // d = 0.5 minimizes
+  EXPECT_DOUBLE_EQ(argmin.objectives[0], objectives[0]);
+  ASSERT_EQ(argmin.values.size(), poly_count);
+  for (size_t p = 0; p < poly_count; ++p) {
+    EXPECT_EQ(argmin.values[p], all.values[p]) << p;
+  }
+
+  req.shape = ScenarioShape::kArgmax;
+  Response argmax = service_->EvaluateScenarioProgram(req);
+  ASSERT_TRUE(argmax.ok());
+  ASSERT_EQ(argmax.scenario_indices.size(), 1u);
+  EXPECT_EQ(argmax.scenario_indices[0], 3u);  // d = 4 maximizes
+  EXPECT_DOUBLE_EQ(argmax.objectives[0], objectives[3]);
+
+  req.shape = ScenarioShape::kTopK;
+  req.top_k = 3;
+  Response topk = service_->EvaluateScenarioProgram(req);
+  ASSERT_TRUE(topk.ok());
+  ASSERT_EQ(topk.scenario_indices.size(), 3u);
+  EXPECT_EQ(topk.scenario_indices,
+            (std::vector<uint64_t>{3, 2, 1}));  // descending objective
+  EXPECT_DOUBLE_EQ(topk.objectives[0], objectives[3]);
+  EXPECT_DOUBLE_EQ(topk.objectives[2], objectives[1]);
+  ASSERT_EQ(topk.values.size(), 3 * poly_count);
+
+  // top_k larger than the family returns the whole family, ranked.
+  req.top_k = 100;
+  Response topall = service_->EvaluateScenarioProgram(req);
+  ASSERT_TRUE(topall.ok());
+  EXPECT_EQ(topall.scenario_indices.size(), 4u);
+}
+
+TEST_F(ScenarioServiceTest, TiesBreakTowardTheEarlierScenario) {
+  // Every scenario produces identical values (the parameter is unused by
+  // the catch-all), so argmin/argmax must both pick index 0.
+  EvaluateScenarioProgramRequest req;
+  req.artifact = "ex";
+  req.program = "LET d = GRID(1, 2, 3); SET * = 1;";
+  for (ScenarioShape shape : {ScenarioShape::kArgmin, ScenarioShape::kArgmax}) {
+    req.shape = shape;
+    Response resp = service_->EvaluateScenarioProgram(req);
+    ASSERT_TRUE(resp.ok()) << resp.message;
+    ASSERT_EQ(resp.scenario_indices.size(), 1u);
+    EXPECT_EQ(resp.scenario_indices[0], 0u);
+  }
+}
+
+TEST_F(ScenarioServiceTest, ProgramCacheHitsAndGenerationInvalidation) {
+  EvaluateScenarioProgramRequest req;
+  req.artifact = "ex";
+  req.program = "LET d = GRID(1, 2); SET PREFIX(m) = d;";
+  Response first = service_->EvaluateScenarioProgram(req);
+  ASSERT_TRUE(first.ok()) << first.message;
+  EXPECT_FALSE(first.program_cache_hit);
+  EXPECT_EQ(first.stats.program_misses, 1u);
+  EXPECT_EQ(first.stats.program_count, 1u);
+
+  Response second = service_->EvaluateScenarioProgram(req);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second.program_cache_hit);
+  EXPECT_EQ(second.stats.program_hits, 1u);
+  for (size_t i = 0; i < first.values.size(); ++i) {
+    uint64_t want, have;
+    std::memcpy(&want, &first.values[i], sizeof(want));
+    std::memcpy(&have, &second.values[i], sizeof(have));
+    ASSERT_EQ(want, have) << i;
+  }
+
+  // A different program text is its own cache entry.
+  EvaluateScenarioProgramRequest other = req;
+  other.program = "LET d = GRID(1, 2); SET PREFIX(b) = d;";
+  EXPECT_FALSE(service_->EvaluateScenarioProgram(other).program_cache_hit);
+
+  // Reloading bumps the generation: the old compiled program is stale.
+  LoadRequest reload;
+  reload.artifact = "ex";
+  reload.polys_bytes = polys_bytes_;
+  reload.forests = {{"plans", plans_bytes_}};
+  ASSERT_TRUE(service_->Load(reload).ok());
+  Response after_reload = service_->EvaluateScenarioProgram(req);
+  ASSERT_TRUE(after_reload.ok());
+  EXPECT_FALSE(after_reload.program_cache_hit);
+}
+
+TEST_F(ScenarioServiceTest, CompressedViewProgramsEvaluateAndCache) {
+  // Programs against a compressed view select over meta-variables; the
+  // whole pipeline (compress -> compile -> expand -> batch) must work and
+  // the program key must include the view.
+  EvaluateScenarioProgramRequest req;
+  req.artifact = "ex";
+  req.compressed = true;
+  req.forest = "plans";
+  req.algo = "opt";
+  req.bound = polys_.SizeM() - 1;
+  req.program = "LET d = GRID(0.5, 2); SET * = d;";
+  Response resp = service_->EvaluateScenarioProgram(req);
+  ASSERT_TRUE(resp.ok()) << resp.message;
+  EXPECT_EQ(resp.scenario_count, 2u);
+  EXPECT_EQ(resp.values.size(), 2 * polys_.count());
+  EXPECT_FALSE(resp.program_cache_hit);
+
+  // Same text against the RAW view is a distinct program cache entry.
+  EvaluateScenarioProgramRequest raw = req;
+  raw.compressed = false;
+  Response raw_resp = service_->EvaluateScenarioProgram(raw);
+  ASSERT_TRUE(raw_resp.ok()) << raw_resp.message;
+  EXPECT_FALSE(raw_resp.program_cache_hit);
+
+  Response again = service_->EvaluateScenarioProgram(req);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again.program_cache_hit);
+}
+
+TEST_F(ScenarioServiceTest, ScenarioErrorsAreStructured) {
+  EvaluateScenarioProgramRequest req;
+  req.program = "SET * = 1;";
+  req.artifact = "nope";
+  Response missing = service_->EvaluateScenarioProgram(req);
+  EXPECT_EQ(missing.code, StatusCode::kNotFound);
+
+  req.artifact = "ex";
+  req.program = "LET d = SWEEP(1 .. 2 STEP);";  // parse error
+  Response parse_err = service_->EvaluateScenarioProgram(req);
+  EXPECT_EQ(parse_err.code, StatusCode::kInvalidArgument);
+  EXPECT_NE(parse_err.message.find("at offset"), std::string::npos)
+      << parse_err.message;
+
+  req.program = "SET ghost = 1;";  // semantic error
+  Response sema_err = service_->EvaluateScenarioProgram(req);
+  EXPECT_EQ(sema_err.code, StatusCode::kInvalidArgument);
+  EXPECT_NE(sema_err.message.find("'ghost'"), std::string::npos);
+
+  req.program = "LET d = GRID(1); SET * = d < 1;";  // type error
+  Response type_err = service_->EvaluateScenarioProgram(req);
+  EXPECT_EQ(type_err.code, StatusCode::kInvalidArgument);
+  EXPECT_NE(type_err.message.find("type error"), std::string::npos);
+
+  req.program = "SET * = 1;";
+  req.shape = ScenarioShape::kTopK;
+  req.top_k = 0;
+  Response zero_k = service_->EvaluateScenarioProgram(req);
+  EXPECT_EQ(zero_k.code, StatusCode::kInvalidArgument);
+  EXPECT_NE(zero_k.message.find("top_k"), std::string::npos);
+
+  req.shape = ScenarioShape::kValues;
+  req.eval_backend = "jit";
+  Response bad_backend = service_->EvaluateScenarioProgram(req);
+  EXPECT_EQ(bad_backend.code, StatusCode::kInvalidArgument);
+  EXPECT_NE(bad_backend.message.find("unknown evaluation backend"),
+            std::string::npos);
+
+  // Failed compiles must not poison the cache.
+  req.eval_backend.clear();
+  Response fine = service_->EvaluateScenarioProgram(req);
+  ASSERT_TRUE(fine.ok()) << fine.message;
+}
+
+TEST_F(ScenarioServiceTest, OversizedFamilyIsRejectedUpFront) {
+  ServiceOptions small;
+  small.max_scenarios_per_request = 10;
+  ProvenanceService capped(small);
+  LoadRequest load;
+  load.artifact = "ex";
+  load.polys_bytes = polys_bytes_;
+  ASSERT_TRUE(capped.Load(load).ok());
+
+  EvaluateScenarioProgramRequest req;
+  req.artifact = "ex";
+  req.program = "LET a = GRID(1, 2, 3, 4); LET b = GRID(1, 2, 3); SET * = a;";
+  Response resp = capped.EvaluateScenarioProgram(req);
+  EXPECT_EQ(resp.code, StatusCode::kInvalidArgument);
+  EXPECT_NE(resp.message.find("12 scenarios"), std::string::npos)
+      << resp.message;
+  EXPECT_NE(resp.message.find("limit of 10"), std::string::npos)
+      << resp.message;
+
+  // At the limit it still runs.
+  req.program = "LET a = GRID(1, 2); LET b = GRID(1, 2, 3, 4, 5); SET * = a;";
+  EXPECT_TRUE(capped.EvaluateScenarioProgram(req).ok());
+}
+
+TEST_F(ScenarioServiceTest, ScenarioFrameRoundTripsThroughHandleFrame) {
+  EvaluateScenarioProgramRequest req;
+  req.artifact = "ex";
+  req.program = "LET d = GRID(1, 2); SET PREFIX(m) = d;";
+  bool shutdown = false;
+  std::string reply = service_->HandleFrame(
+      EncodeEvaluateScenarioProgramRequest(req), &shutdown);
+  auto resp = DecodeResponse(reply);
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  ASSERT_TRUE(resp->ok()) << resp->message;
+  EXPECT_EQ(resp->request_kind, MessageKind::kEvaluateScenarioProgramRequest);
+  EXPECT_EQ(resp->scenario_count, 2u);
+  EXPECT_EQ(resp->values.size(), 2 * polys_.count());
+  EXPECT_FALSE(shutdown);
+
+  // Truncated scenario frames decode-fail into error responses.
+  std::string full = EncodeEvaluateScenarioProgramRequest(req);
+  for (size_t len : {size_t{0}, size_t{7}, full.size() - 1}) {
+    auto err = DecodeResponse(
+        service_->HandleFrame(full.substr(0, len), &shutdown));
+    ASSERT_TRUE(err.ok());
+    EXPECT_FALSE(err->ok());
+  }
 }
 
 TEST_F(ServiceTest, HandleFrameDispatchesAndSurvivesGarbage) {

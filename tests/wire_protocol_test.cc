@@ -71,6 +71,88 @@ TEST(WireProtocolTest, EvaluateRequestRoundTrip) {
   EXPECT_TRUE(defaulted->eval_backend.empty());
 }
 
+TEST(WireProtocolTest, EvaluateScenarioProgramRequestRoundTrip) {
+  EvaluateScenarioProgramRequest req;
+  req.artifact = "telephony";
+  req.program = "LET d = SWEEP(0.5 .. 1.0 STEP 0.1); SET PREFIX(plan) = d;";
+  req.compressed = true;
+  req.forest = "plans";
+  req.algo = "greedy";
+  req.bound = 4096;
+  req.eval_backend = "simd_batch";
+  req.shape = ScenarioShape::kTopK;
+  req.top_k = 5;
+  auto decoded = DecodeEvaluateScenarioProgramRequest(
+      EncodeEvaluateScenarioProgramRequest(req));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->artifact, "telephony");
+  EXPECT_EQ(decoded->program, req.program);
+  EXPECT_TRUE(decoded->compressed);
+  EXPECT_EQ(decoded->forest, "plans");
+  EXPECT_EQ(decoded->algo, "greedy");
+  EXPECT_EQ(decoded->bound, 4096u);
+  EXPECT_EQ(decoded->eval_backend, "simd_batch");
+  EXPECT_EQ(decoded->shape, ScenarioShape::kTopK);
+  EXPECT_EQ(decoded->top_k, 5u);
+
+  // Defaults: uncompressed, values shape, no top-k.
+  auto defaulted = DecodeEvaluateScenarioProgramRequest(
+      EncodeEvaluateScenarioProgramRequest(EvaluateScenarioProgramRequest{}));
+  ASSERT_TRUE(defaulted.ok());
+  EXPECT_FALSE(defaulted->compressed);
+  EXPECT_EQ(defaulted->shape, ScenarioShape::kValues);
+  EXPECT_EQ(defaulted->top_k, 0u);
+}
+
+TEST(WireProtocolTest, UnknownScenarioShapeByteRejected) {
+  // With top_k = 0 the trailing varint is one byte, so the shape byte sits
+  // second-from-last. A future shape (4) must be rejected by THIS decoder,
+  // not silently reinterpreted.
+  std::string encoded = EncodeEvaluateScenarioProgramRequest(
+      EvaluateScenarioProgramRequest{});
+  ASSERT_GE(encoded.size(), 2u);
+  encoded[encoded.size() - 2] = 4;
+  auto decoded = DecodeEvaluateScenarioProgramRequest(encoded);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("unknown scenario result shape"),
+            std::string::npos)
+      << decoded.status().message();
+}
+
+TEST(WireProtocolTest, ScenarioResponseRoundTrip) {
+  Response resp;
+  resp.request_kind = MessageKind::kEvaluateScenarioProgramRequest;
+  resp.scenario_count = 1000;
+  resp.program_cache_hit = true;
+  resp.scenario_indices = {999, 0, 421};
+  resp.objectives = {87.5, -1.25, 0.0};
+  resp.values = {1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+  resp.eval_backend = "compiled";
+  // The batching/program-cache counters ride the same stats block.
+  resp.stats.eval_groups = 17;
+  resp.stats.eval_backend_calls = 34;
+  resp.stats.program_count = 2;
+  resp.stats.program_hits = 9;
+  resp.stats.program_misses = 3;
+
+  auto decoded = DecodeResponse(EncodeResponse(resp));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->request_kind,
+            MessageKind::kEvaluateScenarioProgramRequest);
+  EXPECT_EQ(decoded->scenario_count, 1000u);
+  EXPECT_TRUE(decoded->program_cache_hit);
+  EXPECT_EQ(decoded->scenario_indices, (std::vector<uint64_t>{999, 0, 421}));
+  ASSERT_EQ(decoded->objectives.size(), 3u);
+  EXPECT_DOUBLE_EQ(decoded->objectives[0], 87.5);
+  EXPECT_DOUBLE_EQ(decoded->objectives[1], -1.25);
+  EXPECT_EQ(decoded->values.size(), 6u);
+  EXPECT_EQ(decoded->stats.eval_groups, 17u);
+  EXPECT_EQ(decoded->stats.eval_backend_calls, 34u);
+  EXPECT_EQ(decoded->stats.program_count, 2u);
+  EXPECT_EQ(decoded->stats.program_hits, 9u);
+  EXPECT_EQ(decoded->stats.program_misses, 3u);
+}
+
 TEST(WireProtocolTest, ListBackendsResponseRoundTrip) {
   EXPECT_TRUE(DecodeListBackendsRequest(
                   EncodeListBackendsRequest(ListBackendsRequest{}))
@@ -286,7 +368,28 @@ TEST(WireProtocolTest, TruncationSweepAllMessages) {
                    [](std::string_view d) {
                      return DecodeListBackendsRequest(d).ok();
                    }});
+  EvaluateScenarioProgramRequest scenario;
+  scenario.artifact = "a";
+  scenario.program = "SET * = 1;";
+  scenario.eval_backend = "simd_batch";
+  scenario.shape = ScenarioShape::kTopK;
+  scenario.top_k = 3;
+  cases.push_back({EncodeEvaluateScenarioProgramRequest(scenario),
+                   [](std::string_view d) {
+                     return DecodeEvaluateScenarioProgramRequest(d).ok();
+                   }});
   cases.push_back({EncodeResponse(resp), [](std::string_view d) {
+                     return DecodeResponse(d).ok();
+                   }});
+  Response scenario_resp;
+  scenario_resp.request_kind = MessageKind::kEvaluateScenarioProgramRequest;
+  scenario_resp.scenario_count = 12;
+  scenario_resp.program_cache_hit = true;
+  scenario_resp.scenario_indices = {4, 7};
+  scenario_resp.objectives = {1.5, 0.25};
+  scenario_resp.values = {9.0, 8.0};
+  scenario_resp.stats.program_misses = 1;
+  cases.push_back({EncodeResponse(scenario_resp), [](std::string_view d) {
                      return DecodeResponse(d).ok();
                    }});
 

@@ -3,13 +3,23 @@
 # nonzero exit. Benches are not part of ctest, so without this they only
 # ever compile in CI and can bit-rot at runtime (stale flags, renamed
 # registry algorithms, workload API drift). This is a liveness check, not a
-# measurement: timings printed here are meaningless — with ONE exception:
-# when bench_evaluate_kernel runs on the machine BENCH_evaluate.json was
-# recorded on (matched by MACHINEKEY cpu model), its BATCHSTAT lines are
-# thresholded — the simd_batch backend must not fall below 1.0x the
-# single-scenario compiled loop at the recorded batch width. A vectorized
-# backend slower than the scalar loop it batches is a regression even at
-# smoke scale. On other machines the threshold is skipped (noise).
+# measurement: timings printed here are meaningless — with THREE machine-
+# keyed exceptions, each only checked when the current MACHINEKEY (cpu
+# model) matches the cpu recorded in the reference JSON; on other machines
+# the thresholds are skipped (noise):
+#   - bench_evaluate_kernel (vs BENCH_evaluate.json): the simd_batch
+#     backend must not fall below 1.0x the single-scenario compiled loop at
+#     the recorded batch width. A vectorized backend slower than the scalar
+#     loop it batches is a regression even at smoke scale.
+#   - bench_server_throughput (vs BENCH_baseline.json): the cached-compress
+#     ratio (cold DP / cache hit) must stay >= 100x. The hot serving path
+#     is a mutex + hash probe; two orders of magnitude of headroom under
+#     the ~2000x recorded means the path grew real work.
+#   - bench_scenario_expand (vs BENCH_baseline.json): one scenario-program
+#     request must stay >= 5.0x faster than the same 1000 scenarios as
+#     individual RPCs (the subsystem's raison d'etre), and its built-in
+#     bitwise-identity check must pass (enforced by the driver's exit
+#     code on every machine).
 #
 # Usage: tools/bench_smoke.sh [BUILD_DIR]   (default: build)
 set -u
@@ -43,12 +53,14 @@ for bench in "$BENCH_DIR"/bench_*; do
       args=(--benchmark_min_time=0.01) ;;
   esac
   echo "== $name ${args[*]:-}"
-  # bench_evaluate_kernel's stdout carries the MACHINEKEY/BATCHSTAT lines
-  # the threshold check below parses; every other driver's is discarded.
+  # These drivers' stdout carries the MACHINEKEY/stat lines the threshold
+  # checks below parse; every other driver's is discarded.
   out=/dev/null
-  if [ "$name" = "bench_evaluate_kernel" ]; then
-    out=/tmp/bench_smoke_eval.$$
-  fi
+  case "$name" in
+    bench_evaluate_kernel)    out=/tmp/bench_smoke_eval.$$ ;;
+    bench_server_throughput)  out=/tmp/bench_smoke_srv.$$ ;;
+    bench_scenario_expand)    out=/tmp/bench_smoke_scn.$$ ;;
+  esac
   "$bench" "${args[@]}" > "$out" 2> /tmp/bench_smoke_err.$$
   rc=$?
   if [ "$rc" -ne 0 ]; then
@@ -84,6 +96,43 @@ if [ -s "$EVAL_OUT" ] && [ -f "$REFERENCE_JSON" ]; then
   fi
 fi
 rm -f "$EVAL_OUT"
+
+# Serving-layer ratios, keyed against the machine BENCH_baseline.json was
+# recorded on (same skip-on-foreign-machine policy as above).
+BASELINE_JSON="$(cd "$(dirname "$0")/.." && pwd)/BENCH_baseline.json"
+baseline_cpu=""
+if [ -f "$BASELINE_JSON" ]; then
+  baseline_cpu=$(sed -n 's/^[[:space:]]*"cpu": "\(.*\)",*$/\1/p' "$BASELINE_JSON" | head -1)
+fi
+
+check_ratio() {
+  # check_ratio <out-file> <stat-prefix> <min-ratio> <label>
+  local out="$1" prefix="$2" min="$3" label="$4"
+  [ -s "$out" ] && [ -n "$baseline_cpu" ] || return 0
+  local this_cpu
+  this_cpu=$(sed -n 's/^MACHINEKEY cpu=//p' "$out" | head -1)
+  if [ "$this_cpu" != "$baseline_cpu" ]; then
+    echo "bench_smoke: skipping $label threshold (machine key '$this_cpu' != recorded '$baseline_cpu')"
+    return 0
+  fi
+  local bad
+  bad=$(awk -v prefix="$prefix" -v min="$min" '$1 == prefix {
+    for (i = 1; i <= NF; i++) {
+      if ($i ~ /^ratio=/) { sub("ratio=", "", $i); if ($i + 0 < min) print }
+    }
+  }' "$out")
+  if [ -n "$bad" ]; then
+    echo "FAILED: $label ratio below ${min}x on the recorded machine ($this_cpu):" >&2
+    grep "^$prefix " "$out" | sed 's/^/    /' >&2
+    failures=$((failures + 1))
+  else
+    echo "bench_smoke: $label ratio >= ${min}x (machine key matched)"
+  fi
+}
+
+check_ratio /tmp/bench_smoke_srv.$$ SRVSTAT 100 "cached-compress"
+check_ratio /tmp/bench_smoke_scn.$$ SCENARIOSTAT 5.0 "scenario fan-out"
+rm -f /tmp/bench_smoke_srv.$$ /tmp/bench_smoke_scn.$$
 
 if [ "$count" -eq 0 ]; then
   echo "bench_smoke: no bench binaries found under $BENCH_DIR" >&2

@@ -6,6 +6,7 @@
 /// the `remote-*` subcommands, against a long-lived `provabs_server` that
 /// keeps artifacts and compressed results resident (see docs/SERVER.md).
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -22,6 +23,8 @@
 #include "core/valuation.h"
 #include "io/serializer.h"
 #include "online/online_compressor.h"
+#include "scenario/parser.h"
+#include "scenario/program.h"
 #include "server/client.h"
 #include "server/wire_protocol.h"
 #include "workload/telephony.h"
@@ -43,6 +46,9 @@ const char kUsage[] =
     "      [--algo NAME] [--vvs-out V.bin] [--out C.bin]\n"
     "  tradeoff --in P.bin --forest F.bin\n"
     "  evaluate --in P.bin [--set var=value]... [--eval-backend NAME]\n"
+    "  scenario --in P.bin (--expr TEXT | --expr-file F.scn)\n"
+    "      [--shape values|argmin|argmax|topk [--top-k K]]\n"
+    "      [--eval-backend NAME]\n"
     "\n"
     "serving (against a running provabs_server):\n"
     "  remote-load --port P --name A --in P.bin [--forest F.bin]\n"
@@ -51,6 +57,10 @@ const char kUsage[] =
     "  remote-compress --port P --name A --bound N\n"
     "      [--algo NAME] [--forest-name N] [--host H]\n"
     "  remote-evaluate --port P --name A [--set var=value]...\n"
+    "      [--eval-backend NAME]\n"
+    "      [--bound N [--algo NAME] [--forest-name N]] [--host H]\n"
+    "  remote-scenario --port P --name A (--expr TEXT | --expr-file F.scn)\n"
+    "      [--shape values|argmin|argmax|topk [--top-k K]]\n"
     "      [--eval-backend NAME]\n"
     "      [--bound N [--algo NAME] [--forest-name N]] [--host H]\n"
     "  remote-tradeoff --port P --name A [--forest-name N] [--host H]\n"
@@ -233,6 +243,83 @@ bool ParseFanouts(const std::string& spec, std::vector<uint32_t>* fanouts) {
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
+}
+
+// --------------------------------------------------- scenario front end --
+
+/// Reads the scenario program source from --expr (literal text) or
+/// --expr-file (a path); exactly one of the two is required. Returns 0 and
+/// fills `out` on success; otherwise the exit code (2 usage, 1 I/O).
+int ReadProgramSource(const Args& args, const char* cmd, std::string* out) {
+  const char* expr = args.Get("expr");
+  const char* expr_file = args.Get("expr-file");
+  if ((expr == nullptr) == (expr_file == nullptr)) {
+    std::fprintf(stderr, "%s requires exactly one of --expr / --expr-file\n",
+                 cmd);
+    return 2;
+  }
+  if (expr != nullptr) {
+    *out = expr;
+    return 0;
+  }
+  auto data = ReadFileToString(expr_file);
+  if (!data.ok()) return Fail(data.status());
+  *out = std::move(*data);
+  return 0;
+}
+
+/// Parses --shape / --top-k. Default shape is values; --top-k is only
+/// meaningful (and then mandatory, >= 1) with --shape topk.
+bool ParseShapeArgs(const Args& args, const char* cmd, ScenarioShape* shape,
+                    uint64_t* top_k) {
+  const char* name = args.Get("shape", "values");
+  std::string s = name;
+  if (s == "values") {
+    *shape = ScenarioShape::kValues;
+  } else if (s == "argmin") {
+    *shape = ScenarioShape::kArgmin;
+  } else if (s == "argmax") {
+    *shape = ScenarioShape::kArgmax;
+  } else if (s == "topk") {
+    *shape = ScenarioShape::kTopK;
+  } else {
+    std::fprintf(stderr,
+                 "%s: bad --shape '%s' (want values|argmin|argmax|topk)\n",
+                 cmd, name);
+    return false;
+  }
+  const char* k = args.Get("top-k");
+  if (*shape != ScenarioShape::kTopK) {
+    if (k != nullptr) {
+      std::fprintf(stderr, "%s: --top-k requires --shape topk\n", cmd);
+      return false;
+    }
+    *top_k = 0;
+    return true;
+  }
+  if (k == nullptr || !ParseUint64(k, top_k) || *top_k == 0) {
+    std::fprintf(stderr,
+                 "%s: --shape topk needs --top-k K (a positive integer)\n",
+                 cmd);
+    return false;
+  }
+  return true;
+}
+
+/// Prints a compile/parse failure with the caret diagnostic the offset
+/// points at, matching compiler convention; callers exit 2 (usage error:
+/// the program text is an argument, and it is malformed).
+void PrintScenarioError(const char* cmd, const Status& status,
+                        std::string_view source, size_t offset) {
+  std::fprintf(stderr, "%s: %s\n%s\n", cmd, status.message().c_str(),
+               scenario::CaretDiagnostic(source, offset).c_str());
+}
+
+void PrintValueRow(const double* values, size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    std::printf(i == 0 ? "%.6f" : " %.6f", values[i]);
+  }
+  std::printf("\n");
 }
 
 // ----------------------------------------------------- offline pipeline --
@@ -494,6 +581,116 @@ int CmdEvaluate(const Args& args) {
   return 0;
 }
 
+int CmdScenario(const Args& args) {
+  const char* in = args.Get("in");
+  if (in == nullptr) {
+    std::fprintf(stderr, "scenario requires --in\n");
+    return 2;
+  }
+  std::string backend = args.Get("eval-backend", "");
+  if (!ValidateEvalBackend(backend, "scenario")) return 2;
+  ScenarioShape shape = ScenarioShape::kValues;
+  uint64_t top_k = 0;
+  if (!ParseShapeArgs(args, "scenario", &shape, &top_k)) return 2;
+  std::string source;
+  if (int rc = ReadProgramSource(args, "scenario", &source)) return rc;
+
+  VariableTable vars;
+  auto polys_data = ReadFileToString(in);
+  if (!polys_data.ok()) return Fail(polys_data.status());
+  auto polys = DeserializePolynomialSet(*polys_data, vars);
+  if (!polys.ok()) return Fail(polys.status());
+  auto compiled = polys->Compiled();
+
+  size_t error_offset = 0;
+  auto program =
+      scenario::ScenarioProgram::Compile(source, compiled, vars,
+                                         &error_offset);
+  if (!program.ok()) {
+    PrintScenarioError("scenario", program.status(), source, error_offset);
+    return 2;
+  }
+  const uint64_t total = program->scenario_count();
+  const size_t poly_count = compiled->poly_count();
+
+  struct Pick {
+    uint64_t index;
+    double objective;
+    std::vector<double> values;
+  };
+  const bool shaped = shape != ScenarioShape::kValues;
+  const uint64_t keep = shape == ScenarioShape::kTopK ? top_k : 1;
+  auto better = [shape](const Pick& a, const Pick& b) {
+    if (a.objective != b.objective) {
+      return shape == ScenarioShape::kArgmin ? a.objective < b.objective
+                                             : a.objective > b.objective;
+    }
+    return a.index < b.index;
+  };
+  std::vector<Pick> picks;
+
+  Timer timer;
+  constexpr uint64_t kChunk = 1024;
+  for (uint64_t begin = 0; begin < total; begin += kChunk) {
+    const uint64_t end = std::min(total, begin + kChunk);
+    std::vector<DenseValuation> chunk;
+    Status expand = program->ExpandChunk(begin, end, &chunk);
+    if (!expand.ok()) return Fail(expand);
+    const size_t n = chunk.size();
+    StatusOr<const EvaluationBackend*> resolved =
+        EvaluationBackendRegistry::Default().ResolveForBatch(backend, n);
+    if (!resolved.ok()) return Fail(resolved.status());
+    std::vector<const DenseValuation*> ptrs(n);
+    std::vector<std::vector<double>> outs(n,
+                                          std::vector<double>(poly_count));
+    std::vector<double*> out_ptrs(n);
+    for (size_t i = 0; i < n; ++i) {
+      ptrs[i] = &chunk[i];
+      out_ptrs[i] = outs[i].data();
+    }
+    Status eval = (*resolved)->EvaluateBatch(*compiled, 0, poly_count,
+                                             ptrs.data(), out_ptrs.data(), n);
+    if (!eval.ok()) return Fail(eval);
+    for (size_t i = 0; i < n; ++i) {
+      if (!shaped) {
+        std::printf("scenario %llu: ",
+                    static_cast<unsigned long long>(begin + i));
+        PrintValueRow(outs[i].data(), poly_count);
+        continue;
+      }
+      double objective = 0.0;
+      for (double v : outs[i]) objective += v;
+      picks.push_back(Pick{begin + i, objective, std::move(outs[i])});
+    }
+    if (shaped && picks.size() > keep) {
+      std::sort(picks.begin(), picks.end(), better);
+      picks.resize(static_cast<size_t>(keep));
+    }
+  }
+  double elapsed = timer.ElapsedSeconds();
+  if (shaped) {
+    std::sort(picks.begin(), picks.end(), better);
+    for (const Pick& pick : picks) {
+      std::printf("scenario %llu: objective %.6f\n",
+                  static_cast<unsigned long long>(pick.index),
+                  pick.objective);
+      // The parameter assignments that produced this scenario — the
+      // answer an analyst actually wants from argmin/argmax.
+      std::vector<double> params = program->ParamValues(pick.index);
+      for (size_t p = 0; p < params.size(); ++p) {
+        std::printf("  %s = %.6f\n", program->param_names()[p].c_str(),
+                    params[p]);
+      }
+      std::printf("  values: ");
+      PrintValueRow(pick.values.data(), pick.values.size());
+    }
+  }
+  std::printf("(%llu scenarios x %zu polynomials in %.4fs%s%s)\n",
+              static_cast<unsigned long long>(total), poly_count, elapsed,
+              backend.empty() ? "" : ", backend: ", backend.c_str());
+  return 0;
+}
+
 // ---------------------------------------------------- remote subcommands --
 
 /// Parses the required --port flag strictly: missing, non-numeric, or
@@ -540,9 +737,16 @@ void PrintServerStats(const ServerStats& stats) {
   std::printf("single-flight: %llu dedup hits, %llu waiters in flight\n",
               static_cast<unsigned long long>(stats.dedup_hits),
               static_cast<unsigned long long>(stats.inflight_waiters));
-  std::printf("batching: %llu batches for %llu evaluate requests\n",
+  std::printf("batching: %llu batches (%llu lane groups, %llu backend "
+              "calls) for %llu evaluate requests\n",
               static_cast<unsigned long long>(stats.eval_batches),
+              static_cast<unsigned long long>(stats.eval_groups),
+              static_cast<unsigned long long>(stats.eval_backend_calls),
               static_cast<unsigned long long>(stats.eval_requests));
+  std::printf("programs: %llu cached, %llu hits, %llu misses\n",
+              static_cast<unsigned long long>(stats.program_count),
+              static_cast<unsigned long long>(stats.program_hits),
+              static_cast<unsigned long long>(stats.program_misses));
 }
 
 int CmdRemoteLoad(const Args& args) {
@@ -747,6 +951,91 @@ int CmdRemoteEvaluate(const Args& args) {
   return 0;
 }
 
+int CmdRemoteScenario(const Args& args) {
+  const char* name = args.Get("name");
+  if (name == nullptr) {
+    std::fprintf(stderr, "remote-scenario requires --name\n");
+    return 2;
+  }
+  EvaluateScenarioProgramRequest req;
+  req.artifact = name;
+  req.eval_backend = args.Get("eval-backend", "");
+  if (!ValidateEvalBackend(req.eval_backend, "remote-scenario")) return 2;
+  if (!ParseShapeArgs(args, "remote-scenario", &req.shape, &req.top_k)) {
+    return 2;
+  }
+  if (int rc = ReadProgramSource(args, "remote-scenario", &req.program)) {
+    return rc;
+  }
+  // Syntax is checked locally for the caret-diagnostic contract (exit 2
+  // like the offline `scenario` command); semantic analysis needs the
+  // artifact's variables, which live server-side.
+  size_t error_offset = 0;
+  auto ast = scenario::Parse(req.program, &error_offset);
+  if (!ast.ok()) {
+    PrintScenarioError("remote-scenario", ast.status(), req.program,
+                       error_offset);
+    return 2;
+  }
+  if (const char* bound = args.Get("bound")) {
+    req.compressed = true;
+    if (!ParseUint64(bound, &req.bound)) {
+      std::fprintf(
+          stderr,
+          "remote-scenario: bad --bound '%s' (want a non-negative integer)\n",
+          bound);
+      return 2;
+    }
+    req.forest = args.Get("forest-name", "default");
+    req.algo = args.Get("algo", "opt");
+    if (!ValidateAlgo(req.algo, "remote-scenario")) return 2;
+  } else if (args.Get("algo") != nullptr ||
+             args.Get("forest-name") != nullptr) {
+    std::fprintf(stderr,
+                 "remote-scenario: --algo/--forest-name require --bound\n");
+    return 2;
+  }
+  long port = ParsePortArg(args, "remote-scenario");
+  if (port < 0) return 2;
+  auto client = ConnectFromArgs(args, port);
+  if (!client.ok()) return Fail(client.status());
+  Timer timer;
+  auto resp = client->EvaluateScenarioProgram(req);
+  double elapsed = timer.ElapsedSeconds();
+  if (!resp.ok()) return Fail(resp.status());
+  if (int rc = CheckResponse(*resp)) return rc;
+  if (req.shape == ScenarioShape::kValues) {
+    const size_t poly_count =
+        resp->scenario_count == 0
+            ? 0
+            : resp->values.size() / static_cast<size_t>(resp->scenario_count);
+    for (uint64_t s = 0; s < resp->scenario_count; ++s) {
+      std::printf("scenario %llu: ", static_cast<unsigned long long>(s));
+      PrintValueRow(resp->values.data() + s * poly_count, poly_count);
+    }
+  } else {
+    const size_t poly_count =
+        resp->scenario_indices.empty()
+            ? 0
+            : resp->values.size() / resp->scenario_indices.size();
+    for (size_t i = 0; i < resp->scenario_indices.size(); ++i) {
+      std::printf("scenario %llu: objective %.6f\n",
+                  static_cast<unsigned long long>(resp->scenario_indices[i]),
+                  resp->objectives[i]);
+      std::printf("  values: ");
+      PrintValueRow(resp->values.data() + i * poly_count, poly_count);
+    }
+  }
+  std::printf("(%llu scenarios in %.4fs, program cache: %s%s)\n",
+              static_cast<unsigned long long>(resp->scenario_count), elapsed,
+              resp->program_cache_hit ? "hit" : "miss",
+              !req.compressed      ? ""
+              : resp->cache_hit    ? ", compressed, cache: hit"
+              : resp->dedup_hit    ? ", compressed, cache: dedup"
+                                   : ", compressed, cache: miss");
+  return 0;
+}
+
 int CmdRemoteTradeoff(const Args& args) {
   const char* name = args.Get("name");
   if (name == nullptr) {
@@ -798,12 +1087,18 @@ const Command kCommands[] = {
                                "out"}},
     {"tradeoff", CmdTradeoff, {"in", "forest"}},
     {"evaluate", CmdEvaluate, {"in", "set", "eval-backend"}},
+    {"scenario", CmdScenario, {"in", "expr", "expr-file", "shape", "top-k",
+                               "eval-backend"}},
     {"remote-load", CmdRemoteLoad, {"host", "port", "name", "in", "forest",
                                     "forest-name"}},
     {"remote-info", CmdRemoteInfo, {"host", "port", "name"}},
     {"remote-compress", CmdRemoteCompress, {"host", "port", "name", "bound",
                                             "algo", "forest-name"}},
     {"remote-evaluate", CmdRemoteEvaluate, {"host", "port", "name", "set",
+                                            "bound", "algo", "forest-name",
+                                            "eval-backend"}},
+    {"remote-scenario", CmdRemoteScenario, {"host", "port", "name", "expr",
+                                            "expr-file", "shape", "top-k",
                                             "bound", "algo", "forest-name",
                                             "eval-backend"}},
     {"remote-tradeoff", CmdRemoteTradeoff, {"host", "port", "name",
