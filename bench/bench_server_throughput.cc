@@ -19,7 +19,9 @@
 #include "core/valuation.h"
 #include "io/serializer.h"
 #include "parallel/thread_pool.h"
+#include "server/client.h"
 #include "server/provenance_service.h"
+#include "server/server.h"
 
 namespace provabs::bench {
 namespace {
@@ -183,7 +185,79 @@ void Run(const std::vector<std::string>& algos) {
                 r.errors > 0 ? " (errors!)" : "");
   }
 
-  // (4) Per-algorithm cold compress through the registry, each at the same
+  // (4) Event-loop front end: request latency over a real socket with 64
+  // idle connections parked on the server. Under the old
+  // thread-per-connection design those cost 64 blocked threads; the epoll
+  // loop holds them as bare fds, so a foreground client's Info round trips
+  // should be indistinguishable from an empty server (ratio ~1.0).
+  {
+    Server server(service, ServerOptions{});
+    Status started = server.Start();
+    if (!started.ok()) {
+      std::printf("server start failed: %s\n", started.ToString().c_str());
+    } else {
+      const int kInfoRpcs = 200;
+      auto rpc_batch = [&](const char* what) -> double {
+        auto client = Client::Connect("127.0.0.1", server.port());
+        if (!client.ok()) {
+          std::printf("%s connect failed: %s\n", what,
+                      client.status().ToString().c_str());
+          return -1.0;
+        }
+        Timer t;
+        for (int i = 0; i < kInfoRpcs; ++i) {
+          auto resp = client->Info(InfoRequest{});
+          if (!resp.ok()) {
+            std::printf("%s rpc failed: %s\n", what,
+                        resp.status().ToString().c_str());
+            return -1.0;
+          }
+        }
+        return t.ElapsedSeconds();
+      };
+      rpc_batch("warmup");  // First-connection and cache warmup.
+      double alone_s = rpc_batch("alone");
+      std::vector<Client> parked;
+      for (int c = 0; c < 64; ++c) {
+        auto idle = Client::Connect("127.0.0.1", server.port());
+        if (!idle.ok()) {
+          std::printf("idle connect %d failed: %s\n", c,
+                      idle.status().ToString().c_str());
+          break;
+        }
+        parked.push_back(std::move(*idle));
+      }
+      double parked_s = rpc_batch("with 64 idle conns");
+      const double ratio =
+          (alone_s > 0 && parked_s > 0) ? alone_s / parked_s : 0.0;
+      std::printf("\n%-28s %14s %16s %10s\n",
+                  "event loop (200 Info RPCs)", "total[s]", "rpc/s",
+                  "vs alone");
+      std::printf("%-28s %14.4f %16.0f %10s\n", "alone", alone_s,
+                  alone_s > 0 ? kInfoRpcs / alone_s : 0.0, "1x");
+      std::printf("%-28s %14.4f %16.0f %9.2fx\n", "with 64 idle conns",
+                  parked_s, parked_s > 0 ? kInfoRpcs / parked_s : 0.0,
+                  ratio);
+      Server::TransportStats tstats = server.transport_stats();
+      std::printf("transport: %llu active conns, %llu rejected, %llu "
+                  "idle-reaped, %llu loop wakeups\n",
+                  static_cast<unsigned long long>(tstats.active_connections),
+                  static_cast<unsigned long long>(tstats.rejected_connections),
+                  static_cast<unsigned long long>(tstats.idle_reaped),
+                  static_cast<unsigned long long>(tstats.loop_wakeups));
+      // Thresholded by tools/bench_smoke.sh on the baseline machine: idle
+      // connections dragging foreground latency to a fraction of the lone
+      // client means the event loop regressed (per-connection threads,
+      // busy wakeups, or O(conns) scans crept back in).
+      std::printf("SRVSTAT metric=concurrent_connections ratio=%.2f\n",
+                  ratio);
+      parked.clear();
+      server.Shutdown();
+      server.Wait();
+    }
+  }
+
+  // (5) Per-algorithm cold compress through the registry, each at the same
   // (small forest, bound) instance — the comparable baseline future
   // algorithm PRs extend. Reloading between runs keeps every run cold.
   std::printf("\n%-28s %14s %10s %10s %10s\n", "cold compress (forest "

@@ -18,6 +18,12 @@ enum class StatusCode {
   kInfeasible = 5,   ///< No adequate abstraction exists for the given bound.
   kInternal = 6,
   kUnimplemented = 7,
+  /// A caller-supplied timeout expired before the operation finished
+  /// (client RPC deadlines, connect timeouts).
+  kDeadlineExceeded = 8,
+  /// The service exists but refuses new work right now (connection limit,
+  /// fd exhaustion, draining for shutdown). Retryable, unlike kInternal.
+  kUnavailable = 9,
 };
 
 /// Human-readable name of a status code, e.g. "InvalidArgument".
@@ -58,6 +64,12 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -3,8 +3,10 @@
 #include <arpa/inet.h>
 #include <cerrno>
 #include <cstring>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -12,7 +14,60 @@
 
 namespace provabs {
 
-StatusOr<Client> Client::Connect(const std::string& host, uint16_t port) {
+namespace {
+
+/// Connects with a deadline: flip the socket non-blocking, start the
+/// connect, poll for writability, then read the outcome via SO_ERROR.
+/// The socket is restored to blocking mode on success (frame-level
+/// deadlines use poll and work on blocking sockets).
+Status ConnectWithTimeout(int fd, const sockaddr_in& addr,
+                          int64_t timeout_ms, const std::string& where) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::Internal(std::string("fcntl() failed: ") +
+                            std::strerror(errno));
+  }
+  int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS && errno != EINTR) {
+    return Status::NotFound("cannot connect to " + where + ": " +
+                            std::strerror(errno));
+  }
+  if (rc != 0) {
+    pollfd p{};
+    p.fd = fd;
+    p.events = POLLOUT;
+    for (;;) {
+      int pr = ::poll(&p, 1, static_cast<int>(timeout_ms));
+      if (pr > 0) break;
+      if (pr == 0) {
+        return Status::DeadlineExceeded("connect to " + where +
+                                        " timed out after " +
+                                        std::to_string(timeout_ms) + " ms");
+      }
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("poll failed: ") +
+                              std::strerror(errno));
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+        err != 0) {
+      return Status::NotFound("cannot connect to " + where + ": " +
+                              std::strerror(err != 0 ? err : errno));
+    }
+  }
+  if (::fcntl(fd, F_SETFL, flags) < 0) {
+    return Status::Internal(std::string("fcntl() failed: ") +
+                            std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<Client> Client::Connect(const std::string& host, uint16_t port,
+                                 const ClientOptions& options) {
   std::string numeric = host == "localhost" ? "127.0.0.1" : host;
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -25,9 +80,17 @@ StatusOr<Client> Client::Connect(const std::string& host, uint16_t port) {
     return Status::Internal(std::string("socket() failed: ") +
                             std::strerror(errno));
   }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    Status s = Status::NotFound("cannot connect to " + numeric + ":" +
-                                std::to_string(port) + ": " +
+  std::string where = numeric + ":" + std::to_string(port);
+  if (options.connect_timeout_ms > 0) {
+    Status s = ConnectWithTimeout(fd, addr, options.connect_timeout_ms,
+                                  where);
+    if (!s.ok()) {
+      ::close(fd);
+      return s;
+    }
+  } else if (::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                       sizeof(addr)) != 0) {
+    Status s = Status::NotFound("cannot connect to " + where + ": " +
                                 std::strerror(errno));
     ::close(fd);
     return s;
@@ -37,19 +100,23 @@ StatusOr<Client> Client::Connect(const std::string& host, uint16_t port) {
   // of idle stall to every round trip after the first.
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return Client(fd);
+  return Client(fd, options.rpc_timeout_ms);
 }
 
 Client::~Client() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-Client::Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_), rpc_timeout_ms_(other.rpc_timeout_ms_) {
+  other.fd_ = -1;
+}
 
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
     if (fd_ >= 0) ::close(fd_);
     fd_ = other.fd_;
+    rpc_timeout_ms_ = other.rpc_timeout_ms_;
     other.fd_ = -1;
   }
   return *this;
@@ -59,9 +126,22 @@ StatusOr<Response> Client::Call(const std::string& payload) {
   if (fd_ < 0) {
     return Status::FailedPrecondition("client is not connected");
   }
-  PROVABS_RETURN_IF_ERROR(WriteFrame(fd_, payload));
-  auto reply = ReadFrame(fd_);
-  if (!reply.ok()) return reply.status();
+  Status written = WriteFrame(fd_, payload, rpc_timeout_ms_);
+  if (!written.ok()) {
+    if (written.code() == StatusCode::kDeadlineExceeded) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+    return written;
+  }
+  auto reply = ReadFrame(fd_, rpc_timeout_ms_);
+  if (!reply.ok()) {
+    if (reply.status().code() == StatusCode::kDeadlineExceeded) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+    return reply.status();
+  }
   return DecodeResponse(*reply);
 }
 

@@ -9,6 +9,18 @@
 
 namespace provabs {
 
+struct ClientOptions {
+  /// Give up on connect() after this long (a firewalled host can
+  /// otherwise black-hole the SYN for minutes). <= 0 blocks.
+  int64_t connect_timeout_ms = 0;
+  /// Per-RPC budget covering the request write and the response read; a
+  /// hung server yields kDeadlineExceeded instead of blocking forever.
+  /// <= 0 blocks. After a deadline failure the connection is closed —
+  /// a late response arriving for an abandoned request would otherwise
+  /// desynchronize every later RPC on the stream.
+  int64_t rpc_timeout_ms = 0;
+};
+
 /// Blocking client for the provabs wire protocol: one TCP connection,
 /// synchronous request/response. Used by the `provabs_cli remote-*`
 /// subcommands and the end-to-end tests.
@@ -20,7 +32,8 @@ class Client {
  public:
   /// Connects to `host`:`port`. `host` must be a numeric IPv4 address, or
   /// "localhost" (mapped to 127.0.0.1).
-  static StatusOr<Client> Connect(const std::string& host, uint16_t port);
+  static StatusOr<Client> Connect(const std::string& host, uint16_t port,
+                                  const ClientOptions& options = {});
 
   ~Client();
   Client(Client&& other) noexcept;
@@ -40,12 +53,15 @@ class Client {
   StatusOr<Response> ListBackends(const ListBackendsRequest& req);
 
  private:
-  explicit Client(int fd) : fd_(fd) {}
+  Client(int fd, int64_t rpc_timeout_ms)
+      : fd_(fd), rpc_timeout_ms_(rpc_timeout_ms) {}
 
-  /// Writes one encoded request frame and reads back the response.
+  /// Writes one encoded request frame and reads back the response,
+  /// honoring rpc_timeout_ms across both halves.
   StatusOr<Response> Call(const std::string& payload);
 
   int fd_ = -1;
+  int64_t rpc_timeout_ms_ = 0;
 };
 
 }  // namespace provabs

@@ -28,7 +28,16 @@ ProvenanceService::ProvenanceService(const ServiceOptions& options)
       compress_hook_(options.compress_hook),
       max_scenarios_per_request_(options.max_scenarios_per_request),
       scenario_chunk_(options.scenario_chunk != 0 ? options.scenario_chunk
-                                                  : 1024) {}
+                                                  : 1024),
+      max_response_bytes_(options.max_response_bytes != 0
+                              ? options.max_response_bytes
+                              : kMaxFrameBytes) {}
+
+void ProvenanceService::SetTransportStatsProvider(
+    std::function<void(ServerStats&)> provider) {
+  std::lock_guard<std::mutex> lock(transport_mutex_);
+  transport_stats_ = std::move(provider);
+}
 
 void ProvenanceService::AttachStats(Response& resp) {
   ArtifactStore::Stats store_stats = store_.stats();
@@ -49,6 +58,10 @@ void ProvenanceService::AttachStats(Response& resp) {
   resp.stats.eval_requests = batch_stats.requests;
   resp.stats.eval_groups = batch_stats.groups;
   resp.stats.eval_backend_calls = batch_stats.backend_calls;
+  {
+    std::lock_guard<std::mutex> lock(transport_mutex_);
+    if (transport_stats_) transport_stats_(resp.stats);
+  }
 }
 
 Response ProvenanceService::Load(const LoadRequest& req) {
@@ -335,6 +348,25 @@ Response ProvenanceService::EvaluateScenarioProgram(
   };
   std::vector<Pick> picks;
   if (!shaped) {
+    // A values-shaped response carries total * poly_count doubles (8 bytes
+    // each on the wire). Refuse up front when that cannot fit in one
+    // response frame — computing a gigabyte of valuations only to die in
+    // WriteFrame would waste the work and kill the connection.
+    const uint64_t value_bytes =
+        total * static_cast<uint64_t>(compiled->poly_count()) * 8;
+    constexpr uint64_t kEnvelopeSlack = 4096;  // header, stats, varints
+    if (value_bytes > max_response_bytes_ ||
+        value_bytes + kEnvelopeSlack > max_response_bytes_) {
+      SetError(resp,
+               Status::OutOfRange(
+                   "values-shaped response would be about " +
+                   std::to_string(value_bytes) + " bytes, over the " +
+                   std::to_string(max_response_bytes_) +
+                   "-byte response limit; use --shape top-k to request "
+                   "only the best scenarios"));
+      AttachStats(resp);
+      return resp;
+    }
     resp.values.reserve(static_cast<size_t>(total) * compiled->poly_count());
   }
 
@@ -471,6 +503,30 @@ Response ProvenanceService::ListBackends(const ListBackendsRequest&) {
 
 std::string ProvenanceService::HandleFrame(std::string_view payload,
                                            bool* shutdown) {
+  std::string encoded = HandleFrameImpl(payload, shutdown);
+  if (encoded.size() <= max_response_bytes_ &&
+      encoded.size() <= kMaxFrameBytes) {
+    return encoded;
+  }
+  // Backstop for any handler whose response outgrew the frame budget:
+  // the client gets a structured error on a healthy connection instead of
+  // the transport killing the write (and with it the connection).
+  Response err;
+  StatusOr<MessageKind> kind = PeekMessageKind(payload);
+  if (kind.ok()) err.request_kind = *kind;
+  SetError(err, Status::OutOfRange(
+                    "encoded response of " + std::to_string(encoded.size()) +
+                    " bytes exceeds the " +
+                    std::to_string(std::min<uint64_t>(max_response_bytes_,
+                                                      kMaxFrameBytes)) +
+                    "-byte response limit; narrow the request (for scenario "
+                    "sweeps, use --shape top-k)"));
+  AttachStats(err);
+  return EncodeResponse(err);
+}
+
+std::string ProvenanceService::HandleFrameImpl(std::string_view payload,
+                                               bool* shutdown) {
   Response resp;
   StatusOr<MessageKind> kind = PeekMessageKind(payload);
   if (!kind.ok()) {

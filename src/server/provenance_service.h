@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -29,6 +30,11 @@ struct ServiceOptions {
   /// Scenarios expanded and fed to the batcher per chunk; bounds the
   /// transient dense-valuation memory of huge families.
   uint64_t scenario_chunk = 1024;
+  /// Upper bound on an encoded response payload. A request whose response
+  /// would exceed it (a `values`-shaped scenario sweep over a large
+  /// family, say) gets a structured kOutOfRange error instead of dying in
+  /// the transport's frame-size check. 0 = the protocol's kMaxFrameBytes.
+  uint64_t max_response_bytes = 0;
   /// Test-only hook, invoked on the computing thread at the start of every
   /// compression DP that single-flight actually runs — not for cache hits,
   /// not for deduplicated waiters. The concurrency test battery uses it to
@@ -70,7 +76,15 @@ class ProvenanceService {
   ArtifactStore& store() { return store_; }
   EvaluateBatcher& batcher() { return batcher_; }
 
+  /// Installed by the socket front end (Server) so every response's stats
+  /// block carries the transport counters; pass nullptr to uninstall.
+  /// Serving without a server simply leaves the counters at zero.
+  void SetTransportStatsProvider(std::function<void(ServerStats&)> provider);
+
  private:
+  /// HandleFrame's decode/dispatch/encode core, before the response-size
+  /// guard is applied.
+  std::string HandleFrameImpl(std::string_view payload, bool* shutdown);
   /// Fills the stats section of `resp` from store + batcher counters.
   void AttachStats(Response& resp);
   /// The single compress dispatch shared by Compress and
@@ -95,6 +109,10 @@ class ProvenanceService {
   std::function<void(const ArtifactStore::ResultKey&)> compress_hook_;
   uint64_t max_scenarios_per_request_;
   uint64_t scenario_chunk_;
+  uint64_t max_response_bytes_;
+
+  std::mutex transport_mutex_;
+  std::function<void(ServerStats&)> transport_stats_;  // guarded above
 };
 
 }  // namespace provabs

@@ -1,10 +1,15 @@
 #include "server/wire_protocol.h"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <limits>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "common/macros.h"
 #include "io/byte_stream.h"
 
 namespace provabs {
@@ -360,6 +365,10 @@ std::string EncodeResponse(const Response& resp) {
   w.PutVarint(resp.stats.program_count);
   w.PutVarint(resp.stats.program_hits);
   w.PutVarint(resp.stats.program_misses);
+  w.PutVarint(resp.stats.active_connections);
+  w.PutVarint(resp.stats.rejected_connections);
+  w.PutVarint(resp.stats.idle_reaped);
+  w.PutVarint(resp.stats.loop_wakeups);
 
   w.PutVarint(resp.generation);
   w.PutVarint(resp.poly_count);
@@ -427,7 +436,7 @@ StatusOr<Response> DecodeResponse(std::string_view payload) {
   resp.request_kind = static_cast<MessageKind>(*request_kind);
   auto code = r.GetU8();
   if (!code.ok()) return code.status();
-  if (*code > static_cast<uint8_t>(StatusCode::kUnimplemented)) {
+  if (*code > static_cast<uint8_t>(StatusCode::kUnavailable)) {
     return Status::InvalidArgument("unknown status code in response");
   }
   resp.code = static_cast<StatusCode>(*code);
@@ -444,6 +453,8 @@ StatusOr<Response> DecodeResponse(std::string_view payload) {
       &resp.stats.inflight_waiters, &resp.stats.eval_groups,
       &resp.stats.eval_backend_calls, &resp.stats.program_count,
       &resp.stats.program_hits,   &resp.stats.program_misses,
+      &resp.stats.active_connections, &resp.stats.rejected_connections,
+      &resp.stats.idle_reaped,    &resp.stats.loop_wakeups,
       &resp.generation,           &resp.poly_count,
       &resp.monomial_count,       &resp.variable_count};
   for (uint64_t* field : stat_fields) {
@@ -576,10 +587,57 @@ StatusOr<Response> DecodeResponse(std::string_view payload) {
 
 // ------------------------------------------------------------ framing ----
 
-Status WriteFrame(int fd, std::string_view payload) {
+namespace {
+
+/// Absolute deadline for one frame operation. `timeout_ms` <= 0 = infinite.
+struct FrameDeadline {
+  explicit FrameDeadline(int64_t timeout_ms)
+      : infinite(timeout_ms <= 0),
+        at(std::chrono::steady_clock::now() +
+           std::chrono::milliseconds(timeout_ms > 0 ? timeout_ms : 0)),
+        budget_ms(timeout_ms) {}
+
+  /// Blocks until `fd` is ready for `events` or the deadline passes.
+  /// Returns kDeadlineExceeded on expiry, kInternal on poll failure.
+  Status PollFor(int fd, short events, const char* what) const {
+    for (;;) {
+      int wait_ms = -1;
+      if (!infinite) {
+        auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+            at - std::chrono::steady_clock::now());
+        if (remaining.count() <= 0) return Expired(what);
+        wait_ms = static_cast<int>(std::min<int64_t>(
+            remaining.count() + 1, std::numeric_limits<int>::max()));
+      }
+      pollfd p{};
+      p.fd = fd;
+      p.events = events;
+      int r = ::poll(&p, 1, wait_ms);
+      if (r > 0) return Status::OK();
+      if (r == 0) return Expired(what);
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("poll failed: ") +
+                              std::strerror(errno));
+    }
+  }
+
+  Status Expired(const char* what) const {
+    return Status::DeadlineExceeded(std::string(what) + " timed out after " +
+                                    std::to_string(budget_ms) + " ms");
+  }
+
+  bool infinite;
+  std::chrono::steady_clock::time_point at;
+  int64_t budget_ms;
+};
+
+}  // namespace
+
+Status WriteFrame(int fd, std::string_view payload, int64_t timeout_ms) {
   if (payload.size() > kMaxFrameBytes) {
     return Status::InvalidArgument("frame exceeds the 1 GiB protocol limit");
   }
+  FrameDeadline deadline(timeout_ms);
   uint32_t len = static_cast<uint32_t>(payload.size());
   char header[4] = {static_cast<char>(len & 0xFF),
                     static_cast<char>((len >> 8) & 0xFF),
@@ -596,6 +654,13 @@ Status WriteFrame(int fd, std::string_view payload) {
           ::send(fd, chunks[c] + sent, sizes[c] - sent, MSG_NOSIGNAL);
       if (n < 0) {
         if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          // Non-blocking socket with a full buffer (a stalled peer): wait
+          // for writability within the deadline instead of spinning.
+          PROVABS_RETURN_IF_ERROR(
+              deadline.PollFor(fd, POLLOUT, "rpc write"));
+          continue;
+        }
         return Status::Internal(std::string("socket write failed: ") +
                                 std::strerror(errno));
       }
@@ -608,13 +673,23 @@ Status WriteFrame(int fd, std::string_view payload) {
 namespace {
 
 /// Reads exactly `n` bytes into `out`; distinguishes EOF-before-anything
-/// (`*clean_eof = true`) from EOF mid-read.
-Status ReadExactly(int fd, char* out, size_t n, bool* clean_eof) {
+/// (`*clean_eof = true`) from EOF mid-read. Honors `deadline` across
+/// blocking waits (poll-before-read on EAGAIN and, when a deadline is set,
+/// before every read so a hung peer cannot park a blocking socket forever).
+Status ReadExactly(int fd, char* out, size_t n, bool* clean_eof,
+                   const FrameDeadline& deadline) {
   size_t got = 0;
   while (got < n) {
+    if (!deadline.infinite) {
+      PROVABS_RETURN_IF_ERROR(deadline.PollFor(fd, POLLIN, "rpc read"));
+    }
     ssize_t r = ::read(fd, out + got, n - got);
     if (r < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        PROVABS_RETURN_IF_ERROR(deadline.PollFor(fd, POLLIN, "rpc read"));
+        continue;
+      }
       return Status::Internal(std::string("socket read failed: ") +
                               std::strerror(errno));
     }
@@ -632,10 +707,11 @@ Status ReadExactly(int fd, char* out, size_t n, bool* clean_eof) {
 
 }  // namespace
 
-StatusOr<std::string> ReadFrame(int fd) {
+StatusOr<std::string> ReadFrame(int fd, int64_t timeout_ms) {
+  FrameDeadline deadline(timeout_ms);
   char header[4];
   bool clean_eof = false;
-  Status s = ReadExactly(fd, header, sizeof(header), &clean_eof);
+  Status s = ReadExactly(fd, header, sizeof(header), &clean_eof, deadline);
   if (!s.ok()) return s;
   uint32_t len = static_cast<uint32_t>(static_cast<unsigned char>(header[0])) |
                  static_cast<uint32_t>(static_cast<unsigned char>(header[1]))
@@ -649,7 +725,7 @@ StatusOr<std::string> ReadFrame(int fd) {
   }
   std::string payload(len, '\0');
   if (len > 0) {
-    s = ReadExactly(fd, payload.data(), len, nullptr);
+    s = ReadExactly(fd, payload.data(), len, nullptr, deadline);
     if (!s.ok()) return s;
   }
   return payload;

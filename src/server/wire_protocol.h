@@ -48,8 +48,11 @@ namespace provabs {
 /// EvaluateRequest; 5 = EvaluateScenarioProgram request (kind 24), the
 /// batcher/program-cache counters in the stats block, and the
 /// scenario-result fields (scenario_count, program_cache_hit,
-/// scenario_indices, objectives) in the response.
-inline constexpr uint8_t kWireVersion = 5;
+/// scenario_indices, objectives) in the response; 6 = event-loop transport
+/// counters (active/rejected connections, idle reaps, loop wakeups) in the
+/// stats block plus the kDeadlineExceeded/kUnavailable status codes used by
+/// admission rejection and client RPC deadlines.
+inline constexpr uint8_t kWireVersion = 6;
 
 enum class MessageKind : uint8_t {
   kLoadRequest = 16,
@@ -224,6 +227,17 @@ struct ServerStats {
   uint64_t program_count = 0;
   uint64_t program_hits = 0;
   uint64_t program_misses = 0;
+  /// Event-loop transport counters (zero when the service is driven
+  /// without a socket front end, e.g. in unit tests). `active_connections`
+  /// is a gauge of admitted connections; `rejected_connections` counts
+  /// admission rejections (connection limit, fd exhaustion, drain);
+  /// `idle_reaped` counts connections the timer wheel closed for idling
+  /// past ServerOptions::idle_timeout_ms; `loop_wakeups` counts event-loop
+  /// iterations (epoll_wait returns) — cumulative except the gauge.
+  uint64_t active_connections = 0;
+  uint64_t rejected_connections = 0;
+  uint64_t idle_reaped = 0;
+  uint64_t loop_wakeups = 0;
 };
 
 /// The single response envelope: `request_kind` echoes the request it
@@ -323,12 +337,17 @@ StatusOr<Response> DecodeResponse(std::string_view payload);
 inline constexpr size_t kMaxFrameBytes = size_t{1} << 30;  // 1 GiB
 
 /// Writes one [u32 length][payload] frame to `fd`, retrying on partial
-/// writes and EINTR.
-Status WriteFrame(int fd, std::string_view payload);
+/// writes, EINTR, and (via poll) EAGAIN, so it works on blocking and
+/// non-blocking sockets alike. With `timeout_ms` > 0 the whole frame must
+/// be written within that budget or kDeadlineExceeded is returned;
+/// `timeout_ms` <= 0 waits forever.
+Status WriteFrame(int fd, std::string_view payload, int64_t timeout_ms = 0);
 
 /// Reads one frame from `fd`. A clean EOF on the frame boundary yields
-/// kNotFound ("connection closed"); EOF mid-frame yields kOutOfRange.
-StatusOr<std::string> ReadFrame(int fd);
+/// kNotFound ("connection closed"); EOF mid-frame yields kOutOfRange. With
+/// `timeout_ms` > 0 the whole frame must arrive within that budget or
+/// kDeadlineExceeded is returned; `timeout_ms` <= 0 waits forever.
+StatusOr<std::string> ReadFrame(int fd, int64_t timeout_ms = 0);
 
 }  // namespace provabs
 

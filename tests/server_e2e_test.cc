@@ -1,18 +1,25 @@
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
 #include <signal.h>
+#include <sys/socket.h>
 #include <sys/stat.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "core/valuation.h"
 #include "io/serializer.h"
@@ -122,6 +129,294 @@ TEST(ServerSocketTest, ServerSurvivesGarbageAndAbruptDisconnect) {
 
   client->Shutdown(ShutdownRequest{});
   server.Wait();
+}
+
+// ------------------------------------------- event-loop lifecycle tests --
+
+/// Thread count of this process, from /proc/self/status. The event-loop
+/// acceptance bar — N idle connections never cost N threads — is only
+/// checkable at the OS level.
+int ProcessThreadCount() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("Threads:", 0) == 0) {
+      return std::atoi(line.c_str() + 8);
+    }
+  }
+  return -1;
+}
+
+/// Raw blocking loopback connect, for tests that need a socket the Client
+/// abstraction would hide (half-written frames, EOF observation).
+int RawConnect(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Blocks up to `timeout_ms` for EOF on `fd`; returns the elapsed
+/// milliseconds, or -1 if the peer never closed.
+int64_t WaitForEof(int fd, int64_t timeout_ms) {
+  auto start = std::chrono::steady_clock::now();
+  char buf[256];
+  for (;;) {
+    auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+    if (elapsed >= timeout_ms) return -1;
+    pollfd p{};
+    p.fd = fd;
+    p.events = POLLIN;
+    int pr = ::poll(&p, 1, static_cast<int>(timeout_ms - elapsed));
+    if (pr <= 0) continue;
+    ssize_t r = ::read(fd, buf, sizeof(buf));
+    if (r == 0) {
+      return std::chrono::duration_cast<std::chrono::milliseconds>(
+                 std::chrono::steady_clock::now() - start)
+          .count();
+    }
+    if (r < 0 && errno != EINTR && errno != EAGAIN) {
+      return std::chrono::duration_cast<std::chrono::milliseconds>(
+                 std::chrono::steady_clock::now() - start)
+          .count();
+    }
+  }
+}
+
+/// 64 parked connections must cost file descriptors, not threads: the
+/// process thread count after opening them equals the count right after
+/// Start() (1 loop thread + the fixed worker pool).
+TEST(ServerLifecycleTest, IdleConnectionsConsumeNoExtraThreads) {
+  ServiceOptions service_options;
+  service_options.eval_threads = 1;
+  ProvenanceService service(service_options);
+  ServerOptions options;
+  options.worker_threads = 2;
+  Server server(service, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Let the loop + worker threads finish spawning before baselining.
+  auto warm = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(warm.ok());
+  ASSERT_TRUE(warm->Info(InfoRequest{}).ok());
+  int baseline = ProcessThreadCount();
+  ASSERT_GT(baseline, 0);
+
+  std::vector<Client> idle;
+  for (int i = 0; i < 64; ++i) {
+    auto c = Client::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(c.ok()) << "connection " << i << ": "
+                        << c.status().ToString();
+    idle.push_back(std::move(*c));
+  }
+  // One of them proves the server is actually processing, not just
+  // accepting into a backlog.
+  auto info = idle.front().Info(InfoRequest{});
+  ASSERT_TRUE(info.ok());
+  EXPECT_GE(info->stats.active_connections, 65u);  // warm + 64 idle
+
+  EXPECT_EQ(ProcessThreadCount(), baseline)
+      << "event-loop server spawned per-connection threads";
+
+  idle.clear();
+  server.Shutdown();
+  server.Wait();
+}
+
+/// A connection that goes silent is closed by the timer wheel within
+/// 2 x idle_timeout_ms (the e2e acceptance bound).
+TEST(ServerLifecycleTest, IdleClientReapedWithinTwiceTimeout) {
+  ProvenanceService service;
+  ServerOptions options;
+  options.idle_timeout_ms = 400;
+  options.worker_threads = 1;
+  Server server(service, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  int fd = RawConnect(server.port());
+  ASSERT_GE(fd, 0);
+  int64_t elapsed = WaitForEof(fd, 4000);
+  ::close(fd);
+  ASSERT_GE(elapsed, 0) << "idle connection was never reaped";
+  EXPECT_LE(elapsed, 2 * 400) << "reap took longer than 2x idle_timeout_ms";
+  EXPECT_GE(server.transport_stats().idle_reaped, 1u);
+
+  // The server keeps serving fresh connections afterwards.
+  auto client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  auto resp = client->Info(InfoRequest{});
+  ASSERT_TRUE(resp.ok());
+  EXPECT_GE(resp->stats.idle_reaped, 1u);
+
+  server.Shutdown();
+  server.Wait();
+}
+
+/// Connection #(max+1) receives a structured kUnavailable response — not a
+/// silent close — and closing an admitted connection frees its slot.
+TEST(ServerLifecycleTest, OverLimitConnectionRejectedWithStructuredError) {
+  ProvenanceService service;
+  ServerOptions options;
+  options.max_connections = 2;
+  options.worker_threads = 1;
+  Server server(service, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto first = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first->Info(InfoRequest{}).ok());
+  {
+    auto second = Client::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(second.ok());
+    ASSERT_TRUE(second->Info(InfoRequest{}).ok());
+
+    auto third = Client::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(third.ok());  // TCP accept succeeds; admission rejects.
+    auto resp = third->Info(InfoRequest{});
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    EXPECT_EQ(resp->code, StatusCode::kUnavailable);
+    EXPECT_NE(resp->message.find("connection limit"), std::string::npos)
+        << resp->message;
+    EXPECT_GE(server.transport_stats().rejected_connections, 1u);
+  }  // `second` closes here, freeing its slot.
+
+  // Freeing an admitted slot readmits: retry until the loop notices the
+  // close (its EOF arrives asynchronously).
+  bool readmitted = false;
+  for (int i = 0; i < 100 && !readmitted; ++i) {
+    auto retry = Client::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(retry.ok());
+    auto resp = retry->Info(InfoRequest{});
+    readmitted = resp.ok() && resp->ok();
+    if (!readmitted) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  EXPECT_TRUE(readmitted) << "slot was never freed after client close";
+
+  server.Shutdown();
+  server.Wait();
+}
+
+/// Slowloris-style abuse: a half-written frame followed by a disconnect,
+/// a truncated header, and an absurd frame length must all leave the loop
+/// serving other clients.
+TEST(ServerLifecycleTest, HalfWrittenFrameAndDisconnectDoNotWedgeLoop) {
+  ProvenanceService service;
+  ServerOptions options;
+  options.worker_threads = 1;
+  Server server(service, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  {
+    // Header promising 100 bytes, only 10 delivered, then FIN.
+    int fd = RawConnect(server.port());
+    ASSERT_GE(fd, 0);
+    unsigned char partial[14] = {100, 0, 0, 0, 'x', 'x', 'x', 'x', 'x',
+                                 'x',  'x', 'x', 'x', 'x'};
+    ASSERT_EQ(::send(fd, partial, sizeof(partial), MSG_NOSIGNAL),
+              static_cast<ssize_t>(sizeof(partial)));
+    ::close(fd);
+  }
+  {
+    // Two bytes of a four-byte header, then FIN.
+    int fd = RawConnect(server.port());
+    ASSERT_GE(fd, 0);
+    unsigned char half_header[2] = {8, 0};
+    ASSERT_EQ(::send(fd, half_header, sizeof(half_header), MSG_NOSIGNAL), 2);
+    ::close(fd);
+  }
+  {
+    // A length over kMaxFrameBytes is a protocol violation: the server
+    // closes the connection rather than buffering toward it.
+    int fd = RawConnect(server.port());
+    ASSERT_GE(fd, 0);
+    unsigned char huge[4] = {0xFF, 0xFF, 0xFF, 0xFF};
+    ASSERT_EQ(::send(fd, huge, sizeof(huge), MSG_NOSIGNAL), 4);
+    EXPECT_GE(WaitForEof(fd, 2000), 0) << "oversized frame not rejected";
+    ::close(fd);
+  }
+
+  auto client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  auto resp = client->Info(InfoRequest{});
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_TRUE(resp->ok());
+
+  server.Shutdown();
+  server.Wait();
+}
+
+/// Shutdown during an in-flight compress drains gracefully: the DP
+/// finishes, its response reaches the client, and only then does the
+/// server exit.
+TEST(ServerLifecycleTest, GracefulDrainCompletesInFlightCompress) {
+  VariableTable vars;
+  RunningExample ex = MakeRunningExample(vars);
+  PolynomialSet polys = RunRunningExampleQuery(ex);
+  AbstractionForest forest;
+  forest.AddTree(MakeFigure2PlansTree(vars));
+
+  std::mutex m;
+  std::condition_variable cv;
+  bool entered = false;
+  bool release = false;
+  ServiceOptions service_options;
+  service_options.compress_hook = [&](const ArtifactStore::ResultKey&) {
+    std::unique_lock<std::mutex> lock(m);
+    entered = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return release; });
+  };
+  ProvenanceService service(service_options);
+  ServerOptions options;
+  options.worker_threads = 2;
+  options.drain_timeout_ms = 10000;
+  Server server(service, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  LoadRequest load;
+  load.artifact = "ex";
+  load.polys_bytes = SerializePolynomialSet(polys, vars);
+  load.forests = {{"plans", SerializeForest(forest, vars)}};
+  ASSERT_TRUE(client->Load(load).ok());
+
+  StatusOr<Response> compress_result = Status::Internal("not run");
+  std::thread requester([&] {
+    CompressRequest req;
+    req.artifact = "ex";
+    req.forest = "plans";
+    req.bound = polys.SizeM() - 1;
+    compress_result = client->Compress(req);
+  });
+
+  {
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return entered; });
+  }
+  server.Shutdown();  // Drain begins with the DP still executing.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  {
+    std::lock_guard<std::mutex> lock(m);
+    release = true;
+    cv.notify_all();
+  }
+  requester.join();
+  server.Wait();
+
+  ASSERT_TRUE(compress_result.ok()) << compress_result.status().ToString();
+  EXPECT_TRUE(compress_result->ok()) << compress_result->message;
 }
 
 // ------------------------------------------------- binary-level smoke ----
@@ -311,6 +606,50 @@ TEST_F(ServerBinarySmokeTest, FullRemoteSessionWithCacheHit) {
   log_text << log.rdbuf();
   EXPECT_NE(log_text.str().find("shut down cleanly"), std::string::npos)
       << log_text.str();
+}
+
+/// The client-deadline acceptance bar: a remote-compress against a
+/// SIGSTOPped server exits with a DeadlineExceeded error instead of
+/// hanging forever on the dead socket.
+TEST_F(ServerBinarySmokeTest, RemoteCompressAgainstStoppedServerTimesOut) {
+  std::string port_file = dir_ + "/stopped.port";
+  std::remove(port_file.c_str());
+  pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    execl(server_.c_str(), "provabs_server", "--port", "0", "--port-file",
+          port_file.c_str(), static_cast<char*>(nullptr));
+    std::_Exit(127);  // exec failed
+  }
+  ChildGuard guard{pid};
+
+  std::string port;
+  for (int i = 0; i < 200 && port.empty(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    std::ifstream in(port_file);
+    std::getline(in, port);
+  }
+  ASSERT_FALSE(port.empty()) << "server did not write its port file";
+
+  // Freeze the server. The kernel still completes TCP handshakes on its
+  // listen backlog and buffers the request bytes, so without a deadline
+  // the client would block in read() until the process is thawed.
+  ASSERT_EQ(::kill(pid, SIGSTOP), 0);
+
+  std::string out;
+  auto start = std::chrono::steady_clock::now();
+  int rc = RunCli("remote-compress --host 127.0.0.1 --port " + port +
+                      " --name tel --bound 1500 --timeout-ms 500",
+                  &out);
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  ASSERT_TRUE(WIFEXITED(rc)) << out;
+  EXPECT_EQ(WEXITSTATUS(rc), 1) << out;
+  EXPECT_NE(out.find("DeadlineExceeded"), std::string::npos) << out;
+  EXPECT_LT(elapsed, 10000) << "timeout did not bound the RPC";
+
+  ::kill(pid, SIGCONT);  // ChildGuard's SIGKILL needs a running process
 }
 
 }  // namespace

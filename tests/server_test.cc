@@ -616,6 +616,65 @@ class ScenarioServiceTest : public ServiceTest {
   }
 };
 
+/// A values-shaped family whose response cannot fit the frame budget is
+/// refused up front with a structured kOutOfRange naming the --shape top-k
+/// workaround — before any valuation is computed, and never by dying in
+/// the transport's frame-size check.
+TEST_F(ScenarioServiceTest, OversizedValuesResponseRejectedStructured) {
+  ServiceOptions small;
+  small.max_response_bytes = 4096 + 100;  // fits the envelope, not 10k values
+  ProvenanceService service(small);
+  LoadRequest load;
+  load.artifact = "ex";
+  load.polys_bytes = polys_bytes_;
+  load.forests = {{"plans", plans_bytes_}};
+  ASSERT_TRUE(service.Load(load).ok());
+
+  EvaluateScenarioProgramRequest req;
+  req.artifact = "ex";
+  req.program =
+      "LET a = SWEEP(0.5 .. 1.4 STEP 0.1);"
+      "LET b = SWEEP(0.5 .. 1.4 STEP 0.1);"
+      "LET c = SWEEP(0.5 .. 1.4 STEP 0.1);"
+      "SET PREFIX(m) = a; SET PREFIX(b) = b; SET * = c;";
+  Response resp = service.EvaluateScenarioProgram(req);
+  EXPECT_EQ(resp.code, StatusCode::kOutOfRange);
+  EXPECT_NE(resp.message.find("--shape top-k"), std::string::npos)
+      << resp.message;
+  EXPECT_TRUE(resp.values.empty());
+
+  // The suggested workaround actually works on the same service: top-k
+  // keeps the response bounded regardless of family size.
+  req.shape = ScenarioShape::kTopK;
+  req.top_k = 3;
+  Response shaped = service.EvaluateScenarioProgram(req);
+  ASSERT_TRUE(shaped.ok()) << shaped.message;
+  EXPECT_EQ(shaped.scenario_indices.size(), 3u);
+}
+
+/// The HandleFrame backstop: any handler whose encoded response outgrows
+/// the budget is replaced by a structured error on a healthy connection.
+TEST_F(ScenarioServiceTest, HandleFrameReplacesOversizedResponse) {
+  ServiceOptions tiny;
+  tiny.max_response_bytes = 8;  // every real response exceeds this
+  ProvenanceService service(tiny);
+  LoadRequest load;
+  load.artifact = "ex";
+  load.polys_bytes = polys_bytes_;
+  load.forests = {{"plans", plans_bytes_}};
+  ASSERT_TRUE(service.Load(load).ok());
+
+  bool shutdown = false;
+  std::string encoded =
+      service.HandleFrame(EncodeInfoRequest(InfoRequest{"ex"}), &shutdown);
+  auto decoded = DecodeResponse(encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->code, StatusCode::kOutOfRange);
+  EXPECT_NE(decoded->message.find("response limit"), std::string::npos)
+      << decoded->message;
+  EXPECT_FALSE(shutdown);
+}
+
 // The acceptance check: a three-parameter sweep family (10^3 = 1000
 // scenarios) answered in ONE request, bitwise identical to 1000 individual
 // Evaluate round trips.

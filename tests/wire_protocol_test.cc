@@ -153,6 +153,46 @@ TEST(WireProtocolTest, ScenarioResponseRoundTrip) {
   EXPECT_EQ(decoded->stats.program_misses, 3u);
 }
 
+TEST(WireProtocolTest, TransportCounterRoundTrip) {
+  // The wire-v6 transport counters (event-loop front end) ride the stats
+  // block like every other counter and survive a round trip losslessly.
+  Response resp;
+  resp.request_kind = MessageKind::kInfoRequest;
+  resp.stats.active_connections = 64;
+  resp.stats.rejected_connections = 7;
+  resp.stats.idle_reaped = 3;
+  resp.stats.loop_wakeups = 123456789;
+  resp.stats.program_misses = 2;  // Neighbors must not shift position.
+  resp.stats.eval_batches = 11;
+
+  auto decoded = DecodeResponse(EncodeResponse(resp));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->stats.active_connections, 64u);
+  EXPECT_EQ(decoded->stats.rejected_connections, 7u);
+  EXPECT_EQ(decoded->stats.idle_reaped, 3u);
+  EXPECT_EQ(decoded->stats.loop_wakeups, 123456789u);
+  EXPECT_EQ(decoded->stats.program_misses, 2u);
+  EXPECT_EQ(decoded->stats.eval_batches, 11u);
+}
+
+TEST(WireProtocolTest, UnavailableAndDeadlineStatusCodesRoundTrip) {
+  Response resp;
+  resp.request_kind = MessageKind::kInfoRequest;
+  resp.code = StatusCode::kUnavailable;
+  resp.message = "server at its connection limit (1024); retry later";
+  auto decoded = DecodeResponse(EncodeResponse(resp));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->code, StatusCode::kUnavailable);
+  EXPECT_EQ(decoded->ToStatus().code(), StatusCode::kUnavailable);
+  EXPECT_NE(decoded->message.find("connection limit"), std::string::npos);
+
+  resp.code = StatusCode::kDeadlineExceeded;
+  resp.message = "rpc read timed out after 500 ms";
+  decoded = DecodeResponse(EncodeResponse(resp));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->code, StatusCode::kDeadlineExceeded);
+}
+
 TEST(WireProtocolTest, ListBackendsResponseRoundTrip) {
   EXPECT_TRUE(DecodeListBackendsRequest(
                   EncodeListBackendsRequest(ListBackendsRequest{}))

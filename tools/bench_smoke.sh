@@ -3,7 +3,7 @@
 # nonzero exit. Benches are not part of ctest, so without this they only
 # ever compile in CI and can bit-rot at runtime (stale flags, renamed
 # registry algorithms, workload API drift). This is a liveness check, not a
-# measurement: timings printed here are meaningless — with THREE machine-
+# measurement: timings printed here are meaningless — with FOUR machine-
 # keyed exceptions, each only checked when the current MACHINEKEY (cpu
 # model) matches the cpu recorded in the reference JSON; on other machines
 # the thresholds are skipped (noise):
@@ -15,6 +15,11 @@
 #     ratio (cold DP / cache hit) must stay >= 100x. The hot serving path
 #     is a mutex + hash probe; two orders of magnitude of headroom under
 #     the ~2000x recorded means the path grew real work.
+#   - bench_server_throughput (vs BENCH_baseline.json): foreground Info
+#     RPC latency with 64 idle connections parked must stay >= 0.5x the
+#     lone-client latency. Idle connections are bare fds on the epoll
+#     loop; if they drag request latency, per-connection threads, busy
+#     wakeups, or O(conns) scans crept back into the front end.
 #   - bench_scenario_expand (vs BENCH_baseline.json): one scenario-program
 #     request must stay >= 5.0x faster than the same 1000 scenarios as
 #     individual RPCs (the subsystem's raison d'etre), and its built-in
@@ -106,8 +111,11 @@ if [ -f "$BASELINE_JSON" ]; then
 fi
 
 check_ratio() {
-  # check_ratio <out-file> <stat-prefix> <min-ratio> <label>
-  local out="$1" prefix="$2" min="$3" label="$4"
+  # check_ratio <out-file> <stat-prefix> <min-ratio> <label> [metric]
+  # A driver may print several <stat-prefix> lines, distinguished by a
+  # metric=NAME field; pass [metric] to threshold only that line (empty
+  # matches every line, the pre-multi-metric behaviour).
+  local out="$1" prefix="$2" min="$3" label="$4" metric="${5:-}"
   [ -s "$out" ] && [ -n "$baseline_cpu" ] || return 0
   local this_cpu
   this_cpu=$(sed -n 's/^MACHINEKEY cpu=//p' "$out" | head -1)
@@ -116,7 +124,8 @@ check_ratio() {
     return 0
   fi
   local bad
-  bad=$(awk -v prefix="$prefix" -v min="$min" '$1 == prefix {
+  bad=$(awk -v prefix="$prefix" -v min="$min" -v metric="$metric" \
+    '$1 == prefix && (metric == "" || $2 == "metric=" metric) {
     for (i = 1; i <= NF; i++) {
       if ($i ~ /^ratio=/) { sub("ratio=", "", $i); if ($i + 0 < min) print }
     }
@@ -130,7 +139,8 @@ check_ratio() {
   fi
 }
 
-check_ratio /tmp/bench_smoke_srv.$$ SRVSTAT 100 "cached-compress"
+check_ratio /tmp/bench_smoke_srv.$$ SRVSTAT 100 "cached-compress" cached_compress
+check_ratio /tmp/bench_smoke_srv.$$ SRVSTAT 0.5 "idle-connection latency" concurrent_connections
 check_ratio /tmp/bench_smoke_scn.$$ SCENARIOSTAT 5.0 "scenario fan-out"
 rm -f /tmp/bench_smoke_srv.$$ /tmp/bench_smoke_scn.$$
 

@@ -65,6 +65,9 @@ const char kUsage[] =
     "      [--bound N [--algo NAME] [--forest-name N]] [--host H]\n"
     "  remote-tradeoff --port P --name A [--forest-name N] [--host H]\n"
     "  remote-shutdown --port P [--host H]\n"
+    "  (every remote-* accepts --timeout-ms MS: bound the connect and "
+    "each RPC,\n"
+    "   failing with DeadlineExceeded instead of hanging)\n"
     "\n"
     "run 'provabs_cli <command> --help' for the command's flags.\n";
 
@@ -711,9 +714,24 @@ long ParsePortArg(const Args& args, const char* cmd) {
 }
 
 /// Connects using --host (default 127.0.0.1) and a validated port.
+/// --timeout-ms, when given, bounds both the connect and every RPC on the
+/// connection; expiry surfaces as a DeadlineExceeded error, not a hang.
 StatusOr<Client> ConnectFromArgs(const Args& args, long port) {
+  ClientOptions options;
+  const char* timeout = args.Get("timeout-ms");
+  if (timeout != nullptr) {
+    uint64_t ms = 0;
+    if (!ParseUint64(timeout, &ms) || ms < 1 ||
+        ms > uint64_t{1} << 40) {
+      return Status::InvalidArgument(std::string("bad --timeout-ms '") +
+                                     timeout +
+                                     "' (want a positive millisecond count)");
+    }
+    options.connect_timeout_ms = static_cast<int64_t>(ms);
+    options.rpc_timeout_ms = static_cast<int64_t>(ms);
+  }
   return Client::Connect(args.Get("host", "127.0.0.1"),
-                         static_cast<uint16_t>(port));
+                         static_cast<uint16_t>(port), options);
 }
 
 /// Prints a server-side error, if any; returns 0 when the response is OK.
@@ -747,6 +765,12 @@ void PrintServerStats(const ServerStats& stats) {
               static_cast<unsigned long long>(stats.program_count),
               static_cast<unsigned long long>(stats.program_hits),
               static_cast<unsigned long long>(stats.program_misses));
+  std::printf("connections: %llu active, %llu rejected, %llu idle-reaped "
+              "(%llu loop wakeups)\n",
+              static_cast<unsigned long long>(stats.active_connections),
+              static_cast<unsigned long long>(stats.rejected_connections),
+              static_cast<unsigned long long>(stats.idle_reaped),
+              static_cast<unsigned long long>(stats.loop_wakeups));
 }
 
 int CmdRemoteLoad(const Args& args) {
@@ -1090,20 +1114,21 @@ const Command kCommands[] = {
     {"scenario", CmdScenario, {"in", "expr", "expr-file", "shape", "top-k",
                                "eval-backend"}},
     {"remote-load", CmdRemoteLoad, {"host", "port", "name", "in", "forest",
-                                    "forest-name"}},
-    {"remote-info", CmdRemoteInfo, {"host", "port", "name"}},
+                                    "forest-name", "timeout-ms"}},
+    {"remote-info", CmdRemoteInfo, {"host", "port", "name", "timeout-ms"}},
     {"remote-compress", CmdRemoteCompress, {"host", "port", "name", "bound",
-                                            "algo", "forest-name"}},
+                                            "algo", "forest-name",
+                                            "timeout-ms"}},
     {"remote-evaluate", CmdRemoteEvaluate, {"host", "port", "name", "set",
                                             "bound", "algo", "forest-name",
-                                            "eval-backend"}},
+                                            "eval-backend", "timeout-ms"}},
     {"remote-scenario", CmdRemoteScenario, {"host", "port", "name", "expr",
                                             "expr-file", "shape", "top-k",
                                             "bound", "algo", "forest-name",
-                                            "eval-backend"}},
+                                            "eval-backend", "timeout-ms"}},
     {"remote-tradeoff", CmdRemoteTradeoff, {"host", "port", "name",
-                                            "forest-name"}},
-    {"remote-shutdown", CmdRemoteShutdown, {"host", "port"}},
+                                            "forest-name", "timeout-ms"}},
+    {"remote-shutdown", CmdRemoteShutdown, {"host", "port", "timeout-ms"}},
 };
 
 int Run(int argc, char** argv) {

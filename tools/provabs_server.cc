@@ -6,7 +6,9 @@
 ///
 /// Usage:
 ///   provabs_server [--host 127.0.0.1] [--port 0] [--threads N]
-///       [--cache-mb MB] [--port-file PATH]
+///       [--cache-mb MB] [--port-file PATH] [--workers N]
+///       [--max-connections N] [--idle-timeout-ms MS]
+///       [--drain-timeout-ms MS]
 ///
 /// With --port 0 (the default) an ephemeral port is chosen; the bound port
 /// is printed on stdout and, with --port-file, written to PATH so scripts
@@ -43,6 +45,9 @@ int Usage(int code) {
   std::fprintf(stderr,
                "usage: provabs_server [--host H] [--port P] [--threads N]\n"
                "                      [--cache-mb MB] [--port-file PATH]\n"
+               "                      [--workers N] [--max-connections N]\n"
+               "                      [--idle-timeout-ms MS] "
+               "[--drain-timeout-ms MS]\n"
                "  --host H         numeric IPv4 bind address (default "
                "127.0.0.1)\n"
                "  --port P         TCP port; 0 = ephemeral (default 0)\n"
@@ -51,7 +56,19 @@ int Usage(int code) {
                "  --cache-mb MB    artifact/result cache budget (default "
                "256)\n"
                "  --port-file PATH write the bound port to PATH once "
-               "listening\n");
+               "listening\n"
+               "  --workers N      request worker threads off the event "
+               "loop (default: all cores)\n"
+               "  --max-connections N   admission limit; later connections "
+               "get a\n"
+               "                   structured Unavailable error (default "
+               "1024)\n"
+               "  --idle-timeout-ms MS  close connections idle this long; "
+               "0 = never\n"
+               "                   (default 300000)\n"
+               "  --drain-timeout-ms MS force-close stragglers this long "
+               "after\n"
+               "                   shutdown begins (default 5000)\n");
   return code;
 }
 
@@ -93,6 +110,34 @@ int Run(int argc, char** argv) {
       service_options.cache_bytes = static_cast<size_t>(mb) << 20;
     } else if (flag == "--port-file") {
       port_file = value;
+    } else if (flag == "--workers") {
+      long long workers = 0;
+      if (!ParseSize(value, 1 << 16, &workers)) {
+        std::fprintf(stderr, "bad --workers '%s'\n", value.c_str());
+        return Usage(2);
+      }
+      server_options.worker_threads = static_cast<size_t>(workers);
+    } else if (flag == "--max-connections") {
+      long long max_conns = 0;
+      if (!ParseSize(value, 1 << 24, &max_conns) || max_conns == 0) {
+        std::fprintf(stderr, "bad --max-connections '%s'\n", value.c_str());
+        return Usage(2);
+      }
+      server_options.max_connections = static_cast<size_t>(max_conns);
+    } else if (flag == "--idle-timeout-ms") {
+      long long idle_ms = 0;
+      if (!ParseSize(value, 1LL << 40, &idle_ms)) {
+        std::fprintf(stderr, "bad --idle-timeout-ms '%s'\n", value.c_str());
+        return Usage(2);
+      }
+      server_options.idle_timeout_ms = static_cast<uint64_t>(idle_ms);
+    } else if (flag == "--drain-timeout-ms") {
+      long long drain_ms = 0;
+      if (!ParseSize(value, 1LL << 40, &drain_ms)) {
+        std::fprintf(stderr, "bad --drain-timeout-ms '%s'\n", value.c_str());
+        return Usage(2);
+      }
+      server_options.drain_timeout_ms = static_cast<uint64_t>(drain_ms);
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
       return Usage(2);
