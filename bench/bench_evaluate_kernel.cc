@@ -23,6 +23,18 @@
 ///
 /// tools/bench_smoke.sh thresholds the simd_batch ratio against the value
 /// recorded in BENCH_evaluate.json when it runs on the recorded machine.
+///
+/// A third, jit arm re-runs the SINGLE-scenario sweep through the "jit"
+/// backend (one EvaluateBatch of batch 1 per scenario — the shape
+/// Valuation::EvaluateAll routes), bit-checked like the others, reporting
+///
+///   JITSTAT workload=<w> mode=native|fallback emit_ms=<ms> seconds=<t>
+///           ratio=<r>
+///
+/// where ratio is over the same compiled-loop denominator and emit_ms is
+/// the one-time code-emission cost (paid once per artifact, amortized like
+/// compile cost). bench_smoke.sh thresholds mode=native lines only, so
+/// NOJIT-forced or exec-restricted hosts skip cleanly.
 
 #include <cstdio>
 #include <cstring>
@@ -37,6 +49,7 @@
 #include "core/compiled_polynomial_set.h"
 #include "core/evaluation_backend.h"
 #include "core/valuation.h"
+#include "jit/jit_backend.h"
 #include "parallel/parallel_compress.h"
 #include "parallel/thread_pool.h"
 
@@ -116,6 +129,74 @@ bool RunBatchedArm(const Workload& w,
   return all_equal;
 }
 
+/// The jit arm: the single-scenario sweep through the "jit" backend, one
+/// batch-of-1 EvaluateBatch per scenario, bit-checked against naive. A
+/// local backend instance (sharing the process-wide code cache) exposes
+/// the native/fallback decision through its stats.
+bool RunJitArm(const Workload& w, const CompiledPolynomialSet& compiled,
+               const std::vector<Valuation>& scenarios,
+               const std::vector<std::vector<double>>& naive_results,
+               double t_compiled) {
+  const size_t poly_count = compiled.poly_count();
+  const size_t n = scenarios.size();
+  std::vector<DenseValuation> dense;
+  dense.reserve(n);
+  for (const Valuation& val : scenarios) {
+    dense.push_back(compiled.MaterializeValuation(val));
+  }
+  JitBackend jit;
+  std::vector<double> out(poly_count);
+
+  // The first batch pays the one-time emission (a cache miss unless the
+  // registered backend already served this artifact); report it apart so
+  // the steady-state ratio reflects the amortized serving cost.
+  Timer emit_timer;
+  {
+    const DenseValuation* scenario = &dense[0];
+    double* out_ptr = out.data();
+    Status status = jit.EvaluateBatch(compiled, 0, poly_count, &scenario,
+                                      &out_ptr, 1);
+    if (!status.ok()) {
+      std::printf("JIT ERROR %s: %s\n", w.name.c_str(),
+                  status.ToString().c_str());
+      return false;
+    }
+  }
+  const double emit_ms = emit_timer.ElapsedMillis();
+
+  bool all_equal = true;
+  constexpr int kReps = 5;
+  Timer timer;
+  for (int rep = 0; rep < kReps; ++rep) {
+    for (size_t s = 0; s < n; ++s) {
+      const DenseValuation* scenario = &dense[s];
+      double* out_ptr = out.data();
+      Status status = jit.EvaluateBatch(compiled, 0, poly_count, &scenario,
+                                        &out_ptr, 1);
+      if (!status.ok()) {
+        std::printf("JIT ERROR %s: %s\n", w.name.c_str(),
+                    status.ToString().c_str());
+        return false;
+      }
+      if (rep == 0 && !BitwiseEqual(naive_results[s], out)) {
+        std::printf("JIT MISMATCH in %s scenario %zu\n", w.name.c_str(), s);
+        all_equal = false;
+      }
+    }
+  }
+  const double seconds = timer.ElapsedSeconds() / kReps;
+
+  const JitBackend::Stats stats = jit.stats();
+  const bool native = stats.native_batches > 0 && stats.fallback_forced == 0 &&
+                      stats.fallback_no_exec_mem == 0 &&
+                      stats.fallback_emit_failed == 0;
+  std::printf(
+      "JITSTAT workload=%s mode=%s emit_ms=%.3f seconds=%.6f ratio=%.2f\n",
+      w.name.c_str(), native ? "native" : "fallback", emit_ms, seconds,
+      seconds > 0 ? t_compiled / seconds : 0.0);
+  return all_equal;
+}
+
 bool Run() {
   PrintHeader("Evaluate kernel: naive vs compiled vs compiled+parallel");
   const size_t threads = std::thread::hardware_concurrency();
@@ -175,6 +256,9 @@ bool Run() {
                 t_compiled > 0 ? t_naive / t_compiled : 0.0,
                 t_parallel > 0 ? t_naive / t_parallel : 0.0);
 
+    if (!RunJitArm(w, *compiled, scenarios, naive_results, t_compiled)) {
+      all_equal = false;
+    }
     if (!RunBatchedArm(w, *compiled, scenarios, naive_results, t_compiled)) {
       all_equal = false;
     }

@@ -7,6 +7,7 @@
 #include "common/macros.h"
 #include "core/polynomial_set.h"
 #include "core/valuation.h"
+#include "jit/jit_backend.h"
 
 #if defined(__x86_64__) || defined(__i386__)
 #define PROVABS_EVAL_X86 1
@@ -65,7 +66,8 @@ class NaiveBackend : public EvaluationBackend {
   const EvaluationBackendInfo& info() const override {
     static const EvaluationBackendInfo kInfo{
         "naive", "scalar reference interpreter, one scenario at a time",
-        /*vectorized=*/false, /*deterministic=*/true, /*preferred_batch=*/1};
+        /*vectorized=*/false, /*deterministic=*/true, /*preferred_batch=*/1,
+        /*tier=*/0};
     return kInfo;
   }
 
@@ -107,7 +109,8 @@ class CompiledBackend : public EvaluationBackend {
   const EvaluationBackendInfo& info() const override {
     static const EvaluationBackendInfo kInfo{
         "compiled", "single-scenario CSR kernel (compiled evaluation)",
-        /*vectorized=*/false, /*deterministic=*/true, /*preferred_batch=*/1};
+        /*vectorized=*/false, /*deterministic=*/true, /*preferred_batch=*/1,
+        /*tier=*/1};
     return kInfo;
   }
 
@@ -221,7 +224,8 @@ const EvaluationBackendInfo& SimdBatchBackend::info() const {
       "simd_batch",
       "structure-of-arrays scenario lanes over the CSR arrays "
       "(AVX2 when available, scalar lanes otherwise)",
-      /*vectorized=*/true, /*deterministic=*/true, /*preferred_batch=*/8};
+      /*vectorized=*/true, /*deterministic=*/true, /*preferred_batch=*/8,
+      /*tier=*/2};
   return kInfo;
 }
 
@@ -323,17 +327,40 @@ StatusOr<const EvaluationBackend*> EvaluationBackendRegistry::ResolveForBatch(
   if (by_name_.empty()) {
     return Status::InvalidArgument("no evaluation backends registered");
   }
-  // Among vectorized backends that already pay off at this batch size,
-  // take the most specialized (highest preferred width). Scalar default is
-  // the single-scenario kernel.
+  // Highest available tier among backends that already pay off at this
+  // batch size: jit > simd_batch > compiled > naive with the built-ins.
+  // (The old policy considered only vectorized backends, which would
+  // leave the jit tier unreachable by auto-routing.) Ties break toward
+  // the larger preferred width, then the lexicographically smallest name,
+  // so routing never depends on map iteration order of future backends.
   const EvaluationBackend* best = nullptr;
+  const std::string* best_name = nullptr;
   for (const auto& [key, backend] : by_name_) {
-    (void)key;
     const EvaluationBackendInfo& info = backend->info();
-    if (!info.vectorized || info.preferred_batch > batch_size) continue;
-    if (best == nullptr ||
-        info.preferred_batch > best->info().preferred_batch) {
+    if (info.preferred_batch > batch_size || !backend->Available()) continue;
+    if (best == nullptr) {
       best = backend.get();
+      best_name = &key;
+      continue;
+    }
+    const EvaluationBackendInfo& incumbent = best->info();
+    if (info.tier != incumbent.tier) {
+      if (info.tier > incumbent.tier) {
+        best = backend.get();
+        best_name = &key;
+      }
+      continue;
+    }
+    if (info.preferred_batch != incumbent.preferred_batch) {
+      if (info.preferred_batch > incumbent.preferred_batch) {
+        best = backend.get();
+        best_name = &key;
+      }
+      continue;
+    }
+    if (key < *best_name) {
+      best = backend.get();
+      best_name = &key;
     }
   }
   if (best != nullptr) return best;
@@ -377,7 +404,9 @@ Status RegisterBuiltinEvaluationBackends(
   if (!s.ok()) return s;
   s = registry.Register(std::make_unique<CompiledBackend>());
   if (!s.ok()) return s;
-  return registry.Register(std::make_unique<SimdBatchBackend>());
+  s = registry.Register(std::make_unique<SimdBatchBackend>());
+  if (!s.ok()) return s;
+  return registry.Register(MakeJitBackend());
 }
 
 // ------------------------------------------------- convenience ----------

@@ -27,8 +27,9 @@ class Valuation;
 /// every evaluation path (Valuation::EvaluateAll, ParallelEvaluateAll, the
 /// serving EvaluateBatcher, the CLI, the benches) selects a strategy by
 /// name, exactly how algo/compressor.h routes compression: adding a backend
-/// (the planned per-artifact JIT included) means registering one adapter,
-/// and the cross-backend differential battery gates it for free.
+/// means registering one adapter, and the cross-backend differential
+/// battery gates it for free — the route the per-artifact JIT
+/// (jit/jit_backend.h) arrived through.
 ///
 /// Every backend MUST reproduce the canonical summation order documented on
 /// Valuation::Evaluate operation-for-operation, so results are BITWISE
@@ -48,8 +49,14 @@ struct EvaluationBackendInfo {
   /// Same inputs always yield the same bits (all built-ins).
   bool deterministic = false;
   /// Batch width from which this backend beats the single-scenario kernel;
-  /// auto-routing sends batches >= this width here. 1 = no batching gain.
+  /// auto-routing only considers it for batches >= this width. 1 = no
+  /// batching requirement.
   uint32_t preferred_batch = 1;
+  /// Speed tier for auto-routing: among eligible (preferred_batch) and
+  /// available backends the HIGHEST tier wins. Built-ins: naive=0,
+  /// compiled=1, simd_batch=2, jit=3 — the jit > simd_batch > compiled
+  /// preference order ResolveForBatch documents.
+  uint32_t tier = 0;
 };
 
 /// One evaluation strategy. Implementations must be stateless and
@@ -60,6 +67,14 @@ class EvaluationBackend {
   virtual ~EvaluationBackend() = default;
 
   virtual const EvaluationBackendInfo& info() const = 0;
+
+  /// Whether this backend can currently deliver its advertised tier. The
+  /// auto policy skips unavailable backends; explicit selection by name
+  /// still works (an unavailable backend must degrade internally, not
+  /// fail). The jit backend reports false when executable memory is
+  /// unavailable or PROVABS_EVAL_FORCE_NOJIT is set; everything else is
+  /// unconditionally available.
+  virtual bool Available() const { return true; }
 
   /// Evaluates polynomials [poly_begin, poly_end) of `compiled` under each
   /// of `scenarios[0..scenario_count)`; writes
@@ -86,7 +101,7 @@ class EvaluationBackend {
 };
 
 /// Name -> backend registry, mirroring CompressorRegistry. `Default()` is
-/// the process-wide instance pre-populated with the three built-ins:
+/// the process-wide instance pre-populated with the four built-ins:
 ///
 ///   naive      — scalar reference interpreter, one scenario at a time
 ///   compiled   — PR 5's CSR kernel (flat-array walks), one scenario at a
@@ -95,6 +110,10 @@ class EvaluationBackend {
 ///                walks the CSR arrays ONCE per polynomial for all lanes;
 ///                AVX2 when the CPU has it (runtime-detected), with a
 ///                portable scalar-lane fallback compiled unconditionally
+///   jit        — emits one straight-line native function per polynomial
+///                of the compiled artifact (jit/jit_backend.h), cached by
+///                compiled-form fingerprint; degrades to the compiled
+///                kernel where executable memory is unavailable
 ///
 /// Thread-safe; registered backends live for the registry's lifetime.
 class EvaluationBackendRegistry {
@@ -122,9 +141,14 @@ class EvaluationBackendRegistry {
   StatusOr<const EvaluationBackend*> Resolve(const std::string& name) const;
 
   /// Auto-routing policy shared by every evaluation path: an explicit
-  /// `name` resolves strictly; an empty name picks the vectorized backend
-  /// with the highest preferred_batch <= `batch_size` scenarios, falling
-  /// back to "compiled" (and to any registered backend if "compiled" was
+  /// `name` resolves strictly; an empty name picks the HIGHEST-tier
+  /// backend among those that are Available() and whose preferred_batch
+  /// <= `batch_size` — with the built-ins, jit > simd_batch > compiled
+  /// (and jit force-disabled or without executable memory degrades to
+  /// simd_batch for batches, compiled for single scenarios). Ties break
+  /// toward the larger preferred_batch, then lexicographically smallest
+  /// name, so routing is deterministic. Falls back to "compiled" when
+  /// nothing is eligible (and to any registered backend if "compiled" was
   /// not registered — an empty registry is the only hard failure).
   StatusOr<const EvaluationBackend*> ResolveForBatch(const std::string& name,
                                                      size_t batch_size) const;

@@ -1,0 +1,97 @@
+#include "jit/exec_arena.h"
+
+#include <cstring>
+
+#if PROVABS_JIT_SUPPORTED
+#include <sys/mman.h>
+#include <unistd.h>
+#endif
+
+namespace provabs {
+namespace jit {
+
+#if PROVABS_JIT_SUPPORTED
+
+namespace {
+
+size_t PageSize() {
+  static const size_t page = static_cast<size_t>(sysconf(_SC_PAGESIZE));
+  return page;
+}
+
+size_t RoundUpToPages(size_t bytes) {
+  const size_t page = PageSize();
+  return (bytes + page - 1) / page * page;
+}
+
+}  // namespace
+
+ExecArena::~ExecArena() {
+  if (base_ != nullptr) munmap(base_, mapped_bytes_);
+}
+
+StatusOr<std::unique_ptr<ExecArena>> ExecArena::Create(const uint8_t* code,
+                                                       size_t size) {
+  if (code == nullptr || size == 0) {
+    return Status::InvalidArgument("empty code blob");
+  }
+  const size_t mapped = RoundUpToPages(size);
+  void* mem = mmap(nullptr, mapped, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (mem == MAP_FAILED) {
+    return Status::Unavailable("mmap of " + std::to_string(mapped) +
+                               " executable-arena bytes failed");
+  }
+  std::memcpy(mem, code, size);
+  // W^X transition: the region is never writable and executable at once.
+  if (mprotect(mem, mapped, PROT_READ | PROT_EXEC) != 0) {
+    munmap(mem, mapped);
+    return Status::Unavailable(
+        "mprotect(PROT_READ|PROT_EXEC) refused — W^X-restricted or noexec "
+        "environment");
+  }
+  return std::unique_ptr<ExecArena>(
+      new ExecArena(static_cast<uint8_t*>(mem), size, mapped));
+}
+
+namespace {
+
+bool ExecMemoryProbe() {
+  // A real end-to-end probe: map, flip, execute a bare `ret`. Hardened
+  // configurations can refuse at mmap, at the mprotect flip (SELinux
+  // execmem, PaX MPROTECT), or not at all — executing a one-byte function
+  // is the only answer that covers the first two without a signal handler,
+  // and a `ret` is safe anywhere code can run at all.
+  static const uint8_t kRet[] = {0xC3};
+  auto arena = ExecArena::Create(kRet, sizeof(kRet));
+  if (!arena.ok()) return false;
+  using VoidFn = void (*)();
+  reinterpret_cast<VoidFn>(
+      reinterpret_cast<uintptr_t>((*arena)->base()))();
+  return true;
+}
+
+}  // namespace
+
+bool ExecArena::ExecMemoryAvailable() {
+  static const bool available = ExecMemoryProbe();
+  return available;
+}
+
+#else  // !PROVABS_JIT_SUPPORTED
+
+ExecArena::~ExecArena() = default;
+
+StatusOr<std::unique_ptr<ExecArena>> ExecArena::Create(const uint8_t*,
+                                                       size_t) {
+  return Status::Unavailable(
+      "JIT is not supported on this platform (requires x86-64 + POSIX "
+      "mmap/mprotect)");
+}
+
+bool ExecArena::ExecMemoryAvailable() { return false; }
+
+#endif  // PROVABS_JIT_SUPPORTED
+
+}  // namespace jit
+}  // namespace provabs

@@ -1,0 +1,78 @@
+#ifndef PROVABS_JIT_EXEC_ARENA_H_
+#define PROVABS_JIT_EXEC_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "common/statusor.h"
+
+/// True when this build can emit and execute native code: x86-64 (the only
+/// ISA jit/x86_encoder.h targets) on a POSIX system with mmap/mprotect.
+/// Elsewhere the arena compiles to a stub whose Create always fails, and
+/// the jit backend degrades to the compiled kernel — same behaviour as a
+/// noexec mount at runtime, decided at compile time.
+#if defined(__x86_64__) && (defined(__linux__) || defined(__APPLE__))
+#define PROVABS_JIT_SUPPORTED 1
+#else
+#define PROVABS_JIT_SUPPORTED 0
+#endif
+
+namespace provabs {
+namespace jit {
+
+/// One page-granular executable mapping holding a generated code blob,
+/// with a strict W^X lifecycle: the region is mapped READ|WRITE, the code
+/// is copied in, and the mapping is flipped to READ|EXEC before any caller
+/// can obtain the base pointer — the memory is never writable and
+/// executable at the same time. Hardened kernels (W^X enforcement, noexec
+/// tmpfs for anonymous mappings, seccomp'd mprotect) surface as a
+/// recoverable Status from Create, which the jit backend turns into a
+/// counted fallback to the compiled kernel, never a crash.
+///
+/// Instances are immutable after Create and safe to share across threads;
+/// the destructor unmaps the region, so generated code must not outlive
+/// its arena (the code cache keys module lifetime on exactly this).
+class ExecArena {
+ public:
+  ExecArena(const ExecArena&) = delete;
+  ExecArena& operator=(const ExecArena&) = delete;
+  ~ExecArena();
+
+  /// Maps ceil(size / page) pages RW, copies `code[0..size)`, flips the
+  /// mapping RX. Fails with kInvalidArgument on an empty blob and
+  /// kUnavailable when the platform lacks JIT support or mmap/mprotect
+  /// refuse (the caller's cue to fall back, not abort).
+  static StatusOr<std::unique_ptr<ExecArena>> Create(const uint8_t* code,
+                                                     size_t size);
+
+  /// Start of the executable region (RX by construction).
+  const uint8_t* base() const { return base_; }
+
+  /// Bytes of generated code copied in.
+  size_t code_bytes() const { return code_bytes_; }
+
+  /// Bytes actually mapped — code_bytes() rounded up to whole pages; the
+  /// figure charged against the code cache's byte budget (resident memory
+  /// is consumed a page at a time regardless of blob size).
+  size_t mapped_bytes() const { return mapped_bytes_; }
+
+  /// One-shot probe, cached for the process lifetime: can we map a page,
+  /// flip it RX, and execute from it? False under noexec/hardened
+  /// configurations (and on non-x86-64 builds), in which case the jit
+  /// backend never attempts emission.
+  static bool ExecMemoryAvailable();
+
+ private:
+  ExecArena(uint8_t* base, size_t code_bytes, size_t mapped_bytes)
+      : base_(base), code_bytes_(code_bytes), mapped_bytes_(mapped_bytes) {}
+
+  uint8_t* base_ = nullptr;
+  size_t code_bytes_ = 0;
+  size_t mapped_bytes_ = 0;
+};
+
+}  // namespace jit
+}  // namespace provabs
+
+#endif  // PROVABS_JIT_EXEC_ARENA_H_

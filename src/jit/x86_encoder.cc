@@ -1,0 +1,99 @@
+#include "jit/x86_encoder.h"
+
+#include "common/macros.h"
+
+namespace provabs {
+namespace jit {
+
+namespace {
+
+constexpr uint8_t ModRm(uint8_t mod, uint8_t reg, uint8_t rm) {
+  return static_cast<uint8_t>((mod << 6) | ((reg & 7) << 3) | (rm & 7));
+}
+
+}  // namespace
+
+void X86Encoder::MemOperand(uint8_t reg, Gp64 base, int32_t disp) {
+  const uint8_t rm = static_cast<uint8_t>(base);
+  // rsp as a base needs a SIB byte; the evaluation JIT never uses it, so
+  // the encoder refuses rather than growing an encoding path no test pins.
+  PROVABS_CHECK(base != Gp64::rsp);
+  // mod=00 rm=101 is RIP-relative, not [rbp]; rbp must carry a disp8.
+  if (disp == 0 && base != Gp64::rbp) {
+    Put(ModRm(0, reg, rm));
+    return;
+  }
+  if (disp >= -128 && disp <= 127) {
+    Put(ModRm(1, reg, rm));
+    Put(static_cast<uint8_t>(disp));
+    return;
+  }
+  Put(ModRm(2, reg, rm));
+  const uint32_t d = static_cast<uint32_t>(disp);
+  Put(static_cast<uint8_t>(d));
+  Put(static_cast<uint8_t>(d >> 8));
+  Put(static_cast<uint8_t>(d >> 16));
+  Put(static_cast<uint8_t>(d >> 24));
+}
+
+void X86Encoder::XorpdZero(Xmm dst) {
+  // 66 0F 57 /r, reg = rm = dst.
+  const uint8_t r = static_cast<uint8_t>(dst);
+  Put(0x66);
+  Put(0x0F);
+  Put(0x57);
+  Put(ModRm(3, r, r));
+}
+
+void X86Encoder::MovsdLoad(Xmm dst, Gp64 base, int32_t disp) {
+  // F2 0F 10 /r.
+  Put(0xF2);
+  Put(0x0F);
+  Put(0x10);
+  MemOperand(static_cast<uint8_t>(dst), base, disp);
+}
+
+void X86Encoder::MovsdStore(Gp64 base, int32_t disp, Xmm src) {
+  // F2 0F 11 /r.
+  Put(0xF2);
+  Put(0x0F);
+  Put(0x11);
+  MemOperand(static_cast<uint8_t>(src), base, disp);
+}
+
+void X86Encoder::Mulsd(Xmm dst, Xmm src) {
+  // F2 0F 59 /r.
+  Put(0xF2);
+  Put(0x0F);
+  Put(0x59);
+  Put(ModRm(3, static_cast<uint8_t>(dst), static_cast<uint8_t>(src)));
+}
+
+void X86Encoder::Addsd(Xmm dst, Xmm src) {
+  // F2 0F 58 /r.
+  Put(0xF2);
+  Put(0x0F);
+  Put(0x58);
+  Put(ModRm(3, static_cast<uint8_t>(dst), static_cast<uint8_t>(src)));
+}
+
+void X86Encoder::MovRaxImm64(uint64_t imm) {
+  // REX.W B8+rd io, rd = rax.
+  Put(0x48);
+  Put(0xB8);
+  for (int i = 0; i < 8; ++i) Put(static_cast<uint8_t>(imm >> (8 * i)));
+}
+
+void X86Encoder::MovqFromRax(Xmm dst) {
+  // 66 REX.W 0F 6E /r, rm = rax.
+  Put(0x66);
+  Put(0x48);
+  Put(0x0F);
+  Put(0x6E);
+  Put(ModRm(3, static_cast<uint8_t>(dst), 0));
+}
+
+void X86Encoder::Ret() { Put(0xC3); }
+
+}  // namespace jit
+}  // namespace provabs

@@ -1,0 +1,104 @@
+#ifndef PROVABS_JIT_X86_ENCODER_H_
+#define PROVABS_JIT_X86_ENCODER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace provabs {
+namespace jit {
+
+/// Minimal x86-64 instruction encoder for the scalar-double subset the
+/// evaluation JIT emits (jit/code_generator.h). This is deliberately NOT a
+/// general assembler: the generated functions are straight-line SSE2 code —
+/// scalar loads, multiplies, adds, one immediate materialization, ret — so
+/// the encoder covers exactly those forms and nothing else, the
+/// copy-and-patch-JIT discipline of keeping the encoding surface small
+/// enough to pin byte-exactly in unit tests (tests/jit_encoder_test.cc).
+///
+/// Only SSE2 scalar instructions are emitted (movsd/mulsd/addsd/xorpd):
+/// every x86-64 CPU has them, and — unlike compiler-generated AVX with
+/// -ffp-contract — scalar mulsd/addsd can never be fused into FMA, so the
+/// emitted code performs the canonical operation sequence documented on
+/// Valuation::Evaluate bit-for-bit.
+///
+/// Register surface: xmm0-xmm7 (no REX.R/REX.B needed) and the SysV
+/// argument/base registers. Memory operands are [base + disp]; rsp is
+/// rejected (it would need a SIB byte) and rbp always takes an explicit
+/// displacement (mod=00 rm=101 means RIP-relative) — the code generator
+/// only uses rdi/rsi, the checks just keep the encoder honest.
+
+/// SSE registers xmm0..xmm7.
+enum class Xmm : uint8_t {
+  xmm0 = 0,
+  xmm1 = 1,
+  xmm2 = 2,
+  xmm3 = 3,
+  xmm4 = 4,
+  xmm5 = 5,
+  xmm6 = 6,
+  xmm7 = 7,
+};
+
+/// General-purpose 64-bit registers usable as memory bases (low eight, no
+/// REX.B). rsp is not encodable as a plain base (SIB); the encoder aborts
+/// on it.
+enum class Gp64 : uint8_t {
+  rax = 0,
+  rcx = 1,
+  rdx = 2,
+  rbx = 3,
+  rsp = 4,
+  rbp = 5,
+  rsi = 6,
+  rdi = 7,
+};
+
+class X86Encoder {
+ public:
+  /// xorpd dst, dst — zeroes a register (the +0.0 accumulator init, same
+  /// bits as the interpreter's `double total = 0.0`).
+  void XorpdZero(Xmm dst);
+
+  /// movsd dst, [base + disp] — dense-slot load by fixed offset. Picks the
+  /// shortest displacement form (none / disp8 / disp32).
+  void MovsdLoad(Xmm dst, Gp64 base, int32_t disp);
+
+  /// movsd [base + disp], src — scalar store by fixed offset.
+  void MovsdStore(Gp64 base, int32_t disp, Xmm src);
+
+  /// mulsd dst, src — exactly one IEEE-754 double multiply (never fused).
+  void Mulsd(Xmm dst, Xmm src);
+
+  /// addsd dst, src — exactly one IEEE-754 double add.
+  void Addsd(Xmm dst, Xmm src);
+
+  /// mov rax, imm64 — materializes a 64-bit constant (a coefficient's raw
+  /// IEEE-754 bits, embedded in the instruction stream).
+  void MovRaxImm64(uint64_t imm);
+
+  /// movq dst, rax — moves the materialized bits into an SSE register.
+  void MovqFromRax(Xmm dst);
+
+  /// ret — the emitted functions return their result in xmm0 (SysV).
+  void Ret();
+
+  size_t size() const { return code_.size(); }
+  const std::vector<uint8_t>& code() const { return code_; }
+
+  /// Hands the buffer to the caller; the encoder is empty afterwards.
+  std::vector<uint8_t> TakeCode() { return std::move(code_); }
+
+ private:
+  void Put(uint8_t byte) { code_.push_back(byte); }
+  /// ModRM + displacement for a [base + disp] memory operand with `reg` in
+  /// the reg field, choosing the shortest encoding.
+  void MemOperand(uint8_t reg, Gp64 base, int32_t disp);
+
+  std::vector<uint8_t> code_;
+};
+
+}  // namespace jit
+}  // namespace provabs
+
+#endif  // PROVABS_JIT_X86_ENCODER_H_

@@ -132,8 +132,9 @@ std::vector<double> ParallelEvaluateAll(const Valuation& valuation,
   // Compile (cached on the set) and materialize the valuation once, then
   // chunk the flat CSR arrays across the pool: each worker routes one
   // contiguous polynomial range through the backend registry's auto policy
-  // (for a single scenario that is the serial "compiled" kernel, so the
-  // output is bitwise identical to Valuation::EvaluateAll).
+  // (the highest available single-scenario tier — jit, or compiled when
+  // executable memory is unavailable; all backends are bitwise identical
+  // by contract, so the output matches Valuation::EvaluateAll exactly).
   std::shared_ptr<const CompiledPolynomialSet> compiled = polys.Compiled();
   const DenseValuation dense = compiled->MaterializeValuation(valuation);
   std::vector<double> out(compiled->poly_count());

@@ -495,6 +495,7 @@ Response ProvenanceService::ListBackends(const ListBackendsRequest&) {
     b.vectorized = info.vectorized;
     b.deterministic = info.deterministic;
     b.preferred_batch = info.preferred_batch;
+    b.tier = info.tier;
     resp.backends.push_back(std::move(b));
   }
   AttachStats(resp);

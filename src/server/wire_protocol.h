@@ -194,6 +194,11 @@ struct EvalBackendCapability {
   bool deterministic = false;
   /// Batch width from which this backend beats the single-scenario kernel.
   uint64_t preferred_batch = 1;
+  /// Speed tier for auto-routing (higher wins): naive=0, compiled=1,
+  /// simd_batch=2, jit=3. Travels in bits 2-3 of the record's flags byte —
+  /// spare bits, so the wire version is unchanged and pre-tier peers (which
+  /// only read bits 0/1) interoperate; their records decode here as tier 0.
+  uint32_t tier = 0;
 };
 
 /// Server-side cache and batching counters, included in every response so

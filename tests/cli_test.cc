@@ -121,7 +121,7 @@ TEST_F(CliTest, EvalBackendSelectable) {
                 "/pe.bin --forest-out " + dir_ + "/fe.bin"),
             0);
   // Every registered evaluation backend serves the same evaluate command.
-  for (const std::string backend : {"naive", "compiled", "simd_batch"}) {
+  for (const std::string backend : {"naive", "compiled", "simd_batch", "jit"}) {
     EXPECT_EQ(Run("evaluate --in " + dir_ + "/pe.bin --set m1=0.8 "
                   "--eval-backend " + backend),
               0)
@@ -131,9 +131,9 @@ TEST_F(CliTest, EvalBackendSelectable) {
 
 TEST_F(CliTest, UnknownEvalBackendIsUsageError) {
   // Strict registry validation: exit 2 before any file is touched.
-  EXPECT_EQ(ExitCode(Run("evaluate --in nope.bin --eval-backend jit")), 2);
+  EXPECT_EQ(ExitCode(Run("evaluate --in nope.bin --eval-backend turbo")), 2);
   EXPECT_EQ(ExitCode(Run("remote-evaluate --port 1 --name a "
-                         "--eval-backend jit")),
+                         "--eval-backend turbo")),
             2);
 }
 
@@ -191,7 +191,7 @@ TEST_F(CliTest, ScenarioSubcommandEvaluatesFamilies) {
       "'LET d = GRID(0.5, 1); SET PREFIX(plan) = d; SET * = 1;'";
   EXPECT_EQ(Run("scenario --in " + dir_ + "/ps.bin --expr " + program), 0);
   // Every registered backend and every shape serve the same subcommand.
-  for (const std::string backend : {"naive", "compiled", "simd_batch"}) {
+  for (const std::string backend : {"naive", "compiled", "simd_batch", "jit"}) {
     EXPECT_EQ(Run("scenario --in " + dir_ + "/ps.bin --expr " + program +
                   " --eval-backend " + backend),
               0)
@@ -259,7 +259,7 @@ TEST_F(CliTest, ScenarioFlagValidation) {
                          " --shape values --top-k 3")),
             2);  // --top-k outside topk
   EXPECT_EQ(ExitCode(Run("scenario --in nope.bin " + ok_expr +
-                         " --eval-backend jit")),
+                         " --eval-backend turbo")),
             2);  // unknown backend
   // remote-scenario shares the validators.
   EXPECT_EQ(ExitCode(Run("remote-scenario --port 1 --name a " + ok_expr +

@@ -180,7 +180,7 @@ TEST(EvaluateBatcherTest, PerRequestBackendSelection) {
   ThreadPool pool(2);
   EvaluateBatcher batcher(pool);
 
-  for (const char* backend : {"naive", "compiled", "simd_batch", ""}) {
+  for (const char* backend : {"naive", "compiled", "simd_batch", "jit", ""}) {
     std::vector<Valuation> scenarios;
     for (int s = 0; s < 9; ++s) scenarios.push_back(MakeScenario(rng, *polys));
     RunConcurrent(batcher, polys, scenarios, backend);
@@ -188,7 +188,7 @@ TEST(EvaluateBatcherTest, PerRequestBackendSelection) {
 
   // Mixed names from concurrent callers.
   const std::vector<std::string> names = {"naive", "compiled", "simd_batch",
-                                          "", "simd_batch", "naive"};
+                                          "", "jit", "naive"};
   std::vector<Valuation> scenarios;
   for (size_t s = 0; s < names.size(); ++s) {
     scenarios.push_back(MakeScenario(rng, *polys));
@@ -221,14 +221,14 @@ TEST(EvaluateBatcherTest, UnknownBackendFailsWithoutPoisoningTheRound) {
   Valuation good_val = MakeScenario(rng, *polys);
   StatusOr<std::vector<double>> bad(Status::Internal("unset"));
   StatusOr<std::vector<double>> good(Status::Internal("unset"));
-  std::thread t1([&] { bad = batcher.Evaluate(polys, Valuation{}, "jit"); });
+  std::thread t1([&] { bad = batcher.Evaluate(polys, Valuation{}, "turbo"); });
   std::thread t2([&] { good = batcher.Evaluate(polys, good_val); });
   t1.join();
   t2.join();
 
   ASSERT_FALSE(bad.ok());
   EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
-  EXPECT_NE(bad.status().message().find("unknown evaluation backend 'jit'"),
+  EXPECT_NE(bad.status().message().find("unknown evaluation backend 'turbo'"),
             std::string::npos)
       << bad.status().message();
   ASSERT_TRUE(good.ok()) << good.status().ToString();

@@ -1,8 +1,10 @@
 // Cross-backend differential battery for the evaluation-backend registry
 // (core/evaluation_backend.h). Naive per-polynomial Valuation::Evaluate is
 // the reference defining the canonical summation order; every registered
-// backend — naive, compiled, simd_batch with scalar lanes forced, and
-// simd_batch with AVX2 lanes when the host has them — must reproduce it
+// backend — naive, compiled, simd_batch with scalar lanes forced,
+// simd_batch with AVX2 lanes when the host has them, the jit with its
+// compiled-kernel fallback forced, and the jit's emitted native code where
+// executable memory is usable — must reproduce it
 // BITWISE (IEEE-754 bit comparison, never tolerance): floating-point
 // add/mul are not associative, so exact equality certifies the identical
 // operation sequence. Coverage: exponents > 1, unassigned variables
@@ -19,6 +21,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -29,6 +32,7 @@
 #include "core/polynomial.h"
 #include "core/polynomial_set.h"
 #include "core/valuation.h"
+#include "jit/jit_backend.h"
 #include "workload/tree_gen.h"
 
 namespace provabs {
@@ -95,10 +99,13 @@ void RunBackendDifferential(const EvaluationBackend& backend,
   }
 }
 
-/// Every backend instance the battery pins: the three registered built-ins
-/// plus a scalar-lane-forced simd_batch (so the lane/transpose/remainder
-/// logic is covered even when the host would auto-pick AVX2, and the AVX2
-/// instance is covered whenever the host has it).
+/// Every backend instance the battery pins: the four registered built-ins
+/// plus forced variants — a scalar-lane simd_batch (so the lane/transpose/
+/// remainder logic is covered even when the host would auto-pick AVX2) and
+/// a fallback-forced jit (so the compiled-kernel degradation path is
+/// covered even where emitted code runs natively; the registered jit
+/// instance covers the native path whenever the host permits it and CI's
+/// NOJIT-forced run covers the env-knob route through the same fallback).
 void RunAllBackendsDifferential(const PolynomialSet& polys,
                                 const std::vector<Valuation>& scenarios) {
   const EvaluationBackendRegistry& registry =
@@ -114,6 +121,15 @@ void RunAllBackendsDifferential(const PolynomialSet& polys,
   RunBackendDifferential(
       auto_lanes, polys, scenarios,
       auto_lanes.using_avx2() ? "simd_batch(avx2)" : "simd_batch(auto)");
+  JitBackend jit_fallback(JitBackend::Mode::kForceFallback);
+  EXPECT_FALSE(jit_fallback.Available());
+  RunBackendDifferential(jit_fallback, polys, scenarios, "jit(fallback)");
+  if (polys.count() > 0 && !scenarios.empty()) {
+    EXPECT_GT(jit_fallback.stats().fallback_forced, 0u);
+  }
+  JitBackend jit_auto(JitBackend::Mode::kAuto);
+  RunBackendDifferential(jit_auto, polys, scenarios,
+                         JitNativeActive() ? "jit(native)" : "jit(nojit)");
 }
 
 PolynomialSet MakeRandomSet(Rng& rng, const std::vector<VariableId>& ids) {
@@ -145,14 +161,33 @@ TEST(EvaluationBackendRegistryTest, DefaultRegistersTheBuiltins) {
   EXPECT_NE(registry.Find("naive"), nullptr);
   EXPECT_NE(registry.Find("compiled"), nullptr);
   EXPECT_NE(registry.Find("simd_batch"), nullptr);
+  EXPECT_NE(registry.Find("jit"), nullptr);
   // Names come back sorted, so usage/error text is stable.
-  EXPECT_EQ(registry.NamesCsv(), "compiled, naive, simd_batch");
+  EXPECT_EQ(registry.NamesCsv(), "compiled, jit, naive, simd_batch");
 
   const EvaluationBackend* simd = registry.Find("simd_batch");
   EXPECT_TRUE(simd->info().vectorized);
   EXPECT_TRUE(simd->info().deterministic);
   EXPECT_GT(simd->info().preferred_batch, 1u);
   EXPECT_FALSE(registry.Find("compiled")->info().vectorized);
+
+  const EvaluationBackend* jit = registry.Find("jit");
+  EXPECT_TRUE(jit->info().deterministic);
+  EXPECT_FALSE(jit->info().vectorized);  // scalar per scenario, just faster
+  EXPECT_EQ(jit->info().preferred_batch, 1u);
+
+  // The documented auto-routing preference order is encoded in the tiers.
+  EXPECT_GT(jit->info().tier, simd->info().tier);
+  EXPECT_GT(simd->info().tier, registry.Find("compiled")->info().tier);
+  EXPECT_GT(registry.Find("compiled")->info().tier,
+            registry.Find("naive")->info().tier);
+
+  // Every built-in except jit is unconditionally available; jit's
+  // availability is the host's to decide (never true when forced off).
+  EXPECT_TRUE(registry.Find("naive")->Available());
+  EXPECT_TRUE(registry.Find("compiled")->Available());
+  EXPECT_TRUE(registry.Find("simd_batch")->Available());
+  EXPECT_EQ(jit->Available(), JitNativeActive());
 }
 
 TEST(EvaluationBackendRegistryTest, DuplicateNamesAreRejected) {
@@ -168,15 +203,16 @@ TEST(EvaluationBackendRegistryTest, DuplicateNamesAreRejected) {
 }
 
 TEST(EvaluationBackendRegistryTest, UnknownNameListsTheRegisteredSet) {
-  auto resolved = EvaluationBackendRegistry::Default().Resolve("jit");
+  auto resolved = EvaluationBackendRegistry::Default().Resolve("turbo");
   ASSERT_FALSE(resolved.ok());
   EXPECT_EQ(resolved.status().code(), StatusCode::kInvalidArgument);
   EXPECT_NE(resolved.status().message().find(
-                "unknown evaluation backend 'jit'"),
+                "unknown evaluation backend 'turbo'"),
             std::string::npos)
       << resolved.status().message();
-  EXPECT_NE(resolved.status().message().find("compiled, naive, simd_batch"),
-            std::string::npos)
+  EXPECT_NE(
+      resolved.status().message().find("compiled, jit, naive, simd_batch"),
+      std::string::npos)
       << resolved.status().message();
 }
 
@@ -185,27 +221,75 @@ TEST(EvaluationBackendRegistryTest, ResolveForBatchAutoPolicy) {
       EvaluationBackendRegistry::Default();
   const uint32_t width = registry.Find("simd_batch")->info().preferred_batch;
 
-  // Below the vectorized backend's preferred width: single-scenario kernel.
-  for (size_t batch : {size_t{0}, size_t{1}, size_t{width - 1}}) {
+  // Auto routing picks the highest available tier. When the jit can emit
+  // native code (executable memory usable, not force-disabled) it wins at
+  // every batch size; otherwise routing degrades to the pre-jit policy:
+  // compiled below the vectorized width, simd_batch at and beyond it. Both
+  // branches are exercised in CI (a NOJIT-forced job runs this same test).
+  const bool jit_active = JitNativeActive();
+  // Batch 0 makes nothing eligible (every preferred_batch is >= 1), so the
+  // auto policy takes its "compiled" fallback no matter what is available.
+  {
+    auto backend = registry.ResolveForBatch("", 0);
+    ASSERT_TRUE(backend.ok());
+    EXPECT_EQ((*backend)->info().name, "compiled");
+  }
+  for (size_t batch : {size_t{1}, size_t{width - 1}}) {
     auto backend = registry.ResolveForBatch("", batch);
     ASSERT_TRUE(backend.ok());
-    EXPECT_EQ((*backend)->info().name, "compiled") << "batch " << batch;
+    EXPECT_EQ((*backend)->info().name, jit_active ? "jit" : "compiled")
+        << "batch " << batch;
   }
-  // At and beyond the width: the vectorized backend.
   for (size_t batch : {size_t{width}, size_t{width + 1}, size_t{10 * width}}) {
     auto backend = registry.ResolveForBatch("", batch);
     ASSERT_TRUE(backend.ok());
-    EXPECT_EQ((*backend)->info().name, "simd_batch") << "batch " << batch;
+    EXPECT_EQ((*backend)->info().name, jit_active ? "jit" : "simd_batch")
+        << "batch " << batch;
   }
-  // An explicit name resolves strictly regardless of batch size.
+  // An explicit name resolves strictly regardless of batch size — including
+  // "jit" when unavailable (it degrades internally rather than failing).
   auto naive = registry.ResolveForBatch("naive", 1000);
   ASSERT_TRUE(naive.ok());
   EXPECT_EQ((*naive)->info().name, "naive");
-  EXPECT_FALSE(registry.ResolveForBatch("jit", 1000).ok());
+  auto jit = registry.ResolveForBatch("jit", 1000);
+  ASSERT_TRUE(jit.ok());
+  EXPECT_EQ((*jit)->info().name, "jit");
 
   // An empty registry is the only hard failure of the auto policy.
   EvaluationBackendRegistry empty;
   EXPECT_FALSE(empty.ResolveForBatch("", 8).ok());
+}
+
+TEST(EvaluationBackendRegistryTest, ForceNojitDegradesAutoRouting) {
+  // With PROVABS_EVAL_FORCE_NOJIT set the jit backend reports unavailable
+  // and the auto policy lands exactly where it did before the jit existed.
+  // A fresh registry keeps the probe independent of Default()'s state.
+  const char* saved = getenv("PROVABS_EVAL_FORCE_NOJIT");
+  std::string saved_value = saved ? saved : "";
+  setenv("PROVABS_EVAL_FORCE_NOJIT", "1", /*overwrite=*/1);
+
+  EvaluationBackendRegistry registry;
+  ASSERT_TRUE(RegisterBuiltinEvaluationBackends(registry).ok());
+  EXPECT_FALSE(registry.Find("jit")->Available());
+  const uint32_t width = registry.Find("simd_batch")->info().preferred_batch;
+
+  auto single = registry.ResolveForBatch("", 1);
+  ASSERT_TRUE(single.ok());
+  EXPECT_EQ((*single)->info().name, "compiled");
+  auto batched = registry.ResolveForBatch("", width);
+  ASSERT_TRUE(batched.ok());
+  EXPECT_EQ((*batched)->info().name, "simd_batch");
+
+  // Explicit selection still works; the backend degrades internally.
+  auto explicit_jit = registry.ResolveForBatch("jit", 1);
+  ASSERT_TRUE(explicit_jit.ok());
+  EXPECT_EQ((*explicit_jit)->info().name, "jit");
+
+  if (saved) {
+    setenv("PROVABS_EVAL_FORCE_NOJIT", saved_value.c_str(), /*overwrite=*/1);
+  } else {
+    unsetenv("PROVABS_EVAL_FORCE_NOJIT");
+  }
 }
 
 // ----------------------------------- slot-mapping (fingerprint) guard ---
@@ -358,10 +442,11 @@ INSTANTIATE_TEST_SUITE_P(RandomSets, BackendDifferentialTest,
 
 TEST(EvaluateScenariosTest, UnknownBackendFailsListingRegistered) {
   PolynomialSet polys;
-  auto results = EvaluateScenarios(polys, {Valuation{}}, "jit");
+  auto results = EvaluateScenarios(polys, {Valuation{}}, "turbo");
   ASSERT_FALSE(results.ok());
-  EXPECT_NE(results.status().message().find("compiled, naive, simd_batch"),
-            std::string::npos);
+  EXPECT_NE(
+      results.status().message().find("compiled, jit, naive, simd_batch"),
+      std::string::npos);
 }
 
 // Post-abstraction coverage: backends must agree with naive on sets

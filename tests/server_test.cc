@@ -521,13 +521,18 @@ TEST_F(ServiceTest, ListBackendsReturnsCapabilityRecords) {
   Response resp = service_->ListBackends(ListBackendsRequest{});
   ASSERT_TRUE(resp.ok());
   EXPECT_EQ(resp.request_kind, MessageKind::kListBackendsRequest);
-  ASSERT_EQ(resp.backends.size(), 3u);
+  ASSERT_EQ(resp.backends.size(), 4u);
   EXPECT_EQ(resp.backends[0].name, "compiled");
   EXPECT_FALSE(resp.backends[0].vectorized);
-  EXPECT_EQ(resp.backends[1].name, "naive");
-  EXPECT_EQ(resp.backends[2].name, "simd_batch");
-  EXPECT_TRUE(resp.backends[2].vectorized);
-  EXPECT_GT(resp.backends[2].preferred_batch, 1u);
+  EXPECT_EQ(resp.backends[1].name, "jit");
+  EXPECT_FALSE(resp.backends[1].vectorized);
+  EXPECT_EQ(resp.backends[2].name, "naive");
+  EXPECT_EQ(resp.backends[3].name, "simd_batch");
+  EXPECT_TRUE(resp.backends[3].vectorized);
+  EXPECT_GT(resp.backends[3].preferred_batch, 1u);
+  // Tiers travel over the wire so clients can route by speed preference.
+  EXPECT_GT(resp.backends[1].tier, resp.backends[3].tier);  // jit > simd
+  EXPECT_GT(resp.backends[3].tier, resp.backends[0].tier);  // simd > compiled
   for (const EvalBackendCapability& b : resp.backends) {
     EXPECT_TRUE(b.deterministic) << b.name;
     EXPECT_FALSE(b.summary.empty()) << b.name;
@@ -540,8 +545,8 @@ TEST_F(ServiceTest, ListBackendsReturnsCapabilityRecords) {
   auto decoded = DecodeResponse(reply);
   ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
   EXPECT_TRUE(decoded->ok());
-  ASSERT_EQ(decoded->backends.size(), 3u);
-  EXPECT_EQ(decoded->backends[2].name, "simd_batch");
+  ASSERT_EQ(decoded->backends.size(), 4u);
+  EXPECT_EQ(decoded->backends[3].name, "simd_batch");
   EXPECT_FALSE(shutdown);
 }
 
@@ -571,10 +576,10 @@ TEST_F(ServiceTest, EvaluateRoutesThroughNamedBackend) {
   }
 
   // Unknown names fail up front with the registry's name-listing error.
-  req.eval_backend = "jit";
+  req.eval_backend = "turbo";
   Response bad = service_->Evaluate(req);
   EXPECT_EQ(bad.code, StatusCode::kInvalidArgument);
-  EXPECT_NE(bad.message.find("unknown evaluation backend 'jit'"),
+  EXPECT_NE(bad.message.find("unknown evaluation backend 'turbo'"),
             std::string::npos)
       << bad.message;
   EXPECT_NE(bad.message.find("simd_batch"), std::string::npos) << bad.message;
@@ -894,7 +899,7 @@ TEST_F(ScenarioServiceTest, ScenarioErrorsAreStructured) {
   EXPECT_NE(zero_k.message.find("top_k"), std::string::npos);
 
   req.shape = ScenarioShape::kValues;
-  req.eval_backend = "jit";
+  req.eval_backend = "turbo";
   Response bad_backend = service_->EvaluateScenarioProgram(req);
   EXPECT_EQ(bad_backend.code, StatusCode::kInvalidArgument);
   EXPECT_NE(bad_backend.message.find("unknown evaluation backend"),

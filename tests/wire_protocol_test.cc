@@ -200,20 +200,29 @@ TEST(WireProtocolTest, ListBackendsResponseRoundTrip) {
 
   Response resp;
   resp.request_kind = MessageKind::kListBackendsRequest;
-  resp.backends = {{"compiled", "single-scenario CSR walk", false, true, 1},
+  resp.backends = {{"compiled", "single-scenario CSR walk", false, true, 1, 1},
                    {"simd_batch", "SoA lanes, AVX2 when available", true,
-                    true, 8}};
+                    true, 8, 2},
+                   {"jit", "per-artifact native code", false, true, 1, 3}};
   auto decoded = DecodeResponse(EncodeResponse(resp));
   ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
-  ASSERT_EQ(decoded->backends.size(), 2u);
+  ASSERT_EQ(decoded->backends.size(), 3u);
   EXPECT_EQ(decoded->backends[0].name, "compiled");
   EXPECT_EQ(decoded->backends[0].summary, "single-scenario CSR walk");
   EXPECT_FALSE(decoded->backends[0].vectorized);
   EXPECT_TRUE(decoded->backends[0].deterministic);
   EXPECT_EQ(decoded->backends[0].preferred_batch, 1u);
+  EXPECT_EQ(decoded->backends[0].tier, 1u);
   EXPECT_EQ(decoded->backends[1].name, "simd_batch");
   EXPECT_TRUE(decoded->backends[1].vectorized);
   EXPECT_EQ(decoded->backends[1].preferred_batch, 8u);
+  EXPECT_EQ(decoded->backends[1].tier, 2u);
+  // Tier shares the flags byte (bits 2-3) with the bool bits; all four
+  // combinations of (vectorized, tier) must survive the round trip.
+  EXPECT_EQ(decoded->backends[2].name, "jit");
+  EXPECT_FALSE(decoded->backends[2].vectorized);
+  EXPECT_TRUE(decoded->backends[2].deterministic);
+  EXPECT_EQ(decoded->backends[2].tier, 3u);
 }
 
 TEST(WireProtocolTest, EvalBackendEchoRoundTrip) {
@@ -372,7 +381,7 @@ TEST(WireProtocolTest, TruncationSweepAllMessages) {
   resp.vvs = "{r}";
   resp.algos = {{"opt", "optimal DP", true, true, true, true}};
   resp.eval_backend = "simd_batch";
-  resp.backends = {{"simd_batch", "SoA lanes", true, true, 8}};
+  resp.backends = {{"simd_batch", "SoA lanes", true, true, 8, 2}};
 
   struct Case {
     std::string encoded;

@@ -3,7 +3,7 @@
 # nonzero exit. Benches are not part of ctest, so without this they only
 # ever compile in CI and can bit-rot at runtime (stale flags, renamed
 # registry algorithms, workload API drift). This is a liveness check, not a
-# measurement: timings printed here are meaningless — with FOUR machine-
+# measurement: timings printed here are meaningless — with FIVE machine-
 # keyed exceptions, each only checked when the current MACHINEKEY (cpu
 # model) matches the cpu recorded in the reference JSON; on other machines
 # the thresholds are skipped (noise):
@@ -11,6 +11,11 @@
 #     backend must not fall below 1.0x the single-scenario compiled loop at
 #     the recorded batch width. A vectorized backend slower than the scalar
 #     loop it batches is a regression even at smoke scale.
+#   - bench_evaluate_kernel (vs BENCH_evaluate.json): the jit arm's
+#     single-scenario sweep must not fall below 1.0x the compiled loop —
+#     but only JITSTAT lines with mode=native; hosts where the jit fell
+#     back (forced off, no executable memory) skip cleanly, since the
+#     fallback IS the compiled kernel and its ratio is just noise.
 #   - bench_server_throughput (vs BENCH_baseline.json): the cached-compress
 #     ratio (cold DP / cache hit) must stay >= 100x. The hot serving path
 #     is a mutex + hash probe; two orders of magnitude of headroom under
@@ -96,8 +101,25 @@ if [ -s "$EVAL_OUT" ] && [ -f "$REFERENCE_JSON" ]; then
     else
       echo "bench_smoke: simd_batch batched-arm ratios >= 1.0x compiled (machine key matched)"
     fi
+    # The jit arm: native code must beat the compiled loop it replaces.
+    # Only mode=native lines are thresholded — a fallback line measures
+    # the compiled kernel against itself plus dispatch overhead.
+    jit_slow=$(awk '/^JITSTAT / && /mode=native/ {
+      for (i = 1; i <= NF; i++) {
+        if ($i ~ /^ratio=/) { sub("ratio=", "", $i); if ($i + 0 < 1.0) print }
+      }
+    }' "$EVAL_OUT")
+    if [ -n "$jit_slow" ]; then
+      echo "FAILED: jit below 1.0x compiled on the recorded machine ($this_cpu):" >&2
+      grep '^JITSTAT ' "$EVAL_OUT" | sed 's/^/    /' >&2
+      failures=$((failures + 1))
+    elif grep -q 'mode=native' "$EVAL_OUT"; then
+      echo "bench_smoke: jit single-scenario ratios >= 1.0x compiled (machine key matched)"
+    else
+      echo "bench_smoke: skipping jit threshold (jit arm ran in fallback mode)"
+    fi
   else
-    echo "bench_smoke: skipping simd_batch threshold (machine key '$this_cpu' != recorded '$recorded_cpu')"
+    echo "bench_smoke: skipping simd_batch/jit thresholds (machine key '$this_cpu' != recorded '$recorded_cpu')"
   fi
 fi
 rm -f "$EVAL_OUT"
