@@ -55,7 +55,8 @@ uint32_t AbstractionTree::Width() const {
   return w;
 }
 
-Status AbstractionTree::CheckCompatible(const PolynomialSet& polys) const {
+Status AbstractionTree::CheckCompatible(const PolynomialSet& polys,
+                                        size_t first_poly) const {
   std::unordered_set<VariableId> leaf_labels;
   std::unordered_set<VariableId> internal_labels;
   for (const Node& n : nodes_) {
@@ -65,7 +66,8 @@ Status AbstractionTree::CheckCompatible(const PolynomialSet& polys) const {
       internal_labels.insert(n.label);
     }
   }
-  for (const Polynomial& p : polys.polynomials()) {
+  for (size_t i = first_poly; i < polys.count(); ++i) {
+    const Polynomial& p = polys[i];
     for (const Monomial& m : p.monomials()) {
       int tree_vars_in_monomial = 0;
       for (const Factor& f : m.factors()) {

@@ -84,8 +84,12 @@ class AbstractionTree {
 
   /// Verifies compatibility with `polys` (§2.2): every monomial of every
   /// polynomial contains at most one node label of this tree, and internal
-  /// (meta-variable) labels do not occur in the polynomials.
-  Status CheckCompatible(const PolynomialSet& polys) const;
+  /// (meta-variable) labels do not occur in the polynomials. `first_poly`
+  /// starts the scan mid-set for callers that already validated the prefix
+  /// (the incremental recompress checks only a delta's appended suffix —
+  /// Add is append-only, so a once-checked prefix stays compatible).
+  Status CheckCompatible(const PolynomialSet& polys,
+                         size_t first_poly = 0) const;
 
   /// Renders an indented textual form using names from `vars` (debugging).
   std::string ToString(const VariableTable& vars) const;

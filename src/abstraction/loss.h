@@ -42,6 +42,18 @@ LossReport ComputeLossNaive(const PolynomialSet& polys,
 /// polynomials per node. Residual identity uses 64-bit hashing; collisions
 /// are possible in principle but astronomically unlikely, and the exact
 /// ComputeLossNaive() is available wherever certainty is required.
+/// Storage is CSR: one contiguous key array grouped by leaf position plus
+/// an offsets array, so NodeLoss — the DP inner loop — walks one
+/// sequential range per node (tree leaves are DFS-contiguous below every
+/// node) instead of chasing a vector-of-vectors. Distinctness is counted
+/// by sort+unique over a reused scratch buffer rather than a hash set:
+/// same asymptotics in practice, strictly sequential memory traffic.
+///
+/// Incremental updates: AppendPolynomials indexes polynomials added after
+/// the build into per-leaf overflow vectors (the CSR body is immutable),
+/// which NodeLoss folds in. Overflow stays tiny — it holds one delta's
+/// worth of keys while the incremental DP patches; a full rebuild
+/// re-flattens everything.
 class LeafResidualIndex {
  public:
   /// Builds the index for `tree` over `polys`. The tree must be compatible
@@ -60,11 +72,55 @@ class LeafResidualIndex {
   /// Total residual keys stored (diagnostics).
   size_t TotalKeys() const;
 
+  /// What one AppendPolynomials call changed, in enough detail to patch
+  /// previously computed NodeLoss values without re-sorting whole key
+  /// ranges: the dirty leaf positions (sorted, distinct) and the keys this
+  /// append added at each.
+  struct AppendDelta {
+    std::vector<uint32_t> dirty;
+    std::vector<std::vector<uint64_t>> new_keys;  ///< Parallel to `dirty`.
+  };
+
+  /// Indexes the polynomials appended since the build (or the previous
+  /// append): [indexed_count, polys.count()). `polys` must be the built
+  /// set plus appends — the already-indexed prefix must be unchanged.
+  /// Returns the dirty set the incremental DP re-solves above.
+  AppendDelta AppendPolynomials(const PolynomialSet& polys);
+
+  /// Patches a NodeLoss value computed BEFORE the latest AppendPolynomials
+  /// call, given that call's delta: ml grows by (keys appended below v) −
+  /// (distinct appended keys new below v), and vl tracks leaves below v
+  /// that first became present. O(keys below v) worst case — a sequential
+  /// membership scan, no sort — and O(1) when no dirty leaf is below v.
+  /// Equals NodeLoss(v) recomputed from scratch, by construction.
+  LossReport PatchNodeLoss(NodeIndex v, LossReport before,
+                           const AppendDelta& delta) const;
+
+  /// Number of polynomials this index has consumed.
+  size_t indexed_count() const { return indexed_count_; }
+
+  /// Re-points the index at `tree` — for retained indexes copied into a
+  /// context where the original tree object is gone. The caller must have
+  /// verified the new tree is shape-identical (same node count and leaf
+  /// labels in DFS order); the stored keys and offsets are only meaningful
+  /// against that exact shape.
+  void Rebind(const AbstractionTree& tree) { tree_ = &tree; }
+
  private:
+  void IndexPolynomial(size_t poly_index, const Polynomial& poly,
+                       std::vector<std::vector<uint64_t>>& sink) const;
+
   const AbstractionTree* tree_;
-  /// keys_by_leafpos_[i] = residual keys of the i'th leaf in tree DFS leaf
-  /// order (position in tree.leaves()).
-  std::vector<std::vector<uint64_t>> keys_by_leafpos_;
+  /// CSR body: keys_[offsets_[i] .. offsets_[i+1]) = residual keys of the
+  /// i'th leaf in tree DFS leaf order (position in tree.leaves()).
+  std::vector<uint64_t> keys_;
+  std::vector<uint32_t> offsets_;
+  /// Keys from AppendPolynomials, per leaf position; folded into every
+  /// query alongside the CSR body.
+  std::vector<std::vector<uint64_t>> overflow_by_leafpos_;
+  /// Leaf label -> position in tree.leaves(); retained for appends.
+  std::unordered_map<VariableId, uint32_t> leafpos_;
+  size_t indexed_count_ = 0;
 };
 
 }  // namespace provabs

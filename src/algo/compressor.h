@@ -40,12 +40,14 @@ struct CompressOptions {
   /// to include it — see docs/SERVER.md).
   uint64_t seed = 0;
   /// Wall-clock budget in milliseconds; 0 = unlimited. Every built-in
-  /// honors it and fails with kOutOfRange on expiry, each at its natural
-  /// check granularity: "brute" per cut, "prox" per oracle-call batch,
-  /// "opt" per DP node, "greedy" per merge round. A compressor that cannot
-  /// enforce a budget must advertise `supports_time_budget = false` so
-  /// callers can reject the option up front instead of being silently
-  /// unprotected.
+  /// honors it, each at its natural check granularity: "brute" per cut,
+  /// "prox" per oracle-call batch, "opt" per DP node, "greedy" per merge
+  /// round. The anytime algorithms ("opt", "greedy") return their
+  /// best-so-far valid cut on expiry with `budget_exhausted` set; the
+  /// enumerative ones ("brute", "prox") have no meaningful partial answer
+  /// and fail with kOutOfRange. A compressor that cannot enforce a budget
+  /// must advertise `supports_time_budget = false` so callers can reject
+  /// the option up front instead of being silently unprotected.
   uint64_t time_budget_ms = 0;
 };
 
@@ -57,11 +59,26 @@ struct CompressOptions {
 /// arbitrary variable partition that is not necessarily a cut, carried as a
 /// substitution map. `Apply`/`Describe` dispatch on the representation so
 /// callers never need to care which algorithm ran.
+namespace internal {
+struct RetainedDpState;  // algo/optimal_single_tree.h — opaque here.
+}  // namespace internal
+
 struct CompressionResult {
   ValidVariableSet vvs;
   LossReport loss;
   /// True iff |P↓S|_M ≤ B (the abstraction is adequate for the bound).
   bool adequate = false;
+  /// True when an anytime algorithm's time budget expired and the result
+  /// is its best-so-far valid cut rather than the full-run answer. The cut
+  /// is always valid and `adequate` is still exact for it; optimality (VL
+  /// minimality) is what the budget traded away.
+  bool budget_exhausted = false;
+  /// Retained per-tree DP tables from the optimal algorithm, enabling
+  /// OptimalRecompress to patch this result after localized appends
+  /// instead of re-running the full DP. Opaque and in-memory only: never
+  /// serialized, shared (immutable) between copies of the result, null
+  /// for non-"opt" algorithms and for budget-exhausted runs.
+  std::shared_ptr<const internal::RetainedDpState> dp_state;
 
   /// When true the abstraction is `substitution` (original variable →
   /// representative group variable) and `vvs` is empty; representatives of
@@ -108,8 +125,9 @@ struct CompressorInfo {
   /// grouping algorithms like "prox". Callers that need a VVS (e.g. the
   /// CLI's --vvs-out) check this BEFORE running the algorithm.
   bool produces_cut = false;
-  /// CompressOptions::time_budget_ms is enforced (expiry fails with
-  /// kOutOfRange). True for all four built-ins; a compressor that cannot
+  /// CompressOptions::time_budget_ms is enforced: anytime algorithms
+  /// return best-so-far with `budget_exhausted` set, the rest fail with
+  /// kOutOfRange. True for all four built-ins; a compressor that cannot
   /// check a deadline must advertise false, and callers that need budget
   /// protection reject it up front (a silently ignored budget is the worst
   /// outcome).

@@ -67,12 +67,16 @@ StatusOr<CompressionResult> GreedyMultiTree(const PolynomialSet& polys,
   }
 
   // Main loop (lines 10–14).
+  bool budget_exhausted = false;
   while (state.MonomialLoss() < k && !candidates.empty()) {
     // One wall-clock check per merge round bounds the overrun by a single
-    // candidate scan — the same best-effort granularity the exponential
-    // algorithms provide (brute per cut, prox per oracle-call batch).
+    // candidate scan. S is a valid cut after every round, so expiry simply
+    // stops merging: the anytime answer is the best-so-far cut (possibly
+    // inadequate — fewer merges than the bound wanted), flagged
+    // budget_exhausted rather than failed.
     if (options.deadline.Expired()) {
-      return Status::OutOfRange("greedy compression exceeded its time budget");
+      budget_exhausted = true;
+      break;
     }
     // Select the candidate with minimal variable loss (first pass; VL is a
     // cheap count), then optionally tie-break on maximal monomial-loss
@@ -133,6 +137,7 @@ StatusOr<CompressionResult> GreedyMultiTree(const PolynomialSet& polys,
       std::vector<NodeRef>(s.begin(), s.end()));
   result.loss = ComputeLossNaive(polys, forest, result.vvs);
   result.adequate = result.loss.monomial_loss >= k;
+  result.budget_exhausted = budget_exhausted;
   return result;
 }
 

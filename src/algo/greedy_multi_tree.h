@@ -16,8 +16,10 @@ struct GreedyOptions {
   /// Example 15 of the paper, where q1 is preferred over SB). When false,
   /// ties are broken arbitrarily, matching the pseudocode's weakest reading.
   bool tie_break_on_ml = true;
-  /// Wall-clock cutoff, checked once per merge round of the main loop; on
-  /// expiry the algorithm fails with kOutOfRange. Default: never expires.
+  /// Wall-clock cutoff, checked once per merge round of the main loop.
+  /// Greedy is anytime: S is a valid cut after every round, so expiry
+  /// stops merging and returns the best-so-far cut with `budget_exhausted`
+  /// set (possibly `adequate == false`). Default: never expires.
   Deadline deadline;
 };
 

@@ -2,6 +2,9 @@
 #define PROVABS_ALGO_OPTIMAL_SINGLE_TREE_H_
 
 #include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
 
 #include "abstraction/abstraction_forest.h"
 #include "abstraction/loss.h"
@@ -20,10 +23,97 @@ struct OptimalOptions {
   /// Skip the children convolution for height-1 nodes (their array is
   /// always {0:0} plus the self entry).
   bool height1_shortcut = true;
-  /// Wall-clock cutoff, checked once per node of the bottom-up DP; on
-  /// expiry the algorithm fails with kOutOfRange. Default: never expires.
+  /// Wall-clock cutoff, checked once per node of the bottom-up DP. The DP
+  /// is anytime: on expiry the remaining nodes get degraded arrays (the
+  /// all-leaves cut plus the node's own singleton), so the run still
+  /// returns a VALID cut — adequacy is preserved exactly, optimality is
+  /// what expiry trades away — with `budget_exhausted` set on the result.
+  /// Default: never expires.
   Deadline deadline;
+  /// Extra bucket headroom retained above k = |P|_M − B: the DP arrays are
+  /// computed at clamp K = min(|P|_M, k + retain_headroom), so a retained
+  /// result can be re-queried after appends grow |P|_M (hence k) by up to
+  /// this many monomials without a full re-run. The reported result is
+  /// provably identical for every headroom value (clamping commutes with
+  /// the (min,+) convolution; the query runs in the k-clamped view), so
+  /// this knob trades DP work for incremental patchability only.
+  uint32_t retain_headroom = 64;
+  /// Keep the per-tree DP tables (arrays, residual index, chosen cut) on
+  /// the result for OptimalRecompress. Never retained for budget-exhausted
+  /// runs, whose degraded arrays are not exact.
+  bool retain_state = true;
 };
+
+namespace internal {
+
+/// Per-node DP table: bucket (= min(ML, clamp)) -> minimal variable loss,
+/// plus whether the optimum at that bucket is the singleton VVS {v}.
+/// Buckets absent from `vl` are ⊥.
+struct DpNodeArray {
+  std::unordered_map<uint32_t, uint64_t> vl;
+  std::unordered_map<uint32_t, bool> use_self;
+
+  uint64_t Get(uint32_t bucket) const {
+    auto it = vl.find(bucket);
+    return it == vl.end() ? ~0ull : it->second;
+  }
+  bool UsesSelf(uint32_t bucket) const {
+    auto it = use_self.find(bucket);
+    return it != use_self.end() && it->second;
+  }
+  void Offer(uint32_t bucket, uint64_t value, bool self) {
+    auto it = vl.find(bucket);
+    if (it == vl.end() || value < it->second) {
+      vl[bucket] = value;
+      use_self[bucket] = self;
+    }
+  }
+};
+
+/// Flattened (bucket, vl) snapshots of one node's convolution prefixes
+/// τ[0]..τ[w-1] at the clamp the node's array was computed at (entry order
+/// is irrelevant — readers project into a dense view first). Retaining
+/// them is what makes reconstruction convolution-free: the canonical cut
+/// walk only ever needs, per child, the view-projection of two adjacent
+/// prefixes, so Reconstruct reads these instead of re-running the (min,+)
+/// convolution — the single most expensive step of the whole DP at the
+/// root — a second time.
+using ConvPrefixes = std::vector<std::vector<std::pair<uint32_t, uint64_t>>>;
+
+/// The optimal DP's retained per-tree tables, carried opaquely on
+/// CompressionResult::dp_state. Everything OptimalRecompress needs to
+/// patch a previous run after localized appends: the clamp-K node arrays,
+/// per-node self losses, the residual index (appendable), the chosen cut,
+/// and the fingerprints that gate reuse (bound, |P|_M, set revision, tree
+/// shape). Immutable once published; Recompress copies it.
+struct RetainedDpState {
+  explicit RetainedDpState(LeafResidualIndex idx) : index(std::move(idx)) {}
+
+  uint32_t tree_index = 0;
+  uint64_t bound = 0;
+  size_t size_m = 0;        ///< |P|_M the DP ran against.
+  uint64_t revision = 0;    ///< PolynomialSet::revision() at run time.
+  uint32_t clamp = 0;       ///< Bucket clamp K the arrays hold.
+  bool sparse_arrays = true;
+  bool height1_shortcut = true;
+  /// Tree-shape fingerprint: node count plus the leaf labels in DFS order.
+  size_t node_count = 0;
+  std::vector<VariableId> leaf_labels;
+  LeafResidualIndex index;
+  /// Per-node arrays, individually shared: a patched generation deep-copies
+  /// only the arrays on dirty leaf→root paths and aliases the rest, so the
+  /// copy-on-patch cost is O(dirty path), not O(tree × clamp).
+  std::vector<std::shared_ptr<const DpNodeArray>> arrays;
+  /// Per-node convolution prefixes, shared like `arrays` (null/empty for
+  /// leaves, height-1 shortcut nodes, and dense-ablation runs, where
+  /// Reconstruct rebuilds them on the fly).
+  std::vector<std::shared_ptr<const ConvPrefixes>> prefixes;
+  std::vector<LossReport> self_loss;
+  /// The cut chosen on THIS tree (node indices, no other trees' leaves).
+  std::vector<NodeIndex> chosen;
+};
+
+}  // namespace internal
 
 /// Algorithm 1 (Optimal Valid Variables Selection): computes an optimal VVS
 /// for the single tree `tree_index` of `forest` under monomial bound
@@ -37,6 +127,36 @@ struct OptimalOptions {
 StatusOr<CompressionResult> OptimalSingleTree(
     const PolynomialSet& polys, const AbstractionForest& forest,
     uint32_t tree_index, size_t bound_b, const OptimalOptions& options = {});
+
+/// Why OptimalRecompress declined to patch and the caller must fall back
+/// to the full DP.
+enum class RecompressFallback {
+  kNone = 0,          ///< Patched successfully.
+  kNoState,           ///< prev carries no (or incompatible) retained tables.
+  kDeltaIncomplete,   ///< Delta log truncated or revisions don't line up.
+  kShapeChanged,      ///< Forest/tree shape differs from the retained run.
+  kHeadroomExhausted, ///< New k exceeds the retained bucket clamp.
+  kCrossesCut,        ///< An append touches a leaf strictly below a chosen
+                      ///< internal node (the abstracted interior).
+};
+
+/// Stable lower_snake_case name for logs/counters/tests.
+const char* RecompressFallbackName(RecompressFallback fallback);
+
+/// Incrementally re-solves a previous OptimalSingleTree run after `polys`
+/// grew by `delta` (appends only). Re-derives only what the delta touched:
+/// appended polynomials are folded into the retained residual index, the
+/// DP arrays along dirty leaf→root paths are recomputed, and the root is
+/// re-queried at the new k — every untouched array is reused as-is, so the
+/// result is field-identical to a full re-run by construction.
+///
+/// On any gate failure (see RecompressFallback) returns kFailedPrecondition
+/// with `fallback` set; the caller runs the full DP instead. Returns
+/// kInfeasible exactly when the full DP would.
+StatusOr<CompressionResult> OptimalRecompress(
+    const PolynomialSet& polys, const AbstractionForest& forest,
+    const CompressionResult& prev, const PolynomialSetDelta& delta,
+    size_t bound_b, RecompressFallback* fallback = nullptr);
 
 namespace internal {
 

@@ -21,6 +21,15 @@
 
 #define PROVABS_DCHECK(condition) PROVABS_CHECK(condition)
 
+/// No-alias pointer qualifier for hot loops the compiler should vectorize.
+#if defined(__GNUC__) || defined(__clang__)
+#define PROVABS_RESTRICT __restrict__
+#elif defined(_MSC_VER)
+#define PROVABS_RESTRICT __restrict
+#else
+#define PROVABS_RESTRICT
+#endif
+
 /// Propagates a non-OK `provabs::Status` to the caller.
 #define PROVABS_RETURN_IF_ERROR(expr)               \
   do {                                              \

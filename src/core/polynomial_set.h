@@ -1,6 +1,7 @@
 #ifndef PROVABS_CORE_POLYNOMIAL_SET_H_
 #define PROVABS_CORE_POLYNOMIAL_SET_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <unordered_set>
@@ -11,6 +12,31 @@
 namespace provabs {
 
 class CompiledPolynomialSet;
+
+/// Everything appended to a PolynomialSet after some observed revision, as
+/// reconstructed from the bounded delta log. Downstream caches pair a
+/// retained result with the revision it was computed at and ask for the
+/// delta to decide between patching and full recomputation; `complete`
+/// false means the log no longer reaches back that far (too many appends)
+/// and the only sound answer is a full recompute.
+struct PolynomialSetDelta {
+  uint64_t from_revision = 0;
+  uint64_t to_revision = 0;
+  /// Polynomials [first_added_index, count()) are the appended ones; the
+  /// prefix before it is untouched (Add is append-only).
+  size_t first_added_index = 0;
+  /// Total monomials across the appended polynomials (the |P|_M growth).
+  size_t added_monomials = 0;
+  /// Union of the appended polynomials' variables, sorted and deduplicated.
+  /// Downstream code intersects this with abstraction-tree leaf sets to
+  /// find the touched trees.
+  std::vector<VariableId> touched_vars;
+  /// True iff the log covered every revision in (from, to]; when false all
+  /// other fields are meaningless.
+  bool complete = false;
+
+  bool empty() const { return complete && from_revision == to_revision; }
+};
 
 /// A multiset of provenance polynomials — the provenance-aware result of a
 /// query, one polynomial per output tuple/group. The paper's measures lift
@@ -34,8 +60,23 @@ class PolynomialSet {
   PolynomialSet& operator=(PolynomialSet&& other) noexcept;
 
   /// Appends one polynomial (one more output tuple's annotation).
-  /// Invalidates any previously compiled evaluation form.
+  /// Invalidates any previously compiled evaluation form, bumps the
+  /// revision, and records the append in the bounded delta log.
   void Add(Polynomial p);
+
+  /// Monotone mutation counter: 0 for a freshly constructed set (including
+  /// the vector constructor — the initial contents ARE revision 0), +1 per
+  /// Add. Copies carry the revision; a moved-from set resets to empty.
+  uint64_t revision() const { return revision_; }
+
+  /// Reconstructs everything appended after `from_revision` from the delta
+  /// log. The log keeps the last kDeltaLogCapacity appends; asking further
+  /// back returns `complete == false`, the caller's signal to recompute
+  /// from scratch instead of patching.
+  PolynomialSetDelta DeltaSince(uint64_t from_revision) const;
+
+  /// Delta-log depth: how many appends back DeltaSince can reach.
+  static constexpr size_t kDeltaLogCapacity = 128;
 
   const std::vector<Polynomial>& polynomials() const { return polys_; }
   /// Number of polynomials (query output tuples), NOT monomials — see
@@ -66,11 +107,22 @@ class PolynomialSet {
   std::shared_ptr<const CompiledPolynomialSet> Compiled() const;
 
  private:
+  /// One Add in the delta log.
+  struct DeltaLogEntry {
+    uint64_t revision;            ///< revision_ after this Add.
+    uint32_t poly_index;          ///< Index of the appended polynomial.
+    uint32_t monomials;           ///< Its monomial count.
+    std::vector<VariableId> vars; ///< Its variable set (unsorted).
+  };
+
   std::vector<Polynomial> polys_;
   /// Lazily compiled evaluation form; accessed only through the
   /// std::atomic_* shared_ptr free functions (C++17's pre-atomic<shared_ptr>
   /// idiom) so readers never see a torn pointer.
   mutable std::shared_ptr<const CompiledPolynomialSet> compiled_;
+  uint64_t revision_ = 0;
+  /// Ring of the last kDeltaLogCapacity appends, oldest first.
+  std::vector<DeltaLogEntry> delta_log_;
 };
 
 }  // namespace provabs

@@ -84,6 +84,7 @@ StatusOr<OnlineResult> CompressOnline(const Database& db,
   CompressOptions copts;
   copts.bound = result.adapted_bound;
   copts.seed = options.seed;
+  copts.time_budget_ms = options.time_budget_ms;
   auto chosen = (*compressor)->Compress(decision_sample, forest, copts);
   if (chosen.ok()) {
     result.abstraction = std::move(*chosen);
@@ -112,7 +113,96 @@ StatusOr<OnlineResult> CompressOnline(const Database& db,
   result.actual_full_size_m = full.SizeM();
   result.compressed = result.abstraction.Apply(forest, full);
   result.met_bound = result.compressed.SizeM() <= bound_full;
+  result.budget_exhausted = result.abstraction.budget_exhausted;
+  // Retained last: the abstraction's dp_state is fingerprinted to this
+  // set's revision, which is what lets AppendOnline patch instead of
+  // re-running the DP.
+  result.decision_sample = std::move(decision_sample);
   return result;
+}
+
+Status AppendOnline(const AbstractionForest& forest,
+                    const PolynomialSet& added, size_t bound_full,
+                    OnlineResult* result, const OnlineOptions& options,
+                    OnlineAppendInfo* info) {
+  if (info) *info = OnlineAppendInfo{};
+  if (result == nullptr) {
+    return Status::InvalidArgument("AppendOnline needs a prior result");
+  }
+  if (result->abstraction.grouping) {
+    return Status::InvalidArgument(
+        "grouping abstractions cannot be patched incrementally; re-run "
+        "CompressOnline");
+  }
+  if (added.count() == 0) return Status::OK();
+  Status compat = forest.CheckCompatible(added);
+  if (!compat.ok()) return compat;
+
+  const uint64_t from_revision = result->decision_sample.revision();
+  for (const Polynomial& p : added.polynomials()) {
+    result->decision_sample.Add(p);
+  }
+  result->sample_size_m = result->decision_sample.SizeM();
+  // Every appended polynomial enters both the sample and the (conceptual)
+  // full provenance, so both sides grow by the same amount; the original
+  // adapted bound stays in force (a drifting bound would invalidate the
+  // retained DP tables on every append).
+  result->estimated_full_size_m += added.SizeM();
+  result->actual_full_size_m += added.SizeM();
+
+  PolynomialSetDelta delta =
+      result->decision_sample.DeltaSince(from_revision);
+  RecompressFallback why = RecompressFallback::kNone;
+  auto patched =
+      OptimalRecompress(result->decision_sample, forest, result->abstraction,
+                        delta, result->adapted_bound, &why);
+  CompressionResult next;
+  if (patched.ok()) {
+    next = std::move(*patched);
+    if (info) info->patched = true;
+  } else if (patched.status().code() == StatusCode::kInfeasible) {
+    // Authoritative: the full DP would agree. Same fallback as the
+    // pipeline's step 4 — maximal compression rather than failure.
+    next.vvs = ValidVariableSet::AllRoots(forest);
+  } else if (patched.status().code() == StatusCode::kFailedPrecondition) {
+    if (info) info->fallback = why;
+    std::string algo_name = options.algo;
+    if (algo_name.empty()) {
+      algo_name =
+          options.use_optimal_when_single_tree && forest.tree_count() == 1
+              ? "opt"
+              : "greedy";
+    }
+    auto compressor = CompressorRegistry::Default().Resolve(algo_name);
+    if (!compressor.ok()) return compressor.status();
+    CompressOptions copts;
+    copts.bound = result->adapted_bound;
+    copts.seed = options.seed;
+    copts.time_budget_ms = options.time_budget_ms;
+    auto full =
+        (*compressor)->Compress(result->decision_sample, forest, copts);
+    if (full.ok()) {
+      next = std::move(*full);
+    } else if (full.status().code() == StatusCode::kInfeasible) {
+      next.vvs = ValidVariableSet::AllRoots(forest);
+    } else {
+      return full.status();
+    }
+  } else {
+    return patched.status();
+  }
+  result->abstraction = std::move(next);
+  result->vvs = result->abstraction.vvs;
+  result->budget_exhausted = result->abstraction.budget_exhausted;
+
+  // Step 5, streaming: group only the NEW annotations through the cut now
+  // in force and append them to the running compressed output.
+  PolynomialSet grouped = result->abstraction.Apply(forest, added);
+  for (const Polynomial& p : grouped.polynomials()) {
+    result->compressed.Add(p);
+  }
+  result->met_bound = result->compressed.SizeM() <= bound_full;
+  return Status::OK();
 }
 
 }  // namespace provabs

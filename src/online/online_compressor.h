@@ -50,6 +50,10 @@ struct OnlineOptions {
   /// Use OptimalSingleTree when the forest has exactly one tree (only
   /// consulted when `algo` is empty).
   bool use_optimal_when_single_tree = true;
+  /// Wall-clock budget for the decision-sample compression, forwarded to
+  /// CompressOptions::time_budget_ms. The anytime algorithms return their
+  /// best-so-far cut on expiry (OnlineResult::budget_exhausted); 0 = none.
+  uint64_t time_budget_ms = 0;
   uint64_t seed = 42;
 };
 
@@ -62,11 +66,19 @@ struct OnlineResult {
   /// grouping algorithm ran (a grouping is not a cut).
   ValidVariableSet vvs;
   PolynomialSet compressed;          ///< Full provenance, pre-grouped.
+  /// The decision sample itself, retained as the warm state AppendOnline
+  /// patches against: `abstraction.dp_state` (when the optimal DP ran) is
+  /// fingerprinted to this set's revision, so appends can be re-derived
+  /// through the delta log instead of a full re-run.
+  PolynomialSet decision_sample;
   size_t sample_size_m = 0;          ///< |P_sample|_M at the last rate.
   size_t estimated_full_size_m = 0;  ///< Extrapolated |P_full|_M.
   size_t actual_full_size_m = 0;     ///< True |P_full|_M (for reporting).
   size_t adapted_bound = 0;          ///< Bound used on the sample.
   bool met_bound = false;            ///< |compressed|_M ≤ user bound.
+  /// Mirror of `abstraction.budget_exhausted`: the sample compression hit
+  /// OnlineOptions::time_budget_ms and returned its best-so-far cut.
+  bool budget_exhausted = false;
 };
 
 /// A provenance query, re-runnable on any (sub)database.
@@ -80,6 +92,39 @@ StatusOr<OnlineResult> CompressOnline(const Database& db,
                                       const AbstractionForest& forest,
                                       size_t bound_full,
                                       const OnlineOptions& options = {});
+
+/// How AppendOnline re-derived the cut after an append.
+struct OnlineAppendInfo {
+  /// The delta-aware OptimalRecompress answered; the full DP was skipped.
+  bool patched = false;
+  /// Why patching was declined when it was (kNone while `patched`); the
+  /// cut was then re-derived by a full algorithm run.
+  RecompressFallback fallback = RecompressFallback::kNone;
+};
+
+/// Incremental continuation of the online pipeline under ingestion: folds
+/// newly-arrived provenance polynomials (same variable space as the
+/// original query's output) into a prior CompressOnline result without
+/// re-running the pipeline. The new polynomials are appended to the
+/// retained decision sample and the cut is re-derived through the
+/// delta-aware OptimalRecompress — a full algorithm re-run happens only
+/// when patching is declined (no retained DP state, delta log truncated,
+/// append crossing the chosen cut, ...; see OnlineAppendInfo::fallback).
+/// The new annotations are then grouped through the cut in force and
+/// appended to `result->compressed`; rows emitted earlier keep the
+/// grouping under which they were produced (the online model never
+/// materializes the exact originals to regroup).
+///
+/// `options` should be the ones the original CompressOnline ran with (they
+/// select the fallback algorithm and seed). The pipeline's adapted bound
+/// stays in force so the retained DP tables remain reusable; `met_bound`
+/// is re-judged against `bound_full`. Grouping abstractions (e.g. "prox")
+/// cannot be patched and are rejected with kInvalidArgument — re-run
+/// CompressOnline instead.
+Status AppendOnline(const AbstractionForest& forest,
+                    const PolynomialSet& added, size_t bound_full,
+                    OnlineResult* result, const OnlineOptions& options = {},
+                    OnlineAppendInfo* info = nullptr);
 
 }  // namespace provabs
 

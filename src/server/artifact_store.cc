@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "algo/optimal_single_tree.h"
 #include "core/compiled_polynomial_set.h"
 #include "io/byte_stream.h"
 #include "io/serializer.h"
@@ -37,6 +38,28 @@ size_t ApproxArtifactBytes(const Artifact& artifact) {
   for (const auto& [name, raw] : artifact.forest_bytes) {
     bytes += name.size() + raw.size();
   }
+  return bytes;
+}
+
+/// Rough resident size of retained DP tables, so patchable entries are
+/// charged for the state they keep alive (it can rival the compressed set).
+size_t ApproxDpStateBytes(const internal::RetainedDpState& state) {
+  size_t bytes = sizeof(internal::RetainedDpState);
+  bytes += state.leaf_labels.size() * sizeof(VariableId);
+  bytes += state.index.TotalKeys() * 12;  // CSR keys + offsets share
+  // Per-node arrays are shared across patched generations; charging each
+  // entry the full size over-counts aliased tables, which errs toward
+  // evicting sooner — acceptable for a rough budget.
+  for (const auto& a : state.arrays) {
+    bytes += 64 + a->vl.size() * 48;  // two hash maps' nodes
+  }
+  for (const auto& p : state.prefixes) {
+    if (p == nullptr) continue;
+    bytes += 32;
+    for (const auto& prefix : *p) bytes += 24 + prefix.size() * 16;
+  }
+  bytes += state.self_loss.size() * sizeof(LossReport);
+  bytes += state.chosen.size() * sizeof(NodeIndex);
   return bytes;
 }
 
@@ -143,6 +166,65 @@ StatusOr<std::shared_ptr<const Artifact>> ArtifactStore::Load(
   return std::shared_ptr<const Artifact>(artifact);
 }
 
+StatusOr<std::shared_ptr<const Artifact>> ArtifactStore::Append(
+    const std::string& name, const std::string& polys_bytes) {
+  // Serialized against Load for the same reason: read-extend-install of one
+  // artifact must not interleave with another writer.
+  std::lock_guard<std::mutex> load_lock(load_mutex_);
+  if (polys_bytes.empty()) {
+    return Status::InvalidArgument("append needs a non-empty polynomial set");
+  }
+  std::shared_ptr<const Artifact> existing = Get(name);
+  if (existing == nullptr) {
+    return Status::NotFound("artifact '" + name +
+                            "' not loaded (append needs a loaded artifact)");
+  }
+
+  // Artifacts are immutable once published, so the append builds a fresh
+  // one. The VariableTable is move-only; re-interning the predecessor's
+  // names in id order reproduces the exact same dense ids, so the copied
+  // polynomials and the re-deserialized forests stay consistent.
+  auto artifact = std::make_shared<Artifact>();
+  artifact->vars = std::make_shared<VariableTable>();
+  for (VariableId id = 0; id < existing->vars->size(); ++id) {
+    artifact->vars->Intern(existing->vars->NameOf(id));
+  }
+  artifact->polys = existing->polys;  // carries revision + delta log
+  auto added = DeserializePolynomialSet(polys_bytes, *artifact->vars);
+  if (!added.ok()) return added.status();
+  for (const Polynomial& p : added->polynomials()) {
+    artifact->polys.Add(p);
+  }
+  for (const auto& [forest_name, bytes] : existing->forest_bytes) {
+    auto forest = DeserializeForest(bytes, *artifact->vars);
+    if (!forest.ok()) return forest.status();
+    artifact->forests.emplace(forest_name, std::move(*forest));
+  }
+  artifact->forest_bytes = existing->forest_bytes;
+  // Re-serialize the combined set so forest-only Loads (which rebuild from
+  // raw bytes) keep working on top of appended artifacts.
+  artifact->polys_bytes =
+      SerializePolynomialSet(artifact->polys, *artifact->vars);
+  artifact->ancestry = existing->ancestry;
+  artifact->ancestry.push_back(
+      Artifact::Ancestor{existing->generation, existing->polys.revision()});
+  if (artifact->ancestry.size() > Artifact::kMaxAncestry) {
+    artifact->ancestry.erase(artifact->ancestry.begin());
+  }
+  artifact->approx_bytes = ApproxArtifactBytes(*artifact);
+  artifact->generation =
+      next_generation_.fetch_add(1, std::memory_order_relaxed);
+
+  const std::string slot_key = ArtifactSlotKey(name);
+  Shard& shard = ShardFor(slot_key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  Slot slot;
+  slot.artifact = artifact;
+  slot.bytes = artifact->approx_bytes;
+  InsertSlot(shard, slot_key, std::move(slot));
+  return std::shared_ptr<const Artifact>(artifact);
+}
+
 std::shared_ptr<const Artifact> ArtifactStore::Get(const std::string& name) {
   const std::string slot_key = ArtifactSlotKey(name);
   Shard& shard = ShardFor(slot_key);
@@ -164,7 +246,9 @@ ArtifactStore::LookupSlot(const std::string& slot_key, CountMode mode) {
     }
     return nullptr;
   }
-  result_hits_.fetch_add(1, std::memory_order_relaxed);
+  if (mode != CountMode::kNone) {
+    result_hits_.fetch_add(1, std::memory_order_relaxed);
+  }
   Touch(shard, it);
   return it->second.result;
 }
@@ -175,11 +259,19 @@ ArtifactStore::LookupResult(const ResultKey& key) {
 }
 
 std::shared_ptr<const ArtifactStore::CompressedResult>
+ArtifactStore::PeekResult(const ResultKey& key) {
+  return LookupSlot(ResultSlotKey(key), CountMode::kNone);
+}
+
+std::shared_ptr<const ArtifactStore::CompressedResult>
 ArtifactStore::InsertResultSlot(const std::string& slot_key,
                                 CompressedResult result) {
   auto shared = std::make_shared<CompressedResult>(std::move(result));
   shared->approx_bytes =
       ApproxPolynomialSetBytes(shared->compressed) + shared->vvs_names.size();
+  if (shared->algo_result.dp_state != nullptr) {
+    shared->approx_bytes += ApproxDpStateBytes(*shared->algo_result.dp_state);
+  }
   Shard& shard = ShardFor(slot_key);
   std::lock_guard<std::mutex> lock(shard.mutex);
   Slot slot;

@@ -15,6 +15,7 @@
 
 #include "abstraction/abstraction_forest.h"
 #include "abstraction/loss.h"
+#include "algo/compressor.h"
 #include "common/statusor.h"
 #include "core/polynomial_set.h"
 #include "core/variable.h"
@@ -46,6 +47,21 @@ struct Artifact {
   std::map<std::string, AbstractionForest> forests;
   std::map<std::string, std::string> forest_bytes;
   size_t approx_bytes = 0;
+
+  /// One predecessor generation this artifact's polynomials grew from by
+  /// appends alone: the generation number and the polys.revision() snapshot
+  /// it corresponds to, so `polys.DeltaSince(revision)` reconstructs the
+  /// exact update between the two versions.
+  struct Ancestor {
+    uint64_t generation = 0;
+    uint64_t revision = 0;
+  };
+  /// Patchable predecessors, oldest first (recorded by Append; empty after
+  /// a full (re)load, which severs the chain). Bounded by kMaxAncestry —
+  /// the PolynomialSet delta log is itself bounded, so deep chains would
+  /// mostly resolve to "delta incomplete" anyway.
+  std::vector<Ancestor> ancestry;
+  static constexpr size_t kMaxAncestry = 8;
 
   /// nullptr when no forest of that name was loaded.
   const AbstractionForest* FindForest(const std::string& name) const {
@@ -113,6 +129,16 @@ class ArtifactStore {
       const std::string& name, std::string polys_bytes,
       const std::vector<std::pair<std::string, std::string>>& forests);
 
+  /// Appends the polynomials of a serialized PolynomialSet buffer to the
+  /// loaded artifact `name`, producing (and installing) a NEW immutable
+  /// Artifact at a bumped generation whose delta log and ancestry record
+  /// the update — so a later compression of the new generation can patch a
+  /// cached predecessor's DP state instead of re-running (see
+  /// ProvenanceService::CompressInternal). The previous Artifact object is
+  /// untouched; in-flight requests holding it are unaffected.
+  StatusOr<std::shared_ptr<const Artifact>> Append(
+      const std::string& name, const std::string& polys_bytes);
+
   /// Fetches a loaded artifact (refreshing its recency), or nullptr.
   std::shared_ptr<const Artifact> Get(const std::string& name);
 
@@ -138,10 +164,23 @@ class ArtifactStore {
     std::string vvs_names;
     PolynomialSet compressed;
     size_t approx_bytes = 0;
+    /// The algorithm-layer result this entry was built from, retained in
+    /// memory only (its dp_state is never serialized). When the algorithm
+    /// produced retained DP tables, a later generation's compression can
+    /// hand them to OptimalRecompress instead of re-running the full DP.
+    CompressionResult algo_result;
+    /// True when this entry itself was produced by the patch path.
+    bool delta_patched = false;
   };
 
   /// Cache lookup; counts a hit or miss. nullptr on miss.
   std::shared_ptr<const CompressedResult> LookupResult(const ResultKey& key);
+
+  /// Cache lookup that records neither a hit nor a miss — the delta-patch
+  /// path probes ancestor generations with it, and a probe is telemetry
+  /// about the PATCH path, not about serving (the new generation's own
+  /// miss was already counted). Still refreshes recency.
+  std::shared_ptr<const CompressedResult> PeekResult(const ResultKey& key);
 
   /// Inserts a computed result (last-writer-wins on racing identical keys)
   /// and returns the cached object, so the caller shares the allocation
@@ -255,7 +294,7 @@ class ArtifactStore {
   /// cache_hit=true, and the cumulative counters on the same envelope must
   /// agree) but never a miss (the caller's original lookup already
   /// recorded that miss).
-  enum class CountMode { kHitsAndMisses, kHitsOnly };
+  enum class CountMode { kHitsAndMisses, kHitsOnly, kNone };
 
   /// Result lookup by pre-encoded slot key; the public LookupResult and
   /// GetOrCompute share it so a cold fill encodes the key only once.

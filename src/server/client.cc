@@ -149,6 +149,10 @@ StatusOr<Response> Client::Load(const LoadRequest& req) {
   return Call(EncodeLoadRequest(req));
 }
 
+StatusOr<Response> Client::Append(const AppendRequest& req) {
+  return Call(EncodeAppendRequest(req));
+}
+
 StatusOr<Response> Client::Compress(const CompressRequest& req) {
   return Call(EncodeCompressRequest(req));
 }

@@ -42,6 +42,7 @@ class Client {
   Client& operator=(const Client&) = delete;
 
   StatusOr<Response> Load(const LoadRequest& req);
+  StatusOr<Response> Append(const AppendRequest& req);
   StatusOr<Response> Compress(const CompressRequest& req);
   StatusOr<Response> Evaluate(const EvaluateRequest& req);
   StatusOr<Response> EvaluateScenarioProgram(

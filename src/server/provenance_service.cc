@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 #include <utility>
 
 #include "algo/compressor.h"
+#include "algo/optimal_single_tree.h"
 #include "algo/tradeoff_curve.h"
 #include "scenario/program.h"
 
@@ -53,6 +55,10 @@ void ProvenanceService::AttachStats(Response& resp) {
   resp.stats.program_count = store_stats.program_count;
   resp.stats.program_hits = store_stats.program_hits;
   resp.stats.program_misses = store_stats.program_misses;
+  resp.stats.delta_patched =
+      delta_patched_.load(std::memory_order_relaxed);
+  resp.stats.delta_fallback_full =
+      delta_fallback_full_.load(std::memory_order_relaxed);
   EvaluateBatcher::Stats batch_stats = batcher_.stats();
   resp.stats.eval_batches = batch_stats.batches;
   resp.stats.eval_requests = batch_stats.requests;
@@ -86,6 +92,89 @@ Response ProvenanceService::Load(const LoadRequest& req) {
   return resp;
 }
 
+Response ProvenanceService::Append(const AppendRequest& req) {
+  Response resp;
+  resp.request_kind = MessageKind::kAppendRequest;
+  if (req.artifact.empty()) {
+    SetError(resp, Status::InvalidArgument("artifact name must be non-empty"));
+    AttachStats(resp);
+    return resp;
+  }
+  auto artifact = store_.Append(req.artifact, req.polys_bytes);
+  if (!artifact.ok()) {
+    SetError(resp, artifact.status());
+    AttachStats(resp);
+    return resp;
+  }
+  resp.generation = (*artifact)->generation;
+  resp.poly_count = (*artifact)->polys.count();
+  resp.monomial_count = (*artifact)->polys.SizeM();
+  resp.variable_count = (*artifact)->polys.SizeV();
+  AttachStats(resp);
+  return resp;
+}
+
+StatusOr<ArtifactStore::CompressedResult>
+ProvenanceService::ComputeCompression(
+    const std::shared_ptr<const Artifact>& artifact,
+    const AbstractionForest& forest, const Compressor& compressor,
+    const ArtifactStore::ResultKey& key) {
+  std::optional<CompressionResult> result;
+  // Delta-patch path: probe cached ancestor generations (newest first) for
+  // a result under the same (forest, bound, algo) whose retained DP tables
+  // can be patched against the polynomials' delta log. A patched result is
+  // field-identical to a full re-run by construction, so the cache entry
+  // it fills is indistinguishable from a cold one.
+  for (auto it = artifact->ancestry.rbegin(); it != artifact->ancestry.rend();
+       ++it) {
+    ArtifactStore::ResultKey prev_key = key;
+    prev_key.generation = it->generation;
+    std::shared_ptr<const ArtifactStore::CompressedResult> prev =
+        store_.PeekResult(prev_key);
+    if (prev == nullptr) continue;  // Older ancestors may still be cached.
+    if (prev->algo_result.dp_state == nullptr) {
+      // A predecessor exists but carries nothing patchable (non-opt algo,
+      // or a budget-exhausted run). Deeper ancestors ran the same
+      // algorithm, so probing further cannot help.
+      delta_fallback_full_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    PolynomialSetDelta delta = artifact->polys.DeltaSince(it->revision);
+    RecompressFallback fallback = RecompressFallback::kNone;
+    StatusOr<CompressionResult> attempt = OptimalRecompress(
+        artifact->polys, forest, prev->algo_result, delta,
+        static_cast<size_t>(key.bound), &fallback);
+    if (fallback != RecompressFallback::kNone) {
+      delta_fallback_full_.fetch_add(1, std::memory_order_relaxed);
+      break;  // A declined patch at the nearest ancestor settles it.
+    }
+    // The patch path answered authoritatively — including kInfeasible,
+    // which the full DP would report identically.
+    delta_patched_.fetch_add(1, std::memory_order_relaxed);
+    if (!attempt.ok()) return attempt.status();
+    result = std::move(*attempt);
+    break;
+  }
+  const bool patched = result.has_value();
+  if (!patched) {
+    if (compress_hook_) compress_hook_(key);
+    CompressOptions copts;
+    copts.bound = key.bound;
+    StatusOr<CompressionResult> full =
+        compressor.Compress(artifact->polys, forest, copts);
+    if (!full.ok()) return full.status();
+    result = std::move(*full);
+  }
+  ArtifactStore::CompressedResult computed;
+  computed.loss = result->loss;
+  computed.adequate = result->adequate;
+  computed.vvs_names = result->Describe(forest, *artifact->vars);
+  computed.compressed = result->Apply(forest, artifact->polys);
+  computed.algo_result = std::move(*result);
+  computed.delta_patched = patched;
+  return computed;
+}
+
 std::shared_ptr<const ArtifactStore::CompressedResult>
 ProvenanceService::CompressInternal(
     const std::shared_ptr<const Artifact>& artifact,
@@ -115,18 +204,7 @@ ProvenanceService::CompressInternal(
       store_.GetOrCompute(
           key,
           [&]() -> StatusOr<ArtifactStore::CompressedResult> {
-            if (compress_hook_) compress_hook_(key);
-            CompressOptions copts;
-            copts.bound = bound;
-            StatusOr<CompressionResult> result =
-                (*compressor)->Compress(artifact->polys, *forest, copts);
-            if (!result.ok()) return result.status();
-            ArtifactStore::CompressedResult computed;
-            computed.loss = result->loss;
-            computed.adequate = result->adequate;
-            computed.vvs_names = result->Describe(*forest, *artifact->vars);
-            computed.compressed = result->Apply(*forest, artifact->polys);
-            return computed;
+            return ComputeCompression(artifact, *forest, **compressor, key);
           },
           &info);
   resp.cache_hit = info.cache_hit;
@@ -135,6 +213,7 @@ ProvenanceService::CompressInternal(
     SetError(resp, cached.status());
     return nullptr;
   }
+  resp.delta_patched = (*cached)->delta_patched && !resp.cache_hit;
   resp.monomial_loss = (*cached)->loss.monomial_loss;
   resp.variable_loss = (*cached)->loss.variable_loss;
   resp.adequate = (*cached)->adequate;
@@ -546,6 +625,14 @@ std::string ProvenanceService::HandleFrameImpl(std::string_view payload,
         break;
       }
       return EncodeResponse(Load(*req));
+    }
+    case MessageKind::kAppendRequest: {
+      auto req = DecodeAppendRequest(payload);
+      if (!req.ok()) {
+        decode_error = req.status();
+        break;
+      }
+      return EncodeResponse(Append(*req));
     }
     case MessageKind::kCompressRequest: {
       auto req = DecodeCompressRequest(payload);

@@ -1,6 +1,7 @@
 #ifndef PROVABS_SERVER_PROVENANCE_SERVICE_H_
 #define PROVABS_SERVER_PROVENANCE_SERVICE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <functional>
 #include <mutex>
@@ -36,10 +37,12 @@ struct ServiceOptions {
   /// the transport's frame-size check. 0 = the protocol's kMaxFrameBytes.
   uint64_t max_response_bytes = 0;
   /// Test-only hook, invoked on the computing thread at the start of every
-  /// compression DP that single-flight actually runs — not for cache hits,
-  /// not for deduplicated waiters. The concurrency test battery uses it to
-  /// count DP executions and to hold leaders at a barrier; production
-  /// leaves it empty.
+  /// FULL compression run that single-flight actually executes — not for
+  /// cache hits, not for deduplicated waiters, and not for fills answered
+  /// by the delta-patch path (which is exactly how the incremental tests
+  /// assert an append skipped the full DP). The concurrency test battery
+  /// uses it to count DP executions and to hold leaders at a barrier;
+  /// production leaves it empty.
   std::function<void(const ArtifactStore::ResultKey&)> compress_hook;
 };
 
@@ -60,6 +63,7 @@ class ProvenanceService {
   ProvenanceService& operator=(const ProvenanceService&) = delete;
 
   Response Load(const LoadRequest& req);
+  Response Append(const AppendRequest& req);
   Response Compress(const CompressRequest& req);
   Response Evaluate(const EvaluateRequest& req);
   Response EvaluateScenarioProgram(const EvaluateScenarioProgramRequest& req);
@@ -103,6 +107,15 @@ class ProvenanceService {
       const std::string& artifact_name, const std::string& forest_name,
       const std::string& algo, uint64_t bound, Response& resp);
 
+  /// The compute function CompressInternal hands to GetOrCompute: tries
+  /// the delta-patch path against cached ancestor generations first (sets
+  /// `*patched` and bumps the delta counters), then falls back to the full
+  /// algorithm run (which is when compress_hook_ fires).
+  StatusOr<ArtifactStore::CompressedResult> ComputeCompression(
+      const std::shared_ptr<const Artifact>& artifact,
+      const AbstractionForest& forest, const Compressor& compressor,
+      const ArtifactStore::ResultKey& key);
+
   ArtifactStore store_;
   ThreadPool pool_;
   EvaluateBatcher batcher_;
@@ -110,6 +123,9 @@ class ProvenanceService {
   uint64_t max_scenarios_per_request_;
   uint64_t scenario_chunk_;
   uint64_t max_response_bytes_;
+  /// Incremental-update telemetry (see ServerStats for the taxonomy).
+  std::atomic<uint64_t> delta_patched_{0};
+  std::atomic<uint64_t> delta_fallback_full_{0};
 
   std::mutex transport_mutex_;
   std::function<void(ServerStats&)> transport_stats_;  // guarded above

@@ -84,6 +84,7 @@ StatusOr<MessageKind> PeekMessageKind(std::string_view payload) {
     case MessageKind::kListAlgosRequest:
     case MessageKind::kListBackendsRequest:
     case MessageKind::kEvaluateScenarioProgramRequest:
+    case MessageKind::kAppendRequest:
     case MessageKind::kResponse:
       return static_cast<MessageKind>(*kind);
   }
@@ -340,6 +341,27 @@ StatusOr<EvaluateScenarioProgramRequest> DecodeEvaluateScenarioProgramRequest(
   return req;
 }
 
+std::string EncodeAppendRequest(const AppendRequest& req) {
+  ByteWriter w;
+  WriteHeader(w, MessageKind::kAppendRequest);
+  w.PutString(req.artifact);
+  w.PutString(req.polys_bytes);
+  return std::move(w).Release();
+}
+
+StatusOr<AppendRequest> DecodeAppendRequest(std::string_view payload) {
+  ByteReader r(payload);
+  PROVABS_RETURN_IF_ERROR(CheckHeader(r, MessageKind::kAppendRequest));
+  AppendRequest req;
+  auto artifact = r.GetString();
+  if (!artifact.ok()) return artifact.status();
+  req.artifact = std::move(*artifact);
+  auto polys = r.GetString();
+  if (!polys.ok()) return polys.status();
+  req.polys_bytes = std::move(*polys);
+  return req;
+}
+
 // ----------------------------------------------------------- response ----
 
 std::string EncodeResponse(const Response& resp) {
@@ -369,6 +391,8 @@ std::string EncodeResponse(const Response& resp) {
   w.PutVarint(resp.stats.rejected_connections);
   w.PutVarint(resp.stats.idle_reaped);
   w.PutVarint(resp.stats.loop_wakeups);
+  w.PutVarint(resp.stats.delta_patched);
+  w.PutVarint(resp.stats.delta_fallback_full);
 
   w.PutVarint(resp.generation);
   w.PutVarint(resp.poly_count);
@@ -377,6 +401,7 @@ std::string EncodeResponse(const Response& resp) {
 
   w.PutU8(resp.cache_hit ? 1 : 0);
   w.PutU8(resp.dedup_hit ? 1 : 0);
+  w.PutU8(resp.delta_patched ? 1 : 0);
   w.PutVarint(resp.monomial_loss);
   w.PutVarint(resp.variable_loss);
   w.PutU8(resp.adequate ? 1 : 0);
@@ -458,6 +483,7 @@ StatusOr<Response> DecodeResponse(std::string_view payload) {
       &resp.stats.program_hits,   &resp.stats.program_misses,
       &resp.stats.active_connections, &resp.stats.rejected_connections,
       &resp.stats.idle_reaped,    &resp.stats.loop_wakeups,
+      &resp.stats.delta_patched,  &resp.stats.delta_fallback_full,
       &resp.generation,           &resp.poly_count,
       &resp.monomial_count,       &resp.variable_count};
   for (uint64_t* field : stat_fields) {
@@ -472,6 +498,9 @@ StatusOr<Response> DecodeResponse(std::string_view payload) {
   auto dedup_hit = r.GetU8();
   if (!dedup_hit.ok()) return dedup_hit.status();
   resp.dedup_hit = *dedup_hit != 0;
+  auto delta_patched = r.GetU8();
+  if (!delta_patched.ok()) return delta_patched.status();
+  resp.delta_patched = *delta_patched != 0;
   auto ml = r.GetVarint();
   if (!ml.ok()) return ml.status();
   resp.monomial_loss = *ml;

@@ -51,8 +51,11 @@ namespace provabs {
 /// scenario_indices, objectives) in the response; 6 = event-loop transport
 /// counters (active/rejected connections, idle reaps, loop wakeups) in the
 /// stats block plus the kDeadlineExceeded/kUnavailable status codes used by
-/// admission rejection and client RPC deadlines.
-inline constexpr uint8_t kWireVersion = 6;
+/// admission rejection and client RPC deadlines; 7 = Append request
+/// (kind 25), the delta_patched/delta_fallback_full counters in the stats
+/// block (no spare fields remained in the fixed-order sequence), and the
+/// per-response delta_patched byte.
+inline constexpr uint8_t kWireVersion = 7;
 
 enum class MessageKind : uint8_t {
   kLoadRequest = 16,
@@ -64,6 +67,7 @@ enum class MessageKind : uint8_t {
   kListAlgosRequest = 22,
   kListBackendsRequest = 23,
   kEvaluateScenarioProgramRequest = 24,
+  kAppendRequest = 25,
   kResponse = 32,
 };
 
@@ -139,6 +143,18 @@ struct EvaluateScenarioProgramRequest {
   std::string eval_backend;
   ScenarioShape shape = ScenarioShape::kValues;
   uint64_t top_k = 0;  ///< kTopK only; must be >= 1 there.
+};
+
+/// Appends polynomials to a loaded artifact WITHOUT replacing it:
+/// `polys_bytes` is a serialized PolynomialSet over the SAME variable
+/// table whose polynomials are added to the artifact's set in order. The
+/// artifact's generation bumps, but unlike Load the server records the
+/// update in the artifact's delta chain, so a later Compress against the
+/// new generation can patch a cached predecessor's DP state instead of
+/// re-running the full algorithm (response/stat field `delta_patched`).
+struct AppendRequest {
+  std::string artifact;
+  std::string polys_bytes;
 };
 
 /// Queries artifact statistics (`artifact` empty = server-wide stats only).
@@ -243,6 +259,14 @@ struct ServerStats {
   uint64_t rejected_connections = 0;
   uint64_t idle_reaped = 0;
   uint64_t loop_wakeups = 0;
+  /// Incremental-update path (cumulative): compress requests answered by
+  /// patching a cached predecessor-generation DP state against the
+  /// artifact's delta chain, and requests that found a usable predecessor
+  /// but had to fall back to the full algorithm (frontier crossed, budget
+  /// headroom exhausted, delta log truncated, ...). Requests with no
+  /// cached predecessor at all count in neither.
+  uint64_t delta_patched = 0;
+  uint64_t delta_fallback_full = 0;
 };
 
 /// The single response envelope: `request_kind` echoes the request it
@@ -273,6 +297,10 @@ struct Response {
   /// it blocked on an identical request's in-flight run and shares its
   /// result (single-flight dedup).
   bool dedup_hit = false;
+  /// True when this compression was produced by patching a cached
+  /// predecessor generation's DP state rather than running the algorithm
+  /// from scratch (see AppendRequest). Implies cache_hit == false.
+  bool delta_patched = false;
   uint64_t monomial_loss = 0;
   uint64_t variable_loss = 0;
   bool adequate = false;
@@ -322,6 +350,7 @@ std::string EncodeListAlgosRequest(const ListAlgosRequest& req);
 std::string EncodeListBackendsRequest(const ListBackendsRequest& req);
 std::string EncodeEvaluateScenarioProgramRequest(
     const EvaluateScenarioProgramRequest& req);
+std::string EncodeAppendRequest(const AppendRequest& req);
 std::string EncodeResponse(const Response& resp);
 
 StatusOr<LoadRequest> DecodeLoadRequest(std::string_view payload);
@@ -335,6 +364,7 @@ StatusOr<ListBackendsRequest> DecodeListBackendsRequest(
     std::string_view payload);
 StatusOr<EvaluateScenarioProgramRequest> DecodeEvaluateScenarioProgramRequest(
     std::string_view payload);
+StatusOr<AppendRequest> DecodeAppendRequest(std::string_view payload);
 StatusOr<Response> DecodeResponse(std::string_view payload);
 
 /// Frames larger than this are rejected before any allocation, so a corrupt

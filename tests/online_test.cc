@@ -258,6 +258,115 @@ TEST_F(OnlineCompressorTest, ProxAlgoRequiresTableAndSerializes) {
   EXPECT_EQ(decoded->SizeM(), result->compressed.SizeM());
 }
 
+// ------------------------------------------------- incremental append path
+
+TEST_F(OnlineCompressorTest, AnytimeBudgetSurfacesThroughPipeline) {
+  size_t full_size = query_(db_).SizeM();
+  OnlineOptions opts;
+  opts.sampled_tables = {"Calls"};
+  opts.time_budget_ms = 1;
+  // A pre-expired budget still yields a usable pipeline result: the
+  // anytime DP returns its best-so-far cut instead of kOutOfRange.
+  auto result = CompressOnline(db_, query_, forest_, full_size / 2, opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->vvs.Validate(forest_).ok());
+  EXPECT_EQ(result->budget_exhausted, result->abstraction.budget_exhausted);
+}
+
+TEST_F(OnlineCompressorTest, AppendOnlinePatchesLocalizedAdd) {
+  size_t full_size = query_(db_).SizeM();
+  OnlineOptions opts;
+  opts.sampled_tables = {"Calls"};
+  // A loose bound keeps most leaves in the cut, so a leaf-level append
+  // exists that does not cross the abstracted interior.
+  auto result = CompressOnline(db_, query_, forest_, full_size - 8, opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_NE(result->abstraction.dp_state, nullptr)
+      << "single-tree pipeline should retain the optimal DP tables";
+
+  // Append over a variable the cut kept as a leaf: patchable by contract.
+  VariableId leaf_var = kInvalidVariable;
+  for (const NodeRef& ref : result->vvs.nodes()) {
+    const auto& node = forest_.tree(ref.tree).node(ref.node);
+    if (node.is_leaf()) {
+      leaf_var = node.label;
+      break;
+    }
+  }
+  ASSERT_NE(leaf_var, kInvalidVariable);
+  PolynomialSet added;
+  added.Add(Polynomial::FromMonomials({Monomial(1.5, {{leaf_var, 1}})}));
+
+  size_t compressed_before = result->compressed.SizeM();
+  OnlineAppendInfo extra;
+  Status s = AppendOnline(forest_, added, full_size - 8, &*result, opts,
+                          &extra);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_TRUE(extra.patched);
+  EXPECT_EQ(extra.fallback, RecompressFallback::kNone);
+  EXPECT_TRUE(result->vvs.Validate(forest_).ok());
+  EXPECT_GT(result->compressed.SizeM(), compressed_before);
+
+  // Differential: the patched cut is field-equal to a cold DP over the
+  // grown sample at the same (adapted) bound.
+  auto cold = OptimalSingleTree(result->decision_sample, forest_, 0,
+                                result->adapted_bound);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_EQ(result->abstraction.loss.monomial_loss, cold->loss.monomial_loss);
+  EXPECT_EQ(result->abstraction.loss.variable_loss, cold->loss.variable_loss);
+  EXPECT_EQ(result->abstraction.vvs.nodes().size(), cold->vvs.nodes().size());
+}
+
+TEST_F(OnlineCompressorTest, AppendOnlineFallsBackAcrossTheCut) {
+  size_t full_size = query_(db_).SizeM();
+  OnlineOptions opts;
+  opts.sampled_tables = {"Calls"};
+  auto result = CompressOnline(db_, query_, forest_, full_size / 2, opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // Find a leaf strictly below a chosen internal node; appending there
+  // changes the abstracted interior, so patching must decline and the full
+  // algorithm re-runs.
+  VariableId inner_leaf = kInvalidVariable;
+  const AbstractionTree& tree = forest_.tree(0);
+  for (const NodeRef& ref : result->vvs.nodes()) {
+    const auto& node = forest_.tree(ref.tree).node(ref.node);
+    if (!node.is_leaf()) {
+      inner_leaf = tree.node(tree.leaves()[node.leaf_begin]).label;
+      break;
+    }
+  }
+  if (inner_leaf == kInvalidVariable) {
+    GTEST_SKIP() << "cut kept every leaf; no interior to cross";
+  }
+  PolynomialSet added;
+  added.Add(Polynomial::FromMonomials({Monomial(2.0, {{inner_leaf, 1}})}));
+
+  OnlineAppendInfo extra;
+  Status s = AppendOnline(forest_, added, full_size / 2, &*result, opts,
+                          &extra);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_FALSE(extra.patched);
+  EXPECT_NE(extra.fallback, RecompressFallback::kNone);
+  EXPECT_TRUE(result->vvs.Validate(forest_).ok());
+}
+
+TEST_F(OnlineCompressorTest, AppendOnlineRejectsGroupings) {
+  size_t full_size = query_(db_).SizeM();
+  OnlineOptions opts;
+  opts.sampled_tables = {"Calls"};
+  opts.algo = "prox";
+  opts.vars = &vars_;
+  auto result = CompressOnline(db_, query_, forest_, full_size / 2, opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  PolynomialSet added;
+  added.Add(Polynomial::FromMonomials(
+      {Monomial(1.0, {{tv_.plan_vars.front(), 1}})}));
+  EXPECT_EQ(AppendOnline(forest_, added, full_size / 2, &*result, opts)
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
 TEST_F(OnlineCompressorTest, MultiTreeForestUsesGreedy) {
   AbstractionForest forest2;
   forest2.AddTree(BuildUniformTree(vars_, tv_.plan_vars, {4, 2}, "OC2_"));

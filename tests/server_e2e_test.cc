@@ -21,12 +21,14 @@
 #include <thread>
 #include <vector>
 
+#include "algo/optimal_single_tree.h"
 #include "core/valuation.h"
 #include "io/serializer.h"
 #include "server/client.h"
 #include "server/provenance_service.h"
 #include "server/server.h"
 #include "workload/telephony.h"
+#include "workload/tree_gen.h"
 
 namespace provabs {
 namespace {
@@ -104,6 +106,84 @@ TEST(ServerSocketTest, EndToEndRoundTripWithCacheHit) {
   ASSERT_TRUE(bye.ok());
   EXPECT_TRUE(bye->ok());
   server.Wait();  // Must return: the wire shutdown stops the server.
+}
+
+/// Load → compress → append → compress over a real socket: the second
+/// compress must be answered by patching the first generation's cached DP
+/// state, observable through the per-response flag and the stats counters.
+TEST(ServerSocketTest, AppendThenCompressPatchesOverTheWire) {
+  VariableTable vars;
+  std::vector<VariableId> leaves;
+  for (int i = 0; i < 8; ++i) {
+    leaves.push_back(vars.Intern("el" + std::to_string(i)));
+  }
+  AbstractionForest forest;
+  forest.AddTree(BuildUniformTree(vars, leaves, {4, 2}, "E2E_"));
+  PolynomialSet polys;
+  for (int p = 0; p < 6; ++p) {
+    std::vector<Monomial> terms;
+    for (int m = 0; m < 8; ++m) {
+      terms.emplace_back(1.0 + p + 0.25 * m,
+                         std::vector<Factor>{{leaves[m], 1}});
+    }
+    polys.Add(Polynomial::FromMonomials(std::move(terms)));
+  }
+  const size_t bound = polys.SizeM() - 4;
+  auto base = OptimalSingleTree(polys, forest, 0, bound);
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+  VariableId kept = kInvalidVariable;
+  const AbstractionTree& tree = forest.tree(0);
+  for (const NodeRef& ref : base->vvs.nodes()) {
+    if (tree.node(ref.node).is_leaf()) {
+      kept = tree.node(ref.node).label;
+      break;
+    }
+  }
+  ASSERT_NE(kept, kInvalidVariable);
+
+  ProvenanceService service;
+  Server server(service, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  auto client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  LoadRequest load;
+  load.artifact = "inc";
+  load.polys_bytes = SerializePolynomialSet(polys, vars);
+  load.forests = {{"t", SerializeForest(forest, vars)}};
+  auto loaded = client->Load(load);
+  ASSERT_TRUE(loaded.ok() && loaded->ok());
+
+  CompressRequest compress;
+  compress.artifact = "inc";
+  compress.forest = "t";
+  compress.algo = "opt";
+  compress.bound = bound;
+  auto cold = client->Compress(compress);
+  ASSERT_TRUE(cold.ok() && cold->ok());
+  EXPECT_FALSE(cold->delta_patched);
+
+  PolynomialSet extra;
+  extra.Add(Polynomial::FromMonomials({Monomial(2.5, {{kept, 1}})}));
+  AppendRequest append;
+  append.artifact = "inc";
+  append.polys_bytes = SerializePolynomialSet(extra, vars);
+  auto appended = client->Append(append);
+  ASSERT_TRUE(appended.ok()) << appended.status().ToString();
+  ASSERT_TRUE(appended->ok()) << appended->message;
+  EXPECT_EQ(appended->poly_count, polys.count() + 1);
+  EXPECT_GT(appended->generation, loaded->generation);
+
+  auto patched = client->Compress(compress);
+  ASSERT_TRUE(patched.ok() && patched->ok());
+  EXPECT_FALSE(patched->cache_hit);
+  EXPECT_TRUE(patched->delta_patched);
+  EXPECT_EQ(patched->stats.delta_patched, 1u);
+  EXPECT_EQ(patched->stats.delta_fallback_full, 0u);
+
+  auto bye = client->Shutdown(ShutdownRequest{});
+  ASSERT_TRUE(bye.ok());
+  server.Wait();
 }
 
 TEST(ServerSocketTest, ServerSurvivesGarbageAndAbruptDisconnect) {

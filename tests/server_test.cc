@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "abstraction/abstraction_forest.h"
+#include "algo/optimal_single_tree.h"
 #include "core/evaluation_backend.h"
 #include "core/valuation.h"
 #include "io/serializer.h"
@@ -17,6 +18,7 @@
 #include "server/evaluate_batcher.h"
 #include "server/wire_protocol.h"
 #include "workload/telephony.h"
+#include "workload/tree_gen.h"
 
 namespace provabs {
 namespace {
@@ -990,6 +992,177 @@ TEST_F(ServiceTest, HandleFrameDispatchesAndSurvivesGarbage) {
   auto bye_resp = DecodeResponse(bye);
   ASSERT_TRUE(bye_resp.ok());
   EXPECT_TRUE(bye_resp->ok());
+}
+
+// ------------------------------------------- incremental append path --
+
+/// A workload designed so the opt cut abstracts exactly one mid node and
+/// keeps six leaves chosen as themselves: appending over a kept leaf is
+/// guaranteed patchable, and the compress_hook (which fires only on FULL
+/// runs) proves the DP was skipped.
+class IncrementalServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (int i = 0; i < 8; ++i) {
+      leaves_.push_back(vars_.Intern("il" + std::to_string(i)));
+    }
+    forest_.AddTree(BuildUniformTree(vars_, leaves_, {4, 2}, "INC_"));
+    for (int p = 0; p < 6; ++p) {
+      std::vector<Monomial> terms;
+      for (int m = 0; m < 8; ++m) {
+        terms.emplace_back(1.0 + p + 0.25 * m,
+                           std::vector<Factor>{{leaves_[m], 1}});
+      }
+      polys_.Add(Polynomial::FromMonomials(std::move(terms)));
+    }
+    bound_ = polys_.SizeM() - 4;
+    polys_bytes_ = SerializePolynomialSet(polys_, vars_);
+    forest_bytes_ = SerializeForest(forest_, vars_);
+
+    auto base = OptimalSingleTree(polys_, forest_, 0, bound_);
+    ASSERT_TRUE(base.ok()) << base.status().ToString();
+    const AbstractionTree& tree = forest_.tree(0);
+    for (const NodeRef& ref : base->vvs.nodes()) {
+      if (tree.node(ref.node).is_leaf()) {
+        kept_leaf_ = tree.node(ref.node).label;
+        break;
+      }
+    }
+    ASSERT_NE(kept_leaf_, kInvalidVariable);
+
+    ServiceOptions sopts;
+    sopts.compress_hook = [this](const ArtifactStore::ResultKey&) {
+      full_runs_.fetch_add(1);
+    };
+    service_ = std::make_unique<ProvenanceService>(sopts);
+    LoadRequest load;
+    load.artifact = "inc";
+    load.polys_bytes = polys_bytes_;
+    load.forests = {{"t", forest_bytes_}};
+    Response resp = service_->Load(load);
+    ASSERT_TRUE(resp.ok()) << resp.message;
+  }
+
+  /// One appended polynomial over the kept leaf, serialized for the wire.
+  std::string AppendBytes() {
+    PolynomialSet extra;
+    extra.Add(Polynomial::FromMonomials({Monomial(2.5, {{kept_leaf_, 1}})}));
+    return SerializePolynomialSet(extra, vars_);
+  }
+
+  VariableTable vars_;
+  std::vector<VariableId> leaves_;
+  AbstractionForest forest_;
+  PolynomialSet polys_;
+  size_t bound_ = 0;
+  std::string polys_bytes_;
+  std::string forest_bytes_;
+  VariableId kept_leaf_ = kInvalidVariable;
+  std::atomic<int> full_runs_{0};
+  std::unique_ptr<ProvenanceService> service_;
+};
+
+TEST_F(IncrementalServiceTest, AppendThenCompressSkipsTheFullDp) {
+  CompressRequest creq;
+  creq.artifact = "inc";
+  creq.forest = "t";
+  creq.algo = "opt";
+  creq.bound = bound_;
+  Response first = service_->Compress(creq);
+  ASSERT_TRUE(first.ok()) << first.message;
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_FALSE(first.delta_patched);
+  EXPECT_EQ(full_runs_.load(), 1);
+
+  AppendRequest areq;
+  areq.artifact = "inc";
+  areq.polys_bytes = AppendBytes();
+  Response appended = service_->Append(areq);
+  ASSERT_TRUE(appended.ok()) << appended.message;
+  EXPECT_EQ(appended.poly_count, polys_.count() + 1);
+  EXPECT_EQ(appended.monomial_count, polys_.SizeM() + 1);
+
+  // Fresh generation: not a cache hit, but answered by patching the
+  // cached predecessor — the hook (full runs only) must NOT fire.
+  Response second = service_->Compress(creq);
+  ASSERT_TRUE(second.ok()) << second.message;
+  EXPECT_FALSE(second.cache_hit);
+  EXPECT_TRUE(second.delta_patched);
+  EXPECT_EQ(full_runs_.load(), 1) << "patched compress ran the full DP";
+  EXPECT_EQ(second.stats.delta_patched, 1u);
+  EXPECT_EQ(second.stats.delta_fallback_full, 0u);
+
+  // Field equality against a local cold DP over the appended set.
+  PolynomialSet grown = polys_;
+  grown.Add(Polynomial::FromMonomials({Monomial(2.5, {{kept_leaf_, 1}})}));
+  auto cold = OptimalSingleTree(grown, forest_, 0, bound_);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_EQ(second.monomial_loss, cold->loss.monomial_loss);
+  EXPECT_EQ(second.variable_loss, cold->loss.variable_loss);
+  EXPECT_EQ(second.adequate, cold->adequate);
+  EXPECT_EQ(second.compressed_monomials,
+            cold->Apply(forest_, grown).SizeM());
+
+  // The patched result is cached like any other fill.
+  Response third = service_->Compress(creq);
+  ASSERT_TRUE(third.ok());
+  EXPECT_TRUE(third.cache_hit);
+  EXPECT_FALSE(third.delta_patched);
+  EXPECT_EQ(full_runs_.load(), 1);
+}
+
+TEST_F(IncrementalServiceTest, GreedyAppendFallsBackToTheFullRun) {
+  CompressRequest creq;
+  creq.artifact = "inc";
+  creq.forest = "t";
+  creq.algo = "greedy";
+  creq.bound = bound_;
+  ASSERT_TRUE(service_->Compress(creq).ok());
+  EXPECT_EQ(full_runs_.load(), 1);
+
+  AppendRequest areq;
+  areq.artifact = "inc";
+  areq.polys_bytes = AppendBytes();
+  ASSERT_TRUE(service_->Append(areq).ok());
+
+  // Greedy results retain no DP state, so the nearest cached ancestor
+  // settles it: fall back to a full run, counted as such.
+  Response resp = service_->Compress(creq);
+  ASSERT_TRUE(resp.ok()) << resp.message;
+  EXPECT_FALSE(resp.delta_patched);
+  EXPECT_EQ(full_runs_.load(), 2);
+  EXPECT_EQ(resp.stats.delta_fallback_full, 1u);
+  EXPECT_EQ(resp.stats.delta_patched, 0u);
+}
+
+TEST_F(IncrementalServiceTest, AppendErrorsAreStructured) {
+  AppendRequest missing;
+  missing.artifact = "nope";
+  missing.polys_bytes = AppendBytes();
+  EXPECT_EQ(service_->Append(missing).code, StatusCode::kNotFound);
+
+  AppendRequest empty;
+  empty.artifact = "inc";
+  EXPECT_EQ(service_->Append(empty).code, StatusCode::kInvalidArgument);
+
+  AppendRequest garbage;
+  garbage.artifact = "inc";
+  garbage.polys_bytes = "not a polynomial buffer";
+  EXPECT_FALSE(service_->Append(garbage).ok());
+}
+
+TEST_F(IncrementalServiceTest, AppendRoundTripsThroughHandleFrame) {
+  AppendRequest areq;
+  areq.artifact = "inc";
+  areq.polys_bytes = AppendBytes();
+  bool shutdown = false;
+  std::string reply =
+      service_->HandleFrame(EncodeAppendRequest(areq), &shutdown);
+  auto resp = DecodeResponse(reply);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_TRUE(resp->ok()) << resp->message;
+  EXPECT_EQ(resp->poly_count, polys_.count() + 1);
+  EXPECT_FALSE(shutdown);
 }
 
 }  // namespace

@@ -31,6 +31,36 @@ TEST(WireProtocolTest, LoadRequestRoundTrip) {
   EXPECT_EQ(decoded->forests[1].first, "months");
 }
 
+TEST(WireProtocolTest, AppendRequestRoundTrip) {
+  AppendRequest req;
+  req.artifact = "telephony";
+  req.polys_bytes = std::string("\x00\x02more\xFE", 7);
+  auto kind = PeekMessageKind(EncodeAppendRequest(req));
+  ASSERT_TRUE(kind.ok());
+  EXPECT_EQ(*kind, MessageKind::kAppendRequest);
+  auto decoded = DecodeAppendRequest(EncodeAppendRequest(req));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->artifact, req.artifact);
+  EXPECT_EQ(decoded->polys_bytes, req.polys_bytes);
+}
+
+TEST(WireProtocolTest, DeltaCountersAndPatchFlagRoundTrip) {
+  Response resp;
+  resp.stats.loop_wakeups = 5;  // Neighbors must not shift position.
+  resp.stats.delta_patched = 21;
+  resp.stats.delta_fallback_full = 4;
+  resp.generation = 9;
+  resp.delta_patched = true;
+  resp.dedup_hit = false;
+  auto decoded = DecodeResponse(EncodeResponse(resp));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->stats.loop_wakeups, 5u);
+  EXPECT_EQ(decoded->stats.delta_patched, 21u);
+  EXPECT_EQ(decoded->stats.delta_fallback_full, 4u);
+  EXPECT_EQ(decoded->generation, 9u);
+  EXPECT_TRUE(decoded->delta_patched);
+}
+
 TEST(WireProtocolTest, CompressRequestRoundTrip) {
   CompressRequest req;
   req.artifact = "a";

@@ -3,7 +3,7 @@
 # nonzero exit. Benches are not part of ctest, so without this they only
 # ever compile in CI and can bit-rot at runtime (stale flags, renamed
 # registry algorithms, workload API drift). This is a liveness check, not a
-# measurement: timings printed here are meaningless — with FIVE machine-
+# measurement: timings printed here are meaningless — with SIX machine-
 # keyed exceptions, each only checked when the current MACHINEKEY (cpu
 # model) matches the cpu recorded in the reference JSON; on other machines
 # the thresholds are skipped (noise):
@@ -30,6 +30,12 @@
 #     individual RPCs (the subsystem's raison d'etre), and its built-in
 #     bitwise-identity check must pass (enforced by the driver's exit
 #     code on every machine).
+#   - bench_incremental_update (vs BENCH_baseline.json): patching a
+#     retained DP after a localized append must stay >= 2.0x faster than
+#     the cold full DP on every standard workload (min ratio). The
+#     driver's built-in patched-vs-full differential (field equality +
+#     byte-identical serialization) is enforced by its exit code on every
+#     machine; only the latency ratio is machine-keyed.
 #
 # Usage: tools/bench_smoke.sh [BUILD_DIR]   (default: build)
 set -u
@@ -70,6 +76,7 @@ for bench in "$BENCH_DIR"/bench_*; do
     bench_evaluate_kernel)    out=/tmp/bench_smoke_eval.$$ ;;
     bench_server_throughput)  out=/tmp/bench_smoke_srv.$$ ;;
     bench_scenario_expand)    out=/tmp/bench_smoke_scn.$$ ;;
+    bench_incremental_update) out=/tmp/bench_smoke_incr.$$ ;;
   esac
   "$bench" "${args[@]}" > "$out" 2> /tmp/bench_smoke_err.$$
   rc=$?
@@ -164,7 +171,8 @@ check_ratio() {
 check_ratio /tmp/bench_smoke_srv.$$ SRVSTAT 100 "cached-compress" cached_compress
 check_ratio /tmp/bench_smoke_srv.$$ SRVSTAT 0.5 "idle-connection latency" concurrent_connections
 check_ratio /tmp/bench_smoke_scn.$$ SCENARIOSTAT 5.0 "scenario fan-out"
-rm -f /tmp/bench_smoke_srv.$$ /tmp/bench_smoke_scn.$$
+check_ratio /tmp/bench_smoke_incr.$$ PATCHSTAT 2.0 "incremental patch" patched_vs_full
+rm -f /tmp/bench_smoke_srv.$$ /tmp/bench_smoke_scn.$$ /tmp/bench_smoke_incr.$$
 
 if [ "$count" -eq 0 ]; then
   echo "bench_smoke: no bench binaries found under $BENCH_DIR" >&2

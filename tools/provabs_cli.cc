@@ -13,10 +13,12 @@
 #include <cstring>
 #include <initializer_list>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "algo/compressor.h"
+#include "algo/optimal_single_tree.h"
 #include "algo/tradeoff_curve.h"
 #include "common/timer.h"
 #include "core/evaluation_backend.h"
@@ -43,7 +45,11 @@ const char kUsage[] =
     "      [--forest-out F.bin]\n"
     "  info --in P.bin\n"
     "  compress --in P.bin --forest F.bin --bound N\n"
-    "      [--algo NAME] [--vvs-out V.bin] [--out C.bin]\n"
+    "      [--algo NAME] [--budget-ms MS] [--vvs-out V.bin] [--out C.bin]\n"
+    "  append --in P.bin --add EXTRA.bin [--out MERGED.bin]\n"
+    "      [--forest F.bin --bound N]   (with a forest and bound, the\n"
+    "       compression is re-derived incrementally from the pre-append\n"
+    "       DP state, falling back to the full DP only when it must)\n"
     "  tradeoff --in P.bin --forest F.bin\n"
     "  evaluate --in P.bin [--set var=value]... [--eval-backend NAME]\n"
     "  scenario --in P.bin (--expr TEXT | --expr-file F.scn)\n"
@@ -53,6 +59,7 @@ const char kUsage[] =
     "serving (against a running provabs_server):\n"
     "  remote-load --port P --name A --in P.bin [--forest F.bin]\n"
     "      [--forest-name N] [--host H]\n"
+    "  remote-append --port P --name A --in EXTRA.bin [--host H]\n"
     "  remote-info --port P [--name A] [--host H]\n"
     "  remote-compress --port P --name A --bound N\n"
     "      [--algo NAME] [--forest-name N] [--host H]\n"
@@ -472,14 +479,28 @@ int CmdCompress(const Args& args) {
   }
   CompressOptions copts;
   copts.bound = bound;
+  if (const char* budget_str = args.Get("budget-ms")) {
+    if (!ParseUint64(budget_str, &copts.time_budget_ms) ||
+        copts.time_budget_ms == 0) {
+      std::fprintf(stderr,
+                   "compress: bad --budget-ms '%s' (want a positive integer)\n",
+                   budget_str);
+      return 2;
+    }
+  }
   Timer timer;
   StatusOr<CompressionResult> result =
       compressor->Compress(*polys, *forest, copts);
   if (!result.ok()) return Fail(result.status());
+  // An exhausted budget is not an error for the anytime algorithms: the
+  // cut is valid and its loss exact, only optimality was traded — but the
+  // caller must be able to see the trade happened.
+  std::string caveats;
+  if (result->budget_exhausted) caveats += " (budget exhausted: best-so-far)";
+  if (!result->adequate) caveats += " (bound not reached)";
   std::printf("%s: ML=%zu VL=%zu%s in %.3fs\n", algo.c_str(),
               result->loss.monomial_loss, result->loss.variable_loss,
-              result->adequate ? "" : " (bound not reached)",
-              timer.ElapsedSeconds());
+              caveats.c_str(), timer.ElapsedSeconds());
   std::printf("VVS: %s\n", result->Describe(*forest, vars).c_str());
 
   if (const char* vvs_out = args.Get("vvs-out")) {
@@ -503,6 +524,92 @@ int CmdCompress(const Args& args) {
     Status w = WriteFile(out, SerializePolynomialSet(compressed, vars));
     if (!w.ok()) return Fail(w);
     std::printf("wrote %s: %zu monomials\n", out, compressed.SizeM());
+  }
+  return 0;
+}
+
+/// Offline mirror of the server's incremental-update path: compress the
+/// base artifact once (retaining the DP state on the result), append the
+/// extra polynomials through the delta log, then re-derive the compression
+/// with OptimalRecompress — the full DP runs again only when a patch gate
+/// declines (the printed fallback reason names which one).
+int CmdAppend(const Args& args) {
+  const char* in = args.Get("in");
+  const char* add = args.Get("add");
+  if (in == nullptr || add == nullptr) {
+    std::fprintf(stderr, "append requires --in and --add\n");
+    return 2;
+  }
+  const char* forest_path = args.Get("forest");
+  const char* bound_str = args.Get("bound");
+  if ((forest_path == nullptr) != (bound_str == nullptr)) {
+    std::fprintf(stderr, "append: --forest and --bound go together\n");
+    return 2;
+  }
+  uint64_t bound = 0;
+  if (bound_str != nullptr && !ParseUint64(bound_str, &bound)) {
+    std::fprintf(stderr,
+                 "append: bad --bound '%s' (want a non-negative integer)\n",
+                 bound_str);
+    return 2;
+  }
+
+  VariableTable vars;
+  auto base_data = ReadFileToString(in);
+  if (!base_data.ok()) return Fail(base_data.status());
+  auto polys = DeserializePolynomialSet(*base_data, vars);
+  if (!polys.ok()) return Fail(polys.status());
+  auto add_data = ReadFileToString(add);
+  if (!add_data.ok()) return Fail(add_data.status());
+  auto extra = DeserializePolynomialSet(*add_data, vars);
+  if (!extra.ok()) return Fail(extra.status());
+
+  std::optional<CompressionResult> before;
+  AbstractionForest forest;
+  if (forest_path != nullptr) {
+    auto forest_data = ReadFileToString(forest_path);
+    if (!forest_data.ok()) return Fail(forest_data.status());
+    auto parsed = DeserializeForest(*forest_data, vars);
+    if (!parsed.ok()) return Fail(parsed.status());
+    forest = std::move(*parsed);
+    auto pre = OptimalSingleTree(*polys, forest, 0, bound);
+    if (!pre.ok()) return Fail(pre.status());
+    before = std::move(*pre);
+  }
+
+  const uint64_t base_revision = polys->revision();
+  for (const Polynomial& p : extra->polynomials()) polys->Add(p);
+  std::printf("appended %zu polynomials: now %zu polynomials, %zu "
+              "monomials, %zu variables\n",
+              extra->count(), polys->count(), polys->SizeM(),
+              polys->SizeV());
+
+  if (forest_path != nullptr) {
+    PolynomialSetDelta delta = polys->DeltaSince(base_revision);
+    Timer timer;
+    RecompressFallback fallback = RecompressFallback::kNone;
+    StatusOr<CompressionResult> result = OptimalRecompress(
+        *polys, forest, *before, delta, bound, &fallback);
+    if (fallback != RecompressFallback::kNone) {
+      std::printf("recompress: fallback to the full DP (%s)\n",
+                  RecompressFallbackName(fallback));
+      timer = Timer();
+      result = OptimalSingleTree(*polys, forest, 0, bound);
+    }
+    if (!result.ok()) return Fail(result.status());
+    std::printf("%s: ML=%zu VL=%zu%s in %.3fs\n",
+                fallback == RecompressFallback::kNone ? "opt (patched)"
+                                                      : "opt (full)",
+                result->loss.monomial_loss, result->loss.variable_loss,
+                result->adequate ? "" : " (bound not reached)",
+                timer.ElapsedSeconds());
+    std::printf("VVS: %s\n", result->Describe(forest, vars).c_str());
+  }
+
+  if (const char* out = args.Get("out")) {
+    Status w = WriteFile(out, SerializePolynomialSet(*polys, vars));
+    if (!w.ok()) return Fail(w);
+    std::printf("wrote %s: %zu monomials\n", out, polys->SizeM());
   }
   return 0;
 }
@@ -774,6 +881,10 @@ void PrintServerStats(const ServerStats& stats) {
               static_cast<unsigned long long>(stats.rejected_connections),
               static_cast<unsigned long long>(stats.idle_reaped),
               static_cast<unsigned long long>(stats.loop_wakeups));
+  std::printf("incremental: %llu compressions delta-patched, %llu fell "
+              "back to the full algorithm\n",
+              static_cast<unsigned long long>(stats.delta_patched),
+              static_cast<unsigned long long>(stats.delta_fallback_full));
 }
 
 int CmdRemoteLoad(const Args& args) {
@@ -814,6 +925,34 @@ int CmdRemoteLoad(const Args& args) {
   if (int rc = CheckResponse(*resp)) return rc;
   std::printf("loaded '%s' (generation %llu): %llu polynomials, %llu "
               "monomials, %llu variables\n",
+              name, static_cast<unsigned long long>(resp->generation),
+              static_cast<unsigned long long>(resp->poly_count),
+              static_cast<unsigned long long>(resp->monomial_count),
+              static_cast<unsigned long long>(resp->variable_count));
+  return 0;
+}
+
+int CmdRemoteAppend(const Args& args) {
+  const char* name = args.Get("name");
+  const char* in = args.Get("in");
+  if (name == nullptr || in == nullptr) {
+    std::fprintf(stderr, "remote-append requires --name and --in\n");
+    return 2;
+  }
+  long port = ParsePortArg(args, "remote-append");
+  if (port < 0) return 2;
+  AppendRequest req;
+  req.artifact = name;
+  auto data = ReadFileToString(in);
+  if (!data.ok()) return Fail(data.status());
+  req.polys_bytes = std::move(*data);
+  auto client = ConnectFromArgs(args, port);
+  if (!client.ok()) return Fail(client.status());
+  auto resp = client->Append(req);
+  if (!resp.ok()) return Fail(resp.status());
+  if (int rc = CheckResponse(*resp)) return rc;
+  std::printf("appended to '%s' (generation %llu): now %llu polynomials, "
+              "%llu monomials, %llu variables\n",
               name, static_cast<unsigned long long>(resp->generation),
               static_cast<unsigned long long>(resp->poly_count),
               static_cast<unsigned long long>(resp->monomial_count),
@@ -904,12 +1043,15 @@ int CmdRemoteCompress(const Args& args) {
               resp->cache_hit ? "hit" : "miss",
               static_cast<unsigned long long>(resp->stats.result_hits),
               static_cast<unsigned long long>(resp->stats.result_misses));
-  // Three disjoint outcomes: answered from cache, waited on an identical
-  // request's in-flight DP (dedup), or ran the DP on the server thread.
+  // Four disjoint outcomes: answered from cache, waited on an identical
+  // request's in-flight run (dedup), patched a cached predecessor
+  // generation's DP state, or ran the full DP on the server thread.
   std::printf("single-flight: %s (%llu dedup hits total)\n",
-              resp->cache_hit    ? "cache hit, no DP involved"
-              : resp->dedup_hit  ? "waited on an in-flight DP"
-                                 : "ran the DP",
+              resp->cache_hit     ? "cache hit, no DP involved"
+              : resp->dedup_hit   ? "waited on an in-flight DP"
+              : resp->delta_patched
+                  ? "patched a predecessor generation (full DP skipped)"
+                  : "ran the DP",
               static_cast<unsigned long long>(resp->stats.dedup_hits));
   return 0;
 }
@@ -1110,14 +1252,17 @@ const Command kCommands[] = {
     {"generate", CmdGenerate, {"workload", "scale", "fanouts", "out",
                                "forest-out"}},
     {"info", CmdInfo, {"in"}},
-    {"compress", CmdCompress, {"in", "forest", "bound", "algo", "vvs-out",
-                               "out"}},
+    {"compress", CmdCompress, {"in", "forest", "bound", "algo", "budget-ms",
+                               "vvs-out", "out"}},
+    {"append", CmdAppend, {"in", "add", "out", "forest", "bound"}},
     {"tradeoff", CmdTradeoff, {"in", "forest"}},
     {"evaluate", CmdEvaluate, {"in", "set", "eval-backend"}},
     {"scenario", CmdScenario, {"in", "expr", "expr-file", "shape", "top-k",
                                "eval-backend"}},
     {"remote-load", CmdRemoteLoad, {"host", "port", "name", "in", "forest",
                                     "forest-name", "timeout-ms"}},
+    {"remote-append", CmdRemoteAppend, {"host", "port", "name", "in",
+                                        "timeout-ms"}},
     {"remote-info", CmdRemoteInfo, {"host", "port", "name", "timeout-ms"}},
     {"remote-compress", CmdRemoteCompress, {"host", "port", "name", "bound",
                                             "algo", "forest-name",
